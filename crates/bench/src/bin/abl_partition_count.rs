@@ -1,0 +1,61 @@
+//! Ablation (beyond the paper's figures): DevTLB partition-count sweep.
+//!
+//! The paper fixes one 8-entry row per partition and notes that "exploring
+//! the optimal number of partitions and the number of devices per
+//! partition is left outside of the scope of this work" (§V-D). This
+//! ablation does that exploration for the 64-entry/8-way DevTLB: 1, 2, 4,
+//! and 8 partitions (8 sets can host at most 8 row-granular partitions),
+//! with the PTB fixed at 32 and no prefetching, across tenant counts.
+//!
+//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024).
+
+use hypersio_cache::PartitionSpec;
+use hypersio_sim::{sweep_tenants, SimParams, SweepSpec};
+use hypersio_trace::WorkloadKind;
+use hypertrio_core::TranslationConfig;
+
+fn main() {
+    let scale = bench::env_u64("SCALE", 200);
+    let max_tenants = bench::env_u64("MAX_TENANTS", 1024) as u32;
+    let counts = bench::tenant_axis(max_tenants);
+    bench::banner(
+        "Ablation — DevTLB partition count (PTB=32, no prefetch)",
+        &format!("mediastream, scale={scale}"),
+    );
+
+    let spec = |partitions: usize| {
+        SweepSpec::new(
+            WorkloadKind::Mediastream,
+            TranslationConfig::hypertrio()
+                .without_prefetch()
+                .with_devtlb_partitions(PartitionSpec::new(partitions))
+                .with_name("Psweep"),
+            scale,
+        )
+        .with_params(SimParams::paper().with_warmup(2000))
+    };
+
+    bench::print_header("tenants", &["1 part", "2 parts", "4 parts", "8 parts"]);
+    let series = [
+        sweep_tenants(&spec(1), &counts),
+        sweep_tenants(&spec(2), &counts),
+        sweep_tenants(&spec(4), &counts),
+        sweep_tenants(&spec(8), &counts),
+    ];
+    for (i, &tenants) in counts.iter().enumerate() {
+        bench::print_row(
+            tenants,
+            &[
+                series[0][i].report.gbps(),
+                series[1][i].report.gbps(),
+                series[2][i].report.gbps(),
+                series[3][i].report.gbps(),
+            ],
+        );
+    }
+    println!();
+    println!("Expected: more partitions help once tenant count exceeds the");
+    println!("partition count (isolation beats shared capacity), but with");
+    println!("hundreds of tenants per partition all choices converge — the");
+    println!("partitioning trade-off the paper left open.");
+}

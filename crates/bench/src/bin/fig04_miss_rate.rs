@@ -1,0 +1,56 @@
+//! Fig 4: IOMMU translation-cache miss rate versus number of parallel
+//! connections (80–120) on the case-study host.
+//!
+//! The paper measured this on real AMD hardware via IOMMU performance
+//! counters; we reproduce it in simulation (see DESIGN.md §2 for the
+//! substitution). The AMD host's IOMMU TLB is larger and far less
+//! conflict-prone than the 64-entry 8-way device cache of the evaluation
+//! platform (identical per-tenant layouts would otherwise pile into a
+//! handful of sets), so this experiment models it as a 768-entry
+//! fully-associative LRU cache at 10 Gb/s whose capacity knee falls inside
+//! the measured 80-120 connection window, and reports its miss rate plus
+//! the nested page-table reads performed by the IOMMU — the two quantities
+//! of the paper's Fig 4 discussion.
+//!
+//! Expected shape: the miss rate is near zero below ~80 connections, then
+//! climbs steeply as the tenants' active sets overflow the cache, and the
+//! nested page reads grow by orders of magnitude.
+//!
+//! Environment: `SCALE` (default 500).
+
+use hypersio_cache::CacheGeometry;
+use hypersio_sim::{SimParams, SweepSpec};
+use hypersio_trace::WorkloadKind;
+use hypertrio_core::TranslationConfig;
+
+fn main() {
+    let scale = bench::env_u64("SCALE", 500);
+    bench::banner(
+        "Fig 4 — IOMMU TLB miss rate vs parallel connections (simulated)",
+        &format!("iperf3-like tenants, 768-entry FA translation cache, 10 Gb/s, scale={scale}"),
+    );
+    let config = TranslationConfig::base()
+        .with_devtlb_geometry(CacheGeometry::fully_associative(768))
+        .with_devtlb_policy(hypersio_cache::PolicyKind::Lru)
+        .with_name("case-study host");
+    let spec = SweepSpec::new(WorkloadKind::Iperf3, config, scale)
+        .with_params(SimParams::paper_10g().with_warmup(20_000));
+
+    println!(
+        "{:>12} {:>14} {:>20} {:>16}",
+        "connections", "miss rate %", "nested page reads", "reads/request"
+    );
+    for tenants in [80u32, 90, 100, 110, 120] {
+        let report = spec.run_at(tenants);
+        println!(
+            "{:>12} {:>14.3} {:>20} {:>16.2}",
+            tenants,
+            report.devtlb.miss_rate() * 100.0,
+            report.iommu.dram_accesses,
+            report.iommu.dram_accesses as f64 / report.translation_requests.max(1) as f64,
+        );
+    }
+    println!();
+    println!("Paper: <0.1% below 80 connections rising to 4.3% at 120; nested");
+    println!("page reads grow >400x from 80 to 120 connections.");
+}

@@ -1,0 +1,108 @@
+//! Fig 8b: the periodic data-buffer access pattern of a single tenant.
+//!
+//! Replays one mediastream tenant and reports two aspects of the paper's
+//! observation that "each 2 MB page is accessed around 1500 times ... until
+//! the driver unmaps it and starts using buffers located in the next page":
+//!
+//! 1. the *page-lifetime* structure — total accesses each page accumulates
+//!    per residency in the active window (~`sequential_run`), retiring in
+//!    periodic ring order;
+//! 2. the *burst* structure — consecutive packets served from one page
+//!    before the device rotates to the next active buffer page.
+//!
+//! Environment: `ROWS` (default 24) limits the printed lifetime rows.
+
+use std::collections::BTreeMap;
+
+use hypersio_trace::{TenantStream, WorkloadKind};
+use hypersio_types::Did;
+
+fn main() {
+    let max_rows = bench::env_u64("ROWS", 24);
+    bench::banner(
+        "Fig 8b — single-tenant data-buffer page access pattern",
+        "mediastream; page lifetimes (periodic ring order) and burst lengths",
+    );
+    let mut params = WorkloadKind::Mediastream.params();
+    // A fixed-length stream makes the output deterministic and long enough
+    // to show several full periods of the page pool.
+    params.min_requests = 600_000;
+    params.max_requests = 600_000;
+    let data_base_page = params.data_base.raw() >> 21;
+    let stream = TenantStream::new(params.clone(), Did::new(0), 0, 1);
+
+    // Track per-page access counts between retirements. A page retires
+    // when the sliding window moves past it; detect retirement lazily as
+    // "first access after a long gap".
+    let mut last_seen: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut lifetime: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut lifetimes: Vec<(u64, u64)> = Vec::new(); // (page index, accesses)
+    let mut bursts: Vec<u64> = Vec::new();
+    let mut current_page: Option<u64> = None;
+    let mut burst = 0u64;
+    let mut t = 0u64;
+
+    for pkt in stream {
+        let page = pkt.iovas[1].raw() >> 21;
+        if page < data_base_page {
+            continue;
+        }
+        let idx = page - data_base_page;
+        t += 1;
+
+        // Burst structure.
+        match current_page {
+            Some(p) if p == idx => burst += 1,
+            Some(_) => {
+                bursts.push(burst);
+                burst = 1;
+                current_page = Some(idx);
+            }
+            None => {
+                burst = 1;
+                current_page = Some(idx);
+            }
+        }
+
+        // Lifetime structure: a gap much longer than one window rotation
+        // means the page left the window and came back (pool wrap).
+        let rotation = params.window * params.burst_len;
+        if let Some(&seen) = last_seen.get(&idx) {
+            if t - seen > 4 * rotation {
+                lifetimes.push((idx, lifetime.remove(&idx).unwrap_or(0)));
+            }
+        }
+        *lifetime.entry(idx).or_default() += 1;
+        last_seen.insert(idx, t);
+    }
+
+    println!("Page lifetimes (accesses per residency; paper: ~1500 each):");
+    println!("{:>8} {:>12} {:>12}", "row", "page index", "accesses");
+    for (i, (idx, n)) in lifetimes.iter().take(max_rows as usize).enumerate() {
+        println!("{:>8} {:>12} {:>12}", i + 1, idx, n);
+    }
+    if !lifetimes.is_empty() {
+        let avg: f64 =
+            lifetimes.iter().map(|&(_, n)| n as f64).sum::<f64>() / lifetimes.len() as f64;
+        println!(
+            "{} completed lifetimes, average {avg:.0} accesses (sequential_run = {})",
+            lifetimes.len(),
+            params.sequential_run
+        );
+    }
+
+    if !bursts.is_empty() {
+        let avg: f64 = bursts.iter().map(|&b| b as f64).sum::<f64>() / bursts.len() as f64;
+        println!();
+        println!(
+            "Burst structure: {} bursts, average {avg:.1} packets per page visit \
+             (burst_len = {}), {} active pages in flight",
+            bursts.len(),
+            params.burst_len,
+            params.window
+        );
+    }
+    println!();
+    println!("Pages retire in periodic ring order as the driver unmaps the");
+    println!("oldest buffer page and maps the next one (Fig 8b's sawtooth).");
+}

@@ -1,0 +1,92 @@
+//! Fig 11c: fully-associative DevTLB with oracle replacement.
+//!
+//! First finds each benchmark's *active translation set* — the smallest
+//! fully-associative DevTLB that sustains full link utilisation for a
+//! single tenant (paper: 8 for iperf3, 32 for mediastream, 36 for
+//! websearch) — then sweeps the tenant count for a fully-associative,
+//! oracle-replaced DevTLB of the paper's 64-entry capacity.
+//!
+//! Expected shape: even the ideal cache collapses once the tenant count
+//! approaches the entry count divided by the per-tenant active set — this
+//! is the experiment showing associativity and replacement cannot solve
+//! hyper-tenant translation (§V-C).
+//!
+//! Environment: `SCALE` (default 400), `MAX_TENANTS` (default 128).
+
+use hypersio_cache::{CacheGeometry, PolicyKind};
+use hypersio_sim::{devtlb_oracle_for, SimParams, Simulation};
+use hypersio_trace::{HyperTraceBuilder, WorkloadKind};
+use hypertrio_core::TranslationConfig;
+
+fn run_fa(
+    workload: WorkloadKind,
+    tenants: u32,
+    entries: usize,
+    scale: u64,
+) -> hypersio_sim::SimReport {
+    // A fixed-length stream (120k requests/tenant before `scale`) makes
+    // the measurement independent of the Table III random draw, and a
+    // warm-up past the NIC-initialisation phase confines the measurement
+    // to steady state.
+    let trace_for = || {
+        HyperTraceBuilder::new(workload, tenants)
+            .requests_per_tenant(120_000)
+            .scale(bench::proportional_scale(scale, tenants))
+            .seed(0)
+            .build()
+    };
+    let oracle = devtlb_oracle_for(&trace_for());
+    let config = TranslationConfig::base()
+        .with_devtlb_geometry(CacheGeometry::fully_associative(entries))
+        .with_devtlb_policy(PolicyKind::Oracle(oracle))
+        .with_name("FA-oracle");
+    Simulation::new(config, SimParams::paper().with_warmup(6000), trace_for()).run()
+}
+
+fn main() {
+    let scale = bench::env_u64("SCALE", 400);
+    let max_tenants = bench::env_u64("MAX_TENANTS", 128) as u32;
+    bench::banner(
+        "Fig 11c — fully-associative DevTLB with oracle replacement",
+        &format!("scale={scale}"),
+    );
+
+    println!("Active translation set (min FA entries for full single-tenant util):");
+    println!("{:<14} {:>10} {:>12}", "benchmark", "measured", "paper");
+    let paper_active = [8usize, 32, 36];
+    for (workload, paper) in WorkloadKind::ALL.into_iter().zip(paper_active) {
+        let mut measured = 0;
+        for entries in [2usize, 4, 6, 8, 12, 16, 24, 30, 32, 34, 36, 40, 48, 64] {
+            let report = run_fa(workload, 1, entries, scale);
+            // "Full utilisation" = effectively no steady-state misses: even
+            // one DevTLB miss per buffer-page rotation costs ~17 arrival
+            // slots on the Base PTB and caps utilisation well below 99.8%
+            // (a few warm-up-boundary misses keep even a perfect cache just
+            // under 99.9%).
+            if report.utilization > 0.998 {
+                measured = entries;
+                break;
+            }
+        }
+        println!("{:<14} {:>10} {:>12}", workload.to_string(), measured, paper);
+    }
+
+    println!();
+    println!("Scalability of a 64-entry fully-associative oracle DevTLB:");
+    let counts: Vec<u32> = [1u32, 2, 4, 8, 16, 32, 64, 128]
+        .into_iter()
+        .filter(|&t| t <= max_tenants)
+        .collect();
+    bench::print_header("tenants", &["iperf3", "mediastream", "websearch"]);
+    for &tenants in &counts {
+        let row: Vec<f64> = WorkloadKind::ALL
+            .into_iter()
+            .map(|w| run_fa(w, tenants, 64, scale).gbps())
+            .collect();
+        bench::print_row(tenants, &row);
+    }
+    println!();
+    println!("Paper: more than eight tenants produce low utilisation for every");
+    println!("benchmark — once tenants x active-set exceeds the entry count,");
+    println!("every new request misses and pays the PCIe + walk latency.");
+}

@@ -1,0 +1,62 @@
+//! Table II: system parameters used by the performance simulator.
+//!
+//! Prints the configured simulator parameters so they can be checked
+//! against the paper's Table II line by line.
+
+use hypersio_mem::WalkCacheConfig;
+use hypersio_sim::SimParams;
+
+fn main() {
+    bench::banner(
+        "Table II — System parameters used by the performance simulator",
+        "paper values on the left, this model's configuration on the right",
+    );
+    let p = SimParams::paper();
+    let wc = WalkCacheConfig::paper_base();
+    let rows: Vec<(&str, String, String)> = vec![
+        (
+            "One-way PCIe latency",
+            "450ns".into(),
+            p.pcie.one_way().to_string(),
+        ),
+        (
+            "DRAM latency",
+            "50ns".into(),
+            p.dram_latency.to_string(),
+        ),
+        (
+            "IOTLB hit",
+            "2ns".into(),
+            p.devtlb_hit.to_string(),
+        ),
+        (
+            "# memory accesses during PTW",
+            "24".into(),
+            "24 (structural: 4x(4+1)+4)".into(),
+        ),
+        (
+            "Packet size at I/O link",
+            "1542B (Eth Pkt + IPG)".into(),
+            format!("{}", p.link.packet()),
+        ),
+        (
+            "I/O link bandwidth",
+            "200Gb/s".into(),
+            p.link.bandwidth().to_string(),
+        ),
+        (
+            "L2 Page Cache",
+            "512 entries, 16-ways".into(),
+            format!("{}", wc.l2_geometry),
+        ),
+        (
+            "L3 Page Cache",
+            "1024 entries, 16-ways".into(),
+            format!("{}", wc.l3_geometry),
+        ),
+    ];
+    println!("{:<34} {:<24} {:<28}", "parameter", "paper", "this model");
+    for (name, paper, ours) in rows {
+        println!("{name:<34} {paper:<24} {ours:<28}");
+    }
+}

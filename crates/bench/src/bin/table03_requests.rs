@@ -1,0 +1,49 @@
+//! Table III: maximum, minimum, and total translation requests per
+//! benchmark for the 1024-tenant hyper-trace.
+//!
+//! Environment: `TENANTS` (default 1024), `SCALE` (default 64; use
+//! `SCALE=1` for paper-sized counts — the trace is streamed, so even the
+//! 70M-request iperf3 trace fits in constant memory, it just takes longer).
+
+use hypersio_trace::{HyperTraceBuilder, WorkloadKind};
+
+fn main() {
+    let tenants = bench::env_u64("TENANTS", 1024) as u32;
+    let scale = bench::env_u64("SCALE", 64);
+    bench::banner(
+        "Table III — translation requests recorded per benchmark",
+        &format!("tenants={tenants} scale={scale} (multiply counts by scale to compare with the paper)"),
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>18}",
+        "benchmark", "max/tenant", "min/tenant", "total"
+    );
+    for kind in WorkloadKind::ALL {
+        let trace = HyperTraceBuilder::new(kind, tenants)
+            .scale(scale)
+            .seed(0)
+            .build();
+        let stats = trace.stats();
+        println!(
+            "{:<14} {:>14} {:>14} {:>18}",
+            kind.to_string(),
+            stats.max_per_tenant,
+            stats.min_per_tenant,
+            stats.total_requests
+        );
+    }
+    println!();
+    println!("Paper (1024 tenants, scale 1):");
+    println!(
+        "{:<14} {:>14} {:>14} {:>18}",
+        "iperf3", 108_510, 68_079, 69_712_894u64
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>18}",
+        "mediastream", 73_657, 5_520, 5_652_477u64
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>18}",
+        "websearch", 108_513, 43_362, 44_402_679u64
+    );
+}

@@ -1,0 +1,82 @@
+//! Table IV: architectural parameters of the Base and HyperTRIO
+//! configurations used for evaluation.
+//!
+//! Prints both presets field by field so they can be compared with the
+//! paper's table.
+
+use hypertrio_core::TranslationConfig;
+
+fn main() {
+    bench::banner(
+        "Table IV — architectural parameters of the evaluated configurations",
+        "as encoded by TranslationConfig::{base, hypertrio}",
+    );
+    let base = TranslationConfig::base();
+    let ht = TranslationConfig::hypertrio();
+
+    println!("{:<14} {:<34} {:<40}", "parameter", "Base", "HyperTRIO");
+    println!(
+        "{:<14} {:<34} {:<40}",
+        "PTB",
+        format!("{} entry", base.ptb_entries),
+        format!("{} entries", ht.ptb_entries)
+    );
+    println!(
+        "{:<14} {:<34} {:<40}",
+        "DevTLB",
+        format!(
+            "{}, {}, {}",
+            base.devtlb_geometry,
+            base.devtlb_policy.name(),
+            base.devtlb_partitions
+        ),
+        format!(
+            "{}, {}, {}",
+            ht.devtlb_geometry,
+            ht.devtlb_policy.name(),
+            ht.devtlb_partitions
+        )
+    );
+    println!(
+        "{:<14} {:<34} {:<40}",
+        "L2TLB",
+        format!(
+            "{}, {}, {}",
+            base.walk_caches.l2_geometry,
+            base.walk_caches.policy.name(),
+            base.walk_caches.l2_partitions
+        ),
+        format!(
+            "{}, {}, {}",
+            ht.walk_caches.l2_geometry,
+            ht.walk_caches.policy.name(),
+            ht.walk_caches.l2_partitions
+        )
+    );
+    println!(
+        "{:<14} {:<34} {:<40}",
+        "L3TLB",
+        format!(
+            "{}, {}, {}",
+            base.walk_caches.l3_geometry,
+            base.walk_caches.policy.name(),
+            base.walk_caches.l3_partitions
+        ),
+        format!(
+            "{}, {}, {}",
+            ht.walk_caches.l3_geometry,
+            ht.walk_caches.policy.name(),
+            ht.walk_caches.l3_partitions
+        )
+    );
+    let pf = ht.prefetch.as_ref().expect("HyperTRIO preset has prefetch");
+    println!(
+        "{:<14} {:<34} {:<40}",
+        "Prefetching",
+        "No",
+        format!(
+            "{}-entry buffer, {}-access stride, {} pages history/tenant",
+            pf.buffer_entries, pf.history_len, pf.pages_per_prefetch
+        )
+    );
+}

@@ -1,0 +1,90 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure (see
+//! `DESIGN.md` for the index). They share the conventions here:
+//!
+//! - `SCALE` environment variable (default in each binary) divides the
+//!   per-tenant request counts of Table III; `SCALE=1` runs paper-sized
+//!   traces.
+//! - `MAX_TENANTS` caps tenant sweeps for quicker runs.
+//! - Output is a plain text table with one row per x-axis point and one
+//!   column per series, mirroring the paper's figure structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Reads a `u64` environment knob with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Proportional trace shortening, mirroring
+/// [`hypersio_sim::SweepSpec::effective_scale`]: `scale` is relative to the
+/// 1024-tenant traces, so small tenant counts get longer per-tenant streams
+/// and comparable statistical weight.
+pub fn proportional_scale(scale: u64, tenants: u32) -> u64 {
+    (scale * tenants as u64 / 1024).max(1)
+}
+
+/// The paper's tenant-count x-axis (4 … 1024), capped by `MAX_TENANTS`.
+pub fn tenant_axis(max: u32) -> Vec<u32> {
+    hypersio_sim::PAPER_TENANT_COUNTS
+        .into_iter()
+        .filter(|&t| t <= max)
+        .collect()
+}
+
+/// Prints a table header: an x-axis label plus one column per series.
+pub fn print_header(x: &str, series: &[&str]) {
+    print!("{x:>10}");
+    for s in series {
+        print!(" {s:>14}");
+    }
+    println!();
+}
+
+/// Prints one table row.
+pub fn print_row<X: Display>(x: X, values: &[f64]) {
+    print!("{x:>10}");
+    for v in values {
+        print!(" {v:>14.2}");
+    }
+    println!();
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(experiment: &str, detail: &str) {
+    println!("==============================================================");
+    println!("{experiment}");
+    println!("{detail}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_axis_caps() {
+        assert_eq!(tenant_axis(64), vec![4, 8, 16, 32, 64]);
+        assert_eq!(tenant_axis(1024).len(), 9);
+    }
+
+    #[test]
+    fn env_u64_default_when_unset() {
+        assert_eq!(env_u64("HYPERSIO_BENCH_UNSET_VAR_XYZ", 7), 7);
+    }
+
+    #[test]
+    fn proportional_scale_clamps() {
+        assert_eq!(proportional_scale(400, 1024), 400);
+        assert_eq!(proportional_scale(400, 128), 50);
+        assert_eq!(proportional_scale(400, 2), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cache geometry (entries × associativity).
+
+use std::fmt;
+
+/// The geometry of an associative cache: total entries and ways per set.
+///
+/// The paper's structures are all expressed this way: the DevTLB is
+/// "64 entries, 8-ways", the L2 page cache "512 entries, 16-ways", the L3
+/// page cache "1024 entries, 16-ways" (Table II), and the Prefetch Buffer is
+/// an 8-entry fully-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_cache::CacheGeometry;
+///
+/// let devtlb = CacheGeometry::new(64, 8);
+/// assert_eq!(devtlb.sets(), 8);
+/// let pb = CacheGeometry::fully_associative(8);
+/// assert_eq!(pb.sets(), 1);
+/// assert_eq!(pb.ways(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    entries: usize,
+    ways: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry with `entries` total entries and `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero or if `ways` does not divide
+    /// `entries` (sets must be whole).
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries > 0, "cache must have at least one entry");
+        assert!(ways > 0, "cache must have at least one way");
+        assert!(
+            entries.is_multiple_of(ways),
+            "ways ({ways}) must divide total entries ({entries})"
+        );
+        CacheGeometry { entries, ways }
+    }
+
+    /// Creates a fully-associative geometry (a single set of `entries` ways).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn fully_associative(entries: usize) -> Self {
+        CacheGeometry::new(entries, entries)
+    }
+
+    /// Returns the total number of entries.
+    pub const fn entries(self) -> usize {
+        self.entries
+    }
+
+    /// Returns the associativity (ways per set).
+    pub const fn ways(self) -> usize {
+        self.ways
+    }
+
+    /// Returns the number of sets (rows).
+    pub const fn sets(self) -> usize {
+        self.entries / self.ways
+    }
+
+    /// Returns true if this geometry has a single set.
+    pub const fn is_fully_associative(self) -> bool {
+        self.sets() == 1
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}e/{}w", self.entries, self.ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        let devtlb = CacheGeometry::new(64, 8);
+        assert_eq!(devtlb.sets(), 8);
+        let l2 = CacheGeometry::new(512, 16);
+        assert_eq!(l2.sets(), 32);
+        let l3 = CacheGeometry::new(1024, 16);
+        assert_eq!(l3.sets(), 64);
+    }
+
+    #[test]
+    fn fully_associative_is_one_set() {
+        let pb = CacheGeometry::fully_associative(8);
+        assert!(pb.is_fully_associative());
+        assert_eq!(pb.sets(), 1);
+        assert_eq!(pb.entries(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_ragged_sets() {
+        let _ = CacheGeometry::new(10, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn rejects_zero_entries() {
+        let _ = CacheGeometry::new(0, 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(format!("{}", CacheGeometry::new(64, 8)), "64e/8w");
+    }
+}

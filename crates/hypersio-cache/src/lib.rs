@@ -1,0 +1,66 @@
+//! Associative-cache substrate for the HyperTRIO/HyperSIO reproduction.
+//!
+//! Every translation-caching structure in the modelled system — the device's
+//! DevTLB, the IOMMU's IOTLB and L2/L3 page-walk caches, the nested
+//! (gPA → hPA) TLB, and HyperTRIO's fully-associative Prefetch Buffer — is an
+//! instance of the machinery in this crate:
+//!
+//! - [`SetAssocCache`]: a sets × ways associative cache with a pluggable
+//!   [`ReplacementPolicy`].
+//! - [`FullyAssocCache`]: the single-set special case.
+//! - [`PartitionedCache`]: HyperTRIO's P-DevTLB mechanism — rows carry a
+//!   partition tag (PTag) matched against the requesting tenant's SID, so a
+//!   tenant (or SID group) can only allocate into, and evict from, its own
+//!   rows.
+//!
+//! Replacement policies implement the paper's studied set: LRU, LFU with
+//! 4-bit saturating counters and row-wide halving ([`Lfu`]), FIFO, random,
+//! and the trace-fed Belady oracle ([`Belady`] + [`FutureOracle`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use hypersio_cache::{CacheGeometry, CacheKey, OracleKey, PolicyKind, SetAssocCache};
+//!
+//! #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+//! struct PageKey(u64);
+//! impl CacheKey for PageKey {
+//!     fn set_selector(&self) -> u64 {
+//!         self.0
+//!     }
+//! }
+//! impl OracleKey for PageKey {
+//!     fn oracle_code(&self) -> u64 {
+//!         self.0
+//!     }
+//! }
+//!
+//! let geometry = CacheGeometry::new(64, 8); // 64 entries, 8-way (paper DevTLB)
+//! let mut tlb: SetAssocCache<PageKey, u64> =
+//!     SetAssocCache::new(geometry, PolicyKind::Lru.build(geometry));
+//! assert_eq!(tlb.lookup(&PageKey(0x34800), 0), None);
+//! tlb.insert(PageKey(0x34800), 0xdead_b000, 0);
+//! assert_eq!(tlb.lookup(&PageKey(0x34800), 1), Some(&0xdead_b000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fully_assoc;
+mod geometry;
+mod oracle;
+mod partitioned;
+mod policy;
+mod set_assoc;
+mod stats;
+
+pub use fully_assoc::FullyAssocCache;
+pub use geometry::CacheGeometry;
+pub use oracle::FutureOracle;
+pub use partitioned::{PartitionSpec, PartitionedCache};
+pub use policy::{
+    Belady, Fifo, FutureOracleErased, Lfu, Lru, OracleKey, PolicyKind, RandomEvict,
+    ReplacementPolicy,
+};
+pub use set_assoc::{CacheKey, SetAssocCache};
+pub use stats::CacheStats;

@@ -1,0 +1,121 @@
+//! Future-access oracle backing the Belady replacement policy.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A pre-computed index of when each key will be accessed in the future.
+///
+/// The paper builds its oracle replacement scheme by exploiting the fact
+/// that the full translation trace is known ahead of time (§V-C, citing
+/// Belady). This structure is built once from the trace's key sequence and
+/// then queried with "what is the next use of `key` strictly after position
+/// `now`?" in `O(log n)` per query.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_cache::FutureOracle;
+///
+/// let oracle = FutureOracle::from_sequence(vec![1u64, 2, 1, 3, 2]);
+/// assert_eq!(oracle.next_use(&1, 0), Some(2)); // position 0 itself excluded
+/// assert_eq!(oracle.next_use(&2, 1), Some(4));
+/// assert_eq!(oracle.next_use(&3, 3), None); // never used again
+/// assert_eq!(oracle.next_use(&9, 0), None); // never used at all
+/// ```
+#[derive(Clone)]
+pub struct FutureOracle<K> {
+    positions: HashMap<K, Vec<u64>>,
+    len: u64,
+}
+
+impl<K: Eq + Hash + Clone> FutureOracle<K> {
+    /// Builds an oracle from the full access sequence, in order.
+    pub fn from_sequence<I>(sequence: I) -> Self
+    where
+        I: IntoIterator<Item = K>,
+    {
+        let mut positions: HashMap<K, Vec<u64>> = HashMap::new();
+        let mut len = 0u64;
+        for (i, key) in sequence.into_iter().enumerate() {
+            positions.entry(key).or_default().push(i as u64);
+            len = i as u64 + 1;
+        }
+        FutureOracle { positions, len }
+    }
+
+    /// Returns the first position strictly after `now` at which `key` is
+    /// accessed, or `None` if it is never accessed again.
+    pub fn next_use(&self, key: &K, now: u64) -> Option<u64> {
+        let uses = self.positions.get(key)?;
+        // Binary search for the first use > now.
+        let idx = uses.partition_point(|&p| p <= now);
+        uses.get(idx).copied()
+    }
+
+    /// Returns the total length of the indexed sequence.
+    pub const fn sequence_len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns the number of distinct keys in the sequence.
+    pub fn distinct_keys(&self) -> usize {
+        self.positions.len()
+    }
+}
+
+impl<K> fmt::Debug for FutureOracle<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FutureOracle")
+            .field("distinct_keys", &self.positions.len())
+            .field("sequence_len", &self.len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sequence() {
+        let oracle: FutureOracle<u32> = FutureOracle::from_sequence(Vec::new());
+        assert_eq!(oracle.sequence_len(), 0);
+        assert_eq!(oracle.distinct_keys(), 0);
+        assert_eq!(oracle.next_use(&1, 0), None);
+    }
+
+    #[test]
+    fn next_use_is_strictly_after_now() {
+        let oracle = FutureOracle::from_sequence(vec![7u64, 7, 7]);
+        assert_eq!(oracle.next_use(&7, 0), Some(1));
+        assert_eq!(oracle.next_use(&7, 1), Some(2));
+        assert_eq!(oracle.next_use(&7, 2), None);
+    }
+
+    #[test]
+    fn interleaved_keys() {
+        let seq = vec!["a", "b", "a", "c", "b", "a"];
+        let oracle = FutureOracle::from_sequence(seq);
+        assert_eq!(oracle.next_use(&"a", 0), Some(2));
+        assert_eq!(oracle.next_use(&"a", 2), Some(5));
+        assert_eq!(oracle.next_use(&"b", 1), Some(4));
+        assert_eq!(oracle.next_use(&"c", 3), None);
+        assert_eq!(oracle.distinct_keys(), 3);
+        assert_eq!(oracle.sequence_len(), 6);
+    }
+
+    #[test]
+    fn now_before_first_use() {
+        let oracle = FutureOracle::from_sequence(vec![5u8; 1]);
+        // now == 0 is the position of the only use, so nothing after it.
+        assert_eq!(oracle.next_use(&5, 0), None);
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let oracle = FutureOracle::from_sequence(vec![1u8, 2]);
+        let s = format!("{oracle:?}");
+        assert!(s.contains("distinct_keys: 2"));
+    }
+}

@@ -1,0 +1,446 @@
+//! Replacement policies: LRU, LFU (4-bit + halving), FIFO, random, Belady.
+
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geometry::CacheGeometry;
+use crate::oracle::FutureOracle;
+
+/// A per-cache replacement policy, consulted by [`crate::SetAssocCache`].
+///
+/// Policies are stateful per (set, way). `now` is a monotonically increasing
+/// access index supplied by the caller (the simulator's trace position),
+/// which orders LRU/FIFO decisions and anchors the Belady oracle.
+///
+/// Implementations for all policies the paper studies are provided; build
+/// them through [`PolicyKind`] for runtime-configurable experiments.
+pub trait ReplacementPolicy<K>: fmt::Debug {
+    /// Records an access that hit at (`set`, `way`).
+    fn on_hit(&mut self, set: usize, way: usize, key: &K, now: u64);
+
+    /// Records a fill of a new entry at (`set`, `way`).
+    fn on_fill(&mut self, set: usize, way: usize, key: &K, now: u64);
+
+    /// Chooses the victim way in `set` when all ways are occupied.
+    ///
+    /// `occupants[way]` holds the key currently cached in each way; every
+    /// slot is `Some` when this is called.
+    fn victim(&mut self, set: usize, occupants: &[Option<K>], now: u64) -> usize;
+
+    /// Records the invalidation of (`set`, `way`).
+    fn on_invalidate(&mut self, set: usize, way: usize);
+}
+
+/// Enumerates the available replacement policies for configuration sweeps
+/// (Fig 11b compares LRU, LFU, and the oracle on the Base design).
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_cache::{CacheGeometry, PolicyKind};
+///
+/// let policy = PolicyKind::Lfu.build::<u64>(CacheGeometry::new(64, 8));
+/// assert!(format!("{policy:?}").contains("Lfu"));
+/// ```
+#[derive(Debug, Clone)]
+pub enum PolicyKind {
+    /// Least-recently-used.
+    Lru,
+    /// Least-frequently-used, 4-bit counters with row-wide halving (§V-C).
+    Lfu,
+    /// First-in first-out.
+    Fifo,
+    /// Uniform-random victim, seeded for reproducibility.
+    Random {
+        /// RNG seed; the same seed reproduces the same eviction sequence.
+        seed: u64,
+    },
+    /// Belady's optimal policy, fed by a pre-computed future-access oracle.
+    ///
+    /// Keys absent from the oracle (never reused) are preferred victims.
+    Oracle(
+        /// Shared future-access index built from the full trace.
+        Rc<FutureOracleErased>,
+    ),
+}
+
+impl PolicyKind {
+    /// Builds a boxed policy instance sized for `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `PolicyKind::Oracle` is built for a key type other than the
+    /// one its oracle was erased from.
+    pub fn build<K: OracleKey>(&self, geometry: CacheGeometry) -> Box<dyn ReplacementPolicy<K>> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(geometry)),
+            PolicyKind::Lfu => Box::new(Lfu::new(geometry)),
+            PolicyKind::Fifo => Box::new(Fifo::new(geometry)),
+            PolicyKind::Random { seed } => Box::new(RandomEvict::new(*seed)),
+            PolicyKind::Oracle(oracle) => Box::new(Belady::new(Rc::clone(oracle))),
+        }
+    }
+
+    /// Short name used in experiment output ("LRU", "LFU", "FIFO", "RAND",
+    /// "oracle").
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Lfu => "LFU",
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Random { .. } => "RAND",
+            PolicyKind::Oracle(_) => "oracle",
+        }
+    }
+}
+
+/// A type-erased [`FutureOracle`] over `u64`-encoded keys.
+///
+/// Cache keys in this workspace are small ID/address tuples; to share one
+/// oracle across differently-typed caches each key type encodes itself to a
+/// `u64` via [`OracleKey::oracle_code`].
+pub type FutureOracleErased = FutureOracle<u64>;
+
+/// Keys usable with the Belady oracle: they must encode losslessly to `u64`.
+///
+/// The encoding must be injective over the keys appearing in one trace —
+/// two distinct keys with equal codes would confuse the oracle.
+pub trait OracleKey: Eq + Hash + Clone {
+    /// Returns the `u64` code identifying this key in the oracle's sequence.
+    fn oracle_code(&self) -> u64;
+}
+
+impl OracleKey for u64 {
+    fn oracle_code(&self) -> u64 {
+        *self
+    }
+}
+
+/// Least-recently-used replacement.
+#[derive(Debug)]
+pub struct Lru {
+    last_use: Vec<Vec<u64>>,
+}
+
+impl Lru {
+    /// Creates an LRU policy sized for `geometry`.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Lru {
+            last_use: vec![vec![0; geometry.ways()]; geometry.sets()],
+        }
+    }
+}
+
+impl<K> ReplacementPolicy<K> for Lru {
+    fn on_hit(&mut self, set: usize, way: usize, _key: &K, now: u64) {
+        self.last_use[set][way] = now + 1;
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _key: &K, now: u64) {
+        self.last_use[set][way] = now + 1;
+    }
+
+    fn victim(&mut self, set: usize, _occupants: &[Option<K>], _now: u64) -> usize {
+        let row = &self.last_use[set];
+        (0..row.len()).min_by_key(|&w| row[w]).unwrap_or(0)
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.last_use[set][way] = 0;
+    }
+}
+
+/// Least-frequently-used replacement with 4-bit saturating counters.
+///
+/// Mirrors the paper's scheme: each entry has a 4-bit access counter; when
+/// any counter in a row saturates, every counter in that row is halved
+/// (§V-C, after RRIP-style counter ageing). Ties are broken by way index so
+/// the policy is deterministic.
+#[derive(Debug)]
+pub struct Lfu {
+    counters: Vec<Vec<u8>>,
+}
+
+/// Saturation point of the paper's 4-bit LFU counters.
+const LFU_MAX: u8 = 15;
+
+impl Lfu {
+    /// Creates an LFU policy sized for `geometry`.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Lfu {
+            counters: vec![vec![0; geometry.ways()]; geometry.sets()],
+        }
+    }
+
+    fn bump(&mut self, set: usize, way: usize) {
+        let row = &mut self.counters[set];
+        if row[way] == LFU_MAX {
+            for c in row.iter_mut() {
+                *c /= 2;
+            }
+        }
+        row[way] += 1;
+    }
+
+    #[cfg(test)]
+    fn counter(&self, set: usize, way: usize) -> u8 {
+        self.counters[set][way]
+    }
+}
+
+impl<K> ReplacementPolicy<K> for Lfu {
+    fn on_hit(&mut self, set: usize, way: usize, _key: &K, _now: u64) {
+        self.bump(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _key: &K, _now: u64) {
+        self.counters[set][way] = 0;
+        self.bump(set, way);
+    }
+
+    fn victim(&mut self, set: usize, _occupants: &[Option<K>], _now: u64) -> usize {
+        let row = &self.counters[set];
+        (0..row.len()).min_by_key(|&w| row[w]).unwrap_or(0)
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.counters[set][way] = 0;
+    }
+}
+
+/// First-in first-out replacement (victim = oldest fill).
+#[derive(Debug)]
+pub struct Fifo {
+    filled_at: Vec<Vec<u64>>,
+}
+
+impl Fifo {
+    /// Creates a FIFO policy sized for `geometry`.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Fifo {
+            filled_at: vec![vec![0; geometry.ways()]; geometry.sets()],
+        }
+    }
+}
+
+impl<K> ReplacementPolicy<K> for Fifo {
+    fn on_hit(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
+
+    fn on_fill(&mut self, set: usize, way: usize, _key: &K, now: u64) {
+        self.filled_at[set][way] = now + 1;
+    }
+
+    fn victim(&mut self, set: usize, _occupants: &[Option<K>], _now: u64) -> usize {
+        let row = &self.filled_at[set];
+        (0..row.len()).min_by_key(|&w| row[w]).unwrap_or(0)
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.filled_at[set][way] = 0;
+    }
+}
+
+/// Uniform-random victim selection with a seeded RNG (deterministic runs).
+pub struct RandomEvict {
+    rng: StdRng,
+}
+
+impl RandomEvict {
+    /// Creates a random policy with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomEvict {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl fmt::Debug for RandomEvict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RandomEvict").finish_non_exhaustive()
+    }
+}
+
+impl<K> ReplacementPolicy<K> for RandomEvict {
+    fn on_hit(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
+
+    fn on_fill(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
+
+    fn victim(&mut self, _set: usize, occupants: &[Option<K>], _now: u64) -> usize {
+        self.rng.gen_range(0..occupants.len())
+    }
+
+    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+}
+
+/// Belady's optimal replacement, driven by a [`FutureOracle`].
+///
+/// Evicts the occupant whose next use lies farthest in the future; occupants
+/// never used again are evicted first. This requires the caller to pass the
+/// trace position as `now` on every cache access.
+#[derive(Debug)]
+pub struct Belady {
+    oracle: Rc<FutureOracleErased>,
+}
+
+impl Belady {
+    /// Creates a Belady policy over a shared future-access oracle.
+    pub fn new(oracle: Rc<FutureOracleErased>) -> Self {
+        Belady { oracle }
+    }
+}
+
+impl<K: OracleKey> ReplacementPolicy<K> for Belady {
+    fn on_hit(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
+
+    fn on_fill(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
+
+    fn victim(&mut self, _set: usize, occupants: &[Option<K>], now: u64) -> usize {
+        let mut best_way = 0;
+        let mut best_next = 0u64; // farthest next use seen so far
+        for (way, occ) in occupants.iter().enumerate() {
+            let key = occ
+                .as_ref()
+                .expect("victim called with a vacant way; fill should use the vacancy");
+            match self.oracle.next_use(&key.oracle_code(), now) {
+                None => return way, // never used again: perfect victim
+                Some(next) => {
+                    if next > best_next {
+                        best_next = next;
+                        best_way = way;
+                    }
+                }
+            }
+        }
+        best_way
+    }
+
+    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(8, 4)
+    }
+
+    #[test]
+    fn lru_victim_is_least_recent() {
+        let mut lru = Lru::new(geom());
+        for way in 0..4 {
+            ReplacementPolicy::<u64>::on_fill(&mut lru, 0, way, &0, way as u64);
+        }
+        ReplacementPolicy::<u64>::on_hit(&mut lru, 0, 0, &0, 10);
+        let occ = vec![Some(0u64); 4];
+        assert_eq!(lru.victim(0, &occ, 11), 1);
+    }
+
+    #[test]
+    fn lru_sets_are_independent() {
+        let mut lru = Lru::new(geom());
+        ReplacementPolicy::<u64>::on_fill(&mut lru, 0, 3, &0, 100);
+        let occ = vec![Some(0u64); 4];
+        // Set 1 untouched: victim is way 0.
+        assert_eq!(lru.victim(1, &occ, 101), 0);
+    }
+
+    #[test]
+    fn lfu_victim_is_least_frequent() {
+        let mut lfu = Lfu::new(geom());
+        for way in 0..4 {
+            ReplacementPolicy::<u64>::on_fill(&mut lfu, 0, way, &0, 0);
+        }
+        for _ in 0..5 {
+            ReplacementPolicy::<u64>::on_hit(&mut lfu, 0, 2, &0, 0);
+        }
+        ReplacementPolicy::<u64>::on_hit(&mut lfu, 0, 1, &0, 0);
+        let occ = vec![Some(0u64); 4];
+        let v = lfu.victim(0, &occ, 0);
+        assert!(v == 0 || v == 3, "ways 0 and 3 have count 1, got {v}");
+        assert_eq!(v, 0, "tie broken by lowest way index");
+    }
+
+    #[test]
+    fn lfu_halves_row_on_saturation() {
+        let mut lfu = Lfu::new(geom());
+        ReplacementPolicy::<u64>::on_fill(&mut lfu, 0, 0, &0, 0);
+        ReplacementPolicy::<u64>::on_fill(&mut lfu, 0, 1, &0, 0);
+        for _ in 0..14 {
+            ReplacementPolicy::<u64>::on_hit(&mut lfu, 0, 0, &0, 0);
+        }
+        assert_eq!(lfu.counter(0, 0), 15);
+        assert_eq!(lfu.counter(0, 1), 1);
+        // Next hit saturates way 0: the whole row is halved first.
+        ReplacementPolicy::<u64>::on_hit(&mut lfu, 0, 0, &0, 0);
+        assert_eq!(lfu.counter(0, 0), 8);
+        assert_eq!(lfu.counter(0, 1), 0);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut fifo = Fifo::new(geom());
+        for way in 0..4 {
+            ReplacementPolicy::<u64>::on_fill(&mut fifo, 0, way, &0, way as u64);
+        }
+        // Hitting way 0 repeatedly must not save it.
+        for now in 10..20 {
+            ReplacementPolicy::<u64>::on_hit(&mut fifo, 0, 0, &0, now);
+        }
+        let occ = vec![Some(0u64); 4];
+        assert_eq!(fifo.victim(0, &occ, 20), 0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let occ = vec![Some(0u64); 4];
+        let picks = |seed| {
+            let mut r = RandomEvict::new(seed);
+            (0..16)
+                .map(|_| ReplacementPolicy::<u64>::victim(&mut r, 0, &occ, 0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert!(picks(7).iter().all(|&w| w < 4));
+    }
+
+    #[test]
+    fn belady_prefers_never_reused() {
+        // Sequence: keys 1,2,3,4 then 1,2,3 again (key 4 never reused).
+        let oracle = Rc::new(FutureOracle::from_sequence(vec![1u64, 2, 3, 4, 1, 2, 3]));
+        let mut belady = Belady::new(oracle);
+        let occ = vec![Some(1u64), Some(2), Some(3), Some(4)];
+        assert_eq!(belady.victim(0, &occ, 3), 3);
+    }
+
+    #[test]
+    fn belady_evicts_farthest_next_use() {
+        // After position 0: 1 used at 4, 2 at 5, 3 at 6 -> evict 3.
+        let oracle = Rc::new(FutureOracle::from_sequence(vec![9u64, 8, 7, 6, 1, 2, 3]));
+        let mut belady = Belady::new(oracle);
+        let occ = vec![Some(1u64), Some(2), Some(3)];
+        assert_eq!(belady.victim(0, &occ, 0), 2);
+    }
+
+    #[test]
+    fn policy_kind_builds_and_names() {
+        let g = geom();
+        for (kind, name) in [
+            (PolicyKind::Lru, "LRU"),
+            (PolicyKind::Lfu, "LFU"),
+            (PolicyKind::Fifo, "FIFO"),
+            (PolicyKind::Random { seed: 1 }, "RAND"),
+            (
+                PolicyKind::Oracle(Rc::new(FutureOracle::from_sequence(Vec::new()))),
+                "oracle",
+            ),
+        ] {
+            assert_eq!(kind.name(), name);
+            let _policy = kind.build::<u64>(g);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Generic set-associative cache.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::geometry::CacheGeometry;
+use crate::policy::ReplacementPolicy;
+use crate::stats::CacheStats;
+
+/// Keys insertable into the caches of this crate.
+///
+/// [`CacheKey::set_selector`] supplies the bits used to pick the set (row);
+/// for TLB-like structures this is normally the virtual page number, so
+/// adjacent pages map to adjacent sets — the behaviour that makes identical
+/// gIOVA layouts across tenants collide in the same rows (§IV-D).
+pub trait CacheKey: Eq + Hash + Clone {
+    /// Returns the value whose low bits select the cache set.
+    fn set_selector(&self) -> u64;
+}
+
+#[derive(Debug, Clone)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+}
+
+/// A sets × ways associative cache with a pluggable replacement policy.
+///
+/// All lookups and insertions take `now`, a monotonically increasing access
+/// index (the simulator's trace position) that orders LRU/FIFO decisions and
+/// anchors the Belady oracle.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_cache::{CacheGeometry, CacheKey, OracleKey, PolicyKind, SetAssocCache};
+///
+/// #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// struct Vpn(u64);
+/// impl CacheKey for Vpn {
+///     fn set_selector(&self) -> u64 {
+///         self.0
+///     }
+/// }
+/// impl OracleKey for Vpn {
+///     fn oracle_code(&self) -> u64 {
+///         self.0
+///     }
+/// }
+///
+/// let g = CacheGeometry::new(4, 2);
+/// let mut cache: SetAssocCache<Vpn, &str> = SetAssocCache::new(g, PolicyKind::Lru.build(g));
+/// cache.insert(Vpn(0), "a", 0);
+/// cache.insert(Vpn(2), "b", 1); // same set (2 sets), second way
+/// let evicted = cache.insert(Vpn(4), "c", 2); // set full: LRU evicts Vpn(0)
+/// assert_eq!(evicted, Some((Vpn(0), "a")));
+/// ```
+pub struct SetAssocCache<K, V> {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Option<Entry<K, V>>>>,
+    policy: Box<dyn ReplacementPolicy<K>>,
+    stats: CacheStats,
+}
+
+impl<K: CacheKey, V> SetAssocCache<K, V> {
+    /// Creates an empty cache with the given geometry and policy.
+    pub fn new(geometry: CacheGeometry, policy: Box<dyn ReplacementPolicy<K>>) -> Self {
+        let sets = (0..geometry.sets())
+            .map(|_| (0..geometry.ways()).map(|_| None).collect())
+            .collect();
+        SetAssocCache {
+            geometry,
+            sets,
+            policy,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Returns the cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Returns accumulated access statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn set_index(&self, key: &K) -> usize {
+        (key.set_selector() % self.geometry.sets() as u64) as usize
+    }
+
+    /// Looks up `key`, recording a hit or miss and updating policy state.
+    ///
+    /// Returns the cached value on a hit.
+    pub fn lookup(&mut self, key: &K, now: u64) -> Option<&V> {
+        let set = self.set_index(key);
+        let way = self.sets[set]
+            .iter()
+            .position(|slot| slot.as_ref().is_some_and(|e| &e.key == key));
+        match way {
+            Some(way) => {
+                self.stats.record_hit();
+                self.policy.on_hit(set, way, key, now);
+                self.sets[set][way].as_ref().map(|e| &e.value)
+            }
+            None => {
+                self.stats.record_miss();
+                None
+            }
+        }
+    }
+
+    /// Returns the cached value without touching statistics or policy state.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let set = self.set_index(key);
+        self.sets[set]
+            .iter()
+            .find_map(|slot| slot.as_ref().filter(|e| &e.key == key).map(|e| &e.value))
+    }
+
+    /// Returns true if `key` is cached, without recording an access.
+    pub fn contains(&self, key: &K) -> bool {
+        self.peek(key).is_some()
+    }
+
+    /// Inserts `key → value`, evicting per policy if the set is full.
+    ///
+    /// Returns the evicted entry, if any. Re-inserting a present key updates
+    /// its value in place (no eviction, counted as a fill).
+    pub fn insert(&mut self, key: K, value: V, now: u64) -> Option<(K, V)> {
+        let set = self.set_index(&key);
+        self.stats.record_fill();
+
+        // Update in place if present.
+        if let Some(way) = self.sets[set]
+            .iter()
+            .position(|slot| slot.as_ref().is_some_and(|e| e.key == key))
+        {
+            self.policy.on_fill(set, way, &key, now);
+            let old = self.sets[set][way].replace(Entry { key, value });
+            debug_assert!(old.is_some());
+            return None;
+        }
+
+        // Use a vacant way if there is one.
+        if let Some(way) = self.sets[set].iter().position(Option::is_none) {
+            self.policy.on_fill(set, way, &key, now);
+            self.sets[set][way] = Some(Entry { key, value });
+            return None;
+        }
+
+        // Set is full: ask the policy for a victim.
+        let occupants: Vec<Option<K>> = self.sets[set]
+            .iter()
+            .map(|slot| slot.as_ref().map(|e| e.key.clone()))
+            .collect();
+        let way = self.policy.victim(set, &occupants, now);
+        assert!(
+            way < self.geometry.ways(),
+            "policy returned out-of-range victim way {way}"
+        );
+        self.stats.record_eviction();
+        self.policy.on_fill(set, way, &key, now);
+        let evicted = self.sets[set][way].replace(Entry { key, value });
+        evicted.map(|e| (e.key, e.value))
+    }
+
+    /// Removes `key` if present, returning its value.
+    pub fn invalidate(&mut self, key: &K) -> Option<V> {
+        let set = self.set_index(key);
+        let way = self.sets[set]
+            .iter()
+            .position(|slot| slot.as_ref().is_some_and(|e| &e.key == key))?;
+        self.stats.record_invalidation();
+        self.policy.on_invalidate(set, way);
+        self.sets[set][way].take().map(|e| e.value)
+    }
+
+    /// Removes every entry (statistics are kept).
+    pub fn clear(&mut self) {
+        for (set, row) in self.sets.iter_mut().enumerate() {
+            for (way, slot) in row.iter_mut().enumerate() {
+                if slot.take().is_some() {
+                    self.policy.on_invalidate(set, way);
+                }
+            }
+        }
+    }
+
+    /// Returns the number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|row| row.iter().filter(|s| s.is_some()).count())
+            .sum()
+    }
+
+    /// Returns true if no entries are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over all occupied `(key, value)` pairs in set/way order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.sets
+            .iter()
+            .flat_map(|row| row.iter())
+            .filter_map(|slot| slot.as_ref().map(|e| (&e.key, &e.value)))
+    }
+}
+
+impl<K: CacheKey, V> fmt::Debug for SetAssocCache<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SetAssocCache")
+            .field("geometry", &self.geometry)
+            .field("occupied", &self.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl CacheKey for u64 {
+    fn set_selector(&self) -> u64 {
+        *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    fn lru_cache(entries: usize, ways: usize) -> SetAssocCache<u64, u64> {
+        let g = CacheGeometry::new(entries, ways);
+        SetAssocCache::new(g, PolicyKind::Lru.build(g))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = lru_cache(8, 2);
+        assert_eq!(c.lookup(&5, 0), None);
+        c.insert(5, 50, 1);
+        assert_eq!(c.lookup(&5, 2), Some(&50));
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn keys_map_to_sets_by_selector_mod_sets() {
+        let mut c = lru_cache(8, 2); // 4 sets
+        c.insert(1, 1, 0);
+        c.insert(5, 5, 1); // same set as 1
+        c.insert(9, 9, 2); // evicts 1 (LRU)
+        assert!(!c.contains(&1));
+        assert!(c.contains(&5));
+        assert!(c.contains(&9));
+        assert_eq!(c.stats().evictions(), 1);
+    }
+
+    #[test]
+    fn insert_existing_key_updates_in_place() {
+        let mut c = lru_cache(4, 2);
+        c.insert(1, 10, 0);
+        let evicted = c.insert(1, 20, 1);
+        assert_eq!(evicted, None);
+        assert_eq!(c.peek(&1), Some(&20));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions(), 0);
+    }
+
+    #[test]
+    fn eviction_returns_victim_pair() {
+        let mut c = lru_cache(2, 2); // one set, two ways
+        c.insert(1, 10, 0);
+        c.insert(2, 20, 1);
+        let evicted = c.insert(3, 30, 2);
+        assert_eq!(evicted, Some((1, 10)));
+    }
+
+    #[test]
+    fn lru_respects_hit_recency() {
+        let mut c = lru_cache(2, 2);
+        c.insert(1, 10, 0);
+        c.insert(2, 20, 1);
+        c.lookup(&1, 2); // 1 now most recent
+        let evicted = c.insert(3, 30, 3);
+        assert_eq!(evicted, Some((2, 20)));
+    }
+
+    #[test]
+    fn invalidate_removes_and_counts() {
+        let mut c = lru_cache(4, 2);
+        c.insert(1, 10, 0);
+        assert_eq!(c.invalidate(&1), Some(10));
+        assert_eq!(c.invalidate(&1), None);
+        assert_eq!(c.stats().invalidations(), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn vacancy_reused_after_invalidate() {
+        let mut c = lru_cache(2, 2);
+        c.insert(1, 10, 0);
+        c.insert(2, 20, 1);
+        c.invalidate(&1);
+        // Fill goes into the vacancy; nothing evicted.
+        assert_eq!(c.insert(3, 30, 2), None);
+        assert_eq!(c.stats().evictions(), 0);
+    }
+
+    #[test]
+    fn peek_and_contains_do_not_count() {
+        let mut c = lru_cache(4, 2);
+        c.insert(1, 10, 0);
+        let _ = c.peek(&1);
+        let _ = c.contains(&2);
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let mut c = lru_cache(4, 2);
+        c.insert(1, 10, 0);
+        c.lookup(&1, 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits(), 1);
+    }
+
+    #[test]
+    fn iter_yields_occupied_entries() {
+        let mut c = lru_cache(8, 2);
+        c.insert(1, 10, 0);
+        c.insert(2, 20, 1);
+        let mut pairs: Vec<(u64, u64)> = c.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn full_cache_capacity_is_respected() {
+        let mut c = lru_cache(8, 4);
+        for k in 0..100u64 {
+            c.insert(k, k, k);
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn debug_shows_occupancy() {
+        let mut c = lru_cache(4, 2);
+        c.insert(1, 1, 0);
+        assert!(format!("{c:?}").contains("occupied: 1"));
+    }
+}

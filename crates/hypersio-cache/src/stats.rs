@@ -1,0 +1,194 @@
+//! Hit/miss accounting shared by all cache structures.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Access counters for one cache structure.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_cache::CacheStats;
+///
+/// let mut stats = CacheStats::default();
+/// stats.record_hit();
+/// stats.record_miss();
+/// assert_eq!(stats.accesses(), 2);
+/// assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    hits: u64,
+    misses: u64,
+    fills: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Records a lookup that found its key.
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a lookup that missed.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records an insertion of a new entry.
+    pub fn record_fill(&mut self) {
+        self.fills += 1;
+    }
+
+    /// Records an eviction forced by a fill into a full set.
+    pub fn record_eviction(&mut self) {
+        self.evictions += 1;
+    }
+
+    /// Records an explicit invalidation.
+    pub fn record_invalidation(&mut self) {
+        self.invalidations += 1;
+    }
+
+    /// Returns the number of hits.
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Returns the number of misses.
+    pub const fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Returns the number of fills.
+    pub const fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Returns the number of evictions.
+    pub const fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Returns the number of invalidations.
+    pub const fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Returns total lookups (hits + misses).
+    pub const fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Returns the hit fraction, or 0.0 if there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Returns the miss fraction, or 0.0 if there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.fills += rhs.fills;
+        self.evictions += rhs.evictions;
+        self.invalidations += rhs.invalidations;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} ({:.2}% hit) fills={} evictions={} invalidations={}",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.fills,
+            self.evictions,
+            self.invalidations,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_with_no_accesses_are_zero() {
+        let stats = CacheStats::new();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let mut stats = CacheStats::new();
+        for _ in 0..3 {
+            stats.record_hit();
+        }
+        stats.record_miss();
+        assert!((stats.hit_rate() + stats.miss_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.accesses(), 4);
+    }
+
+    #[test]
+    fn add_assign_merges_counters() {
+        let mut a = CacheStats::new();
+        a.record_hit();
+        a.record_fill();
+        let mut b = CacheStats::new();
+        b.record_miss();
+        b.record_eviction();
+        b.record_invalidation();
+        a += b;
+        assert_eq!(a.hits(), 1);
+        assert_eq!(a.misses(), 1);
+        assert_eq!(a.fills(), 1);
+        assert_eq!(a.evictions(), 1);
+        assert_eq!(a.invalidations(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut stats = CacheStats::new();
+        stats.record_hit();
+        stats.record_eviction();
+        stats.reset();
+        assert_eq!(stats, CacheStats::default());
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let mut stats = CacheStats::new();
+        stats.record_hit();
+        let s = format!("{stats}");
+        assert!(s.contains("hits=1"));
+        assert!(s.contains("misses=0"));
+    }
+}

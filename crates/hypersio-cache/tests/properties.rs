@@ -1,0 +1,187 @@
+//! Property-based tests for the cache substrate.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use hypersio_cache::{
+    CacheGeometry, FullyAssocCache, FutureOracle, PartitionSpec, PartitionedCache, PolicyKind,
+    SetAssocCache,
+};
+use hypersio_types::Sid;
+use proptest::prelude::*;
+
+/// Reference fully-associative LRU over small u64 keys.
+struct RefLru {
+    capacity: usize,
+    order: VecDeque<u64>, // most recent at back
+}
+
+impl RefLru {
+    fn new(capacity: usize) -> Self {
+        RefLru {
+            capacity,
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Returns true on hit.
+    fn access(&mut self, key: u64) -> bool {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key);
+            true
+        } else {
+            if self.order.len() == self.capacity {
+                self.order.pop_front();
+            }
+            self.order.push_back(key);
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        keys in prop::collection::vec(0u64..64, 1..400),
+        ways in 1usize..8,
+    ) {
+        let entries = ways * 4;
+        let g = CacheGeometry::new(entries, ways);
+        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Lru.build(g));
+        for (i, &k) in keys.iter().enumerate() {
+            if cache.lookup(&k, i as u64).is_none() {
+                cache.insert(k, k, i as u64);
+            }
+            prop_assert!(cache.len() <= entries);
+        }
+    }
+
+    #[test]
+    fn lookup_hits_iff_present(
+        ops in prop::collection::vec((0u64..32, prop::bool::ANY), 1..300),
+    ) {
+        let g = CacheGeometry::new(16, 4);
+        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Lfu.build(g));
+        for (i, &(k, is_insert)) in ops.iter().enumerate() {
+            let present_before = cache.contains(&k);
+            if is_insert {
+                cache.insert(k, k * 10, i as u64);
+                prop_assert_eq!(cache.peek(&k), Some(&(k * 10)));
+            } else {
+                let hit = cache.lookup(&k, i as u64).is_some();
+                prop_assert_eq!(hit, present_before);
+            }
+        }
+    }
+
+    #[test]
+    fn fa_lru_matches_reference_model(
+        keys in prop::collection::vec(0u64..24, 1..500),
+        capacity in 1usize..12,
+    ) {
+        let mut cache: FullyAssocCache<u64, u64> =
+            FullyAssocCache::new(capacity, PolicyKind::Lru);
+        let mut reference = RefLru::new(capacity);
+        for (i, &k) in keys.iter().enumerate() {
+            let hit = cache.lookup(&k, i as u64).is_some();
+            if !hit {
+                cache.insert(k, k, i as u64);
+            }
+            let ref_hit = reference.access(k);
+            prop_assert_eq!(hit, ref_hit, "diverged at access {} key {}", i, k);
+        }
+    }
+
+    #[test]
+    fn belady_is_at_least_as_good_as_lru(
+        keys in prop::collection::vec(0u64..16, 20..400),
+        capacity in 2usize..8,
+    ) {
+        // Classic result: Belady's policy is optimal for fully-associative
+        // caches, so it can never hit less often than LRU on any sequence.
+        let oracle = Rc::new(FutureOracle::from_sequence(keys.clone()));
+        let mut belady: FullyAssocCache<u64, u64> =
+            FullyAssocCache::new(capacity, PolicyKind::Oracle(oracle));
+        let mut lru: FullyAssocCache<u64, u64> = FullyAssocCache::new(capacity, PolicyKind::Lru);
+        for (i, &k) in keys.iter().enumerate() {
+            if belady.lookup(&k, i as u64).is_none() {
+                belady.insert(k, k, i as u64);
+            }
+            if lru.lookup(&k, i as u64).is_none() {
+                lru.insert(k, k, i as u64);
+            }
+        }
+        prop_assert!(
+            belady.stats().hits() >= lru.stats().hits(),
+            "Belady {} < LRU {}",
+            belady.stats().hits(),
+            lru.stats().hits()
+        );
+    }
+
+    #[test]
+    fn future_oracle_matches_naive_scan(
+        keys in prop::collection::vec(0u64..8, 1..120),
+        probe in 0u64..8,
+        now in 0u64..130,
+    ) {
+        let oracle = FutureOracle::from_sequence(keys.clone());
+        let naive = keys
+            .iter()
+            .enumerate()
+            .find(|&(i, &k)| (i as u64) > now && k == probe)
+            .map(|(i, _)| i as u64);
+        prop_assert_eq!(oracle.next_use(&probe, now), naive);
+    }
+
+    #[test]
+    fn partitions_isolate_flooding(
+        flood in prop::collection::vec(0u64..4096, 1..300),
+    ) {
+        // Tenant 0 caches one entry; tenant 1 floods with arbitrary keys.
+        // With per-tenant partitions the victim entry must survive.
+        let mut cache: PartitionedCache<u64, u64> = PartitionedCache::new(
+            CacheGeometry::new(64, 8),
+            PartitionSpec::new(8),
+            PolicyKind::Lru,
+        );
+        cache.insert(Sid::new(0), 0xdead, 1, 0);
+        for (i, &k) in flood.iter().enumerate() {
+            cache.insert(Sid::new(1), k, k, 1 + i as u64);
+        }
+        prop_assert_eq!(cache.peek(Sid::new(0), &0xdead), Some(&1));
+    }
+
+    #[test]
+    fn invalidate_then_miss(
+        keys in prop::collection::vec(0u64..32, 1..100),
+    ) {
+        let g = CacheGeometry::new(32, 4);
+        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Fifo.build(g));
+        for (i, &k) in keys.iter().enumerate() {
+            cache.insert(k, k, i as u64);
+            cache.invalidate(&k);
+            prop_assert!(!cache.contains(&k));
+        }
+        prop_assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stats_accesses_equals_hits_plus_misses(
+        keys in prop::collection::vec(0u64..64, 1..300),
+    ) {
+        let g = CacheGeometry::new(16, 2);
+        let mut cache: SetAssocCache<u64, u64> =
+            SetAssocCache::new(g, PolicyKind::Random { seed: 3 }.build(g));
+        for (i, &k) in keys.iter().enumerate() {
+            if cache.lookup(&k, i as u64).is_none() {
+                cache.insert(k, k, i as u64);
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses(), keys.len() as u64);
+        prop_assert_eq!(stats.hits() + stats.misses(), stats.accesses());
+        prop_assert!(stats.evictions() <= stats.fills());
+    }
+}

@@ -1,0 +1,121 @@
+//! Saturated-link arrival model.
+
+use std::fmt;
+
+use hypersio_types::{Bandwidth, Bytes, SimDuration, SimTime};
+
+use crate::packet::PacketSpec;
+
+/// A fully-utilised I/O link delivering fixed-size packets back-to-back.
+///
+/// HyperSIO "calculates the next packet arrival time based on provided I/O
+/// link bandwidth and packet size, therefore modeling a fully utilized
+/// link" (§IV-C). The link is therefore just an arrival clock; achieved
+/// bandwidth is whatever fraction of these arrivals the translation
+/// subsystem manages to process.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_device::{Link, PacketSpec};
+/// use hypersio_types::{Bandwidth, SimTime};
+///
+/// let link = Link::new(Bandwidth::from_gbps(200), PacketSpec::ethernet());
+/// let t1 = link.arrival(1);
+/// let t2 = link.arrival(2);
+/// assert_eq!((t2 - t1).as_ps(), link.inter_arrival().as_ps());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    bandwidth: Bandwidth,
+    packet: PacketSpec,
+    gap: SimDuration,
+}
+
+impl Link {
+    /// Creates a link with the given nominal bandwidth and packet sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero.
+    pub fn new(bandwidth: Bandwidth, packet: PacketSpec) -> Self {
+        let gap = bandwidth.transfer_time(packet.wire_bytes());
+        Link {
+            bandwidth,
+            packet,
+            gap,
+        }
+    }
+
+    /// The paper's evaluation link: 200 Gb/s, Ethernet frames.
+    pub fn paper() -> Self {
+        Link::new(Bandwidth::from_gbps(200), PacketSpec::ethernet())
+    }
+
+    /// Returns the nominal bandwidth.
+    pub const fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Returns the packet sizing.
+    pub const fn packet(&self) -> PacketSpec {
+        self.packet
+    }
+
+    /// Returns the time between consecutive packet arrivals.
+    pub const fn inter_arrival(&self) -> SimDuration {
+        self.gap
+    }
+
+    /// Returns the arrival time of packet number `n` (0 arrives at t=0).
+    pub fn arrival(&self, n: u64) -> SimTime {
+        SimTime::ZERO + self.gap * n
+    }
+
+    /// Returns the wire bytes delivered by `packets` packets.
+    pub fn bytes_delivered(&self, packets: u64) -> Bytes {
+        Bytes::new(self.packet.wire_bytes().raw() * packets)
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} link, {}", self.bandwidth, self.packet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_link_inter_arrival() {
+        // 1542 B at 200 Gb/s: 61.68 ns.
+        assert_eq!(Link::paper().inter_arrival().as_ps(), 61_680);
+    }
+
+    #[test]
+    fn ten_gig_link_is_20x_slower() {
+        let link = Link::new(Bandwidth::from_gbps(10), PacketSpec::ethernet());
+        assert_eq!(link.inter_arrival().as_ps(), 61_680 * 20);
+    }
+
+    #[test]
+    fn arrivals_are_evenly_spaced_from_zero() {
+        let link = Link::paper();
+        assert_eq!(link.arrival(0), SimTime::ZERO);
+        assert_eq!(link.arrival(10).as_ps(), 10 * 61_680);
+    }
+
+    #[test]
+    fn bytes_delivered_scales() {
+        let link = Link::paper();
+        assert_eq!(link.bytes_delivered(1000).raw(), 1_542_000);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Link::paper().to_string();
+        assert!(s.contains("200.00Gb/s"));
+    }
+}

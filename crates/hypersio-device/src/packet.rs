@@ -1,0 +1,118 @@
+//! Wire sizing of the simulated packets.
+
+use std::fmt;
+
+use hypersio_types::Bytes;
+
+/// A fixed packet size on the wire.
+///
+/// HyperSIO models full-size Ethernet frames: 1542 bytes on the wire per
+/// packet ("Eth Pkt + IPG", Table II), of which 1500 bytes are payload.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_device::PacketSpec;
+///
+/// let pkt = PacketSpec::ethernet();
+/// assert_eq!(pkt.wire_bytes().raw(), 1542);
+/// assert_eq!(pkt.payload_bytes().raw(), 1500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketSpec {
+    wire: Bytes,
+    payload: Bytes,
+}
+
+impl PacketSpec {
+    /// Full-size Ethernet frame: 1500 B payload, 1542 B on the wire
+    /// (header + FCS + preamble + inter-packet gap).
+    pub fn ethernet() -> Self {
+        PacketSpec {
+            wire: Bytes::new(1542),
+            payload: Bytes::new(1500),
+        }
+    }
+
+    /// Custom frame sizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload > wire` or `wire` is zero.
+    pub fn new(wire: Bytes, payload: Bytes) -> Self {
+        assert!(wire.raw() > 0, "wire size must be positive");
+        assert!(
+            payload.raw() <= wire.raw(),
+            "payload cannot exceed wire size"
+        );
+        PacketSpec {
+            wire,
+            payload,
+        }
+    }
+
+    /// Bytes occupied on the wire (determines arrival spacing).
+    pub const fn wire_bytes(self) -> Bytes {
+        self.wire
+    }
+
+    /// Payload bytes (determines useful bandwidth).
+    pub const fn payload_bytes(self) -> Bytes {
+        self.payload
+    }
+
+    /// Number of gIOVA translations each packet triggers: ring-buffer
+    /// pointer, data buffer, interrupt mailbox (§IV-C).
+    pub const fn translations_per_packet(self) -> u32 {
+        3
+    }
+}
+
+impl Default for PacketSpec {
+    fn default() -> Self {
+        PacketSpec::ethernet()
+    }
+}
+
+impl fmt::Display for PacketSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B wire/{}B payload", self.wire.raw(), self.payload.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_sizes() {
+        let pkt = PacketSpec::ethernet();
+        assert_eq!(pkt.wire_bytes().raw(), 1542);
+        assert_eq!(pkt.payload_bytes().raw(), 1500);
+        assert_eq!(pkt.translations_per_packet(), 3);
+        assert_eq!(PacketSpec::default(), pkt);
+    }
+
+    #[test]
+    fn custom_sizes() {
+        let pkt = PacketSpec::new(Bytes::new(100), Bytes::new(60));
+        assert_eq!(pkt.wire_bytes().raw(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload cannot exceed")]
+    fn payload_over_wire_rejected() {
+        let _ = PacketSpec::new(Bytes::new(50), Bytes::new(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_wire_rejected() {
+        let _ = PacketSpec::new(Bytes::new(0), Bytes::new(0));
+    }
+
+    #[test]
+    fn display_mentions_both() {
+        assert_eq!(PacketSpec::ethernet().to_string(), "1542B wire/1500B payload");
+    }
+}

@@ -1,0 +1,83 @@
+//! PCIe traversal latency model.
+
+use std::fmt;
+
+use hypersio_types::SimDuration;
+
+/// The device ↔ chipset PCIe hop.
+///
+/// Table II charges 450 ns for a one-way PCIe traversal (from the
+/// measurements of Neugebauer et al., SIGCOMM 2018, which the paper cites).
+/// Every DevTLB miss pays a round trip: the untranslated request travels to
+/// the IOMMU and the translated address travels back.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_device::Pcie;
+///
+/// let pcie = Pcie::paper();
+/// assert_eq!(pcie.one_way().as_ns(), 450);
+/// assert_eq!(pcie.round_trip().as_ns(), 900);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pcie {
+    one_way: SimDuration,
+}
+
+impl Pcie {
+    /// Creates a PCIe model with the given one-way latency.
+    pub fn new(one_way: SimDuration) -> Self {
+        Pcie { one_way }
+    }
+
+    /// The paper's Table II latency: 450 ns one-way.
+    pub fn paper() -> Self {
+        Pcie::new(SimDuration::from_ns(450))
+    }
+
+    /// Returns the one-way traversal latency.
+    pub const fn one_way(&self) -> SimDuration {
+        self.one_way
+    }
+
+    /// Returns the request + response round-trip latency.
+    pub fn round_trip(&self) -> SimDuration {
+        self.one_way * 2
+    }
+}
+
+impl Default for Pcie {
+    fn default() -> Self {
+        Pcie::paper()
+    }
+}
+
+impl fmt::Display for Pcie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PCIe {} one-way", self.one_way)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latencies() {
+        assert_eq!(Pcie::paper().one_way().as_ns(), 450);
+        assert_eq!(Pcie::paper().round_trip().as_ns(), 900);
+        assert_eq!(Pcie::default(), Pcie::paper());
+    }
+
+    #[test]
+    fn custom_latency() {
+        let fast = Pcie::new(SimDuration::from_ns(100));
+        assert_eq!(fast.round_trip().as_ns(), 200);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Pcie::paper().to_string(), "PCIe 450ns one-way");
+    }
+}

@@ -1,0 +1,176 @@
+//! Descriptor-ring model.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// The ring is full: the descriptor could not be posted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFullError;
+
+impl fmt::Display for RingFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "descriptor ring is full")
+    }
+}
+
+impl Error for RingFullError {}
+
+/// A bounded descriptor ring, as each tenant's driver posts for its VF.
+///
+/// The page holding the ring is the paper's group-1 "hottest" page — its
+/// pointer is translated on every packet (§IV-D). The ring itself is plain
+/// bounded-queue mechanics; it appears in the device model and examples to
+/// exercise the same structure the workloads hammer.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_device::RingBuffer;
+///
+/// let mut ring: RingBuffer<u64> = RingBuffer::new(4);
+/// ring.post(0xbbe0_0000)?;
+/// assert_eq!(ring.consume(), Some(0xbbe0_0000));
+/// assert!(ring.is_empty());
+/// # Ok::<(), hypersio_device::RingFullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    slots: VecDeque<T>,
+    capacity: usize,
+    posted: u64,
+    consumed: u64,
+    rejected: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a ring with `capacity` descriptor slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring must have at least one slot");
+        RingBuffer {
+            slots: VecDeque::with_capacity(capacity),
+            capacity,
+            posted: 0,
+            consumed: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Returns the slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns true if no descriptors are posted.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns true if no further descriptors can be posted.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() == self.capacity
+    }
+
+    /// Posts a descriptor (producer side: the driver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingFullError`] when the ring is full; the descriptor is
+    /// returned to the caller by value semantics of the error path (it is
+    /// simply not enqueued).
+    pub fn post(&mut self, descriptor: T) -> Result<(), RingFullError> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err(RingFullError);
+        }
+        self.slots.push_back(descriptor);
+        self.posted += 1;
+        Ok(())
+    }
+
+    /// Consumes the oldest descriptor (consumer side: the device).
+    pub fn consume(&mut self) -> Option<T> {
+        let d = self.slots.pop_front();
+        if d.is_some() {
+            self.consumed += 1;
+        }
+        d
+    }
+
+    /// Total descriptors successfully posted.
+    pub fn posted(&self) -> u64 {
+        self.posted
+    }
+
+    /// Total descriptors consumed.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Total post attempts rejected because the ring was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut ring = RingBuffer::new(3);
+        ring.post(1).unwrap();
+        ring.post(2).unwrap();
+        assert_eq!(ring.consume(), Some(1));
+        assert_eq!(ring.consume(), Some(2));
+        assert_eq!(ring.consume(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects_and_counts() {
+        let mut ring = RingBuffer::new(2);
+        ring.post('a').unwrap();
+        ring.post('b').unwrap();
+        assert!(ring.is_full());
+        assert_eq!(ring.post('c'), Err(RingFullError));
+        assert_eq!(ring.rejected(), 1);
+        // Draining makes room again.
+        ring.consume();
+        ring.post('c').unwrap();
+        assert_eq!(ring.posted(), 3);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut ring = RingBuffer::new(8);
+        for i in 0..5 {
+            ring.post(i).unwrap();
+        }
+        while ring.consume().is_some() {}
+        assert_eq!(ring.posted(), 5);
+        assert_eq!(ring.consumed(), 5);
+        assert!(ring.is_empty());
+        assert_eq!(ring.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _: RingBuffer<u8> = RingBuffer::new(0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(RingFullError.to_string(), "descriptor ring is full");
+    }
+}

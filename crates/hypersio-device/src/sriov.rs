@@ -1,0 +1,241 @@
+//! SR-IOV device model: physical functions, virtual functions, and their
+//! BDF/SID assignment.
+//!
+//! The paper's case study (§II-B) uses a dual-port NIC with up to 63 VFs
+//! per port, interleaving VF assignment between the two physical functions
+//! (PFs). This module models that enumeration: a device exposes PFs at
+//! consecutive function numbers, and VFs are placed at the standard SR-IOV
+//! offsets above them. The hypervisor-facing API assigns VFs to tenants in
+//! PF-interleaved order and yields the Source IDs the translation
+//! subsystem will see.
+
+use std::fmt;
+
+use hypersio_types::{Bdf, Sid};
+
+/// An SR-IOV capable device: its PF count and per-PF VF capacity.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_device::SriovDevice;
+///
+/// // The case-study X540: two ports (PFs), 63 VFs each.
+/// let nic = SriovDevice::new(0x3b, 2, 63);
+/// assert_eq!(nic.total_vfs(), 126);
+/// let vf = nic.vf(0, 0); // first VF of PF 0
+/// assert_eq!(vf.pf, 0);
+/// assert_eq!(nic.sid_of(vf).raw(), vf.bdf.raw() as u32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SriovDevice {
+    bus: u8,
+    pfs: u8,
+    vfs_per_pf: u16,
+}
+
+/// One virtual function: its owning PF, index, and requester BDF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VirtualFunction {
+    /// Index of the owning physical function.
+    pub pf: u8,
+    /// VF index within the PF (0-based).
+    pub index: u16,
+    /// The requester ID this VF presents on the fabric.
+    pub bdf: Bdf,
+}
+
+/// First routing-ID offset for VFs (standard SR-IOV `First VF Offset`
+/// convention: VFs start in the function space above the PFs).
+const VF_FIRST_OFFSET: u16 = 8;
+
+impl SriovDevice {
+    /// Creates a device on `bus` with `pfs` physical functions exposing
+    /// `vfs_per_pf` virtual functions each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfs` is zero or greater than 8 (one PCIe device's
+    /// function space), or if `vfs_per_pf` is zero.
+    pub fn new(bus: u8, pfs: u8, vfs_per_pf: u16) -> Self {
+        assert!((1..=8).contains(&pfs), "1..=8 physical functions");
+        assert!(vfs_per_pf > 0, "at least one VF per PF");
+        SriovDevice {
+            bus,
+            pfs,
+            vfs_per_pf,
+        }
+    }
+
+    /// Returns the number of physical functions.
+    pub fn pfs(&self) -> u8 {
+        self.pfs
+    }
+
+    /// Returns the VF capacity per PF.
+    pub fn vfs_per_pf(&self) -> u16 {
+        self.vfs_per_pf
+    }
+
+    /// Returns the total VF capacity.
+    pub fn total_vfs(&self) -> u32 {
+        self.pfs as u32 * self.vfs_per_pf as u32
+    }
+
+    /// Returns the BDF of physical function `pf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pf` is out of range.
+    pub fn pf_bdf(&self, pf: u8) -> Bdf {
+        assert!(pf < self.pfs, "PF {pf} out of range");
+        Bdf::from_parts(self.bus, 0, pf)
+    }
+
+    /// Returns VF `index` of physical function `pf`.
+    ///
+    /// VFs occupy the routing-ID space above the PFs: VF *i* of PF *p*
+    /// lives at function-space slot `VF_FIRST_OFFSET + i * pfs + p`,
+    /// spilling into higher device numbers every 8 slots (the standard
+    /// ARI-less SR-IOV layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pf` or `index` is out of range.
+    pub fn vf(&self, pf: u8, index: u16) -> VirtualFunction {
+        assert!(pf < self.pfs, "PF {pf} out of range");
+        assert!(index < self.vfs_per_pf, "VF {index} out of range");
+        let slot = VF_FIRST_OFFSET + index * self.pfs as u16 + pf as u16;
+        let device = (slot / 8) as u8;
+        let function = (slot % 8) as u8;
+        VirtualFunction {
+            pf,
+            index,
+            bdf: Bdf::from_parts(self.bus, device, function),
+        }
+    }
+
+    /// Returns the Source ID a VF's requests carry (its BDF).
+    pub fn sid_of(&self, vf: VirtualFunction) -> Sid {
+        Sid::from(vf.bdf)
+    }
+
+    /// Assigns `tenants` VFs in PF-interleaved order (tenant 0 → PF 0,
+    /// tenant 1 → PF 1, …), as the case study does ("we interleave VFs
+    /// between two available PFs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` exceeds the device's VF capacity.
+    pub fn assign_interleaved(&self, tenants: u32) -> Vec<VirtualFunction> {
+        assert!(
+            tenants <= self.total_vfs(),
+            "{tenants} tenants exceed {} VFs",
+            self.total_vfs()
+        );
+        (0..tenants)
+            .map(|t| {
+                let pf = (t % self.pfs as u32) as u8;
+                let index = (t / self.pfs as u32) as u16;
+                self.vf(pf, index)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for SriovDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SR-IOV device bus {:02x}: {} PF(s) x {} VFs",
+            self.bus, self.pfs, self.vfs_per_pf
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn x540() -> SriovDevice {
+        SriovDevice::new(0x3b, 2, 63)
+    }
+
+    #[test]
+    fn case_study_capacity() {
+        assert_eq!(x540().total_vfs(), 126);
+        assert_eq!(x540().pfs(), 2);
+        assert_eq!(x540().vfs_per_pf(), 63);
+    }
+
+    #[test]
+    fn pf_bdfs_are_functions_of_device_zero() {
+        let nic = x540();
+        assert_eq!(nic.pf_bdf(0), Bdf::from_parts(0x3b, 0, 0));
+        assert_eq!(nic.pf_bdf(1), Bdf::from_parts(0x3b, 0, 1));
+    }
+
+    #[test]
+    fn all_vf_bdfs_are_distinct_and_above_pfs() {
+        let nic = x540();
+        let mut seen = HashSet::new();
+        for pf in 0..2u8 {
+            for i in 0..63u16 {
+                let vf = nic.vf(pf, i);
+                assert!(seen.insert(vf.bdf), "duplicate BDF {}", vf.bdf);
+                // VFs never collide with PF slots (functions 0..8 of dev 0).
+                assert!(vf.bdf.device() > 0 || vf.bdf.function() >= 2);
+            }
+        }
+        assert_eq!(seen.len(), 126);
+    }
+
+    #[test]
+    fn interleaved_assignment_alternates_pfs() {
+        let nic = x540();
+        let vfs = nic.assign_interleaved(6);
+        let pfs: Vec<u8> = vfs.iter().map(|v| v.pf).collect();
+        assert_eq!(pfs, vec![0, 1, 0, 1, 0, 1]);
+        // Each tenant gets a unique SID.
+        let sids: HashSet<u32> = vfs.iter().map(|v| nic.sid_of(*v).raw()).collect();
+        assert_eq!(sids.len(), 6);
+    }
+
+    #[test]
+    fn interleaved_sids_spread_over_partitions() {
+        // Low-bit SID partitioning must not degenerate with BDF packing:
+        // consecutive VF slots advance the function number, so an
+        // 8-partition DevTLB sees consecutive tenants in distinct groups.
+        let nic = x540();
+        let vfs = nic.assign_interleaved(16);
+        let groups: HashSet<u32> = vfs
+            .iter()
+            .map(|v| nic.sid_of(*v).low_bits(3))
+            .collect();
+        assert!(groups.len() >= 6, "only {} partition groups", groups.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn over_assignment_rejected() {
+        let _ = x540().assign_interleaved(127);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vf_index_bounds_checked() {
+        let _ = x540().vf(0, 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "physical functions")]
+    fn zero_pfs_rejected() {
+        let _ = SriovDevice::new(0, 0, 4);
+    }
+
+    #[test]
+    fn display_summarises() {
+        assert_eq!(x540().to_string(), "SR-IOV device bus 3b: 2 PF(s) x 63 VFs");
+    }
+}

@@ -1,0 +1,107 @@
+//! Fixed-latency DRAM model with access accounting.
+
+use std::fmt;
+
+use hypersio_types::SimDuration;
+
+/// Main-memory model: every access costs a fixed latency (50 ns in the
+/// paper's Table II) and is counted for reporting.
+///
+/// The model intentionally omits bank conflicts and queueing — the paper's
+/// performance model charges a flat DRAM latency per page-table-entry read,
+/// and the translation path is latency-bound, not DRAM-bandwidth-bound.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_mem::Dram;
+/// use hypersio_types::SimDuration;
+///
+/// let mut dram = Dram::new(SimDuration::from_ns(50));
+/// let t = dram.read_many(24); // a full two-dimensional walk
+/// assert_eq!(t.as_ns(), 1200);
+/// assert_eq!(dram.accesses(), 24);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dram {
+    latency: SimDuration,
+    accesses: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM model with the given per-access latency.
+    pub fn new(latency: SimDuration) -> Self {
+        Dram {
+            latency,
+            accesses: 0,
+        }
+    }
+
+    /// Returns the per-access latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Performs one read, returning its latency.
+    pub fn read(&mut self) -> SimDuration {
+        self.accesses += 1;
+        self.latency
+    }
+
+    /// Performs `n` dependent reads, returning their summed latency.
+    ///
+    /// Page-table walks are pointer chases: each read depends on the
+    /// previous one, so latencies add rather than overlap.
+    pub fn read_many(&mut self, n: u64) -> SimDuration {
+        self.accesses += n;
+        self.latency * n
+    }
+
+    /// Returns the total number of accesses performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Resets the access counter.
+    pub fn reset_accesses(&mut self) {
+        self.accesses = 0;
+    }
+}
+
+impl fmt::Debug for Dram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dram")
+            .field("latency", &self.latency)
+            .field("accesses", &self.accesses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_counts_and_charges() {
+        let mut dram = Dram::new(SimDuration::from_ns(50));
+        assert_eq!(dram.read().as_ns(), 50);
+        assert_eq!(dram.read_many(3).as_ns(), 150);
+        assert_eq!(dram.accesses(), 4);
+    }
+
+    #[test]
+    fn read_many_zero_is_free() {
+        let mut dram = Dram::new(SimDuration::from_ns(50));
+        assert_eq!(dram.read_many(0), SimDuration::ZERO);
+        assert_eq!(dram.accesses(), 0);
+    }
+
+    #[test]
+    fn reset_accesses_keeps_latency() {
+        let mut dram = Dram::new(SimDuration::from_ns(50));
+        dram.read();
+        dram.reset_accesses();
+        assert_eq!(dram.accesses(), 0);
+        assert_eq!(dram.latency().as_ns(), 50);
+    }
+}

@@ -1,0 +1,372 @@
+//! Per-tenant address spaces: paired guest and host page tables.
+
+use std::fmt;
+
+use hypersio_types::{Did, GIova, GPa, HPa, PageSize};
+
+use crate::page_table::{PageTableError, RadixTable, WalkPath};
+
+/// Base of the guest-physical region where each tenant's guest page-table
+/// nodes are placed.
+const GUEST_TABLE_BASE: u64 = 0x4000_0000;
+
+/// Base of the guest-physical region backing mapped data pages.
+const GUEST_DATA_BASE: u64 = 0x8000_0000;
+
+/// Size of the host-physical slab reserved per tenant (enough for every page
+/// a workload tenant maps: 32 × 2 MB data buffers plus table nodes and 4 KB
+/// pages, with headroom).
+const HOST_SLAB_PER_TENANT: u64 = 256 * 1024 * 1024;
+
+/// Builder assembling one tenant's [`TenantSpace`] from its page inventory.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_mem::TenantSpace;
+/// use hypersio_types::{Did, GIova, PageSize};
+///
+/// let mut builder = TenantSpace::builder(Did::new(3));
+/// builder.map(GIova::new(0x3480_0000), PageSize::Size4K);
+/// builder.map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+/// let space = builder.build();
+/// assert_eq!(space.did(), Did::new(3));
+/// assert!(space.lookup(GIova::new(0xbbe0_0042)).is_some());
+/// ```
+pub struct TenantSpaceBuilder {
+    did: Did,
+    pages: Vec<(GIova, PageSize)>,
+    levels: u8,
+}
+
+impl TenantSpaceBuilder {
+    /// Creates a builder for tenant `did` (4-level tables by default).
+    pub fn new(did: Did) -> Self {
+        TenantSpaceBuilder {
+            did,
+            pages: Vec::new(),
+            levels: 4,
+        }
+    }
+
+    /// Uses `levels`-deep radix tables for both the guest and host
+    /// dimensions (4 or 5). A full two-dimensional 4 KB walk costs
+    /// `levels * (levels + 1) + levels` memory accesses: 24 for 4-level
+    /// tables, 35 for 5-level tables (the numbers the paper quotes from
+    /// the Intel VT-d and 5-level-paging documents).
+    ///
+    /// # Panics
+    ///
+    /// Panics (at build) if `levels` is not 4 or 5.
+    pub fn levels(&mut self, levels: u8) -> &mut Self {
+        self.levels = levels;
+        self
+    }
+
+    /// Adds a gIOVA page to the tenant's device-visible mapping.
+    ///
+    /// Duplicate pages are tolerated (mapped once); the address is truncated
+    /// to the page boundary.
+    pub fn map(&mut self, iova: GIova, size: PageSize) -> &mut Self {
+        self.pages.push((iova.page(size).base(), size));
+        self
+    }
+
+    /// Builds the paired guest and host tables.
+    ///
+    /// Layout is fully deterministic given the page list and DID:
+    /// - guest data frames are allocated bump-style from a per-tenant
+    ///   guest-physical base *identical across tenants* (same OS + driver,
+    ///   §IV-D), so two tenants mapping the same gIOVAs also get the same
+    ///   gPAs — maximising cache-index conflicts exactly as in the paper;
+    /// - host frames come from a per-DID slab, so different tenants get
+    ///   different hPAs (true isolation at the host level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page inventory overflows the per-tenant host slab,
+    /// or if two added pages overlap with different sizes.
+    pub fn build(&self) -> TenantSpace {
+        let host_slab_base = 0x10_0000_0000 + self.did.raw() as u64 * HOST_SLAB_PER_TENANT;
+        let mut host_next = host_slab_base;
+        let mut alloc_host = move || {
+            let a = host_next;
+            host_next += 4096;
+            a
+        };
+
+        let mut guest_table_next = GUEST_TABLE_BASE;
+        let mut alloc_guest_node = move || {
+            let a = guest_table_next;
+            guest_table_next += 4096;
+            a
+        };
+
+        let mut guest = RadixTable::new(self.levels, &mut alloc_guest_node);
+        let mut guest_data_next = GUEST_DATA_BASE;
+
+        let mut mapped: Vec<(GIova, PageSize)> = Vec::new();
+        for &(iova, size) in &self.pages {
+            if mapped.iter().any(|&(existing, _)| existing == iova) {
+                continue;
+            }
+            // Align the guest-data bump pointer to the page size.
+            let align = size.bytes();
+            guest_data_next = (guest_data_next + align - 1) & !(align - 1);
+            let gpa = guest_data_next;
+            guest_data_next += align;
+            match guest.map(iova.raw(), gpa, size, &mut alloc_guest_node) {
+                Ok(()) => mapped.push((iova, size)),
+                Err(PageTableError::AlreadyMapped { .. }) => {}
+                Err(e) => panic!("guest mapping failed for {iova}: {e}"),
+            }
+        }
+
+        // Host table: every guest-physical page the device walk can touch
+        // must be mapped — the guest table nodes themselves plus the data
+        // frames. Host table nodes live in host memory and need no mapping.
+        let mut host_table_next = 0x20_0000_0000 + self.did.raw() as u64 * HOST_SLAB_PER_TENANT;
+        let mut alloc_host_node = move || {
+            let a = host_table_next;
+            host_table_next += 4096;
+            a
+        };
+        let mut host = RadixTable::new(self.levels, &mut alloc_host_node);
+
+        let guest_node_addrs: Vec<u64> = {
+            let mut v: Vec<u64> = guest.node_addrs().collect();
+            v.sort_unstable();
+            v
+        };
+        for node in guest_node_addrs {
+            let hpa = alloc_host();
+            host.map(node, hpa, PageSize::Size4K, &mut alloc_host_node)
+                .expect("guest table nodes are distinct 4K pages");
+        }
+        for &(iova, size) in &mapped {
+            let gpa = guest
+                .translate(iova.raw())
+                .expect("just mapped in the guest table");
+            // Host frames mirror the guest alignment.
+            let hpa = match size {
+                PageSize::Size4K => alloc_host(),
+                PageSize::Size2M | PageSize::Size1G => {
+                    // Burn allocator space up to alignment, then take a run.
+                    let mut base = alloc_host();
+                    while base & size.offset_mask() != 0 {
+                        base = alloc_host();
+                    }
+                    // Reserve the rest of the huge frame.
+                    for _ in 0..(size.bytes() / 4096 - 1) {
+                        let _ = alloc_host();
+                    }
+                    base
+                }
+            };
+            assert!(
+                hpa + size.bytes() <= host_slab_base + HOST_SLAB_PER_TENANT,
+                "tenant {} page inventory overflows its host slab",
+                self.did
+            );
+            host.map(gpa & !size.offset_mask(), hpa, size, &mut alloc_host_node)
+                .expect("guest data frames are distinct");
+        }
+
+        TenantSpace {
+            did: self.did,
+            guest,
+            host,
+            page_count: mapped.len(),
+        }
+    }
+}
+
+/// One tenant's translation state: its guest table (gIOVA → gPA, nodes in
+/// guest-physical memory) and host table (gPA → hPA).
+///
+/// Every guest-physical address the device-side walk can touch — guest
+/// table nodes and data frames — is mapped in the host table, so the
+/// two-dimensional walker never faults on a nested access.
+pub struct TenantSpace {
+    did: Did,
+    guest: RadixTable,
+    host: RadixTable,
+    page_count: usize,
+}
+
+impl TenantSpace {
+    /// Starts building a tenant space for `did`.
+    pub fn builder(did: Did) -> TenantSpaceBuilder {
+        TenantSpaceBuilder::new(did)
+    }
+
+    /// Returns the tenant's domain ID.
+    pub fn did(&self) -> Did {
+        self.did
+    }
+
+    /// Returns the number of distinct device-visible pages.
+    pub fn page_count(&self) -> usize {
+        self.page_count
+    }
+
+    /// Returns the guest table (gIOVA → gPA).
+    pub fn guest_table(&self) -> &RadixTable {
+        &self.guest
+    }
+
+    /// Returns the host table (gPA → hPA).
+    pub fn host_table(&self) -> &RadixTable {
+        &self.host
+    }
+
+    /// Walks the guest table for `iova`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the guest-table error if `iova` is not device-visible.
+    pub fn guest_walk(&self, iova: GIova) -> Result<WalkPath, PageTableError> {
+        self.guest.walk(iova.raw())
+    }
+
+    /// Walks the host table for `gpa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the host-table error if `gpa` is unmapped (which would be a
+    /// builder bug for addresses produced by [`TenantSpace::guest_walk`]).
+    pub fn host_walk(&self, gpa: GPa) -> Result<WalkPath, PageTableError> {
+        self.host.walk(gpa.raw())
+    }
+
+    /// Full (uncached) functional translation: gIOVA → hPA, with the page
+    /// size of the guest leaf.
+    pub fn lookup(&self, iova: GIova) -> Option<(HPa, PageSize)> {
+        let gpath = self.guest.walk(iova.raw()).ok()?;
+        let gpa = gpath.translate(iova.raw());
+        let hpa = self.host.translate(gpa)?;
+        Some((HPa::new(hpa), gpath.size))
+    }
+}
+
+impl fmt::Debug for TenantSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TenantSpace")
+            .field("did", &self.did)
+            .field("pages", &self.page_count)
+            .field("guest_nodes", &self.guest.node_count())
+            .field("host_nodes", &self.host.node_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_tenant(did: u32) -> TenantSpace {
+        let mut b = TenantSpace::builder(Did::new(did));
+        b.map(GIova::new(0x3480_0000), PageSize::Size4K);
+        for i in 0..32u64 {
+            b.map(GIova::new(0xbbe0_0000 + i * 0x20_0000), PageSize::Size2M);
+        }
+        for i in 0..70u64 {
+            b.map(GIova::new(0xf000_0000 + i * 0x1000), PageSize::Size4K);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builds_paper_inventory() {
+        let space = paper_tenant(0);
+        assert_eq!(space.page_count(), 103);
+        assert!(space.lookup(GIova::new(0x3480_0000)).is_some());
+        assert!(space.lookup(GIova::new(0xbbe0_0000 + 31 * 0x20_0000)).is_some());
+        assert!(space.lookup(GIova::new(0xf000_0000 + 69 * 0x1000)).is_some());
+        assert!(space.lookup(GIova::new(0xdead_0000)).is_none());
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut b = TenantSpace::builder(Did::new(0));
+        b.map(GIova::new(0x1000), PageSize::Size4K);
+        b.map(GIova::new(0x1fff), PageSize::Size4K); // same page
+        let space = b.build();
+        assert_eq!(space.page_count(), 1);
+    }
+
+    #[test]
+    fn guest_layout_identical_across_tenants() {
+        // Same driver/OS => same gIOVAs *and* same gPAs (§IV-D conflict
+        // generator); host frames differ.
+        let a = paper_tenant(0);
+        let b = paper_tenant(1);
+        let iova = GIova::new(0xbbe0_0000);
+        let ga = a.guest_walk(iova).unwrap().translate(iova.raw());
+        let gb = b.guest_walk(iova).unwrap().translate(iova.raw());
+        assert_eq!(ga, gb);
+        let (ha, _) = a.lookup(iova).unwrap();
+        let (hb, _) = b.lookup(iova).unwrap();
+        assert_ne!(ha, hb);
+    }
+
+    #[test]
+    fn nested_walk_never_faults_on_guest_nodes() {
+        let space = paper_tenant(2);
+        // Every guest table node must be host-mapped.
+        for node in space.guest_table().node_addrs() {
+            assert!(
+                space.host_walk(GPa::new(node)).is_ok(),
+                "guest node {node:#x} not host-mapped"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_page_host_frames_are_aligned() {
+        let space = paper_tenant(0);
+        let (hpa, size) = space.lookup(GIova::new(0xbbe0_0000)).unwrap();
+        assert_eq!(size, PageSize::Size2M);
+        assert_eq!(hpa.raw() & PageSize::Size2M.offset_mask(), 0);
+    }
+
+    #[test]
+    fn offsets_survive_translation() {
+        let space = paper_tenant(0);
+        let base = space.lookup(GIova::new(0xbbe0_0000)).unwrap().0;
+        let off = space.lookup(GIova::new(0xbbe0_0000 + 0x1_2345)).unwrap().0;
+        assert_eq!(off.raw() - base.raw(), 0x1_2345);
+    }
+
+    #[test]
+    fn distinct_tenants_have_distinct_host_slabs() {
+        let a = paper_tenant(0);
+        let b = paper_tenant(1);
+        let (ha, _) = a.lookup(GIova::new(0x3480_0000)).unwrap();
+        let (hb, _) = b.lookup(GIova::new(0x3480_0000)).unwrap();
+        assert!(ha.raw() < 0x10_0000_0000 + HOST_SLAB_PER_TENANT);
+        assert!(hb.raw() >= 0x10_0000_0000 + HOST_SLAB_PER_TENANT);
+    }
+
+    #[test]
+    fn five_level_spaces_translate_identically() {
+        let mut b4 = TenantSpace::builder(Did::new(0));
+        b4.map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+        let s4 = b4.build();
+        let mut b5 = TenantSpace::builder(Did::new(0));
+        b5.levels(5).map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+        let s5 = b5.build();
+        let iova = GIova::new(0xbbe0_1234);
+        // Same functional translation, one extra level in each walk.
+        assert_eq!(s4.lookup(iova).unwrap().0, s5.lookup(iova).unwrap().0);
+        assert_eq!(s4.guest_walk(iova).unwrap().ptes.len() + 1,
+                   s5.guest_walk(iova).unwrap().ptes.len());
+    }
+
+    #[test]
+    fn debug_mentions_counts() {
+        let space = paper_tenant(0);
+        let s = format!("{space:?}");
+        assert!(s.contains("pages: 103"));
+    }
+}

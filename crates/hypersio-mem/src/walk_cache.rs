@@ -1,0 +1,380 @@
+//! IOMMU page-walk caches (the "L2TLB"/"L3TLB" of Tables II and IV).
+//!
+//! These cache guest page-table entries at intermediate levels, letting the
+//! two-dimensional walker skip the upper portion of the first-level walk —
+//! and with it the nested host walks for each skipped level. HyperTRIO
+//! additionally partitions them by SID (Table IV: 32 partitions for the
+//! L2TLB, 64 for the L3TLB).
+
+use hypersio_cache::{
+    CacheGeometry, CacheKey, OracleKey, PartitionSpec, PartitionedCache, PolicyKind,
+};
+use hypersio_types::{Did, GIova, GPa, HPa, Sid};
+
+use crate::page_table::Pte;
+
+/// Key of a walk-cache entry: the tenant's DID plus the gIOVA bits covering
+/// the subtree rooted at the cached level.
+///
+/// An L2 entry caches the guest level-2 PTE for a 2 MB-aligned region
+/// (`iova >> 21`); an L3 entry caches the level-3 PTE for a 1 GB region
+/// (`iova >> 30`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WalkCacheKey {
+    /// The owning tenant's domain ID.
+    pub did: Did,
+    /// The gIOVA right-shifted by the cached level's coverage.
+    pub tag: u64,
+}
+
+impl WalkCacheKey {
+    /// Builds the level-2 key for `iova` (one entry per 2 MB region).
+    pub fn level2(did: Did, iova: GIova) -> Self {
+        WalkCacheKey {
+            did,
+            tag: iova.raw() >> 21,
+        }
+    }
+
+    /// Builds the level-3 key for `iova` (one entry per 1 GB region).
+    pub fn level3(did: Did, iova: GIova) -> Self {
+        WalkCacheKey {
+            did,
+            tag: iova.raw() >> 30,
+        }
+    }
+}
+
+impl CacheKey for WalkCacheKey {
+    fn set_selector(&self) -> u64 {
+        // Index by address bits; identical driver layouts across tenants
+        // collide in the same sets unless partitioned (§IV-D).
+        self.tag
+    }
+}
+
+impl OracleKey for WalkCacheKey {
+    fn oracle_code(&self) -> u64 {
+        ((self.did.raw() as u64) << 40) ^ self.tag
+    }
+}
+
+/// Key of a nested-TLB entry: the tenant's DID plus the guest-physical
+/// page number being re-translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NestedKey {
+    /// The owning tenant's domain ID.
+    pub did: Did,
+    /// The guest-physical 4 KB page number.
+    pub gfn: u64,
+}
+
+impl NestedKey {
+    /// Builds the key for `gpa`'s 4 KB page.
+    pub fn new(did: Did, gpa: GPa) -> Self {
+        NestedKey {
+            did,
+            gfn: gpa.raw() >> 12,
+        }
+    }
+}
+
+impl CacheKey for NestedKey {
+    fn set_selector(&self) -> u64 {
+        self.gfn
+    }
+}
+
+impl OracleKey for NestedKey {
+    fn oracle_code(&self) -> u64 {
+        ((self.did.raw() as u64) << 44) ^ self.gfn
+    }
+}
+
+/// Configuration of the two walk caches.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_mem::WalkCacheConfig;
+///
+/// let base = WalkCacheConfig::paper_base();
+/// assert_eq!(base.l2_geometry.entries(), 512);
+/// let ht = WalkCacheConfig::paper_hypertrio();
+/// assert_eq!(ht.l2_partitions.partitions(), 32);
+/// assert_eq!(ht.l3_partitions.partitions(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WalkCacheConfig {
+    /// Geometry of the level-2 page cache (Table II: 512 entries, 16 ways).
+    pub l2_geometry: CacheGeometry,
+    /// Geometry of the level-3 page cache (Table II: 1024 entries, 16 ways).
+    pub l3_geometry: CacheGeometry,
+    /// SID partitioning of the L2 cache (Table IV: 1 or 32 partitions).
+    pub l2_partitions: PartitionSpec,
+    /// SID partitioning of the L3 cache (Table IV: 1 or 64 partitions).
+    pub l3_partitions: PartitionSpec,
+    /// Replacement policy (the paper uses LFU for both configurations).
+    pub policy: PolicyKind,
+    /// Optional nested (gPA -> hPA) TLB short-circuiting the second-level
+    /// walks, as in the designs the paper's §II cites. `None` (the paper's
+    /// Table II configuration) performs every host walk in full.
+    pub nested_tlb: Option<CacheGeometry>,
+}
+
+impl WalkCacheConfig {
+    /// Table IV "Base": shared (single-partition) caches, LFU.
+    pub fn paper_base() -> Self {
+        WalkCacheConfig {
+            l2_geometry: CacheGeometry::new(512, 16),
+            l3_geometry: CacheGeometry::new(1024, 16),
+            l2_partitions: PartitionSpec::unified(),
+            l3_partitions: PartitionSpec::unified(),
+            policy: PolicyKind::Lfu,
+            nested_tlb: None,
+        }
+    }
+
+    /// Adds a nested (gPA -> hPA) TLB of the given geometry (an extension
+    /// beyond the paper's Table II configuration).
+    pub fn with_nested_tlb(mut self, geometry: CacheGeometry) -> Self {
+        self.nested_tlb = Some(geometry);
+        self
+    }
+
+    /// Table IV "HyperTRIO": 32-way L2 partitioning, 64-way L3 partitioning.
+    pub fn paper_hypertrio() -> Self {
+        WalkCacheConfig {
+            l2_partitions: PartitionSpec::new(32),
+            l3_partitions: PartitionSpec::new(64),
+            ..WalkCacheConfig::paper_base()
+        }
+    }
+}
+
+impl Default for WalkCacheConfig {
+    fn default() -> Self {
+        WalkCacheConfig::paper_base()
+    }
+}
+
+/// The pair of walk caches consulted (and filled) by the walker.
+#[derive(Debug)]
+pub struct WalkCaches {
+    l2: PartitionedCache<WalkCacheKey, Pte>,
+    l3: PartitionedCache<WalkCacheKey, Pte>,
+    nested: Option<PartitionedCache<NestedKey, HPa>>,
+}
+
+impl WalkCaches {
+    /// Creates walk caches from a configuration.
+    pub fn new(config: &WalkCacheConfig) -> Self {
+        WalkCaches {
+            l2: PartitionedCache::new(
+                config.l2_geometry,
+                config.l2_partitions,
+                config.policy.clone(),
+            ),
+            l3: PartitionedCache::new(
+                config.l3_geometry,
+                config.l3_partitions,
+                config.policy.clone(),
+            ),
+            nested: config.nested_tlb.map(|g| {
+                PartitionedCache::new(g, PartitionSpec::unified(), config.policy.clone())
+            }),
+        }
+    }
+
+    /// Returns true if a nested TLB is configured.
+    pub fn has_nested_tlb(&self) -> bool {
+        self.nested.is_some()
+    }
+
+    /// Looks up the cached host translation of `gpa`'s page, if a nested
+    /// TLB is configured.
+    pub fn lookup_nested(&mut self, sid: Sid, did: Did, gpa: GPa, now: u64) -> Option<HPa> {
+        self.nested
+            .as_mut()
+            .and_then(|n| n.lookup(sid, &NestedKey::new(did, gpa), now).copied())
+    }
+
+    /// Fills the nested TLB after a completed host walk (no-op when not
+    /// configured).
+    pub fn fill_nested(&mut self, sid: Sid, did: Did, gpa: GPa, hpa_page: HPa, now: u64) {
+        if let Some(n) = self.nested.as_mut() {
+            n.insert(sid, NestedKey::new(did, gpa), hpa_page, now);
+        }
+    }
+
+    /// Returns nested-TLB statistics, if configured.
+    pub fn nested_stats(&self) -> Option<hypersio_cache::CacheStats> {
+        self.nested.as_ref().map(|n| *n.stats())
+    }
+
+    /// Looks up the cached guest level-2 PTE for (`sid`, `did`, `iova`).
+    pub fn lookup_l2(&mut self, sid: Sid, did: Did, iova: GIova, now: u64) -> Option<Pte> {
+        self.l2
+            .lookup(sid, &WalkCacheKey::level2(did, iova), now)
+            .copied()
+    }
+
+    /// Looks up the cached guest level-3 PTE for (`sid`, `did`, `iova`).
+    pub fn lookup_l3(&mut self, sid: Sid, did: Did, iova: GIova, now: u64) -> Option<Pte> {
+        self.l3
+            .lookup(sid, &WalkCacheKey::level3(did, iova), now)
+            .copied()
+    }
+
+    /// Fills the level-2 cache after the walker reads a guest L2 PTE.
+    pub fn fill_l2(&mut self, sid: Sid, did: Did, iova: GIova, pte: Pte, now: u64) {
+        self.l2
+            .insert(sid, WalkCacheKey::level2(did, iova), pte, now);
+    }
+
+    /// Fills the level-3 cache after the walker reads a guest L3 PTE.
+    pub fn fill_l3(&mut self, sid: Sid, did: Did, iova: GIova, pte: Pte, now: u64) {
+        self.l3
+            .insert(sid, WalkCacheKey::level3(did, iova), pte, now);
+    }
+
+    /// Returns (L2 stats, L3 stats).
+    pub fn stats(&self) -> (hypersio_cache::CacheStats, hypersio_cache::CacheStats) {
+        (*self.l2.stats(), *self.l3.stats())
+    }
+
+    /// Drops only the guest-level (L2/L3) entries, keeping the nested TLB —
+    /// used by tests to isolate the nested TLB's contribution.
+    #[doc(hidden)]
+    pub fn clear_guest_only_for_test(&mut self) {
+        self.l2.clear();
+        self.l3.clear();
+    }
+
+    /// Drops all cached entries (statistics are kept).
+    pub fn clear(&mut self) {
+        self.l2.clear();
+        self.l3.clear();
+        if let Some(n) = self.nested.as_mut() {
+            n.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersio_types::PageSize;
+
+    fn leaf(target: u64) -> Pte {
+        Pte::Leaf {
+            target,
+            size: PageSize::Size2M,
+        }
+    }
+
+    #[test]
+    fn keys_cover_expected_regions() {
+        let did = Did::new(1);
+        let a = WalkCacheKey::level2(did, GIova::new(0xbbe0_0000));
+        let b = WalkCacheKey::level2(did, GIova::new(0xbbff_ffff));
+        let c = WalkCacheKey::level2(did, GIova::new(0xbc00_0000));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+
+        let d = WalkCacheKey::level3(did, GIova::new(0x0000_0000));
+        let e = WalkCacheKey::level3(did, GIova::new(0x3fff_ffff));
+        let f = WalkCacheKey::level3(did, GIova::new(0x4000_0000));
+        assert_eq!(d, e);
+        assert_ne!(d, f);
+    }
+
+    #[test]
+    fn dids_do_not_alias() {
+        let a = WalkCacheKey::level2(Did::new(0), GIova::new(0xbbe0_0000));
+        let b = WalkCacheKey::level2(Did::new(1), GIova::new(0xbbe0_0000));
+        assert_ne!(a, b);
+        assert_ne!(a.oracle_code(), b.oracle_code());
+        // Same set selector though: that is the §IV-D conflict.
+        assert_eq!(a.set_selector(), b.set_selector());
+    }
+
+    #[test]
+    fn fill_then_lookup_round_trip() {
+        let mut caches = WalkCaches::new(&WalkCacheConfig::paper_base());
+        let (sid, did, iova) = (Sid::new(0), Did::new(0), GIova::new(0xbbe0_0000));
+        assert_eq!(caches.lookup_l2(sid, did, iova, 0), None);
+        caches.fill_l2(sid, did, iova, leaf(0x4000_0000), 1);
+        assert_eq!(caches.lookup_l2(sid, did, iova, 2), Some(leaf(0x4000_0000)));
+        let (l2, _) = caches.stats();
+        assert_eq!(l2.hits(), 1);
+        assert_eq!(l2.misses(), 1);
+    }
+
+    #[test]
+    fn partitioned_config_isolates_tenants() {
+        let mut caches = WalkCaches::new(&WalkCacheConfig::paper_hypertrio());
+        let iova = GIova::new(0xbbe0_0000);
+        // Tenant 0 fills its partition; tenant 1's lookups miss but tenant
+        // 1's fills cannot evict tenant 0's entry even under flooding.
+        caches.fill_l2(Sid::new(0), Did::new(0), iova, leaf(0x1), 0);
+        for i in 0..10_000u64 {
+            caches.fill_l2(
+                Sid::new(1),
+                Did::new(1),
+                GIova::new(i << 21),
+                leaf(i),
+                1 + i,
+            );
+        }
+        assert_eq!(
+            caches.lookup_l2(Sid::new(0), Did::new(0), iova, 20_000),
+            Some(leaf(0x1))
+        );
+    }
+
+    #[test]
+    fn nested_tlb_round_trip() {
+        let cfg = WalkCacheConfig::paper_base()
+            .with_nested_tlb(CacheGeometry::new(64, 8));
+        let mut caches = WalkCaches::new(&cfg);
+        assert!(caches.has_nested_tlb());
+        let (sid, did) = (Sid::new(0), Did::new(0));
+        let gpa = GPa::new(0x8000_1234);
+        assert_eq!(caches.lookup_nested(sid, did, gpa, 0), None);
+        caches.fill_nested(sid, did, gpa, HPa::new(0x10_0000_0000), 1);
+        // Any address in the same 4K page hits.
+        assert_eq!(
+            caches.lookup_nested(sid, did, GPa::new(0x8000_1fff), 2),
+            Some(HPa::new(0x10_0000_0000))
+        );
+        assert_eq!(caches.lookup_nested(sid, did, GPa::new(0x8000_2000), 3), None);
+        let stats = caches.nested_stats().unwrap();
+        assert_eq!(stats.hits(), 1);
+        caches.clear();
+        assert_eq!(caches.lookup_nested(sid, did, gpa, 4), None);
+    }
+
+    #[test]
+    fn nested_tlb_absent_by_default() {
+        let mut caches = WalkCaches::new(&WalkCacheConfig::paper_base());
+        assert!(!caches.has_nested_tlb());
+        assert_eq!(
+            caches.lookup_nested(Sid::new(0), Did::new(0), GPa::new(0x1000), 0),
+            None
+        );
+        caches.fill_nested(Sid::new(0), Did::new(0), GPa::new(0x1000), HPa::new(0x2000), 1);
+        assert!(caches.nested_stats().is_none());
+    }
+
+    #[test]
+    fn clear_empties_both() {
+        let mut caches = WalkCaches::new(&WalkCacheConfig::paper_base());
+        let (sid, did, iova) = (Sid::new(0), Did::new(0), GIova::new(0x4000_0000));
+        caches.fill_l2(sid, did, iova, leaf(1), 0);
+        caches.fill_l3(sid, did, iova, leaf(2), 0);
+        caches.clear();
+        assert_eq!(caches.lookup_l2(sid, did, iova, 1), None);
+        assert_eq!(caches.lookup_l3(sid, did, iova, 2), None);
+    }
+}

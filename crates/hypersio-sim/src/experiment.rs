@@ -1,0 +1,188 @@
+//! Sweep drivers shared by the figure/table reproduction binaries.
+
+use std::fmt;
+
+use hypersio_trace::{HyperTraceBuilder, Interleaving, WorkloadKind};
+use hypertrio_core::TranslationConfig;
+
+use crate::model::Simulation;
+use crate::params::SimParams;
+use crate::report::SimReport;
+
+/// The tenant counts of the paper's scalability figures (4 … 1024).
+pub const PAPER_TENANT_COUNTS: [u32; 9] = [4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// One sweep configuration: a workload × interleaving × architecture.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Workload to generate.
+    pub workload: WorkloadKind,
+    /// Inter-tenant interleaving.
+    pub interleaving: Interleaving,
+    /// The architecture under test.
+    pub config: TranslationConfig,
+    /// System latencies.
+    pub params: SimParams,
+    /// Request-count divisor (see [`HyperTraceBuilder::scale`]).
+    pub scale: u64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// Creates a spec with the paper's defaults: RR1, Table II latencies,
+    /// seed 0. `scale` shortens the run (1 = paper-sized counts).
+    pub fn new(workload: WorkloadKind, config: TranslationConfig, scale: u64) -> Self {
+        SweepSpec {
+            workload,
+            interleaving: Interleaving::round_robin(1),
+            config,
+            params: SimParams::paper(),
+            scale,
+            seed: 0,
+        }
+    }
+
+    /// Sets the interleaving.
+    pub fn with_interleaving(mut self, interleaving: Interleaving) -> Self {
+        self.interleaving = interleaving;
+        self
+    }
+
+    /// Sets the system parameters.
+    pub fn with_params(mut self, params: SimParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the trace seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the trace-shortening factor actually used at `tenants`.
+    ///
+    /// `scale` is interpreted relative to the paper's 1024-tenant traces:
+    /// smaller tenant counts get proportionally *longer* per-tenant streams
+    /// (`scale * tenants / 1024`, at least 1), so every sweep point covers
+    /// a comparable number of packets and cold-start misses are amortised
+    /// the same way the paper's full-length traces amortise them.
+    pub fn effective_scale(&self, tenants: u32) -> u64 {
+        (self.scale * tenants as u64 / 1024).max(1)
+    }
+
+    /// Runs this spec at one tenant count.
+    pub fn run_at(&self, tenants: u32) -> SimReport {
+        let trace = HyperTraceBuilder::new(self.workload, tenants)
+            .interleaving(self.interleaving)
+            .scale(self.effective_scale(tenants))
+            .seed(self.seed)
+            .build();
+        Simulation::new(self.config.clone(), self.params.clone(), trace).run()
+    }
+}
+
+/// One point of a tenant-count sweep.
+#[derive(Debug, Clone)]
+pub struct ExperimentPoint {
+    /// Tenant count of this point.
+    pub tenants: u32,
+    /// The full simulation report.
+    pub report: SimReport,
+}
+
+impl fmt::Display for ExperimentPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>5} tenants: {:>8.2} Gb/s ({:>5.1}%)",
+            self.tenants,
+            self.report.gbps(),
+            self.report.utilization * 100.0
+        )
+    }
+}
+
+/// Runs `spec` across `tenant_counts`, returning one point per count.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_sim::{sweep_tenants, SweepSpec};
+/// use hypersio_trace::WorkloadKind;
+/// use hypertrio_core::TranslationConfig;
+///
+/// let spec = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::base(), 5000);
+/// let points = sweep_tenants(&spec, &[2, 8]);
+/// assert_eq!(points.len(), 2);
+/// assert!(points[0].report.utilization >= points[1].report.utilization);
+/// ```
+pub fn sweep_tenants(spec: &SweepSpec, tenant_counts: &[u32]) -> Vec<ExperimentPoint> {
+    tenant_counts
+        .iter()
+        .map(|&tenants| ExperimentPoint {
+            tenants,
+            report: spec.run_at(tenants),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_monotone_tenant_labels() {
+        let spec = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::base(), 5000);
+        let points = sweep_tenants(&spec, &[2, 4, 8]);
+        let labels: Vec<u32> = points.iter().map(|p| p.tenants).collect();
+        assert_eq!(labels, vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn effective_scale_is_proportional_and_clamped() {
+        let spec = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::base(), 200);
+        assert_eq!(spec.effective_scale(1024), 200);
+        assert_eq!(spec.effective_scale(128), 25);
+        assert_eq!(spec.effective_scale(4), 1);
+    }
+
+    #[test]
+    fn base_utilization_declines_with_tenants() {
+        let spec = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::base(), 2000);
+        let points = sweep_tenants(&spec, &[2, 64]);
+        assert!(
+            points[0].report.utilization > points[1].report.utilization,
+            "{} vs {}",
+            points[0],
+            points[1]
+        );
+    }
+
+    #[test]
+    fn spec_builders_apply() {
+        let spec = SweepSpec::new(WorkloadKind::Websearch, TranslationConfig::hypertrio(), 100)
+            .with_interleaving(Interleaving::random(1, 5))
+            .with_seed(7)
+            .with_params(SimParams::paper_10g());
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.params.link.bandwidth().gbps(), 10.0);
+        assert_eq!(spec.interleaving.to_string(), "RAND1");
+    }
+
+    #[test]
+    fn point_display_is_tabular() {
+        let spec = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::base(), 5000);
+        let point = &sweep_tenants(&spec, &[2])[0];
+        let s = point.to_string();
+        assert!(s.contains("2 tenants"));
+        assert!(s.contains("Gb/s"));
+    }
+
+    #[test]
+    fn paper_counts_span_4_to_1024() {
+        assert_eq!(PAPER_TENANT_COUNTS[0], 4);
+        assert_eq!(*PAPER_TENANT_COUNTS.last().unwrap(), 1024);
+    }
+}

@@ -1,0 +1,165 @@
+//! Simulation result reporting.
+
+use std::fmt;
+
+use hypersio_cache::CacheStats;
+use hypersio_mem::IommuStats;
+
+use crate::latency::LatencyStats;
+use hypersio_types::{Bandwidth, Bytes, SimDuration};
+use hypersio_trace::{Interleaving, WorkloadKind};
+
+/// The results of one simulation run.
+///
+/// The headline numbers are [`SimReport::achieved`] (total bytes over
+/// elapsed time) and [`SimReport::utilization`] (fraction of the nominal
+/// link bandwidth) — these are the y-axes of every bandwidth figure in the
+/// paper. The per-structure statistics feed the sensitivity studies.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Name of the simulated configuration ("Base", "HyperTRIO", …).
+    pub config_name: String,
+    /// Workload the trace modelled.
+    pub workload: WorkloadKind,
+    /// Inter-tenant interleaving of the trace.
+    pub interleaving: Interleaving,
+    /// Number of tenants in the trace.
+    pub tenants: u32,
+    /// Packets fully processed (all three translations completed).
+    pub packets_processed: u64,
+    /// Arrival slots lost to PTB-full drops (each dropped packet was
+    /// retried at a later slot).
+    pub packets_dropped: u64,
+    /// Wire bytes moved for the processed packets.
+    pub bytes: Bytes,
+    /// Simulated time from first arrival to last completion.
+    pub elapsed: SimDuration,
+    /// Achieved bandwidth.
+    pub achieved: Bandwidth,
+    /// Achieved / nominal bandwidth (0.0 ..= 1.0, up to rounding).
+    pub utilization: f64,
+    /// DevTLB access statistics.
+    pub devtlb: CacheStats,
+    /// Prefetch Buffer statistics (zeroed when prefetching is disabled).
+    pub prefetch_buffer: CacheStats,
+    /// Fraction of translation requests served by the Prefetch Buffer.
+    pub pb_served_fraction: f64,
+    /// Translation prefetches issued to the IOMMU.
+    pub prefetches_issued: u64,
+    /// IOMMU aggregate statistics (includes prefetch traffic).
+    pub iommu: IommuStats,
+    /// L2 page-walk-cache statistics.
+    pub l2_cache: CacheStats,
+    /// L3 page-walk-cache statistics.
+    pub l3_cache: CacheStats,
+    /// Total translation requests the device issued (3 per packet).
+    pub translation_requests: u64,
+    /// Per-packet service latency (arrival to last translation done).
+    pub packet_latency: LatencyStats,
+}
+
+impl SimReport {
+    /// Achieved bandwidth in Gb/s (convenience for tables).
+    pub fn gbps(&self) -> f64 {
+        self.achieved.gbps()
+    }
+
+    /// Drop fraction: dropped slots over all arrival slots used.
+    pub fn drop_fraction(&self) -> f64 {
+        let total = self.packets_processed + self.packets_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.packets_dropped as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} / {} / {} / {} tenants: {:.2} Gb/s ({:.1}% of link)",
+            self.config_name,
+            self.workload,
+            self.interleaving,
+            self.tenants,
+            self.gbps(),
+            self.utilization * 100.0
+        )?;
+        writeln!(
+            f,
+            "  packets: {} processed, {} dropped ({:.2}% drop)",
+            self.packets_processed,
+            self.packets_dropped,
+            self.drop_fraction() * 100.0
+        )?;
+        writeln!(f, "  devtlb:  {}", self.devtlb)?;
+        writeln!(
+            f,
+            "  pb:      {} ({:.1}% of requests served), {} prefetches",
+            self.prefetch_buffer,
+            self.pb_served_fraction * 100.0,
+            self.prefetches_issued
+        )?;
+        writeln!(
+            f,
+            "  iommu:   {} requests, {} dram reads, {} full walks",
+            self.iommu.requests, self.iommu.dram_accesses, self.iommu.full_walks
+        )?;
+        write!(f, "  latency: {}", self.packet_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> SimReport {
+        SimReport {
+            config_name: "Base".to_string(),
+            workload: WorkloadKind::Iperf3,
+            interleaving: Interleaving::round_robin(1),
+            tenants: 4,
+            packets_processed: 90,
+            packets_dropped: 10,
+            bytes: Bytes::new(90 * 1542),
+            elapsed: SimDuration::from_us(10),
+            achieved: Bandwidth::from_gbps(111),
+            utilization: 0.555,
+            devtlb: CacheStats::new(),
+            prefetch_buffer: CacheStats::new(),
+            pb_served_fraction: 0.0,
+            prefetches_issued: 0,
+            iommu: IommuStats::default(),
+            l2_cache: CacheStats::new(),
+            l3_cache: CacheStats::new(),
+            translation_requests: 270,
+            packet_latency: LatencyStats::new(),
+        }
+    }
+
+    #[test]
+    fn drop_fraction_math() {
+        let r = dummy();
+        assert!((r.drop_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(r.gbps(), 111.0);
+    }
+
+    #[test]
+    fn drop_fraction_empty_run() {
+        let mut r = dummy();
+        r.packets_processed = 0;
+        r.packets_dropped = 0;
+        assert_eq!(r.drop_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_includes_headline() {
+        let s = dummy().to_string();
+        assert!(s.contains("111.00 Gb/s"));
+        assert!(s.contains("55.5% of link"));
+        assert!(s.contains("90 processed"));
+        assert!(s.contains("latency:"));
+    }
+}

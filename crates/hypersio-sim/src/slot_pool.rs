@@ -1,0 +1,168 @@
+//! Timed resource pool: N slots, each busy until a free time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use hypersio_types::{SimDuration, SimTime};
+
+/// A pool of `capacity` identical resources (PTB entries, IOMMU walkers),
+/// each occupied until its recorded free time.
+///
+/// [`SlotPool::schedule`] implements the common pattern: take the earliest-
+/// free slot, start no earlier than `at`, occupy it for `busy`, and return
+/// the `(start, end)` interval.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_sim::SlotPool;
+/// use hypersio_types::{SimDuration, SimTime};
+///
+/// let mut pool = SlotPool::new(2);
+/// let t0 = SimTime::ZERO;
+/// let work = SimDuration::from_ns(100);
+/// let (_, end_a) = pool.schedule(t0, work);
+/// let (_, end_b) = pool.schedule(t0, work);
+/// assert_eq!(end_a, end_b); // two slots run in parallel
+/// let (start_c, _) = pool.schedule(t0, work);
+/// assert_eq!(start_c, end_a); // third task waits for a slot
+/// ```
+#[derive(Clone)]
+pub struct SlotPool {
+    free_at: BinaryHeap<Reverse<u64>>,
+    capacity: usize,
+    scheduled: u64,
+}
+
+impl SlotPool {
+    /// Creates a pool with `capacity` slots, all free at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "pool needs at least one slot");
+        let mut free_at = BinaryHeap::with_capacity(capacity);
+        for _ in 0..capacity {
+            free_at.push(Reverse(0));
+        }
+        SlotPool {
+            free_at,
+            capacity,
+            scheduled: 0,
+        }
+    }
+
+    /// Returns the slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of slots free at time `at`.
+    pub fn free_slots(&self, at: SimTime) -> usize {
+        self.free_at
+            .iter()
+            .filter(|Reverse(t)| *t <= at.as_ps())
+            .count()
+    }
+
+    /// Returns true if at least one slot is free at time `at`.
+    pub fn has_free(&self, at: SimTime) -> bool {
+        self.free_at
+            .peek()
+            .is_some_and(|Reverse(t)| *t <= at.as_ps())
+    }
+
+    /// Returns the earliest time any slot becomes free.
+    pub fn earliest_free(&self) -> SimTime {
+        SimTime::from_ps(self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(0))
+    }
+
+    /// Occupies the earliest-free slot for `busy`, starting no earlier than
+    /// `at`. Returns the `(start, end)` interval.
+    pub fn schedule(&mut self, at: SimTime, busy: SimDuration) -> (SimTime, SimTime) {
+        let Reverse(slot_free) = self.free_at.pop().expect("pool is never empty");
+        let start = SimTime::from_ps(slot_free).max(at);
+        let end = start + busy;
+        self.free_at.push(Reverse(end.as_ps()));
+        self.scheduled += 1;
+        (start, end)
+    }
+
+    /// Returns the number of tasks scheduled so far.
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+}
+
+impl fmt::Debug for SlotPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotPool")
+            .field("capacity", &self.capacity)
+            .field("scheduled", &self.scheduled)
+            .field("earliest_free", &self.earliest_free())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_until_capacity() {
+        let mut pool = SlotPool::new(3);
+        let work = SimDuration::from_ns(10);
+        let ends: Vec<SimTime> = (0..3)
+            .map(|_| pool.schedule(SimTime::ZERO, work).1)
+            .collect();
+        assert!(ends.iter().all(|&e| e.as_ns() == 10));
+        let (start, end) = pool.schedule(SimTime::ZERO, work);
+        assert_eq!(start.as_ns(), 10);
+        assert_eq!(end.as_ns(), 20);
+    }
+
+    #[test]
+    fn free_slots_counts_at_time() {
+        let mut pool = SlotPool::new(2);
+        pool.schedule(SimTime::ZERO, SimDuration::from_ns(100));
+        assert_eq!(pool.free_slots(SimTime::ZERO), 1);
+        assert_eq!(pool.free_slots(SimTime::from_ps(100_000)), 2);
+        assert!(pool.has_free(SimTime::ZERO));
+    }
+
+    #[test]
+    fn full_pool_has_no_free_until_end() {
+        let mut pool = SlotPool::new(1);
+        pool.schedule(SimTime::ZERO, SimDuration::from_ns(5));
+        assert!(!pool.has_free(SimTime::ZERO));
+        assert!(pool.has_free(SimTime::from_ps(5000)));
+        assert_eq!(pool.earliest_free().as_ns(), 5);
+    }
+
+    #[test]
+    fn idle_gap_starts_at_request_time() {
+        let mut pool = SlotPool::new(1);
+        let late = SimTime::from_ps(1_000_000);
+        let (start, end) = pool.schedule(late, SimDuration::from_ns(1));
+        assert_eq!(start, late);
+        assert_eq!(end.as_ps(), 1_001_000);
+    }
+
+    #[test]
+    fn scheduled_counter() {
+        let mut pool = SlotPool::new(2);
+        for _ in 0..5 {
+            pool.schedule(SimTime::ZERO, SimDuration::from_ns(1));
+        }
+        assert_eq!(pool.scheduled(), 5);
+        assert_eq!(pool.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _ = SlotPool::new(0);
+    }
+}

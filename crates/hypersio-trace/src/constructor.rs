@@ -1,0 +1,489 @@
+//! The hyper-trace constructor: interleaving many tenant streams into one
+//! trace (HyperSIO's Trace Constructor, §IV-B).
+
+use std::fmt;
+
+use hypersio_types::{Did, Sid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats::TraceStats;
+use crate::tenant::{TenantStream, TracePacket};
+use crate::workload::{PageInventory, WorkloadKind, WorkloadParams};
+
+/// How consecutive packets are drawn from tenants (§IV-B).
+///
+/// The paper evaluates `RR1`, `RR4`, and `RAND1`: round-robin with burst
+/// sizes 1 and 4 (hardware arbiters in real NICs), and uniform-random tenant
+/// selection (independent request traffic).
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_trace::Interleaving;
+///
+/// assert_eq!(Interleaving::round_robin(4).to_string(), "RR4");
+/// assert_eq!(Interleaving::random(1, 7).to_string(), "RAND1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interleaving {
+    /// Round-robin over tenants, `burst` consecutive packets each.
+    RoundRobin {
+        /// Consecutive packets per tenant turn.
+        burst: u64,
+    },
+    /// Uniform-random tenant each turn, `burst` consecutive packets.
+    Random {
+        /// Consecutive packets per tenant turn.
+        burst: u64,
+        /// RNG seed for tenant selection.
+        seed: u64,
+    },
+}
+
+impl Interleaving {
+    /// Round-robin with the given burst size (RR1, RR4, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero.
+    pub fn round_robin(burst: u64) -> Self {
+        assert!(burst > 0, "burst must be at least 1");
+        Interleaving::RoundRobin { burst }
+    }
+
+    /// Random tenant selection with the given burst size (RAND1, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero.
+    pub fn random(burst: u64, seed: u64) -> Self {
+        assert!(burst > 0, "burst must be at least 1");
+        Interleaving::Random { burst, seed }
+    }
+
+    /// Returns the burst size.
+    pub fn burst(self) -> u64 {
+        match self {
+            Interleaving::RoundRobin { burst } | Interleaving::Random { burst, .. } => burst,
+        }
+    }
+}
+
+impl fmt::Display for Interleaving {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interleaving::RoundRobin { burst } => write!(f, "RR{burst}"),
+            Interleaving::Random { burst, .. } => write!(f, "RAND{burst}"),
+        }
+    }
+}
+
+/// Builder for a [`HyperTrace`].
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_trace::{HyperTraceBuilder, Interleaving, WorkloadKind};
+///
+/// let trace = HyperTraceBuilder::new(WorkloadKind::Mediastream, 16)
+///     .interleaving(Interleaving::round_robin(4))
+///     .scale(100)
+///     .seed(1)
+///     .build();
+/// assert_eq!(trace.tenants(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HyperTraceBuilder {
+    kind: WorkloadKind,
+    tenants: u32,
+    interleaving: Interleaving,
+    seed: u64,
+    scale: u64,
+    fixed_requests: Option<u64>,
+    sids: Option<Vec<Sid>>,
+}
+
+impl HyperTraceBuilder {
+    /// Starts a builder for `tenants` copies of `kind`'s workload.
+    ///
+    /// Defaults: RR1 interleaving, seed 0, scale 1 (paper-sized request
+    /// counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is zero.
+    pub fn new(kind: WorkloadKind, tenants: u32) -> Self {
+        assert!(tenants > 0, "at least one tenant is required");
+        HyperTraceBuilder {
+            kind,
+            tenants,
+            interleaving: Interleaving::round_robin(1),
+            seed: 0,
+            scale: 1,
+            fixed_requests: None,
+            sids: None,
+        }
+    }
+
+    /// Sets the inter-tenant interleaving.
+    pub fn interleaving(mut self, interleaving: Interleaving) -> Self {
+        self.interleaving = interleaving;
+        self
+    }
+
+    /// Sets the RNG seed (tenant request counts, irregular jumps, RAND
+    /// interleaving).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Divides per-tenant request counts by `scale` for faster runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn scale(mut self, scale: u64) -> Self {
+        assert!(scale > 0, "scale must be at least 1");
+        self.scale = scale;
+        self
+    }
+
+    /// Gives every tenant exactly `requests` translation requests instead
+    /// of a random draw from the Table III bounds (before `scale` is
+    /// applied). Useful for draw-independent measurements such as the
+    /// active-translation-set study (Fig 11c).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is zero.
+    pub fn requests_per_tenant(mut self, requests: u64) -> Self {
+        assert!(requests > 0, "requests must be at least 1");
+        self.fixed_requests = Some(requests);
+        self
+    }
+
+    /// Assigns each tenant the given Source ID instead of the default
+    /// `Sid::new(did)`. Real deployments derive SIDs from the VF BDFs a
+    /// hypervisor hands out (see `hypersio_device::SriovDevice`); the
+    /// partitioning schemes key on these values.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at build) if the list length differs from the tenant count
+    /// or contains duplicate SIDs.
+    pub fn sids(mut self, sids: Vec<Sid>) -> Self {
+        self.sids = Some(sids);
+        self
+    }
+
+    /// Builds the trace iterator.
+    pub fn build(self) -> HyperTrace {
+        let mut params = self.kind.params();
+        if let Some(fixed) = self.fixed_requests {
+            params.min_requests = fixed;
+            params.max_requests = fixed;
+        }
+        if let Some(sids) = &self.sids {
+            assert!(
+                sids.len() == self.tenants as usize,
+                "need exactly one SID per tenant ({} != {})",
+                sids.len(),
+                self.tenants
+            );
+            let mut sorted: Vec<u32> = sids.iter().map(|s| s.raw()).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert!(sorted.len() == sids.len(), "SIDs must be unique");
+        }
+        let streams: Vec<TenantStream> = (0..self.tenants)
+            .map(|t| {
+                let stream =
+                    TenantStream::new(params.clone(), Did::new(t), self.seed, self.scale);
+                match &self.sids {
+                    Some(sids) => stream.with_sid(sids[t as usize]),
+                    None => stream,
+                }
+            })
+            .collect();
+        let selector_rng = match self.interleaving {
+            Interleaving::Random { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+            Interleaving::RoundRobin { .. } => None,
+        };
+        HyperTrace {
+            params,
+            streams,
+            interleaving: self.interleaving,
+            selector_rng,
+            current: 0,
+            burst_left: self.interleaving.burst(),
+            done: false,
+            emitted: 0,
+        }
+    }
+}
+
+/// A streaming hyper-tenant trace: the interleaved packet sequence consumed
+/// by the performance model.
+///
+/// Generation is lazy (packets are produced on demand), so 1024-tenant
+/// paper-scale traces never need to be materialised. The iterator ends when
+/// *any* tenant runs out of requests (§IV-B's edge-effect rule), so every
+/// tenant is active for the whole trace.
+///
+/// Cloning a trace replays the identical packet sequence from the clone
+/// point — the Belady-oracle experiments rely on this to pre-scan accesses.
+#[derive(Clone)]
+pub struct HyperTrace {
+    params: WorkloadParams,
+    streams: Vec<TenantStream>,
+    interleaving: Interleaving,
+    selector_rng: Option<StdRng>,
+    current: usize,
+    burst_left: u64,
+    done: bool,
+    emitted: u64,
+}
+
+impl HyperTrace {
+    /// Returns the number of tenants.
+    pub fn tenants(&self) -> u32 {
+        self.streams.len() as u32
+    }
+
+    /// Returns the workload parameters shared by all tenants.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Returns the interleaving in use.
+    pub fn interleaving(&self) -> Interleaving {
+        self.interleaving
+    }
+
+    /// Returns each tenant's Source ID, indexed by DID.
+    pub fn tenant_sids(&self) -> Vec<Sid> {
+        self.streams.iter().map(|s| s.sid()).collect()
+    }
+
+    /// Returns the per-tenant page inventory (identical for every tenant).
+    pub fn page_inventory(&self) -> PageInventory {
+        self.params.page_inventory()
+    }
+
+    /// Returns packets emitted so far.
+    pub fn packets_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Computes Table III-style statistics by exhausting a clone of this
+    /// trace (the trace itself is not consumed).
+    ///
+    /// Matching the paper's semantics: `max`/`min` are the translation
+    /// requests *recorded per tenant's log* (the assigned counts), while
+    /// `total` counts the trimmed hyper-trace — which stops when any
+    /// tenant runs dry, which is why the paper's totals equal roughly
+    /// `tenants x min`.
+    pub fn stats(&self) -> TraceStats {
+        let draws: Vec<u64> = self.streams.iter().map(|s| s.total_requests()).collect();
+        let total = self.clone().count() as u64 * 3;
+        TraceStats::from_draws(self.params.kind, &draws, total)
+    }
+
+    fn select_next_tenant(&mut self) {
+        match self.interleaving {
+            Interleaving::RoundRobin { burst } => {
+                self.current = (self.current + 1) % self.streams.len();
+                self.burst_left = burst;
+            }
+            Interleaving::Random { burst, .. } => {
+                let rng = self
+                    .selector_rng
+                    .as_mut()
+                    .expect("random interleaving carries an RNG");
+                self.current = rng.gen_range(0..self.streams.len());
+                self.burst_left = burst;
+            }
+        }
+    }
+}
+
+impl Iterator for HyperTrace {
+    type Item = TracePacket;
+
+    fn next(&mut self) -> Option<TracePacket> {
+        if self.done {
+            return None;
+        }
+        if self.burst_left == 0 {
+            self.select_next_tenant();
+        }
+        self.burst_left -= 1;
+        match self.streams[self.current].next() {
+            Some(pkt) => {
+                self.emitted += 1;
+                Some(pkt)
+            }
+            None => {
+                // Any tenant running dry ends the trace (edge-effect rule).
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+impl fmt::Debug for HyperTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HyperTrace")
+            .field("kind", &self.params.kind)
+            .field("tenants", &self.streams.len())
+            .field("interleaving", &self.interleaving)
+            .field("emitted", &self.emitted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(kind: WorkloadKind, tenants: u32, inter: Interleaving) -> HyperTrace {
+        HyperTraceBuilder::new(kind, tenants)
+            .interleaving(inter)
+            .scale(200)
+            .seed(3)
+            .build()
+    }
+
+    #[test]
+    fn rr1_cycles_tenants_in_order() {
+        let pkts: Vec<_> = trace(WorkloadKind::Iperf3, 4, Interleaving::round_robin(1))
+            .take(8)
+            .collect();
+        let dids: Vec<u32> = pkts.iter().map(|p| p.did.raw()).collect();
+        assert_eq!(dids, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rr4_bursts_of_four() {
+        let pkts: Vec<_> = trace(WorkloadKind::Iperf3, 2, Interleaving::round_robin(4))
+            .take(12)
+            .collect();
+        let dids: Vec<u32> = pkts.iter().map(|p| p.did.raw()).collect();
+        assert_eq!(dids, vec![0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn rand1_is_seeded_and_varied() {
+        let a: Vec<u32> = trace(WorkloadKind::Iperf3, 8, Interleaving::random(1, 9))
+            .take(64)
+            .map(|p| p.did.raw())
+            .collect();
+        let b: Vec<u32> = trace(WorkloadKind::Iperf3, 8, Interleaving::random(1, 9))
+            .take(64)
+            .map(|p| p.did.raw())
+            .collect();
+        assert_eq!(a, b, "same seed, same selection");
+        let distinct: std::collections::HashSet<u32> = a.iter().copied().collect();
+        assert!(distinct.len() > 4, "random selection should spread");
+    }
+
+    #[test]
+    fn trace_ends_when_any_tenant_dries_up() {
+        let t = trace(WorkloadKind::Mediastream, 4, Interleaving::round_robin(1));
+        let min_total = t
+            .streams
+            .iter()
+            .map(|s| s.total_requests() / 3)
+            .min()
+            .unwrap();
+        let n = t.count() as u64;
+        // RR1 over 4 tenants: trace length is ~4x the shortest stream.
+        assert!(n >= (min_total - 1) * 4 && n <= min_total * 4 + 4, "n={n}, min={min_total}");
+    }
+
+    #[test]
+    fn stats_do_not_consume_trace() {
+        let mut t = trace(WorkloadKind::Iperf3, 2, Interleaving::round_robin(1));
+        let stats = t.stats();
+        assert!(stats.total_requests > 0);
+        assert!(t.next().is_some());
+    }
+
+    #[test]
+    fn inventory_and_params_accessors() {
+        let t = trace(WorkloadKind::Websearch, 2, Interleaving::round_robin(1));
+        assert_eq!(t.tenants(), 2);
+        assert_eq!(t.interleaving().to_string(), "RR1");
+        assert!(t.page_inventory().len() > 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn zero_tenants_rejected() {
+        let _ = HyperTraceBuilder::new(WorkloadKind::Iperf3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst")]
+    fn zero_burst_rejected() {
+        let _ = Interleaving::round_robin(0);
+    }
+
+    #[test]
+    fn fixed_requests_make_equal_tenants() {
+        let trace = HyperTraceBuilder::new(WorkloadKind::Mediastream, 3)
+            .requests_per_tenant(9000)
+            .scale(10)
+            .build();
+        let stats = trace.stats();
+        assert_eq!(stats.min_per_tenant, stats.max_per_tenant);
+        assert_eq!(stats.min_per_tenant, 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "requests must be at least 1")]
+    fn zero_fixed_requests_rejected() {
+        let _ = HyperTraceBuilder::new(WorkloadKind::Iperf3, 1).requests_per_tenant(0);
+    }
+
+    #[test]
+    fn custom_sids_flow_through() {
+        let sids = vec![Sid::new(100), Sid::new(200)];
+        let trace = HyperTraceBuilder::new(WorkloadKind::Iperf3, 2)
+            .sids(sids.clone())
+            .scale(1000)
+            .build();
+        assert_eq!(trace.tenant_sids(), sids);
+        for pkt in trace.take(4) {
+            assert_eq!(pkt.sid.raw(), (pkt.did.raw() + 1) * 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one SID per tenant")]
+    fn wrong_sid_count_rejected() {
+        let _ = HyperTraceBuilder::new(WorkloadKind::Iperf3, 2)
+            .sids(vec![Sid::new(1)])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_sids_rejected() {
+        let _ = HyperTraceBuilder::new(WorkloadKind::Iperf3, 2)
+            .sids(vec![Sid::new(1), Sid::new(1)])
+            .build();
+    }
+
+    #[test]
+    fn emitted_counter_tracks_iteration() {
+        let mut t = trace(WorkloadKind::Iperf3, 2, Interleaving::round_robin(1));
+        for _ in 0..10 {
+            t.next().unwrap();
+        }
+        assert_eq!(t.packets_emitted(), 10);
+    }
+}

@@ -1,0 +1,240 @@
+//! Compact text codec for packet logs.
+//!
+//! HyperSIO's Log Collector persists per-run logs that the Trace
+//! Constructor later splices; this module provides the equivalent
+//! serialisation for our synthetic streams so traces can be saved, diffed,
+//! and replayed without regenerating them. The format is one packet per
+//! line:
+//!
+//! ```text
+//! p <did> <ring-hex> <data-hex> <mailbox-hex>
+//! ```
+//!
+//! Lines starting with `#` are comments. The codec is hand-rolled (no serde)
+//! to keep the dependency set minimal.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use hypersio_types::{Did, GIova, Sid};
+
+use crate::tenant::TracePacket;
+
+/// Errors from decoding a packet log.
+#[derive(Debug)]
+pub enum LogCodecError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not match the expected format.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LogCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogCodecError::Io(e) => write!(f, "log I/O error: {e}"),
+            LogCodecError::Malformed { line, reason } => {
+                write!(f, "malformed log line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for LogCodecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LogCodecError::Io(e) => Some(e),
+            LogCodecError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LogCodecError {
+    fn from(e: std::io::Error) -> Self {
+        LogCodecError::Io(e)
+    }
+}
+
+/// Writes packets to `out`, one per line.
+///
+/// A mutable reference to any `Write` can be passed (e.g. `&mut Vec<u8>` or
+/// a `File`).
+///
+/// # Errors
+///
+/// Returns any I/O error from `out`.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_trace::{read_packets, write_packets, TenantStream, WorkloadKind};
+/// use hypersio_types::Did;
+///
+/// let packets: Vec<_> = TenantStream::new(
+///     WorkloadKind::Iperf3.params(), Did::new(0), 7, 1000,
+/// ).collect();
+/// let mut buf = Vec::new();
+/// write_packets(&mut buf, packets.iter().copied())?;
+/// let back = read_packets(&mut buf.as_slice())?;
+/// assert_eq!(back, packets);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_packets<W, I>(out: W, packets: I) -> Result<u64, LogCodecError>
+where
+    W: Write,
+    I: IntoIterator<Item = TracePacket>,
+{
+    let mut out = out;
+    let mut n = 0u64;
+    writeln!(out, "# hypersio packet log v1")?;
+    for pkt in packets {
+        writeln!(
+            out,
+            "p {} {:x} {:x} {:x}",
+            pkt.did.raw(),
+            pkt.iovas[0].raw(),
+            pkt.iovas[1].raw(),
+            pkt.iovas[2].raw(),
+        )?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Reads every packet from `input`.
+///
+/// # Errors
+///
+/// Returns [`LogCodecError::Malformed`] on format violations and
+/// [`LogCodecError::Io`] on read failures.
+pub fn read_packets<R: BufRead>(input: R) -> Result<Vec<TracePacket>, LogCodecError> {
+    let mut packets = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_ascii_whitespace();
+        match fields.next() {
+            Some("p") => {}
+            Some(other) => {
+                return Err(LogCodecError::Malformed {
+                    line: lineno,
+                    reason: format!("unknown record type {other:?}"),
+                });
+            }
+            None => unreachable!("non-empty trimmed line has a first token"),
+        }
+        let did: u32 = fields
+            .next()
+            .ok_or_else(|| missing(lineno, "did"))?
+            .parse()
+            .map_err(|e| bad(lineno, "did", e))?;
+        let mut iovas = [GIova::new(0); 3];
+        for (slot, name) in iovas.iter_mut().zip(["ring", "data", "mailbox"]) {
+            let hex = fields.next().ok_or_else(|| missing(lineno, name))?;
+            let raw = u64::from_str_radix(hex, 16).map_err(|e| bad(lineno, name, e))?;
+            *slot = GIova::new(raw);
+        }
+        if fields.next().is_some() {
+            return Err(LogCodecError::Malformed {
+                line: lineno,
+                reason: "trailing fields".to_string(),
+            });
+        }
+        packets.push(TracePacket {
+            sid: Sid::new(did),
+            did: Did::new(did),
+            iovas,
+        });
+    }
+    Ok(packets)
+}
+
+fn missing(line: usize, field: &str) -> LogCodecError {
+    LogCodecError::Malformed {
+        line,
+        reason: format!("missing field {field}"),
+    }
+}
+
+fn bad(line: usize, field: &str, err: impl fmt::Display) -> LogCodecError {
+    LogCodecError::Malformed {
+        line,
+        reason: format!("bad {field}: {err}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(did: u32, a: u64, b: u64, c: u64) -> TracePacket {
+        TracePacket {
+            sid: Sid::new(did),
+            did: Did::new(did),
+            iovas: [GIova::new(a), GIova::new(b), GIova::new(c)],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let packets = vec![pkt(0, 0x34800000, 0xbbe00042, 0x34801000), pkt(7, 1, 2, 3)];
+        let mut buf = Vec::new();
+        let n = write_packets(&mut buf, packets.iter().copied()).unwrap();
+        assert_eq!(n, 2);
+        let back = read_packets(buf.as_slice()).unwrap();
+        assert_eq!(back, packets);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\np 3 a b c\n   \n";
+        let packets = read_packets(text.as_bytes()).unwrap();
+        assert_eq!(packets, vec![pkt(3, 0xa, 0xb, 0xc)]);
+    }
+
+    #[test]
+    fn unknown_record_type_rejected() {
+        let err = read_packets("q 1 2 3 4\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, LogCodecError::Malformed { line: 1, .. }));
+        assert!(format!("{err}").contains("unknown record type"));
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let err = read_packets("p 1 2 3\n".as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains("missing field mailbox"));
+    }
+
+    #[test]
+    fn trailing_fields_rejected() {
+        let err = read_packets("p 1 2 3 4 5\n".as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains("trailing"));
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        let err = read_packets("p 1 zz 3 4\n".as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains("bad ring"));
+    }
+
+    #[test]
+    fn bad_did_rejected() {
+        let err = read_packets("p x 2 3 4\n".as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains("bad did"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_vec() {
+        assert_eq!(read_packets("".as_bytes()).unwrap(), Vec::new());
+    }
+}

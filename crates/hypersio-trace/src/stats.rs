@@ -1,0 +1,122 @@
+//! Per-trace request statistics (regenerates the paper's Table III).
+
+use std::fmt;
+
+use crate::workload::WorkloadKind;
+
+/// Min/max/total translation-request counts across the tenants of one
+/// hyper-trace, as reported in the paper's Table III.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_trace::{HyperTraceBuilder, WorkloadKind};
+///
+/// let trace = HyperTraceBuilder::new(WorkloadKind::Iperf3, 8).scale(500).build();
+/// let stats = trace.stats();
+/// assert_eq!(stats.tenants, 8);
+/// assert!(stats.min_per_tenant <= stats.max_per_tenant);
+/// // Edge-effect trimming: the total tracks tenants x min (within packet
+/// // rounding), not tenants x max.
+/// assert!(stats.total_requests + 3 * 8 >= stats.min_per_tenant * 8);
+/// assert!(stats.total_requests <= stats.max_per_tenant * 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// The workload the trace models.
+    pub kind: WorkloadKind,
+    /// Number of tenants in the trace.
+    pub tenants: u32,
+    /// Fewest translation requests contributed by any tenant.
+    pub min_per_tenant: u64,
+    /// Most translation requests contributed by any tenant.
+    pub max_per_tenant: u64,
+    /// Total translation requests in the trace.
+    pub total_requests: u64,
+}
+
+impl TraceStats {
+    /// Builds statistics from per-tenant request counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_tenant` is empty.
+    pub fn from_per_tenant(kind: WorkloadKind, per_tenant: &[u64]) -> Self {
+        assert!(!per_tenant.is_empty(), "stats need at least one tenant");
+        TraceStats {
+            kind,
+            tenants: per_tenant.len() as u32,
+            min_per_tenant: *per_tenant.iter().min().expect("non-empty"),
+            max_per_tenant: *per_tenant.iter().max().expect("non-empty"),
+            total_requests: per_tenant.iter().sum(),
+        }
+    }
+
+    /// Builds statistics the way the paper's Table III does: `max`/`min`
+    /// from the per-tenant log sizes (`draws`), `total` from the trimmed
+    /// hyper-trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `draws` is empty.
+    pub fn from_draws(kind: WorkloadKind, draws: &[u64], trimmed_total: u64) -> Self {
+        assert!(!draws.is_empty(), "stats need at least one tenant");
+        TraceStats {
+            kind,
+            tenants: draws.len() as u32,
+            min_per_tenant: *draws.iter().min().expect("non-empty"),
+            max_per_tenant: *draws.iter().max().expect("non-empty"),
+            total_requests: trimmed_total,
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} max/tenant={:>9} min/tenant={:>9} total({} tenants)={:>12}",
+            self.kind.to_string(),
+            self.max_per_tenant,
+            self.min_per_tenant,
+            self.tenants,
+            self.total_requests,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_per_tenant_computes_extremes() {
+        let stats = TraceStats::from_per_tenant(WorkloadKind::Iperf3, &[30, 10, 20]);
+        assert_eq!(stats.min_per_tenant, 10);
+        assert_eq!(stats.max_per_tenant, 30);
+        assert_eq!(stats.total_requests, 60);
+        assert_eq!(stats.tenants, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn empty_rejected() {
+        let _ = TraceStats::from_per_tenant(WorkloadKind::Iperf3, &[]);
+    }
+
+    #[test]
+    fn from_draws_separates_logs_from_trace() {
+        let stats = TraceStats::from_draws(WorkloadKind::Iperf3, &[100, 300], 206);
+        assert_eq!(stats.min_per_tenant, 100);
+        assert_eq!(stats.max_per_tenant, 300);
+        assert_eq!(stats.total_requests, 206);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let stats = TraceStats::from_per_tenant(WorkloadKind::Websearch, &[5, 7]);
+        let s = format!("{stats}");
+        assert!(s.contains("websearch"));
+        assert!(s.contains("12"));
+    }
+}

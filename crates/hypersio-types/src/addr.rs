@@ -1,0 +1,355 @@
+//! Address-space newtypes and page arithmetic.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Supported page sizes in the translation hierarchy.
+///
+/// The paper's workloads mix 2 MB huge pages (data buffers, because the L1VM
+/// ran with huge pages enabled) and 4 KB pages (NIC initialisation pages), on
+/// x86-64 4-level tables that can also map 1 GB pages.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_types::PageSize;
+///
+/// assert_eq!(PageSize::Size4K.bytes(), 4096);
+/// assert_eq!(PageSize::Size2M.shift(), 21);
+/// assert_eq!(PageSize::Size1G.bytes(), 1 << 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KiB page, mapped at page-table level 1.
+    Size4K,
+    /// 2 MiB huge page, mapped at page-table level 2.
+    Size2M,
+    /// 1 GiB huge page, mapped at page-table level 3.
+    Size1G,
+}
+
+impl PageSize {
+    /// Returns the page size in bytes.
+    pub const fn bytes(self) -> u64 {
+        1u64 << self.shift()
+    }
+
+    /// Returns the number of low address bits covered by the page offset.
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Returns the page-table level (1-based) at which this size is mapped.
+    ///
+    /// Level 1 maps 4 KB pages, level 2 maps 2 MB pages, level 3 maps 1 GB
+    /// pages (matching x86-64 radix-512 tables).
+    pub const fn level(self) -> u8 {
+        match self {
+            PageSize::Size4K => 1,
+            PageSize::Size2M => 2,
+            PageSize::Size1G => 3,
+        }
+    }
+
+    /// Returns the mask selecting the in-page offset bits.
+    pub const fn offset_mask(self) -> u64 {
+        self.bytes() - 1
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4K"),
+            PageSize::Size2M => write!(f, "2M"),
+            PageSize::Size1G => write!(f, "1G"),
+        }
+    }
+}
+
+macro_rules! address_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an address from its raw 64-bit value.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the page containing this address at the given size.
+            pub const fn page(self, size: PageSize) -> Page<$name> {
+                Page {
+                    base: $name(self.0 & !size.offset_mask()),
+                    size,
+                }
+            }
+
+            /// Returns the offset of this address within its page.
+            pub const fn page_offset(self, size: PageSize) -> u64 {
+                self.0 & size.offset_mask()
+            }
+
+            /// Returns the 9-bit radix index used at page-table `level`
+            /// (1 = leaf level for 4K pages, 4 = root for 4-level tables).
+            pub const fn level_index(self, level: u8) -> usize {
+                ((self.0 >> (12 + 9 * (level as u64 - 1))) & 0x1ff) as usize
+            }
+
+            /// Returns the address advanced by `bytes`.
+            ///
+            /// # Panics
+            ///
+            /// Panics on overflow of the 64-bit address space.
+            pub fn checked_add(self, bytes: u64) -> Option<Self> {
+                self.0.checked_add(bytes).map($name)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+    };
+}
+
+address_newtype! {
+    /// Guest I/O virtual address: what a tenant's OS hands its device for DMA.
+    ///
+    /// Every gIOVA must be translated through the two-dimensional walk before
+    /// the device can touch host memory. Crucially, *independent tenants
+    /// running the same OS/driver allocate the same gIOVAs* (§IV-D), which is
+    /// the root cause of DevTLB set conflicts in hyper-tenant systems.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypersio_types::{GIova, PageSize};
+    ///
+    /// let a = GIova::new(0xbbe0_1000);
+    /// assert_eq!(a.page(PageSize::Size2M).base(), GIova::new(0xbbe0_0000));
+    /// ```
+    GIova
+}
+
+address_newtype! {
+    /// Guest physical address: the output of the first-level (guest) walk,
+    /// and the input of the second-level (host) walk.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypersio_types::GPa;
+    ///
+    /// assert_eq!(GPa::new(0x1000).level_index(1), 1);
+    /// ```
+    GPa
+}
+
+address_newtype! {
+    /// Host physical address: the final product of translation, usable for
+    /// actual DRAM access.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypersio_types::HPa;
+    ///
+    /// assert_eq!((HPa::new(0x2000) + 0x10).raw(), 0x2010);
+    /// ```
+    HPa
+}
+
+/// A page (base address + size) in some address space `A`.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_types::{GIova, Page, PageSize};
+///
+/// let page: Page<GIova> = GIova::new(0x3480_0123).page(PageSize::Size4K);
+/// assert_eq!(page.base(), GIova::new(0x3480_0000));
+/// assert!(page.contains(GIova::new(0x3480_0fff)));
+/// assert!(!page.contains(GIova::new(0x3480_1000)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Page<A> {
+    base: A,
+    size: PageSize,
+}
+
+impl<A: Copy + Into<u64> + From<u64>> Page<A> {
+    /// Creates a page from a base address and size.
+    ///
+    /// The base is truncated to the page boundary if not already aligned.
+    pub fn new(base: A, size: PageSize) -> Self {
+        let raw: u64 = base.into();
+        Page {
+            base: A::from(raw & !size.offset_mask()),
+            size,
+        }
+    }
+
+    /// Returns the page base address.
+    pub fn base(&self) -> A {
+        self.base
+    }
+
+    /// Returns the page size.
+    pub fn size(&self) -> PageSize {
+        self.size
+    }
+
+    /// Returns true if `addr` falls inside this page.
+    pub fn contains(&self, addr: A) -> bool {
+        let base: u64 = self.base.into();
+        let a: u64 = addr.into();
+        a >= base && a < base + self.size.bytes()
+    }
+
+    /// Returns the immediately following page of the same size.
+    pub fn next(&self) -> Self {
+        let base: u64 = self.base.into();
+        Page {
+            base: A::from(base + self.size.bytes()),
+            size: self.size,
+        }
+    }
+}
+
+impl From<GIova> for u64 {
+    fn from(a: GIova) -> u64 {
+        a.raw()
+    }
+}
+
+impl From<GPa> for u64 {
+    fn from(a: GPa) -> u64 {
+        a.raw()
+    }
+}
+
+impl From<HPa> for u64 {
+    fn from(a: HPa) -> u64 {
+        a.raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_bytes_and_shift_agree() {
+        for size in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+            assert_eq!(size.bytes(), 1u64 << size.shift());
+            assert_eq!(size.offset_mask(), size.bytes() - 1);
+        }
+    }
+
+    #[test]
+    fn page_size_levels() {
+        assert_eq!(PageSize::Size4K.level(), 1);
+        assert_eq!(PageSize::Size2M.level(), 2);
+        assert_eq!(PageSize::Size1G.level(), 3);
+    }
+
+    #[test]
+    fn level_index_decomposes_address() {
+        // 4-level x86-64: bits [47:39][38:30][29:21][20:12]
+        let a = GIova::new((3u64 << 39) | (5u64 << 30) | (7u64 << 21) | (9u64 << 12) | 0xabc);
+        assert_eq!(a.level_index(4), 3);
+        assert_eq!(a.level_index(3), 5);
+        assert_eq!(a.level_index(2), 7);
+        assert_eq!(a.level_index(1), 9);
+        assert_eq!(a.page_offset(PageSize::Size4K), 0xabc);
+    }
+
+    #[test]
+    fn page_truncates_unaligned_base() {
+        let p = Page::new(GPa::new(0x2345), PageSize::Size4K);
+        assert_eq!(p.base(), GPa::new(0x2000));
+    }
+
+    #[test]
+    fn page_contains_boundaries() {
+        let p = GIova::new(0x20_0000).page(PageSize::Size2M);
+        assert!(p.contains(GIova::new(0x20_0000)));
+        assert!(p.contains(GIova::new(0x3f_ffff)));
+        assert!(!p.contains(GIova::new(0x40_0000)));
+        assert!(!p.contains(GIova::new(0x1f_ffff)));
+    }
+
+    #[test]
+    fn page_next_advances_by_size() {
+        let p = GIova::new(0).page(PageSize::Size2M);
+        assert_eq!(p.next().base(), GIova::new(2 * 1024 * 1024));
+    }
+
+    #[test]
+    fn address_arithmetic() {
+        let a = HPa::new(0x1000);
+        assert_eq!((a + 0x234).raw(), 0x1234);
+        assert_eq!(HPa::new(0x2000) - a, 0x1000);
+        assert_eq!(a.checked_add(u64::MAX), None);
+    }
+
+    #[test]
+    fn hex_formatting() {
+        let a = GIova::new(0xbeef);
+        assert_eq!(format!("{a}"), "0xbeef");
+        assert_eq!(format!("{a:x}"), "beef");
+        assert_eq!(format!("{a:X}"), "BEEF");
+    }
+
+    #[test]
+    fn page_size_display() {
+        assert_eq!(format!("{}", PageSize::Size2M), "2M");
+    }
+}

@@ -1,0 +1,218 @@
+//! Bandwidth and byte-count types used for link modelling and reporting.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use crate::time::SimDuration;
+
+/// A byte count (payload sizes, totals moved over the link).
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_types::Bytes;
+///
+/// let eth_frame = Bytes::new(1542);
+/// assert_eq!(eth_frame.bits(), 12336);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Creates a byte count.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Returns the raw byte count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the count in bits.
+    pub const fn bits(self) -> u64 {
+        self.0 * 8
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
+
+impl From<u64> for Bytes {
+    fn from(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::new(0), Add::add)
+    }
+}
+
+/// Link bandwidth in bits per second.
+///
+/// Provides the two computations the simulator needs: the exact
+/// inter-arrival time of fixed-size packets on a saturated link, and the
+/// achieved-bandwidth calculation for reports.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_types::{Bandwidth, Bytes};
+///
+/// let link = Bandwidth::from_gbps(200);
+/// // A 1542 B Ethernet frame (incl. IPG) arrives every 61.68 ns.
+/// let gap = link.transfer_time(Bytes::new(1542));
+/// assert_eq!(gap.as_ps(), 61_680);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from bits per second.
+    pub const fn from_bps(bps: u64) -> Self {
+        Bandwidth(bps)
+    }
+
+    /// Creates a bandwidth from gigabits per second.
+    pub const fn from_gbps(gbps: u64) -> Self {
+        Bandwidth(gbps * 1_000_000_000)
+    }
+
+    /// Returns the bandwidth in bits per second.
+    pub const fn bps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the bandwidth in gigabits per second as a float.
+    pub fn gbps(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the time to move `bytes` over this link.
+    ///
+    /// Computed exactly in picoseconds: `bits * 1e12 / bps`, rounded to the
+    /// nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is zero.
+    pub fn transfer_time(self, bytes: Bytes) -> SimDuration {
+        assert!(self.0 > 0, "transfer_time on a zero-bandwidth link");
+        let bits = bytes.bits() as u128;
+        let ps = (bits * 1_000_000_000_000u128 + (self.0 as u128) / 2) / self.0 as u128;
+        SimDuration::from_ps(ps as u64)
+    }
+
+    /// Returns the achieved bandwidth of moving `bytes` in `elapsed` time.
+    ///
+    /// Returns zero bandwidth for a zero elapsed time (nothing meaningful can
+    /// be reported for an instantaneous interval).
+    pub fn achieved(bytes: Bytes, elapsed: SimDuration) -> Bandwidth {
+        if elapsed.is_zero() {
+            return Bandwidth(0);
+        }
+        let bits = bytes.bits() as u128;
+        let bps = bits * 1_000_000_000_000u128 / elapsed.as_ps() as u128;
+        Bandwidth(bps as u64)
+    }
+
+    /// Returns this bandwidth as a fraction of `nominal` (1.0 = fully
+    /// utilized link).
+    pub fn utilization_of(self, nominal: Bandwidth) -> f64 {
+        if nominal.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / nominal.0 as f64
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}Gb/s", self.gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_packet_gap_at_200g() {
+        // §III: "for a 200Gb/s link, a 1500B packet arrives every 62ns";
+        // Table II uses 1542B (Eth pkt + IPG) => 61.68ns exactly.
+        let gap = Bandwidth::from_gbps(200).transfer_time(Bytes::new(1542));
+        assert_eq!(gap.as_ps(), 61_680);
+    }
+
+    #[test]
+    fn transfer_time_rounds_to_nearest_ps() {
+        // 1 byte at 3 bps = 8/3 s = 2.666..e12 ps -> rounds to 2666666666667.
+        let t = Bandwidth::from_bps(3).transfer_time(Bytes::new(1));
+        assert_eq!(t.as_ps(), 2_666_666_666_667);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-bandwidth")]
+    fn transfer_time_rejects_zero_bandwidth() {
+        let _ = Bandwidth::from_bps(0).transfer_time(Bytes::new(1));
+    }
+
+    #[test]
+    fn achieved_inverts_transfer_time() {
+        let link = Bandwidth::from_gbps(100);
+        let bytes = Bytes::new(1542 * 1000);
+        let t = link.transfer_time(bytes);
+        let achieved = Bandwidth::achieved(bytes, t);
+        // Within rounding error of one ps per packet.
+        assert!((achieved.gbps() - 100.0).abs() < 0.001, "{achieved}");
+    }
+
+    #[test]
+    fn achieved_zero_elapsed_is_zero() {
+        assert_eq!(
+            Bandwidth::achieved(Bytes::new(100), SimDuration::ZERO).bps(),
+            0
+        );
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let nominal = Bandwidth::from_gbps(200);
+        let half = Bandwidth::from_gbps(100);
+        assert!((half.utilization_of(nominal) - 0.5).abs() < 1e-12);
+        assert_eq!(half.utilization_of(Bandwidth::from_bps(0)), 0.0);
+    }
+
+    #[test]
+    fn byte_sums() {
+        let total: Bytes = (0..3).map(|_| Bytes::new(1542)).sum();
+        assert_eq!(total.raw(), 4626);
+        assert_eq!(format!("{total}"), "4626B");
+    }
+
+    #[test]
+    fn bandwidth_display() {
+        assert_eq!(format!("{}", Bandwidth::from_gbps(200)), "200.00Gb/s");
+    }
+}

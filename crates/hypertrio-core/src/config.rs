@@ -1,0 +1,248 @@
+//! Configuration presets: the paper's Table IV, plus a builder for sweeps.
+
+use std::fmt;
+
+use hypersio_cache::{CacheGeometry, PartitionSpec, PolicyKind};
+use hypersio_mem::WalkCacheConfig;
+
+/// Prefetching-scheme parameters (Table IV, bottom row).
+///
+/// # Examples
+///
+/// ```
+/// use hypertrio_core::PrefetchConfig;
+///
+/// let pf = PrefetchConfig::paper();
+/// assert_eq!(pf.buffer_entries, 8);
+/// assert_eq!(pf.history_len, 48);
+/// assert_eq!(pf.pages_per_prefetch, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Prefetch Buffer entries (fully associative).
+    pub buffer_entries: usize,
+    /// SID-predictor history length ("48-access stride").
+    pub history_len: usize,
+    /// Most-recent gIOVAs fetched per prefetch ("2 pages history/tenant").
+    pub pages_per_prefetch: usize,
+}
+
+impl PrefetchConfig {
+    /// The paper's tuned configuration: 8-entry buffer, 48-access history,
+    /// 2 pages per tenant.
+    pub fn paper() -> Self {
+        PrefetchConfig {
+            buffer_entries: 8,
+            history_len: 48,
+            pages_per_prefetch: 2,
+        }
+    }
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig::paper()
+    }
+}
+
+/// Full device/chipset translation configuration (one column of Table IV).
+///
+/// Construct with [`TranslationConfig::base`] or
+/// [`TranslationConfig::hypertrio`] and tweak fields for sensitivity
+/// studies — every Fig 11/12 experiment is a variation of these presets.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_cache::PartitionSpec;
+/// use hypertrio_core::TranslationConfig;
+///
+/// // Fig 12b: partitioned design with an 8-entry PTB.
+/// let cfg = TranslationConfig::hypertrio()
+///     .with_ptb_entries(8)
+///     .without_prefetch();
+/// assert_eq!(cfg.ptb_entries, 8);
+/// assert!(cfg.prefetch.is_none());
+/// assert_eq!(cfg.devtlb_partitions, PartitionSpec::new(8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TranslationConfig {
+    /// Human-readable configuration name for reports.
+    pub name: String,
+    /// DevTLB geometry (Table IV: 64 entries, 8 ways for both designs).
+    pub devtlb_geometry: CacheGeometry,
+    /// DevTLB partitioning (Base: 1; HyperTRIO: 8).
+    pub devtlb_partitions: PartitionSpec,
+    /// DevTLB replacement policy (both designs use LFU).
+    pub devtlb_policy: PolicyKind,
+    /// Pending Translation Buffer entries (Base: 1; HyperTRIO: 32).
+    pub ptb_entries: usize,
+    /// IOMMU walk-cache geometry and partitioning.
+    pub walk_caches: WalkCacheConfig,
+    /// Prefetching scheme; `None` disables it (the Base design).
+    pub prefetch: Option<PrefetchConfig>,
+}
+
+impl TranslationConfig {
+    /// Table IV "Base": single-entry PTB, unified 64-entry/8-way LFU
+    /// DevTLB, unified walk caches, no prefetching.
+    pub fn base() -> Self {
+        TranslationConfig {
+            name: "Base".to_string(),
+            devtlb_geometry: CacheGeometry::new(64, 8),
+            devtlb_partitions: PartitionSpec::unified(),
+            devtlb_policy: PolicyKind::Lfu,
+            ptb_entries: 1,
+            walk_caches: WalkCacheConfig::paper_base(),
+            prefetch: None,
+        }
+    }
+
+    /// Table IV "HyperTRIO": 32-entry PTB, 8-partition DevTLB,
+    /// 32/64-partition walk caches, 8-entry prefetch buffer with 48-access
+    /// history and 2 pages per tenant.
+    pub fn hypertrio() -> Self {
+        TranslationConfig {
+            name: "HyperTRIO".to_string(),
+            devtlb_partitions: PartitionSpec::new(8),
+            ptb_entries: 32,
+            walk_caches: WalkCacheConfig::paper_hypertrio(),
+            prefetch: Some(PrefetchConfig::paper()),
+            ..TranslationConfig::base()
+        }
+    }
+
+    /// Renames the configuration (for experiment legends).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Replaces the DevTLB geometry (Fig 11a sweeps 64 vs 1024 entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics (at cache construction) if the partition count no longer
+    /// divides the set count.
+    pub fn with_devtlb_geometry(mut self, geometry: CacheGeometry) -> Self {
+        self.devtlb_geometry = geometry;
+        self
+    }
+
+    /// Replaces the DevTLB partitioning (Fig 12a).
+    pub fn with_devtlb_partitions(mut self, partitions: PartitionSpec) -> Self {
+        self.devtlb_partitions = partitions;
+        self
+    }
+
+    /// Replaces the DevTLB replacement policy (Fig 11b).
+    pub fn with_devtlb_policy(mut self, policy: PolicyKind) -> Self {
+        self.devtlb_policy = policy;
+        self
+    }
+
+    /// Replaces the PTB size (Fig 12b sweeps 1/8/32).
+    pub fn with_ptb_entries(mut self, entries: usize) -> Self {
+        self.ptb_entries = entries;
+        self
+    }
+
+    /// Replaces the walk-cache configuration.
+    pub fn with_walk_caches(mut self, walk_caches: WalkCacheConfig) -> Self {
+        self.walk_caches = walk_caches;
+        self
+    }
+
+    /// Enables prefetching with the given parameters (Fig 12c).
+    pub fn with_prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = Some(prefetch);
+        self
+    }
+
+    /// Disables prefetching.
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch = None;
+        self
+    }
+}
+
+impl fmt::Display for TranslationConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: DevTLB {} ({}, {}), PTB {}, L2 {} {}, L3 {} {}, prefetch {}",
+            self.name,
+            self.devtlb_geometry,
+            self.devtlb_partitions,
+            self.devtlb_policy.name(),
+            self.ptb_entries,
+            self.walk_caches.l2_geometry,
+            self.walk_caches.l2_partitions,
+            self.walk_caches.l3_geometry,
+            self.walk_caches.l3_partitions,
+            match &self.prefetch {
+                Some(pf) => format!(
+                    "{}e/{}hist/{}pg",
+                    pf.buffer_entries, pf.history_len, pf.pages_per_prefetch
+                ),
+                None => "off".to_string(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_table_iv() {
+        let cfg = TranslationConfig::base();
+        assert_eq!(cfg.ptb_entries, 1);
+        assert_eq!(cfg.devtlb_geometry, CacheGeometry::new(64, 8));
+        assert!(cfg.devtlb_partitions.is_unified());
+        assert!(cfg.walk_caches.l2_partitions.is_unified());
+        assert!(cfg.walk_caches.l3_partitions.is_unified());
+        assert!(cfg.prefetch.is_none());
+        assert_eq!(cfg.devtlb_policy.name(), "LFU");
+    }
+
+    #[test]
+    fn hypertrio_matches_table_iv() {
+        let cfg = TranslationConfig::hypertrio();
+        assert_eq!(cfg.ptb_entries, 32);
+        assert_eq!(cfg.devtlb_geometry, CacheGeometry::new(64, 8));
+        assert_eq!(cfg.devtlb_partitions.partitions(), 8);
+        assert_eq!(cfg.walk_caches.l2_partitions.partitions(), 32);
+        assert_eq!(cfg.walk_caches.l3_partitions.partitions(), 64);
+        let pf = cfg.prefetch.unwrap();
+        assert_eq!(pf, PrefetchConfig::paper());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = TranslationConfig::base()
+            .with_name("big-tlb")
+            .with_devtlb_geometry(CacheGeometry::new(1024, 8))
+            .with_ptb_entries(8)
+            .with_prefetch(PrefetchConfig {
+                buffer_entries: 16,
+                history_len: 24,
+                pages_per_prefetch: 1,
+            });
+        assert_eq!(cfg.name, "big-tlb");
+        assert_eq!(cfg.devtlb_geometry.entries(), 1024);
+        assert_eq!(cfg.ptb_entries, 8);
+        assert_eq!(cfg.prefetch.unwrap().history_len, 24);
+    }
+
+    #[test]
+    fn display_summarises_config() {
+        let s = TranslationConfig::hypertrio().to_string();
+        assert!(s.contains("HyperTRIO"));
+        assert!(s.contains("PTB 32"));
+        assert!(s.contains("8e/48hist/2pg"));
+        let s = TranslationConfig::base().to_string();
+        assert!(s.contains("prefetch off"));
+    }
+}

@@ -1,0 +1,49 @@
+//! The HyperTRIO architecture (the paper's primary contribution).
+//!
+//! Three device/chipset mechanisms remove the gIOVA → hPA translation
+//! bottleneck for devices shared by up to ~1024 tenants (§III):
+//!
+//! - [`PendingTranslationBuffer`] — tracks many in-flight translations with
+//!   out-of-order completion, so a two-dimensional page-table walk for one
+//!   tenant does not head-of-line-block every other tenant. Packets that
+//!   cannot allocate an entry are dropped and retried at the next arrival.
+//! - [`DevTlb`] — the device-side translation cache, with HyperTRIO's
+//!   partition-tag scheme: each row is usable only by the SID (or SID
+//!   group) whose tag it carries, so a noisy tenant cannot evict a quiet
+//!   tenant's translations.
+//! - [`PrefetchUnit`] — an 8-entry shared Prefetch Buffer plus a
+//!   SID-predictor trained on the arrival history: when tenant *s* is
+//!   active now, the tenant predicted to be active `history_len` requests
+//!   from now has its two most-recent gIOVAs fetched from the per-DID
+//!   history in main memory and translated ahead of time.
+//!
+//! [`TranslationConfig`] packages all of it, with the exact Base and
+//! HyperTRIO presets of the paper's Table IV.
+//!
+//! # Examples
+//!
+//! ```
+//! use hypertrio_core::TranslationConfig;
+//!
+//! let base = TranslationConfig::base();
+//! assert_eq!(base.ptb_entries, 1);
+//! assert!(base.prefetch.is_none());
+//!
+//! let ht = TranslationConfig::hypertrio();
+//! assert_eq!(ht.ptb_entries, 32);
+//! assert_eq!(ht.devtlb_partitions.partitions(), 8);
+//! assert_eq!(ht.prefetch.as_ref().unwrap().history_len, 48);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod devtlb;
+mod prefetch;
+mod ptb;
+
+pub use config::{PrefetchConfig, TranslationConfig};
+pub use devtlb::{DevTlb, DevTlbKey, TlbEntry};
+pub use prefetch::{IovaHistoryReader, PrefetchRequest, PrefetchUnit, SidPredictor};
+pub use ptb::{PendingTranslationBuffer, PtbStats, PtbToken};

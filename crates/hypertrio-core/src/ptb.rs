@@ -1,0 +1,221 @@
+//! Pending Translation Buffer: many in-flight translations, out-of-order
+//! completion (§III).
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// Opaque handle to one in-flight translation in the PTB.
+///
+/// Tokens are unique for the lifetime of the buffer (a `u64` counter), so a
+/// stale token can never alias a live entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PtbToken(u64);
+
+/// Occupancy and drop statistics for the PTB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PtbStats {
+    /// Entries successfully allocated.
+    pub allocated: u64,
+    /// Allocation attempts rejected because the buffer was full — each of
+    /// these is a dropped (and later retried) packet in the model.
+    pub rejected: u64,
+    /// Entries completed and freed.
+    pub completed: u64,
+    /// Highest simultaneous occupancy observed.
+    pub peak_occupancy: usize,
+}
+
+/// The Pending Translation Buffer.
+///
+/// A device needs one PTB entry per packet whose translations are still
+/// outstanding. Entries complete out of order — a hit-under-miss can retire
+/// while an older packet still waits on a 24-access page-table walk. The
+/// paper's Base design has a single entry (one outstanding translation, as
+/// in devices that block on ATS); HyperTRIO uses 32 (Table IV).
+///
+/// # Examples
+///
+/// ```
+/// use hypertrio_core::PendingTranslationBuffer;
+///
+/// let mut ptb = PendingTranslationBuffer::new(2);
+/// let a = ptb.try_allocate().unwrap();
+/// let b = ptb.try_allocate().unwrap();
+/// assert!(ptb.try_allocate().is_none()); // full: packet dropped
+/// ptb.complete(b);                       // out-of-order completion
+/// assert!(ptb.try_allocate().is_some());
+/// ptb.complete(a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PendingTranslationBuffer {
+    capacity: usize,
+    live: HashSet<u64>,
+    next_token: u64,
+    stats: PtbStats,
+}
+
+impl PendingTranslationBuffer {
+    /// Creates a PTB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — even the Base design has one entry.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "PTB needs at least one entry");
+        PendingTranslationBuffer {
+            capacity,
+            live: HashSet::with_capacity(capacity),
+            next_token: 0,
+            stats: PtbStats::default(),
+        }
+    }
+
+    /// Returns the entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of in-flight entries.
+    pub fn occupancy(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Returns true if no translations are in flight.
+    pub fn is_idle(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Returns true if a new packet cannot be admitted.
+    pub fn is_full(&self) -> bool {
+        self.live.len() == self.capacity
+    }
+
+    /// Tries to admit a new packet's translation work.
+    ///
+    /// Returns a token on success; `None` means the buffer is full and the
+    /// packet is dropped (the model retries it at the next arrival slot).
+    pub fn try_allocate(&mut self) -> Option<PtbToken> {
+        if self.is_full() {
+            self.stats.rejected += 1;
+            return None;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.live.insert(token);
+        self.stats.allocated += 1;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.live.len());
+        Some(PtbToken(token))
+    }
+
+    /// Completes (frees) an in-flight entry, in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token is not live (double completion or a token from
+    /// another buffer) — this is a simulator logic error, not a modelled
+    /// hardware condition.
+    pub fn complete(&mut self, token: PtbToken) {
+        assert!(
+            self.live.remove(&token.0),
+            "PTB token {token:?} is not live"
+        );
+        self.stats.completed += 1;
+    }
+
+    /// Returns occupancy/drop statistics.
+    pub fn stats(&self) -> PtbStats {
+        self.stats
+    }
+}
+
+impl fmt::Display for PendingTranslationBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PTB {}/{} in flight ({} dropped)",
+            self.occupancy(),
+            self.capacity,
+            self.stats.rejected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_design_has_one_entry() {
+        let mut ptb = PendingTranslationBuffer::new(1);
+        let t = ptb.try_allocate().unwrap();
+        assert!(ptb.is_full());
+        assert!(ptb.try_allocate().is_none());
+        ptb.complete(t);
+        assert!(ptb.is_idle());
+    }
+
+    #[test]
+    fn out_of_order_completion() {
+        let mut ptb = PendingTranslationBuffer::new(3);
+        let a = ptb.try_allocate().unwrap();
+        let b = ptb.try_allocate().unwrap();
+        let c = ptb.try_allocate().unwrap();
+        ptb.complete(b);
+        ptb.complete(c);
+        ptb.complete(a);
+        assert!(ptb.is_idle());
+        assert_eq!(ptb.stats().completed, 3);
+    }
+
+    #[test]
+    fn rejections_are_counted_as_drops() {
+        let mut ptb = PendingTranslationBuffer::new(1);
+        let _t = ptb.try_allocate().unwrap();
+        for _ in 0..5 {
+            assert!(ptb.try_allocate().is_none());
+        }
+        assert_eq!(ptb.stats().rejected, 5);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water_mark() {
+        let mut ptb = PendingTranslationBuffer::new(8);
+        let tokens: Vec<_> = (0..5).map(|_| ptb.try_allocate().unwrap()).collect();
+        for t in tokens {
+            ptb.complete(t);
+        }
+        let _ = ptb.try_allocate().unwrap();
+        assert_eq!(ptb.stats().peak_occupancy, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn double_completion_panics() {
+        let mut ptb = PendingTranslationBuffer::new(2);
+        let t = ptb.try_allocate().unwrap();
+        ptb.complete(t);
+        ptb.complete(t);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = PendingTranslationBuffer::new(0);
+    }
+
+    #[test]
+    fn tokens_never_alias() {
+        let mut ptb = PendingTranslationBuffer::new(1);
+        let a = ptb.try_allocate().unwrap();
+        ptb.complete(a);
+        let b = ptb.try_allocate().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_shows_occupancy() {
+        let mut ptb = PendingTranslationBuffer::new(4);
+        let _a = ptb.try_allocate().unwrap();
+        assert_eq!(ptb.to_string(), "PTB 1/4 in flight (0 dropped)");
+    }
+}

@@ -1,0 +1,82 @@
+//! Prefetcher sensitivity study (an ablation beyond the paper's figures).
+//!
+//! §V-D reports that an 8-entry Prefetch Buffer, a 48-access history
+//! length, and 2 prefetched pages per tenant are the sweet spot for the
+//! simulated system. This example sweeps each knob independently around
+//! those values on a 256-tenant websearch trace and prints the resulting
+//! bandwidth and Prefetch-Buffer service fraction, so the trade-offs are
+//! visible: too short a history and prefetches arrive late; too small a
+//! buffer and prefetched entries are evicted before use.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example prefetch_tuning
+//! ```
+
+use hypertrio::core::{PrefetchConfig, TranslationConfig};
+use hypertrio::sim::{SimParams, Simulation};
+use hypertrio::trace::{HyperTraceBuilder, WorkloadKind};
+
+fn run_with(pf: PrefetchConfig, tenants: u32, scale: u64) -> (f64, f64) {
+    let trace = HyperTraceBuilder::new(WorkloadKind::Websearch, tenants)
+        .scale(scale)
+        .seed(13)
+        .build();
+    let config = TranslationConfig::hypertrio().with_prefetch(pf);
+    let report = Simulation::new(config, SimParams::paper(), trace).run();
+    (report.gbps(), report.pb_served_fraction)
+}
+
+fn main() {
+    let tenants = 256;
+    let scale = 2000;
+    let paper = PrefetchConfig::paper();
+
+    println!("Prefetcher tuning: websearch, {tenants} tenants (paper values marked *)");
+
+    println!("\nPrefetch Buffer size (history=48, pages=2):");
+    println!("{:>10} {:>12} {:>14}", "entries", "Gb/s", "PB served %");
+    for entries in [2usize, 4, 8, 16, 32] {
+        let (gbps, pb) = run_with(
+            PrefetchConfig {
+                buffer_entries: entries,
+                ..paper.clone()
+            },
+            tenants,
+            scale,
+        );
+        let mark = if entries == 8 { "*" } else { " " };
+        println!("{entries:>9}{mark} {gbps:>12.2} {:>13.1}%", pb * 100.0);
+    }
+
+    println!("\nHistory length (buffer=8, pages=2):");
+    println!("{:>10} {:>12} {:>14}", "history", "Gb/s", "PB served %");
+    for history in [4usize, 12, 24, 48, 96, 192] {
+        let (gbps, pb) = run_with(
+            PrefetchConfig {
+                history_len: history,
+                ..paper.clone()
+            },
+            tenants,
+            scale,
+        );
+        let mark = if history == 48 { "*" } else { " " };
+        println!("{history:>9}{mark} {gbps:>12.2} {:>13.1}%", pb * 100.0);
+    }
+
+    println!("\nPages per prefetch (buffer=8, history=48):");
+    println!("{:>10} {:>12} {:>14}", "pages", "Gb/s", "PB served %");
+    for pages in [1usize, 2, 3, 4] {
+        let (gbps, pb) = run_with(
+            PrefetchConfig {
+                pages_per_prefetch: pages,
+                ..paper.clone()
+            },
+            tenants,
+            scale,
+        );
+        let mark = if pages == 2 { "*" } else { " " };
+        println!("{pages:>9}{mark} {gbps:>12.2} {:>13.1}%", pb * 100.0);
+    }
+}

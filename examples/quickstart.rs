@@ -1,0 +1,40 @@
+//! Quickstart: simulate one multi-tenant configuration end to end.
+//!
+//! Runs the paper's two headline configurations (Base and HyperTRIO) on a
+//! 64-tenant mediastream trace and prints the achieved bandwidth of each —
+//! a miniature version of the Fig 10 scalability result.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hypertrio::core::TranslationConfig;
+use hypertrio::sim::{SimParams, Simulation};
+use hypertrio::trace::{HyperTraceBuilder, Interleaving, WorkloadKind};
+
+fn main() {
+    let tenants = 64;
+    // Shrink the Table III request counts 500x so the example finishes in
+    // a couple of seconds; the access *pattern* is unchanged.
+    let scale = 500;
+
+    println!("HyperTRIO quickstart: {tenants} mediastream tenants, 200 Gb/s link");
+    println!("{}", "-".repeat(72));
+
+    for config in [TranslationConfig::base(), TranslationConfig::hypertrio()] {
+        let trace = HyperTraceBuilder::new(WorkloadKind::Mediastream, tenants)
+            .interleaving(Interleaving::round_robin(1))
+            .scale(scale)
+            .seed(42)
+            .build();
+        println!("{config}");
+        let report = Simulation::new(config, SimParams::paper(), trace).run();
+        println!("{report}");
+        println!();
+    }
+
+    println!("The Base design thrashes its shared DevTLB and walk caches;");
+    println!("HyperTRIO's PTB + partitioning + prefetching recover the link.");
+}

@@ -1,0 +1,60 @@
+//! VF assignment and DevTLB partitioning with realistic Source IDs.
+//!
+//! The P-DevTLB keys its partitions on the Source IDs that a hypervisor
+//! hands out when it assigns SR-IOV virtual functions — which are PCIe
+//! BDFs, not dense tenant indices. This example enumerates VFs on a
+//! dual-PF device exactly like the paper's case-study NIC (interleaving
+//! assignment between the PFs, §II-B), runs the HyperTRIO configuration
+//! with those BDF-derived SIDs, and shows that partition grouping and
+//! prefetch SID-prediction work unchanged.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example vf_partitioning
+//! ```
+
+use hypertrio::core::TranslationConfig;
+use hypertrio::device::SriovDevice;
+use hypertrio::sim::{SimParams, Simulation};
+use hypertrio::trace::{HyperTraceBuilder, WorkloadKind};
+
+fn main() {
+    let tenants = 64u32;
+    // Dual-port NIC, 63 VFs per port — the case-study X540's shape.
+    let nic = SriovDevice::new(0x3b, 2, 63);
+    println!("{nic}");
+
+    let vfs = nic.assign_interleaved(tenants);
+    println!("\nfirst eight VF assignments (tenant -> PF / BDF / partition of 8):");
+    for (tenant, vf) in vfs.iter().take(8).enumerate() {
+        let sid = nic.sid_of(*vf);
+        println!(
+            "  tenant {tenant} -> PF{} VF{:<2} BDF {}  partition {}",
+            vf.pf,
+            vf.index,
+            vf.bdf,
+            sid.low_bits(3)
+        );
+    }
+
+    let sids: Vec<_> = vfs.iter().map(|vf| nic.sid_of(*vf)).collect();
+    let trace = HyperTraceBuilder::new(WorkloadKind::Mediastream, tenants)
+        .sids(sids)
+        .scale(100)
+        .seed(7)
+        .build();
+    let report = Simulation::new(
+        TranslationConfig::hypertrio(),
+        SimParams::paper().with_warmup(2000),
+        trace,
+    )
+    .run();
+
+    println!("\nHyperTRIO with BDF-derived SIDs:");
+    println!("{report}");
+    println!("\nPartition grouping (SID low bits) and the SID predictor are");
+    println!("agnostic to the SID values themselves — only their stability");
+    println!("and uniqueness matter, which the hypervisor guarantees at VF");
+    println!("assignment time (§III).");
+}

@@ -1,0 +1,318 @@
+//! Command-line interface for the `hypertrio` binary.
+//!
+//! Hand-rolled argument parsing (no external dependencies): subcommands
+//! with `--flag value` options, each mapping onto the library API.
+
+use std::fmt;
+
+use hypersio_cache::PolicyKind;
+use hypersio_sim::SimParams;
+use hypersio_trace::{Interleaving, WorkloadKind};
+use hypertrio_core::TranslationConfig;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one simulation and print the report.
+    Sim(SimArgs),
+    /// Sweep tenant counts and print a bandwidth table.
+    Sweep(SimArgs),
+    /// Print Table III-style statistics for a trace.
+    Trace(SimArgs),
+    /// Print the Base and HyperTRIO configuration presets.
+    Configs,
+    /// Print usage help.
+    Help,
+}
+
+/// Options shared by `sim`, `sweep`, and `trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimArgs {
+    /// Workload to generate.
+    pub workload: WorkloadKind,
+    /// Tenant count (the sweep's maximum for `sweep`).
+    pub tenants: u32,
+    /// Architecture preset: false = Base, true = HyperTRIO.
+    pub hypertrio: bool,
+    /// Trace-shortening factor.
+    pub scale: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Interleaving.
+    pub interleaving: Interleaving,
+    /// DevTLB replacement policy override.
+    pub policy: Option<String>,
+    /// Warm-up packets excluded from the bandwidth measurement.
+    pub warmup: u64,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        SimArgs {
+            workload: WorkloadKind::Iperf3,
+            tenants: 64,
+            hypertrio: true,
+            scale: 200,
+            seed: 0,
+            interleaving: Interleaving::round_robin(1),
+            policy: None,
+            warmup: 1000,
+        }
+    }
+}
+
+impl SimArgs {
+    /// Builds the translation configuration these arguments select.
+    pub fn config(&self) -> TranslationConfig {
+        let mut config = if self.hypertrio {
+            TranslationConfig::hypertrio()
+        } else {
+            TranslationConfig::base()
+        };
+        if let Some(policy) = &self.policy {
+            let kind = match policy.as_str() {
+                "lru" => PolicyKind::Lru,
+                "lfu" => PolicyKind::Lfu,
+                "fifo" => PolicyKind::Fifo,
+                "random" => PolicyKind::Random { seed: self.seed },
+                other => panic!("validated at parse time: {other}"),
+            };
+            config = config.with_devtlb_policy(kind);
+        }
+        config
+    }
+
+    /// Builds the simulator parameters these arguments select.
+    pub fn params(&self) -> SimParams {
+        SimParams::paper().with_warmup(self.warmup)
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text printed by `hypertrio help`.
+pub const USAGE: &str = "\
+hypertrio — HyperTRIO/HyperSIO simulator (ISCA 2020 reproduction)
+
+USAGE:
+    hypertrio <COMMAND> [OPTIONS]
+
+COMMANDS:
+    sim       run one simulation and print the full report
+    sweep     sweep tenant counts (4..TENANTS) and print a bandwidth table
+    trace     print Table III-style request statistics for a trace
+    configs   print the Base and HyperTRIO presets (Table IV)
+    help      print this help
+
+OPTIONS (sim / sweep / trace):
+    --workload <iperf3|mediastream|websearch>   workload model  [iperf3]
+    --tenants <N>                               tenant count    [64]
+    --config <base|hypertrio>                   architecture    [hypertrio]
+    --scale <N>            divide Table III request counts      [200]
+    --seed <N>             trace seed                           [0]
+    --interleave <rr1|rr4|rand1>                tenant order    [rr1]
+    --policy <lru|lfu|fifo|random>              DevTLB policy   [preset]
+    --warmup <N>           packets excluded from measurement    [1000]
+";
+
+/// Parses a full argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first invalid token.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some("configs") => return Ok(Command::Configs),
+        Some(cmd @ ("sim" | "sweep" | "trace")) => cmd.to_string(),
+        Some(other) => {
+            return Err(ParseError(format!(
+                "unknown command {other:?}; try `hypertrio help`"
+            )));
+        }
+    };
+
+    let mut parsed = SimArgs::default();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("missing value for {flag}")))?;
+        match flag.as_str() {
+            "--workload" => {
+                parsed.workload = match value.as_str() {
+                    "iperf3" => WorkloadKind::Iperf3,
+                    "mediastream" => WorkloadKind::Mediastream,
+                    "websearch" => WorkloadKind::Websearch,
+                    other => return Err(ParseError(format!("unknown workload {other:?}"))),
+                };
+            }
+            "--tenants" => {
+                parsed.tenants = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --tenants: {e}")))?;
+                if parsed.tenants == 0 {
+                    return Err(ParseError("--tenants must be at least 1".into()));
+                }
+            }
+            "--config" => {
+                parsed.hypertrio = match value.as_str() {
+                    "base" => false,
+                    "hypertrio" => true,
+                    other => return Err(ParseError(format!("unknown config {other:?}"))),
+                };
+            }
+            "--scale" => {
+                parsed.scale = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --scale: {e}")))?;
+                if parsed.scale == 0 {
+                    return Err(ParseError("--scale must be at least 1".into()));
+                }
+            }
+            "--seed" => {
+                parsed.seed = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --seed: {e}")))?;
+            }
+            "--interleave" => {
+                parsed.interleaving = match value.as_str() {
+                    "rr1" => Interleaving::round_robin(1),
+                    "rr4" => Interleaving::round_robin(4),
+                    "rand1" => Interleaving::random(1, parsed.seed),
+                    other => return Err(ParseError(format!("unknown interleaving {other:?}"))),
+                };
+            }
+            "--policy" => match value.as_str() {
+                "lru" | "lfu" | "fifo" | "random" => parsed.policy = Some(value.clone()),
+                other => return Err(ParseError(format!("unknown policy {other:?}"))),
+            },
+            "--warmup" => {
+                parsed.warmup = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --warmup: {e}")))?;
+            }
+            other => return Err(ParseError(format!("unknown option {other:?}"))),
+        }
+    }
+
+    Ok(match command.as_str() {
+        "sim" => Command::Sim(parsed),
+        "sweep" => Command::Sweep(parsed),
+        "trace" => Command::Trace(parsed),
+        _ => unreachable!("command validated above"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help_aliases() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("-h")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let Command::Sim(args) = parse(&argv("sim")).unwrap() else {
+            panic!("expected sim");
+        };
+        assert_eq!(args, SimArgs::default());
+    }
+
+    #[test]
+    fn full_option_set_parses() {
+        let cmd = parse(&argv(
+            "sweep --workload websearch --tenants 256 --config base --scale 50 \
+             --seed 9 --interleave rr4 --policy lfu --warmup 500",
+        ))
+        .unwrap();
+        let Command::Sweep(args) = cmd else {
+            panic!("expected sweep");
+        };
+        assert_eq!(args.workload, WorkloadKind::Websearch);
+        assert_eq!(args.tenants, 256);
+        assert!(!args.hypertrio);
+        assert_eq!(args.scale, 50);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.interleaving, Interleaving::round_robin(4));
+        assert_eq!(args.policy.as_deref(), Some("lfu"));
+        assert_eq!(args.warmup, 500);
+    }
+
+    #[test]
+    fn rand_interleave_uses_seed() {
+        let cmd = parse(&argv("sim --seed 5 --interleave rand1")).unwrap();
+        let Command::Sim(args) = cmd else {
+            panic!("expected sim");
+        };
+        assert_eq!(args.interleaving, Interleaving::random(1, 5));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        for (input, needle) in [
+            ("frobnicate", "unknown command"),
+            ("sim --workload dns", "unknown workload"),
+            ("sim --tenants", "missing value"),
+            ("sim --tenants x", "bad --tenants"),
+            ("sim --tenants 0", "at least 1"),
+            ("sim --scale 0", "at least 1"),
+            ("sim --config weird", "unknown config"),
+            ("sim --interleave rr9", "unknown interleaving"),
+            ("sim --policy belady", "unknown policy"),
+            ("sim --frob 1", "unknown option"),
+        ] {
+            let err = parse(&argv(input)).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "input {input:?}: expected {needle:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn config_selection_and_policy_override() {
+        let Command::Sim(args) = parse(&argv("sim --config base --policy lru")).unwrap() else {
+            panic!();
+        };
+        let config = args.config();
+        assert_eq!(config.devtlb_policy.name(), "LRU");
+        assert_eq!(config.ptb_entries, 1);
+        let Command::Sim(args) = parse(&argv("sim --config hypertrio")).unwrap() else {
+            panic!();
+        };
+        assert_eq!(args.config().ptb_entries, 32);
+    }
+
+    #[test]
+    fn params_carry_warmup() {
+        let Command::Sim(args) = parse(&argv("sim --warmup 42")).unwrap() else {
+            panic!();
+        };
+        assert_eq!(args.params().warmup_packets, 42);
+    }
+
+    #[test]
+    fn configs_command() {
+        assert_eq!(parse(&argv("configs")).unwrap(), Command::Configs);
+    }
+}

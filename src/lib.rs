@@ -1,0 +1,54 @@
+//! # HyperTRIO — Hyper-Tenant Translation of I/O Addresses
+//!
+//! A from-scratch Rust reproduction of *HyperTRIO: Hyper-Tenant Translation
+//! of I/O Addresses* (Lavrov & Wentzlaff, ISCA 2020) together with its
+//! evaluation vehicle, the HyperSIO trace-driven device–system performance
+//! model.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! - [`types`] — identifier/address/time/bandwidth newtypes.
+//! - [`cache`] — set-associative / fully-associative / SID-partitioned
+//!   caches with LRU, LFU, FIFO, random, and Belady replacement.
+//! - [`mem`] — synthetic guest/host page tables, the two-dimensional
+//!   walker, walk caches, context cache, DRAM, and the assembled IOMMU.
+//! - [`trace`] — synthetic tenant workloads (iperf3 / mediastream /
+//!   websearch), log codec, and the hyper-trace constructor.
+//! - [`device`] — packets, saturated link, PCIe, descriptor rings.
+//! - [`core`] — the HyperTRIO contribution: Pending Translation Buffer,
+//!   partitioned DevTLB, and the translation prefetching scheme.
+//! - [`sim`] — the performance model, reports, and experiment sweeps.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hypertrio::sim::{SimParams, Simulation};
+//! use hypertrio::trace::{HyperTraceBuilder, WorkloadKind};
+//! use hypertrio::core::TranslationConfig;
+//!
+//! // 64 tenants of the mediastream workload, round-robin, shortened 2000x.
+//! let trace = HyperTraceBuilder::new(WorkloadKind::Mediastream, 64)
+//!     .scale(2000)
+//!     .build();
+//! let report = Simulation::new(
+//!     TranslationConfig::hypertrio(),
+//!     SimParams::paper(),
+//!     trace,
+//! )
+//! .run();
+//! println!("{report}");
+//! assert!(report.packets_processed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use hypersio_cache as cache;
+pub use hypersio_device as device;
+pub use hypersio_mem as mem;
+pub use hypersio_sim as sim;
+pub use hypersio_trace as trace;
+pub use hypersio_types as types;
+pub use hypertrio_core as core;

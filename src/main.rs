@@ -1,0 +1,83 @@
+//! The `hypertrio` command-line tool: run simulations, sweeps, and trace
+//! statistics from the shell. See [`cli::USAGE`] or `hypertrio help`.
+
+use std::process::ExitCode;
+
+use hypersio_sim::{sweep_tenants, Simulation, SweepSpec};
+use hypersio_trace::HyperTraceBuilder;
+use hypertrio::cli::{self, Command, SimArgs};
+use hypertrio_core::TranslationConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(Command::Help) => {
+            print!("{}", cli::USAGE);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Configs) => {
+            println!("{}", TranslationConfig::base());
+            println!("{}", TranslationConfig::hypertrio());
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Sim(args)) => {
+            run_sim(&args);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Sweep(args)) => {
+            run_sweep(&args);
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Trace(args)) => {
+            run_trace(&args);
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn build_trace(args: &SimArgs, tenants: u32, scale: u64) -> hypersio_trace::HyperTrace {
+    HyperTraceBuilder::new(args.workload, tenants)
+        .interleaving(args.interleaving)
+        .scale(scale)
+        .seed(args.seed)
+        .build()
+}
+
+fn run_sim(args: &SimArgs) {
+    let config = args.config();
+    println!("{config}");
+    let trace = build_trace(args, args.tenants, args.scale);
+    let report = Simulation::new(config, args.params(), trace).run();
+    println!("{report}");
+}
+
+fn run_sweep(args: &SimArgs) {
+    let config = args.config();
+    println!("{config}");
+    let spec = SweepSpec::new(args.workload, config, args.scale)
+        .with_interleaving(args.interleaving)
+        .with_params(args.params())
+        .with_seed(args.seed);
+    let counts: Vec<u32> = hypersio_sim::PAPER_TENANT_COUNTS
+        .into_iter()
+        .filter(|&t| t <= args.tenants)
+        .collect();
+    for point in sweep_tenants(&spec, &counts) {
+        println!("{point}");
+    }
+}
+
+fn run_trace(args: &SimArgs) {
+    let trace = build_trace(args, args.tenants, args.scale);
+    println!(
+        "{} tenants, {} interleaving, scale {}",
+        trace.tenants(),
+        trace.interleaving(),
+        args.scale
+    );
+    println!("{}", trace.stats());
+}

@@ -1,0 +1,98 @@
+//! Integration tests isolating each HyperTRIO mechanism's contribution,
+//! mirroring the structure of the paper's Fig 12 ablation.
+
+use hypertrio::core::TranslationConfig;
+use hypertrio::sim::{SimParams, SimReport, Simulation};
+use hypertrio::trace::{HyperTraceBuilder, Interleaving, WorkloadKind};
+
+fn run(config: TranslationConfig) -> SimReport {
+    let trace = HyperTraceBuilder::new(WorkloadKind::Mediastream, 128)
+        .interleaving(Interleaving::round_robin(1))
+        .scale(50)
+        .seed(21)
+        .build();
+    Simulation::new(config, SimParams::paper().with_warmup(3000), trace).run()
+}
+
+#[test]
+fn each_mechanism_adds_bandwidth_in_order() {
+    // Fig 12's ladder: Base -> +partitioning -> +PTB -> +prefetch.
+    let base = run(TranslationConfig::base());
+    let partitioned = run(TranslationConfig::hypertrio()
+        .with_ptb_entries(1)
+        .without_prefetch()
+        .with_name("partitioned"));
+    let ptb = run(TranslationConfig::hypertrio()
+        .without_prefetch()
+        .with_name("partitioned+ptb32"));
+    let full = run(TranslationConfig::hypertrio());
+
+    assert!(
+        partitioned.utilization >= base.utilization * 0.95,
+        "partitioning should not hurt: {:.3} vs {:.3}",
+        partitioned.utilization,
+        base.utilization
+    );
+    assert!(
+        ptb.utilization > partitioned.utilization,
+        "PTB=32 must beat PTB=1: {:.3} vs {:.3}",
+        ptb.utilization,
+        partitioned.utilization
+    );
+    assert!(
+        full.utilization > ptb.utilization,
+        "prefetching must add on top: {:.3} vs {:.3}",
+        full.utilization,
+        ptb.utilization
+    );
+    assert!(
+        full.utilization > 2.0 * base.utilization,
+        "the full design should be far ahead of Base at 128 tenants"
+    );
+}
+
+#[test]
+fn ptb_size_sweep_is_monotone_at_scale() {
+    let sizes = [1usize, 8, 32];
+    let mut last = 0.0f64;
+    for entries in sizes {
+        let report = run(TranslationConfig::hypertrio()
+            .with_ptb_entries(entries)
+            .without_prefetch());
+        assert!(
+            report.utilization >= last * 0.98,
+            "PTB={entries} regressed: {:.3} < {last:.3}",
+            report.utilization
+        );
+        last = report.utilization;
+    }
+}
+
+#[test]
+fn prefetch_buffer_serves_meaningful_fraction() {
+    let full = run(TranslationConfig::hypertrio());
+    assert!(
+        full.pb_served_fraction > 0.15,
+        "PB should serve a sizable share at 128 tenants: {:.3}",
+        full.pb_served_fraction
+    );
+    assert!(full.prefetches_issued > 1000);
+    // Prefetches show up as extra IOMMU traffic beyond demand misses.
+    assert!(full.iommu.requests > 0);
+}
+
+#[test]
+fn ptb_drops_shrink_with_capacity() {
+    let small = run(TranslationConfig::hypertrio()
+        .with_ptb_entries(1)
+        .without_prefetch());
+    let large = run(TranslationConfig::hypertrio()
+        .with_ptb_entries(32)
+        .without_prefetch());
+    assert!(
+        large.drop_fraction() < small.drop_fraction(),
+        "32-entry PTB should drop less: {:.3} vs {:.3}",
+        large.drop_fraction(),
+        small.drop_fraction()
+    );
+}

@@ -1,0 +1,97 @@
+//! Integration tests checking that the trace front-end reproduces the
+//! paper's characterisation numbers (Table III bounds, Fig 8 structure)
+//! through the public API.
+
+use std::collections::HashMap;
+
+use hypertrio::trace::{HyperTraceBuilder, PageGroup, TenantStream, WorkloadKind};
+use hypertrio::types::Did;
+
+#[test]
+fn table3_bounds_hold_at_full_scale() {
+    // Request counts drawn per tenant must respect the paper's min/max.
+    for kind in WorkloadKind::ALL {
+        let trace = HyperTraceBuilder::new(kind, 64).scale(1).seed(5).build();
+        let stats = trace.stats();
+        let p = kind.params();
+        // Trimming at the shortest tenant keeps every tenant's contribution
+        // within [min - burst, max].
+        assert!(
+            stats.max_per_tenant <= p.max_requests,
+            "{kind}: {} > {}",
+            stats.max_per_tenant,
+            p.max_requests
+        );
+        assert!(
+            stats.total_requests >= 64 * (p.min_requests / 2),
+            "{kind}: implausibly short trace"
+        );
+    }
+}
+
+#[test]
+fn fig8_groups_have_expected_structure() {
+    let params = WorkloadKind::Mediastream.params();
+    let inventory = params.page_inventory();
+    assert_eq!(inventory.count(PageGroup::Ring), 2);
+    assert_eq!(inventory.count(PageGroup::Data), 32); // paper: 32 page frames
+    assert_eq!(inventory.count(PageGroup::Init), 70);
+
+    // Replay a tenant and check the frequency ordering of the groups.
+    let mut per_group: HashMap<&str, u64> = HashMap::new();
+    for pkt in TenantStream::new(params.clone(), Did::new(0), 9, 2) {
+        for iova in pkt.iovas {
+            let size = params.page_size_of(iova);
+            let base = iova.raw() & !size.offset_mask();
+            let group = inventory
+                .iter()
+                .find(|(p, _, _)| p.raw() == base)
+                .map(|&(_, _, g)| match g {
+                    PageGroup::Ring => "ring",
+                    PageGroup::Data => "data",
+                    PageGroup::Init => "init",
+                })
+                .expect("all accesses map to inventory pages");
+            *per_group.entry(group).or_default() += 1;
+        }
+    }
+    let ring = per_group["ring"];
+    let data = per_group["data"];
+    let init = per_group["init"];
+    // Two ring-class pages are touched on every packet; each data page is
+    // touched ~1/30th as often; init pages only during start-up.
+    assert!(ring > data, "ring {ring} should dominate data {data}");
+    assert!(data > init, "data {data} should dominate init {init}");
+    let data_pages = inventory.count(PageGroup::Data) as u64;
+    let per_ring_page = ring / 2;
+    let per_data_page = data / data_pages;
+    assert!(
+        per_ring_page > 20 * per_data_page,
+        "per-page ratio {per_ring_page} vs {per_data_page} (paper: ~30x)"
+    );
+}
+
+#[test]
+fn active_sets_match_paper_section_5c() {
+    assert_eq!(WorkloadKind::Iperf3.params().active_set(), 8);
+    assert_eq!(WorkloadKind::Mediastream.params().active_set(), 32);
+    assert_eq!(WorkloadKind::Websearch.params().active_set(), 36);
+}
+
+#[test]
+fn hyper_trace_ends_on_first_exhausted_tenant() {
+    let trace = HyperTraceBuilder::new(WorkloadKind::Websearch, 8)
+        .scale(500)
+        .seed(2)
+        .build();
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for pkt in trace {
+        *counts.entry(pkt.did.raw()).or_default() += 1;
+    }
+    // All 8 tenants contributed, and no tenant got more than one extra
+    // packet beyond the minimum (RR1 fairness + edge-effect trimming).
+    assert_eq!(counts.len(), 8);
+    let max = counts.values().max().unwrap();
+    let min = counts.values().min().unwrap();
+    assert!(max - min <= 1, "unbalanced trimmed trace: {counts:?}");
+}
