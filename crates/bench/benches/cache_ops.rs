@@ -1,69 +1,61 @@
 //! Micro-benchmarks of the cache substrate: lookup/insert throughput for
 //! the DevTLB geometries and policies used in the experiments.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`); run with
+//! `cargo bench --bench cache_ops`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hypersio_cache::{CacheGeometry, PartitionSpec, PolicyKind, SetAssocCache};
 use hypersio_types::{Did, GIova, PageSize, Sid};
 use hypertrio_core::{DevTlb, TlbEntry};
 use std::hint::black_box;
 
-fn bench_set_assoc_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("set_assoc_lookup_insert");
+fn bench_set_assoc_policies() {
     for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::Fifo] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy.name()),
-            &policy,
-            |b, policy| {
-                let g = CacheGeometry::new(64, 8);
-                let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, policy.build(g));
-                let mut now = 0u64;
-                b.iter(|| {
-                    for k in 0..256u64 {
-                        if cache.lookup(&k, now).is_none() {
-                            cache.insert(k, k, now);
-                        }
-                        now += 1;
+        let g = CacheGeometry::new(64, 8);
+        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, policy.build(g));
+        let mut now = 0u64;
+        bench::time_case(
+            &format!("set_assoc_lookup_insert/{}", policy.name()),
+            200,
+            || {
+                for k in 0..256u64 {
+                    if cache.lookup(&k, now).is_none() {
+                        cache.insert(k, k, now);
                     }
-                    black_box(cache.len())
-                });
+                    now += 1;
+                }
+                black_box(cache.len())
             },
         );
     }
-    group.finish();
 }
 
-fn bench_devtlb_partitioning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("devtlb_partitions");
+fn bench_devtlb_partitioning() {
     for partitions in [1usize, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(partitions),
-            &partitions,
-            |b, &partitions| {
-                let mut tlb = DevTlb::new(
-                    CacheGeometry::new(64, 8),
-                    PartitionSpec::new(partitions),
-                    PolicyKind::Lfu,
-                );
-                let entry = TlbEntry {
-                    hpa_base: hypersio_types::HPa::new(0x10_0000_0000),
-                    size: PageSize::Size2M,
-                };
-                let mut now = 0u64;
-                b.iter(|| {
-                    for t in 0..64u32 {
-                        let iova = GIova::new(0xbbe0_0000 + (t as u64 % 8) * 0x20_0000);
-                        if tlb.lookup(Sid::new(t), Did::new(t), iova, now).is_none() {
-                            tlb.insert(Sid::new(t), Did::new(t), iova, entry, now);
-                        }
-                        now += 1;
-                    }
-                    black_box(tlb.len())
-                });
-            },
+        let mut tlb = DevTlb::new(
+            CacheGeometry::new(64, 8),
+            PartitionSpec::new(partitions),
+            PolicyKind::Lfu,
         );
+        let entry = TlbEntry {
+            hpa_base: hypersio_types::HPa::new(0x10_0000_0000),
+            size: PageSize::Size2M,
+        };
+        let mut now = 0u64;
+        bench::time_case(&format!("devtlb_partitions/{partitions}"), 200, || {
+            for t in 0..64u32 {
+                let iova = GIova::new(0xbbe0_0000 + (t as u64 % 8) * 0x20_0000);
+                if tlb.lookup(Sid::new(t), Did::new(t), iova, now).is_none() {
+                    tlb.insert(Sid::new(t), Did::new(t), iova, entry, now);
+                }
+                now += 1;
+            }
+            black_box(tlb.len())
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_set_assoc_policies, bench_devtlb_partitioning);
-criterion_main!(benches);
+fn main() {
+    bench_set_assoc_policies();
+    bench_devtlb_partitioning();
+}

@@ -1,33 +1,26 @@
 //! End-to-end simulator throughput: simulated packets processed per second
 //! of wall-clock for the Base and HyperTRIO configurations.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`); run with
+//! `cargo bench --bench sim_throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hypersio_sim::{SimParams, Simulation};
 use hypersio_trace::{HyperTraceBuilder, WorkloadKind};
 use hypertrio_core::TranslationConfig;
 use std::hint::black_box;
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_end_to_end_64_tenants");
-    group.sample_size(10);
+fn main() {
     for (name, config) in [
         ("base", TranslationConfig::base()),
         ("hypertrio", TranslationConfig::hypertrio()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
-            b.iter(|| {
-                let trace = HyperTraceBuilder::new(WorkloadKind::Iperf3, 64)
-                    .scale(2000)
-                    .seed(1)
-                    .build();
-                let report =
-                    Simulation::new(config.clone(), SimParams::paper(), trace).run();
-                black_box(report.packets_processed)
-            });
+        bench::time_case(&format!("sim_end_to_end_64_tenants/{name}"), 10, || {
+            let trace = HyperTraceBuilder::new(WorkloadKind::Iperf3, 64)
+                .scale(2000)
+                .seed(1)
+                .build();
+            let report = Simulation::new(config.clone(), SimParams::paper(), trace).run();
+            black_box(report.packets_processed)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

@@ -1,55 +1,47 @@
 //! Micro-benchmarks of trace generation: per-packet cost of the tenant
 //! streams and the hyper-trace interleaver.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`); run with
+//! `cargo bench --bench trace_gen`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hypersio_trace::{HyperTraceBuilder, Interleaving, TenantStream, WorkloadKind};
 use hypersio_types::Did;
 use std::hint::black_box;
 
-fn bench_tenant_stream(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tenant_stream_10k_packets");
+fn bench_tenant_stream() {
     for kind in WorkloadKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let stream = TenantStream::new(kind.params(), Did::new(0), 7, 1);
-                    let mut n = 0u64;
-                    for pkt in stream.take(10_000) {
-                        n += pkt.iovas[1].raw() & 1;
-                    }
-                    black_box(n)
-                });
-            },
-        );
+        bench::time_case(&format!("tenant_stream_10k_packets/{kind}"), 100, || {
+            let stream = TenantStream::new(kind.params(), Did::new(0), 7, 1);
+            let mut n = 0u64;
+            for pkt in stream.take(10_000) {
+                n += pkt.iovas[1].raw() & 1;
+            }
+            black_box(n)
+        });
     }
-    group.finish();
 }
 
-fn bench_hyper_trace_interleavings(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hyper_trace_10k_packets");
+fn bench_hyper_trace_interleavings() {
     for (name, inter) in [
         ("RR1", Interleaving::round_robin(1)),
         ("RR4", Interleaving::round_robin(4)),
         ("RAND1", Interleaving::random(1, 7)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &inter, |b, &inter| {
-            b.iter(|| {
-                let trace = HyperTraceBuilder::new(WorkloadKind::Iperf3, 128)
-                    .interleaving(inter)
-                    .scale(10)
-                    .build();
-                let mut n = 0u64;
-                for pkt in trace.take(10_000) {
-                    n ^= pkt.did.raw() as u64;
-                }
-                black_box(n)
-            });
+        bench::time_case(&format!("hyper_trace_10k_packets/{name}"), 100, || {
+            let trace = HyperTraceBuilder::new(WorkloadKind::Iperf3, 128)
+                .interleaving(inter)
+                .scale(10)
+                .build();
+            let mut n = 0u64;
+            for pkt in trace.take(10_000) {
+                n ^= pkt.did.raw() as u64;
+            }
+            black_box(n)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_tenant_stream, bench_hyper_trace_interleavings);
-criterion_main!(benches);
+fn main() {
+    bench_tenant_stream();
+    bench_hyper_trace_interleavings();
+}

@@ -1,7 +1,9 @@
 //! Micro-benchmarks of the two-dimensional page-table walker: cold versus
 //! walk-cache-warmed translations.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`); run with
+//! `cargo bench --bench walker`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hypersio_mem::{TenantSpace, TwoDimWalker, WalkCacheConfig, WalkCaches};
 use hypersio_types::{Did, GIova, PageSize, Sid};
 use std::hint::black_box;
@@ -15,23 +17,21 @@ fn paper_space() -> TenantSpace {
     b.build()
 }
 
-fn bench_cold_walks(c: &mut Criterion) {
+fn bench_cold_walks() {
     let space = paper_space();
-    c.bench_function("walker_cold_2d_walk", |b| {
-        b.iter(|| {
-            // Fresh caches every iteration: all walks are full 19/24-access
-            // nested walks.
-            let mut caches = WalkCaches::new(&WalkCacheConfig::paper_base());
-            for i in 0..32u64 {
-                let iova = GIova::new(0xbbe0_0000 + i * 0x20_0000);
-                let out = TwoDimWalker::walk(&space, Sid::new(0), iova, &mut caches, i).unwrap();
-                black_box(out.dram_accesses);
-            }
-        });
+    bench::time_case("walker_cold_2d_walk", 200, || {
+        // Fresh caches every iteration: all walks are full 19/24-access
+        // nested walks.
+        let mut caches = WalkCaches::new(&WalkCacheConfig::paper_base());
+        for i in 0..32u64 {
+            let iova = GIova::new(0xbbe0_0000 + i * 0x20_0000);
+            let out = TwoDimWalker::walk(&space, Sid::new(0), iova, &mut caches, i).unwrap();
+            black_box(out.dram_accesses);
+        }
     });
 }
 
-fn bench_warm_walks(c: &mut Criterion) {
+fn bench_warm_walks() {
     let space = paper_space();
     let mut caches = WalkCaches::new(&WalkCacheConfig::paper_base());
     // Warm every page once.
@@ -39,19 +39,18 @@ fn bench_warm_walks(c: &mut Criterion) {
         let iova = GIova::new(0xbbe0_0000 + i * 0x20_0000);
         TwoDimWalker::walk(&space, Sid::new(0), iova, &mut caches, i).unwrap();
     }
-    c.bench_function("walker_warm_l2_hit", |b| {
-        let mut now = 100u64;
-        b.iter(|| {
-            for i in 0..32u64 {
-                let iova = GIova::new(0xbbe0_0000 + i * 0x20_0000 + 0x1234);
-                let out =
-                    TwoDimWalker::walk(&space, Sid::new(0), iova, &mut caches, now).unwrap();
-                now += 1;
-                black_box(out.dram_accesses);
-            }
-        });
+    let mut now = 100u64;
+    bench::time_case("walker_warm_l2_hit", 200, || {
+        for i in 0..32u64 {
+            let iova = GIova::new(0xbbe0_0000 + i * 0x20_0000 + 0x1234);
+            let out = TwoDimWalker::walk(&space, Sid::new(0), iova, &mut caches, now).unwrap();
+            now += 1;
+            black_box(out.dram_accesses);
+        }
     });
 }
 
-criterion_group!(benches, bench_cold_walks, bench_warm_walks);
-criterion_main!(benches);
+fn main() {
+    bench_cold_walks();
+    bench_warm_walks();
+}

@@ -12,24 +12,30 @@
 //! while HyperTRIO's hardware-only approach gets further without touching
 //! guests.
 //!
-//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024).
+//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
+//! `JOBS` (worker threads; default = available cores).
 
-use hypersio_sim::{sweep_tenants, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
 use hypersio_trace::WorkloadKind;
 use hypertrio_core::TranslationConfig;
 
 fn main() {
     let scale = bench::env_u64("SCALE", 200);
     let max_tenants = bench::env_u64("MAX_TENANTS", 1024) as u32;
+    let jobs = bench::jobs();
     let counts = bench::tenant_axis(max_tenants);
     bench::banner(
         "Ablation — rIOMMU-style flat tables vs nested walks",
-        &format!("iperf3, PTB=32 + partitioned caches (no prefetch), scale={scale}"),
+        &format!("iperf3, PTB=32 + partitioned caches (no prefetch), scale={scale}, jobs={jobs}"),
     );
 
     let config = TranslationConfig::hypertrio().without_prefetch();
-    let nested = SweepSpec::new(WorkloadKind::Iperf3, config.clone().with_name("nested"), scale)
-        .with_params(SimParams::paper().with_warmup(2000));
+    let nested = SweepSpec::new(
+        WorkloadKind::Iperf3,
+        config.clone().with_name("nested"),
+        scale,
+    )
+    .with_params(SimParams::paper().with_warmup(2000));
     let flat = SweepSpec::new(WorkloadKind::Iperf3, config.with_name("flat"), scale)
         .with_params(SimParams::paper().with_flat_tables().with_warmup(2000));
     let full = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::hypertrio(), scale)
@@ -37,17 +43,25 @@ fn main() {
 
     bench::print_header(
         "tenants",
-        &["nested Gb/s", "flat Gb/s", "HyperTRIO Gb/s", "flat dram/req"],
+        &[
+            "nested Gb/s",
+            "flat Gb/s",
+            "HyperTRIO Gb/s",
+            "flat dram/req",
+        ],
     );
-    let a = sweep_tenants(&nested, &counts);
-    let b = sweep_tenants(&flat, &counts);
-    let c = sweep_tenants(&full, &counts);
-    for ((n, f), h) in a.iter().zip(&b).zip(&c) {
+    let series = sweep_specs_parallel(&[nested, flat, full], &counts, jobs);
+    for ((n, f), h) in series[0].iter().zip(&series[1]).zip(&series[2]) {
         let dram_per_req =
             f.report.iommu.dram_accesses as f64 / f.report.iommu.requests.max(1) as f64;
         bench::print_row(
             n.tenants,
-            &[n.report.gbps(), f.report.gbps(), h.report.gbps(), dram_per_req],
+            &[
+                n.report.gbps(),
+                f.report.gbps(),
+                h.report.gbps(),
+                dram_per_req,
+            ],
         );
     }
     println!();

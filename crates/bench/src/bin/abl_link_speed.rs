@@ -9,10 +9,11 @@
 //! out — quantifying the paper's claim that translation, not the link, is
 //! the bottleneck.
 //!
-//! Environment: `SCALE` (default 100), `TENANTS` (default 256).
+//! Environment: `SCALE` (default 100), `TENANTS` (default 256),
+//! `JOBS` (worker threads; default = available cores).
 
 use hypersio_device::{Link, PacketSpec};
-use hypersio_sim::{SimParams, SweepSpec};
+use hypersio_sim::{parallel_map, SimParams, SweepSpec};
 use hypersio_trace::WorkloadKind;
 use hypersio_types::Bandwidth;
 use hypertrio_core::TranslationConfig;
@@ -20,24 +21,36 @@ use hypertrio_core::TranslationConfig;
 fn main() {
     let scale = bench::env_u64("SCALE", 100);
     let tenants = bench::env_u64("TENANTS", 256) as u32;
+    let jobs = bench::jobs();
     bench::banner(
         "Ablation — link bandwidth scaling (translation-bound vs link-bound)",
-        &format!("iperf3, {tenants} tenants, scale={scale}"),
+        &format!("iperf3, {tenants} tenants, scale={scale}, jobs={jobs}"),
     );
 
     println!(
         "{:>10} {:>14} {:>12} {:>14} {:>12}",
         "link Gb/s", "Base Gb/s", "Base %", "HyperTRIO Gb/s", "HT %"
     );
-    for gbps in [50u64, 100, 200, 400] {
+    // Flatten (link speed × design) onto one pool: 8 independent runs.
+    let speeds = [50u64, 100, 200, 400];
+    let grid: Vec<(u64, bool)> = speeds
+        .iter()
+        .flat_map(|&g| [(g, false), (g, true)])
+        .collect();
+    let cells = parallel_map(&grid, jobs, |&(gbps, hypertrio)| {
         let link = Link::new(Bandwidth::from_gbps(gbps), PacketSpec::ethernet());
         let params = SimParams::paper().with_link(link).with_warmup(2000);
-        let base = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::base(), scale)
-            .with_params(params.clone())
-            .run_at(tenants);
-        let ht = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::hypertrio(), scale)
+        let config = if hypertrio {
+            TranslationConfig::hypertrio()
+        } else {
+            TranslationConfig::base()
+        };
+        SweepSpec::new(WorkloadKind::Iperf3, config, scale)
             .with_params(params)
-            .run_at(tenants);
+            .run_at(tenants)
+    });
+    for (i, &gbps) in speeds.iter().enumerate() {
+        let (base, ht) = (&cells[2 * i], &cells[2 * i + 1]);
         println!(
             "{:>10} {:>14.2} {:>11.1}% {:>14.2} {:>11.1}%",
             gbps,

@@ -8,20 +8,22 @@
 //! nested-TLB hit removes a whole 4-read host walk from a guest PTE
 //! access or the final data translation.
 //!
-//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024).
+//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
+//! `JOBS` (worker threads; default = available cores).
 
 use hypersio_cache::CacheGeometry;
-use hypersio_sim::{sweep_tenants, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
 use hypersio_trace::WorkloadKind;
 use hypertrio_core::TranslationConfig;
 
 fn main() {
     let scale = bench::env_u64("SCALE", 200);
     let max_tenants = bench::env_u64("MAX_TENANTS", 1024) as u32;
+    let jobs = bench::jobs();
     let counts = bench::tenant_axis(max_tenants);
     bench::banner(
         "Ablation — nested (gPA -> hPA) TLB, 256 entries / 8 ways",
-        &format!("iperf3, scale={scale}"),
+        &format!("iperf3, scale={scale}, jobs={jobs}"),
     );
 
     let with_nested = |config: TranslationConfig, name: &str| {
@@ -37,22 +39,17 @@ fn main() {
         SweepSpec::new(WorkloadKind::Iperf3, config, scale).with_params(params.clone())
     };
 
-    bench::print_header(
-        "tenants",
-        &["Base", "Base+nTLB", "HyperTRIO", "HT+nTLB"],
+    bench::print_header("tenants", &["Base", "Base+nTLB", "HyperTRIO", "HT+nTLB"]);
+    let series = sweep_specs_parallel(
+        &[
+            spec(TranslationConfig::base()),
+            spec(with_nested(TranslationConfig::base(), "Base+nTLB")),
+            spec(TranslationConfig::hypertrio()),
+            spec(with_nested(TranslationConfig::hypertrio(), "HT+nTLB")),
+        ],
+        &counts,
+        jobs,
     );
-    let series = [
-        sweep_tenants(&spec(TranslationConfig::base()), &counts),
-        sweep_tenants(
-            &spec(with_nested(TranslationConfig::base(), "Base+nTLB")),
-            &counts,
-        ),
-        sweep_tenants(&spec(TranslationConfig::hypertrio()), &counts),
-        sweep_tenants(
-            &spec(with_nested(TranslationConfig::hypertrio(), "HT+nTLB")),
-            &counts,
-        ),
-    ];
     for (i, &tenants) in counts.iter().enumerate() {
         bench::print_row(
             tenants,

@@ -5,40 +5,45 @@
 //! that deeper walk does to achievable bandwidth for both designs, at the
 //! thrash-prone tenant counts where walks dominate.
 //!
-//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024).
+//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
+//! `JOBS` (worker threads; default = available cores).
 
-use hypersio_sim::{sweep_tenants, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
 use hypersio_trace::WorkloadKind;
 use hypertrio_core::TranslationConfig;
 
 fn main() {
     let scale = bench::env_u64("SCALE", 200);
     let max_tenants = bench::env_u64("MAX_TENANTS", 1024) as u32;
+    let jobs = bench::jobs();
     let counts = bench::tenant_axis(max_tenants);
     bench::banner(
         "Ablation — 4-level (24-access) vs 5-level (35-access) walks",
-        &format!("iperf3, scale={scale}"),
+        &format!("iperf3, scale={scale}, jobs={jobs}"),
     );
 
     let spec = |config: TranslationConfig, five: bool| {
         let params = if five {
-            SimParams::paper().with_five_level_tables().with_warmup(2000)
+            SimParams::paper()
+                .with_five_level_tables()
+                .with_warmup(2000)
         } else {
             SimParams::paper().with_warmup(2000)
         };
         SweepSpec::new(WorkloadKind::Iperf3, config, scale).with_params(params)
     };
 
-    bench::print_header(
-        "tenants",
-        &["Base 4lvl", "Base 5lvl", "HT 4lvl", "HT 5lvl"],
+    bench::print_header("tenants", &["Base 4lvl", "Base 5lvl", "HT 4lvl", "HT 5lvl"]);
+    let series = sweep_specs_parallel(
+        &[
+            spec(TranslationConfig::base(), false),
+            spec(TranslationConfig::base(), true),
+            spec(TranslationConfig::hypertrio(), false),
+            spec(TranslationConfig::hypertrio(), true),
+        ],
+        &counts,
+        jobs,
     );
-    let series = [
-        sweep_tenants(&spec(TranslationConfig::base(), false), &counts),
-        sweep_tenants(&spec(TranslationConfig::base(), true), &counts),
-        sweep_tenants(&spec(TranslationConfig::hypertrio(), false), &counts),
-        sweep_tenants(&spec(TranslationConfig::hypertrio(), true), &counts),
-    ];
     for (i, &tenants) in counts.iter().enumerate() {
         bench::print_row(
             tenants,

@@ -7,20 +7,22 @@
 //! and 8 partitions (8 sets can host at most 8 row-granular partitions),
 //! with the PTB fixed at 32 and no prefetching, across tenant counts.
 //!
-//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024).
+//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
+//! `JOBS` (worker threads; default = available cores).
 
 use hypersio_cache::PartitionSpec;
-use hypersio_sim::{sweep_tenants, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
 use hypersio_trace::WorkloadKind;
 use hypertrio_core::TranslationConfig;
 
 fn main() {
     let scale = bench::env_u64("SCALE", 200);
     let max_tenants = bench::env_u64("MAX_TENANTS", 1024) as u32;
+    let jobs = bench::jobs();
     let counts = bench::tenant_axis(max_tenants);
     bench::banner(
         "Ablation — DevTLB partition count (PTB=32, no prefetch)",
-        &format!("mediastream, scale={scale}"),
+        &format!("mediastream, scale={scale}, jobs={jobs}"),
     );
 
     let spec = |partitions: usize| {
@@ -36,12 +38,7 @@ fn main() {
     };
 
     bench::print_header("tenants", &["1 part", "2 parts", "4 parts", "8 parts"]);
-    let series = [
-        sweep_tenants(&spec(1), &counts),
-        sweep_tenants(&spec(2), &counts),
-        sweep_tenants(&spec(4), &counts),
-        sweep_tenants(&spec(8), &counts),
-    ];
+    let series = sweep_specs_parallel(&[spec(1), spec(2), spec(4), spec(8)], &counts, jobs);
     for (i, &tenants) in counts.iter().enumerate() {
         bench::print_row(
             tenants,

@@ -33,7 +33,9 @@ fn main() {
         for iova in pkt.iovas {
             // Histogram at the owning page granule.
             let size = params.page_size_of(iova);
-            *counts.entry(iova.raw() >> size.shift() << size.shift()).or_default() += 1;
+            *counts
+                .entry(iova.raw() >> size.shift() << size.shift())
+                .or_default() += 1;
             total += 1;
         }
     }

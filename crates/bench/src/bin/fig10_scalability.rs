@@ -10,19 +10,21 @@
 //! while HyperTRIO stays near the full link for RR interleavings and
 //! reaches ~80 % even under the least predictable RAND1 order.
 //!
-//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024).
+//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
+//! `JOBS` (worker threads; default = available cores).
 
-use hypersio_sim::{sweep_tenants, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
 use hypersio_trace::{Interleaving, WorkloadKind};
 use hypertrio_core::TranslationConfig;
 
 fn main() {
     let scale = bench::env_u64("SCALE", 200);
     let max_tenants = bench::env_u64("MAX_TENANTS", 1024) as u32;
+    let jobs = bench::jobs();
     let counts = bench::tenant_axis(max_tenants);
     bench::banner(
         "Fig 10 — scalability of I/O bandwidth, Base vs HyperTRIO",
-        &format!("200 Gb/s link, tenants 4..{max_tenants}, scale={scale}"),
+        &format!("200 Gb/s link, tenants 4..{max_tenants}, scale={scale}, jobs={jobs}"),
     );
 
     let interleavings = [
@@ -42,9 +44,8 @@ fn main() {
                 .with_interleaving(inter)
                 .with_params(params);
             bench::print_header("tenants", &["Base Gb/s", "HyperTRIO Gb/s", "HT util %"]);
-            let base_points = sweep_tenants(&base, &counts);
-            let ht_points = sweep_tenants(&ht, &counts);
-            for (b, h) in base_points.iter().zip(&ht_points) {
+            let series = sweep_specs_parallel(&[base, ht], &counts, jobs);
+            for (b, h) in series[0].iter().zip(&series[1]) {
                 bench::print_row(
                     b.tenants,
                     &[

@@ -8,28 +8,27 @@
 //! used sets (§V-C). Burstier interleavings (RR4) reuse the ring-pointer
 //! translation within a burst and score higher.
 //!
-//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024).
+//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
+//! `JOBS` (worker threads; default = available cores).
 
 use hypersio_cache::CacheGeometry;
-use hypersio_sim::{sweep_tenants, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
 use hypersio_trace::{Interleaving, WorkloadKind};
 use hypertrio_core::TranslationConfig;
 
 fn main() {
     let scale = bench::env_u64("SCALE", 200);
     let max_tenants = bench::env_u64("MAX_TENANTS", 1024) as u32;
+    let jobs = bench::jobs();
     let counts = bench::tenant_axis(max_tenants);
     bench::banner(
         "Fig 11a — Base design with 64- vs 1024-entry DevTLB (8-way)",
-        &format!("scale={scale}"),
+        &format!("scale={scale}, jobs={jobs}"),
     );
 
     for workload in WorkloadKind::ALL {
         println!("\n== {workload} ==");
-        bench::print_header(
-            "tenants",
-            &["64e RR1", "1024e RR1", "64e RR4", "1024e RR4"],
-        );
+        bench::print_header("tenants", &["64e RR1", "1024e RR1", "64e RR4", "1024e RR4"]);
         let params = SimParams::paper().with_warmup(2000);
         let spec = |entries: usize, inter: Interleaving| {
             SweepSpec::new(
@@ -42,12 +41,16 @@ fn main() {
             .with_interleaving(inter)
             .with_params(params.clone())
         };
-        let series = [
-            sweep_tenants(&spec(64, Interleaving::round_robin(1)), &counts),
-            sweep_tenants(&spec(1024, Interleaving::round_robin(1)), &counts),
-            sweep_tenants(&spec(64, Interleaving::round_robin(4)), &counts),
-            sweep_tenants(&spec(1024, Interleaving::round_robin(4)), &counts),
-        ];
+        let series = sweep_specs_parallel(
+            &[
+                spec(64, Interleaving::round_robin(1)),
+                spec(1024, Interleaving::round_robin(1)),
+                spec(64, Interleaving::round_robin(4)),
+                spec(1024, Interleaving::round_robin(4)),
+            ],
+            &counts,
+            jobs,
+        );
         for (i, &tenants) in counts.iter().enumerate() {
             bench::print_row(
                 tenants,

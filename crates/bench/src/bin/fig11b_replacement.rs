@@ -10,26 +10,30 @@
 //!
 //! Environment: `SCALE` (default 400), `MAX_TENANTS` (default 256 — the
 //! oracle pre-scan materialises the position index, so very large counts
-//! are slower).
+//! are slower), `JOBS` (worker threads; default = available cores).
 
 use hypersio_cache::PolicyKind;
-use hypersio_sim::{devtlb_oracle_for, SimParams, Simulation};
+use hypersio_sim::{devtlb_oracle_for, parallel_map, SimParams, Simulation};
 use hypersio_trace::{HyperTraceBuilder, WorkloadKind};
 use hypertrio_core::TranslationConfig;
 
 fn main() {
     let scale = bench::env_u64("SCALE", 400);
     let max_tenants = bench::env_u64("MAX_TENANTS", 256) as u32;
+    let jobs = bench::jobs();
     let counts: Vec<u32> = bench::tenant_axis(max_tenants);
     bench::banner(
         "Fig 11b — DevTLB replacement policies on the Base design",
-        &format!("scale={scale}"),
+        &format!("scale={scale}, jobs={jobs}"),
     );
 
     for workload in WorkloadKind::ALL {
         println!("\n== {workload} ==");
         bench::print_header("tenants", &["LRU Gb/s", "LFU Gb/s", "oracle Gb/s"]);
-        for &tenants in &counts {
+        // Each row (tenant count) is independent: its oracle pre-scan and
+        // the three policy runs all derive from the same deterministic
+        // trace, so rows can be computed on any thread.
+        let rows = parallel_map(&counts, jobs, |&tenants| {
             let trace_for = || {
                 HyperTraceBuilder::new(workload, tenants)
                     .scale(bench::proportional_scale(scale, tenants))
@@ -37,22 +41,18 @@ fn main() {
                     .build()
             };
             let oracle = devtlb_oracle_for(&trace_for());
-            let mut row = Vec::new();
-            for policy in [
-                PolicyKind::Lru,
-                PolicyKind::Lfu,
-                PolicyKind::Oracle(oracle),
-            ] {
-                let config = TranslationConfig::base().with_devtlb_policy(policy);
-                let report = Simulation::new(
-                    config,
-                    SimParams::paper().with_warmup(2000),
-                    trace_for(),
-                )
-                .run();
-                row.push(report.gbps());
-            }
-            bench::print_row(tenants, &row);
+            [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::Oracle(oracle)]
+                .into_iter()
+                .map(|policy| {
+                    let config = TranslationConfig::base().with_devtlb_policy(policy);
+                    Simulation::new(config, SimParams::paper().with_warmup(2000), trace_for())
+                        .run()
+                        .gbps()
+                })
+                .collect::<Vec<f64>>()
+        });
+        for (&tenants, row) in counts.iter().zip(&rows) {
+            bench::print_row(tenants, row);
         }
     }
     println!();

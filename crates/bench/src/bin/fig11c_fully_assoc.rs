@@ -11,10 +11,11 @@
 //! is the experiment showing associativity and replacement cannot solve
 //! hyper-tenant translation (§V-C).
 //!
-//! Environment: `SCALE` (default 400), `MAX_TENANTS` (default 128).
+//! Environment: `SCALE` (default 400), `MAX_TENANTS` (default 128),
+//! `JOBS` (worker threads; default = available cores).
 
 use hypersio_cache::{CacheGeometry, PolicyKind};
-use hypersio_sim::{devtlb_oracle_for, SimParams, Simulation};
+use hypersio_sim::{devtlb_oracle_for, parallel_map, SimParams, Simulation};
 use hypersio_trace::{HyperTraceBuilder, WorkloadKind};
 use hypertrio_core::TranslationConfig;
 
@@ -46,15 +47,19 @@ fn run_fa(
 fn main() {
     let scale = bench::env_u64("SCALE", 400);
     let max_tenants = bench::env_u64("MAX_TENANTS", 128) as u32;
+    let jobs = bench::jobs();
     bench::banner(
         "Fig 11c — fully-associative DevTLB with oracle replacement",
-        &format!("scale={scale}"),
+        &format!("scale={scale}, jobs={jobs}"),
     );
 
     println!("Active translation set (min FA entries for full single-tenant util):");
     println!("{:<14} {:>10} {:>12}", "benchmark", "measured", "paper");
     let paper_active = [8usize, 32, 36];
-    for (workload, paper) in WorkloadKind::ALL.into_iter().zip(paper_active) {
+    let workloads: Vec<WorkloadKind> = WorkloadKind::ALL.into_iter().collect();
+    // One search per workload; the early-exit scan inside stays serial so
+    // no entry count beyond the answer is ever simulated.
+    let measured_all = parallel_map(&workloads, jobs, |&workload| {
         let mut measured = 0;
         for entries in [2usize, 4, 6, 8, 12, 16, 24, 30, 32, 34, 36, 40, 48, 64] {
             let report = run_fa(workload, 1, entries, scale);
@@ -68,7 +73,15 @@ fn main() {
                 break;
             }
         }
-        println!("{:<14} {:>10} {:>12}", workload.to_string(), measured, paper);
+        measured
+    });
+    for ((workload, paper), measured) in workloads.iter().zip(paper_active).zip(measured_all) {
+        println!(
+            "{:<14} {:>10} {:>12}",
+            workload.to_string(),
+            measured,
+            paper
+        );
     }
 
     println!();
@@ -78,12 +91,18 @@ fn main() {
         .filter(|&t| t <= max_tenants)
         .collect();
     bench::print_header("tenants", &["iperf3", "mediastream", "websearch"]);
-    for &tenants in &counts {
-        let row: Vec<f64> = WorkloadKind::ALL
-            .into_iter()
-            .map(|w| run_fa(w, tenants, 64, scale).gbps())
-            .collect();
-        bench::print_row(tenants, &row);
+    // Flatten the (tenants × workload) grid onto one pool so the biggest
+    // cells of different rows overlap.
+    let grid: Vec<(u32, WorkloadKind)> = counts
+        .iter()
+        .flat_map(|&t| WorkloadKind::ALL.into_iter().map(move |w| (t, w)))
+        .collect();
+    let cells = parallel_map(&grid, jobs, |&(tenants, w)| {
+        run_fa(w, tenants, 64, scale).gbps()
+    });
+    for (i, &tenants) in counts.iter().enumerate() {
+        let n = WorkloadKind::ALL.len();
+        bench::print_row(tenants, &cells[i * n..(i + 1) * n]);
     }
     println!();
     println!("Paper: more than eight tenants produce low utilisation for every");

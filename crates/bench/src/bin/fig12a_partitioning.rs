@@ -10,27 +10,29 @@
 //! Base — but it does not, by itself, solve the hyper-tenant scaling
 //! challenge (§V-D).
 //!
-//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024).
+//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
+//! `JOBS` (worker threads; default = available cores).
 
-use hypersio_sim::{sweep_tenants, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
 use hypersio_trace::WorkloadKind;
 use hypertrio_core::TranslationConfig;
 
 fn main() {
     let scale = bench::env_u64("SCALE", 200);
     let max_tenants = bench::env_u64("MAX_TENANTS", 1024) as u32;
+    let jobs = bench::jobs();
     let counts = bench::tenant_axis(max_tenants);
     bench::banner(
         "Fig 12a — partitioned DevTLB + walk caches (PTB=1, no prefetch)",
-        &format!("scale={scale}"),
+        &format!("scale={scale}, jobs={jobs}"),
     );
 
     for workload in WorkloadKind::ALL {
         println!("\n== {workload} ==");
         bench::print_header("tenants", &["Base Gb/s", "Partitioned Gb/s"]);
         let params = SimParams::paper().with_warmup(2000);
-        let base = SweepSpec::new(workload, TranslationConfig::base(), scale)
-            .with_params(params.clone());
+        let base =
+            SweepSpec::new(workload, TranslationConfig::base(), scale).with_params(params.clone());
         let part = SweepSpec::new(
             workload,
             TranslationConfig::hypertrio()
@@ -40,9 +42,8 @@ fn main() {
             scale,
         )
         .with_params(params);
-        let base_points = sweep_tenants(&base, &counts);
-        let part_points = sweep_tenants(&part, &counts);
-        for (b, p) in base_points.iter().zip(&part_points) {
+        let series = sweep_specs_parallel(&[base, part], &counts, jobs);
+        for (b, p) in series[0].iter().zip(&series[1]) {
             bench::print_row(b.tenants, &[b.report.gbps(), p.report.gbps()]);
         }
     }

@@ -8,19 +8,21 @@
 //! hyper-tenant plateau substantially (paper: ~136 Gb/s aggregated at 1024
 //! tenants) but full bandwidth needs prefetching too.
 //!
-//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024).
+//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
+//! `JOBS` (worker threads; default = available cores).
 
-use hypersio_sim::{sweep_tenants, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
 use hypersio_trace::WorkloadKind;
 use hypertrio_core::TranslationConfig;
 
 fn main() {
     let scale = bench::env_u64("SCALE", 200);
     let max_tenants = bench::env_u64("MAX_TENANTS", 1024) as u32;
+    let jobs = bench::jobs();
     let counts = bench::tenant_axis(max_tenants);
     bench::banner(
         "Fig 12b — Pending Translation Buffer size (partitioned, no prefetch)",
-        &format!("scale={scale}"),
+        &format!("scale={scale}, jobs={jobs}"),
     );
 
     for workload in WorkloadKind::ALL {
@@ -38,11 +40,7 @@ fn main() {
             )
             .with_params(params.clone())
         };
-        let series = [
-            sweep_tenants(&spec(1), &counts),
-            sweep_tenants(&spec(8), &counts),
-            sweep_tenants(&spec(32), &counts),
-        ];
+        let series = sweep_specs_parallel(&[spec(1), spec(8), spec(32)], &counts, jobs);
         for (i, &tenants) in counts.iter().enumerate() {
             bench::print_row(
                 tenants,

@@ -11,19 +11,21 @@
 //! (paper: up to +30 % for websearch), because the prefetcher's state
 //! (buffer + history length) does not have to grow with the tenant count.
 //!
-//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024).
+//! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
+//! `JOBS` (worker threads; default = available cores).
 
-use hypersio_sim::{sweep_tenants, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
 use hypersio_trace::WorkloadKind;
 use hypertrio_core::TranslationConfig;
 
 fn main() {
     let scale = bench::env_u64("SCALE", 200);
     let max_tenants = bench::env_u64("MAX_TENANTS", 1024) as u32;
+    let jobs = bench::jobs();
     let counts = bench::tenant_axis(max_tenants);
     bench::banner(
         "Fig 12c — translation prefetching vs PTB+partitioning alone",
-        &format!("scale={scale}"),
+        &format!("scale={scale}, jobs={jobs}"),
     );
 
     for workload in WorkloadKind::ALL {
@@ -41,11 +43,10 @@ fn main() {
             scale,
         )
         .with_params(params.clone());
-        let with_pf = SweepSpec::new(workload, TranslationConfig::hypertrio(), scale)
-            .with_params(params);
-        let a = sweep_tenants(&no_pf, &counts);
-        let b = sweep_tenants(&with_pf, &counts);
-        for (x, y) in a.iter().zip(&b) {
+        let with_pf =
+            SweepSpec::new(workload, TranslationConfig::hypertrio(), scale).with_params(params);
+        let series = sweep_specs_parallel(&[no_pf, with_pf], &counts, jobs);
+        for (x, y) in series[0].iter().zip(&series[1]) {
             let gain = if x.report.gbps() > 0.0 {
                 (y.report.gbps() / x.report.gbps() - 1.0) * 100.0
             } else {

@@ -19,16 +19,8 @@ fn main() {
             "450ns".into(),
             p.pcie.one_way().to_string(),
         ),
-        (
-            "DRAM latency",
-            "50ns".into(),
-            p.dram_latency.to_string(),
-        ),
-        (
-            "IOTLB hit",
-            "2ns".into(),
-            p.devtlb_hit.to_string(),
-        ),
+        ("DRAM latency", "50ns".into(), p.dram_latency.to_string()),
+        ("IOTLB hit", "2ns".into(), p.devtlb_hit.to_string()),
         (
             "# memory accesses during PTW",
             "24".into(),

@@ -12,7 +12,9 @@ fn main() {
     let scale = bench::env_u64("SCALE", 64);
     bench::banner(
         "Table III — translation requests recorded per benchmark",
-        &format!("tenants={tenants} scale={scale} (multiply counts by scale to compare with the paper)"),
+        &format!(
+            "tenants={tenants} scale={scale} (multiply counts by scale to compare with the paper)"
+        ),
     );
     println!(
         "{:<14} {:>14} {:>14} {:>18}",

@@ -8,6 +8,8 @@
 //!   per-tenant request counts of Table III; `SCALE=1` runs paper-sized
 //!   traces.
 //! - `MAX_TENANTS` caps tenant sweeps for quicker runs.
+//! - `JOBS` sets the worker-thread count for the parallel sweep executor
+//!   (default: all available cores; `JOBS=1` forces the serial path).
 //! - Output is a plain text table with one row per x-axis point and one
 //!   column per series, mirroring the paper's figure structure.
 
@@ -15,6 +17,7 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::time::Instant;
 
 /// Reads a `u64` environment knob with a default.
 pub fn env_u64(name: &str, default: u64) -> u64 {
@@ -64,6 +67,38 @@ pub fn banner(experiment: &str, detail: &str) {
     println!("{experiment}");
     println!("{detail}");
     println!("==============================================================");
+}
+
+/// Worker-thread count for the parallel sweep executor: the `JOBS`
+/// environment knob, defaulting to all available cores.
+pub fn jobs() -> usize {
+    std::env::var("JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&j: &usize| j > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Times `f` over `iters` iterations (after one untimed warm-up) and prints
+/// a `name: total / per-iter` line. A minimal stand-in for an external
+/// benchmark harness; wall-clock only, no statistics.
+pub fn time_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    assert!(iters > 0, "need at least one iteration");
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    println!(
+        "{name:<40} {:>10.3} ms total / {iters:>4} iters = {:>10.3} ms/iter",
+        total.as_secs_f64() * 1e3,
+        total.as_secs_f64() * 1e3 / iters as f64,
+    );
 }
 
 #[cfg(test)]

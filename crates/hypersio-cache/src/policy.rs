@@ -2,10 +2,9 @@
 
 use std::fmt;
 use std::hash::Hash;
-use std::rc::Rc;
+use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hypersio_types::SplitMix64;
 
 use crate::geometry::CacheGeometry;
 use crate::oracle::FutureOracle;
@@ -63,25 +62,32 @@ pub enum PolicyKind {
     ///
     /// Keys absent from the oracle (never reused) are preferred victims.
     Oracle(
-        /// Shared future-access index built from the full trace.
-        Rc<FutureOracleErased>,
+        /// Shared future-access index built from the full trace. `Arc` (not
+        /// `Rc`) so configurations can be shipped to sweep worker threads.
+        Arc<FutureOracleErased>,
     ),
 }
 
 impl PolicyKind {
     /// Builds a boxed policy instance sized for `geometry`.
     ///
+    /// The box is `Send` so caches (and the simulations embedding them) can
+    /// migrate to sweep worker threads.
+    ///
     /// # Panics
     ///
     /// Panics if `PolicyKind::Oracle` is built for a key type other than the
     /// one its oracle was erased from.
-    pub fn build<K: OracleKey>(&self, geometry: CacheGeometry) -> Box<dyn ReplacementPolicy<K>> {
+    pub fn build<K: OracleKey>(
+        &self,
+        geometry: CacheGeometry,
+    ) -> Box<dyn ReplacementPolicy<K> + Send> {
         match self {
             PolicyKind::Lru => Box::new(Lru::new(geometry)),
             PolicyKind::Lfu => Box::new(Lfu::new(geometry)),
             PolicyKind::Fifo => Box::new(Fifo::new(geometry)),
             PolicyKind::Random { seed } => Box::new(RandomEvict::new(*seed)),
-            PolicyKind::Oracle(oracle) => Box::new(Belady::new(Rc::clone(oracle))),
+            PolicyKind::Oracle(oracle) => Box::new(Belady::new(Arc::clone(oracle))),
         }
     }
 
@@ -246,14 +252,14 @@ impl<K> ReplacementPolicy<K> for Fifo {
 
 /// Uniform-random victim selection with a seeded RNG (deterministic runs).
 pub struct RandomEvict {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl RandomEvict {
     /// Creates a random policy with the given seed.
     pub fn new(seed: u64) -> Self {
         RandomEvict {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
         }
     }
 }
@@ -270,7 +276,7 @@ impl<K> ReplacementPolicy<K> for RandomEvict {
     fn on_fill(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
 
     fn victim(&mut self, _set: usize, occupants: &[Option<K>], _now: u64) -> usize {
-        self.rng.gen_range(0..occupants.len())
+        self.rng.index(occupants.len())
     }
 
     fn on_invalidate(&mut self, _set: usize, _way: usize) {}
@@ -283,12 +289,12 @@ impl<K> ReplacementPolicy<K> for RandomEvict {
 /// trace position as `now` on every cache access.
 #[derive(Debug)]
 pub struct Belady {
-    oracle: Rc<FutureOracleErased>,
+    oracle: Arc<FutureOracleErased>,
 }
 
 impl Belady {
     /// Creates a Belady policy over a shared future-access oracle.
-    pub fn new(oracle: Rc<FutureOracleErased>) -> Self {
+    pub fn new(oracle: Arc<FutureOracleErased>) -> Self {
         Belady { oracle }
     }
 }
@@ -411,7 +417,7 @@ mod tests {
     #[test]
     fn belady_prefers_never_reused() {
         // Sequence: keys 1,2,3,4 then 1,2,3 again (key 4 never reused).
-        let oracle = Rc::new(FutureOracle::from_sequence(vec![1u64, 2, 3, 4, 1, 2, 3]));
+        let oracle = Arc::new(FutureOracle::from_sequence(vec![1u64, 2, 3, 4, 1, 2, 3]));
         let mut belady = Belady::new(oracle);
         let occ = vec![Some(1u64), Some(2), Some(3), Some(4)];
         assert_eq!(belady.victim(0, &occ, 3), 3);
@@ -420,7 +426,7 @@ mod tests {
     #[test]
     fn belady_evicts_farthest_next_use() {
         // After position 0: 1 used at 4, 2 at 5, 3 at 6 -> evict 3.
-        let oracle = Rc::new(FutureOracle::from_sequence(vec![9u64, 8, 7, 6, 1, 2, 3]));
+        let oracle = Arc::new(FutureOracle::from_sequence(vec![9u64, 8, 7, 6, 1, 2, 3]));
         let mut belady = Belady::new(oracle);
         let occ = vec![Some(1u64), Some(2), Some(3)];
         assert_eq!(belady.victim(0, &occ, 0), 2);
@@ -435,7 +441,7 @@ mod tests {
             (PolicyKind::Fifo, "FIFO"),
             (PolicyKind::Random { seed: 1 }, "RAND"),
             (
-                PolicyKind::Oracle(Rc::new(FutureOracle::from_sequence(Vec::new()))),
+                PolicyKind::Oracle(Arc::new(FutureOracle::from_sequence(Vec::new()))),
                 "oracle",
             ),
         ] {

@@ -58,13 +58,13 @@ struct Entry<K, V> {
 pub struct SetAssocCache<K, V> {
     geometry: CacheGeometry,
     sets: Vec<Vec<Option<Entry<K, V>>>>,
-    policy: Box<dyn ReplacementPolicy<K>>,
+    policy: Box<dyn ReplacementPolicy<K> + Send>,
     stats: CacheStats,
 }
 
 impl<K: CacheKey, V> SetAssocCache<K, V> {
     /// Creates an empty cache with the given geometry and policy.
-    pub fn new(geometry: CacheGeometry, policy: Box<dyn ReplacementPolicy<K>>) -> Self {
+    pub fn new(geometry: CacheGeometry, policy: Box<dyn ReplacementPolicy<K> + Send>) -> Self {
         let sets = (0..geometry.sets())
             .map(|_| (0..geometry.ways()).map(|_| None).collect())
             .collect();

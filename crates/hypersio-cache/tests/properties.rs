@@ -1,14 +1,25 @@
-//! Property-based tests for the cache substrate.
+//! Property-style tests for the cache substrate.
+//!
+//! The invariants are the same ones the original proptest suite checked;
+//! inputs come from the in-tree [`SplitMix64`] generator with fixed seeds,
+//! so every run exercises an identical, reproducible case list.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use hypersio_cache::{
     CacheGeometry, FullyAssocCache, FutureOracle, PartitionSpec, PartitionedCache, PolicyKind,
     SetAssocCache,
 };
-use hypersio_types::Sid;
-use proptest::prelude::*;
+use hypersio_types::{Sid, SplitMix64};
+
+const CASES: usize = 64;
+
+/// Draws a key vector of length `1..=max_len` with keys in `0..key_space`.
+fn key_vec(rng: &mut SplitMix64, max_len: u64, key_space: u64) -> Vec<u64> {
+    let len = rng.range_inclusive(1, max_len);
+    (0..len).map(|_| rng.below(key_space)).collect()
+}
 
 /// Reference fully-associative LRU over small u64 keys.
 struct RefLru {
@@ -40,12 +51,12 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #[test]
-    fn occupancy_never_exceeds_capacity(
-        keys in prop::collection::vec(0u64..64, 1..400),
-        ways in 1usize..8,
-    ) {
+#[test]
+fn occupancy_never_exceeds_capacity() {
+    let mut rng = SplitMix64::new(0x2001);
+    for _ in 0..CASES {
+        let keys = key_vec(&mut rng, 399, 64);
+        let ways = rng.range_inclusive(1, 7) as usize;
         let entries = ways * 4;
         let g = CacheGeometry::new(entries, ways);
         let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Lru.build(g));
@@ -53,35 +64,40 @@ proptest! {
             if cache.lookup(&k, i as u64).is_none() {
                 cache.insert(k, k, i as u64);
             }
-            prop_assert!(cache.len() <= entries);
+            assert!(cache.len() <= entries);
         }
     }
+}
 
-    #[test]
-    fn lookup_hits_iff_present(
-        ops in prop::collection::vec((0u64..32, prop::bool::ANY), 1..300),
-    ) {
+#[test]
+fn lookup_hits_iff_present() {
+    let mut rng = SplitMix64::new(0x2002);
+    for _ in 0..CASES {
+        let ops: Vec<(u64, bool)> = (0..rng.range_inclusive(1, 299))
+            .map(|_| (rng.below(32), rng.below(2) == 1))
+            .collect();
         let g = CacheGeometry::new(16, 4);
         let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Lfu.build(g));
         for (i, &(k, is_insert)) in ops.iter().enumerate() {
             let present_before = cache.contains(&k);
             if is_insert {
                 cache.insert(k, k * 10, i as u64);
-                prop_assert_eq!(cache.peek(&k), Some(&(k * 10)));
+                assert_eq!(cache.peek(&k), Some(&(k * 10)));
             } else {
                 let hit = cache.lookup(&k, i as u64).is_some();
-                prop_assert_eq!(hit, present_before);
+                assert_eq!(hit, present_before);
             }
         }
     }
+}
 
-    #[test]
-    fn fa_lru_matches_reference_model(
-        keys in prop::collection::vec(0u64..24, 1..500),
-        capacity in 1usize..12,
-    ) {
-        let mut cache: FullyAssocCache<u64, u64> =
-            FullyAssocCache::new(capacity, PolicyKind::Lru);
+#[test]
+fn fa_lru_matches_reference_model() {
+    let mut rng = SplitMix64::new(0x2003);
+    for _ in 0..CASES {
+        let keys = key_vec(&mut rng, 499, 24);
+        let capacity = rng.range_inclusive(1, 11) as usize;
+        let mut cache: FullyAssocCache<u64, u64> = FullyAssocCache::new(capacity, PolicyKind::Lru);
         let mut reference = RefLru::new(capacity);
         for (i, &k) in keys.iter().enumerate() {
             let hit = cache.lookup(&k, i as u64).is_some();
@@ -89,18 +105,23 @@ proptest! {
                 cache.insert(k, k, i as u64);
             }
             let ref_hit = reference.access(k);
-            prop_assert_eq!(hit, ref_hit, "diverged at access {} key {}", i, k);
+            assert_eq!(hit, ref_hit, "diverged at access {i} key {k}");
         }
     }
+}
 
-    #[test]
-    fn belady_is_at_least_as_good_as_lru(
-        keys in prop::collection::vec(0u64..16, 20..400),
-        capacity in 2usize..8,
-    ) {
+#[test]
+fn belady_is_at_least_as_good_as_lru() {
+    let mut rng = SplitMix64::new(0x2004);
+    for _ in 0..CASES {
+        let mut keys = key_vec(&mut rng, 399, 16);
+        while keys.len() < 20 {
+            keys.push(rng.below(16));
+        }
+        let capacity = rng.range_inclusive(2, 7) as usize;
         // Classic result: Belady's policy is optimal for fully-associative
         // caches, so it can never hit less often than LRU on any sequence.
-        let oracle = Rc::new(FutureOracle::from_sequence(keys.clone()));
+        let oracle = Arc::new(FutureOracle::from_sequence(keys.clone()));
         let mut belady: FullyAssocCache<u64, u64> =
             FullyAssocCache::new(capacity, PolicyKind::Oracle(oracle));
         let mut lru: FullyAssocCache<u64, u64> = FullyAssocCache::new(capacity, PolicyKind::Lru);
@@ -112,33 +133,37 @@ proptest! {
                 lru.insert(k, k, i as u64);
             }
         }
-        prop_assert!(
+        assert!(
             belady.stats().hits() >= lru.stats().hits(),
             "Belady {} < LRU {}",
             belady.stats().hits(),
             lru.stats().hits()
         );
     }
+}
 
-    #[test]
-    fn future_oracle_matches_naive_scan(
-        keys in prop::collection::vec(0u64..8, 1..120),
-        probe in 0u64..8,
-        now in 0u64..130,
-    ) {
+#[test]
+fn future_oracle_matches_naive_scan() {
+    let mut rng = SplitMix64::new(0x2005);
+    for _ in 0..CASES * 4 {
+        let keys = key_vec(&mut rng, 119, 8);
+        let probe = rng.below(8);
+        let now = rng.below(130);
         let oracle = FutureOracle::from_sequence(keys.clone());
         let naive = keys
             .iter()
             .enumerate()
             .find(|&(i, &k)| (i as u64) > now && k == probe)
             .map(|(i, _)| i as u64);
-        prop_assert_eq!(oracle.next_use(&probe, now), naive);
+        assert_eq!(oracle.next_use(&probe, now), naive);
     }
+}
 
-    #[test]
-    fn partitions_isolate_flooding(
-        flood in prop::collection::vec(0u64..4096, 1..300),
-    ) {
+#[test]
+fn partitions_isolate_flooding() {
+    let mut rng = SplitMix64::new(0x2006);
+    for _ in 0..CASES {
+        let flood = key_vec(&mut rng, 299, 4096);
         // Tenant 0 caches one entry; tenant 1 floods with arbitrary keys.
         // With per-tenant partitions the victim entry must survive.
         let mut cache: PartitionedCache<u64, u64> = PartitionedCache::new(
@@ -150,27 +175,31 @@ proptest! {
         for (i, &k) in flood.iter().enumerate() {
             cache.insert(Sid::new(1), k, k, 1 + i as u64);
         }
-        prop_assert_eq!(cache.peek(Sid::new(0), &0xdead), Some(&1));
+        assert_eq!(cache.peek(Sid::new(0), &0xdead), Some(&1));
     }
+}
 
-    #[test]
-    fn invalidate_then_miss(
-        keys in prop::collection::vec(0u64..32, 1..100),
-    ) {
+#[test]
+fn invalidate_then_miss() {
+    let mut rng = SplitMix64::new(0x2007);
+    for _ in 0..CASES {
+        let keys = key_vec(&mut rng, 99, 32);
         let g = CacheGeometry::new(32, 4);
         let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Fifo.build(g));
         for (i, &k) in keys.iter().enumerate() {
             cache.insert(k, k, i as u64);
             cache.invalidate(&k);
-            prop_assert!(!cache.contains(&k));
+            assert!(!cache.contains(&k));
         }
-        prop_assert!(cache.is_empty());
+        assert!(cache.is_empty());
     }
+}
 
-    #[test]
-    fn stats_accesses_equals_hits_plus_misses(
-        keys in prop::collection::vec(0u64..64, 1..300),
-    ) {
+#[test]
+fn stats_accesses_equals_hits_plus_misses() {
+    let mut rng = SplitMix64::new(0x2008);
+    for _ in 0..CASES {
+        let keys = key_vec(&mut rng, 299, 64);
         let g = CacheGeometry::new(16, 2);
         let mut cache: SetAssocCache<u64, u64> =
             SetAssocCache::new(g, PolicyKind::Random { seed: 3 }.build(g));
@@ -180,8 +209,8 @@ proptest! {
             }
         }
         let stats = cache.stats();
-        prop_assert_eq!(stats.accesses(), keys.len() as u64);
-        prop_assert_eq!(stats.hits() + stats.misses(), stats.accesses());
-        prop_assert!(stats.evictions() <= stats.fills());
+        assert_eq!(stats.accesses(), keys.len() as u64);
+        assert_eq!(stats.hits() + stats.misses(), stats.accesses());
+        assert!(stats.evictions() <= stats.fills());
     }
 }

@@ -45,10 +45,7 @@ impl PacketSpec {
             payload.raw() <= wire.raw(),
             "payload cannot exceed wire size"
         );
-        PacketSpec {
-            wire,
-            payload,
-        }
+        PacketSpec { wire, payload }
     }
 
     /// Bytes occupied on the wire (determines arrival spacing).
@@ -76,7 +73,12 @@ impl Default for PacketSpec {
 
 impl fmt::Display for PacketSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}B wire/{}B payload", self.wire.raw(), self.payload.raw())
+        write!(
+            f,
+            "{}B wire/{}B payload",
+            self.wire.raw(),
+            self.payload.raw()
+        )
     }
 }
 
@@ -113,6 +115,9 @@ mod tests {
 
     #[test]
     fn display_mentions_both() {
-        assert_eq!(PacketSpec::ethernet().to_string(), "1542B wire/1500B payload");
+        assert_eq!(
+            PacketSpec::ethernet().to_string(),
+            "1542B wire/1500B payload"
+        );
     }
 }

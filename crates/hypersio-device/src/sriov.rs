@@ -209,10 +209,7 @@ mod tests {
         // 8-partition DevTLB sees consecutive tenants in distinct groups.
         let nic = x540();
         let vfs = nic.assign_interleaved(16);
-        let groups: HashSet<u32> = vfs
-            .iter()
-            .map(|v| nic.sid_of(*v).low_bits(3))
-            .collect();
+        let groups: HashSet<u32> = vfs.iter().map(|v| nic.sid_of(*v).low_bits(3)).collect();
         assert!(groups.len() >= 6, "only {} partition groups", groups.len());
     }
 

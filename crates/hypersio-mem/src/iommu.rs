@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use hypersio_types::{Bdf, Did, GIova, HPa, PageSize, SimDuration, Sid};
+use hypersio_types::{Bdf, Did, GIova, HPa, PageSize, Sid, SimDuration};
 
 use crate::context::{ContextCache, ContextEntry};
 use crate::dram::Dram;
@@ -383,10 +383,7 @@ mod tests {
 
     #[test]
     fn flat_tables_cost_one_read() {
-        let mut m = Iommu::new(
-            IommuParams::paper().with_flat_tables(),
-            vec![tenant(0)],
-        );
+        let mut m = Iommu::new(IommuParams::paper().with_flat_tables(), vec![tenant(0)]);
         let iova = GIova::new(0xbbe0_0042);
         let r = m.translate(Sid::new(0), Did::new(0), iova, 0).unwrap();
         // 2 context reads + 1 flat entry read.
@@ -402,11 +399,10 @@ mod tests {
 
     #[test]
     fn flat_tables_still_fault_on_unmapped() {
-        let mut m = Iommu::new(
-            IommuParams::paper().with_flat_tables(),
-            vec![tenant(0)],
-        );
-        assert!(m.translate(Sid::new(0), Did::new(0), GIova::new(0x1), 0).is_err());
+        let mut m = Iommu::new(IommuParams::paper().with_flat_tables(), vec![tenant(0)]);
+        assert!(m
+            .translate(Sid::new(0), Did::new(0), GIova::new(0x1), 0)
+            .is_err());
         assert_eq!(m.stats().faults, 1);
     }
 
@@ -419,8 +415,13 @@ mod tests {
         let iova = GIova::new(0xbbe0_0000);
         for round in 0..4u64 {
             for t in 0..tenants {
-                m.translate(Sid::new(t), Did::new(t), iova, round * tenants as u64 + t as u64)
-                    .unwrap();
+                m.translate(
+                    Sid::new(t),
+                    Did::new(t),
+                    iova,
+                    round * tenants as u64 + t as u64,
+                )
+                .unwrap();
             }
         }
         let (l2, _) = m.walk_cache_stats();

@@ -87,7 +87,47 @@ impl TenantSpaceBuilder {
     /// Panics if the page inventory overflows the per-tenant host slab,
     /// or if two added pages overlap with different sizes.
     pub fn build(&self) -> TenantSpace {
-        let host_slab_base = 0x10_0000_0000 + self.did.raw() as u64 * HOST_SLAB_PER_TENANT;
+        self.build_with_did(self.did)
+    }
+
+    /// Builds the paired tables for every DID in `dids`, sharing the work.
+    ///
+    /// The layout produced by [`TenantSpaceBuilder::build`] is *affine in
+    /// the DID*: the guest dimension (table nodes, data frames) is
+    /// DID-independent by design (§IV-D — same OS and driver in every
+    /// tenant), and every host-side address is `canonical + did * slab`
+    /// because host frames and host table nodes are bump-allocated in an
+    /// identical, DID-independent order from per-DID slab bases that are
+    /// one uniform stride apart. (The stride is a multiple of every page
+    /// alignment that fits in a slab, so alignment padding is identical
+    /// across DIDs too.) This method exploits that: it replays the page
+    /// inventory once to build the canonical DID-0 space, then stamps out
+    /// each requested tenant by cloning the guest table and
+    /// [rebasing](RadixTable::rebased) the host table — turning the
+    /// O(tenants × pages) construction into O(pages + tenants × nodes).
+    ///
+    /// The result is bit-identical to calling `build()` once per DID.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TenantSpaceBuilder::build`].
+    pub fn build_many(&self, dids: &[Did]) -> Vec<TenantSpace> {
+        let canonical = self.build_with_did(Did::new(0));
+        dids.iter()
+            .map(|&did| {
+                let delta = did.raw() as u64 * HOST_SLAB_PER_TENANT;
+                TenantSpace {
+                    did,
+                    guest: canonical.guest.clone(),
+                    host: canonical.host.rebased(delta),
+                    page_count: canonical.page_count,
+                }
+            })
+            .collect()
+    }
+
+    fn build_with_did(&self, did: Did) -> TenantSpace {
+        let host_slab_base = 0x10_0000_0000 + did.raw() as u64 * HOST_SLAB_PER_TENANT;
         let mut host_next = host_slab_base;
         let mut alloc_host = move || {
             let a = host_next;
@@ -125,7 +165,7 @@ impl TenantSpaceBuilder {
         // Host table: every guest-physical page the device walk can touch
         // must be mapped — the guest table nodes themselves plus the data
         // frames. Host table nodes live in host memory and need no mapping.
-        let mut host_table_next = 0x20_0000_0000 + self.did.raw() as u64 * HOST_SLAB_PER_TENANT;
+        let mut host_table_next = 0x20_0000_0000 + did.raw() as u64 * HOST_SLAB_PER_TENANT;
         let mut alloc_host_node = move || {
             let a = host_table_next;
             host_table_next += 4096;
@@ -165,15 +205,14 @@ impl TenantSpaceBuilder {
             };
             assert!(
                 hpa + size.bytes() <= host_slab_base + HOST_SLAB_PER_TENANT,
-                "tenant {} page inventory overflows its host slab",
-                self.did
+                "tenant {did} page inventory overflows its host slab"
             );
             host.map(gpa & !size.offset_mask(), hpa, size, &mut alloc_host_node)
                 .expect("guest data frames are distinct");
         }
 
         TenantSpace {
-            did: self.did,
+            did,
             guest,
             host,
             page_count: mapped.len(),
@@ -281,8 +320,12 @@ mod tests {
         let space = paper_tenant(0);
         assert_eq!(space.page_count(), 103);
         assert!(space.lookup(GIova::new(0x3480_0000)).is_some());
-        assert!(space.lookup(GIova::new(0xbbe0_0000 + 31 * 0x20_0000)).is_some());
-        assert!(space.lookup(GIova::new(0xf000_0000 + 69 * 0x1000)).is_some());
+        assert!(space
+            .lookup(GIova::new(0xbbe0_0000 + 31 * 0x20_0000))
+            .is_some());
+        assert!(space
+            .lookup(GIova::new(0xf000_0000 + 69 * 0x1000))
+            .is_some());
         assert!(space.lookup(GIova::new(0xdead_0000)).is_none());
     }
 
@@ -359,8 +402,52 @@ mod tests {
         let iova = GIova::new(0xbbe0_1234);
         // Same functional translation, one extra level in each walk.
         assert_eq!(s4.lookup(iova).unwrap().0, s5.lookup(iova).unwrap().0);
-        assert_eq!(s4.guest_walk(iova).unwrap().ptes.len() + 1,
-                   s5.guest_walk(iova).unwrap().ptes.len());
+        assert_eq!(
+            s4.guest_walk(iova).unwrap().ptes.len() + 1,
+            s5.guest_walk(iova).unwrap().ptes.len()
+        );
+    }
+
+    #[test]
+    fn build_many_is_bit_identical_to_per_did_builds() {
+        let mut b = TenantSpace::builder(Did::new(0));
+        b.map(GIova::new(0x3480_0000), PageSize::Size4K);
+        for i in 0..32u64 {
+            b.map(GIova::new(0xbbe0_0000 + i * 0x20_0000), PageSize::Size2M);
+        }
+        for i in 0..70u64 {
+            b.map(GIova::new(0xf000_0000 + i * 0x1000), PageSize::Size4K);
+        }
+        let dids = [Did::new(0), Did::new(1), Did::new(7), Did::new(1023)];
+        let fleet = b.build_many(&dids);
+        assert_eq!(fleet.len(), dids.len());
+        for (space, &did) in fleet.iter().zip(&dids) {
+            let mut per = TenantSpace::builder(did);
+            per.map(GIova::new(0x3480_0000), PageSize::Size4K);
+            for i in 0..32u64 {
+                per.map(GIova::new(0xbbe0_0000 + i * 0x20_0000), PageSize::Size2M);
+            }
+            for i in 0..70u64 {
+                per.map(GIova::new(0xf000_0000 + i * 0x1000), PageSize::Size4K);
+            }
+            let per = per.build();
+            assert_eq!(space.did(), per.did());
+            assert_eq!(space.page_count(), per.page_count());
+            assert_eq!(space.guest_table(), per.guest_table(), "guest table {did}");
+            assert_eq!(space.host_table(), per.host_table(), "host table {did}");
+        }
+    }
+
+    #[test]
+    fn build_many_respects_five_levels() {
+        let mut b = TenantSpace::builder(Did::new(0));
+        b.levels(5).map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+        let fleet = b.build_many(&[Did::new(4)]);
+        let mut per = TenantSpace::builder(Did::new(4));
+        per.levels(5).map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+        let per = per.build();
+        assert_eq!(fleet[0].host_table(), per.host_table());
+        assert_eq!(fleet[0].guest_table(), per.guest_table());
     }
 
     #[test]

@@ -180,9 +180,9 @@ impl WalkCaches {
                 config.l3_partitions,
                 config.policy.clone(),
             ),
-            nested: config.nested_tlb.map(|g| {
-                PartitionedCache::new(g, PartitionSpec::unified(), config.policy.clone())
-            }),
+            nested: config
+                .nested_tlb
+                .map(|g| PartitionedCache::new(g, PartitionSpec::unified(), config.policy.clone())),
         }
     }
 
@@ -335,8 +335,7 @@ mod tests {
 
     #[test]
     fn nested_tlb_round_trip() {
-        let cfg = WalkCacheConfig::paper_base()
-            .with_nested_tlb(CacheGeometry::new(64, 8));
+        let cfg = WalkCacheConfig::paper_base().with_nested_tlb(CacheGeometry::new(64, 8));
         let mut caches = WalkCaches::new(&cfg);
         assert!(caches.has_nested_tlb());
         let (sid, did) = (Sid::new(0), Did::new(0));
@@ -348,7 +347,10 @@ mod tests {
             caches.lookup_nested(sid, did, GPa::new(0x8000_1fff), 2),
             Some(HPa::new(0x10_0000_0000))
         );
-        assert_eq!(caches.lookup_nested(sid, did, GPa::new(0x8000_2000), 3), None);
+        assert_eq!(
+            caches.lookup_nested(sid, did, GPa::new(0x8000_2000), 3),
+            None
+        );
         let stats = caches.nested_stats().unwrap();
         assert_eq!(stats.hits(), 1);
         caches.clear();
@@ -363,7 +365,13 @@ mod tests {
             caches.lookup_nested(Sid::new(0), Did::new(0), GPa::new(0x1000), 0),
             None
         );
-        caches.fill_nested(Sid::new(0), Did::new(0), GPa::new(0x1000), HPa::new(0x2000), 1);
+        caches.fill_nested(
+            Sid::new(0),
+            Did::new(0),
+            GPa::new(0x1000),
+            HPa::new(0x2000),
+            1,
+        );
         assert!(caches.nested_stats().is_none());
     }
 

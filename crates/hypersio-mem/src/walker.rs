@@ -149,18 +149,17 @@ impl TwoDimWalker {
         // Walk-cache consultation: L2 first (closest to the leaf), then L3.
         // `start_level` is the first guest level whose PTE we must actually
         // read from memory.
-        let (start_level, mut leaf_from_cache) = if let Some(pte) =
-            caches.lookup_l2(sid, did, iova, now)
-        {
-            match pte {
-                Pte::Leaf { .. } => (0u8, Some(pte)), // 2 MB leaf cached: no guest reads
-                Pte::Table { .. } => (1, None),       // pointer to L1: read guest L1 only
-            }
-        } else if caches.lookup_l3(sid, did, iova, now).is_some() {
-            (2, None) // read guest L2 (and L1 if 4K leaf)
-        } else {
-            (table_levels, None) // full first-level walk
-        };
+        let (start_level, mut leaf_from_cache) =
+            if let Some(pte) = caches.lookup_l2(sid, did, iova, now) {
+                match pte {
+                    Pte::Leaf { .. } => (0u8, Some(pte)), // 2 MB leaf cached: no guest reads
+                    Pte::Table { .. } => (1, None),       // pointer to L1: read guest L1 only
+                }
+            } else if caches.lookup_l3(sid, did, iova, now).is_some() {
+                (2, None) // read guest L2 (and L1 if 4K leaf)
+            } else {
+                (table_levels, None) // full first-level walk
+            };
 
         // Charge guest PTE reads from `start_level` down to the leaf level,
         // each preceded by a nested host walk of the PTE's gPA.
@@ -256,8 +255,8 @@ mod tests {
     fn cold_4k_walk_costs_24() {
         let space = space_4k();
         let mut c = caches();
-        let out = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 0)
-            .unwrap();
+        let out =
+            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 0).unwrap();
         assert_eq!(out.dram_accesses, 24);
         assert_eq!(out.start_level, 4);
         assert_eq!(out.size, PageSize::Size4K);
@@ -267,8 +266,8 @@ mod tests {
     fn cold_2m_walk_costs_19() {
         let space = space_2m();
         let mut c = caches();
-        let out = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbbe0_0000), &mut c, 0)
-            .unwrap();
+        let out =
+            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbbe0_0000), &mut c, 0).unwrap();
         assert_eq!(out.dram_accesses, 19);
         assert_eq!(out.size, PageSize::Size2M);
     }
@@ -278,8 +277,8 @@ mod tests {
         let space = space_4k();
         let mut c = caches();
         TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 0).unwrap();
-        let out = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 1)
-            .unwrap();
+        let out =
+            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 1).unwrap();
         // L2 cached the pointer to the L1 node: guest L1 read (4+1) + final 4.
         assert_eq!(out.dram_accesses, 9);
         assert_eq!(out.start_level, 1);
@@ -290,8 +289,8 @@ mod tests {
         let space = space_2m();
         let mut c = caches();
         TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbbe0_0000), &mut c, 0).unwrap();
-        let out = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbbe0_1234), &mut c, 1)
-            .unwrap();
+        let out =
+            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbbe0_1234), &mut c, 1).unwrap();
         // 2 MB leaf cached in L2: only the final host walk remains.
         assert_eq!(out.dram_accesses, 4);
         assert_eq!(out.start_level, 0);
@@ -304,8 +303,8 @@ mod tests {
         // Warm with one 2 MB page, then walk a *different* 2 MB page in the
         // same 1 GB region: L2 misses (different tag) but L3 hits.
         TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbbe0_0000), &mut c, 0).unwrap();
-        let out = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbc00_0000), &mut c, 1)
-            .unwrap();
+        let out =
+            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbc00_0000), &mut c, 1).unwrap();
         // Guest L2 read (4+1) + final 4 = 9; levels 4-3 skipped.
         assert_eq!(out.start_level, 2);
         assert_eq!(out.dram_accesses, 9);
@@ -328,9 +327,8 @@ mod tests {
     fn unmapped_iova_faults() {
         let space = space_4k();
         let mut c = caches();
-        let err =
-            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xdead_0000), &mut c, 0)
-                .unwrap_err();
+        let err = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xdead_0000), &mut c, 0)
+            .unwrap_err();
         assert!(matches!(err, TranslationFault::GuestNotMapped { .. }));
         assert!(format!("{err}").contains("guest mapping"));
     }
@@ -341,8 +339,8 @@ mod tests {
         let mut c = caches();
         TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 0).unwrap();
         // Second page is in the same 2 MB region: L2 pointer hit.
-        let out = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_1000), &mut c, 1)
-            .unwrap();
+        let out =
+            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_1000), &mut c, 1).unwrap();
         assert_eq!(out.start_level, 1);
         assert_eq!(out.dram_accesses, 9);
     }
@@ -357,8 +355,8 @@ mod tests {
         let cold =
             TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbbe0_0000), &mut c, 0).unwrap();
         assert_eq!(cold.dram_accesses, 19); // cold: nested TLB empty
-        // Invalidate the L2 leaf so the guest walk repeats, but every
-        // host translation now hits the nested TLB: guest PTE reads only.
+                                            // Invalidate the L2 leaf so the guest walk repeats, but every
+                                            // host translation now hits the nested TLB: guest PTE reads only.
         c.clear_guest_only_for_test();
         let warm =
             TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbbe0_0000), &mut c, 1).unwrap();
@@ -375,13 +373,13 @@ mod tests {
         b.levels(5).map(GIova::new(0x3480_0000), PageSize::Size4K);
         let space = b.build();
         let mut c = caches();
-        let out = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 0)
-            .unwrap();
+        let out =
+            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 0).unwrap();
         assert_eq!(out.dram_accesses, 35);
         assert_eq!(out.start_level, 5);
         // A warm L2 hit still shortcuts to guest L1 + final host walk.
-        let warm = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 1)
-            .unwrap();
+        let warm =
+            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 1).unwrap();
         assert_eq!(warm.dram_accesses, 5 + 1 + 5);
     }
 

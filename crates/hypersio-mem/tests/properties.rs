@@ -1,30 +1,39 @@
-//! Property-based tests for the translation substrate.
+//! Property-style tests for the translation substrate.
+//!
+//! Same invariants as the original proptest suite, with inputs drawn from
+//! the in-tree [`SplitMix64`] generator under fixed seeds so every run is
+//! reproducible.
 
-use hypersio_mem::{
-    Iommu, IommuParams, TenantSpace, TwoDimWalker, WalkCacheConfig, WalkCaches,
-};
-use hypersio_types::{Did, GIova, GPa, PageSize, Sid};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
-/// Strategy for a tenant page inventory: a few 2 MB data pages and a few
-/// 4 KB pages at paper-like addresses.
-fn inventory() -> impl Strategy<Value = Vec<(u64, PageSize)>> {
-    (
-        prop::collection::btree_set(0u64..32, 1..8),
-        prop::collection::btree_set(0u64..64, 1..8),
-    )
-        .prop_map(|(data, small)| {
-            let mut pages: Vec<(u64, PageSize)> = data
-                .into_iter()
-                .map(|i| (0xbbe0_0000 + i * 0x20_0000, PageSize::Size2M))
-                .collect();
-            pages.extend(
-                small
-                    .into_iter()
-                    .map(|i| (0xf000_0000 + i * 0x1000, PageSize::Size4K)),
-            );
-            pages
-        })
+use hypersio_mem::{Iommu, IommuParams, TenantSpace, TwoDimWalker, WalkCacheConfig, WalkCaches};
+use hypersio_types::{Did, GIova, GPa, PageSize, Sid, SplitMix64};
+
+const CASES: usize = 48;
+
+/// Draws a tenant page inventory: a few 2 MB data pages and a few 4 KB
+/// pages at paper-like addresses.
+fn inventory(rng: &mut SplitMix64) -> Vec<(u64, PageSize)> {
+    let mut data = BTreeSet::new();
+    let n_data = rng.range_inclusive(1, 7);
+    while (data.len() as u64) < n_data {
+        data.insert(rng.below(32));
+    }
+    let mut small = BTreeSet::new();
+    let n_small = rng.range_inclusive(1, 7);
+    while (small.len() as u64) < n_small {
+        small.insert(rng.below(64));
+    }
+    let mut pages: Vec<(u64, PageSize)> = data
+        .into_iter()
+        .map(|i| (0xbbe0_0000 + i * 0x20_0000, PageSize::Size2M))
+        .collect();
+    pages.extend(
+        small
+            .into_iter()
+            .map(|i| (0xf000_0000 + i * 0x1000, PageSize::Size4K)),
+    );
+    pages
 }
 
 fn build_space(did: u32, pages: &[(u64, PageSize)]) -> TenantSpace {
@@ -35,26 +44,31 @@ fn build_space(did: u32, pages: &[(u64, PageSize)]) -> TenantSpace {
     b.build()
 }
 
-proptest! {
-    #[test]
-    fn translation_preserves_page_offset(
-        pages in inventory(),
-        pick in 0usize..16,
-        offset in 0u64..4096,
-    ) {
+#[test]
+fn translation_preserves_page_offset() {
+    let mut rng = SplitMix64::new(0x3001);
+    for _ in 0..CASES {
+        let pages = inventory(&mut rng);
+        let pick = rng.index(16);
+        let offset = rng.below(4096);
         let space = build_space(0, &pages);
         let (base, size) = pages[pick % pages.len()];
         let iova = GIova::new(base + offset % size.bytes());
         let (hpa, got_size) = space.lookup(iova).expect("mapped page");
-        prop_assert_eq!(got_size, size);
-        prop_assert_eq!(hpa.raw() & size.offset_mask(), iova.raw() & size.offset_mask());
+        assert_eq!(got_size, size);
+        assert_eq!(
+            hpa.raw() & size.offset_mask(),
+            iova.raw() & size.offset_mask()
+        );
     }
+}
 
-    #[test]
-    fn cold_walk_access_counts_match_paper(
-        pages in inventory(),
-        pick in 0usize..16,
-    ) {
+#[test]
+fn cold_walk_access_counts_match_paper() {
+    let mut rng = SplitMix64::new(0x3002);
+    for _ in 0..CASES {
+        let pages = inventory(&mut rng);
+        let pick = rng.index(16);
         let space = build_space(0, &pages);
         let (base, size) = pages[pick % pages.len()];
         let mut caches = WalkCaches::new(&WalkCacheConfig::paper_base());
@@ -65,55 +79,67 @@ proptest! {
             PageSize::Size2M => 19,
             PageSize::Size1G => 14,
         };
-        prop_assert_eq!(out.dram_accesses, expected);
+        assert_eq!(out.dram_accesses, expected);
     }
+}
 
-    #[test]
-    fn warm_walk_agrees_with_cold_walk(
-        pages in inventory(),
-        pick in 0usize..16,
-        offset in 0u64..0x20_0000,
-    ) {
+#[test]
+fn warm_walk_agrees_with_cold_walk() {
+    let mut rng = SplitMix64::new(0x3003);
+    for _ in 0..CASES {
+        let pages = inventory(&mut rng);
+        let pick = rng.index(16);
+        let offset = rng.below(0x20_0000);
         let space = build_space(0, &pages);
         let (base, size) = pages[pick % pages.len()];
         let iova = GIova::new(base + offset % size.bytes());
         let mut caches = WalkCaches::new(&WalkCacheConfig::paper_base());
         let cold = TwoDimWalker::walk(&space, Sid::new(0), iova, &mut caches, 0).unwrap();
         let warm = TwoDimWalker::walk(&space, Sid::new(0), iova, &mut caches, 1).unwrap();
-        prop_assert_eq!(cold.hpa, warm.hpa);
-        prop_assert!(warm.dram_accesses <= cold.dram_accesses);
+        assert_eq!(cold.hpa, warm.hpa);
+        assert!(warm.dram_accesses <= cold.dram_accesses);
     }
+}
 
-    #[test]
-    fn every_guest_node_is_host_mapped(pages in inventory()) {
+#[test]
+fn every_guest_node_is_host_mapped() {
+    let mut rng = SplitMix64::new(0x3004);
+    for _ in 0..CASES {
+        let pages = inventory(&mut rng);
         let space = build_space(3, &pages);
         for node in space.guest_table().node_addrs() {
-            prop_assert!(space.host_walk(GPa::new(node)).is_ok());
+            assert!(space.host_walk(GPa::new(node)).is_ok());
         }
     }
+}
 
-    #[test]
-    fn tenants_share_gpa_layout_but_not_hpa(
-        pages in inventory(),
-        pick in 0usize..16,
-    ) {
+#[test]
+fn tenants_share_gpa_layout_but_not_hpa() {
+    let mut rng = SplitMix64::new(0x3005);
+    for _ in 0..CASES {
+        let pages = inventory(&mut rng);
+        let pick = rng.index(16);
         let a = build_space(0, &pages);
         let b = build_space(1, &pages);
         let (base, _) = pages[pick % pages.len()];
         let iova = GIova::new(base);
         let ga = a.guest_walk(iova).unwrap().translate(iova.raw());
         let gb = b.guest_walk(iova).unwrap().translate(iova.raw());
-        prop_assert_eq!(ga, gb, "same driver -> same gPA layout");
+        assert_eq!(ga, gb, "same driver -> same gPA layout");
         let ha = a.lookup(iova).unwrap().0;
         let hb = b.lookup(iova).unwrap().0;
-        prop_assert_ne!(ha, hb, "host frames must be isolated");
+        assert_ne!(ha, hb, "host frames must be isolated");
     }
+}
 
-    #[test]
-    fn iommu_translation_matches_functional_lookup(
-        pages in inventory(),
-        picks in prop::collection::vec((0usize..16, 0u64..0x1000), 1..24),
-    ) {
+#[test]
+fn iommu_translation_matches_functional_lookup() {
+    let mut rng = SplitMix64::new(0x3006);
+    for _ in 0..CASES {
+        let pages = inventory(&mut rng);
+        let picks: Vec<(usize, u64)> = (0..rng.range_inclusive(1, 23))
+            .map(|_| (rng.index(16), rng.below(0x1000)))
+            .collect();
         let spaces: Vec<TenantSpace> = (0..2).map(|d| build_space(d, &pages)).collect();
         let mut iommu = Iommu::new(IommuParams::paper(), spaces);
         for (i, &(pick, offset)) in picks.iter().enumerate() {
@@ -124,26 +150,28 @@ proptest! {
             let resp = iommu
                 .translate(Sid::new(did.raw()), did, iova, i as u64)
                 .unwrap();
-            prop_assert_eq!(resp.hpa, want);
-            prop_assert!(resp.dram_accesses <= 26, "context(2) + full walk(24)");
-            prop_assert_eq!(
+            assert_eq!(resp.hpa, want);
+            assert!(resp.dram_accesses <= 26, "context(2) + full walk(24)");
+            assert_eq!(
                 resp.latency.as_ns(),
                 resp.dram_accesses * 50,
                 "latency is DRAM reads x 50ns"
             );
         }
     }
+}
 
-    #[test]
-    fn unmapped_addresses_always_fault(
-        pages in inventory(),
-        probe in 0x1_0000_0000u64..0x2_0000_0000,
-    ) {
+#[test]
+fn unmapped_addresses_always_fault() {
+    let mut rng = SplitMix64::new(0x3007);
+    for _ in 0..CASES {
+        let pages = inventory(&mut rng);
+        let probe = rng.range_inclusive(0x1_0000_0000, 0x1_ffff_ffff);
         let space = build_space(0, &pages);
         // The probe range is far outside both paper address ranges.
-        prop_assert!(space.lookup(GIova::new(probe)).is_none());
+        assert!(space.lookup(GIova::new(probe)).is_none());
         let mut caches = WalkCaches::new(&WalkCacheConfig::paper_base());
-        prop_assert!(
+        assert!(
             TwoDimWalker::walk(&space, Sid::new(0), GIova::new(probe), &mut caches, 0).is_err()
         );
     }

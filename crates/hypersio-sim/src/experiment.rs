@@ -1,6 +1,7 @@
 //! Sweep drivers shared by the figure/table reproduction binaries.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hypersio_trace::{HyperTraceBuilder, Interleaving, WorkloadKind};
 use hypertrio_core::TranslationConfig;
@@ -128,6 +129,130 @@ pub fn sweep_tenants(spec: &SweepSpec, tenant_counts: &[u32]) -> Vec<ExperimentP
         .collect()
 }
 
+/// Runs `spec` across `tenant_counts` on up to `jobs` worker threads.
+///
+/// Every sweep point is an independent simulation (its own trace, caches,
+/// and page tables, all derived from `spec.seed`), so the points can run on
+/// any thread in any order: the output is **bit-identical** to
+/// [`sweep_tenants`] and always in `tenant_counts` order. `jobs` is clamped
+/// to the number of points; `jobs <= 1` degenerates to the serial path.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_sim::{sweep_tenants, sweep_tenants_parallel, SweepSpec};
+/// use hypersio_trace::WorkloadKind;
+/// use hypertrio_core::TranslationConfig;
+///
+/// let spec = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::base(), 5000);
+/// let serial = sweep_tenants(&spec, &[2, 8]);
+/// let parallel = sweep_tenants_parallel(&spec, &[2, 8], 2);
+/// for (s, p) in serial.iter().zip(&parallel) {
+///     assert_eq!(s.tenants, p.tenants);
+///     assert_eq!(s.report, p.report);
+/// }
+/// ```
+pub fn sweep_tenants_parallel(
+    spec: &SweepSpec,
+    tenant_counts: &[u32],
+    jobs: usize,
+) -> Vec<ExperimentPoint> {
+    parallel_map(tenant_counts, jobs, |&tenants| ExperimentPoint {
+        tenants,
+        report: spec.run_at(tenants),
+    })
+}
+
+/// Runs several specs across the same tenant axis on one worker pool,
+/// returning `results[spec][point]` in input order.
+///
+/// The (spec × tenant-count) grid is flattened into a single task queue, so
+/// a slow series cannot serialise the sweep the way per-spec pools would:
+/// with `S` specs the largest points of all series run concurrently.
+/// Results are bit-identical to calling [`sweep_tenants`] per spec.
+pub fn sweep_specs_parallel(
+    specs: &[SweepSpec],
+    tenant_counts: &[u32],
+    jobs: usize,
+) -> Vec<Vec<ExperimentPoint>> {
+    let grid: Vec<(usize, u32)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| tenant_counts.iter().map(move |&t| (si, t)))
+        .collect();
+    let flat = parallel_map(&grid, jobs, |&(si, tenants)| ExperimentPoint {
+        tenants,
+        report: specs[si].run_at(tenants),
+    });
+    let mut out: Vec<Vec<ExperimentPoint>> = specs.iter().map(|_| Vec::new()).collect();
+    for ((si, _), point) in grid.into_iter().zip(flat) {
+        out[si].push(point);
+    }
+    out
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped threads, returning results
+/// in input order. Work is handed out through a shared atomic cursor, so
+/// threads that draw short tasks immediately pull the next one.
+///
+/// This is the engine underneath [`sweep_tenants_parallel`] /
+/// [`sweep_specs_parallel`], exposed for figure drivers whose rows are not
+/// plain tenant sweeps (oracle-policy rows, per-cell configurations).
+/// `f` must be a pure function of its item for the output to be
+/// reproducible; every simulation entry point in this crate is. `jobs` is
+/// clamped to `1..=items.len()`; `jobs <= 1` runs inline on the caller's
+/// thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the remaining workers drain.
+///
+/// # Examples
+///
+/// ```
+/// let squares = hypersio_sim::parallel_map(&[1u64, 2, 3, 4], 4, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs.min(items.len()).max(1);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        done.push((i, f(item)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    for (i, r) in chunks.drain(..).flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was dispatched exactly once"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +309,46 @@ mod tests {
     fn paper_counts_span_4_to_1024() {
         assert_eq!(PAPER_TENANT_COUNTS[0], 4);
         assert_eq!(*PAPER_TENANT_COUNTS.last().unwrap(), 1024);
+    }
+
+    #[test]
+    fn sweep_spec_is_thread_shippable() {
+        // Compile-time guarantee that specs (including Oracle policies,
+        // which hold an Arc'd future-access index) can cross thread
+        // boundaries — the parallel executor depends on it.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SweepSpec>();
+        assert_send_sync::<ExperimentPoint>();
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_inputs() {
+        let spec = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::base(), 5000);
+        assert!(sweep_tenants_parallel(&spec, &[], 4).is_empty());
+        // jobs = 0 is clamped to 1, more jobs than points is clamped down.
+        let one = sweep_tenants_parallel(&spec, &[2], 0);
+        assert_eq!(one.len(), 1);
+        let extra = sweep_tenants_parallel(&spec, &[2, 4], 16);
+        assert_eq!(extra.len(), 2);
+        assert_eq!(extra[0].tenants, 2);
+        assert_eq!(extra[1].tenants, 4);
+    }
+
+    #[test]
+    fn specs_parallel_groups_by_input_order() {
+        let specs = vec![
+            SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::base(), 5000),
+            SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::hypertrio(), 5000),
+        ];
+        let grouped = sweep_specs_parallel(&specs, &[2, 4], 4);
+        assert_eq!(grouped.len(), 2);
+        for (series, spec) in grouped.iter().zip(&specs) {
+            let serial = sweep_tenants(spec, &[2, 4]);
+            assert_eq!(series.len(), 2);
+            for (p, s) in series.iter().zip(&serial) {
+                assert_eq!(p.tenants, s.tenants);
+                assert_eq!(p.report, s.report);
+            }
+        }
     }
 }

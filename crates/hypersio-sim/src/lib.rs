@@ -40,7 +40,10 @@ mod params;
 mod report;
 mod slot_pool;
 
-pub use experiment::{sweep_tenants, ExperimentPoint, SweepSpec, PAPER_TENANT_COUNTS};
+pub use experiment::{
+    parallel_map, sweep_specs_parallel, sweep_tenants, sweep_tenants_parallel, ExperimentPoint,
+    SweepSpec, PAPER_TENANT_COUNTS,
+};
 pub use latency::LatencyStats;
 pub use model::Simulation;
 pub use oracle::devtlb_oracle_for;

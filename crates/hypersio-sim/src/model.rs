@@ -1,7 +1,7 @@
 //! The device–system simulation loop (§IV-C of the paper).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use hypersio_mem::{Iommu, IommuParams, TenantSpace};
@@ -72,8 +72,9 @@ pub struct Simulation {
     iommu: Iommu,
     ptb: SlotPool,
     walkers: Option<SlotPool>,
-    /// DID owning each SID (SIDs may be arbitrary BDF-derived values).
-    did_of_sid: HashMap<u32, Did>,
+    /// DID owning each SID (SIDs may be arbitrary BDF-derived values),
+    /// sorted by SID for binary-search lookup on the arrival path.
+    did_of_sid: Vec<(u32, Did)>,
 }
 
 /// A packet waiting for retry after a PTB-full drop, with its pre-computed
@@ -94,16 +95,20 @@ impl Simulation {
     /// trace's page inventory.
     pub fn new(config: TranslationConfig, params: SimParams, trace: HyperTrace) -> Self {
         let inventory = trace.page_inventory();
-        let spaces: Vec<TenantSpace> = (0..trace.tenants())
-            .map(|t| {
-                let mut b = TenantSpace::builder(Did::new(t));
-                b.levels(params.page_table_levels);
-                for &(iova, size, _) in inventory.iter() {
-                    b.map(iova, size);
-                }
-                b.build()
-            })
-            .collect();
+        // Every tenant runs the same OS and driver, so the page inventory —
+        // and hence the table *shape* — is shared. Build the canonical
+        // layout once and stamp out the per-DID instances instead of
+        // replaying the full inventory per tenant (the layout is affine in
+        // the DID, see `TenantSpaceBuilder::build_many`).
+        let spaces: Vec<TenantSpace> = {
+            let mut b = TenantSpace::builder(Did::new(0));
+            b.levels(params.page_table_levels);
+            for &(iova, size, _) in inventory.iter() {
+                b.map(iova, size);
+            }
+            let dids: Vec<Did> = (0..trace.tenants()).map(Did::new).collect();
+            b.build_many(&dids)
+        };
         let iommu_params = IommuParams {
             dram_latency: params.dram_latency,
             walk_caches: config.walk_caches.clone(),
@@ -116,17 +121,19 @@ impl Simulation {
             config.devtlb_partitions,
             config.devtlb_policy.clone(),
         );
-        let prefetch = config.prefetch.as_ref().map(|pf| {
-            PrefetchUnit::new(pf.buffer_entries, pf.history_len, pf.pages_per_prefetch)
-        });
+        let prefetch = config
+            .prefetch
+            .as_ref()
+            .map(|pf| PrefetchUnit::new(pf.buffer_entries, pf.history_len, pf.pages_per_prefetch));
         let ptb = SlotPool::new(config.ptb_entries);
         let walkers = params.iommu_walkers.map(SlotPool::new);
-        let did_of_sid = trace
+        let mut did_of_sid: Vec<(u32, Did)> = trace
             .tenant_sids()
             .into_iter()
             .enumerate()
             .map(|(did, sid)| (sid.raw(), Did::new(did as u32)))
             .collect();
+        did_of_sid.sort_unstable_by_key(|&(sid, _)| sid);
         Simulation {
             config,
             params,
@@ -159,10 +166,12 @@ impl Simulation {
         let mut fills: BinaryHeap<Reverse<PendingFill>> = BinaryHeap::new();
         let mut observed: u64 = 0; // trace packets seen by the device
         let mut packet_latency = LatencyStats::new();
+        // Recycled per-packet miss list: packets arrive one at a time, so a
+        // single buffer serves every arrival without re-allocating.
+        let mut miss_buf: Vec<GIova> = Vec::new();
 
         loop {
             let now_time = SimTime::ZERO + gap * arrivals;
-            arrivals += 1;
 
             // Fetch the packet for this slot: a retried drop or the next
             // trace packet (with its lookups performed exactly once).
@@ -192,7 +201,7 @@ impl Simulation {
                         // borrowed while the unit is in use.)
                         if let Some(mut pf) = self.prefetch.take() {
                             if let Some(req) = pf.observe(packet.sid) {
-                                let did = self.did_of_sid[&req.sid.raw()];
+                                let did = self.did_for_sid(req.sid.raw());
                                 let pages = pf.history_pages(did);
                                 for iova in pages {
                                     if pf.lookup(did, iova, request_index).is_some() {
@@ -205,10 +214,8 @@ impl Simulation {
                                     {
                                         prefetches_issued += 1;
                                         let walk = self.walk_latency(now_time, resp.latency);
-                                        let done = now_time
-                                            + self.params.history_read
-                                            + pcie_round
-                                            + walk;
+                                        let done =
+                                            now_time + self.params.history_read + pcie_round + walk;
                                         // The chipset holds the completed
                                         // prefetch and delivers it to the
                                         // 8-entry PB just before the
@@ -239,38 +246,46 @@ impl Simulation {
                         // One DevTLB/PB probe per request, once per packet.
                         // Native mode (Fig 5 host-interface runs) bypasses
                         // translation entirely.
-                        let mut misses = Vec::new();
+                        let mut misses = std::mem::take(&mut miss_buf);
                         let mut hits = 0u32;
                         if self.params.bypass_translation {
                             requests += packet.iovas.len() as u64;
                             request_index += packet.iovas.len() as u64;
                         } else {
-                        for iova in packet.iovas {
-                            requests += 1;
-                            let now = request_index;
-                            request_index += 1;
-                            if self
-                                .devtlb
-                                .lookup(packet.sid, packet.did, iova, now)
-                                .is_some()
-                            {
-                                hits += 1;
-                                continue;
-                            }
-                            if let Some(pf) = self.prefetch.as_mut() {
-                                if pf.lookup(packet.did, iova, now).is_some() {
-                                    pb_served += 1;
+                            for iova in packet.iovas {
+                                requests += 1;
+                                let now = request_index;
+                                request_index += 1;
+                                if self
+                                    .devtlb
+                                    .lookup(packet.sid, packet.did, iova, now)
+                                    .is_some()
+                                {
                                     hits += 1;
                                     continue;
                                 }
+                                if let Some(pf) = self.prefetch.as_mut() {
+                                    if pf.lookup(packet.did, iova, now).is_some() {
+                                        pb_served += 1;
+                                        hits += 1;
+                                        continue;
+                                    }
+                                }
+                                misses.push(iova);
                             }
-                            misses.push(iova);
                         }
+                        Deferred {
+                            packet,
+                            misses,
+                            hits,
                         }
-                        Deferred { packet, misses, hits }
                     }
                 },
             };
+            // The slot is consumed by this packet whether it is admitted or
+            // dropped; the break above (trace exhausted) never reaches here,
+            // so `arrivals` counts exactly the slots that carried a packet.
+            arrivals += 1;
 
             // Admission: the packet must allocate into the PTB — at least
             // one slot free at arrival — otherwise it is dropped and
@@ -325,6 +340,9 @@ impl Simulation {
                     pf.record_history(work.packet.did, iova);
                 }
             }
+            // Reclaim the served packet's miss list for the next arrival.
+            miss_buf = work.misses;
+            miss_buf.clear();
             processed += 1;
             packet_latency.record(completion.duration_since(now_time));
             last_completion = last_completion.max(completion);
@@ -337,19 +355,21 @@ impl Simulation {
         }
 
         // Bandwidth is measured after the warm-up window (if any). The
-        // interval covers every arrival slot consumed (the loop's final
-        // iteration only discovered trace exhaustion, hence `arrivals - 1`),
-        // so achieved bandwidth can never exceed the nominal link rate.
+        // interval covers every arrival slot that carried a packet, so
+        // achieved bandwidth can never exceed the nominal link rate; the
+        // clamp below only absorbs f64 rounding in the division.
         let (t0, p0) = match warmup_end {
             Some((t, p)) if p < processed => (t, p),
             _ => (SimTime::ZERO, 0),
         };
-        let slots_end = SimTime::ZERO + gap * arrivals.saturating_sub(1);
+        let slots_end = SimTime::ZERO + gap * arrivals;
         let end = last_completion.max(slots_end).max(t0);
         let elapsed = end.duration_since(t0);
         let bytes = self.params.link.bytes_delivered(processed - p0);
         let achieved = Bandwidth::achieved(bytes, elapsed.max(SimDuration::from_ps(1)));
-        let utilization = achieved.utilization_of(self.params.link.bandwidth());
+        let utilization = achieved
+            .utilization_of(self.params.link.bandwidth())
+            .min(1.0);
         let (l2, l3) = self.iommu.walk_cache_stats();
 
         SimReport {
@@ -381,6 +401,15 @@ impl Simulation {
             translation_requests: requests,
             packet_latency,
         }
+    }
+
+    /// Looks up the DID owning `sid` in the sorted SID table.
+    fn did_for_sid(&self, sid: u32) -> Did {
+        let i = self
+            .did_of_sid
+            .binary_search_by_key(&sid, |&(s, _)| s)
+            .expect("every trace SID is registered at construction");
+        self.did_of_sid[i].1
     }
 
     /// Configured SID-predictor history length (0 when prefetch is off).
@@ -426,7 +455,12 @@ mod tests {
     use hypersio_trace::{HyperTraceBuilder, Interleaving, WorkloadKind};
     use hypertrio_core::TranslationConfig;
 
-    fn quick_trace(kind: WorkloadKind, tenants: u32, inter: Interleaving, scale: u64) -> HyperTrace {
+    fn quick_trace(
+        kind: WorkloadKind,
+        tenants: u32,
+        inter: Interleaving,
+        scale: u64,
+    ) -> HyperTrace {
         HyperTraceBuilder::new(kind, tenants)
             .interleaving(inter)
             .scale(scale)
@@ -436,12 +470,7 @@ mod tests {
 
     /// Steady-state measurement: generous trace + warm-up so the
     /// cold-compulsory misses of a scaled-down trace do not dominate.
-    fn run_steady(
-        config: TranslationConfig,
-        tenants: u32,
-        scale: u64,
-        warmup: u64,
-    ) -> SimReport {
+    fn run_steady(config: TranslationConfig, tenants: u32, scale: u64, warmup: u64) -> SimReport {
         let trace = quick_trace(
             WorkloadKind::Iperf3,
             tenants,
@@ -502,8 +531,7 @@ mod tests {
             trace.clone(),
         )
         .run();
-        let with_pf =
-            Simulation::new(TranslationConfig::hypertrio(), params, trace).run();
+        let with_pf = Simulation::new(TranslationConfig::hypertrio(), params, trace).run();
         assert!(
             with_pf.utilization > no_pf.utilization,
             "prefetch {:.3} vs none {:.3}",
@@ -525,7 +553,9 @@ mod tests {
         .run();
         let five = Simulation::new(
             TranslationConfig::base(),
-            SimParams::paper().with_five_level_tables().with_warmup(1000),
+            SimParams::paper()
+                .with_five_level_tables()
+                .with_warmup(1000),
             trace,
         )
         .run();

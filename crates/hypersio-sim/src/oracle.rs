@@ -1,6 +1,6 @@
 //! Belady-oracle construction for DevTLB replacement studies (Fig 11b/c).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use hypersio_cache::{FutureOracle, FutureOracleErased, OracleKey};
 use hypersio_trace::HyperTrace;
@@ -33,7 +33,7 @@ use hypertrio_core::DevTlbKey;
 /// let report = Simulation::new(config, SimParams::paper(), trace).run();
 /// assert!(report.packets_processed > 0);
 /// ```
-pub fn devtlb_oracle_for(trace: &HyperTrace) -> Rc<FutureOracleErased> {
+pub fn devtlb_oracle_for(trace: &HyperTrace) -> Arc<FutureOracleErased> {
     let params = trace.params().clone();
     let sequence = trace.clone().flat_map(move |pkt| {
         pkt.iovas
@@ -41,7 +41,7 @@ pub fn devtlb_oracle_for(trace: &HyperTrace) -> Rc<FutureOracleErased> {
             .map(|iova| DevTlbKey::new(pkt.did, iova, params.page_size_of(iova)).oracle_code())
             .collect::<Vec<_>>()
     });
-    Rc::new(FutureOracle::from_sequence(sequence))
+    Arc::new(FutureOracle::from_sequence(sequence))
 }
 
 #[cfg(test)]

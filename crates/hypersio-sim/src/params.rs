@@ -189,7 +189,9 @@ mod tests {
     fn five_level_builder() {
         assert_eq!(SimParams::paper().page_table_levels, 4);
         assert_eq!(
-            SimParams::paper().with_five_level_tables().page_table_levels,
+            SimParams::paper()
+                .with_five_level_tables()
+                .page_table_levels,
             5
         );
     }
@@ -212,7 +214,10 @@ mod tests {
         let p = SimParams::paper().with_iommu_walkers(8);
         assert_eq!(p.iommu_walkers, Some(8));
         let link = Link::new(Bandwidth::from_gbps(400), PacketSpec::ethernet());
-        assert_eq!(SimParams::paper().with_link(link).link.bandwidth().gbps(), 400.0);
+        assert_eq!(
+            SimParams::paper().with_link(link).link.bandwidth().gbps(),
+            400.0
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@ use hypersio_cache::CacheStats;
 use hypersio_mem::IommuStats;
 
 use crate::latency::LatencyStats;
-use hypersio_types::{Bandwidth, Bytes, SimDuration};
 use hypersio_trace::{Interleaving, WorkloadKind};
+use hypersio_types::{Bandwidth, Bytes, SimDuration};
 
 /// The results of one simulation run.
 ///
@@ -15,7 +15,10 @@ use hypersio_trace::{Interleaving, WorkloadKind};
 /// elapsed time) and [`SimReport::utilization`] (fraction of the nominal
 /// link bandwidth) — these are the y-axes of every bandwidth figure in the
 /// paper. The per-structure statistics feed the sensitivity studies.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field (including exact `f64` equality) — the
+/// parallel sweep executor's bit-identity guarantee is tested through it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Name of the simulated configuration ("Base", "HyperTRIO", …).
     pub config_name: String,
@@ -36,7 +39,8 @@ pub struct SimReport {
     pub elapsed: SimDuration,
     /// Achieved bandwidth.
     pub achieved: Bandwidth,
-    /// Achieved / nominal bandwidth (0.0 ..= 1.0, up to rounding).
+    /// Achieved / nominal bandwidth, clamped at the source to `0.0 ..= 1.0`
+    /// (the clamp absorbs f64 rounding in the bandwidth division).
     pub utilization: f64,
     /// DevTLB access statistics.
     pub devtlb: CacheStats,

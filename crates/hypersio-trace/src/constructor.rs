@@ -3,9 +3,7 @@
 
 use std::fmt;
 
-use hypersio_types::{Did, Sid};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hypersio_types::{Did, Sid, SplitMix64};
 
 use crate::stats::TraceStats;
 use crate::tenant::{TenantStream, TracePacket};
@@ -199,8 +197,7 @@ impl HyperTraceBuilder {
         }
         let streams: Vec<TenantStream> = (0..self.tenants)
             .map(|t| {
-                let stream =
-                    TenantStream::new(params.clone(), Did::new(t), self.seed, self.scale);
+                let stream = TenantStream::new(params.clone(), Did::new(t), self.seed, self.scale);
                 match &self.sids {
                     Some(sids) => stream.with_sid(sids[t as usize]),
                     None => stream,
@@ -208,7 +205,7 @@ impl HyperTraceBuilder {
             })
             .collect();
         let selector_rng = match self.interleaving {
-            Interleaving::Random { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+            Interleaving::Random { seed, .. } => Some(SplitMix64::new(seed)),
             Interleaving::RoundRobin { .. } => None,
         };
         HyperTrace {
@@ -239,7 +236,7 @@ pub struct HyperTrace {
     params: WorkloadParams,
     streams: Vec<TenantStream>,
     interleaving: Interleaving,
-    selector_rng: Option<StdRng>,
+    selector_rng: Option<SplitMix64>,
     current: usize,
     burst_left: u64,
     done: bool,
@@ -302,7 +299,7 @@ impl HyperTrace {
                     .selector_rng
                     .as_mut()
                     .expect("random interleaving carries an RNG");
-                self.current = rng.gen_range(0..self.streams.len());
+                self.current = rng.index(self.streams.len());
                 self.burst_left = burst;
             }
         }
@@ -401,7 +398,10 @@ mod tests {
             .unwrap();
         let n = t.count() as u64;
         // RR1 over 4 tenants: trace length is ~4x the shortest stream.
-        assert!(n >= (min_total - 1) * 4 && n <= min_total * 4 + 4, "n={n}, min={min_total}");
+        assert!(
+            n >= (min_total - 1) * 4 && n <= min_total * 4 + 4,
+            "n={n}, min={min_total}"
+        );
     }
 
     #[test]

@@ -2,9 +2,7 @@
 
 use std::fmt;
 
-use hypersio_types::{Did, GIova, Sid};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hypersio_types::{Did, GIova, Sid, SplitMix64};
 
 use crate::workload::WorkloadParams;
 
@@ -50,7 +48,7 @@ pub struct TenantStream {
     params: WorkloadParams,
     sid: Sid,
     did: Did,
-    rng: StdRng,
+    rng: SplitMix64,
     /// Translation requests still to emit (3 per packet).
     remaining_requests: u64,
     /// Requests this tenant was assigned in total.
@@ -83,9 +81,10 @@ impl TenantStream {
         assert!(scale > 0, "scale must be at least 1");
         // Per-tenant request count drawn from [min, max] (which QEMU log a
         // tenant's requests came from is arbitrary, §V-A).
-        let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(did.raw() as u64 + 1));
+        let mut rng =
+            SplitMix64::new(seed ^ (0x9e37_79b9_7f4a_7c15u64).wrapping_mul(did.raw() as u64 + 1));
         let total_requests =
-            (rng.gen_range(params.min_requests..=params.max_requests) / scale).max(9);
+            (rng.range_inclusive(params.min_requests, params.max_requests) / scale).max(9);
         // The init phase covers NIC start-up only: never more than a
         // quarter of the tenant's packets.
         let init_remaining =
@@ -152,7 +151,7 @@ impl TenantStream {
             self.burst_pos = 0;
             if self.params.random_in_window {
                 // Irregular: next burst lands anywhere in the window.
-                self.window_pos = self.rng.gen_range(0..self.params.window);
+                self.window_pos = self.rng.below(self.params.window);
             } else {
                 // Regular rotation across the active pages.
                 self.window_pos = (self.window_pos + 1) % self.params.window;
@@ -161,15 +160,17 @@ impl TenantStream {
         // The driver retires the oldest page and maps a fresh one after
         // every `sequential_run` data accesses, producing the periodic
         // page-lifetime pattern of Fig 8b (~1500 accesses per page).
-        if self.data_accesses.is_multiple_of(self.params.sequential_run) {
+        if self
+            .data_accesses
+            .is_multiple_of(self.params.sequential_run)
+        {
             self.window_base = (self.window_base + 1) % self.params.data_pages;
         }
     }
 
     fn init_page(&mut self) -> GIova {
         // Init pages are touched in order during the start-up phase.
-        let idx = (self.init_remaining / self.params.init_accesses.max(1))
-            % self.params.init_pages;
+        let idx = (self.init_remaining / self.params.init_accesses.max(1)) % self.params.init_pages;
         GIova::new(self.params.init_base.raw() + idx * 4096)
     }
 }

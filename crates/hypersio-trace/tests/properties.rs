@@ -1,4 +1,8 @@
-//! Property-based tests for trace generation and the log codec.
+//! Property-style tests for trace generation and the log codec.
+//!
+//! Same invariants as the original proptest suite, with inputs drawn from
+//! the in-tree [`SplitMix64`] generator under fixed seeds so every run is
+//! reproducible.
 
 use std::collections::HashMap;
 
@@ -6,86 +10,105 @@ use hypersio_trace::{
     read_packets, write_packets, HyperTraceBuilder, Interleaving, TenantStream, TracePacket,
     WorkloadKind,
 };
-use hypersio_types::{Did, GIova, Sid};
-use proptest::prelude::*;
+use hypersio_types::{Did, GIova, Sid, SplitMix64};
 
-fn any_workload() -> impl Strategy<Value = WorkloadKind> {
-    prop_oneof![
-        Just(WorkloadKind::Iperf3),
-        Just(WorkloadKind::Mediastream),
-        Just(WorkloadKind::Websearch),
-    ]
+const CASES: usize = 48;
+
+fn any_workload(rng: &mut SplitMix64) -> WorkloadKind {
+    match rng.below(3) {
+        0 => WorkloadKind::Iperf3,
+        1 => WorkloadKind::Mediastream,
+        _ => WorkloadKind::Websearch,
+    }
 }
 
-fn arbitrary_packet() -> impl Strategy<Value = TracePacket> {
-    (0u32..2048, prop::array::uniform3(0u64..u64::MAX >> 8)).prop_map(|(did, iovas)| TracePacket {
+fn arbitrary_packet(rng: &mut SplitMix64) -> TracePacket {
+    let did = rng.below(2048) as u32;
+    let iovas = [
+        rng.below(u64::MAX >> 8),
+        rng.below(u64::MAX >> 8),
+        rng.below(u64::MAX >> 8),
+    ];
+    TracePacket {
         sid: Sid::new(did),
         did: Did::new(did),
         iovas: iovas.map(GIova::new),
-    })
+    }
 }
 
-proptest! {
-    #[test]
-    fn codec_round_trips_arbitrary_packets(
-        packets in prop::collection::vec(arbitrary_packet(), 0..64),
-    ) {
+#[test]
+fn codec_round_trips_arbitrary_packets() {
+    let mut rng = SplitMix64::new(0x4001);
+    for _ in 0..CASES {
+        let packets: Vec<TracePacket> = (0..rng.below(64))
+            .map(|_| arbitrary_packet(&mut rng))
+            .collect();
         let mut buf = Vec::new();
         let n = write_packets(&mut buf, packets.iter().copied()).unwrap();
-        prop_assert_eq!(n, packets.len() as u64);
+        assert_eq!(n, packets.len() as u64);
         let back = read_packets(buf.as_slice()).unwrap();
-        prop_assert_eq!(back, packets);
+        assert_eq!(back, packets);
     }
+}
 
-    #[test]
-    fn tenant_stream_is_deterministic(
-        kind in any_workload(),
-        did in 0u32..64,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn tenant_stream_is_deterministic() {
+    let mut rng = SplitMix64::new(0x4002);
+    for _ in 0..CASES {
+        let kind = any_workload(&mut rng);
+        let did = rng.below(64) as u32;
+        let seed = rng.below(1000);
         let a: Vec<_> = TenantStream::new(kind.params(), Did::new(did), seed, 500).collect();
         let b: Vec<_> = TenantStream::new(kind.params(), Did::new(did), seed, 500).collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn request_counts_respect_table3_bounds(
-        kind in any_workload(),
-        did in 0u32..256,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn request_counts_respect_table3_bounds() {
+    let mut rng = SplitMix64::new(0x4003);
+    for _ in 0..CASES * 4 {
+        let kind = any_workload(&mut rng);
+        let did = rng.below(256) as u32;
+        let seed = rng.below(100);
         let p = kind.params();
         let s = TenantStream::new(p.clone(), Did::new(did), seed, 1);
-        prop_assert!(s.total_requests() >= p.min_requests);
-        prop_assert!(s.total_requests() <= p.max_requests);
+        assert!(s.total_requests() >= p.min_requests);
+        assert!(s.total_requests() <= p.max_requests);
     }
+}
 
-    #[test]
-    fn all_accesses_stay_in_the_inventory(
-        kind in any_workload(),
-        seed in 0u64..50,
-    ) {
+#[test]
+fn all_accesses_stay_in_the_inventory() {
+    let mut rng = SplitMix64::new(0x4004);
+    for _ in 0..CASES / 2 {
+        let kind = any_workload(&mut rng);
+        let seed = rng.below(50);
         let p = kind.params();
         let inventory = p.page_inventory();
         for pkt in TenantStream::new(p.clone(), Did::new(0), seed, 1000) {
             for iova in pkt.iovas {
                 let size = p.page_size_of(iova);
                 let base = iova.raw() & !size.offset_mask();
-                prop_assert!(
-                    inventory.iter().any(|(page, s, _)| page.raw() == base && *s == size),
+                assert!(
+                    inventory
+                        .iter()
+                        .any(|(page, s, _)| page.raw() == base && *s == size),
                     "access {iova} (page {base:#x}) outside the tenant inventory"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn round_robin_is_fair_until_exhaustion(
-        kind in any_workload(),
-        tenants in 2u32..16,
-        burst in 1u64..5,
-        seed in 0u64..50,
-    ) {
+#[test]
+fn round_robin_is_fair_until_exhaustion() {
+    let mut rng = SplitMix64::new(0x4005);
+    for _ in 0..CASES {
+        let kind = any_workload(&mut rng);
+        let tenants = rng.range_inclusive(2, 15) as u32;
+        let burst = rng.range_inclusive(1, 4);
+        let seed = rng.below(50);
         // Scale 100 keeps even the shortest workload (mediastream's 5520
         // requests -> 18 packets) longer than any tested burst, avoiding
         // the degenerate trace that ends inside the very first round.
@@ -102,38 +125,40 @@ proptest! {
         let min = counts.values().copied().min().unwrap_or(0);
         // RR hands out `burst` packets per turn: per-tenant totals can
         // differ by at most one burst at the cut-off point.
-        prop_assert!(max - min <= burst, "unfair RR: max={max} min={min}");
-        prop_assert_eq!(counts.len() as u32, tenants);
+        assert!(max - min <= burst, "unfair RR: max={max} min={min}");
+        assert_eq!(counts.len() as u32, tenants);
     }
+}
 
-    #[test]
-    fn trace_stats_are_consistent_with_iteration(
-        kind in any_workload(),
-        tenants in 1u32..8,
-        seed in 0u64..20,
-    ) {
+#[test]
+fn trace_stats_are_consistent_with_iteration() {
+    let mut rng = SplitMix64::new(0x4006);
+    for _ in 0..CASES {
+        let kind = any_workload(&mut rng);
+        let tenants = rng.range_inclusive(1, 7) as u32;
+        let seed = rng.below(20);
         let trace = HyperTraceBuilder::new(kind, tenants)
             .scale(1000)
             .seed(seed)
             .build();
         let stats = trace.stats();
         let packets = trace.count() as u64;
-        prop_assert_eq!(stats.total_requests, packets * 3);
-        prop_assert!(stats.min_per_tenant <= stats.max_per_tenant);
+        assert_eq!(stats.total_requests, packets * 3);
+        assert!(stats.min_per_tenant <= stats.max_per_tenant);
         // max/min are per-tenant *log* sizes; the trimmed trace stops when
         // any tenant runs dry, so the total tracks tenants x min within
         // packet rounding (3 requests per packet).
-        prop_assert!(
-            stats.total_requests + 3 * tenants as u64 >= stats.min_per_tenant * tenants as u64
-        );
-        prop_assert!(stats.total_requests <= stats.max_per_tenant * tenants as u64);
+        assert!(stats.total_requests + 3 * tenants as u64 >= stats.min_per_tenant * tenants as u64);
+        assert!(stats.total_requests <= stats.max_per_tenant * tenants as u64);
     }
+}
 
-    #[test]
-    fn clone_replays_identically_mid_stream(
-        kind in any_workload(),
-        skip in 0usize..50,
-    ) {
+#[test]
+fn clone_replays_identically_mid_stream() {
+    let mut rng = SplitMix64::new(0x4007);
+    for _ in 0..CASES {
+        let kind = any_workload(&mut rng);
+        let skip = rng.index(50);
         let mut trace = HyperTraceBuilder::new(kind, 4)
             .interleaving(Interleaving::random(1, 9))
             .scale(500)
@@ -146,6 +171,6 @@ proptest! {
         let fork = trace.clone();
         let rest_a: Vec<_> = trace.collect();
         let rest_b: Vec<_> = fork.collect();
-        prop_assert_eq!(rest_a, rest_b);
+        assert_eq!(rest_a, rest_b);
     }
 }

@@ -27,9 +27,11 @@
 mod addr;
 mod bandwidth;
 mod id;
+mod rng;
 mod time;
 
 pub use addr::{GIova, GPa, HPa, Page, PageSize};
 pub use bandwidth::{Bandwidth, Bytes};
 pub use id::{Bdf, Did, Pasid, Sid};
+pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};

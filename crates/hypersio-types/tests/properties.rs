@@ -1,35 +1,45 @@
-//! Property-based tests for the foundational types.
+//! Property-style tests for the foundational types.
+//!
+//! Each test checks the same invariants the original proptest suite did,
+//! but over inputs drawn from the in-tree [`SplitMix64`] generator: the
+//! case list is deterministic (fixed seeds), so failures reproduce exactly
+//! without an external shrinking framework.
 
-use hypersio_types::{Bandwidth, Bytes, GIova, PageSize, Sid, SimDuration, SimTime};
-use proptest::prelude::*;
+use hypersio_types::{Bandwidth, Bytes, GIova, PageSize, Sid, SimDuration, SimTime, SplitMix64};
 
-fn any_page_size() -> impl Strategy<Value = PageSize> {
-    prop_oneof![
-        Just(PageSize::Size4K),
-        Just(PageSize::Size2M),
-        Just(PageSize::Size1G),
-    ]
+const CASES: u64 = 512;
+
+fn any_page_size(rng: &mut SplitMix64) -> PageSize {
+    match rng.below(3) {
+        0 => PageSize::Size4K,
+        1 => PageSize::Size2M,
+        _ => PageSize::Size1G,
+    }
 }
 
-proptest! {
-    #[test]
-    fn page_decomposition_round_trips(
-        raw in 0u64..(1 << 48),
-        size in any_page_size(),
-    ) {
+#[test]
+fn page_decomposition_round_trips() {
+    let mut rng = SplitMix64::new(0x1001);
+    for _ in 0..CASES {
+        let raw = rng.below(1 << 48);
+        let size = any_page_size(&mut rng);
         let addr = GIova::new(raw);
         let page = addr.page(size);
         // base + offset reconstructs the address.
-        prop_assert_eq!(page.base().raw() + addr.page_offset(size), raw);
+        assert_eq!(page.base().raw() + addr.page_offset(size), raw);
         // The page contains its own address and base.
-        prop_assert!(page.contains(addr));
-        prop_assert!(page.contains(page.base()));
+        assert!(page.contains(addr));
+        assert!(page.contains(page.base()));
         // The next page does not.
-        prop_assert!(!page.next().contains(addr));
+        assert!(!page.next().contains(addr));
     }
+}
 
-    #[test]
-    fn level_indices_reconstruct_addresses(raw in 0u64..(1 << 48)) {
+#[test]
+fn level_indices_reconstruct_addresses() {
+    let mut rng = SplitMix64::new(0x1002);
+    for _ in 0..CASES {
+        let raw = rng.below(1 << 48);
         // 4-level decomposition plus the page offset is lossless.
         let a = GIova::new(raw);
         let rebuilt = ((a.level_index(4) as u64) << 39)
@@ -37,37 +47,44 @@ proptest! {
             | ((a.level_index(2) as u64) << 21)
             | ((a.level_index(1) as u64) << 12)
             | a.page_offset(PageSize::Size4K);
-        prop_assert_eq!(rebuilt, raw);
+        assert_eq!(rebuilt, raw);
     }
+}
 
-    #[test]
-    fn sid_low_bits_is_modulo(raw in any::<u32>(), bits in 0u32..40) {
+#[test]
+fn sid_low_bits_is_modulo() {
+    let mut rng = SplitMix64::new(0x1003);
+    for _ in 0..CASES {
+        let raw = rng.next_u64() as u32;
+        let bits = rng.below(40) as u32;
         let sid = Sid::new(raw);
         if bits >= 32 {
-            prop_assert_eq!(sid.low_bits(bits), raw);
+            assert_eq!(sid.low_bits(bits), raw);
         } else {
-            prop_assert_eq!(sid.low_bits(bits) as u64, raw as u64 % (1u64 << bits));
+            assert_eq!(sid.low_bits(bits) as u64, raw as u64 % (1u64 << bits));
         }
     }
+}
 
-    #[test]
-    fn time_arithmetic_is_consistent(
-        start_ps in 0u64..(1 << 50),
-        delta_ps in 0u64..(1 << 40),
-    ) {
-        let t0 = SimTime::from_ps(start_ps);
-        let d = SimDuration::from_ps(delta_ps);
+#[test]
+fn time_arithmetic_is_consistent() {
+    let mut rng = SplitMix64::new(0x1004);
+    for _ in 0..CASES {
+        let t0 = SimTime::from_ps(rng.below(1 << 50));
+        let d = SimDuration::from_ps(rng.below(1 << 40));
         let t1 = t0 + d;
-        prop_assert_eq!(t1.duration_since(t0), d);
-        prop_assert_eq!(t1 - t0, d);
-        prop_assert_eq!(t0.max(t1), t1);
+        assert_eq!(t1.duration_since(t0), d);
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t0.max(t1), t1);
     }
+}
 
-    #[test]
-    fn transfer_time_inverts_achieved(
-        gbps in 1u64..1000,
-        packets in 1u64..100_000,
-    ) {
+#[test]
+fn transfer_time_inverts_achieved() {
+    let mut rng = SplitMix64::new(0x1005);
+    for _ in 0..CASES {
+        let gbps = rng.range_inclusive(1, 999);
+        let packets = rng.range_inclusive(1, 99_999);
         // Moving N packets at the nominal rate and measuring the achieved
         // bandwidth recovers the rate within per-packet rounding.
         let link = Bandwidth::from_gbps(gbps);
@@ -75,28 +92,35 @@ proptest! {
         let elapsed = link.transfer_time(bytes);
         let achieved = Bandwidth::achieved(bytes, elapsed);
         let rel = (achieved.gbps() - gbps as f64).abs() / gbps as f64;
-        prop_assert!(rel < 1e-6, "relative error {rel}");
+        assert!(rel < 1e-6, "relative error {rel}");
     }
+}
 
-    #[test]
-    fn transfer_time_is_additive(
-        gbps in 1u64..1000,
-        a in 0u64..1_000_000,
-        b in 0u64..1_000_000,
-    ) {
+#[test]
+fn transfer_time_is_additive() {
+    let mut rng = SplitMix64::new(0x1006);
+    for _ in 0..CASES {
+        let gbps = rng.range_inclusive(1, 999);
+        let a = rng.below(1_000_000);
+        let b = rng.below(1_000_000);
         let link = Bandwidth::from_gbps(gbps);
         let whole = link.transfer_time(Bytes::new(a + b)).as_ps();
         let split =
             link.transfer_time(Bytes::new(a)).as_ps() + link.transfer_time(Bytes::new(b)).as_ps();
         // Within rounding of one picosecond per part.
-        prop_assert!(whole.abs_diff(split) <= 1);
+        assert!(whole.abs_diff(split) <= 1);
     }
+}
 
-    #[test]
-    fn utilization_is_ratio(g1 in 1u64..500, g2 in 1u64..500) {
+#[test]
+fn utilization_is_ratio() {
+    let mut rng = SplitMix64::new(0x1007);
+    for _ in 0..CASES {
+        let g1 = rng.range_inclusive(1, 499);
+        let g2 = rng.range_inclusive(1, 499);
         let a = Bandwidth::from_gbps(g1);
         let b = Bandwidth::from_gbps(g2);
         let u = a.utilization_of(b);
-        prop_assert!((u - g1 as f64 / g2 as f64).abs() < 1e-12);
+        assert!((u - g1 as f64 / g2 as f64).abs() < 1e-12);
     }
 }

@@ -59,7 +59,9 @@ impl OracleKey for DevTlbKey {
     fn oracle_code(&self) -> u64 {
         // did (20 bits) | vpn (42 bits) | granule level (2 bits) — injective
         // for the workloads' address ranges.
-        ((self.did.raw() as u64) << 44) | ((self.vpn & ((1 << 42) - 1)) << 2) | self.size.level() as u64
+        ((self.did.raw() as u64) << 44)
+            | ((self.vpn & ((1 << 42) - 1)) << 2)
+            | self.size.level() as u64
     }
 }
 
@@ -252,7 +254,13 @@ mod tests {
         let mut tlb = base_tlb();
         tlb.lookup(Sid::new(0), Did::new(0), GIova::new(0x1000), 0);
         assert_eq!(tlb.stats().accesses(), 1);
-        tlb.insert(Sid::new(0), Did::new(0), GIova::new(0x1000), entry_4k(0x1), 1);
+        tlb.insert(
+            Sid::new(0),
+            Did::new(0),
+            GIova::new(0x1000),
+            entry_4k(0x1),
+            1,
+        );
         tlb.lookup(Sid::new(0), Did::new(0), GIova::new(0x1000), 2);
         assert_eq!(tlb.stats().accesses(), 2);
         assert_eq!(tlb.stats().hits(), 1);
@@ -262,7 +270,13 @@ mod tests {
     #[test]
     fn tenants_do_not_alias_even_unpartitioned() {
         let mut tlb = base_tlb();
-        tlb.insert(Sid::new(0), Did::new(0), GIova::new(0xbbe0_0000), entry_2m(0xa0_0000), 0);
+        tlb.insert(
+            Sid::new(0),
+            Did::new(0),
+            GIova::new(0xbbe0_0000),
+            entry_2m(0xa0_0000),
+            0,
+        );
         assert!(tlb
             .lookup(Sid::new(1), Did::new(1), GIova::new(0xbbe0_0000), 1)
             .is_none());
@@ -275,7 +289,13 @@ mod tests {
             PartitionSpec::new(8),
             PolicyKind::Lfu,
         );
-        tlb.insert(Sid::new(0), Did::new(0), GIova::new(0xbbe0_0000), entry_2m(0x1), 0);
+        tlb.insert(
+            Sid::new(0),
+            Did::new(0),
+            GIova::new(0xbbe0_0000),
+            entry_2m(0x1),
+            0,
+        );
         // Tenant 1 floods its own partition with hundreds of pages.
         for i in 0..500u64 {
             tlb.insert(
@@ -296,7 +316,13 @@ mod tests {
     #[test]
     fn unpartitioned_tlb_lets_flood_evict() {
         let mut tlb = base_tlb();
-        tlb.insert(Sid::new(0), Did::new(0), GIova::new(0xbbe0_0000), entry_2m(0x1), 0);
+        tlb.insert(
+            Sid::new(0),
+            Did::new(0),
+            GIova::new(0xbbe0_0000),
+            entry_2m(0x1),
+            0,
+        );
         for i in 0..5000u64 {
             tlb.insert(
                 Sid::new(1),
@@ -316,10 +342,32 @@ mod tests {
     #[test]
     fn invalidate_and_clear() {
         let mut tlb = base_tlb();
-        tlb.insert(Sid::new(0), Did::new(0), GIova::new(0x1000), entry_4k(0x9), 0);
-        assert!(tlb.invalidate(Sid::new(0), Did::new(0), GIova::new(0x1000), PageSize::Size4K));
-        assert!(!tlb.invalidate(Sid::new(0), Did::new(0), GIova::new(0x1000), PageSize::Size4K));
-        tlb.insert(Sid::new(0), Did::new(0), GIova::new(0x2000), entry_4k(0x9), 1);
+        tlb.insert(
+            Sid::new(0),
+            Did::new(0),
+            GIova::new(0x1000),
+            entry_4k(0x9),
+            0,
+        );
+        assert!(tlb.invalidate(
+            Sid::new(0),
+            Did::new(0),
+            GIova::new(0x1000),
+            PageSize::Size4K
+        ));
+        assert!(!tlb.invalidate(
+            Sid::new(0),
+            Did::new(0),
+            GIova::new(0x1000),
+            PageSize::Size4K
+        ));
+        tlb.insert(
+            Sid::new(0),
+            Did::new(0),
+            GIova::new(0x2000),
+            entry_4k(0x9),
+            1,
+        );
         tlb.clear();
         assert!(tlb.is_empty());
     }

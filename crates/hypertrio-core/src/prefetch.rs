@@ -251,7 +251,9 @@ impl PrefetchUnit {
     /// returns the prefetch to launch.
     pub fn observe(&mut self, sid: Sid) -> Option<PrefetchRequest> {
         self.predictor.observe(sid);
-        self.predictor.predict(sid).map(|sid| PrefetchRequest { sid })
+        self.predictor
+            .predict(sid)
+            .map(|sid| PrefetchRequest { sid })
     }
 
     /// Records a completed translation in the per-DID history.
@@ -413,7 +415,9 @@ mod tests {
         assert_eq!(pages, vec![GIova::new(0xbbe0_0000)]);
         pu.fill(Did::new(1), pages[0], entry, 100);
         // A later request from tenant 1 hits the PB.
-        let hit = pu.lookup(Did::new(1), GIova::new(0xbbe0_1234), 101).unwrap();
+        let hit = pu
+            .lookup(Did::new(1), GIova::new(0xbbe0_1234), 101)
+            .unwrap();
         assert_eq!(hit.translate(GIova::new(0xbbe0_1234)).raw(), 0x7000_1234);
         assert_eq!(pu.buffer_stats().hits(), 1);
     }

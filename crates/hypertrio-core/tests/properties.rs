@@ -1,41 +1,50 @@
-//! Property-based tests for the HyperTRIO mechanisms.
+//! Property-style tests for the HyperTRIO mechanisms.
+//!
+//! Same invariants as the original proptest suite, with inputs drawn from
+//! the in-tree [`SplitMix64`] generator under fixed seeds so every run is
+//! reproducible.
 
 use hypersio_cache::{CacheGeometry, PartitionSpec, PolicyKind};
-use hypersio_types::{Did, GIova, HPa, PageSize, Sid};
+use hypersio_types::{Did, GIova, HPa, PageSize, Sid, SplitMix64};
 use hypertrio_core::{DevTlb, PendingTranslationBuffer, SidPredictor, TlbEntry};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn ptb_occupancy_is_bounded_and_conserved(
-        ops in prop::collection::vec(prop::bool::ANY, 1..400),
-        capacity in 1usize..64,
-    ) {
+const CASES: usize = 64;
+
+#[test]
+fn ptb_occupancy_is_bounded_and_conserved() {
+    let mut rng = SplitMix64::new(0x5001);
+    for _ in 0..CASES {
+        let ops: Vec<bool> = (0..rng.range_inclusive(1, 399))
+            .map(|_| rng.below(2) == 1)
+            .collect();
+        let capacity = rng.range_inclusive(1, 63) as usize;
         let mut ptb = PendingTranslationBuffer::new(capacity);
         let mut live = Vec::new();
         for &alloc in &ops {
             if alloc {
                 match ptb.try_allocate() {
                     Some(token) => live.push(token),
-                    None => prop_assert!(ptb.is_full()),
+                    None => assert!(ptb.is_full()),
                 }
             } else if let Some(token) = live.pop() {
                 ptb.complete(token);
             }
-            prop_assert!(ptb.occupancy() <= capacity);
-            prop_assert_eq!(ptb.occupancy(), live.len());
+            assert!(ptb.occupancy() <= capacity);
+            assert_eq!(ptb.occupancy(), live.len());
         }
         let stats = ptb.stats();
-        prop_assert_eq!(stats.allocated, stats.completed + live.len() as u64);
-        prop_assert!(stats.peak_occupancy <= capacity);
+        assert_eq!(stats.allocated, stats.completed + live.len() as u64);
+        assert!(stats.peak_occupancy <= capacity);
     }
+}
 
-    #[test]
-    fn predictor_is_exact_on_periodic_arrivals(
-        tenants in 2u32..32,
-        history in 1usize..16,
-        probe in 0u32..32,
-    ) {
+#[test]
+fn predictor_is_exact_on_periodic_arrivals() {
+    let mut rng = SplitMix64::new(0x5002);
+    for _ in 0..CASES {
+        let tenants = rng.range_inclusive(2, 31) as u32;
+        let history = rng.range_inclusive(1, 15) as usize;
+        let probe = rng.below(32) as u32;
         // Round-robin arrivals: the SID `history` steps after `s` is
         // always (s + history) mod tenants once training has seen a full
         // cycle.
@@ -49,14 +58,16 @@ proptest! {
         }
         let probe = probe % tenants;
         let expected = (probe + history as u32) % tenants;
-        prop_assert_eq!(p.predict(Sid::new(probe)), Some(Sid::new(expected)));
+        assert_eq!(p.predict(Sid::new(probe)), Some(Sid::new(expected)));
     }
+}
 
-    #[test]
-    fn devtlb_translation_preserves_offsets(
-        offset in 0u64..0x20_0000,
-        hpa_frame in 1u64..1 << 20,
-    ) {
+#[test]
+fn devtlb_translation_preserves_offsets() {
+    let mut rng = SplitMix64::new(0x5003);
+    for _ in 0..CASES {
+        let offset = rng.below(0x20_0000);
+        let hpa_frame = rng.range_inclusive(1, (1 << 20) - 1);
         let mut tlb = DevTlb::new(
             CacheGeometry::new(64, 8),
             PartitionSpec::unified(),
@@ -70,14 +81,18 @@ proptest! {
         tlb.insert(Sid::new(0), Did::new(0), iova, entry, 0);
         let probe = GIova::new((iova.raw() & !0x1f_ffff) + offset);
         let hit = tlb.lookup(Sid::new(0), Did::new(0), probe, 1).unwrap();
-        prop_assert_eq!(hit.translate(probe).raw(), (hpa_frame << 21) + offset);
+        assert_eq!(hit.translate(probe).raw(), (hpa_frame << 21) + offset);
     }
+}
 
-    #[test]
-    fn devtlb_partitioning_never_loses_correctness(
-        inserts in prop::collection::vec((0u32..16, 0u64..64), 1..200),
-        partitions in prop::sample::select(vec![1usize, 2, 4, 8]),
-    ) {
+#[test]
+fn devtlb_partitioning_never_loses_correctness() {
+    let mut rng = SplitMix64::new(0x5004);
+    for _ in 0..CASES {
+        let inserts: Vec<(u32, u64)> = (0..rng.range_inclusive(1, 199))
+            .map(|_| (rng.below(16) as u32, rng.below(64)))
+            .collect();
+        let partitions = [1usize, 2, 4, 8][rng.index(4)];
         // Whatever the partition count, a hit must always return the value
         // inserted by the same tenant for the same page (isolation is a
         // performance property; correctness must be unconditional).
@@ -98,17 +113,23 @@ proptest! {
         for &(tenant, page) in &inserts {
             let iova = GIova::new(0xbbe0_0000 + page * 0x20_0000);
             if let Some(hit) = tlb.lookup(Sid::new(tenant), Did::new(tenant), iova, 10_000) {
-                prop_assert_eq!(hit.hpa_base.raw() >> 40, tenant as u64);
-                prop_assert_eq!((hit.hpa_base.raw() >> 21) & 0xff, page);
+                assert_eq!(hit.hpa_base.raw() >> 40, tenant as u64);
+                assert_eq!((hit.hpa_base.raw() >> 21) & 0xff, page);
             }
         }
     }
+}
 
-    #[test]
-    fn predictor_history_resize_is_safe(
-        lens in prop::collection::vec(1usize..64, 1..20),
-        arrivals in prop::collection::vec(0u32..8, 1..200),
-    ) {
+#[test]
+fn predictor_history_resize_is_safe() {
+    let mut rng = SplitMix64::new(0x5005);
+    for _ in 0..CASES {
+        let lens: Vec<usize> = (0..rng.range_inclusive(1, 19))
+            .map(|_| rng.range_inclusive(1, 63) as usize)
+            .collect();
+        let arrivals: Vec<u32> = (0..rng.range_inclusive(1, 199))
+            .map(|_| rng.below(8) as u32)
+            .collect();
         let mut p = SidPredictor::new(lens[0]);
         let mut li = 0;
         for (i, &sid) in arrivals.iter().enumerate() {
@@ -120,6 +141,6 @@ proptest! {
             let _ = p.predict(Sid::new(sid));
         }
         let (asked, had) = p.coverage();
-        prop_assert!(had <= asked);
+        assert!(had <= asked);
     }
 }

@@ -31,14 +31,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Persist the packet stream.
     let path = std::env::temp_dir().join("hypersio_trace_replay.log");
     let packets: Vec<_> = trace.collect();
-    let written = write_packets(BufWriter::new(File::create(&path)?), packets.iter().copied())?;
+    let written = write_packets(
+        BufWriter::new(File::create(&path)?),
+        packets.iter().copied(),
+    )?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("saved:     {written} packets, {bytes} bytes at {}", path.display());
+    println!(
+        "saved:     {written} packets, {bytes} bytes at {}",
+        path.display()
+    );
 
     // Read it back and verify the replay.
     let replay = read_packets(BufReader::new(File::open(&path)?))?;
     assert_eq!(replay, packets, "replay must be identical");
-    println!("replayed:  {} packets, identical to the original", replay.len());
+    println!(
+        "replayed:  {} packets, identical to the original",
+        replay.len()
+    );
 
     // Per-tenant accounting survives the round trip.
     let mut per_tenant = vec![0u64; tenants as usize];

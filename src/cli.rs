@@ -44,6 +44,9 @@ pub struct SimArgs {
     pub policy: Option<String>,
     /// Warm-up packets excluded from the bandwidth measurement.
     pub warmup: u64,
+    /// Worker threads for `sweep` (each sweep point is an independent
+    /// simulation; results are bit-identical to a serial sweep).
+    pub jobs: usize,
 }
 
 impl Default for SimArgs {
@@ -57,8 +60,16 @@ impl Default for SimArgs {
             interleaving: Interleaving::round_robin(1),
             policy: None,
             warmup: 1000,
+            jobs: default_jobs(),
         }
     }
+}
+
+/// Default worker count: every available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
 }
 
 impl SimArgs {
@@ -123,6 +134,8 @@ OPTIONS (sim / sweep / trace):
     --interleave <rr1|rr4|rand1>                tenant order    [rr1]
     --policy <lru|lfu|fifo|random>              DevTLB policy   [preset]
     --warmup <N>           packets excluded from measurement    [1000]
+    --jobs <N>             sweep worker threads (sweep only;
+                           results are identical for any N)     [cores]
 ";
 
 /// Parses a full argument vector (excluding the program name).
@@ -202,6 +215,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .parse()
                     .map_err(|e| ParseError(format!("bad --warmup: {e}")))?;
             }
+            "--jobs" => {
+                parsed.jobs = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --jobs: {e}")))?;
+                if parsed.jobs == 0 {
+                    return Err(ParseError("--jobs must be at least 1".into()));
+                }
+            }
             other => return Err(ParseError(format!("unknown option {other:?}"))),
         }
     }
@@ -242,7 +263,7 @@ mod tests {
     fn full_option_set_parses() {
         let cmd = parse(&argv(
             "sweep --workload websearch --tenants 256 --config base --scale 50 \
-             --seed 9 --interleave rr4 --policy lfu --warmup 500",
+             --seed 9 --interleave rr4 --policy lfu --warmup 500 --jobs 3",
         ))
         .unwrap();
         let Command::Sweep(args) = cmd else {
@@ -256,6 +277,18 @@ mod tests {
         assert_eq!(args.interleaving, Interleaving::round_robin(4));
         assert_eq!(args.policy.as_deref(), Some("lfu"));
         assert_eq!(args.warmup, 500);
+        assert_eq!(args.jobs, 3);
+    }
+
+    #[test]
+    fn jobs_defaults_to_cores_and_rejects_zero() {
+        let Command::Sim(args) = parse(&argv("sim")).unwrap() else {
+            panic!("expected sim");
+        };
+        assert_eq!(args.jobs, default_jobs());
+        assert!(args.jobs >= 1);
+        let err = parse(&argv("sweep --jobs 0")).unwrap_err();
+        assert!(err.0.contains("at least 1"));
     }
 
     #[test]

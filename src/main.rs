@@ -3,7 +3,7 @@
 
 use std::process::ExitCode;
 
-use hypersio_sim::{sweep_tenants, Simulation, SweepSpec};
+use hypersio_sim::{sweep_tenants_parallel, Simulation, SweepSpec};
 use hypersio_trace::HyperTraceBuilder;
 use hypertrio::cli::{self, Command, SimArgs};
 use hypertrio_core::TranslationConfig;
@@ -66,7 +66,9 @@ fn run_sweep(args: &SimArgs) {
         .into_iter()
         .filter(|&t| t <= args.tenants)
         .collect();
-    for point in sweep_tenants(&spec, &counts) {
+    // Sweep points are independent simulations; the parallel path is
+    // bit-identical to the serial one for any --jobs value.
+    for point in sweep_tenants_parallel(&spec, &counts, args.jobs) {
         println!("{point}");
     }
 }

@@ -44,7 +44,7 @@ fn utilization_is_always_a_fraction() {
             )
             .run();
             assert!(
-                report.utilization <= 1.0 + 1e-9,
+                report.utilization <= 1.0,
                 "{kind}/{tenants}: {}",
                 report.utilization
             );
@@ -127,8 +127,7 @@ fn sweep_spec_reports_are_self_consistent() {
         assert_eq!(r.devtlb.accesses(), r.translation_requests);
         // IOMMU never sees more requests than misses + prefetches.
         assert!(
-            r.iommu.requests
-                <= r.devtlb.misses() + r.prefetches_issued,
+            r.iommu.requests <= r.devtlb.misses() + r.prefetches_issued,
             "iommu {} > devtlb misses {} + prefetches {}",
             r.iommu.requests,
             r.devtlb.misses(),
