@@ -12,21 +12,18 @@ use std::hint::black_box;
 fn bench_set_assoc_policies() {
     for policy in [PolicyKind::Lru, PolicyKind::Lfu, PolicyKind::Fifo] {
         let g = CacheGeometry::new(64, 8);
-        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, policy.build(g));
+        let name = policy.name();
+        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, policy);
         let mut now = 0u64;
-        bench::time_case(
-            &format!("set_assoc_lookup_insert/{}", policy.name()),
-            200,
-            || {
-                for k in 0..256u64 {
-                    if cache.lookup(&k, now).is_none() {
-                        cache.insert(k, k, now);
-                    }
-                    now += 1;
+        bench::time_case(&format!("set_assoc_lookup_insert/{name}"), 200, || {
+            for k in 0..256u64 {
+                if cache.lookup(&k, now).is_none() {
+                    cache.insert(k, k, now);
                 }
-                black_box(cache.len())
-            },
-        );
+                now += 1;
+            }
+            black_box(cache.len())
+        });
     }
 }
 

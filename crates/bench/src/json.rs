@@ -1,0 +1,460 @@
+//! Minimal JSON support for the benchmark harness.
+//!
+//! The workspace deliberately has no external dependencies, so the
+//! `BENCH_*.json` files emitted by the wall-clock harness are written with
+//! plain format strings and checked with this hand-rolled parser. It covers
+//! the full JSON grammar (objects, arrays, strings with escapes, numbers,
+//! booleans, null) — enough to validate harness output in CI and to embed
+//! one document inside another (baseline merging).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as `f64`; the harness only emits values that
+    /// round-trip at this precision).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` keeps key order deterministic for tests.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Returns the object map if this value is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the array elements if this value is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value if this value is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+}
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset at which parsing failed.
+    pub at: usize,
+    /// Human-readable reason.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are valid by construction).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .peek()
+                        .is_some_and(|b| b & 0xC0 == 0x80 && self.pos - start < 4)
+                    {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Checks that `doc` matches the `bench_hotpath/v1` schema (see the
+/// `bench_hotpath` binary): required top-level fields, a non-empty `cases`
+/// array, and every per-case metric present with the right type. Threshold
+/// checks are deliberately out of scope — CI runners are not comparable
+/// machines; only the *shape* of the output is pinned.
+pub fn validate_hotpath_schema(doc: &Json) -> Result<(), String> {
+    let obj = doc.as_obj().ok_or("top level must be an object")?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bench_hotpath/v1") => {}
+        Some(other) => return Err(format!("unknown schema '{other}'")),
+        None => return Err("missing string field 'schema'".into()),
+    }
+    for field in ["scale", "warmup_packets", "peak_rss_bytes"] {
+        doc.get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field '{field}'"))?;
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'cases'")?;
+    if cases.is_empty() {
+        return Err("'cases' must not be empty".into());
+    }
+    for (i, case) in cases.iter().enumerate() {
+        case.get("config")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("case {i}: missing string field 'config'"))?;
+        for field in [
+            "tenants",
+            "wall_s",
+            "packets",
+            "packets_per_sec",
+            "translation_requests",
+            "ns_per_translation",
+            "utilization",
+        ] {
+            case.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("case {i}: missing numeric field '{field}'"))?;
+        }
+    }
+    // `baseline`, when present, must itself be a schema-valid document.
+    if let Some(baseline) = obj.get("baseline") {
+        validate_hotpath_schema(baseline).map_err(|e| format!("baseline: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse(" -12.5e2 ").unwrap(), Json::Num(-1250.0));
+        assert_eq!(parse(r#""a\nb""#).unwrap(), Json::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = parse(r#"{"a": [1, {"b": "x"}, false], "c": {}}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[1]
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("x")
+        );
+        assert!(doc.get("c").unwrap().as_obj().unwrap().is_empty());
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        assert_eq!(parse(r#""é""#).unwrap(), Json::Str("é".into()));
+        // Surrogate pair (U+1F600).
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "nul", "\"unterminated", "1 2"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let s = "line\n\"quoted\"\tand\\slash";
+        let parsed = parse(&format!("\"{}\"", escape(s))).unwrap();
+        assert_eq!(parsed, Json::Str(s.into()));
+    }
+
+    fn valid_doc() -> String {
+        r#"{
+            "schema": "bench_hotpath/v1",
+            "scale": 400, "warmup_packets": 2000, "peak_rss_bytes": 1048576,
+            "cases": [{
+                "config": "HyperTRIO", "tenants": 128, "wall_s": 1.5,
+                "packets": 100, "packets_per_sec": 66.6,
+                "translation_requests": 300, "ns_per_translation": 5000.0,
+                "utilization": 0.8
+            }]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn schema_accepts_valid_output() {
+        let doc = parse(&valid_doc()).unwrap();
+        assert_eq!(validate_hotpath_schema(&doc), Ok(()));
+    }
+
+    #[test]
+    fn schema_accepts_embedded_baseline() {
+        let with_baseline = format!(
+            r#"{{"schema": "bench_hotpath/v1", "scale": 1, "warmup_packets": 0,
+                "peak_rss_bytes": 0, "baseline": {},
+                "cases": [{{"config": "Base", "tenants": 128, "wall_s": 1,
+                "packets": 1, "packets_per_sec": 1, "translation_requests": 3,
+                "ns_per_translation": 1, "utilization": 0.5}}]}}"#,
+            valid_doc()
+        );
+        let doc = parse(&with_baseline).unwrap();
+        assert_eq!(validate_hotpath_schema(&doc), Ok(()));
+    }
+
+    #[test]
+    fn schema_rejects_missing_fields() {
+        let doc = parse(r#"{"schema": "bench_hotpath/v1", "cases": []}"#).unwrap();
+        assert!(validate_hotpath_schema(&doc).is_err());
+        let doc = parse(&valid_doc().replace("ns_per_translation", "nanos")).unwrap();
+        let err = validate_hotpath_schema(&doc).unwrap_err();
+        assert!(err.contains("ns_per_translation"), "{err}");
+        let doc = parse(&valid_doc().replace("bench_hotpath/v1", "v999")).unwrap();
+        assert!(validate_hotpath_schema(&doc).is_err());
+    }
+}

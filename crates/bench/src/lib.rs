@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::fmt::Display;
 use std::time::Instant;
 
@@ -101,9 +103,31 @@ pub fn time_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
     );
 }
 
+/// Returns this process's peak resident set size in bytes, or 0 when the
+/// platform does not expose it (`/proc/self/status` `VmHWM`, Linux only).
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
 
     #[test]
     fn tenant_axis_caps() {

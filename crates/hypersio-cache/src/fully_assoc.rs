@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::geometry::CacheGeometry;
+use crate::policy::{OracleKey, PolicyKind};
 use crate::set_assoc::{CacheKey, SetAssocCache};
 use crate::stats::CacheStats;
 
@@ -27,16 +28,16 @@ pub struct FullyAssocCache<K, V> {
     inner: SetAssocCache<K, V>,
 }
 
-impl<K: CacheKey + crate::policy::OracleKey, V> FullyAssocCache<K, V> {
+impl<K: CacheKey + OracleKey, V> FullyAssocCache<K, V> {
     /// Creates a fully-associative cache with `entries` slots.
     ///
     /// # Panics
     ///
     /// Panics if `entries` is zero.
-    pub fn new(entries: usize, policy: PolicyKindLike) -> Self {
+    pub fn new(entries: usize, policy: PolicyKind) -> Self {
         let geometry = CacheGeometry::fully_associative(entries);
         FullyAssocCache {
-            inner: SetAssocCache::new(geometry, policy.build(geometry)),
+            inner: SetAssocCache::new(geometry, policy),
         }
     }
 
@@ -101,10 +102,7 @@ impl<K: CacheKey + crate::policy::OracleKey, V> FullyAssocCache<K, V> {
     }
 }
 
-/// Alias so `FullyAssocCache::new` can take a [`crate::PolicyKind`] by value.
-pub type PolicyKindLike = crate::policy::PolicyKind;
-
-impl<K: CacheKey, V> fmt::Debug for FullyAssocCache<K, V> {
+impl<K, V> fmt::Debug for FullyAssocCache<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FullyAssocCache")
             .field("capacity", &self.inner.geometry().entries())

@@ -72,6 +72,29 @@ impl CacheGeometry {
     pub const fn is_fully_associative(self) -> bool {
         self.sets() == 1
     }
+
+    /// Returns `Some(sets - 1)` when the set count is a power of two, so the
+    /// set index `selector % sets` can be computed as `selector & mask`.
+    ///
+    /// All the paper's geometries (Table II) are powers of two; `None`
+    /// selects the modulo fallback.
+    pub const fn set_mask(self) -> Option<u64> {
+        let sets = self.sets();
+        if sets.is_power_of_two() {
+            Some((sets - 1) as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the set index for `selector`: `selector % sets`, computed via
+    /// [`CacheGeometry::set_mask`] when one exists.
+    pub fn set_index_of(self, selector: u64) -> usize {
+        match self.set_mask() {
+            Some(mask) => (selector & mask) as usize,
+            None => (selector % self.sets() as u64) as usize,
+        }
+    }
 }
 
 impl fmt::Display for CacheGeometry {
@@ -112,6 +135,36 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn rejects_zero_entries() {
         let _ = CacheGeometry::new(0, 1);
+    }
+
+    #[test]
+    fn mask_path_agrees_with_modulo() {
+        // Power-of-two set counts take the mask path; it must agree with
+        // plain modulo for every selector.
+        let selectors: Vec<u64> = (0..256)
+            .chain([u64::MAX, u64::MAX - 1, 1 << 33, (1 << 44) + 7])
+            .collect();
+        for g in [
+            CacheGeometry::new(64, 8),    // 8 sets (DevTLB)
+            CacheGeometry::new(512, 16),  // 32 sets (L2)
+            CacheGeometry::new(1024, 16), // 64 sets (L3)
+            CacheGeometry::fully_associative(8),
+        ] {
+            assert!(g.set_mask().is_some(), "{g} sets are a power of two");
+            for &s in &selectors {
+                assert_eq!(
+                    g.set_index_of(s),
+                    (s % g.sets() as u64) as usize,
+                    "{g} @ {s}"
+                );
+            }
+        }
+        // Non-power-of-two set counts fall back to modulo.
+        let ragged = CacheGeometry::new(12, 2); // 6 sets
+        assert_eq!(ragged.set_mask(), None);
+        for &s in &selectors {
+            assert_eq!(ragged.set_index_of(s), (s % 6) as usize);
+        }
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! (gPA → hPA) TLB, and HyperTRIO's fully-associative Prefetch Buffer — is an
 //! instance of the machinery in this crate:
 //!
-//! - [`SetAssocCache`]: a sets × ways associative cache with a pluggable
-//!   [`ReplacementPolicy`].
+//! - [`SetAssocCache`]: a sets × ways associative cache over one flat,
+//!   set-major slot slab, with a statically dispatched replacement policy
+//!   selected by [`PolicyKind`].
 //! - [`FullyAssocCache`]: the single-set special case.
 //! - [`PartitionedCache`]: HyperTRIO's P-DevTLB mechanism — rows carry a
 //!   partition tag (PTag) matched against the requesting tenant's SID, so a
@@ -14,8 +15,11 @@
 //!   rows.
 //!
 //! Replacement policies implement the paper's studied set: LRU, LFU with
-//! 4-bit saturating counters and row-wide halving ([`Lfu`]), FIFO, random,
-//! and the trace-fed Belady oracle ([`Belady`] + [`FutureOracle`]).
+//! 4-bit saturating counters and row-wide halving, FIFO, random, and the
+//! trace-fed Belady oracle (driven by a [`FutureOracle`]). Policy metadata
+//! lives in a flat array parallel to the slot slab, and every policy hook is
+//! an enum `match` rather than a virtual call, keeping the lookup/insert hot
+//! path allocation-free and inlinable (see DESIGN.md §"Flat-slab cache").
 //!
 //! # Examples
 //!
@@ -36,8 +40,7 @@
 //! }
 //!
 //! let geometry = CacheGeometry::new(64, 8); // 64 entries, 8-way (paper DevTLB)
-//! let mut tlb: SetAssocCache<PageKey, u64> =
-//!     SetAssocCache::new(geometry, PolicyKind::Lru.build(geometry));
+//! let mut tlb: SetAssocCache<PageKey, u64> = SetAssocCache::new(geometry, PolicyKind::Lru);
 //! assert_eq!(tlb.lookup(&PageKey(0x34800), 0), None);
 //! tlb.insert(PageKey(0x34800), 0xdead_b000, 0);
 //! assert_eq!(tlb.lookup(&PageKey(0x34800), 1), Some(&0xdead_b000));
@@ -58,9 +61,6 @@ pub use fully_assoc::FullyAssocCache;
 pub use geometry::CacheGeometry;
 pub use oracle::FutureOracle;
 pub use partitioned::{PartitionSpec, PartitionedCache};
-pub use policy::{
-    Belady, Fifo, FutureOracleErased, Lfu, Lru, OracleKey, PolicyKind, RandomEvict,
-    ReplacementPolicy,
-};
+pub use policy::{FutureOracleErased, OracleKey, PolicyKind};
 pub use set_assoc::{CacheKey, SetAssocCache};
 pub use stats::CacheStats;

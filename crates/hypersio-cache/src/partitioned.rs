@@ -157,7 +157,7 @@ impl<K: CacheKey + OracleKey, V> PartitionedCache<K, V> {
         );
         let rows_per_partition = (geometry.sets() / spec.partitions()) as u64;
         PartitionedCache {
-            inner: SetAssocCache::new(geometry, policy.build(geometry)),
+            inner: SetAssocCache::new(geometry, policy),
             spec,
             rows_per_partition,
         }

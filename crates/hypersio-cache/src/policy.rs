@@ -1,6 +1,12 @@
 //! Replacement policies: LRU, LFU (4-bit + halving), FIFO, random, Belady.
+//!
+//! Policies are statically dispatched: [`PolicyKind`] names a policy, and
+//! [`PolicyState`] holds its per-way metadata in one flat, set-major array
+//! (`set * ways + way`), matching the slot slab of
+//! [`crate::SetAssocCache`]. Every hook is a `match` on a five-variant enum
+//! instead of a virtual call, so the compiler can inline the hot
+//! lookup/insert/victim path.
 
-use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
 
@@ -9,41 +15,16 @@ use hypersio_types::SplitMix64;
 use crate::geometry::CacheGeometry;
 use crate::oracle::FutureOracle;
 
-/// A per-cache replacement policy, consulted by [`crate::SetAssocCache`].
-///
-/// Policies are stateful per (set, way). `now` is a monotonically increasing
-/// access index supplied by the caller (the simulator's trace position),
-/// which orders LRU/FIFO decisions and anchors the Belady oracle.
-///
-/// Implementations for all policies the paper studies are provided; build
-/// them through [`PolicyKind`] for runtime-configurable experiments.
-pub trait ReplacementPolicy<K>: fmt::Debug {
-    /// Records an access that hit at (`set`, `way`).
-    fn on_hit(&mut self, set: usize, way: usize, key: &K, now: u64);
-
-    /// Records a fill of a new entry at (`set`, `way`).
-    fn on_fill(&mut self, set: usize, way: usize, key: &K, now: u64);
-
-    /// Chooses the victim way in `set` when all ways are occupied.
-    ///
-    /// `occupants[way]` holds the key currently cached in each way; every
-    /// slot is `Some` when this is called.
-    fn victim(&mut self, set: usize, occupants: &[Option<K>], now: u64) -> usize;
-
-    /// Records the invalidation of (`set`, `way`).
-    fn on_invalidate(&mut self, set: usize, way: usize);
-}
-
 /// Enumerates the available replacement policies for configuration sweeps
 /// (Fig 11b compares LRU, LFU, and the oracle on the Base design).
 ///
 /// # Examples
 ///
 /// ```
-/// use hypersio_cache::{CacheGeometry, PolicyKind};
+/// use hypersio_cache::PolicyKind;
 ///
-/// let policy = PolicyKind::Lfu.build::<u64>(CacheGeometry::new(64, 8));
-/// assert!(format!("{policy:?}").contains("Lfu"));
+/// assert_eq!(PolicyKind::Lfu.name(), "LFU");
+/// assert_eq!(PolicyKind::Random { seed: 7 }.name(), "RAND");
 /// ```
 #[derive(Debug, Clone)]
 pub enum PolicyKind {
@@ -69,28 +50,6 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Builds a boxed policy instance sized for `geometry`.
-    ///
-    /// The box is `Send` so caches (and the simulations embedding them) can
-    /// migrate to sweep worker threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `PolicyKind::Oracle` is built for a key type other than the
-    /// one its oracle was erased from.
-    pub fn build<K: OracleKey>(
-        &self,
-        geometry: CacheGeometry,
-    ) -> Box<dyn ReplacementPolicy<K> + Send> {
-        match self {
-            PolicyKind::Lru => Box::new(Lru::new(geometry)),
-            PolicyKind::Lfu => Box::new(Lfu::new(geometry)),
-            PolicyKind::Fifo => Box::new(Fifo::new(geometry)),
-            PolicyKind::Random { seed } => Box::new(RandomEvict::new(*seed)),
-            PolicyKind::Oracle(oracle) => Box::new(Belady::new(Arc::clone(oracle))),
-        }
-    }
-
     /// Short name used in experiment output ("LRU", "LFU", "FIFO", "RAND",
     /// "oracle").
     pub fn name(&self) -> &'static str {
@@ -126,310 +85,260 @@ impl OracleKey for u64 {
     }
 }
 
-/// Least-recently-used replacement.
-#[derive(Debug)]
-pub struct Lru {
-    last_use: Vec<Vec<u64>>,
-}
-
-impl Lru {
-    /// Creates an LRU policy sized for `geometry`.
-    pub fn new(geometry: CacheGeometry) -> Self {
-        Lru {
-            last_use: vec![vec![0; geometry.ways()]; geometry.sets()],
-        }
-    }
-}
-
-impl<K> ReplacementPolicy<K> for Lru {
-    fn on_hit(&mut self, set: usize, way: usize, _key: &K, now: u64) {
-        self.last_use[set][way] = now + 1;
-    }
-
-    fn on_fill(&mut self, set: usize, way: usize, _key: &K, now: u64) {
-        self.last_use[set][way] = now + 1;
-    }
-
-    fn victim(&mut self, set: usize, _occupants: &[Option<K>], _now: u64) -> usize {
-        let row = &self.last_use[set];
-        (0..row.len()).min_by_key(|&w| row[w]).unwrap_or(0)
-    }
-
-    fn on_invalidate(&mut self, set: usize, way: usize) {
-        self.last_use[set][way] = 0;
-    }
-}
-
-/// Least-frequently-used replacement with 4-bit saturating counters.
-///
-/// Mirrors the paper's scheme: each entry has a 4-bit access counter; when
-/// any counter in a row saturates, every counter in that row is halved
-/// (§V-C, after RRIP-style counter ageing). Ties are broken by way index so
-/// the policy is deterministic.
-#[derive(Debug)]
-pub struct Lfu {
-    counters: Vec<Vec<u8>>,
-}
-
 /// Saturation point of the paper's 4-bit LFU counters.
 const LFU_MAX: u8 = 15;
 
-impl Lfu {
-    /// Creates an LFU policy sized for `geometry`.
-    pub fn new(geometry: CacheGeometry) -> Self {
-        Lfu {
-            counters: vec![vec![0; geometry.ways()]; geometry.sets()],
+/// Per-way replacement metadata, monomorphized over the policy set.
+///
+/// Metadata lives in one flat, set-major slab indexed by `set * ways + way`;
+/// hooks take the row base index (`set * ways`) so the LFU row-halving and
+/// the victim scans operate on a contiguous slice. `now` is a monotonically
+/// increasing access index supplied by the caller (the simulator's trace
+/// position), which orders LRU/FIFO decisions and anchors the Belady oracle.
+#[derive(Debug)]
+pub(crate) enum PolicyState {
+    /// LRU: last-use timestamps.
+    Lru { last_use: Box<[u64]> },
+    /// LFU: 4-bit saturating counters with row-wide halving (§V-C). Each
+    /// entry has a 4-bit access counter; when any counter in a row
+    /// saturates, every counter in that row is halved (after RRIP-style
+    /// counter ageing). Ties break to the lowest way so the policy is
+    /// deterministic.
+    Lfu { counters: Box<[u8]> },
+    /// FIFO: fill timestamps (victim = oldest fill; hits change nothing).
+    Fifo { filled_at: Box<[u64]> },
+    /// Uniform-random victim selection with a seeded RNG (deterministic
+    /// runs; exactly one draw per eviction).
+    Random { rng: SplitMix64 },
+    /// Belady's optimal replacement: evicts the occupant whose next use lies
+    /// farthest in the future; occupants never used again are evicted first.
+    Oracle { oracle: Arc<FutureOracleErased> },
+}
+
+impl PolicyState {
+    /// Builds metadata for `kind`, sized for `geometry`.
+    pub(crate) fn new(kind: &PolicyKind, geometry: CacheGeometry) -> Self {
+        let slots = geometry.entries();
+        match kind {
+            PolicyKind::Lru => PolicyState::Lru {
+                last_use: vec![0; slots].into_boxed_slice(),
+            },
+            PolicyKind::Lfu => PolicyState::Lfu {
+                counters: vec![0; slots].into_boxed_slice(),
+            },
+            PolicyKind::Fifo => PolicyState::Fifo {
+                filled_at: vec![0; slots].into_boxed_slice(),
+            },
+            PolicyKind::Random { seed } => PolicyState::Random {
+                rng: SplitMix64::new(*seed),
+            },
+            PolicyKind::Oracle(oracle) => PolicyState::Oracle {
+                oracle: Arc::clone(oracle),
+            },
         }
     }
 
-    fn bump(&mut self, set: usize, way: usize) {
-        let row = &mut self.counters[set];
-        if row[way] == LFU_MAX {
-            for c in row.iter_mut() {
-                *c /= 2;
+    /// Records an access that hit way `way` of the row starting at `base`.
+    #[inline]
+    pub(crate) fn on_hit(&mut self, base: usize, way: usize, ways: usize, now: u64) {
+        match self {
+            PolicyState::Lru { last_use } => last_use[base + way] = now + 1,
+            PolicyState::Lfu { counters } => lfu_bump(&mut counters[base..base + ways], way),
+            PolicyState::Fifo { .. } | PolicyState::Random { .. } | PolicyState::Oracle { .. } => {}
+        }
+    }
+
+    /// Records a fill of a new entry at way `way` of the row at `base`.
+    #[inline]
+    pub(crate) fn on_fill(&mut self, base: usize, way: usize, ways: usize, now: u64) {
+        match self {
+            PolicyState::Lru { last_use } => last_use[base + way] = now + 1,
+            PolicyState::Lfu { counters } => {
+                let row = &mut counters[base..base + ways];
+                row[way] = 0;
+                lfu_bump(row, way);
+            }
+            PolicyState::Fifo { filled_at } => filled_at[base + way] = now + 1,
+            PolicyState::Random { .. } | PolicyState::Oracle { .. } => {}
+        }
+    }
+
+    /// Chooses the victim way in the full row at `base` (`ways` occupants).
+    ///
+    /// `code_of(way)` returns the [`OracleKey::oracle_code`] of the occupant
+    /// of `way`; only the Belady arm calls it, so the other policies never
+    /// touch the keys at all.
+    #[inline]
+    pub(crate) fn victim<F>(&mut self, base: usize, ways: usize, now: u64, code_of: F) -> usize
+    where
+        F: Fn(usize) -> u64,
+    {
+        match self {
+            PolicyState::Lru { last_use } => min_way(&last_use[base..base + ways]),
+            PolicyState::Lfu { counters } => min_way(&counters[base..base + ways]),
+            PolicyState::Fifo { filled_at } => min_way(&filled_at[base..base + ways]),
+            PolicyState::Random { rng } => rng.index(ways),
+            PolicyState::Oracle { oracle } => {
+                let mut best_way = 0;
+                let mut best_next = 0u64; // farthest next use seen so far
+                for way in 0..ways {
+                    match oracle.next_use(&code_of(way), now) {
+                        None => return way, // never used again: perfect victim
+                        Some(next) => {
+                            if next > best_next {
+                                best_next = next;
+                                best_way = way;
+                            }
+                        }
+                    }
+                }
+                best_way
             }
         }
-        row[way] += 1;
+    }
+
+    /// Records the invalidation of slot `idx` (= `set * ways + way`).
+    #[inline]
+    pub(crate) fn on_invalidate(&mut self, idx: usize) {
+        match self {
+            PolicyState::Lru { last_use } => last_use[idx] = 0,
+            PolicyState::Lfu { counters } => counters[idx] = 0,
+            PolicyState::Fifo { filled_at } => filled_at[idx] = 0,
+            PolicyState::Random { .. } | PolicyState::Oracle { .. } => {}
+        }
     }
 
     #[cfg(test)]
-    fn counter(&self, set: usize, way: usize) -> u8 {
-        self.counters[set][way]
-    }
-}
-
-impl<K> ReplacementPolicy<K> for Lfu {
-    fn on_hit(&mut self, set: usize, way: usize, _key: &K, _now: u64) {
-        self.bump(set, way);
-    }
-
-    fn on_fill(&mut self, set: usize, way: usize, _key: &K, _now: u64) {
-        self.counters[set][way] = 0;
-        self.bump(set, way);
-    }
-
-    fn victim(&mut self, set: usize, _occupants: &[Option<K>], _now: u64) -> usize {
-        let row = &self.counters[set];
-        (0..row.len()).min_by_key(|&w| row[w]).unwrap_or(0)
-    }
-
-    fn on_invalidate(&mut self, set: usize, way: usize) {
-        self.counters[set][way] = 0;
-    }
-}
-
-/// First-in first-out replacement (victim = oldest fill).
-#[derive(Debug)]
-pub struct Fifo {
-    filled_at: Vec<Vec<u64>>,
-}
-
-impl Fifo {
-    /// Creates a FIFO policy sized for `geometry`.
-    pub fn new(geometry: CacheGeometry) -> Self {
-        Fifo {
-            filled_at: vec![vec![0; geometry.ways()]; geometry.sets()],
+    fn lfu_counter(&self, idx: usize) -> u8 {
+        match self {
+            PolicyState::Lfu { counters } => counters[idx],
+            _ => panic!("not an LFU policy"),
         }
     }
 }
 
-impl<K> ReplacementPolicy<K> for Fifo {
-    fn on_hit(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
-
-    fn on_fill(&mut self, set: usize, way: usize, _key: &K, now: u64) {
-        self.filled_at[set][way] = now + 1;
-    }
-
-    fn victim(&mut self, set: usize, _occupants: &[Option<K>], _now: u64) -> usize {
-        let row = &self.filled_at[set];
-        (0..row.len()).min_by_key(|&w| row[w]).unwrap_or(0)
-    }
-
-    fn on_invalidate(&mut self, set: usize, way: usize) {
-        self.filled_at[set][way] = 0;
-    }
-}
-
-/// Uniform-random victim selection with a seeded RNG (deterministic runs).
-pub struct RandomEvict {
-    rng: SplitMix64,
-}
-
-impl RandomEvict {
-    /// Creates a random policy with the given seed.
-    pub fn new(seed: u64) -> Self {
-        RandomEvict {
-            rng: SplitMix64::new(seed),
+/// Bumps the LFU counter of `way`, halving the whole row first when it is
+/// already saturated.
+#[inline]
+fn lfu_bump(row: &mut [u8], way: usize) {
+    if row[way] == LFU_MAX {
+        for c in row.iter_mut() {
+            *c /= 2;
         }
     }
+    row[way] += 1;
 }
 
-impl fmt::Debug for RandomEvict {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("RandomEvict").finish_non_exhaustive()
-    }
-}
-
-impl<K> ReplacementPolicy<K> for RandomEvict {
-    fn on_hit(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
-
-    fn on_fill(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
-
-    fn victim(&mut self, _set: usize, occupants: &[Option<K>], _now: u64) -> usize {
-        self.rng.index(occupants.len())
-    }
-
-    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
-}
-
-/// Belady's optimal replacement, driven by a [`FutureOracle`].
-///
-/// Evicts the occupant whose next use lies farthest in the future; occupants
-/// never used again are evicted first. This requires the caller to pass the
-/// trace position as `now` on every cache access.
-#[derive(Debug)]
-pub struct Belady {
-    oracle: Arc<FutureOracleErased>,
-}
-
-impl Belady {
-    /// Creates a Belady policy over a shared future-access oracle.
-    pub fn new(oracle: Arc<FutureOracleErased>) -> Self {
-        Belady { oracle }
-    }
-}
-
-impl<K: OracleKey> ReplacementPolicy<K> for Belady {
-    fn on_hit(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
-
-    fn on_fill(&mut self, _set: usize, _way: usize, _key: &K, _now: u64) {}
-
-    fn victim(&mut self, _set: usize, occupants: &[Option<K>], now: u64) -> usize {
-        let mut best_way = 0;
-        let mut best_next = 0u64; // farthest next use seen so far
-        for (way, occ) in occupants.iter().enumerate() {
-            let key = occ
-                .as_ref()
-                .expect("victim called with a vacant way; fill should use the vacancy");
-            match self.oracle.next_use(&key.oracle_code(), now) {
-                None => return way, // never used again: perfect victim
-                Some(next) => {
-                    if next > best_next {
-                        best_next = next;
-                        best_way = way;
-                    }
-                }
-            }
-        }
-        best_way
-    }
-
-    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+/// Returns the way with the minimum metadata value, ties to the lowest way.
+#[inline]
+fn min_way<T: Ord + Copy>(row: &[T]) -> usize {
+    (0..row.len()).min_by_key(|&w| row[w]).unwrap_or(0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const WAYS: usize = 4;
+
     fn geom() -> CacheGeometry {
-        CacheGeometry::new(8, 4)
+        CacheGeometry::new(8, WAYS)
+    }
+
+    fn no_codes(_: usize) -> u64 {
+        unreachable!("only the oracle consults occupant codes")
     }
 
     #[test]
     fn lru_victim_is_least_recent() {
-        let mut lru = Lru::new(geom());
-        for way in 0..4 {
-            ReplacementPolicy::<u64>::on_fill(&mut lru, 0, way, &0, way as u64);
+        let mut lru = PolicyState::new(&PolicyKind::Lru, geom());
+        for way in 0..WAYS {
+            lru.on_fill(0, way, WAYS, way as u64);
         }
-        ReplacementPolicy::<u64>::on_hit(&mut lru, 0, 0, &0, 10);
-        let occ = vec![Some(0u64); 4];
-        assert_eq!(lru.victim(0, &occ, 11), 1);
+        lru.on_hit(0, 0, WAYS, 10);
+        assert_eq!(lru.victim(0, WAYS, 11, no_codes), 1);
     }
 
     #[test]
     fn lru_sets_are_independent() {
-        let mut lru = Lru::new(geom());
-        ReplacementPolicy::<u64>::on_fill(&mut lru, 0, 3, &0, 100);
-        let occ = vec![Some(0u64); 4];
-        // Set 1 untouched: victim is way 0.
-        assert_eq!(lru.victim(1, &occ, 101), 0);
+        let mut lru = PolicyState::new(&PolicyKind::Lru, geom());
+        lru.on_fill(0, 3, WAYS, 100);
+        // Set 1 (row base 4) untouched: victim is way 0.
+        assert_eq!(lru.victim(WAYS, WAYS, 101, no_codes), 0);
     }
 
     #[test]
     fn lfu_victim_is_least_frequent() {
-        let mut lfu = Lfu::new(geom());
-        for way in 0..4 {
-            ReplacementPolicy::<u64>::on_fill(&mut lfu, 0, way, &0, 0);
+        let mut lfu = PolicyState::new(&PolicyKind::Lfu, geom());
+        for way in 0..WAYS {
+            lfu.on_fill(0, way, WAYS, 0);
         }
         for _ in 0..5 {
-            ReplacementPolicy::<u64>::on_hit(&mut lfu, 0, 2, &0, 0);
+            lfu.on_hit(0, 2, WAYS, 0);
         }
-        ReplacementPolicy::<u64>::on_hit(&mut lfu, 0, 1, &0, 0);
-        let occ = vec![Some(0u64); 4];
-        let v = lfu.victim(0, &occ, 0);
+        lfu.on_hit(0, 1, WAYS, 0);
+        let v = lfu.victim(0, WAYS, 0, no_codes);
         assert!(v == 0 || v == 3, "ways 0 and 3 have count 1, got {v}");
         assert_eq!(v, 0, "tie broken by lowest way index");
     }
 
     #[test]
     fn lfu_halves_row_on_saturation() {
-        let mut lfu = Lfu::new(geom());
-        ReplacementPolicy::<u64>::on_fill(&mut lfu, 0, 0, &0, 0);
-        ReplacementPolicy::<u64>::on_fill(&mut lfu, 0, 1, &0, 0);
+        let mut lfu = PolicyState::new(&PolicyKind::Lfu, geom());
+        lfu.on_fill(0, 0, WAYS, 0);
+        lfu.on_fill(0, 1, WAYS, 0);
         for _ in 0..14 {
-            ReplacementPolicy::<u64>::on_hit(&mut lfu, 0, 0, &0, 0);
+            lfu.on_hit(0, 0, WAYS, 0);
         }
-        assert_eq!(lfu.counter(0, 0), 15);
-        assert_eq!(lfu.counter(0, 1), 1);
+        assert_eq!(lfu.lfu_counter(0), 15);
+        assert_eq!(lfu.lfu_counter(1), 1);
         // Next hit saturates way 0: the whole row is halved first.
-        ReplacementPolicy::<u64>::on_hit(&mut lfu, 0, 0, &0, 0);
-        assert_eq!(lfu.counter(0, 0), 8);
-        assert_eq!(lfu.counter(0, 1), 0);
+        lfu.on_hit(0, 0, WAYS, 0);
+        assert_eq!(lfu.lfu_counter(0), 8);
+        assert_eq!(lfu.lfu_counter(1), 0);
     }
 
     #[test]
     fn fifo_ignores_hits() {
-        let mut fifo = Fifo::new(geom());
-        for way in 0..4 {
-            ReplacementPolicy::<u64>::on_fill(&mut fifo, 0, way, &0, way as u64);
+        let mut fifo = PolicyState::new(&PolicyKind::Fifo, geom());
+        for way in 0..WAYS {
+            fifo.on_fill(0, way, WAYS, way as u64);
         }
         // Hitting way 0 repeatedly must not save it.
         for now in 10..20 {
-            ReplacementPolicy::<u64>::on_hit(&mut fifo, 0, 0, &0, now);
+            fifo.on_hit(0, 0, WAYS, now);
         }
-        let occ = vec![Some(0u64); 4];
-        assert_eq!(fifo.victim(0, &occ, 20), 0);
+        assert_eq!(fifo.victim(0, WAYS, 20, no_codes), 0);
     }
 
     #[test]
     fn random_is_deterministic_per_seed() {
-        let occ = vec![Some(0u64); 4];
         let picks = |seed| {
-            let mut r = RandomEvict::new(seed);
+            let mut r = PolicyState::new(&PolicyKind::Random { seed }, geom());
             (0..16)
-                .map(|_| ReplacementPolicy::<u64>::victim(&mut r, 0, &occ, 0))
+                .map(|_| r.victim(0, WAYS, 0, no_codes))
                 .collect::<Vec<_>>()
         };
         assert_eq!(picks(7), picks(7));
-        assert!(picks(7).iter().all(|&w| w < 4));
+        assert!(picks(7).iter().all(|&w| w < WAYS));
     }
 
     #[test]
     fn belady_prefers_never_reused() {
         // Sequence: keys 1,2,3,4 then 1,2,3 again (key 4 never reused).
         let oracle = Arc::new(FutureOracle::from_sequence(vec![1u64, 2, 3, 4, 1, 2, 3]));
-        let mut belady = Belady::new(oracle);
-        let occ = vec![Some(1u64), Some(2), Some(3), Some(4)];
-        assert_eq!(belady.victim(0, &occ, 3), 3);
+        let mut belady = PolicyState::new(&PolicyKind::Oracle(oracle), geom());
+        let occupants = [1u64, 2, 3, 4];
+        assert_eq!(belady.victim(0, WAYS, 3, |w| occupants[w]), 3);
     }
 
     #[test]
     fn belady_evicts_farthest_next_use() {
         // After position 0: 1 used at 4, 2 at 5, 3 at 6 -> evict 3.
         let oracle = Arc::new(FutureOracle::from_sequence(vec![9u64, 8, 7, 6, 1, 2, 3]));
-        let mut belady = Belady::new(oracle);
-        let occ = vec![Some(1u64), Some(2), Some(3)];
-        assert_eq!(belady.victim(0, &occ, 0), 2);
+        let mut belady = PolicyState::new(&PolicyKind::Oracle(oracle), geom());
+        let occupants = [1u64, 2, 3];
+        assert_eq!(belady.victim(0, 3, 0, |w| occupants[w]), 2);
     }
 
     #[test]
@@ -446,7 +355,8 @@ mod tests {
             ),
         ] {
             assert_eq!(kind.name(), name);
-            let _policy = kind.build::<u64>(g);
+            let state = PolicyState::new(&kind, g);
+            assert!(format!("{state:?}").len() > 2);
         }
     }
 }

@@ -1,10 +1,10 @@
-//! Generic set-associative cache.
+//! Generic set-associative cache over a flat, set-major slot slab.
 
 use std::fmt;
 use std::hash::Hash;
 
 use crate::geometry::CacheGeometry;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{OracleKey, PolicyKind, PolicyState};
 use crate::stats::CacheStats;
 
 /// Keys insertable into the caches of this crate.
@@ -24,7 +24,13 @@ struct Entry<K, V> {
     value: V,
 }
 
-/// A sets × ways associative cache with a pluggable replacement policy.
+/// A sets × ways associative cache with a statically dispatched replacement
+/// policy.
+///
+/// Slots live in one contiguous, set-major slab (`set * ways + way`), with
+/// the policy metadata in a parallel flat array — no per-set `Vec`s, no
+/// boxed policy object, and no allocation on the lookup/insert path (victim
+/// selection consults the occupants in place).
 ///
 /// All lookups and insertions take `now`, a monotonically increasing access
 /// index (the simulator's trace position) that orders LRU/FIFO decisions and
@@ -49,7 +55,7 @@ struct Entry<K, V> {
 /// }
 ///
 /// let g = CacheGeometry::new(4, 2);
-/// let mut cache: SetAssocCache<Vpn, &str> = SetAssocCache::new(g, PolicyKind::Lru.build(g));
+/// let mut cache: SetAssocCache<Vpn, &str> = SetAssocCache::new(g, PolicyKind::Lru);
 /// cache.insert(Vpn(0), "a", 0);
 /// cache.insert(Vpn(2), "b", 1); // same set (2 sets), second way
 /// let evicted = cache.insert(Vpn(4), "c", 2); // set full: LRU evicts Vpn(0)
@@ -57,22 +63,28 @@ struct Entry<K, V> {
 /// ```
 pub struct SetAssocCache<K, V> {
     geometry: CacheGeometry,
-    sets: Vec<Vec<Option<Entry<K, V>>>>,
-    policy: Box<dyn ReplacementPolicy<K> + Send>,
+    /// `Some(sets - 1)` when the set count is a power of two (all paper
+    /// geometries are), so `set_index` is a mask instead of a division.
+    set_mask: Option<u64>,
+    /// Set-major slot slab: slot `set * ways + way`.
+    slots: Box<[Option<Entry<K, V>>]>,
+    policy: PolicyState,
     stats: CacheStats,
+    occupied: usize,
 }
 
-impl<K: CacheKey, V> SetAssocCache<K, V> {
+impl<K, V> SetAssocCache<K, V> {
     /// Creates an empty cache with the given geometry and policy.
-    pub fn new(geometry: CacheGeometry, policy: Box<dyn ReplacementPolicy<K> + Send>) -> Self {
-        let sets = (0..geometry.sets())
-            .map(|_| (0..geometry.ways()).map(|_| None).collect())
-            .collect();
+    pub fn new(geometry: CacheGeometry, policy: PolicyKind) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(geometry.entries(), || None);
         SetAssocCache {
             geometry,
-            sets,
-            policy,
+            set_mask: geometry.set_mask(),
+            slots: slots.into_boxed_slice(),
+            policy: PolicyState::new(&policy, geometry),
             stats: CacheStats::new(),
+            occupied: 0,
         }
     }
 
@@ -91,23 +103,64 @@ impl<K: CacheKey, V> SetAssocCache<K, V> {
         self.stats.reset();
     }
 
+    /// Removes every entry (statistics are kept).
+    pub fn clear(&mut self) {
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if slot.take().is_some() {
+                self.policy.on_invalidate(idx);
+            }
+        }
+        self.occupied = 0;
+    }
+
+    /// Returns the number of occupied entries (tracked, O(1)).
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Returns true if no entries are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Iterates over all occupied `(key, value)` pairs in set/way order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(|e| (&e.key, &e.value)))
+    }
+}
+
+impl<K: CacheKey + OracleKey, V> SetAssocCache<K, V> {
+    #[inline]
     fn set_index(&self, key: &K) -> usize {
-        (key.set_selector() % self.geometry.sets() as u64) as usize
+        let selector = key.set_selector();
+        match self.set_mask {
+            Some(mask) => (selector & mask) as usize,
+            None => (selector % self.geometry.sets() as u64) as usize,
+        }
+    }
+
+    /// Returns the slab index of the first slot of `key`'s row.
+    #[inline]
+    fn row_base(&self, key: &K) -> usize {
+        self.set_index(key) * self.geometry.ways()
     }
 
     /// Looks up `key`, recording a hit or miss and updating policy state.
     ///
     /// Returns the cached value on a hit.
     pub fn lookup(&mut self, key: &K, now: u64) -> Option<&V> {
-        let set = self.set_index(key);
-        let way = self.sets[set]
+        let ways = self.geometry.ways();
+        let base = self.row_base(key);
+        let way = self.slots[base..base + ways]
             .iter()
             .position(|slot| slot.as_ref().is_some_and(|e| &e.key == key));
         match way {
             Some(way) => {
                 self.stats.record_hit();
-                self.policy.on_hit(set, way, key, now);
-                self.sets[set][way].as_ref().map(|e| &e.value)
+                self.policy.on_hit(base, way, ways, now);
+                self.slots[base + way].as_ref().map(|e| &e.value)
             }
             None => {
                 self.stats.record_miss();
@@ -118,8 +171,8 @@ impl<K: CacheKey, V> SetAssocCache<K, V> {
 
     /// Returns the cached value without touching statistics or policy state.
     pub fn peek(&self, key: &K) -> Option<&V> {
-        let set = self.set_index(key);
-        self.sets[set]
+        let base = self.row_base(key);
+        self.slots[base..base + self.geometry.ways()]
             .iter()
             .find_map(|slot| slot.as_ref().filter(|e| &e.key == key).map(|e| &e.value))
     }
@@ -134,92 +187,65 @@ impl<K: CacheKey, V> SetAssocCache<K, V> {
     /// Returns the evicted entry, if any. Re-inserting a present key updates
     /// its value in place (no eviction, counted as a fill).
     pub fn insert(&mut self, key: K, value: V, now: u64) -> Option<(K, V)> {
-        let set = self.set_index(&key);
+        let ways = self.geometry.ways();
+        let base = self.row_base(&key);
         self.stats.record_fill();
+        let row = &mut self.slots[base..base + ways];
 
         // Update in place if present.
-        if let Some(way) = self.sets[set]
+        if let Some(way) = row
             .iter()
             .position(|slot| slot.as_ref().is_some_and(|e| e.key == key))
         {
-            self.policy.on_fill(set, way, &key, now);
-            let old = self.sets[set][way].replace(Entry { key, value });
+            self.policy.on_fill(base, way, ways, now);
+            let old = row[way].replace(Entry { key, value });
             debug_assert!(old.is_some());
             return None;
         }
 
         // Use a vacant way if there is one.
-        if let Some(way) = self.sets[set].iter().position(Option::is_none) {
-            self.policy.on_fill(set, way, &key, now);
-            self.sets[set][way] = Some(Entry { key, value });
+        if let Some(way) = row.iter().position(Option::is_none) {
+            self.policy.on_fill(base, way, ways, now);
+            row[way] = Some(Entry { key, value });
+            self.occupied += 1;
             return None;
         }
 
-        // Set is full: ask the policy for a victim.
-        let occupants: Vec<Option<K>> = self.sets[set]
-            .iter()
-            .map(|slot| slot.as_ref().map(|e| e.key.clone()))
-            .collect();
-        let way = self.policy.victim(set, &occupants, now);
-        assert!(
-            way < self.geometry.ways(),
-            "policy returned out-of-range victim way {way}"
-        );
+        // Set is full: pick the victim in place (no occupant snapshot, no
+        // key clones — the oracle reads codes straight out of the slab).
+        let (slots, policy) = (&self.slots, &mut self.policy);
+        let way = policy.victim(base, ways, now, |w| {
+            slots[base + w]
+                .as_ref()
+                .expect("victim consulted on a full set")
+                .key
+                .oracle_code()
+        });
+        assert!(way < ways, "policy returned out-of-range victim way {way}");
         self.stats.record_eviction();
-        self.policy.on_fill(set, way, &key, now);
-        let evicted = self.sets[set][way].replace(Entry { key, value });
+        self.policy.on_fill(base, way, ways, now);
+        let evicted = self.slots[base + way].replace(Entry { key, value });
         evicted.map(|e| (e.key, e.value))
     }
 
     /// Removes `key` if present, returning its value.
     pub fn invalidate(&mut self, key: &K) -> Option<V> {
-        let set = self.set_index(key);
-        let way = self.sets[set]
+        let base = self.row_base(key);
+        let way = self.slots[base..base + self.geometry.ways()]
             .iter()
             .position(|slot| slot.as_ref().is_some_and(|e| &e.key == key))?;
         self.stats.record_invalidation();
-        self.policy.on_invalidate(set, way);
-        self.sets[set][way].take().map(|e| e.value)
-    }
-
-    /// Removes every entry (statistics are kept).
-    pub fn clear(&mut self) {
-        for (set, row) in self.sets.iter_mut().enumerate() {
-            for (way, slot) in row.iter_mut().enumerate() {
-                if slot.take().is_some() {
-                    self.policy.on_invalidate(set, way);
-                }
-            }
-        }
-    }
-
-    /// Returns the number of occupied entries.
-    pub fn len(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|row| row.iter().filter(|s| s.is_some()).count())
-            .sum()
-    }
-
-    /// Returns true if no entries are occupied.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Iterates over all occupied `(key, value)` pairs in set/way order.
-    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.sets
-            .iter()
-            .flat_map(|row| row.iter())
-            .filter_map(|slot| slot.as_ref().map(|e| (&e.key, &e.value)))
+        self.policy.on_invalidate(base + way);
+        self.occupied -= 1;
+        self.slots[base + way].take().map(|e| e.value)
     }
 }
 
-impl<K: CacheKey, V> fmt::Debug for SetAssocCache<K, V> {
+impl<K, V> fmt::Debug for SetAssocCache<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SetAssocCache")
             .field("geometry", &self.geometry)
-            .field("occupied", &self.len())
+            .field("occupied", &self.occupied)
             .field("stats", &self.stats)
             .finish()
     }
@@ -237,8 +263,7 @@ mod tests {
     use crate::policy::PolicyKind;
 
     fn lru_cache(entries: usize, ways: usize) -> SetAssocCache<u64, u64> {
-        let g = CacheGeometry::new(entries, ways);
-        SetAssocCache::new(g, PolicyKind::Lru.build(g))
+        SetAssocCache::new(CacheGeometry::new(entries, ways), PolicyKind::Lru)
     }
 
     #[test]
@@ -261,6 +286,18 @@ mod tests {
         assert!(c.contains(&5));
         assert!(c.contains(&9));
         assert_eq!(c.stats().evictions(), 1);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_fall_back_to_modulo() {
+        let mut c = lru_cache(12, 2); // 6 sets: modulo path
+        assert_eq!(c.set_mask, None);
+        c.insert(1, 1, 0);
+        c.insert(7, 7, 1); // 7 % 6 == 1: same set as key 1
+        c.insert(13, 13, 2); // evicts 1 (LRU)
+        assert!(!c.contains(&1));
+        assert!(c.contains(&7));
+        assert!(c.contains(&13));
     }
 
     #[test]
@@ -347,6 +384,26 @@ mod tests {
     fn full_cache_capacity_is_respected() {
         let mut c = lru_cache(8, 4);
         for k in 0..100u64 {
+            c.insert(k, k, k);
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn len_tracks_fill_invalidate_clear() {
+        let mut c = lru_cache(8, 2);
+        assert_eq!(c.len(), 0);
+        c.insert(1, 1, 0);
+        c.insert(2, 2, 1);
+        assert_eq!(c.len(), 2);
+        c.insert(1, 11, 2); // in-place update: occupancy unchanged
+        assert_eq!(c.len(), 2);
+        c.invalidate(&2);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert_eq!(c.len(), 0);
+        // Evicting replacements keep occupancy at capacity.
+        for k in 0..20u64 {
             c.insert(k, k, k);
         }
         assert_eq!(c.len(), 8);

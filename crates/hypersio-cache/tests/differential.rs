@@ -1,0 +1,412 @@
+//! Differential testing of the flat-slab cache against a naive reference.
+//!
+//! The reference model retains the pre-flattening design — per-set `Vec`s of
+//! occupants with per-set policy metadata, written for obviousness rather
+//! than speed — and the suite replays seeded SplitMix64 op streams
+//! (lookup / insert / invalidate / clear) through both implementations,
+//! asserting identical results after every operation: hit values, evicted
+//! pairs, invalidation results, occupancy, and final statistics. Every
+//! replacement policy is exercised over both a set-associative and a
+//! fully-associative geometry, plus a non-power-of-two set count to pin the
+//! mask and modulo index paths to each other.
+
+use std::sync::Arc;
+
+use hypersio_cache::{CacheGeometry, FullyAssocCache, FutureOracle, PolicyKind, SetAssocCache};
+use hypersio_types::SplitMix64;
+
+const LFU_MAX: u8 = 15;
+
+/// Naive per-set replacement metadata, mirroring the documented policy
+/// semantics independently of the production enum.
+enum RefPolicy {
+    Lru { last_use: Vec<Vec<u64>> },
+    Lfu { counters: Vec<Vec<u8>> },
+    Fifo { filled_at: Vec<Vec<u64>> },
+    Random { rng: SplitMix64 },
+    Oracle { oracle: Arc<FutureOracle<u64>> },
+}
+
+impl RefPolicy {
+    fn new(kind: &PolicyKind, sets: usize, ways: usize) -> Self {
+        let grid = || vec![vec![0u64; ways]; sets];
+        match kind {
+            PolicyKind::Lru => RefPolicy::Lru { last_use: grid() },
+            PolicyKind::Lfu => RefPolicy::Lfu {
+                counters: vec![vec![0u8; ways]; sets],
+            },
+            PolicyKind::Fifo => RefPolicy::Fifo { filled_at: grid() },
+            PolicyKind::Random { seed } => RefPolicy::Random {
+                rng: SplitMix64::new(*seed),
+            },
+            PolicyKind::Oracle(oracle) => RefPolicy::Oracle {
+                oracle: Arc::clone(oracle),
+            },
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, now: u64) {
+        match self {
+            RefPolicy::Lru { last_use } => last_use[set][way] = now + 1,
+            RefPolicy::Lfu { counters } => lfu_bump(&mut counters[set], way),
+            RefPolicy::Fifo { .. } | RefPolicy::Random { .. } | RefPolicy::Oracle { .. } => {}
+        }
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, now: u64) {
+        match self {
+            RefPolicy::Lru { last_use } => last_use[set][way] = now + 1,
+            RefPolicy::Lfu { counters } => {
+                counters[set][way] = 0;
+                lfu_bump(&mut counters[set], way);
+            }
+            RefPolicy::Fifo { filled_at } => filled_at[set][way] = now + 1,
+            RefPolicy::Random { .. } | RefPolicy::Oracle { .. } => {}
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        match self {
+            RefPolicy::Lru { last_use } => last_use[set][way] = 0,
+            RefPolicy::Lfu { counters } => counters[set][way] = 0,
+            RefPolicy::Fifo { filled_at } => filled_at[set][way] = 0,
+            RefPolicy::Random { .. } | RefPolicy::Oracle { .. } => {}
+        }
+    }
+
+    /// Victim way for a full set (occupants given in way order).
+    fn victim(&mut self, set: usize, occupants: &[u64], now: u64) -> usize {
+        match self {
+            RefPolicy::Lru { last_use } => min_way(&last_use[set]),
+            RefPolicy::Lfu { counters } => min_way(&counters[set]),
+            RefPolicy::Fifo { filled_at } => min_way(&filled_at[set]),
+            RefPolicy::Random { rng } => rng.index(occupants.len()),
+            RefPolicy::Oracle { oracle } => {
+                let mut best = 0usize;
+                let mut best_next = 0u64;
+                for (way, key) in occupants.iter().enumerate() {
+                    match oracle.next_use(key, now) {
+                        None => return way,
+                        Some(next) if next > best_next => {
+                            best = way;
+                            best_next = next;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+fn lfu_bump(row: &mut [u8], way: usize) {
+    if row[way] == LFU_MAX {
+        for c in row.iter_mut() {
+            *c /= 2;
+        }
+    }
+    row[way] += 1;
+}
+
+fn min_way<T: Ord + Copy>(row: &[T]) -> usize {
+    (0..row.len()).min_by_key(|&w| row[w]).unwrap_or(0)
+}
+
+/// The retained naive cache: nested `Vec`s, one set per row, scan-in-order
+/// semantics spelled out longhand.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Vec<Option<(u64, u64)>>>,
+    policy: RefPolicy,
+    hits: u64,
+    misses: u64,
+    fills: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize, kind: &PolicyKind) -> Self {
+        RefCache {
+            sets,
+            ways,
+            slots: vec![vec![None; ways]; sets],
+            policy: RefPolicy::new(kind, sets, ways),
+            hits: 0,
+            misses: 0,
+            fills: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (key % self.sets as u64) as usize
+    }
+
+    fn lookup(&mut self, key: u64, now: u64) -> Option<u64> {
+        let set = self.set_of(key);
+        for way in 0..self.ways {
+            if let Some((k, v)) = self.slots[set][way] {
+                if k == key {
+                    self.hits += 1;
+                    self.policy.on_hit(set, way, now);
+                    return Some(v);
+                }
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    fn insert(&mut self, key: u64, value: u64, now: u64) -> Option<(u64, u64)> {
+        let set = self.set_of(key);
+        self.fills += 1;
+        for way in 0..self.ways {
+            if self.slots[set][way].is_some_and(|(k, _)| k == key) {
+                self.policy.on_fill(set, way, now);
+                self.slots[set][way] = Some((key, value));
+                return None;
+            }
+        }
+        for way in 0..self.ways {
+            if self.slots[set][way].is_none() {
+                self.policy.on_fill(set, way, now);
+                self.slots[set][way] = Some((key, value));
+                return None;
+            }
+        }
+        let occupants: Vec<u64> = self.slots[set]
+            .iter()
+            .map(|slot| slot.expect("set is full").0)
+            .collect();
+        let way = self.policy.victim(set, &occupants, now);
+        self.evictions += 1;
+        self.policy.on_fill(set, way, now);
+        self.slots[set][way].replace((key, value))
+    }
+
+    fn invalidate(&mut self, key: u64) -> Option<u64> {
+        let set = self.set_of(key);
+        for way in 0..self.ways {
+            if self.slots[set][way].is_some_and(|(k, _)| k == key) {
+                self.invalidations += 1;
+                self.policy.on_invalidate(set, way);
+                return self.slots[set][way].take().map(|(_, v)| v);
+            }
+        }
+        None
+    }
+
+    fn clear(&mut self) {
+        for set in 0..self.sets {
+            for way in 0..self.ways {
+                if self.slots[set][way].take().is_some() {
+                    self.policy.on_invalidate(set, way);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .flat_map(|row| row.iter())
+            .filter(|slot| slot.is_some())
+            .count()
+    }
+}
+
+/// Uniform driver over the two production cache shapes.
+enum Subject {
+    SetAssoc(SetAssocCache<u64, u64>),
+    FullyAssoc(FullyAssocCache<u64, u64>),
+}
+
+impl Subject {
+    fn lookup(&mut self, key: u64, now: u64) -> Option<u64> {
+        match self {
+            Subject::SetAssoc(c) => c.lookup(&key, now).copied(),
+            Subject::FullyAssoc(c) => c.lookup(&key, now).copied(),
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: u64, now: u64) -> Option<(u64, u64)> {
+        match self {
+            Subject::SetAssoc(c) => c.insert(key, value, now),
+            Subject::FullyAssoc(c) => c.insert(key, value, now),
+        }
+    }
+
+    fn invalidate(&mut self, key: u64) -> Option<u64> {
+        match self {
+            Subject::SetAssoc(c) => c.invalidate(&key),
+            Subject::FullyAssoc(c) => c.invalidate(&key),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Subject::SetAssoc(c) => c.clear(),
+            Subject::FullyAssoc(c) => c.clear(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Subject::SetAssoc(c) => c.len(),
+            Subject::FullyAssoc(c) => c.len(),
+        }
+    }
+
+    fn stats(&self) -> hypersio_cache::CacheStats {
+        match self {
+            Subject::SetAssoc(c) => *c.stats(),
+            Subject::FullyAssoc(c) => *c.stats(),
+        }
+    }
+
+    fn sorted_contents(&self) -> Vec<(u64, u64)> {
+        let mut pairs: Vec<(u64, u64)> = match self {
+            Subject::SetAssoc(c) => c.iter().map(|(k, v)| (*k, *v)).collect(),
+            Subject::FullyAssoc(c) => c.iter().map(|(k, v)| (*k, *v)).collect(),
+        };
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+/// Shapes exercised: paper DevTLB, small conflict-heavy, ragged (modulo
+/// path), and the fully-associative PB.
+const GEOMETRIES: &[(usize, usize, bool)] = &[
+    (64, 8, false), // paper DevTLB (pow2 sets: mask path)
+    (8, 2, false),  // 4 sets, heavy conflicts
+    (12, 2, false), // 6 sets: non-pow2, modulo path
+    (8, 8, true),   // fully-associative 8-entry PB
+];
+
+fn policies(oracle: &Arc<FutureOracle<u64>>) -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Lru,
+        PolicyKind::Lfu,
+        PolicyKind::Fifo,
+        PolicyKind::Random { seed: 0x5eed },
+        PolicyKind::Oracle(Arc::clone(oracle)),
+    ]
+}
+
+/// Replays one seeded op stream through both implementations, comparing
+/// after every operation.
+fn run_differential(seed: u64, ops: usize) {
+    // Key universe sized to force both conflicts and vacancies.
+    let key_space = 96u64;
+    // The oracle indexes an arbitrary fixed future-access sequence; both
+    // sides share the same Arc, as the simulator does.
+    let mut seq_rng = SplitMix64::new(seed ^ 0x0bad_cafe);
+    let sequence: Vec<u64> = (0..4096).map(|_| seq_rng.below(key_space)).collect();
+    let oracle = Arc::new(FutureOracle::from_sequence(sequence));
+
+    for &(entries, ways, fully_assoc) in GEOMETRIES {
+        for policy in policies(&oracle) {
+            let name = policy.name();
+            let (subject, sets) = if fully_assoc {
+                (
+                    Subject::FullyAssoc(FullyAssocCache::new(entries, policy.clone())),
+                    1,
+                )
+            } else {
+                (
+                    Subject::SetAssoc(SetAssocCache::new(
+                        CacheGeometry::new(entries, ways),
+                        policy.clone(),
+                    )),
+                    entries / ways,
+                )
+            };
+            let mut subject = subject;
+            let mut reference =
+                RefCache::new(sets, if fully_assoc { entries } else { ways }, &policy);
+
+            let mut rng = SplitMix64::new(seed);
+            for now in 0..ops as u64 {
+                let ctx = format!(
+                    "policy={name} entries={entries} ways={ways} fa={fully_assoc} seed={seed} op={now}"
+                );
+                let key = rng.below(key_space);
+                match rng.below(100) {
+                    0..=39 => {
+                        assert_eq!(
+                            subject.lookup(key, now),
+                            reference.lookup(key, now),
+                            "{ctx}"
+                        );
+                    }
+                    40..=84 => {
+                        let value = key * 1000 + now;
+                        assert_eq!(
+                            subject.insert(key, value, now),
+                            reference.insert(key, value, now),
+                            "{ctx}"
+                        );
+                    }
+                    85..=96 => {
+                        assert_eq!(subject.invalidate(key), reference.invalidate(key), "{ctx}");
+                    }
+                    _ => {
+                        subject.clear();
+                        reference.clear();
+                    }
+                }
+                assert_eq!(subject.len(), reference.len(), "{ctx}");
+            }
+
+            let stats = subject.stats();
+            assert_eq!(
+                stats.hits(),
+                reference.hits,
+                "hits: {name} {entries}/{ways}"
+            );
+            assert_eq!(stats.misses(), reference.misses, "misses: {name}");
+            assert_eq!(stats.fills(), reference.fills, "fills: {name}");
+            assert_eq!(stats.evictions(), reference.evictions, "evictions: {name}");
+            assert_eq!(
+                stats.invalidations(),
+                reference.invalidations,
+                "invalidations: {name}"
+            );
+            let reference_contents = {
+                let mut pairs: Vec<(u64, u64)> = reference
+                    .slots
+                    .iter()
+                    .flat_map(|row| row.iter())
+                    .flatten()
+                    .copied()
+                    .collect();
+                pairs.sort_unstable();
+                pairs
+            };
+            assert_eq!(
+                subject.sorted_contents(),
+                reference_contents,
+                "contents: {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flat_slab_matches_naive_reference_seed_1() {
+    run_differential(1, 2000);
+}
+
+#[test]
+fn flat_slab_matches_naive_reference_seed_2() {
+    run_differential(0xdead_beef, 2000);
+}
+
+#[test]
+fn flat_slab_matches_naive_reference_seed_3() {
+    run_differential(0x1234_5678_9abc, 2000);
+}

@@ -59,7 +59,7 @@ fn occupancy_never_exceeds_capacity() {
         let ways = rng.range_inclusive(1, 7) as usize;
         let entries = ways * 4;
         let g = CacheGeometry::new(entries, ways);
-        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Lru.build(g));
+        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Lru);
         for (i, &k) in keys.iter().enumerate() {
             if cache.lookup(&k, i as u64).is_none() {
                 cache.insert(k, k, i as u64);
@@ -77,7 +77,7 @@ fn lookup_hits_iff_present() {
             .map(|_| (rng.below(32), rng.below(2) == 1))
             .collect();
         let g = CacheGeometry::new(16, 4);
-        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Lfu.build(g));
+        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Lfu);
         for (i, &(k, is_insert)) in ops.iter().enumerate() {
             let present_before = cache.contains(&k);
             if is_insert {
@@ -185,7 +185,7 @@ fn invalidate_then_miss() {
     for _ in 0..CASES {
         let keys = key_vec(&mut rng, 99, 32);
         let g = CacheGeometry::new(32, 4);
-        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Fifo.build(g));
+        let mut cache: SetAssocCache<u64, u64> = SetAssocCache::new(g, PolicyKind::Fifo);
         for (i, &k) in keys.iter().enumerate() {
             cache.insert(k, k, i as u64);
             cache.invalidate(&k);
@@ -202,7 +202,7 @@ fn stats_accesses_equals_hits_plus_misses() {
         let keys = key_vec(&mut rng, 299, 64);
         let g = CacheGeometry::new(16, 2);
         let mut cache: SetAssocCache<u64, u64> =
-            SetAssocCache::new(g, PolicyKind::Random { seed: 3 }.build(g));
+            SetAssocCache::new(g, PolicyKind::Random { seed: 3 });
         for (i, &k) in keys.iter().enumerate() {
             if cache.lookup(&k, i as u64).is_none() {
                 cache.insert(k, k, i as u64);

@@ -44,6 +44,7 @@
 
 mod context;
 mod dram;
+mod fxhash;
 mod iommu;
 mod page_table;
 mod space;
@@ -53,7 +54,7 @@ mod walker;
 pub use context::{ContextCache, ContextEntry};
 pub use dram::Dram;
 pub use iommu::{Iommu, IommuParams, IommuResponse, IommuStats, TranslationScheme};
-pub use page_table::{PageTableError, Pte, RadixTable, WalkPath};
+pub use page_table::{InlineWalkPath, PageTableError, Pte, RadixTable, WalkPath};
 pub use space::{TenantSpace, TenantSpaceBuilder};
 pub use walk_cache::{NestedKey, WalkCacheConfig, WalkCacheKey, WalkCaches};
 pub use walker::{TranslationFault, TwoDimWalker, WalkOutcome};

@@ -6,11 +6,13 @@
 //! including the reads of the table nodes themselves, which is what makes
 //! the nested (two-dimensional) walk cost 24 accesses instead of 4.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
 use hypersio_types::PageSize;
+
+use crate::fxhash::FxBuildHasher;
 
 /// Number of entries per radix node (x86-64: 512 = 9 bits per level).
 pub const RADIX: usize = 512;
@@ -124,6 +126,70 @@ impl WalkPath {
     }
 }
 
+/// Maximum modelled table depth (5-level paging).
+const MAX_LEVELS: usize = 5;
+
+/// An allocation-free [`WalkPath`]: the same ordered PTE reads, held in
+/// fixed-size inline arrays instead of heap `Vec`s.
+///
+/// The two-dimensional walker performs several single-dimensional walks per
+/// translation; returning this by value keeps the whole translate hot path
+/// free of heap traffic. Convert with [`InlineWalkPath::to_walk_path`] when
+/// a heap-backed path is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineWalkPath {
+    len: u8,
+    pte_addrs: [u64; MAX_LEVELS],
+    ptes: [Pte; MAX_LEVELS],
+    /// Base address of the mapped frame.
+    pub target_base: u64,
+    /// Size of the mapped page.
+    pub size: PageSize,
+}
+
+impl InlineWalkPath {
+    /// Number of PTE reads in the walk (root level first).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns true if the path holds no steps (never produced by a
+    /// successful walk).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Addresses of the PTEs read, in walk order.
+    pub fn pte_addrs(&self) -> &[u64] {
+        &self.pte_addrs[..self.len as usize]
+    }
+
+    /// The PTEs read, in walk order (last one is the leaf).
+    pub fn ptes(&self) -> &[Pte] {
+        &self.ptes[..self.len as usize]
+    }
+
+    /// The terminal (leaf) PTE of the walk.
+    pub fn leaf(&self) -> Pte {
+        self.ptes[self.len as usize - 1]
+    }
+
+    /// Translated address for `va`: frame base plus in-page offset.
+    pub fn translate(&self, va: u64) -> u64 {
+        self.target_base + (va & self.size.offset_mask())
+    }
+
+    /// Copies the path into a heap-backed [`WalkPath`].
+    pub fn to_walk_path(&self) -> WalkPath {
+        WalkPath {
+            pte_addrs: self.pte_addrs().to_vec(),
+            ptes: self.ptes().to_vec(),
+            target_base: self.target_base,
+            size: self.size,
+        }
+    }
+}
+
 /// A synthetic radix page table (4- or 5-level).
 ///
 /// Nodes are allocated at 4 KB-aligned addresses supplied by the caller's
@@ -156,8 +222,12 @@ impl WalkPath {
 pub struct RadixTable {
     levels: u8,
     root: u64,
-    /// node base address -> sparse entries (index -> PTE).
-    nodes: HashMap<u64, HashMap<usize, Pte>>,
+    /// Base addresses of all allocated table nodes.
+    nodes: HashSet<u64, FxBuildHasher>,
+    /// Sparse PTE storage keyed by the PTE's own address in the owning
+    /// space (`node_base + index * PTE_BYTES`). A walk step is a single
+    /// cheap-hash probe of this map.
+    entries: HashMap<u64, Pte, FxBuildHasher>,
 }
 
 impl RadixTable {
@@ -175,12 +245,13 @@ impl RadixTable {
             "only 4- and 5-level tables are modelled"
         );
         let root = alloc_node();
-        let mut nodes = HashMap::new();
-        nodes.insert(root, HashMap::new());
+        let mut nodes = HashSet::default();
+        nodes.insert(root);
         RadixTable {
             levels,
             root,
             nodes,
+            entries: HashMap::default(),
         }
     }
 
@@ -205,7 +276,7 @@ impl RadixTable {
     /// nodes into the host table (guest PTE reads are guest-physical
     /// accesses that need nested translation).
     pub fn node_addrs(&self) -> impl Iterator<Item = u64> + '_ {
-        self.nodes.keys().copied()
+        self.nodes.iter().copied()
     }
 
     fn index(va: u64, level: u8) -> usize {
@@ -232,36 +303,27 @@ impl RadixTable {
         let leaf_level = size.level();
         let mut node = self.root;
         for level in (leaf_level + 1..=self.levels).rev() {
-            let idx = Self::index(va, level);
-            let entry = self
-                .nodes
-                .get(&node)
-                .expect("interior node must exist")
-                .get(&idx)
-                .copied();
-            node = match entry {
+            debug_assert!(self.nodes.contains(&node), "interior node must exist");
+            let addr = node + Self::index(va, level) as u64 * PTE_BYTES;
+            node = match self.entries.get(&addr).copied() {
                 Some(Pte::Table { next }) => next,
                 Some(Pte::Leaf { .. }) => {
                     return Err(PageTableError::LevelConflict { va, level });
                 }
                 None => {
                     let next = alloc_node();
-                    self.nodes.insert(next, HashMap::new());
-                    self.nodes
-                        .get_mut(&node)
-                        .expect("interior node must exist")
-                        .insert(idx, Pte::Table { next });
+                    self.nodes.insert(next);
+                    self.entries.insert(addr, Pte::Table { next });
                     next
                 }
             };
         }
-        let idx = Self::index(va, leaf_level);
-        let slots = self.nodes.get_mut(&node).expect("leaf node must exist");
-        if slots.contains_key(&idx) {
+        let addr = node + Self::index(va, leaf_level) as u64 * PTE_BYTES;
+        if self.entries.contains_key(&addr) {
             return Err(PageTableError::AlreadyMapped { va });
         }
-        slots.insert(
-            idx,
+        self.entries.insert(
+            addr,
             Pte::Leaf {
                 target: target & !size.offset_mask(),
                 size,
@@ -277,28 +339,44 @@ impl RadixTable {
     /// Returns [`PageTableError::NotMapped`] if the walk reaches a vacant
     /// entry.
     pub fn walk(&self, va: u64) -> Result<WalkPath, PageTableError> {
-        let mut pte_addrs = Vec::with_capacity(self.levels as usize);
-        let mut ptes = Vec::with_capacity(self.levels as usize);
+        self.walk_inline(va).map(|path| path.to_walk_path())
+    }
+
+    /// Walks the table for `va` without heap allocation, returning the
+    /// ordered PTE reads in inline storage.
+    ///
+    /// Identical semantics to [`RadixTable::walk`]; this is the hot-path
+    /// variant the two-dimensional walker uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageTableError::NotMapped`] if the walk reaches a vacant
+    /// entry.
+    pub fn walk_inline(&self, va: u64) -> Result<InlineWalkPath, PageTableError> {
+        let mut path = InlineWalkPath {
+            len: 0,
+            pte_addrs: [0; MAX_LEVELS],
+            ptes: [Pte::Table { next: 0 }; MAX_LEVELS],
+            target_base: 0,
+            size: PageSize::Size4K,
+        };
         let mut node = self.root;
         for level in (1..=self.levels).rev() {
-            let idx = Self::index(va, level);
-            let pte_addr = node + idx as u64 * PTE_BYTES;
+            let pte_addr = node + Self::index(va, level) as u64 * PTE_BYTES;
             let entry = self
-                .nodes
-                .get(&node)
-                .and_then(|slots| slots.get(&idx))
+                .entries
+                .get(&pte_addr)
                 .copied()
                 .ok_or(PageTableError::NotMapped { va, level })?;
-            pte_addrs.push(pte_addr);
-            ptes.push(entry);
+            let step = path.len as usize;
+            path.pte_addrs[step] = pte_addr;
+            path.ptes[step] = entry;
+            path.len += 1;
             match entry {
                 Pte::Leaf { target, size } => {
-                    return Ok(WalkPath {
-                        pte_addrs,
-                        ptes,
-                        target_base: target,
-                        size,
-                    });
+                    path.target_base = target;
+                    path.size = size;
+                    return Ok(path);
                 }
                 Pte::Table { next } => node = next,
             }
@@ -311,7 +389,7 @@ impl RadixTable {
 
     /// Returns the translated address for `va`, if mapped.
     pub fn translate(&self, va: u64) -> Option<u64> {
-        self.walk(va).ok().map(|path| path.translate(va))
+        self.walk_inline(va).ok().map(|path| path.translate(va))
     }
 
     /// Returns a copy of this table with every *owning-space* address —
@@ -323,32 +401,29 @@ impl RadixTable {
     /// is affine in the tenant ID: build the canonical table once, then
     /// rebase it into each tenant's slab instead of replaying every `map`.
     pub fn rebased(&self, delta: u64) -> RadixTable {
-        let nodes = self
-            .nodes
+        // A PTE's address is `node_base + index * PTE_BYTES`; shifting the
+        // node base by `delta` shifts the PTE address by exactly `delta`.
+        let entries = self
+            .entries
             .iter()
-            .map(|(&base, slots)| {
-                let slots = slots
-                    .iter()
-                    .map(|(&idx, &pte)| {
-                        let pte = match pte {
-                            Pte::Table { next } => Pte::Table {
-                                next: next.wrapping_add(delta),
-                            },
-                            Pte::Leaf { target, size } => Pte::Leaf {
-                                target: target.wrapping_add(delta),
-                                size,
-                            },
-                        };
-                        (idx, pte)
-                    })
-                    .collect();
-                (base.wrapping_add(delta), slots)
+            .map(|(&addr, &pte)| {
+                let pte = match pte {
+                    Pte::Table { next } => Pte::Table {
+                        next: next.wrapping_add(delta),
+                    },
+                    Pte::Leaf { target, size } => Pte::Leaf {
+                        target: target.wrapping_add(delta),
+                        size,
+                    },
+                };
+                (addr.wrapping_add(delta), pte)
             })
             .collect();
         RadixTable {
             levels: self.levels,
             root: self.root.wrapping_add(delta),
-            nodes,
+            nodes: self.nodes.iter().map(|&b| b.wrapping_add(delta)).collect(),
+            entries,
         }
     }
 }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use hypersio_types::{Did, GIova, GPa, HPa, PageSize};
 
-use crate::page_table::{PageTableError, RadixTable, WalkPath};
+use crate::page_table::{InlineWalkPath, PageTableError, RadixTable, WalkPath};
 
 /// Base of the guest-physical region where each tenant's guest page-table
 /// nodes are placed.
@@ -278,10 +278,28 @@ impl TenantSpace {
         self.host.walk(gpa.raw())
     }
 
+    /// Allocation-free [`TenantSpace::guest_walk`] (the walker's hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the guest-table error if `iova` is not device-visible.
+    pub fn guest_walk_inline(&self, iova: GIova) -> Result<InlineWalkPath, PageTableError> {
+        self.guest.walk_inline(iova.raw())
+    }
+
+    /// Allocation-free [`TenantSpace::host_walk`] (the walker's hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the host-table error if `gpa` is unmapped.
+    pub fn host_walk_inline(&self, gpa: GPa) -> Result<InlineWalkPath, PageTableError> {
+        self.host.walk_inline(gpa.raw())
+    }
+
     /// Full (uncached) functional translation: gIOVA → hPA, with the page
     /// size of the guest leaf.
     pub fn lookup(&self, iova: GIova) -> Option<(HPa, PageSize)> {
-        let gpath = self.guest.walk(iova.raw()).ok()?;
+        let gpath = self.guest.walk_inline(iova.raw()).ok()?;
         let gpa = gpath.translate(iova.raw());
         let hpa = self.host.translate(gpa)?;
         Some((HPa::new(hpa), gpath.size))

@@ -96,23 +96,26 @@ fn host_walk_reads(space: &TenantSpace) -> u64 {
 
 /// Charges one second-level translation of `gpa`: free on a nested-TLB hit,
 /// a full host walk (with a nested-TLB fill) otherwise.
+///
+/// Returns the DRAM reads charged and the host-physical 4 KB page backing
+/// `gpa`, so the caller never repeats the functional host walk.
 fn charge_host_walk(
     space: &TenantSpace,
     caches: &mut WalkCaches,
     sid: Sid,
     gpa: GPa,
     now: u64,
-) -> Result<u64, TranslationFault> {
+) -> Result<(u64, HPa), TranslationFault> {
     let did = space.did();
-    if caches.lookup_nested(sid, did, gpa, now).is_some() {
-        return Ok(0);
+    if let Some(page) = caches.lookup_nested(sid, did, gpa, now) {
+        return Ok((0, page));
     }
     let path = space
-        .host_walk(gpa)
+        .host_walk_inline(gpa)
         .map_err(|_| TranslationFault::HostNotMapped { gpa })?;
-    let page = hypersio_types::HPa::new(path.translate(gpa.raw()) & !0xfff);
+    let page = HPa::new(path.translate(gpa.raw()) & !0xfff);
     caches.fill_nested(sid, did, gpa, page, now);
-    Ok(host_walk_reads(space))
+    Ok((host_walk_reads(space), page))
 }
 
 impl TwoDimWalker {
@@ -141,9 +144,9 @@ impl TwoDimWalker {
         // state decides how many of those reads (and their nested host
         // walks) we must charge.
         let gpath = space
-            .guest_walk(iova)
+            .guest_walk_inline(iova)
             .map_err(|_| TranslationFault::GuestNotMapped { iova })?;
-        let walk_steps = gpath.ptes.len() as u8; // table_levels for 4K leaf
+        let walk_steps = gpath.len() as u8; // table_levels for 4K leaf
         let leaf_level = table_levels - walk_steps + 1; // 1 for 4K, 2 for 2M
 
         // Walk-cache consultation: L2 first (closest to the leaf), then L3.
@@ -167,11 +170,11 @@ impl TwoDimWalker {
             for level in (leaf_level..=start_level.min(table_levels)).rev() {
                 // Index into gpath: the root level is entry 0.
                 let step = (table_levels - level) as usize;
-                let pte = gpath.ptes[step];
-                let pte_gpa = gpath.pte_addrs[step];
+                let pte = gpath.ptes()[step];
+                let pte_gpa = gpath.pte_addrs()[step];
                 // Nested host walk for the guest PTE's address (free on a
                 // nested-TLB hit), plus the guest PTE read itself.
-                reads += charge_host_walk(space, caches, sid, GPa::new(pte_gpa), now)? + 1;
+                reads += charge_host_walk(space, caches, sid, GPa::new(pte_gpa), now)?.0 + 1;
 
                 // Fill walk caches with what we just read.
                 match level {
@@ -186,7 +189,7 @@ impl TwoDimWalker {
             }
         }
 
-        let leaf = leaf_from_cache.unwrap_or(*gpath.ptes.last().expect("walk has a leaf"));
+        let leaf = leaf_from_cache.unwrap_or_else(|| gpath.leaf());
         let (target, size) = match leaf {
             Pte::Leaf { target, size } => (target, size),
             Pte::Table { .. } => unreachable!("guest walk terminates at a leaf"),
@@ -194,14 +197,15 @@ impl TwoDimWalker {
         let final_gpa = GPa::new(target + (iova.raw() & size.offset_mask()));
 
         // Final nested walk: translate the data gPA itself (free on a
-        // nested-TLB hit; the functional result is the same either way).
-        reads += charge_host_walk(space, caches, sid, final_gpa, now)?;
-        let hpath = space
-            .host_walk(final_gpa)
-            .map_err(|_| TranslationFault::HostNotMapped { gpa: final_gpa })?;
+        // nested-TLB hit). The charged walk already yields the host page
+        // backing `final_gpa`; host frames are at least 4 KB-aligned, so
+        // page base + low-12 offset is exactly what a second functional
+        // host walk would return.
+        let (final_reads, host_page) = charge_host_walk(space, caches, sid, final_gpa, now)?;
+        reads += final_reads;
 
         Ok(WalkOutcome {
-            hpa: HPa::new(hpath.translate(final_gpa.raw())),
+            hpa: HPa::new(host_page.raw() + (final_gpa.raw() & 0xfff)),
             size,
             dram_accesses: reads,
             start_level,

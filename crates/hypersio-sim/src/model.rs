@@ -165,6 +165,7 @@ impl Simulation {
         let mut deferred: Option<Deferred> = None;
         let mut fills: BinaryHeap<Reverse<PendingFill>> = BinaryHeap::new();
         let mut observed: u64 = 0; // trace packets seen by the device
+        let mut fills_late: u64 = 0; // prefetch walks not done by delivery
         let mut packet_latency = LatencyStats::new();
         // Recycled per-packet miss list: packets arrive one at a time, so a
         // single buffer serves every arrival without re-allocating.
@@ -193,6 +194,8 @@ impl Simulation {
                                 if let Some(pf) = self.prefetch.as_mut() {
                                     pf.fill(fill.did, fill.iova, fill.entry, request_index);
                                 }
+                            } else {
+                                fills_late += 1;
                             }
                         }
                         // Prefetch observation happens as the packet's SID
@@ -371,6 +374,9 @@ impl Simulation {
             .utilization_of(self.params.link.bandwidth())
             .min(1.0);
         let (l2, l3) = self.iommu.walk_cache_stats();
+        // Fills still queued when the trace ends were never delivered:
+        // their predicted access never arrived.
+        let fills_expired = fills.len() as u64;
 
         SimReport {
             config_name: self.config.name.clone(),
@@ -395,6 +401,8 @@ impl Simulation {
                 pb_served as f64 / requests as f64
             },
             prefetches_issued,
+            prefetch_fills_late: fills_late,
+            prefetch_fills_expired: fills_expired,
             iommu: self.iommu.stats(),
             l2_cache: l2,
             l3_cache: l3,

@@ -50,6 +50,12 @@ pub struct SimReport {
     pub pb_served_fraction: f64,
     /// Translation prefetches issued to the IOMMU.
     pub prefetches_issued: u64,
+    /// Prefetch fills discarded because the walk had not completed by the
+    /// predicted delivery point (the prefetch was issued too late to help).
+    pub prefetch_fills_late: u64,
+    /// Prefetch fills still queued when the trace ended — their predicted
+    /// access never arrived, so they were never delivered to the PB.
+    pub prefetch_fills_expired: u64,
     /// IOMMU aggregate statistics (includes prefetch traffic).
     pub iommu: IommuStats,
     /// L2 page-walk-cache statistics.
@@ -106,6 +112,13 @@ impl fmt::Display for SimReport {
             self.pb_served_fraction * 100.0,
             self.prefetches_issued
         )?;
+        if self.prefetches_issued > 0 {
+            writeln!(
+                f,
+                "  pf-loss: {} fills late, {} fills expired undelivered",
+                self.prefetch_fills_late, self.prefetch_fills_expired
+            )?;
+        }
         writeln!(
             f,
             "  iommu:   {} requests, {} dram reads, {} full walks",
@@ -135,6 +148,8 @@ mod tests {
             prefetch_buffer: CacheStats::new(),
             pb_served_fraction: 0.0,
             prefetches_issued: 0,
+            prefetch_fills_late: 0,
+            prefetch_fills_expired: 0,
             iommu: IommuStats::default(),
             l2_cache: CacheStats::new(),
             l3_cache: CacheStats::new(),
@@ -165,5 +180,17 @@ mod tests {
         assert!(s.contains("55.5% of link"));
         assert!(s.contains("90 processed"));
         assert!(s.contains("latency:"));
+    }
+
+    #[test]
+    fn display_reports_prefetch_losses_only_when_prefetching() {
+        // No prefetches issued: the pf-loss line is suppressed.
+        assert!(!dummy().to_string().contains("pf-loss"));
+        let mut r = dummy();
+        r.prefetches_issued = 10;
+        r.prefetch_fills_late = 3;
+        r.prefetch_fills_expired = 2;
+        let s = r.to_string();
+        assert!(s.contains("pf-loss: 3 fills late, 2 fills expired undelivered"));
     }
 }
