@@ -11,9 +11,13 @@
 //! reaches ~80 % even under the least predictable RAND1 order.
 //!
 //! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
-//! `JOBS` (worker threads; default = available cores).
+//! `JOBS` (worker threads; default = available cores). Set
+//! `TIMESERIES_OUT=<path.csv>` to additionally re-run the HyperTRIO
+//! websearch/RR1 point at the largest tenant count with the windowed
+//! time-series sampler attached and write the per-window CSV there (the
+//! table on stdout is unaffected; `WINDOW_US` sets the window, default 10).
 
-use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec, TimeSeriesSampler};
 use hypersio_trace::{Interleaving, WorkloadKind};
 use hypertrio_core::TranslationConfig;
 
@@ -61,4 +65,27 @@ fn main() {
     println!("Paper: Base is 12-30 Gb/s (<=15%) beyond 32 tenants for every");
     println!("interleaving; HyperTRIO uses up to 100% of the link at 1024");
     println!("tenants for RR and up to ~80% for RAND1.");
+
+    if let Ok(path) = std::env::var("TIMESERIES_OUT") {
+        let window_us = bench::env_u64("WINDOW_US", 10);
+        let tenants = *counts.last().expect("tenant axis is non-empty");
+        let config = TranslationConfig::hypertrio();
+        let params = SimParams::paper().with_warmup(2000);
+        let mut series = TimeSeriesSampler::new(
+            window_us * 1_000_000,
+            params.link.bytes_delivered(1).raw(),
+            params.link.bandwidth().gbps(),
+            config.ptb_entries as u64,
+        );
+        let spec = SweepSpec::new(WorkloadKind::Websearch, config, scale).with_params(params);
+        spec.run_at_with(tenants, &mut series);
+        if let Err(err) = std::fs::write(&path, series.to_csv()) {
+            eprintln!("error: cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {}-window time series for websearch/RR1 @ {tenants} tenants to {path}",
+            series.rows().len()
+        );
+    }
 }

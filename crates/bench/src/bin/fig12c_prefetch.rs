@@ -12,9 +12,13 @@
 //! (buffer + history length) does not have to grow with the tenant count.
 //!
 //! Environment: `SCALE` (default 200), `MAX_TENANTS` (default 1024),
-//! `JOBS` (worker threads; default = available cores).
+//! `JOBS` (worker threads; default = available cores). Set
+//! `TRACE_OUT=<path.jsonl>` to additionally re-run the with-prefetch
+//! websearch point at the largest tenant count with a ring recorder
+//! attached and dump the event trace as JSONL there (the table on stdout
+//! is unaffected; `TRACE_CAP` bounds retained events, default 65536).
 
-use hypersio_sim::{sweep_specs_parallel, SimParams, SweepSpec};
+use hypersio_sim::{sweep_specs_parallel, RingRecorder, SimParams, SweepSpec};
 use hypersio_trace::WorkloadKind;
 use hypertrio_core::TranslationConfig;
 
@@ -68,4 +72,32 @@ fn main() {
     println!("with the Prefetch Buffer supplying a valid translation for ~45%");
     println!("of requests at 1024 tenants; prefetching scales better than");
     println!("simply enlarging the PTB.");
+
+    if let Ok(path) = std::env::var("TRACE_OUT") {
+        let cap = bench::env_u64("TRACE_CAP", 65536) as usize;
+        let tenants = *counts.last().expect("tenant axis is non-empty");
+        let mut ring = RingRecorder::new(cap);
+        let spec = SweepSpec::new(
+            WorkloadKind::Websearch,
+            TranslationConfig::hypertrio(),
+            scale,
+        )
+        .with_params(SimParams::paper().with_warmup(2000));
+        spec.run_at_with(tenants, &mut ring);
+        let write = || -> std::io::Result<()> {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+            ring.write_jsonl(&mut w)?;
+            std::io::Write::flush(&mut w)
+        };
+        if let Err(err) = write() {
+            eprintln!("error: cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote event trace for websearch+PF @ {tenants} tenants to {path} \
+             ({} events, {} overwritten)",
+            ring.len(),
+            ring.overwritten()
+        );
+    }
 }

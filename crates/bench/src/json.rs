@@ -366,6 +366,202 @@ pub fn validate_hotpath_schema(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Checks one `"name": {hits, misses, evictions, hit_rate}` cache block.
+fn validate_cache_block(doc: &Json, name: &str) -> Result<(), String> {
+    let block = doc
+        .get(name)
+        .ok_or_else(|| format!("missing object field '{name}'"))?;
+    for field in ["hits", "misses", "evictions", "hit_rate"] {
+        block
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{name}: missing numeric field '{field}'"))?;
+    }
+    Ok(())
+}
+
+/// Checks one `{count, mean, p50, p95, p99, max}` latency-summary block.
+fn validate_latency_block(value: &Json, ctx: &str) -> Result<(), String> {
+    for field in ["count", "mean", "p50", "p95", "p99", "max"] {
+        value
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{ctx}: missing numeric field '{field}'"))?;
+    }
+    Ok(())
+}
+
+/// Checks that `doc` matches the `sim_report/v1` schema emitted by
+/// `SimReport::to_json` (the `--report-json` CLI output): every headline
+/// counter, the four cache blocks, the IOMMU block, the latency summary,
+/// and — when per-tenant collection was enabled — the fairness summary and
+/// one well-formed entry per tenant. Value thresholds are out of scope;
+/// only the shape is pinned.
+pub fn validate_report_schema(doc: &Json) -> Result<(), String> {
+    doc.as_obj().ok_or("top level must be an object")?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("sim_report/v1") => {}
+        Some(other) => return Err(format!("unknown schema '{other}'")),
+        None => return Err("missing string field 'schema'".into()),
+    }
+    for field in ["config", "workload", "interleaving"] {
+        doc.get(field)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string field '{field}'"))?;
+    }
+    for field in [
+        "tenants",
+        "packets_processed",
+        "packets_dropped",
+        "drop_fraction",
+        "bytes",
+        "elapsed_ps",
+        "gbps",
+        "utilization",
+        "translation_requests",
+        "pb_served_fraction",
+        "prefetches_issued",
+        "prefetch_fills_late",
+        "prefetch_fills_expired",
+    ] {
+        doc.get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field '{field}'"))?;
+    }
+    for cache in ["devtlb", "prefetch_buffer", "l2_cache", "l3_cache"] {
+        validate_cache_block(doc, cache)?;
+    }
+    let iommu = doc.get("iommu").ok_or("missing object field 'iommu'")?;
+    for field in ["requests", "dram_accesses", "full_walks", "faults"] {
+        iommu
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("iommu: missing numeric field '{field}'"))?;
+    }
+    let latency = doc
+        .get("latency_ps")
+        .ok_or("missing object field 'latency_ps'")?;
+    validate_latency_block(latency, "latency_ps")?;
+    match doc.get("per_tenant") {
+        None => return Err("missing field 'per_tenant' (may be null)".into()),
+        Some(Json::Null) => {}
+        Some(pt) => {
+            let fairness = pt
+                .get("fairness")
+                .ok_or("per_tenant: missing object field 'fairness'")?;
+            for field in ["min_packets", "max_packets", "jain"] {
+                fairness
+                    .get(field)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("fairness: missing numeric field '{field}'"))?;
+            }
+            let tenants = pt
+                .get("tenants")
+                .and_then(Json::as_arr)
+                .ok_or("per_tenant: missing array field 'tenants'")?;
+            for (i, t) in tenants.iter().enumerate() {
+                for field in [
+                    "did",
+                    "packets",
+                    "bytes",
+                    "drops",
+                    "devtlb_hits",
+                    "devtlb_misses",
+                    "pb_hits",
+                ] {
+                    t.get(field)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| format!("tenant {i}: missing numeric field '{field}'"))?;
+                }
+                let lat = t
+                    .get("latency_ps")
+                    .ok_or_else(|| format!("tenant {i}: missing object field 'latency_ps'"))?;
+                validate_latency_block(lat, &format!("tenant {i} latency_ps"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `doc` matches the `hypersio-timeseries/v1` schema emitted
+/// by `TimeSeriesSampler::to_json` (the `--timeseries-out` CLI output with
+/// a `.json` path): the window size, the nominal link rate, and every
+/// per-window metric.
+pub fn validate_timeseries_schema(doc: &Json) -> Result<(), String> {
+    doc.as_obj().ok_or("top level must be an object")?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("hypersio-timeseries/v1") => {}
+        Some(other) => return Err(format!("unknown schema '{other}'")),
+        None => return Err("missing string field 'schema'".into()),
+    }
+    for field in ["window_ps", "link_gbps"] {
+        doc.get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field '{field}'"))?;
+    }
+    let windows = doc
+        .get("windows")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'windows'")?;
+    for (i, w) in windows.iter().enumerate() {
+        for field in [
+            "start_us",
+            "packets",
+            "drops",
+            "gbps",
+            "utilization",
+            "devtlb_hit_rate",
+            "pb_hits",
+            "walks_done",
+            "ptb_occupancy",
+            "walks_in_flight",
+        ] {
+            w.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("window {i}: missing numeric field '{field}'"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Checks an `hypersio-events/v1` JSON Lines trace (the `--trace-out` CLI
+/// output): the meta line's schema tag and bookkeeping fields, that every
+/// following line is a JSON object with a timestamp and a kind, and that
+/// the meta line's `recorded` count matches the number of event lines.
+pub fn validate_events_jsonl(text: &str) -> Result<(), String> {
+    let mut lines = text.lines();
+    let meta_line = lines.next().ok_or("empty trace")?;
+    let meta = parse(meta_line).map_err(|e| format!("meta line: {e}"))?;
+    match meta.get("schema").and_then(Json::as_str) {
+        Some("hypersio-events/v1") => {}
+        Some(other) => return Err(format!("unknown schema '{other}'")),
+        None => return Err("meta line: missing string field 'schema'".into()),
+    }
+    for field in ["recorded", "overwritten", "record_bytes"] {
+        meta.get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("meta line: missing numeric field '{field}'"))?;
+    }
+    let mut events = 0u64;
+    for (i, line) in lines.enumerate() {
+        let ev = parse(line).map_err(|e| format!("event line {}: {e}", i + 1))?;
+        ev.get("t_ps")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event line {}: missing numeric field 't_ps'", i + 1))?;
+        ev.get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event line {}: missing string field 'kind'", i + 1))?;
+        events += 1;
+    }
+    let recorded = meta.get("recorded").and_then(Json::as_num).unwrap_or(0.0) as u64;
+    if recorded != events {
+        return Err(format!(
+            "meta says {recorded} recorded events, found {events} lines"
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,5 +652,97 @@ mod tests {
         assert!(err.contains("ns_per_translation"), "{err}");
         let doc = parse(&valid_doc().replace("bench_hotpath/v1", "v999")).unwrap();
         assert!(validate_hotpath_schema(&doc).is_err());
+    }
+
+    fn valid_report() -> String {
+        let cache = r#"{"hits": 1, "misses": 2, "evictions": 0, "hit_rate": 0.33}"#;
+        let latency = r#"{"count": 3, "mean": 10, "p50": 9, "p95": 12, "p99": 12, "max": 12}"#;
+        format!(
+            r#"{{
+                "schema": "sim_report/v1",
+                "config": "HyperTRIO", "workload": "websearch", "interleaving": "RR1",
+                "tenants": 2, "packets_processed": 3, "packets_dropped": 0,
+                "drop_fraction": 0, "bytes": 4626, "elapsed_ps": 100000,
+                "gbps": 198.5, "utilization": 0.99, "translation_requests": 9,
+                "devtlb": {cache}, "prefetch_buffer": {cache},
+                "pb_served_fraction": 0.1, "prefetches_issued": 4,
+                "prefetch_fills_late": 0, "prefetch_fills_expired": 0,
+                "iommu": {{"requests": 2, "dram_accesses": 5, "full_walks": 1, "faults": 0}},
+                "l2_cache": {cache}, "l3_cache": {cache},
+                "latency_ps": {latency},
+                "per_tenant": {{
+                    "fairness": {{"min_packets": 1, "max_packets": 2, "jain": 0.9}},
+                    "tenants": [{{"did": 0, "packets": 1, "bytes": 1542, "drops": 0,
+                                  "devtlb_hits": 1, "devtlb_misses": 2, "pb_hits": 0,
+                                  "latency_ps": {latency}}}]
+                }}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn report_schema_accepts_valid_document() {
+        let doc = parse(&valid_report()).unwrap();
+        assert_eq!(validate_report_schema(&doc), Ok(()));
+        // `per_tenant` may be null when collection was not enabled.
+        let doc = parse(&{
+            let s = valid_report();
+            let cut = s.find("\"per_tenant\"").unwrap();
+            format!("{}\"per_tenant\": null }}", &s[..cut])
+        })
+        .unwrap();
+        assert_eq!(validate_report_schema(&doc), Ok(()));
+    }
+
+    #[test]
+    fn report_schema_rejects_missing_fields() {
+        let doc = parse(&valid_report().replace("translation_requests", "xlations")).unwrap();
+        let err = validate_report_schema(&doc).unwrap_err();
+        assert!(err.contains("translation_requests"), "{err}");
+        let doc = parse(&valid_report().replace("\"p99\": 12", "\"p99\": \"12\"")).unwrap();
+        assert!(validate_report_schema(&doc).is_err());
+        let doc = parse(&valid_report().replace("sim_report/v1", "sim_report/v2")).unwrap();
+        assert!(validate_report_schema(&doc).is_err());
+        let doc = parse(&valid_report().replace("\"jain\": 0.9", "\"jain\": null")).unwrap();
+        let err = validate_report_schema(&doc).unwrap_err();
+        assert!(err.contains("jain"), "{err}");
+    }
+
+    #[test]
+    fn timeseries_schema_accepts_and_rejects() {
+        let good = r#"{
+            "schema": "hypersio-timeseries/v1", "window_ps": 10000000, "link_gbps": 200,
+            "windows": [{"start_us": 0.0, "packets": 5, "drops": 1, "gbps": 120.5,
+                         "utilization": 0.6, "devtlb_hit_rate": 0.8, "pb_hits": 2,
+                         "walks_done": 3, "ptb_occupancy": 0.4, "walks_in_flight": 1.2}]
+        }"#;
+        let doc = parse(good).unwrap();
+        assert_eq!(validate_timeseries_schema(&doc), Ok(()));
+        let doc = parse(&good.replace("ptb_occupancy", "occupancy")).unwrap();
+        let err = validate_timeseries_schema(&doc).unwrap_err();
+        assert!(err.contains("ptb_occupancy"), "{err}");
+        let doc = parse(&good.replace("\"windows\"", "\"rows\"")).unwrap();
+        assert!(validate_timeseries_schema(&doc).is_err());
+    }
+
+    #[test]
+    fn events_jsonl_accepts_and_rejects() {
+        let good = concat!(
+            r#"{"schema":"hypersio-events/v1","recorded":2,"overwritten":0,"record_bytes":32}"#,
+            "\n",
+            r#"{"t_ps":10,"kind":"packet_arrival","did":0,"sid":1}"#,
+            "\n",
+            r#"{"t_ps":20,"kind":"devtlb_hit","did":0}"#,
+            "\n"
+        );
+        assert_eq!(validate_events_jsonl(good), Ok(()));
+        // Count mismatch between the meta line and the body.
+        let short = good.lines().take(2).collect::<Vec<_>>().join("\n");
+        let err = validate_events_jsonl(&short).unwrap_err();
+        assert!(err.contains("2 recorded"), "{err}");
+        // Event lines must carry a timestamp.
+        let bad = good.replace(r#""t_ps":20,"#, "");
+        assert!(validate_events_jsonl(&bad).is_err());
+        assert!(validate_events_jsonl("").is_err());
     }
 }

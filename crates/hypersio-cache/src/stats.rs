@@ -108,6 +108,40 @@ impl CacheStats {
     pub fn reset(&mut self) {
         *self = CacheStats::default();
     }
+
+    /// Returns the counters accumulated since `baseline` was snapshotted.
+    ///
+    /// Counters are monotone, so interval measurement is
+    /// snapshot-then-subtract: copy the stats at the start of a window and
+    /// call `delta` at the end to get that window's hits, misses, and
+    /// `hit_rate()` without resetting the lifetime totals. Subtraction
+    /// saturates, so a stale baseline (e.g. taken from a different cache)
+    /// yields zeros rather than wrapping.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hypersio_cache::CacheStats;
+    ///
+    /// let mut stats = CacheStats::new();
+    /// stats.record_miss();
+    /// let start = stats; // window opens
+    /// stats.record_hit();
+    /// stats.record_hit();
+    /// let window = stats.delta(&start);
+    /// assert_eq!(window.accesses(), 2);
+    /// assert_eq!(window.hit_rate(), 1.0); // cold miss not in the window
+    /// assert_eq!(stats.accesses(), 3); // lifetime totals untouched
+    /// ```
+    pub fn delta(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            fills: self.fills.saturating_sub(baseline.fills),
+            evictions: self.evictions.saturating_sub(baseline.evictions),
+            invalidations: self.invalidations.saturating_sub(baseline.invalidations),
+        }
+    }
 }
 
 impl AddAssign for CacheStats {
@@ -172,6 +206,33 @@ mod tests {
         assert_eq!(a.fills(), 1);
         assert_eq!(a.evictions(), 1);
         assert_eq!(a.invalidations(), 1);
+    }
+
+    #[test]
+    fn delta_isolates_one_interval() {
+        let mut stats = CacheStats::new();
+        stats.record_hit();
+        stats.record_eviction();
+        let start = stats;
+        stats.record_miss();
+        stats.record_fill();
+        let window = stats.delta(&start);
+        assert_eq!(window.hits(), 0);
+        assert_eq!(window.misses(), 1);
+        assert_eq!(window.fills(), 1);
+        assert_eq!(window.evictions(), 0);
+        // delta + baseline reassembles the lifetime totals.
+        let mut rebuilt = start;
+        rebuilt += window;
+        assert_eq!(rebuilt, stats);
+    }
+
+    #[test]
+    fn delta_saturates_on_stale_baseline() {
+        let mut ahead = CacheStats::new();
+        ahead.record_hit();
+        let behind = CacheStats::new();
+        assert_eq!(behind.delta(&ahead), CacheStats::default());
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! The structured event taxonomy emitted by the simulation loop.
+
+use hypersio_types::{Did, GIova, Sid};
+
+/// One lifecycle event in the device–system simulation.
+///
+/// Events cover the full life of a packet (arrival, drop, retry,
+/// completion), the shared structures it passes through (PTB slots, DevTLB
+/// and Prefetch Buffer probes and evictions, IOMMU walks), and the
+/// prefetcher's pipeline (predict → issue → fill/late/expire). Every event
+/// is stamped with the simulated time at which the [`crate::Observer`]
+/// receives it.
+///
+/// The enum is `Copy` and encodes losslessly into a fixed-width
+/// [`crate::EventRecord`] (see [`Event::encode`] / [`EventKind::decode`]),
+/// which is what the binary ring buffer stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A new packet was observed on the link (once per trace packet).
+    PacketArrival {
+        /// Source ID carried by the packet.
+        sid: Sid,
+        /// Owning tenant.
+        did: Did,
+    },
+    /// A packet could not allocate a PTB slot and was dropped.
+    PacketDrop {
+        /// Owning tenant.
+        did: Did,
+    },
+    /// A previously dropped packet re-entered service at a later slot.
+    PacketRetry {
+        /// Owning tenant.
+        did: Did,
+    },
+    /// All of a packet's translations completed.
+    PacketComplete {
+        /// Owning tenant.
+        did: Did,
+        /// Arrival-to-last-translation service latency.
+        latency_ps: u64,
+    },
+    /// A PTB slot was occupied for one in-flight translation.
+    PtbAlloc {
+        /// Time the slot actually starts serving this translation.
+        start_ps: u64,
+        /// Time the slot becomes free again.
+        end_ps: u64,
+    },
+    /// A PTB slot was released (stamped at the release time).
+    PtbRelease,
+    /// A DevTLB probe found its translation.
+    DevTlbHit {
+        /// Requesting tenant.
+        did: Did,
+    },
+    /// A DevTLB probe missed.
+    DevTlbMiss {
+        /// Requesting tenant.
+        did: Did,
+    },
+    /// A DevTLB fill evicted another tenant-visible entry.
+    DevTlbEvict {
+        /// Tenant that owned the evicted entry.
+        did: Did,
+    },
+    /// A Prefetch Buffer probe found its translation.
+    PbHit {
+        /// Requesting tenant.
+        did: Did,
+    },
+    /// A Prefetch Buffer probe missed.
+    PbMiss {
+        /// Requesting tenant.
+        did: Did,
+    },
+    /// A Prefetch Buffer fill evicted an entry.
+    PbEvict {
+        /// Tenant that owned the evicted entry.
+        did: Did,
+    },
+    /// An IOMMU page-table walk started.
+    WalkStart {
+        /// Tenant whose tables are walked.
+        did: Did,
+        /// The gIOVA being translated.
+        iova: GIova,
+    },
+    /// An IOMMU walk finished (stamped at the completion time).
+    WalkDone {
+        /// Tenant whose tables were walked.
+        did: Did,
+        /// IOMMU-side latency of this walk (including walker queueing).
+        latency_ps: u64,
+    },
+    /// The SID-predictor proposed a tenant to prefetch for.
+    PrefetchPredict {
+        /// The predicted next Source ID.
+        sid: Sid,
+    },
+    /// A prefetch translation was issued to the IOMMU.
+    PrefetchIssue {
+        /// Tenant prefetched for.
+        did: Did,
+        /// Page being prefetched.
+        iova: GIova,
+    },
+    /// A completed prefetch was delivered into the Prefetch Buffer.
+    PrefetchFill {
+        /// Tenant prefetched for.
+        did: Did,
+        /// Page that was filled.
+        iova: GIova,
+    },
+    /// A prefetch walk had not finished by its delivery point; the fill
+    /// was discarded.
+    PrefetchLate {
+        /// Tenant prefetched for.
+        did: Did,
+        /// Page whose fill was late.
+        iova: GIova,
+    },
+    /// A prefetch was still queued when the trace ended; its predicted
+    /// access never arrived.
+    PrefetchExpire {
+        /// Tenant prefetched for.
+        did: Did,
+        /// Page whose fill expired undelivered.
+        iova: GIova,
+    },
+}
+
+/// Discriminant of an [`Event`], used as the binary record tag and for
+/// per-kind counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// [`Event::PacketArrival`].
+    PacketArrival = 0,
+    /// [`Event::PacketDrop`].
+    PacketDrop = 1,
+    /// [`Event::PacketRetry`].
+    PacketRetry = 2,
+    /// [`Event::PacketComplete`].
+    PacketComplete = 3,
+    /// [`Event::PtbAlloc`].
+    PtbAlloc = 4,
+    /// [`Event::PtbRelease`].
+    PtbRelease = 5,
+    /// [`Event::DevTlbHit`].
+    DevTlbHit = 6,
+    /// [`Event::DevTlbMiss`].
+    DevTlbMiss = 7,
+    /// [`Event::DevTlbEvict`].
+    DevTlbEvict = 8,
+    /// [`Event::PbHit`].
+    PbHit = 9,
+    /// [`Event::PbMiss`].
+    PbMiss = 10,
+    /// [`Event::PbEvict`].
+    PbEvict = 11,
+    /// [`Event::WalkStart`].
+    WalkStart = 12,
+    /// [`Event::WalkDone`].
+    WalkDone = 13,
+    /// [`Event::PrefetchPredict`].
+    PrefetchPredict = 14,
+    /// [`Event::PrefetchIssue`].
+    PrefetchIssue = 15,
+    /// [`Event::PrefetchFill`].
+    PrefetchFill = 16,
+    /// [`Event::PrefetchLate`].
+    PrefetchLate = 17,
+    /// [`Event::PrefetchExpire`].
+    PrefetchExpire = 18,
+}
+
+/// Number of distinct [`EventKind`]s (array-size for per-kind counters).
+pub const EVENT_KINDS: usize = 19;
+
+/// All kinds, in tag order (`ALL[k as usize] == k`).
+pub const ALL_EVENT_KINDS: [EventKind; EVENT_KINDS] = [
+    EventKind::PacketArrival,
+    EventKind::PacketDrop,
+    EventKind::PacketRetry,
+    EventKind::PacketComplete,
+    EventKind::PtbAlloc,
+    EventKind::PtbRelease,
+    EventKind::DevTlbHit,
+    EventKind::DevTlbMiss,
+    EventKind::DevTlbEvict,
+    EventKind::PbHit,
+    EventKind::PbMiss,
+    EventKind::PbEvict,
+    EventKind::WalkStart,
+    EventKind::WalkDone,
+    EventKind::PrefetchPredict,
+    EventKind::PrefetchIssue,
+    EventKind::PrefetchFill,
+    EventKind::PrefetchLate,
+    EventKind::PrefetchExpire,
+];
+
+impl EventKind {
+    /// Returns the kind for a binary tag, if valid.
+    pub fn from_tag(tag: u8) -> Option<EventKind> {
+        ALL_EVENT_KINDS.get(tag as usize).copied()
+    }
+
+    /// The snake_case name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PacketArrival => "packet_arrival",
+            EventKind::PacketDrop => "packet_drop",
+            EventKind::PacketRetry => "packet_retry",
+            EventKind::PacketComplete => "packet_complete",
+            EventKind::PtbAlloc => "ptb_alloc",
+            EventKind::PtbRelease => "ptb_release",
+            EventKind::DevTlbHit => "devtlb_hit",
+            EventKind::DevTlbMiss => "devtlb_miss",
+            EventKind::DevTlbEvict => "devtlb_evict",
+            EventKind::PbHit => "pb_hit",
+            EventKind::PbMiss => "pb_miss",
+            EventKind::PbEvict => "pb_evict",
+            EventKind::WalkStart => "walk_start",
+            EventKind::WalkDone => "walk_done",
+            EventKind::PrefetchPredict => "prefetch_predict",
+            EventKind::PrefetchIssue => "prefetch_issue",
+            EventKind::PrefetchFill => "prefetch_fill",
+            EventKind::PrefetchLate => "prefetch_late",
+            EventKind::PrefetchExpire => "prefetch_expire",
+        }
+    }
+
+    /// Reconstructs the [`Event`] from the binary payload produced by
+    /// [`Event::encode`].
+    pub fn decode(self, did: u32, a: u64, b: u64) -> Event {
+        let did = Did::new(did);
+        match self {
+            EventKind::PacketArrival => Event::PacketArrival {
+                sid: Sid::new(a as u32),
+                did,
+            },
+            EventKind::PacketDrop => Event::PacketDrop { did },
+            EventKind::PacketRetry => Event::PacketRetry { did },
+            EventKind::PacketComplete => Event::PacketComplete { did, latency_ps: a },
+            EventKind::PtbAlloc => Event::PtbAlloc {
+                start_ps: a,
+                end_ps: b,
+            },
+            EventKind::PtbRelease => Event::PtbRelease,
+            EventKind::DevTlbHit => Event::DevTlbHit { did },
+            EventKind::DevTlbMiss => Event::DevTlbMiss { did },
+            EventKind::DevTlbEvict => Event::DevTlbEvict { did },
+            EventKind::PbHit => Event::PbHit { did },
+            EventKind::PbMiss => Event::PbMiss { did },
+            EventKind::PbEvict => Event::PbEvict { did },
+            EventKind::WalkStart => Event::WalkStart {
+                did,
+                iova: GIova::new(a),
+            },
+            EventKind::WalkDone => Event::WalkDone { did, latency_ps: a },
+            EventKind::PrefetchPredict => Event::PrefetchPredict {
+                sid: Sid::new(a as u32),
+            },
+            EventKind::PrefetchIssue => Event::PrefetchIssue {
+                did,
+                iova: GIova::new(a),
+            },
+            EventKind::PrefetchFill => Event::PrefetchFill {
+                did,
+                iova: GIova::new(a),
+            },
+            EventKind::PrefetchLate => Event::PrefetchLate {
+                did,
+                iova: GIova::new(a),
+            },
+            EventKind::PrefetchExpire => Event::PrefetchExpire {
+                did,
+                iova: GIova::new(a),
+            },
+        }
+    }
+}
+
+impl Event {
+    /// Returns this event's kind.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::PacketArrival { .. } => EventKind::PacketArrival,
+            Event::PacketDrop { .. } => EventKind::PacketDrop,
+            Event::PacketRetry { .. } => EventKind::PacketRetry,
+            Event::PacketComplete { .. } => EventKind::PacketComplete,
+            Event::PtbAlloc { .. } => EventKind::PtbAlloc,
+            Event::PtbRelease => EventKind::PtbRelease,
+            Event::DevTlbHit { .. } => EventKind::DevTlbHit,
+            Event::DevTlbMiss { .. } => EventKind::DevTlbMiss,
+            Event::DevTlbEvict { .. } => EventKind::DevTlbEvict,
+            Event::PbHit { .. } => EventKind::PbHit,
+            Event::PbMiss { .. } => EventKind::PbMiss,
+            Event::PbEvict { .. } => EventKind::PbEvict,
+            Event::WalkStart { .. } => EventKind::WalkStart,
+            Event::WalkDone { .. } => EventKind::WalkDone,
+            Event::PrefetchPredict { .. } => EventKind::PrefetchPredict,
+            Event::PrefetchIssue { .. } => EventKind::PrefetchIssue,
+            Event::PrefetchFill { .. } => EventKind::PrefetchFill,
+            Event::PrefetchLate { .. } => EventKind::PrefetchLate,
+            Event::PrefetchExpire { .. } => EventKind::PrefetchExpire,
+        }
+    }
+
+    /// Packs the event into `(kind, did, a, b)` — the payload of one
+    /// binary [`crate::EventRecord`]. Lossless: `kind.decode(did, a, b)`
+    /// reproduces the event exactly.
+    pub fn encode(&self) -> (EventKind, u32, u64, u64) {
+        match *self {
+            Event::PacketArrival { sid, did } => {
+                (EventKind::PacketArrival, did.raw(), sid.raw() as u64, 0)
+            }
+            Event::PacketDrop { did } => (EventKind::PacketDrop, did.raw(), 0, 0),
+            Event::PacketRetry { did } => (EventKind::PacketRetry, did.raw(), 0, 0),
+            Event::PacketComplete { did, latency_ps } => {
+                (EventKind::PacketComplete, did.raw(), latency_ps, 0)
+            }
+            Event::PtbAlloc { start_ps, end_ps } => (EventKind::PtbAlloc, 0, start_ps, end_ps),
+            Event::PtbRelease => (EventKind::PtbRelease, 0, 0, 0),
+            Event::DevTlbHit { did } => (EventKind::DevTlbHit, did.raw(), 0, 0),
+            Event::DevTlbMiss { did } => (EventKind::DevTlbMiss, did.raw(), 0, 0),
+            Event::DevTlbEvict { did } => (EventKind::DevTlbEvict, did.raw(), 0, 0),
+            Event::PbHit { did } => (EventKind::PbHit, did.raw(), 0, 0),
+            Event::PbMiss { did } => (EventKind::PbMiss, did.raw(), 0, 0),
+            Event::PbEvict { did } => (EventKind::PbEvict, did.raw(), 0, 0),
+            Event::WalkStart { did, iova } => (EventKind::WalkStart, did.raw(), iova.raw(), 0),
+            Event::WalkDone { did, latency_ps } => (EventKind::WalkDone, did.raw(), latency_ps, 0),
+            Event::PrefetchPredict { sid } => (EventKind::PrefetchPredict, 0, sid.raw() as u64, 0),
+            Event::PrefetchIssue { did, iova } => {
+                (EventKind::PrefetchIssue, did.raw(), iova.raw(), 0)
+            }
+            Event::PrefetchFill { did, iova } => {
+                (EventKind::PrefetchFill, did.raw(), iova.raw(), 0)
+            }
+            Event::PrefetchLate { did, iova } => {
+                (EventKind::PrefetchLate, did.raw(), iova.raw(), 0)
+            }
+            Event::PrefetchExpire { did, iova } => {
+                (EventKind::PrefetchExpire, did.raw(), iova.raw(), 0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::PacketArrival {
+                sid: Sid::new(7),
+                did: Did::new(3),
+            },
+            Event::PacketDrop { did: Did::new(1) },
+            Event::PacketRetry { did: Did::new(1) },
+            Event::PacketComplete {
+                did: Did::new(2),
+                latency_ps: 123_456,
+            },
+            Event::PtbAlloc {
+                start_ps: 10,
+                end_ps: 900_010,
+            },
+            Event::PtbRelease,
+            Event::DevTlbHit { did: Did::new(0) },
+            Event::DevTlbMiss { did: Did::new(9) },
+            Event::DevTlbEvict { did: Did::new(4) },
+            Event::PbHit { did: Did::new(5) },
+            Event::PbMiss { did: Did::new(5) },
+            Event::PbEvict { did: Did::new(6) },
+            Event::WalkStart {
+                did: Did::new(8),
+                iova: GIova::new(0xbbe0_0000),
+            },
+            Event::WalkDone {
+                did: Did::new(8),
+                latency_ps: 2_400_000,
+            },
+            Event::PrefetchPredict { sid: Sid::new(42) },
+            Event::PrefetchIssue {
+                did: Did::new(11),
+                iova: GIova::new(0x3480_0000),
+            },
+            Event::PrefetchFill {
+                did: Did::new(11),
+                iova: GIova::new(0x3480_0000),
+            },
+            Event::PrefetchLate {
+                did: Did::new(12),
+                iova: GIova::new(0x1000),
+            },
+            Event::PrefetchExpire {
+                did: Did::new(13),
+                iova: GIova::new(0x2000),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_encode() {
+        let events = samples();
+        assert_eq!(events.len(), EVENT_KINDS, "one sample per kind");
+        for ev in events {
+            let (kind, did, a, b) = ev.encode();
+            assert_eq!(kind, ev.kind());
+            assert_eq!(kind.decode(did, a, b), ev);
+        }
+    }
+
+    #[test]
+    fn tags_are_dense_and_invertible() {
+        for (i, kind) in ALL_EVENT_KINDS.iter().enumerate() {
+            assert_eq!(*kind as usize, i);
+            assert_eq!(EventKind::from_tag(i as u8), Some(*kind));
+        }
+        assert_eq!(EventKind::from_tag(EVENT_KINDS as u8), None);
+        assert_eq!(EventKind::from_tag(255), None);
+    }
+
+    #[test]
+    fn names_are_unique_snake_case() {
+        let mut names: Vec<&str> = ALL_EVENT_KINDS.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EVENT_KINDS);
+        for n in names {
+            assert!(n
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Windowed time-series sampling of simulation dynamics.
+
+use std::fmt::Write as _;
+
+use crate::event::Event;
+use crate::observer::Observer;
+
+/// Per-window accumulators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Window {
+    packets: u64,
+    drops: u64,
+    devtlb_hits: u64,
+    devtlb_misses: u64,
+    pb_hits: u64,
+    walks_done: u64,
+    /// Picoseconds of PTB-slot busy time attributed to this window.
+    ptb_busy_ps: u64,
+    /// Picoseconds of in-flight walk time attributed to this window.
+    walk_busy_ps: u64,
+}
+
+/// One exported row of the time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowRow {
+    /// Window start, in simulated microseconds.
+    pub start_us: f64,
+    /// Packets completed in the window.
+    pub packets: u64,
+    /// Packets dropped (PTB full) in the window.
+    pub drops: u64,
+    /// Achieved bandwidth over the window in Gb/s.
+    pub gbps: f64,
+    /// `gbps` over the nominal link bandwidth.
+    pub utilization: f64,
+    /// DevTLB hit fraction of the window's probes (0 when no probes).
+    pub devtlb_hit_rate: f64,
+    /// Prefetch-Buffer hits in the window.
+    pub pb_hits: u64,
+    /// Walks completed in the window.
+    pub walks_done: u64,
+    /// Mean fraction of PTB slots busy during the window (`0.0..=1.0`).
+    pub ptb_occupancy: f64,
+    /// Mean number of walks in flight during the window.
+    pub walks_in_flight: f64,
+}
+
+/// An [`Observer`] that aggregates events into fixed windows of simulated
+/// time: achieved Gb/s, link utilization, DevTLB hit rate, and PTB/walker
+/// occupancy per window — the time-resolved view behind the paper's
+/// end-of-run aggregates.
+///
+/// Windows are indexed by `at_ps / window_ps`, so events stamped in the
+/// future (walk completions, PTB releases) land in the right window even
+/// though they arrive out of order. Busy intervals (PTB slots, walks) are
+/// clipped exactly across the windows they span.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_obs::{Event, Observer, TimeSeriesSampler};
+/// use hypersio_types::Did;
+///
+/// // 1 µs windows on a 200 Gb/s link moving 1542-byte packets,
+/// // with a 32-entry PTB.
+/// let mut ts = TimeSeriesSampler::new(1_000_000, 1542, 200.0, 32);
+/// ts.record(10, Event::PacketComplete { did: Did::new(0), latency_ps: 900 });
+/// let rows = ts.rows();
+/// assert_eq!(rows.len(), 1);
+/// assert_eq!(rows[0].packets, 1);
+/// assert!(rows[0].gbps > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeriesSampler {
+    window_ps: u64,
+    bytes_per_packet: u64,
+    link_gbps: f64,
+    ptb_entries: u64,
+    windows: Vec<Window>,
+}
+
+impl TimeSeriesSampler {
+    /// Creates a sampler.
+    ///
+    /// - `window_ps` — window length in simulated picoseconds.
+    /// - `bytes_per_packet` — wire bytes per completed packet (used for
+    ///   the per-window achieved bandwidth).
+    /// - `link_gbps` — nominal link bandwidth, for the utilization column.
+    /// - `ptb_entries` — PTB capacity, for the occupancy column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ps` is below 1 µs (1 000 000 ps) — finer windows
+    /// would make the row vector itself a memory hazard on long runs — or
+    /// if `ptb_entries` is zero.
+    pub fn new(window_ps: u64, bytes_per_packet: u64, link_gbps: f64, ptb_entries: u64) -> Self {
+        assert!(window_ps >= 1_000_000, "window must be at least 1 µs");
+        assert!(ptb_entries > 0, "PTB has at least one entry");
+        TimeSeriesSampler {
+            window_ps,
+            bytes_per_packet,
+            link_gbps,
+            ptb_entries,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Returns the window length in picoseconds.
+    pub fn window_ps(&self) -> u64 {
+        self.window_ps
+    }
+
+    fn window_mut(&mut self, at_ps: u64) -> &mut Window {
+        let idx = (at_ps / self.window_ps) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, Window::default());
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Distributes the busy interval `[start_ps, end_ps)` across the
+    /// windows it spans, exactly.
+    fn add_busy(&mut self, start_ps: u64, end_ps: u64, ptb: bool) {
+        if end_ps <= start_ps {
+            return;
+        }
+        let w = self.window_ps;
+        let mut at = start_ps;
+        while at < end_ps {
+            let window_end = (at / w + 1) * w;
+            let slice = end_ps.min(window_end) - at;
+            let win = self.window_mut(at);
+            if ptb {
+                win.ptb_busy_ps += slice;
+            } else {
+                win.walk_busy_ps += slice;
+            }
+            at = window_end;
+        }
+    }
+
+    /// Materializes the export rows (one per window, from simulated time
+    /// zero to the last window any event touched).
+    pub fn rows(&self) -> Vec<WindowRow> {
+        let window_s = self.window_ps as f64 * 1e-12;
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let probes = w.devtlb_hits + w.devtlb_misses;
+                let bits = (w.packets * self.bytes_per_packet * 8) as f64;
+                let gbps = bits / window_s / 1e9;
+                WindowRow {
+                    start_us: (i as u64 * self.window_ps) as f64 / 1e6,
+                    packets: w.packets,
+                    drops: w.drops,
+                    gbps,
+                    utilization: if self.link_gbps > 0.0 {
+                        gbps / self.link_gbps
+                    } else {
+                        0.0
+                    },
+                    devtlb_hit_rate: if probes == 0 {
+                        0.0
+                    } else {
+                        w.devtlb_hits as f64 / probes as f64
+                    },
+                    pb_hits: w.pb_hits,
+                    walks_done: w.walks_done,
+                    ptb_occupancy: w.ptb_busy_ps as f64
+                        / (self.window_ps * self.ptb_entries) as f64,
+                    walks_in_flight: w.walk_busy_ps as f64 / self.window_ps as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the series as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "window_start_us,packets,drops,gbps,utilization,devtlb_hit_rate,\
+             pb_hits,walks_done,ptb_occupancy,walks_in_flight\n",
+        );
+        for r in self.rows() {
+            let _ = writeln!(
+                out,
+                "{:.3},{},{},{:.4},{:.6},{:.6},{},{},{:.6},{:.4}",
+                r.start_us,
+                r.packets,
+                r.drops,
+                r.gbps,
+                r.utilization,
+                r.devtlb_hit_rate,
+                r.pb_hits,
+                r.walks_done,
+                r.ptb_occupancy,
+                r.walks_in_flight,
+            );
+        }
+        out
+    }
+
+    /// Renders the series as one JSON document with a schema header.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"hypersio-timeseries/v1\",\n");
+        let _ = writeln!(out, "  \"window_ps\": {},", self.window_ps);
+        let _ = writeln!(out, "  \"link_gbps\": {},", self.link_gbps);
+        out.push_str("  \"windows\": [\n");
+        let rows = self.rows();
+        for (i, r) in rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"start_us\": {:.3}, \"packets\": {}, \"drops\": {}, \
+                 \"gbps\": {:.4}, \"utilization\": {:.6}, \"devtlb_hit_rate\": {:.6}, \
+                 \"pb_hits\": {}, \"walks_done\": {}, \"ptb_occupancy\": {:.6}, \
+                 \"walks_in_flight\": {:.4}}}",
+                r.start_us,
+                r.packets,
+                r.drops,
+                r.gbps,
+                r.utilization,
+                r.devtlb_hit_rate,
+                r.pb_hits,
+                r.walks_done,
+                r.ptb_occupancy,
+                r.walks_in_flight,
+            );
+            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl Observer for TimeSeriesSampler {
+    #[inline]
+    fn record(&mut self, at_ps: u64, event: Event) {
+        match event {
+            Event::PacketComplete { .. } => self.window_mut(at_ps).packets += 1,
+            Event::PacketDrop { .. } => self.window_mut(at_ps).drops += 1,
+            Event::DevTlbHit { .. } => self.window_mut(at_ps).devtlb_hits += 1,
+            Event::DevTlbMiss { .. } => self.window_mut(at_ps).devtlb_misses += 1,
+            Event::PbHit { .. } => self.window_mut(at_ps).pb_hits += 1,
+            Event::PtbAlloc { start_ps, end_ps } => self.add_busy(start_ps, end_ps, true),
+            Event::WalkDone { latency_ps, .. } => {
+                self.window_mut(at_ps).walks_done += 1;
+                self.add_busy(at_ps.saturating_sub(latency_ps), at_ps, false);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersio_types::Did;
+
+    fn sampler() -> TimeSeriesSampler {
+        TimeSeriesSampler::new(1_000_000, 1542, 200.0, 32)
+    }
+
+    fn complete(ts: &mut TimeSeriesSampler, at_ps: u64) {
+        ts.record(
+            at_ps,
+            Event::PacketComplete {
+                did: Did::new(0),
+                latency_ps: 100,
+            },
+        );
+    }
+
+    #[test]
+    fn events_land_in_their_window() {
+        let mut ts = sampler();
+        complete(&mut ts, 10);
+        complete(&mut ts, 999_999);
+        complete(&mut ts, 1_000_000);
+        let rows = ts.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].packets, 2);
+        assert_eq!(rows[1].packets, 1);
+        assert_eq!(rows[1].start_us, 1.0);
+    }
+
+    #[test]
+    fn out_of_order_stamps_are_bucketed_correctly() {
+        let mut ts = sampler();
+        // A walk completion stamped two windows ahead arrives before a
+        // packet completion in window 0.
+        ts.record(
+            2_500_000,
+            Event::WalkDone {
+                did: Did::new(0),
+                latency_ps: 100,
+            },
+        );
+        complete(&mut ts, 500);
+        let rows = ts.rows();
+        assert_eq!(rows[0].packets, 1);
+        assert_eq!(rows[2].walks_done, 1);
+    }
+
+    #[test]
+    fn busy_intervals_clip_across_windows() {
+        let mut ts = sampler();
+        // One PTB slot busy for 2.5 windows starting mid-window 0.
+        ts.record(
+            500_000,
+            Event::PtbAlloc {
+                start_ps: 500_000,
+                end_ps: 3_000_000,
+            },
+        );
+        let rows = ts.rows();
+        // Window 0: 0.5 µs busy of 32 µs capacity.
+        assert!((rows[0].ptb_occupancy - 0.5 / 32.0).abs() < 1e-9);
+        assert!((rows[1].ptb_occupancy - 1.0 / 32.0).abs() < 1e-9);
+        assert!((rows[2].ptb_occupancy - 1.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gbps_matches_hand_computation() {
+        let mut ts = sampler();
+        // 81 packets of 1542 B in 1 µs ≈ 999.6 Mb / 1 µs ≈ 0.9996 Tb/s?
+        // One packet: 1542*8 bits / 1e-6 s = 12.336 Gb/s.
+        complete(&mut ts, 0);
+        let rows = ts.rows();
+        assert!((rows[0].gbps - 12.336).abs() < 1e-9);
+        assert!((rows[0].utilization - 12.336 / 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_rate_and_empty_windows() {
+        let mut ts = sampler();
+        ts.record(0, Event::DevTlbHit { did: Did::new(0) });
+        ts.record(1, Event::DevTlbHit { did: Did::new(0) });
+        ts.record(2, Event::DevTlbMiss { did: Did::new(0) });
+        complete(&mut ts, 2_000_001); // leaves window 1 empty
+        let rows = ts.rows();
+        assert!((rows[0].devtlb_hit_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rows[1].packets, 0);
+        assert_eq!(rows[1].devtlb_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn csv_and_json_have_row_per_window() {
+        let mut ts = sampler();
+        complete(&mut ts, 0);
+        complete(&mut ts, 1_500_000);
+        let csv = ts.to_csv();
+        assert_eq!(csv.lines().count(), 3); // header + 2 windows
+        assert!(csv.starts_with("window_start_us,"));
+        let json = ts.to_json();
+        assert!(json.contains("\"schema\": \"hypersio-timeseries/v1\""));
+        assert_eq!(json.matches("\"start_us\"").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 µs")]
+    fn sub_microsecond_window_rejected() {
+        let _ = TimeSeriesSampler::new(1000, 1542, 200.0, 32);
+    }
+}

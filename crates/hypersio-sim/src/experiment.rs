@@ -75,12 +75,19 @@ impl SweepSpec {
 
     /// Runs this spec at one tenant count.
     pub fn run_at(&self, tenants: u32) -> SimReport {
+        self.run_at_with(tenants, &mut hypersio_obs::NullObserver)
+    }
+
+    /// Runs this spec at one tenant count, streaming lifecycle events into
+    /// `obs` (see [`Simulation::run_with`]). The report is bit-identical to
+    /// [`SweepSpec::run_at`] for any observer.
+    pub fn run_at_with<O: hypersio_obs::Observer>(&self, tenants: u32, obs: &mut O) -> SimReport {
         let trace = HyperTraceBuilder::new(self.workload, tenants)
             .interleaving(self.interleaving)
             .scale(self.effective_scale(tenants))
             .seed(self.seed)
             .build();
-        Simulation::new(self.config.clone(), self.params.clone(), trace).run()
+        Simulation::new(self.config.clone(), self.params.clone(), trace).run_with(obs)
     }
 }
 
@@ -319,6 +326,18 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SweepSpec>();
         assert_send_sync::<ExperimentPoint>();
+    }
+
+    #[test]
+    fn instrumented_run_matches_uninstrumented() {
+        let spec = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::hypertrio(), 5000);
+        let mut counts = hypersio_obs::CountingObserver::default();
+        let observed = spec.run_at_with(4, &mut counts);
+        assert_eq!(observed, spec.run_at(4));
+        assert_eq!(
+            counts.count(hypersio_obs::EventKind::PacketComplete),
+            observed.packets_processed
+        );
     }
 
     #[test]

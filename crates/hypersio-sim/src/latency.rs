@@ -103,6 +103,21 @@ impl LatencyStats {
         SimDuration::from_ps(self.max_ps)
     }
 
+    /// Median latency ([`LatencyStats::percentile`] at 0.50).
+    pub fn p50(&self) -> SimDuration {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> SimDuration {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> SimDuration {
+        self.percentile(0.99)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -185,6 +200,47 @@ mod tests {
         assert!(stats.percentile(0.50).as_ns() < 10);
         assert!(stats.percentile(0.95).as_us_approx() >= 1);
         assert!(stats.max().as_ns() == 2000);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Buckets are [2^i, 2^(i+1)) ps. Two samples pinned to the exact
+        // edges of one bucket must both land in it, and the percentile
+        // query must return the bucket's upper bound 2^(i+1) - 1.
+        for i in [5u32, 20, 40] {
+            let lo = 1u64 << i;
+            let hi = (1u64 << (i + 1)) - 1;
+            let mut stats = LatencyStats::new();
+            stats.record(SimDuration::from_ps(lo));
+            stats.record(SimDuration::from_ps(hi));
+            assert_eq!(stats.p50().as_ps(), hi, "bucket {i} upper bound");
+            assert_eq!(stats.p99().as_ps(), hi, "bucket {i} upper bound");
+            // One more sample at 2^(i+1) crosses into the next bucket.
+            stats.record(SimDuration::from_ps(hi + 1));
+            assert_eq!(stats.p99().as_ps(), hi + 1); // clamped to observed max
+        }
+    }
+
+    #[test]
+    fn zero_and_one_ps_share_the_first_bucket() {
+        let mut stats = LatencyStats::new();
+        stats.record(SimDuration::ZERO);
+        stats.record(SimDuration::from_ps(1));
+        // Bucket 0 upper bound is 1 ps.
+        assert_eq!(stats.p50().as_ps(), 1);
+        assert_eq!(stats.p99().as_ps(), 1);
+    }
+
+    #[test]
+    fn percentile_shortcuts_match_percentile() {
+        let mut stats = LatencyStats::new();
+        for i in 1..=100u64 {
+            stats.record(SimDuration::from_ns(i * 7));
+        }
+        assert_eq!(stats.p50(), stats.percentile(0.50));
+        assert_eq!(stats.p95(), stats.percentile(0.95));
+        assert_eq!(stats.p99(), stats.percentile(0.99));
+        assert!(stats.p50() <= stats.p95() && stats.p95() <= stats.p99());
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod latency;
 mod model;
 mod oracle;
 mod params;
+mod per_tenant;
 mod report;
 mod slot_pool;
 
@@ -48,5 +49,12 @@ pub use latency::LatencyStats;
 pub use model::Simulation;
 pub use oracle::devtlb_oracle_for;
 pub use params::SimParams;
+pub use per_tenant::{FairnessSummary, PerTenantReport, TenantStat};
 pub use report::SimReport;
 pub use slot_pool::SlotPool;
+
+// Re-export the observability vocabulary so downstream users can drive
+// `Simulation::run_with` without naming the obs crate separately.
+pub use hypersio_obs::{
+    CountingObserver, Event, EventKind, NullObserver, Observer, RingRecorder, TimeSeriesSampler,
+};

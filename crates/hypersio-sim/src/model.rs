@@ -5,12 +5,14 @@ use std::collections::BinaryHeap;
 use std::fmt;
 
 use hypersio_mem::{Iommu, IommuParams, TenantSpace};
+use hypersio_obs::{Event, NullObserver, Observer};
 use hypersio_trace::{HyperTrace, TracePacket};
 use hypersio_types::{Bandwidth, Did, GIova, SimDuration, SimTime};
 use hypertrio_core::{DevTlb, PrefetchUnit, TlbEntry, TranslationConfig};
 
 use crate::latency::LatencyStats;
 use crate::params::SimParams;
+use crate::per_tenant::{PerTenantReport, TenantStat};
 use crate::report::SimReport;
 use crate::slot_pool::SlotPool;
 
@@ -148,7 +150,28 @@ impl Simulation {
     }
 
     /// Runs the trace to completion and returns the report.
-    pub fn run(mut self) -> SimReport {
+    ///
+    /// Equivalent to [`Simulation::run_with`] with a [`NullObserver`]: the
+    /// observer machinery compiles away entirely, so this is exactly the
+    /// uninstrumented loop.
+    pub fn run(self) -> SimReport {
+        self.run_with(&mut NullObserver)
+    }
+
+    /// Runs the trace to completion, streaming lifecycle [`Event`]s to
+    /// `obs`.
+    ///
+    /// The observer is monomorphized into the loop and every emission site
+    /// is guarded by the compile-time constant [`Observer::ENABLED`], so a
+    /// disabled observer costs nothing — the simulated behaviour and the
+    /// returned report are bit-identical for every observer.
+    ///
+    /// Events are emitted in nondecreasing *arrival-slot* order, but some
+    /// stamps point into the future relative to the slot that emitted them
+    /// ([`Event::WalkDone`], [`Event::PtbRelease`],
+    /// [`Event::PacketComplete`]); time-bucketing consumers must index by
+    /// the stamp, not assume monotonicity.
+    pub fn run_with<O: Observer>(mut self, obs: &mut O) -> SimReport {
         let gap = self.params.link.inter_arrival();
         let hit_latency = self.params.devtlb_hit;
         let pcie_round = self.params.pcie.round_trip();
@@ -170,6 +193,16 @@ impl Simulation {
         // Recycled per-packet miss list: packets arrive one at a time, so a
         // single buffer serves every arrival without re-allocating.
         let mut miss_buf: Vec<GIova> = Vec::new();
+        // Opt-in per-DID accumulators (index = DID).
+        let bytes_per_packet = self.params.link.bytes_delivered(1).raw();
+        let mut tenant_acc: Option<Vec<TenantStat>> = self.params.per_tenant.then(|| {
+            (0..self.trace.tenants())
+                .map(|did| TenantStat {
+                    did,
+                    ..TenantStat::default()
+                })
+                .collect()
+        });
 
         loop {
             let now_time = SimTime::ZERO + gap * arrivals;
@@ -177,11 +210,25 @@ impl Simulation {
             // Fetch the packet for this slot: a retried drop or the next
             // trace packet (with its lookups performed exactly once).
             let work = match deferred.take() {
-                Some(d) => d,
+                Some(d) => {
+                    if O::ENABLED {
+                        obs.record(now_time.as_ps(), Event::PacketRetry { did: d.packet.did });
+                    }
+                    d
+                }
                 None => match self.trace.next() {
                     None => break,
                     Some(packet) => {
                         observed += 1;
+                        if O::ENABLED {
+                            obs.record(
+                                now_time.as_ps(),
+                                Event::PacketArrival {
+                                    sid: packet.sid,
+                                    did: packet.did,
+                                },
+                            );
+                        }
                         // Deliver prefetch responses scheduled for this
                         // point in the access stream; walks that have not
                         // completed by now are late and are discarded.
@@ -191,11 +238,35 @@ impl Simulation {
                             }
                             fills.pop();
                             if fill.done_ps <= now_time.as_ps() {
-                                if let Some(pf) = self.prefetch.as_mut() {
-                                    pf.fill(fill.did, fill.iova, fill.entry, request_index);
+                                let evicted = self.prefetch.as_mut().and_then(|pf| {
+                                    pf.fill(fill.did, fill.iova, fill.entry, request_index)
+                                });
+                                if O::ENABLED {
+                                    obs.record(
+                                        now_time.as_ps(),
+                                        Event::PrefetchFill {
+                                            did: fill.did,
+                                            iova: fill.iova,
+                                        },
+                                    );
+                                    if let Some((old, _)) = evicted {
+                                        obs.record(
+                                            now_time.as_ps(),
+                                            Event::PbEvict { did: old.did },
+                                        );
+                                    }
                                 }
                             } else {
                                 fills_late += 1;
+                                if O::ENABLED {
+                                    obs.record(
+                                        now_time.as_ps(),
+                                        Event::PrefetchLate {
+                                            did: fill.did,
+                                            iova: fill.iova,
+                                        },
+                                    );
+                                }
                             }
                         }
                         // Prefetch observation happens as the packet's SID
@@ -204,11 +275,23 @@ impl Simulation {
                         // borrowed while the unit is in use.)
                         if let Some(mut pf) = self.prefetch.take() {
                             if let Some(req) = pf.observe(packet.sid) {
+                                if O::ENABLED {
+                                    obs.record(
+                                        now_time.as_ps(),
+                                        Event::PrefetchPredict { sid: req.sid },
+                                    );
+                                }
                                 let did = self.did_for_sid(req.sid.raw());
                                 let pages = pf.history_pages(did);
                                 for iova in pages {
                                     if pf.lookup(did, iova, request_index).is_some() {
                                         continue; // already buffered
+                                    }
+                                    if O::ENABLED {
+                                        obs.record(
+                                            now_time.as_ps(),
+                                            Event::WalkStart { did, iova },
+                                        );
                                     }
                                     // Translate ahead of time; warms the
                                     // walk caches and fills the PB later.
@@ -219,6 +302,19 @@ impl Simulation {
                                         let walk = self.walk_latency(now_time, resp.latency);
                                         let done =
                                             now_time + self.params.history_read + pcie_round + walk;
+                                        if O::ENABLED {
+                                            obs.record(
+                                                now_time.as_ps(),
+                                                Event::PrefetchIssue { did, iova },
+                                            );
+                                            obs.record(
+                                                done.as_ps(),
+                                                Event::WalkDone {
+                                                    did,
+                                                    latency_ps: walk.as_ps(),
+                                                },
+                                            );
+                                        }
                                         // The chipset holds the completed
                                         // prefetch and delivers it to the
                                         // 8-entry PB just before the
@@ -265,13 +361,46 @@ impl Simulation {
                                     .is_some()
                                 {
                                     hits += 1;
+                                    if O::ENABLED {
+                                        obs.record(
+                                            now_time.as_ps(),
+                                            Event::DevTlbHit { did: packet.did },
+                                        );
+                                    }
+                                    if let Some(acc) = tenant_acc.as_mut() {
+                                        acc[packet.did.raw() as usize].devtlb_hits += 1;
+                                    }
                                     continue;
+                                }
+                                if O::ENABLED {
+                                    obs.record(
+                                        now_time.as_ps(),
+                                        Event::DevTlbMiss { did: packet.did },
+                                    );
+                                }
+                                if let Some(acc) = tenant_acc.as_mut() {
+                                    acc[packet.did.raw() as usize].devtlb_misses += 1;
                                 }
                                 if let Some(pf) = self.prefetch.as_mut() {
                                     if pf.lookup(packet.did, iova, now).is_some() {
                                         pb_served += 1;
                                         hits += 1;
+                                        if O::ENABLED {
+                                            obs.record(
+                                                now_time.as_ps(),
+                                                Event::PbHit { did: packet.did },
+                                            );
+                                        }
+                                        if let Some(acc) = tenant_acc.as_mut() {
+                                            acc[packet.did.raw() as usize].pb_hits += 1;
+                                        }
                                         continue;
+                                    }
+                                    if O::ENABLED {
+                                        obs.record(
+                                            now_time.as_ps(),
+                                            Event::PbMiss { did: packet.did },
+                                        );
                                     }
                                 }
                                 misses.push(iova);
@@ -298,6 +427,17 @@ impl Simulation {
             // blocks even packets that would have hit.
             if !self.params.bypass_translation && !self.ptb.has_free(now_time) {
                 dropped += 1;
+                if O::ENABLED {
+                    obs.record(
+                        now_time.as_ps(),
+                        Event::PacketDrop {
+                            did: work.packet.did,
+                        },
+                    );
+                }
+                if let Some(acc) = tenant_acc.as_mut() {
+                    acc[work.packet.did.raw() as usize].drops += 1;
+                }
                 deferred = Some(work);
                 continue;
             }
@@ -305,22 +445,58 @@ impl Simulation {
             // Serve the packet: hits occupy a slot for the hit latency...
             let mut completion = now_time + hit_latency;
             for _ in 0..work.hits {
-                let (_, end) = self.ptb.schedule(now_time, hit_latency);
+                let (start, end) = self.ptb.schedule(now_time, hit_latency);
                 completion = completion.max(end);
+                if O::ENABLED {
+                    obs.record(
+                        start.as_ps(),
+                        Event::PtbAlloc {
+                            start_ps: start.as_ps(),
+                            end_ps: end.as_ps(),
+                        },
+                    );
+                    obs.record(end.as_ps(), Event::PtbRelease);
+                }
             }
             // ...and misses for the PCIe round trip plus the walk.
             for &iova in &work.misses {
                 let now = request_index;
                 request_index += 1;
+                if O::ENABLED {
+                    obs.record(
+                        now_time.as_ps(),
+                        Event::WalkStart {
+                            did: work.packet.did,
+                            iova,
+                        },
+                    );
+                }
                 match self
                     .iommu
                     .translate(work.packet.sid, work.packet.did, iova, now)
                 {
                     Ok(resp) => {
                         let walk = self.walk_latency(now_time, resp.latency);
-                        let (_, end) = self.ptb.schedule(now_time, pcie_round + walk);
+                        let (start, end) = self.ptb.schedule(now_time, pcie_round + walk);
                         completion = completion.max(end);
-                        self.devtlb.insert(
+                        if O::ENABLED {
+                            obs.record(
+                                start.as_ps(),
+                                Event::PtbAlloc {
+                                    start_ps: start.as_ps(),
+                                    end_ps: end.as_ps(),
+                                },
+                            );
+                            obs.record(end.as_ps(), Event::PtbRelease);
+                            obs.record(
+                                end.as_ps(),
+                                Event::WalkDone {
+                                    did: work.packet.did,
+                                    latency_ps: walk.as_ps(),
+                                },
+                            );
+                        }
+                        let evicted = self.devtlb.insert(
                             work.packet.sid,
                             work.packet.did,
                             iova,
@@ -330,6 +506,11 @@ impl Simulation {
                             },
                             now,
                         );
+                        if O::ENABLED {
+                            if let Some((old, _)) = evicted {
+                                obs.record(now_time.as_ps(), Event::DevTlbEvict { did: old.did });
+                            }
+                        }
                     }
                     Err(fault) => {
                         // Synthetic inventories map every trace page; a
@@ -347,7 +528,23 @@ impl Simulation {
             miss_buf = work.misses;
             miss_buf.clear();
             processed += 1;
-            packet_latency.record(completion.duration_since(now_time));
+            let latency = completion.duration_since(now_time);
+            packet_latency.record(latency);
+            if O::ENABLED {
+                obs.record(
+                    completion.as_ps(),
+                    Event::PacketComplete {
+                        did: work.packet.did,
+                        latency_ps: latency.as_ps(),
+                    },
+                );
+            }
+            if let Some(acc) = tenant_acc.as_mut() {
+                let t = &mut acc[work.packet.did.raw() as usize];
+                t.packets += 1;
+                t.bytes += bytes_per_packet;
+                t.latency.record(latency);
+            }
             last_completion = last_completion.max(completion);
             if warmup_end.is_none()
                 && self.params.warmup_packets > 0
@@ -377,6 +574,19 @@ impl Simulation {
         // Fills still queued when the trace ends were never delivered:
         // their predicted access never arrived.
         let fills_expired = fills.len() as u64;
+        if O::ENABLED {
+            // Deterministic heap-ordered drain of the undelivered fills,
+            // stamped at the last arrival slot (the end of simulated time).
+            while let Some(Reverse(fill)) = fills.pop() {
+                obs.record(
+                    slots_end.as_ps(),
+                    Event::PrefetchExpire {
+                        did: fill.did,
+                        iova: fill.iova,
+                    },
+                );
+            }
+        }
 
         SimReport {
             config_name: self.config.name.clone(),
@@ -408,6 +618,7 @@ impl Simulation {
             l3_cache: l3,
             translation_requests: requests,
             packet_latency,
+            per_tenant: tenant_acc.map(|tenants| PerTenantReport { tenants }),
         }
     }
 
@@ -694,5 +905,53 @@ mod tests {
         let report = run(TranslationConfig::base(), 8);
         let recomputed = Bandwidth::achieved(report.bytes, report.elapsed);
         assert_eq!(recomputed, report.achieved);
+    }
+
+    #[test]
+    fn per_tenant_totals_reconcile_with_aggregates() {
+        let trace = quick_trace(WorkloadKind::Iperf3, 8, Interleaving::round_robin(1), 200);
+        let report = Simulation::new(
+            TranslationConfig::hypertrio(),
+            SimParams::paper().with_per_tenant(),
+            trace,
+        )
+        .run();
+        let pt = report.per_tenant.as_ref().expect("per-tenant was opted in");
+        assert_eq!(pt.tenants.len(), 8);
+        let packets: u64 = pt.tenants.iter().map(|t| t.packets).sum();
+        let drops: u64 = pt.tenants.iter().map(|t| t.drops).sum();
+        let bytes: u64 = pt.tenants.iter().map(|t| t.bytes).sum();
+        let probes: u64 = pt
+            .tenants
+            .iter()
+            .map(|t| t.devtlb_hits + t.devtlb_misses)
+            .sum();
+        let latency_samples: u64 = pt.tenants.iter().map(|t| t.latency.count()).sum();
+        assert_eq!(packets, report.packets_processed);
+        assert_eq!(drops, report.packets_dropped);
+        assert_eq!(bytes, report.bytes.raw());
+        assert_eq!(probes, report.translation_requests);
+        assert_eq!(latency_samples, report.packets_processed);
+    }
+
+    #[test]
+    fn per_tenant_collection_does_not_change_the_aggregate_report() {
+        let trace = quick_trace(WorkloadKind::Iperf3, 8, Interleaving::round_robin(1), 200);
+        let plain = Simulation::new(
+            TranslationConfig::hypertrio(),
+            SimParams::paper(),
+            trace.clone(),
+        )
+        .run();
+        assert!(plain.per_tenant.is_none());
+        let mut with = Simulation::new(
+            TranslationConfig::hypertrio(),
+            SimParams::paper().with_per_tenant(),
+            trace,
+        )
+        .run();
+        assert!(with.per_tenant.is_some());
+        with.per_tenant = None;
+        assert_eq!(plain, with);
     }
 }

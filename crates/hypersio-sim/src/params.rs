@@ -70,6 +70,13 @@ pub struct SimParams {
     /// explicit warm-up window for the steady-state bandwidth to be
     /// meaningful. Structure statistics still cover the whole run.
     pub warmup_packets: u64,
+    /// Collect per-tenant (per-DID) statistics during the run.
+    ///
+    /// Opt-in: when set, `SimReport::per_tenant` carries packet, byte,
+    /// drop, hit-rate, and latency breakdowns for every DID plus a
+    /// fairness summary. Off by default — the aggregate report (and every
+    /// figure's output) is byte-identical either way.
+    pub per_tenant: bool,
 }
 
 impl SimParams {
@@ -87,6 +94,7 @@ impl SimParams {
             page_table_levels: 4,
             bypass_translation: false,
             warmup_packets: 0,
+            per_tenant: false,
         }
     }
 
@@ -133,6 +141,13 @@ impl SimParams {
     /// measurement (steady-state measurement for short traces).
     pub fn with_warmup(mut self, packets: u64) -> Self {
         self.warmup_packets = packets;
+        self
+    }
+
+    /// Enables per-tenant statistics collection (see
+    /// [`SimParams::per_tenant`]).
+    pub fn with_per_tenant(mut self) -> Self {
+        self.per_tenant = true;
         self
     }
 }
@@ -200,6 +215,12 @@ mod tests {
     fn warmup_builder() {
         assert_eq!(SimParams::paper().with_warmup(100).warmup_packets, 100);
         assert_eq!(SimParams::paper().warmup_packets, 0);
+    }
+
+    #[test]
+    fn per_tenant_builder() {
+        assert!(!SimParams::paper().per_tenant);
+        assert!(SimParams::paper().with_per_tenant().per_tenant);
     }
 
     #[test]

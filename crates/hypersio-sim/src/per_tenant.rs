@@ -1,0 +1,177 @@
+//! Per-tenant (per-DID) statistics, collected when
+//! [`SimParams::with_per_tenant`](crate::SimParams::with_per_tenant) is set.
+
+use std::fmt;
+
+use hypersio_obs::jain_index;
+
+use crate::latency::LatencyStats;
+
+/// Statistics for one tenant (DID).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStat {
+    /// The tenant's domain ID.
+    pub did: u32,
+    /// Packets of this tenant fully processed.
+    pub packets: u64,
+    /// Wire bytes moved for this tenant's processed packets.
+    pub bytes: u64,
+    /// Arrival slots this tenant lost to PTB-full drops.
+    pub drops: u64,
+    /// DevTLB hits on this tenant's translation requests.
+    pub devtlb_hits: u64,
+    /// DevTLB misses on this tenant's translation requests.
+    pub devtlb_misses: u64,
+    /// Translation requests served by the Prefetch Buffer.
+    pub pb_hits: u64,
+    /// Per-packet service latency for this tenant's packets.
+    pub latency: LatencyStats,
+}
+
+impl TenantStat {
+    /// DevTLB hit fraction of this tenant's probes (0 when no probes).
+    pub fn devtlb_hit_rate(&self) -> f64 {
+        let probes = self.devtlb_hits + self.devtlb_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.devtlb_hits as f64 / probes as f64
+        }
+    }
+
+    /// Drop fraction: dropped slots over all slots this tenant used.
+    pub fn drop_fraction(&self) -> f64 {
+        let total = self.packets + self.drops;
+        if total == 0 {
+            0.0
+        } else {
+            self.drops as f64 / total as f64
+        }
+    }
+}
+
+/// Cross-tenant fairness summary over processed-packet counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessSummary {
+    /// Fewest packets any tenant completed.
+    pub min_packets: u64,
+    /// Most packets any tenant completed.
+    pub max_packets: u64,
+    /// Jain's fairness index over per-tenant packet counts
+    /// (`1/n` = one tenant starves the rest, `1.0` = perfectly equal).
+    pub jain: f64,
+}
+
+/// The per-tenant section of a [`SimReport`](crate::SimReport).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerTenantReport {
+    /// One entry per DID, indexed by DID.
+    pub tenants: Vec<TenantStat>,
+}
+
+impl PerTenantReport {
+    /// Computes the fairness summary over per-tenant packet counts.
+    pub fn fairness(&self) -> FairnessSummary {
+        let packets: Vec<f64> = self.tenants.iter().map(|t| t.packets as f64).collect();
+        FairnessSummary {
+            min_packets: self.tenants.iter().map(|t| t.packets).min().unwrap_or(0),
+            max_packets: self.tenants.iter().map(|t| t.packets).max().unwrap_or(0),
+            jain: jain_index(&packets),
+        }
+    }
+}
+
+impl fmt::Display for PerTenantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fair = self.fairness();
+        writeln!(
+            f,
+            "  tenants: {} DIDs, packets min={} max={} jain={:.4}",
+            self.tenants.len(),
+            fair.min_packets,
+            fair.max_packets,
+            fair.jain
+        )?;
+        writeln!(
+            f,
+            "    {:>5} {:>9} {:>12} {:>7} {:>8} {:>8} {:>10} {:>10}",
+            "did", "packets", "bytes", "drops", "tlb-hit%", "pb-hits", "p50", "p99"
+        )?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "    {:>5} {:>9} {:>12} {:>7} {:>8.2} {:>8} {:>10} {:>10}",
+                t.did,
+                t.packets,
+                t.bytes,
+                t.drops,
+                t.devtlb_hit_rate() * 100.0,
+                t.pb_hits,
+                t.latency.p50(),
+                t.latency.p99(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersio_types::SimDuration;
+
+    fn tenant(did: u32, packets: u64) -> TenantStat {
+        TenantStat {
+            did,
+            packets,
+            bytes: packets * 1542,
+            ..TenantStat::default()
+        }
+    }
+
+    #[test]
+    fn fairness_equal_tenants() {
+        let r = PerTenantReport {
+            tenants: (0..4).map(|d| tenant(d, 100)).collect(),
+        };
+        let f = r.fairness();
+        assert_eq!(f.min_packets, 100);
+        assert_eq!(f.max_packets, 100);
+        assert!((f.jain - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_starved_tenant() {
+        let mut tenants: Vec<_> = (0..4).map(|d| tenant(d, 100)).collect();
+        tenants[3].packets = 0;
+        let r = PerTenantReport { tenants };
+        let f = r.fairness();
+        assert_eq!(f.min_packets, 0);
+        assert_eq!(f.max_packets, 100);
+        // Three equal tenants, one starved: jain = 3/4.
+        assert!((f.jain - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenant_stat_rates() {
+        let mut t = tenant(0, 90);
+        t.drops = 10;
+        t.devtlb_hits = 8;
+        t.devtlb_misses = 2;
+        assert!((t.drop_fraction() - 0.1).abs() < 1e-12);
+        assert!((t.devtlb_hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(TenantStat::default().devtlb_hit_rate(), 0.0);
+        assert_eq!(TenantStat::default().drop_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_has_header_and_row_per_tenant() {
+        let mut t = tenant(7, 3);
+        t.latency.record(SimDuration::from_ns(450));
+        let r = PerTenantReport { tenants: vec![t] };
+        let s = r.to_string();
+        assert!(s.contains("jain="));
+        assert!(s.contains("tlb-hit%"));
+        assert!(s.lines().count() == 3);
+    }
+}

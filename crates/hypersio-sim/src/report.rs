@@ -6,6 +6,7 @@ use hypersio_cache::CacheStats;
 use hypersio_mem::IommuStats;
 
 use crate::latency::LatencyStats;
+use crate::per_tenant::PerTenantReport;
 use hypersio_trace::{Interleaving, WorkloadKind};
 use hypersio_types::{Bandwidth, Bytes, SimDuration};
 
@@ -52,9 +53,16 @@ pub struct SimReport {
     pub prefetches_issued: u64,
     /// Prefetch fills discarded because the walk had not completed by the
     /// predicted delivery point (the prefetch was issued too late to help).
+    ///
+    /// Invariant: fills only exist for issued prefetches, so this is zero
+    /// whenever [`SimReport::prefetches_issued`] is zero (in particular in
+    /// every non-prefetch configuration).
     pub prefetch_fills_late: u64,
     /// Prefetch fills still queued when the trace ended — their predicted
     /// access never arrived, so they were never delivered to the PB.
+    ///
+    /// Invariant: zero whenever [`SimReport::prefetches_issued`] is zero,
+    /// for the same reason as [`SimReport::prefetch_fills_late`].
     pub prefetch_fills_expired: u64,
     /// IOMMU aggregate statistics (includes prefetch traffic).
     pub iommu: IommuStats,
@@ -66,6 +74,9 @@ pub struct SimReport {
     pub translation_requests: u64,
     /// Per-packet service latency (arrival to last translation done).
     pub packet_latency: LatencyStats,
+    /// Per-tenant breakdown; `Some` only when the run was configured with
+    /// [`SimParams::with_per_tenant`](crate::SimParams::with_per_tenant).
+    pub per_tenant: Option<PerTenantReport>,
 }
 
 impl SimReport {
@@ -83,6 +94,155 @@ impl SimReport {
             self.packets_dropped as f64 / total as f64
         }
     }
+
+    /// Serializes the report as a self-describing JSON document
+    /// (schema `sim_report/v1`) for machine consumption (`--report-json`).
+    ///
+    /// The `per_tenant` key is `null` unless the run collected per-tenant
+    /// statistics.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"sim_report/v1\",\n");
+        let _ = writeln!(out, "  \"config\": \"{}\",", escape(&self.config_name));
+        let _ = writeln!(
+            out,
+            "  \"workload\": \"{}\",",
+            escape(&self.workload.to_string())
+        );
+        let _ = writeln!(
+            out,
+            "  \"interleaving\": \"{}\",",
+            escape(&self.interleaving.to_string())
+        );
+        let _ = writeln!(out, "  \"tenants\": {},", self.tenants);
+        let _ = writeln!(out, "  \"packets_processed\": {},", self.packets_processed);
+        let _ = writeln!(out, "  \"packets_dropped\": {},", self.packets_dropped);
+        let _ = writeln!(out, "  \"drop_fraction\": {},", self.drop_fraction());
+        let _ = writeln!(out, "  \"bytes\": {},", self.bytes.raw());
+        let _ = writeln!(out, "  \"elapsed_ps\": {},", self.elapsed.as_ps());
+        let _ = writeln!(out, "  \"gbps\": {},", self.gbps());
+        let _ = writeln!(out, "  \"utilization\": {},", self.utilization);
+        let _ = writeln!(
+            out,
+            "  \"translation_requests\": {},",
+            self.translation_requests
+        );
+        cache_json(&mut out, "devtlb", &self.devtlb);
+        cache_json(&mut out, "prefetch_buffer", &self.prefetch_buffer);
+        let _ = writeln!(
+            out,
+            "  \"pb_served_fraction\": {},",
+            self.pb_served_fraction
+        );
+        let _ = writeln!(out, "  \"prefetches_issued\": {},", self.prefetches_issued);
+        let _ = writeln!(
+            out,
+            "  \"prefetch_fills_late\": {},",
+            self.prefetch_fills_late
+        );
+        let _ = writeln!(
+            out,
+            "  \"prefetch_fills_expired\": {},",
+            self.prefetch_fills_expired
+        );
+        let _ = writeln!(
+            out,
+            "  \"iommu\": {{\"requests\": {}, \"dram_accesses\": {}, \"full_walks\": {}, \"faults\": {}}},",
+            self.iommu.requests, self.iommu.dram_accesses, self.iommu.full_walks, self.iommu.faults
+        );
+        cache_json(&mut out, "l2_cache", &self.l2_cache);
+        cache_json(&mut out, "l3_cache", &self.l3_cache);
+        out.push_str("  \"latency_ps\": ");
+        latency_json(&mut out, &self.packet_latency);
+        match &self.per_tenant {
+            None => out.push_str(",\n  \"per_tenant\": null\n"),
+            Some(pt) => {
+                let fair = pt.fairness();
+                out.push_str(",\n  \"per_tenant\": {\n");
+                let _ = writeln!(
+                    out,
+                    "    \"fairness\": {{\"min_packets\": {}, \"max_packets\": {}, \"jain\": {}}},",
+                    fair.min_packets, fair.max_packets, fair.jain
+                );
+                out.push_str("    \"tenants\": [\n");
+                for (i, t) in pt.tenants.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "      {{\"did\": {}, \"packets\": {}, \"bytes\": {}, \"drops\": {}, \
+                         \"devtlb_hits\": {}, \"devtlb_misses\": {}, \"pb_hits\": {}, \
+                         \"latency_ps\": ",
+                        t.did,
+                        t.packets,
+                        t.bytes,
+                        t.drops,
+                        t.devtlb_hits,
+                        t.devtlb_misses,
+                        t.pb_hits
+                    );
+                    latency_json(&mut out, &t.latency);
+                    out.push('}');
+                    out.push_str(if i + 1 < pt.tenants.len() {
+                        ",\n"
+                    } else {
+                        "\n"
+                    });
+                }
+                out.push_str("    ]\n  }\n");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Appends one `"name": {...}` cache-statistics object plus trailing comma.
+fn cache_json(out: &mut String, name: &str, stats: &hypersio_cache::CacheStats) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "  \"{}\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {}}},",
+        name,
+        stats.hits(),
+        stats.misses(),
+        stats.evictions(),
+        stats.hit_rate()
+    );
+}
+
+/// Appends one latency-summary object (no trailing comma or newline).
+fn latency_json(out: &mut String, stats: &LatencyStats) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+        stats.count(),
+        stats.mean().as_ps(),
+        stats.p50().as_ps(),
+        stats.p95().as_ps(),
+        stats.p99().as_ps(),
+        stats.max().as_ps()
+    );
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for SimReport {
@@ -112,7 +272,13 @@ impl fmt::Display for SimReport {
             self.pb_served_fraction * 100.0,
             self.prefetches_issued
         )?;
-        if self.prefetches_issued > 0 {
+        // Losses can only exist when prefetches were issued (see the field
+        // invariants), but gate on the counters too so a nonzero loss can
+        // never be silently hidden.
+        if self.prefetches_issued > 0
+            || self.prefetch_fills_late > 0
+            || self.prefetch_fills_expired > 0
+        {
             writeln!(
                 f,
                 "  pf-loss: {} fills late, {} fills expired undelivered",
@@ -124,7 +290,11 @@ impl fmt::Display for SimReport {
             "  iommu:   {} requests, {} dram reads, {} full walks",
             self.iommu.requests, self.iommu.dram_accesses, self.iommu.full_walks
         )?;
-        write!(f, "  latency: {}", self.packet_latency)
+        write!(f, "  latency: {}", self.packet_latency)?;
+        if let Some(per_tenant) = &self.per_tenant {
+            write!(f, "\n{per_tenant}")?;
+        }
+        Ok(())
     }
 }
 
@@ -155,6 +325,7 @@ mod tests {
             l3_cache: CacheStats::new(),
             translation_requests: 270,
             packet_latency: LatencyStats::new(),
+            per_tenant: None,
         }
     }
 
@@ -192,5 +363,71 @@ mod tests {
         r.prefetch_fills_expired = 2;
         let s = r.to_string();
         assert!(s.contains("pf-loss: 3 fills late, 2 fills expired undelivered"));
+    }
+
+    #[test]
+    fn display_never_hides_nonzero_losses() {
+        // The field invariant says this state is unreachable, but if it
+        // ever regressed the loss must still be visible.
+        let mut r = dummy();
+        r.prefetch_fills_late = 1;
+        assert!(r.to_string().contains("pf-loss: 1 fills late"));
+    }
+
+    #[test]
+    fn display_appends_per_tenant_section_when_present() {
+        assert!(!dummy().to_string().contains("jain="));
+        let mut r = dummy();
+        r.per_tenant = Some(PerTenantReport {
+            tenants: vec![crate::per_tenant::TenantStat {
+                did: 0,
+                packets: 90,
+                ..Default::default()
+            }],
+        });
+        let s = r.to_string();
+        assert!(s.contains("jain="));
+        assert!(s.contains("tlb-hit%"));
+    }
+
+    #[test]
+    fn json_has_schema_and_headline_fields() {
+        let j = dummy().to_json();
+        assert!(j.contains("\"schema\": \"sim_report/v1\""));
+        assert!(j.contains("\"config\": \"Base\""));
+        assert!(j.contains("\"packets_processed\": 90"));
+        assert!(j.contains("\"per_tenant\": null"));
+        assert!(j.contains("\"latency_ps\": {\"count\": 0"));
+    }
+
+    #[test]
+    fn json_serializes_per_tenant_section() {
+        let mut r = dummy();
+        r.per_tenant = Some(PerTenantReport {
+            tenants: vec![
+                crate::per_tenant::TenantStat {
+                    did: 0,
+                    packets: 45,
+                    ..Default::default()
+                },
+                crate::per_tenant::TenantStat {
+                    did: 1,
+                    packets: 45,
+                    ..Default::default()
+                },
+            ],
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"jain\": 1"));
+        assert!(j.contains("\"did\": 1"));
+        assert_eq!(j.matches("\"packets\": 45").count(), 2);
+    }
+
+    #[test]
+    fn json_escapes_config_name() {
+        let mut r = dummy();
+        r.config_name = "Base \"quoted\"\n".to_string();
+        let j = r.to_json();
+        assert!(j.contains(r#""config": "Base \"quoted\"\n""#));
     }
 }

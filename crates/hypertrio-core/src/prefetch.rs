@@ -268,9 +268,19 @@ impl PrefetchUnit {
     }
 
     /// Installs a prefetched translation into the Prefetch Buffer.
-    pub fn fill(&mut self, did: Did, iova: GIova, entry: TlbEntry, now: u64) {
+    ///
+    /// Returns the entry evicted to make room, if any (the 8-entry PB
+    /// churns under load; eviction visibility is what the observability
+    /// layer uses to report PB pressure).
+    pub fn fill(
+        &mut self,
+        did: Did,
+        iova: GIova,
+        entry: TlbEntry,
+        now: u64,
+    ) -> Option<(DevTlbKey, TlbEntry)> {
         let key = DevTlbKey::new(did, iova, entry.size);
-        self.buffer.insert(key, entry, now);
+        self.buffer.insert(key, entry, now)
     }
 
     /// Returns Prefetch Buffer statistics (hits = requests served without

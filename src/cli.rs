@@ -47,6 +47,19 @@ pub struct SimArgs {
     /// Worker threads for `sweep` (each sweep point is an independent
     /// simulation; results are bit-identical to a serial sweep).
     pub jobs: usize,
+    /// Collect per-tenant statistics and print the fairness table (`sim`).
+    pub per_tenant: bool,
+    /// Write a JSONL event trace to this path (`sim`).
+    pub trace_out: Option<String>,
+    /// Event-trace ring capacity: the most recent N events are kept.
+    pub trace_cap: usize,
+    /// Write a windowed time series to this path (`sim`; CSV by default,
+    /// JSON when the path ends in `.json`).
+    pub timeseries_out: Option<String>,
+    /// Time-series window length in simulated microseconds.
+    pub window_us: u64,
+    /// Write the machine-readable `sim_report/v1` JSON to this path (`sim`).
+    pub report_json: Option<String>,
 }
 
 impl Default for SimArgs {
@@ -61,6 +74,12 @@ impl Default for SimArgs {
             policy: None,
             warmup: 1000,
             jobs: default_jobs(),
+            per_tenant: false,
+            trace_out: None,
+            trace_cap: 65536,
+            timeseries_out: None,
+            window_us: 10,
+            report_json: None,
         }
     }
 }
@@ -95,7 +114,12 @@ impl SimArgs {
 
     /// Builds the simulator parameters these arguments select.
     pub fn params(&self) -> SimParams {
-        SimParams::paper().with_warmup(self.warmup)
+        let params = SimParams::paper().with_warmup(self.warmup);
+        if self.per_tenant {
+            params.with_per_tenant()
+        } else {
+            params
+        }
     }
 }
 
@@ -136,6 +160,15 @@ OPTIONS (sim / sweep / trace):
     --warmup <N>           packets excluded from measurement    [1000]
     --jobs <N>             sweep worker threads (sweep only;
                            results are identical for any N)     [cores]
+
+OBSERVABILITY (sim only; no effect on the simulated behaviour):
+    --per-tenant           collect per-DID stats + fairness summary
+    --report-json <path>   write the machine-readable report (sim_report/v1)
+    --trace-out <path>     write a JSONL event trace (hypersio-events/v1)
+    --trace-cap <N>        event-trace ring capacity             [65536]
+    --timeseries-out <path> write a windowed time series
+                           (CSV, or JSON when path ends in .json)
+    --window-us <N>        time-series window in simulated us    [10]
 ";
 
 /// Parses a full argument vector (excluding the program name).
@@ -158,6 +191,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
 
     let mut parsed = SimArgs::default();
     while let Some(flag) = it.next() {
+        // Boolean flags take no value token.
+        if flag == "--per-tenant" {
+            parsed.per_tenant = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| ParseError(format!("missing value for {flag}")))?;
@@ -223,6 +261,25 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     return Err(ParseError("--jobs must be at least 1".into()));
                 }
             }
+            "--trace-out" => parsed.trace_out = Some(value.clone()),
+            "--trace-cap" => {
+                parsed.trace_cap = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --trace-cap: {e}")))?;
+                if parsed.trace_cap == 0 {
+                    return Err(ParseError("--trace-cap must be at least 1".into()));
+                }
+            }
+            "--timeseries-out" => parsed.timeseries_out = Some(value.clone()),
+            "--window-us" => {
+                parsed.window_us = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --window-us: {e}")))?;
+                if parsed.window_us == 0 {
+                    return Err(ParseError("--window-us must be at least 1".into()));
+                }
+            }
+            "--report-json" => parsed.report_json = Some(value.clone()),
             other => return Err(ParseError(format!("unknown option {other:?}"))),
         }
     }
@@ -342,6 +399,53 @@ mod tests {
             panic!();
         };
         assert_eq!(args.params().warmup_packets, 42);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let Command::Sim(args) = parse(&argv(
+            "sim --per-tenant --trace-out /tmp/ev.jsonl --trace-cap 128 \
+             --timeseries-out ts.csv --window-us 5 --report-json out.json",
+        ))
+        .unwrap() else {
+            panic!("expected sim");
+        };
+        assert!(args.per_tenant);
+        assert_eq!(args.trace_out.as_deref(), Some("/tmp/ev.jsonl"));
+        assert_eq!(args.trace_cap, 128);
+        assert_eq!(args.timeseries_out.as_deref(), Some("ts.csv"));
+        assert_eq!(args.window_us, 5);
+        assert_eq!(args.report_json.as_deref(), Some("out.json"));
+        assert!(args.params().per_tenant);
+    }
+
+    #[test]
+    fn per_tenant_is_a_bare_flag() {
+        // Takes no value: the next token must still be parsed as a flag.
+        let Command::Sim(args) = parse(&argv("sim --per-tenant --tenants 8")).unwrap() else {
+            panic!("expected sim");
+        };
+        assert!(args.per_tenant);
+        assert_eq!(args.tenants, 8);
+        // And off by default (also off in params()).
+        assert!(!SimArgs::default().per_tenant);
+        assert!(!SimArgs::default().params().per_tenant);
+    }
+
+    #[test]
+    fn observability_flag_errors() {
+        for (input, needle) in [
+            ("sim --trace-cap 0", "at least 1"),
+            ("sim --window-us 0", "at least 1"),
+            ("sim --trace-out", "missing value"),
+            ("sim --report-json", "missing value"),
+        ] {
+            let err = parse(&argv(input)).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "input {input:?}: expected {needle:?} in {err}"
+            );
+        }
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! The `hypertrio` command-line tool: run simulations, sweeps, and trace
 //! statistics from the shell. See [`cli::USAGE`] or `hypertrio help`.
 
+use std::fs::File;
+use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
-use hypersio_sim::{sweep_tenants_parallel, Simulation, SweepSpec};
+use hypersio_sim::{
+    sweep_tenants_parallel, RingRecorder, Simulation, SweepSpec, TimeSeriesSampler,
+};
 use hypersio_trace::HyperTraceBuilder;
 use hypertrio::cli::{self, Command, SimArgs};
 use hypertrio_core::TranslationConfig;
@@ -51,8 +55,72 @@ fn run_sim(args: &SimArgs) {
     let config = args.config();
     println!("{config}");
     let trace = build_trace(args, args.tenants, args.scale);
-    let report = Simulation::new(config, args.params(), trace).run();
+    let params = args.params();
+
+    // Observers are only constructed when their output was requested, so
+    // the default path runs the fully uninstrumented (NullObserver) loop.
+    let mut ring = args
+        .trace_out
+        .as_ref()
+        .map(|_| RingRecorder::new(args.trace_cap));
+    let mut series = args.timeseries_out.as_ref().map(|_| {
+        TimeSeriesSampler::new(
+            args.window_us * 1_000_000,
+            params.link.bytes_delivered(1).raw(),
+            params.link.bandwidth().gbps(),
+            config.ptb_entries as u64,
+        )
+    });
+
+    let sim = Simulation::new(config, params, trace);
+    let report = match (ring.as_mut(), series.as_mut()) {
+        (None, None) => sim.run(),
+        (Some(r), None) => sim.run_with(r),
+        (None, Some(t)) => sim.run_with(t),
+        (Some(r), Some(t)) => sim.run_with(&mut (r, t)),
+    };
     println!("{report}");
+
+    if let (Some(path), Some(ring)) = (args.trace_out.as_ref(), ring.as_ref()) {
+        write_or_die(path, |w| ring.write_jsonl(w));
+        eprintln!(
+            "wrote event trace to {path} ({} events, {} overwritten)",
+            ring.len(),
+            ring.overwritten()
+        );
+    }
+    if let (Some(path), Some(series)) = (args.timeseries_out.as_ref(), series.as_ref()) {
+        let body = if path.ends_with(".json") {
+            series.to_json()
+        } else {
+            series.to_csv()
+        };
+        write_or_die(path, |w| w.write_all(body.as_bytes()));
+        eprintln!(
+            "wrote time series to {path} ({} windows)",
+            series.rows().len()
+        );
+    }
+    if let Some(path) = args.report_json.as_ref() {
+        write_or_die(path, |w| w.write_all(report.to_json().as_bytes()));
+        eprintln!("wrote report JSON to {path}");
+    }
+}
+
+/// Writes a file through the closure, exiting with a message on I/O errors.
+fn write_or_die<F>(path: &str, write: F)
+where
+    F: FnOnce(&mut BufWriter<File>) -> std::io::Result<()>,
+{
+    let attempt = || -> std::io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        write(&mut w)?;
+        w.flush()
+    };
+    if let Err(err) = attempt() {
+        eprintln!("error: cannot write {path}: {err}");
+        std::process::exit(1);
+    }
 }
 
 fn run_sweep(args: &SimArgs) {

@@ -1,0 +1,159 @@
+//! Event-stream / report reconciliation: the totals counted by an observer
+//! during a run must agree *exactly* with the end-of-run `SimReport`
+//! aggregates, for both architectures, at hyper-tenant scale (128 DIDs).
+//!
+//! This is the contract that makes the event trace trustworthy: every
+//! counter in the report is also derivable by folding the event stream, so
+//! a consumer of `--trace-out` sees the same world as a consumer of the
+//! report.
+
+use hypersio_sim::{CountingObserver, EventKind, NullObserver, SimParams, SimReport, Simulation};
+use hypersio_trace::{HyperTraceBuilder, WorkloadKind};
+use hypertrio_core::TranslationConfig;
+
+const TENANTS: u32 = 128;
+const SCALE: u64 = 2000;
+
+fn run_counted(config: TranslationConfig) -> (SimReport, CountingObserver) {
+    let trace = HyperTraceBuilder::new(WorkloadKind::Websearch, TENANTS)
+        .scale(SCALE)
+        .build();
+    let mut counts = CountingObserver::new();
+    let report = Simulation::new(config, SimParams::paper(), trace).run_with(&mut counts);
+    (report, counts)
+}
+
+fn check_reconciliation(config: TranslationConfig) {
+    let name = config.name.clone();
+    let (report, counts) = run_counted(config);
+    let c = |kind| counts.count(kind);
+    assert!(
+        report.packets_processed > 0,
+        "{name}: degenerate run, nothing to reconcile"
+    );
+
+    // Packet lifecycle: every arrival completes, every drop is retried.
+    assert_eq!(
+        c(EventKind::PacketArrival),
+        report.packets_processed,
+        "{name}"
+    );
+    assert_eq!(
+        c(EventKind::PacketComplete),
+        report.packets_processed,
+        "{name}"
+    );
+    assert_eq!(c(EventKind::PacketDrop), report.packets_dropped, "{name}");
+    assert_eq!(c(EventKind::PacketRetry), report.packets_dropped, "{name}");
+
+    // Translation path: every request probes the DevTLB exactly once.
+    assert_eq!(
+        c(EventKind::DevTlbHit) + c(EventKind::DevTlbMiss),
+        report.translation_requests,
+        "{name}"
+    );
+    assert_eq!(c(EventKind::DevTlbHit), report.devtlb.hits(), "{name}");
+    assert_eq!(c(EventKind::DevTlbMiss), report.devtlb.misses(), "{name}");
+    assert_eq!(
+        c(EventKind::DevTlbEvict),
+        report.devtlb.evictions(),
+        "{name}"
+    );
+
+    // PTB admission: one alloc/release pair per request that entered the
+    // PTB (both the fast hit path and the walk path).
+    assert_eq!(c(EventKind::PtbAlloc), c(EventKind::PtbRelease), "{name}");
+    assert_eq!(
+        c(EventKind::PtbAlloc),
+        report.translation_requests,
+        "{name}"
+    );
+
+    // IOMMU: demand and prefetch walks both start, and all of them finish
+    // (synthetic inventories never fault).
+    assert_eq!(c(EventKind::WalkStart), report.iommu.requests, "{name}");
+    assert_eq!(c(EventKind::WalkDone), c(EventKind::WalkStart), "{name}");
+    assert_eq!(report.iommu.faults, 0, "{name}");
+
+    // Prefetching: every issued walk is accounted for — delivered into the
+    // buffer, delivered too late, or still undelivered at the end.
+    assert_eq!(
+        c(EventKind::PrefetchIssue),
+        report.prefetches_issued,
+        "{name}"
+    );
+    assert_eq!(
+        c(EventKind::PrefetchFill) + c(EventKind::PrefetchLate) + c(EventKind::PrefetchExpire),
+        report.prefetches_issued,
+        "{name}"
+    );
+    assert_eq!(
+        c(EventKind::PrefetchLate),
+        report.prefetch_fills_late,
+        "{name}"
+    );
+    assert_eq!(
+        c(EventKind::PrefetchExpire),
+        report.prefetch_fills_expired,
+        "{name}"
+    );
+    // `PbHit` counts requests served from the Prefetch Buffer; the report
+    // publishes the same counter as a fraction of translation requests.
+    // (It is NOT `prefetch_buffer.hits()`: the prefetch unit also probes
+    // its own buffer before issuing, which counts in the cache stats but
+    // serves no request.)
+    let served = c(EventKind::PbHit) as f64 / report.translation_requests as f64;
+    assert_eq!(served, report.pb_served_fraction, "{name}");
+}
+
+#[test]
+fn base_events_reconcile_with_report_at_128_tenants() {
+    check_reconciliation(TranslationConfig::base());
+}
+
+#[test]
+fn hypertrio_events_reconcile_with_report_at_128_tenants() {
+    check_reconciliation(TranslationConfig::hypertrio());
+}
+
+/// Base has no prefetch unit: the whole prefetch branch of the taxonomy
+/// must be silent, matching the report's pinned-zero prefetch fields.
+#[test]
+fn base_emits_no_prefetch_events() {
+    let (report, counts) = run_counted(TranslationConfig::base());
+    for kind in [
+        EventKind::PrefetchPredict,
+        EventKind::PrefetchIssue,
+        EventKind::PrefetchFill,
+        EventKind::PrefetchLate,
+        EventKind::PrefetchExpire,
+        EventKind::PbHit,
+        EventKind::PbMiss,
+        EventKind::PbEvict,
+    ] {
+        assert_eq!(counts.count(kind), 0, "{kind:?}");
+    }
+    assert_eq!(report.prefetches_issued, 0);
+    assert_eq!(report.prefetch_fills_late, 0);
+    assert_eq!(report.prefetch_fills_expired, 0);
+}
+
+/// Attaching an observer must not change the simulation: the report from a
+/// counted run is identical to the report from the null-observer run.
+#[test]
+fn observed_run_is_bit_identical_to_unobserved_run() {
+    for config in [TranslationConfig::base(), TranslationConfig::hypertrio()] {
+        let build = || {
+            HyperTraceBuilder::new(WorkloadKind::Websearch, TENANTS)
+                .scale(SCALE)
+                .build()
+        };
+        let mut counts = CountingObserver::new();
+        let counted =
+            Simulation::new(config.clone(), SimParams::paper(), build()).run_with(&mut counts);
+        let null = Simulation::new(config.clone(), SimParams::paper(), build())
+            .run_with(&mut NullObserver);
+        assert_eq!(counted, null, "{}", config.name);
+        assert!(counts.total() > 0, "{}", config.name);
+    }
+}
