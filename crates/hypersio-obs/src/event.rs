@@ -1,4 +1,23 @@
 //! The structured event taxonomy emitted by the simulation loop.
+//!
+//! # Emission ownership
+//!
+//! Each of the 19 kinds is emitted by exactly one stage of the simulator's
+//! pipeline (`hypersio-sim`'s `pipeline` module; stage graph in
+//! `DESIGN.md` §10) — ownership is part of the stream's contract, since
+//! emission *order* within an arrival slot follows stage order:
+//!
+//! * **Arrival** — [`Event::PacketArrival`], [`Event::PacketRetry`].
+//! * **Prefetch** — [`Event::PrefetchPredict`], [`Event::PrefetchIssue`],
+//!   [`Event::PrefetchFill`], [`Event::PrefetchLate`],
+//!   [`Event::PrefetchExpire`], [`Event::PbEvict`], plus
+//!   [`Event::WalkStart`]/[`Event::WalkDone`] for the walks it issues
+//!   (interleaved with its `Prefetch*` events).
+//! * **Lookup** — [`Event::DevTlbHit`], [`Event::DevTlbMiss`],
+//!   [`Event::DevTlbEvict`], [`Event::PbHit`], [`Event::PbMiss`].
+//! * **Walk** — [`Event::PtbAlloc`], [`Event::PtbRelease`], and demand
+//!   [`Event::WalkStart`]/[`Event::WalkDone`].
+//! * **Completion** — [`Event::PacketDrop`], [`Event::PacketComplete`].
 
 use hypersio_types::{Did, GIova, Sid};
 

@@ -38,7 +38,9 @@ mod model;
 mod oracle;
 mod params;
 mod per_tenant;
+mod pipeline;
 mod report;
+mod sid_map;
 mod slot_pool;
 
 pub use experiment::{
@@ -51,6 +53,7 @@ pub use oracle::devtlb_oracle_for;
 pub use params::SimParams;
 pub use per_tenant::{FairnessSummary, PerTenantReport, TenantStat};
 pub use report::SimReport;
+pub use sid_map::SidMap;
 pub use slot_pool::SlotPool;
 
 // Re-export the observability vocabulary so downstream users can drive

@@ -1,53 +1,27 @@
 //! The device–system simulation loop (§IV-C of the paper).
+//!
+//! The loop itself lives in [`Simulation::run_with`]: a short orchestrator
+//! that moves each arrival slot through the five pipeline stages of
+//! [`crate::pipeline`]. The stages own all mutable run state
+//! ([`PipelineState`]); this module owns only construction and the final
+//! report assembly.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 use hypersio_mem::{Iommu, IommuParams, TenantSpace};
-use hypersio_obs::{Event, NullObserver, Observer};
-use hypersio_trace::{HyperTrace, TracePacket};
-use hypersio_types::{Bandwidth, Did, GIova, SimDuration, SimTime};
-use hypertrio_core::{DevTlb, PrefetchUnit, TlbEntry, TranslationConfig};
+use hypersio_obs::{NullObserver, Observer};
+use hypersio_trace::HyperTrace;
+use hypersio_types::{Bandwidth, Did, SimDuration};
+use hypertrio_core::{DevTlb, PrefetchUnit, TranslationConfig};
 
-use crate::latency::LatencyStats;
 use crate::params::SimParams;
-use crate::per_tenant::{PerTenantReport, TenantStat};
+use crate::pipeline::{
+    ArrivalSource, CompletionStage, Deferred, Fetched, LookupStage, PipelineState, PrefetchStage,
+    ReqClock, WalkStage,
+};
 use crate::report::SimReport;
+use crate::sid_map::SidMap;
 use crate::slot_pool::SlotPool;
-
-/// A prefetched translation waiting to be delivered to the Prefetch Buffer.
-///
-/// Delivery is pegged to the device's *observed-access* counter: the
-/// SID-predictor predicts the tenant `history_len` observed packets ahead,
-/// so the chipset schedules the response for just before that access
-/// (`due_obs`). A walk that has not finished by then (`done_ps`) is late
-/// and the fill is discarded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PendingFill {
-    due_obs: u64,
-    done_ps: u64,
-    did: Did,
-    iova: GIova,
-    entry: TlbEntry,
-}
-
-impl PartialOrd for PendingFill {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for PendingFill {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due_obs, self.done_ps, self.did, self.iova.raw()).cmp(&(
-            other.due_obs,
-            other.done_ps,
-            other.did,
-            other.iova.raw(),
-        ))
-    }
-}
 
 /// One simulation run: a [`TranslationConfig`] (the architecture under
 /// test), [`SimParams`] (the system latencies), and a [`HyperTrace`] (the
@@ -68,28 +42,7 @@ impl Ord for PendingFill {
 pub struct Simulation {
     config: TranslationConfig,
     params: SimParams,
-    trace: HyperTrace,
-    devtlb: DevTlb,
-    prefetch: Option<PrefetchUnit>,
-    iommu: Iommu,
-    ptb: SlotPool,
-    walkers: Option<SlotPool>,
-    /// DID owning each SID (SIDs may be arbitrary BDF-derived values),
-    /// sorted by SID for binary-search lookup on the arrival path.
-    did_of_sid: Vec<(u32, Did)>,
-}
-
-/// A packet waiting for retry after a PTB-full drop, with its pre-computed
-/// translation outcome (lookups are performed once per packet so that
-/// oracle replacement sees each request exactly once).
-struct Deferred {
-    packet: TracePacket,
-    misses: Vec<GIova>,
-    /// Requests that hit the DevTLB or Prefetch Buffer; they still occupy
-    /// a PTB slot for the hit latency (every in-flight translation is
-    /// tracked, which is what gives the single-entry Base design its
-    /// head-of-line blocking).
-    hits: u32,
+    state: PipelineState,
 }
 
 impl Simulation {
@@ -129,23 +82,24 @@ impl Simulation {
             .map(|pf| PrefetchUnit::new(pf.buffer_entries, pf.history_len, pf.pages_per_prefetch));
         let ptb = SlotPool::new(config.ptb_entries);
         let walkers = params.iommu_walkers.map(SlotPool::new);
-        let mut did_of_sid: Vec<(u32, Did)> = trace
-            .tenant_sids()
-            .into_iter()
-            .enumerate()
-            .map(|(did, sid)| (sid.raw(), Did::new(did as u32)))
-            .collect();
-        did_of_sid.sort_unstable_by_key(|&(sid, _)| sid);
+        let pcie_round = params.pcie.round_trip();
+        let state = PipelineState {
+            sids: SidMap::for_trace(&trace),
+            completion: CompletionStage::new(
+                params.warmup_packets,
+                params.link.bytes_delivered(1).raw(),
+                params.per_tenant.then(|| trace.tenants()),
+            ),
+            prefetch: PrefetchStage::new(prefetch, params.history_read, pcie_round),
+            lookup: LookupStage::new(devtlb, params.bypass_translation),
+            walk: WalkStage::new(iommu, ptb, walkers, pcie_round, params.devtlb_hit),
+            arrival: ArrivalSource::new(trace, params.link.inter_arrival()),
+            clock: ReqClock::default(),
+        };
         Simulation {
             config,
             params,
-            trace,
-            devtlb,
-            prefetch,
-            iommu,
-            ptb,
-            walkers,
-            did_of_sid,
+            state,
         }
     }
 
@@ -158,512 +112,154 @@ impl Simulation {
         self.run_with(&mut NullObserver)
     }
 
-    /// Runs the trace to completion, streaming lifecycle [`Event`]s to
-    /// `obs`.
+    /// Runs the trace to completion, streaming lifecycle
+    /// [`Event`](hypersio_obs::Event)s to `obs`.
     ///
-    /// The observer is monomorphized into the loop and every emission site
-    /// is guarded by the compile-time constant [`Observer::ENABLED`], so a
-    /// disabled observer costs nothing — the simulated behaviour and the
-    /// returned report are bit-identical for every observer.
+    /// The observer is monomorphized into every stage and every emission
+    /// site is guarded by the compile-time constant [`Observer::ENABLED`],
+    /// so a disabled observer costs nothing — the simulated behaviour and
+    /// the returned report are bit-identical for every observer.
     ///
     /// Events are emitted in nondecreasing *arrival-slot* order, but some
     /// stamps point into the future relative to the slot that emitted them
-    /// ([`Event::WalkDone`], [`Event::PtbRelease`],
-    /// [`Event::PacketComplete`]); time-bucketing consumers must index by
-    /// the stamp, not assume monotonicity.
+    /// ([`Event::WalkDone`](hypersio_obs::Event::WalkDone),
+    /// [`Event::PtbRelease`](hypersio_obs::Event::PtbRelease),
+    /// [`Event::PacketComplete`](hypersio_obs::Event::PacketComplete));
+    /// time-bucketing consumers must index by the stamp, not assume
+    /// monotonicity.
     pub fn run_with<O: Observer>(mut self, obs: &mut O) -> SimReport {
-        let gap = self.params.link.inter_arrival();
-        let hit_latency = self.params.devtlb_hit;
-        let pcie_round = self.params.pcie.round_trip();
-
-        let mut arrivals: u64 = 0;
-        let mut processed: u64 = 0;
-        let mut dropped: u64 = 0;
-        let mut requests: u64 = 0;
-        let mut pb_served: u64 = 0;
-        let mut prefetches_issued: u64 = 0;
-        let mut request_index: u64 = 0;
-        let mut last_completion = SimTime::ZERO;
-        let mut warmup_end: Option<(SimTime, u64)> = None; // (time, packets) at warm-up end
-        let mut deferred: Option<Deferred> = None;
-        let mut fills: BinaryHeap<Reverse<PendingFill>> = BinaryHeap::new();
-        let mut observed: u64 = 0; // trace packets seen by the device
-        let mut fills_late: u64 = 0; // prefetch walks not done by delivery
-        let mut packet_latency = LatencyStats::new();
-        // Recycled per-packet miss list: packets arrive one at a time, so a
-        // single buffer serves every arrival without re-allocating.
-        let mut miss_buf: Vec<GIova> = Vec::new();
-        // Opt-in per-DID accumulators (index = DID).
-        let bytes_per_packet = self.params.link.bytes_delivered(1).raw();
-        let mut tenant_acc: Option<Vec<TenantStat>> = self.params.per_tenant.then(|| {
-            (0..self.trace.tenants())
-                .map(|did| TenantStat {
-                    did,
-                    ..TenantStat::default()
-                })
-                .collect()
-        });
-
+        let st = &mut self.state;
         loop {
-            let now_time = SimTime::ZERO + gap * arrivals;
+            let now = st.arrival.slot_time();
 
-            // Fetch the packet for this slot: a retried drop or the next
-            // trace packet (with its lookups performed exactly once).
-            let work = match deferred.take() {
-                Some(d) => {
-                    if O::ENABLED {
-                        obs.record(now_time.as_ps(), Event::PacketRetry { did: d.packet.did });
-                    }
-                    d
+            // Stage 1: the packet for this slot — a retried drop (already
+            // probed) or the next trace packet, which flows through the
+            // prefetch observation (stage 2) and the DevTLB/PB probe
+            // (stage 3) exactly once.
+            let work = match st.arrival.fetch(now, obs) {
+                Fetched::Exhausted => break,
+                Fetched::Retry(work) => work,
+                Fetched::Fresh(packet) => {
+                    st.prefetch
+                        .deliver_due(st.arrival.observed(), now, st.clock.current(), obs);
+                    st.prefetch.observe_and_issue(
+                        packet.sid,
+                        now,
+                        st.arrival.observed(),
+                        &mut st.sids,
+                        &mut st.walk,
+                        st.clock.current(),
+                        obs,
+                    );
+                    st.lookup.probe(
+                        packet,
+                        now,
+                        &mut st.prefetch,
+                        &mut st.completion,
+                        &mut st.clock,
+                        &mut st.sids,
+                        obs,
+                    )
                 }
-                None => match self.trace.next() {
-                    None => break,
-                    Some(packet) => {
-                        observed += 1;
-                        if O::ENABLED {
-                            obs.record(
-                                now_time.as_ps(),
-                                Event::PacketArrival {
-                                    sid: packet.sid,
-                                    did: packet.did,
-                                },
-                            );
-                        }
-                        // Deliver prefetch responses scheduled for this
-                        // point in the access stream; walks that have not
-                        // completed by now are late and are discarded.
-                        while let Some(Reverse(fill)) = fills.peek().copied() {
-                            if fill.due_obs > observed {
-                                break;
-                            }
-                            fills.pop();
-                            if fill.done_ps <= now_time.as_ps() {
-                                let evicted = self.prefetch.as_mut().and_then(|pf| {
-                                    pf.fill(fill.did, fill.iova, fill.entry, request_index)
-                                });
-                                if O::ENABLED {
-                                    obs.record(
-                                        now_time.as_ps(),
-                                        Event::PrefetchFill {
-                                            did: fill.did,
-                                            iova: fill.iova,
-                                        },
-                                    );
-                                    if let Some((old, _)) = evicted {
-                                        obs.record(
-                                            now_time.as_ps(),
-                                            Event::PbEvict { did: old.did },
-                                        );
-                                    }
-                                }
-                            } else {
-                                fills_late += 1;
-                                if O::ENABLED {
-                                    obs.record(
-                                        now_time.as_ps(),
-                                        Event::PrefetchLate {
-                                            did: fill.did,
-                                            iova: fill.iova,
-                                        },
-                                    );
-                                }
-                            }
-                        }
-                        // Prefetch observation happens as the packet's SID
-                        // is seen on the link, before its lookups.
-                        // (Temporarily detached so the walker pool can be
-                        // borrowed while the unit is in use.)
-                        if let Some(mut pf) = self.prefetch.take() {
-                            if let Some(req) = pf.observe(packet.sid) {
-                                if O::ENABLED {
-                                    obs.record(
-                                        now_time.as_ps(),
-                                        Event::PrefetchPredict { sid: req.sid },
-                                    );
-                                }
-                                let did = self.did_for_sid(req.sid.raw());
-                                let pages = pf.history_pages(did);
-                                for iova in pages {
-                                    if pf.lookup(did, iova, request_index).is_some() {
-                                        continue; // already buffered
-                                    }
-                                    if O::ENABLED {
-                                        obs.record(
-                                            now_time.as_ps(),
-                                            Event::WalkStart { did, iova },
-                                        );
-                                    }
-                                    // Translate ahead of time; warms the
-                                    // walk caches and fills the PB later.
-                                    if let Ok(resp) =
-                                        self.iommu.translate(req.sid, did, iova, request_index)
-                                    {
-                                        prefetches_issued += 1;
-                                        let walk = self.walk_latency(now_time, resp.latency);
-                                        let done =
-                                            now_time + self.params.history_read + pcie_round + walk;
-                                        if O::ENABLED {
-                                            obs.record(
-                                                now_time.as_ps(),
-                                                Event::PrefetchIssue { did, iova },
-                                            );
-                                            obs.record(
-                                                done.as_ps(),
-                                                Event::WalkDone {
-                                                    did,
-                                                    latency_ps: walk.as_ps(),
-                                                },
-                                            );
-                                        }
-                                        // The chipset holds the completed
-                                        // prefetch and delivers it to the
-                                        // 8-entry PB just before the
-                                        // predicted tenant's access
-                                        // (history_len observed packets
-                                        // after the trigger); an instant
-                                        // fill would be churned out of the
-                                        // small PB long before use.
-                                        let due_obs = observed
-                                            + (self.prefetch_history_len() as u64)
-                                                .saturating_sub(2);
-                                        fills.push(Reverse(PendingFill {
-                                            due_obs,
-                                            done_ps: done.as_ps(),
-                                            did,
-                                            iova,
-                                            entry: TlbEntry {
-                                                hpa_base: page_base(resp.hpa, resp.size),
-                                                size: resp.size,
-                                            },
-                                        }));
-                                    }
-                                }
-                            }
-                            self.prefetch = Some(pf);
-                        }
-
-                        // One DevTLB/PB probe per request, once per packet.
-                        // Native mode (Fig 5 host-interface runs) bypasses
-                        // translation entirely.
-                        let mut misses = std::mem::take(&mut miss_buf);
-                        let mut hits = 0u32;
-                        if self.params.bypass_translation {
-                            requests += packet.iovas.len() as u64;
-                            request_index += packet.iovas.len() as u64;
-                        } else {
-                            for iova in packet.iovas {
-                                requests += 1;
-                                let now = request_index;
-                                request_index += 1;
-                                if self
-                                    .devtlb
-                                    .lookup(packet.sid, packet.did, iova, now)
-                                    .is_some()
-                                {
-                                    hits += 1;
-                                    if O::ENABLED {
-                                        obs.record(
-                                            now_time.as_ps(),
-                                            Event::DevTlbHit { did: packet.did },
-                                        );
-                                    }
-                                    if let Some(acc) = tenant_acc.as_mut() {
-                                        acc[packet.did.raw() as usize].devtlb_hits += 1;
-                                    }
-                                    continue;
-                                }
-                                if O::ENABLED {
-                                    obs.record(
-                                        now_time.as_ps(),
-                                        Event::DevTlbMiss { did: packet.did },
-                                    );
-                                }
-                                if let Some(acc) = tenant_acc.as_mut() {
-                                    acc[packet.did.raw() as usize].devtlb_misses += 1;
-                                }
-                                if let Some(pf) = self.prefetch.as_mut() {
-                                    if pf.lookup(packet.did, iova, now).is_some() {
-                                        pb_served += 1;
-                                        hits += 1;
-                                        if O::ENABLED {
-                                            obs.record(
-                                                now_time.as_ps(),
-                                                Event::PbHit { did: packet.did },
-                                            );
-                                        }
-                                        if let Some(acc) = tenant_acc.as_mut() {
-                                            acc[packet.did.raw() as usize].pb_hits += 1;
-                                        }
-                                        continue;
-                                    }
-                                    if O::ENABLED {
-                                        obs.record(
-                                            now_time.as_ps(),
-                                            Event::PbMiss { did: packet.did },
-                                        );
-                                    }
-                                }
-                                misses.push(iova);
-                            }
-                        }
-                        Deferred {
-                            packet,
-                            misses,
-                            hits,
-                        }
-                    }
-                },
             };
             // The slot is consumed by this packet whether it is admitted or
-            // dropped; the break above (trace exhausted) never reaches here,
-            // so `arrivals` counts exactly the slots that carried a packet.
-            arrivals += 1;
+            // dropped; the exhausted break never reaches here, so `arrivals`
+            // counts exactly the slots that carried a packet.
+            st.arrival.consume_slot();
 
-            // Admission: the packet must allocate into the PTB — at least
-            // one slot free at arrival — otherwise it is dropped and
-            // retried at the next arrival slot (§IV-C). Every translation
-            // (hit or miss) is tracked in the PTB while in flight, so an
-            // outstanding walk on the single-entry Base PTB head-of-line
-            // blocks even packets that would have hit.
-            if !self.params.bypass_translation && !self.ptb.has_free(now_time) {
-                dropped += 1;
-                if O::ENABLED {
-                    obs.record(
-                        now_time.as_ps(),
-                        Event::PacketDrop {
-                            did: work.packet.did,
-                        },
-                    );
-                }
-                if let Some(acc) = tenant_acc.as_mut() {
-                    acc[work.packet.did.raw() as usize].drops += 1;
-                }
-                deferred = Some(work);
+            // Stage 4 admission: at least one PTB slot free at arrival, or
+            // the packet is dropped and retried at the next slot (§IV-C).
+            if !st.walk.admit(now, st.lookup.bypass()) {
+                st.completion.record_drop(work.packet.did, now, obs);
+                st.arrival.defer(work);
                 continue;
             }
 
-            // Serve the packet: hits occupy a slot for the hit latency...
-            let mut completion = now_time + hit_latency;
-            for _ in 0..work.hits {
-                let (start, end) = self.ptb.schedule(now_time, hit_latency);
-                completion = completion.max(end);
-                if O::ENABLED {
-                    obs.record(
-                        start.as_ps(),
-                        Event::PtbAlloc {
-                            start_ps: start.as_ps(),
-                            end_ps: end.as_ps(),
-                        },
-                    );
-                    obs.record(end.as_ps(), Event::PtbRelease);
-                }
-            }
-            // ...and misses for the PCIe round trip plus the walk.
-            for &iova in &work.misses {
-                let now = request_index;
-                request_index += 1;
-                if O::ENABLED {
-                    obs.record(
-                        now_time.as_ps(),
-                        Event::WalkStart {
-                            did: work.packet.did,
-                            iova,
-                        },
-                    );
-                }
-                match self
-                    .iommu
-                    .translate(work.packet.sid, work.packet.did, iova, now)
-                {
-                    Ok(resp) => {
-                        let walk = self.walk_latency(now_time, resp.latency);
-                        let (start, end) = self.ptb.schedule(now_time, pcie_round + walk);
-                        completion = completion.max(end);
-                        if O::ENABLED {
-                            obs.record(
-                                start.as_ps(),
-                                Event::PtbAlloc {
-                                    start_ps: start.as_ps(),
-                                    end_ps: end.as_ps(),
-                                },
-                            );
-                            obs.record(end.as_ps(), Event::PtbRelease);
-                            obs.record(
-                                end.as_ps(),
-                                Event::WalkDone {
-                                    did: work.packet.did,
-                                    latency_ps: walk.as_ps(),
-                                },
-                            );
-                        }
-                        let evicted = self.devtlb.insert(
-                            work.packet.sid,
-                            work.packet.did,
-                            iova,
-                            TlbEntry {
-                                hpa_base: page_base(resp.hpa, resp.size),
-                                size: resp.size,
-                            },
-                            now,
-                        );
-                        if O::ENABLED {
-                            if let Some((old, _)) = evicted {
-                                obs.record(now_time.as_ps(), Event::DevTlbEvict { did: old.did });
-                            }
-                        }
-                    }
-                    Err(fault) => {
-                        // Synthetic inventories map every trace page; a
-                        // fault here is a construction bug.
-                        panic!("unexpected translation fault: {fault}");
-                    }
-                }
-            }
-            if let Some(pf) = self.prefetch.as_mut() {
-                for iova in work.packet.iovas {
-                    pf.record_history(work.packet.did, iova);
-                }
-            }
-            // Reclaim the served packet's miss list for the next arrival.
-            miss_buf = work.misses;
-            miss_buf.clear();
-            processed += 1;
-            let latency = completion.duration_since(now_time);
-            packet_latency.record(latency);
-            if O::ENABLED {
-                obs.record(
-                    completion.as_ps(),
-                    Event::PacketComplete {
-                        did: work.packet.did,
-                        latency_ps: latency.as_ps(),
-                    },
-                );
-            }
-            if let Some(acc) = tenant_acc.as_mut() {
-                let t = &mut acc[work.packet.did.raw() as usize];
-                t.packets += 1;
-                t.bytes += bytes_per_packet;
-                t.latency.record(latency);
-            }
-            last_completion = last_completion.max(completion);
-            if warmup_end.is_none()
-                && self.params.warmup_packets > 0
-                && processed >= self.params.warmup_packets
-            {
-                warmup_end = Some((completion, processed));
-            }
+            // Stage 4 service, then stage 5 accounting.
+            let completion = st
+                .walk
+                .serve(&work, now, &mut st.lookup, &mut st.clock, obs);
+            st.prefetch.record_history(&work.packet);
+            let Deferred { packet, misses, .. } = work;
+            st.lookup.reclaim(misses);
+            st.completion
+                .record_complete(packet.did, now, completion, obs);
         }
+        self.finish(obs)
+    }
 
+    /// Disassembles the pipeline into the end-of-run report.
+    fn finish<O: Observer>(self, obs: &mut O) -> SimReport {
+        let Simulation {
+            config,
+            params,
+            state,
+        } = self;
+        let PipelineState {
+            arrival,
+            mut prefetch,
+            lookup,
+            walk,
+            completion,
+            ..
+        } = state;
         // Bandwidth is measured after the warm-up window (if any). The
         // interval covers every arrival slot that carried a packet, so
         // achieved bandwidth can never exceed the nominal link rate; the
         // clamp below only absorbs f64 rounding in the division.
-        let (t0, p0) = match warmup_end {
-            Some((t, p)) if p < processed => (t, p),
-            _ => (SimTime::ZERO, 0),
-        };
-        let slots_end = SimTime::ZERO + gap * arrivals;
-        let end = last_completion.max(slots_end).max(t0);
+        let (t0, p0) = completion.measurement_origin();
+        let slots_end = arrival.slot_time();
+        let end = completion.last_completion().max(slots_end).max(t0);
         let elapsed = end.duration_since(t0);
-        let bytes = self.params.link.bytes_delivered(processed - p0);
+        let processed = completion.processed();
+        let bytes = params.link.bytes_delivered(processed - p0);
         let achieved = Bandwidth::achieved(bytes, elapsed.max(SimDuration::from_ps(1)));
-        let utilization = achieved
-            .utilization_of(self.params.link.bandwidth())
-            .min(1.0);
-        let (l2, l3) = self.iommu.walk_cache_stats();
+        let utilization = achieved.utilization_of(params.link.bandwidth()).min(1.0);
+        let (l2, l3) = walk.walk_cache_stats();
         // Fills still queued when the trace ends were never delivered:
         // their predicted access never arrived.
-        let fills_expired = fills.len() as u64;
-        if O::ENABLED {
-            // Deterministic heap-ordered drain of the undelivered fills,
-            // stamped at the last arrival slot (the end of simulated time).
-            while let Some(Reverse(fill)) = fills.pop() {
-                obs.record(
-                    slots_end.as_ps(),
-                    Event::PrefetchExpire {
-                        did: fill.did,
-                        iova: fill.iova,
-                    },
-                );
-            }
-        }
+        let fills_expired = prefetch.expire_remaining(slots_end, obs);
+        let requests = lookup.requests();
+        let dropped = completion.dropped();
+        let (packet_latency, per_tenant) = completion.into_accumulators();
 
         SimReport {
-            config_name: self.config.name.clone(),
-            workload: self.trace.params().kind,
-            interleaving: self.trace.interleaving(),
-            tenants: self.trace.tenants(),
+            config_name: config.name,
+            workload: arrival.trace().params().kind,
+            interleaving: arrival.trace().interleaving(),
+            tenants: arrival.trace().tenants(),
             packets_processed: processed,
             packets_dropped: dropped,
             bytes,
             elapsed,
             achieved,
             utilization,
-            devtlb: *self.devtlb.stats(),
-            prefetch_buffer: self
-                .prefetch
-                .as_ref()
-                .map(|pf| *pf.buffer_stats())
-                .unwrap_or_default(),
+            devtlb: *lookup.devtlb_stats(),
+            prefetch_buffer: prefetch.buffer_stats(),
             pb_served_fraction: if requests == 0 {
                 0.0
             } else {
-                pb_served as f64 / requests as f64
+                lookup.pb_served() as f64 / requests as f64
             },
-            prefetches_issued,
-            prefetch_fills_late: fills_late,
+            prefetches_issued: prefetch.issued(),
+            prefetch_fills_late: prefetch.fills_late(),
             prefetch_fills_expired: fills_expired,
-            iommu: self.iommu.stats(),
+            iommu: walk.iommu_stats(),
             l2_cache: l2,
             l3_cache: l3,
             translation_requests: requests,
             packet_latency,
-            per_tenant: tenant_acc.map(|tenants| PerTenantReport { tenants }),
+            per_tenant,
         }
     }
-
-    /// Looks up the DID owning `sid` in the sorted SID table.
-    fn did_for_sid(&self, sid: u32) -> Did {
-        let i = self
-            .did_of_sid
-            .binary_search_by_key(&sid, |&(s, _)| s)
-            .expect("every trace SID is registered at construction");
-        self.did_of_sid[i].1
-    }
-
-    /// Configured SID-predictor history length (0 when prefetch is off).
-    fn prefetch_history_len(&self) -> usize {
-        self.config
-            .prefetch
-            .as_ref()
-            .map(|pf| pf.history_len)
-            .unwrap_or(0)
-    }
-
-    /// IOMMU-side latency for one walk, accounting for walker contention
-    /// when a walker cap is configured.
-    fn walk_latency(&mut self, at: SimTime, walk: SimDuration) -> SimDuration {
-        match self.walkers.as_mut() {
-            None => walk,
-            Some(pool) => {
-                let (_, end) = pool.schedule(at, walk);
-                end.duration_since(at)
-            }
-        }
-    }
-}
-
-/// Truncates a translated address back to its page base for caching.
-fn page_base(hpa: hypersio_types::HPa, size: hypersio_types::PageSize) -> hypersio_types::HPa {
-    hypersio_types::HPa::new(hpa.raw() & !size.offset_mask())
 }
 
 impl fmt::Debug for Simulation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
             .field("config", &self.config.name)
-            .field("tenants", &self.trace.tenants())
-            .field("workload", &self.trace.params().kind)
+            .field("tenants", &self.state.arrival.trace().tenants())
+            .field("workload", &self.state.arrival.trace().params().kind)
             .finish()
     }
 }

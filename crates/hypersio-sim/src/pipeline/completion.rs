@@ -1,0 +1,158 @@
+//! Completion stage: packet latency, warm-up bookkeeping, and per-tenant
+//! accumulation.
+
+use hypersio_obs::{Event, Observer};
+use hypersio_types::{Did, SimTime};
+
+use crate::latency::LatencyStats;
+use crate::per_tenant::{PerTenantReport, TenantStat};
+
+/// Stage 5 — where served packets are accounted.
+///
+/// Owns everything the end-of-run report aggregates from the packet
+/// lifecycle: processed/dropped counts, the packet-latency histogram, the
+/// warm-up window marker, the last completion time (which fixes the
+/// bandwidth measurement interval), and the opt-in per-DID accumulators.
+///
+/// The lookup stage also feeds the per-tenant hit/miss counters through
+/// [`CompletionStage::note_devtlb`] / [`CompletionStage::note_pb_hit`]:
+/// probes happen at arrival, but their per-tenant attribution is report
+/// accumulation and lives here with the rest of it.
+///
+/// Emits [`Event::PacketDrop`] and [`Event::PacketComplete`].
+pub(crate) struct CompletionStage {
+    processed: u64,
+    dropped: u64,
+    last_completion: SimTime,
+    /// `(time, packets)` at warm-up end, once reached.
+    warmup_end: Option<(SimTime, u64)>,
+    warmup_packets: u64,
+    packet_latency: LatencyStats,
+    bytes_per_packet: u64,
+    /// Opt-in per-DID accumulators (index = DID).
+    tenants: Option<Vec<TenantStat>>,
+}
+
+impl CompletionStage {
+    /// Creates the stage; `per_tenant` carries the tenant count when
+    /// per-DID collection was opted in.
+    pub(crate) fn new(warmup_packets: u64, bytes_per_packet: u64, per_tenant: Option<u32>) -> Self {
+        CompletionStage {
+            processed: 0,
+            dropped: 0,
+            last_completion: SimTime::ZERO,
+            warmup_end: None,
+            warmup_packets,
+            packet_latency: LatencyStats::new(),
+            bytes_per_packet,
+            tenants: per_tenant.map(|count| {
+                (0..count)
+                    .map(|did| TenantStat {
+                        did,
+                        ..TenantStat::default()
+                    })
+                    .collect()
+            }),
+        }
+    }
+
+    /// Attributes a DevTLB probe outcome to its tenant.
+    pub(crate) fn note_devtlb(&mut self, did: Did, hit: bool) {
+        if let Some(acc) = self.tenants.as_mut() {
+            let t = &mut acc[did.raw() as usize];
+            if hit {
+                t.devtlb_hits += 1;
+            } else {
+                t.devtlb_misses += 1;
+            }
+        }
+    }
+
+    /// Attributes a Prefetch Buffer hit to its tenant.
+    pub(crate) fn note_pb_hit(&mut self, did: Did) {
+        if let Some(acc) = self.tenants.as_mut() {
+            acc[did.raw() as usize].pb_hits += 1;
+        }
+    }
+
+    /// Accounts a PTB-full drop (the packet retries at the next slot).
+    pub(crate) fn record_drop<O: Observer>(&mut self, did: Did, now: SimTime, obs: &mut O) {
+        self.dropped += 1;
+        if O::ENABLED {
+            obs.record(now.as_ps(), Event::PacketDrop { did });
+        }
+        if let Some(acc) = self.tenants.as_mut() {
+            acc[did.raw() as usize].drops += 1;
+        }
+    }
+
+    /// Accounts a served packet: latency sample, per-tenant shares, the
+    /// completion horizon, and the warm-up marker.
+    pub(crate) fn record_complete<O: Observer>(
+        &mut self,
+        did: Did,
+        now: SimTime,
+        completion: SimTime,
+        obs: &mut O,
+    ) {
+        self.processed += 1;
+        let latency = completion.duration_since(now);
+        self.packet_latency.record(latency);
+        if O::ENABLED {
+            obs.record(
+                completion.as_ps(),
+                Event::PacketComplete {
+                    did,
+                    latency_ps: latency.as_ps(),
+                },
+            );
+        }
+        if let Some(acc) = self.tenants.as_mut() {
+            let t = &mut acc[did.raw() as usize];
+            t.packets += 1;
+            t.bytes += self.bytes_per_packet;
+            t.latency.record(latency);
+        }
+        self.last_completion = self.last_completion.max(completion);
+        if self.warmup_end.is_none()
+            && self.warmup_packets > 0
+            && self.processed >= self.warmup_packets
+        {
+            self.warmup_end = Some((completion, self.processed));
+        }
+    }
+
+    /// The `(time, packets)` origin of the bandwidth measurement: the end
+    /// of the warm-up window if one was configured and the run got past
+    /// it, otherwise time zero.
+    pub(crate) fn measurement_origin(&self) -> (SimTime, u64) {
+        match self.warmup_end {
+            Some((t, p)) if p < self.processed => (t, p),
+            _ => (SimTime::ZERO, 0),
+        }
+    }
+
+    /// Packets fully served.
+    pub(crate) fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Packets dropped for PTB exhaustion (each later retried).
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Completion time of the last packet to finish.
+    pub(crate) fn last_completion(&self) -> SimTime {
+        self.last_completion
+    }
+
+    /// Consumes the stage into its report payloads: the latency histogram
+    /// and the optional per-tenant table.
+    pub(crate) fn into_accumulators(self) -> (LatencyStats, Option<PerTenantReport>) {
+        (
+            self.packet_latency,
+            self.tenants.map(|tenants| PerTenantReport { tenants }),
+        )
+    }
+}

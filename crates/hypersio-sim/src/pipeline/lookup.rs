@@ -1,0 +1,172 @@
+//! Lookup stage: the per-request DevTLB / Prefetch Buffer probe.
+
+use hypersio_cache::CacheStats;
+use hypersio_obs::{Event, Observer};
+use hypersio_trace::TracePacket;
+use hypersio_types::{Did, GIova, Sid, SimTime};
+use hypertrio_core::{DevTlb, TlbEntry};
+
+use super::completion::CompletionStage;
+use super::prefetch::PrefetchStage;
+use super::{Deferred, ReqClock};
+use crate::sid_map::SidMap;
+
+/// Stage 3 — one DevTLB/PB probe per translation request, once per packet.
+///
+/// Owns the DevTLB, the translation-request counters, and the recycled
+/// per-packet miss list (packets arrive one at a time, so a single buffer
+/// serves every arrival without re-allocating; it travels inside the
+/// [`Deferred`] through admission and comes back via
+/// [`LookupStage::reclaim`]).
+///
+/// Probes are performed exactly once per packet even across PTB-full
+/// retries, so oracle replacement sees each request exactly once. Native
+/// mode (Fig 5 host-interface runs) bypasses the probe entirely but still
+/// counts and clocks the requests.
+///
+/// Emits [`Event::DevTlbHit`]/[`Event::DevTlbMiss`]/[`Event::DevTlbEvict`]
+/// and [`Event::PbHit`]/[`Event::PbMiss`].
+pub(crate) struct LookupStage {
+    devtlb: DevTlb,
+    bypass: bool,
+    requests: u64,
+    pb_served: u64,
+    /// Recycled per-packet miss list.
+    miss_buf: Vec<GIova>,
+}
+
+impl LookupStage {
+    /// Creates the stage around a constructed DevTLB.
+    pub(crate) fn new(devtlb: DevTlb, bypass: bool) -> Self {
+        LookupStage {
+            devtlb,
+            bypass,
+            requests: 0,
+            pb_served: 0,
+            miss_buf: Vec::new(),
+        }
+    }
+
+    /// True when translation is bypassed (native host interface).
+    pub(crate) fn bypass(&self) -> bool {
+        self.bypass
+    }
+
+    /// Probes all of a fresh packet's requests against the DevTLB and (on
+    /// DevTLB miss) the Prefetch Buffer, producing the packet's precomputed
+    /// translation outcome for admission and service.
+    // Sibling stages are threaded explicitly — that is the pipeline's
+    // interface style, not incidental parameter sprawl.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe<O: Observer>(
+        &mut self,
+        packet: TracePacket,
+        now: SimTime,
+        prefetch: &mut PrefetchStage,
+        tenants: &mut CompletionStage,
+        clock: &mut ReqClock,
+        sids: &mut SidMap,
+        obs: &mut O,
+    ) -> Deferred {
+        // The packet path resolves SIDs through the same shared map as the
+        // prefetch path; the trace generator guarantees they agree.
+        debug_assert_eq!(
+            sids.resolve(packet.sid.raw()),
+            packet.did,
+            "trace packet carries a foreign DID"
+        );
+        let mut misses = std::mem::take(&mut self.miss_buf);
+        let mut hits = 0u32;
+        if self.bypass {
+            self.requests += packet.iovas.len() as u64;
+            clock.advance(packet.iovas.len() as u64);
+        } else {
+            for iova in packet.iovas {
+                self.requests += 1;
+                let req = clock.tick();
+                if self
+                    .devtlb
+                    .lookup(packet.sid, packet.did, iova, req)
+                    .is_some()
+                {
+                    hits += 1;
+                    if O::ENABLED {
+                        obs.record(now.as_ps(), Event::DevTlbHit { did: packet.did });
+                    }
+                    tenants.note_devtlb(packet.did, true);
+                    continue;
+                }
+                if O::ENABLED {
+                    obs.record(now.as_ps(), Event::DevTlbMiss { did: packet.did });
+                }
+                tenants.note_devtlb(packet.did, false);
+                // The PB is probed concurrently with the DevTLB; `None`
+                // means the design has no prefetch unit at all (no PbMiss
+                // events, matching the pinned-silent Base taxonomy).
+                match prefetch.probe_buffer(packet.did, iova, req) {
+                    Some(true) => {
+                        self.pb_served += 1;
+                        hits += 1;
+                        if O::ENABLED {
+                            obs.record(now.as_ps(), Event::PbHit { did: packet.did });
+                        }
+                        tenants.note_pb_hit(packet.did);
+                        continue;
+                    }
+                    Some(false) if O::ENABLED => {
+                        obs.record(now.as_ps(), Event::PbMiss { did: packet.did });
+                    }
+                    _ => {}
+                }
+                misses.push(iova);
+            }
+        }
+        Deferred {
+            packet,
+            misses,
+            hits,
+        }
+    }
+
+    /// Installs a walked translation into the DevTLB, reporting the
+    /// tenant-visible eviction if the fill displaced one.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn install<O: Observer>(
+        &mut self,
+        sid: Sid,
+        did: Did,
+        iova: GIova,
+        entry: TlbEntry,
+        req: u64,
+        now: SimTime,
+        obs: &mut O,
+    ) {
+        let evicted = self.devtlb.insert(sid, did, iova, entry, req);
+        if O::ENABLED {
+            if let Some((old, _)) = evicted {
+                obs.record(now.as_ps(), Event::DevTlbEvict { did: old.did });
+            }
+        }
+    }
+
+    /// Takes the served packet's miss list back for the next arrival.
+    pub(crate) fn reclaim(&mut self, misses: Vec<GIova>) {
+        self.miss_buf = misses;
+        self.miss_buf.clear();
+    }
+
+    /// Total translation requests (three per processed packet).
+    pub(crate) fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Requests served from the Prefetch Buffer.
+    pub(crate) fn pb_served(&self) -> u64 {
+        self.pb_served
+    }
+
+    /// DevTLB access statistics.
+    pub(crate) fn devtlb_stats(&self) -> &CacheStats {
+        self.devtlb.stats()
+    }
+}

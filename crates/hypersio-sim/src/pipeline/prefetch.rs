@@ -1,0 +1,401 @@
+//! Prefetch stage: SID-predictor observation, prefetch planning/issue,
+//! and the pending-fill delivery heap.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hypersio_cache::CacheStats;
+use hypersio_obs::{Event, Observer};
+use hypersio_trace::TracePacket;
+use hypersio_types::{Did, GIova, Sid, SimDuration, SimTime};
+use hypertrio_core::{PrefetchUnit, TlbEntry};
+
+use super::{page_base, walk::WalkStage};
+use crate::sid_map::SidMap;
+
+/// A prefetched translation waiting to be delivered to the Prefetch Buffer.
+///
+/// Delivery is pegged to the device's *observed-access* counter, not to
+/// simulated time: the SID-predictor predicts the tenant `history_len`
+/// observed packets ahead, so the chipset schedules the response for just
+/// before that access (`due_obs`, computed by [`fill_due_obs`]). A walk
+/// that has not finished by then (`done_ps`) is late and the fill is
+/// discarded; an instant fill would be churned out of the 8-entry PB long
+/// before use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingFill {
+    /// Observed-packet count at which the fill becomes deliverable
+    /// (delivered once `observed >= due_obs`).
+    pub(crate) due_obs: u64,
+    /// Simulated time at which the prefetch walk completes.
+    pub(crate) done_ps: u64,
+    /// Tenant prefetched for.
+    pub(crate) did: Did,
+    /// Page prefetched.
+    pub(crate) iova: GIova,
+    /// The translation to install.
+    pub(crate) entry: TlbEntry,
+}
+
+impl PartialOrd for PendingFill {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingFill {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due_obs, self.done_ps, self.did, self.iova.raw()).cmp(&(
+            other.due_obs,
+            other.done_ps,
+            other.did,
+            other.iova.raw(),
+        ))
+    }
+}
+
+/// Delivery point of a prefetch triggered at observed-access `observed`
+/// with predictor history length `history_len`.
+///
+/// The predicted access is expected `history_len` packets after the
+/// trigger; the chipset holds the completed walk and delivers it **two
+/// packets early** (`history_len - 2`): one slot for the trigger packet
+/// itself and one slot of slack, so the entry is resident when the
+/// predicted tenant's access probes the PB.
+///
+/// The subtraction **saturates** for `history_len < 2`: the lead collapses
+/// to zero and the fill is due at the trigger's own observed count — it is
+/// delivered at the very next arrival's delivery scan (which runs before
+/// that packet's probe), leaving no slack for the walk latency. This keeps
+/// a `history_len = 1` predictor functional (the fill can still serve the
+/// immediately following access if the walk beat the inter-arrival gap)
+/// instead of underflowing into a never-deliverable point.
+pub(crate) fn fill_due_obs(observed: u64, history_len: usize) -> u64 {
+    observed + (history_len as u64).saturating_sub(2)
+}
+
+/// Stage 2 — the translation prefetcher (§III).
+///
+/// Owns the optional [`PrefetchUnit`] (SID-predictor + IOVA history +
+/// Prefetch Buffer) and the heap of [`PendingFill`]s scheduled for future
+/// delivery. Consulted twice per fresh packet: once to deliver fills that
+/// have come due, once to observe the arrival and issue new prefetches
+/// (which borrows the [`WalkStage`] for the actual IOMMU translations —
+/// the stages are separate fields of the pipeline state, so no
+/// detach/re-attach dance is needed).
+///
+/// Emits `PrefetchPredict`/`PrefetchIssue`/`PrefetchFill`/`PrefetchLate`/
+/// `PrefetchExpire` and `PbEvict`, plus `WalkStart`/`WalkDone` for the
+/// walks issued on its behalf (stamped interleaved with the prefetch
+/// events, exactly as the hardware would overlap them).
+pub(crate) struct PrefetchStage {
+    unit: Option<PrefetchUnit>,
+    fills: BinaryHeap<Reverse<PendingFill>>,
+    /// Configured SID-predictor history length (0 when prefetch is off).
+    history_len: usize,
+    /// Memory latency of one IOVA-history fetch.
+    history_read: SimDuration,
+    /// Device ↔ chipset PCIe round trip (prefetch responses cross it).
+    pcie_round: SimDuration,
+    issued: u64,
+    fills_late: u64,
+}
+
+impl PrefetchStage {
+    /// Creates the stage; `unit` is `None` for non-prefetching designs.
+    pub(crate) fn new(
+        unit: Option<PrefetchUnit>,
+        history_read: SimDuration,
+        pcie_round: SimDuration,
+    ) -> Self {
+        let history_len = unit.as_ref().map(|u| u.history_len()).unwrap_or(0);
+        PrefetchStage {
+            unit,
+            fills: BinaryHeap::new(),
+            history_len,
+            history_read,
+            pcie_round,
+            issued: 0,
+            fills_late: 0,
+        }
+    }
+
+    /// Delivers every pending fill scheduled for this point in the access
+    /// stream; completed walks enter the PB, unfinished ones are late and
+    /// discarded.
+    pub(crate) fn deliver_due<O: Observer>(
+        &mut self,
+        observed: u64,
+        now: SimTime,
+        req_now: u64,
+        obs: &mut O,
+    ) {
+        while let Some(Reverse(fill)) = self.fills.peek().copied() {
+            if fill.due_obs > observed {
+                break;
+            }
+            self.fills.pop();
+            if fill.done_ps <= now.as_ps() {
+                let evicted = self
+                    .unit
+                    .as_mut()
+                    .and_then(|pf| pf.fill(fill.did, fill.iova, fill.entry, req_now));
+                if O::ENABLED {
+                    obs.record(
+                        now.as_ps(),
+                        Event::PrefetchFill {
+                            did: fill.did,
+                            iova: fill.iova,
+                        },
+                    );
+                    if let Some((old, _)) = evicted {
+                        obs.record(now.as_ps(), Event::PbEvict { did: old.did });
+                    }
+                }
+            } else {
+                self.fills_late += 1;
+                if O::ENABLED {
+                    obs.record(
+                        now.as_ps(),
+                        Event::PrefetchLate {
+                            did: fill.did,
+                            iova: fill.iova,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Observes an arrival from `sid`; if the predictor proposes a tenant,
+    /// plans and issues the prefetch walks through `walk` and schedules
+    /// their deliveries.
+    // Sibling stages are threaded explicitly — that is the pipeline's
+    // interface style, not incidental parameter sprawl.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn observe_and_issue<O: Observer>(
+        &mut self,
+        sid: Sid,
+        now: SimTime,
+        observed: u64,
+        sids: &mut SidMap,
+        walk: &mut WalkStage,
+        req_now: u64,
+        obs: &mut O,
+    ) {
+        let Some(req) = self.unit.as_mut().and_then(|pf| pf.observe(sid)) else {
+            return;
+        };
+        if O::ENABLED {
+            obs.record(now.as_ps(), Event::PrefetchPredict { sid: req.sid });
+        }
+        let did = sids.resolve(req.sid.raw());
+        let pages = self
+            .unit
+            .as_mut()
+            .expect("a prediction implies a unit")
+            .plan(did, req_now);
+        for iova in pages {
+            if O::ENABLED {
+                obs.record(now.as_ps(), Event::WalkStart { did, iova });
+            }
+            // Translate ahead of time; warms the walk caches and fills the
+            // PB later.
+            let Ok(resp) = walk.translate(req.sid, did, iova, req_now) else {
+                continue;
+            };
+            self.issued += 1;
+            let latency = walk.walk_latency(now, resp.latency);
+            let done = now + self.history_read + self.pcie_round + latency;
+            if O::ENABLED {
+                obs.record(now.as_ps(), Event::PrefetchIssue { did, iova });
+                obs.record(
+                    done.as_ps(),
+                    Event::WalkDone {
+                        did,
+                        latency_ps: latency.as_ps(),
+                    },
+                );
+            }
+            self.fills.push(Reverse(PendingFill {
+                due_obs: fill_due_obs(observed, self.history_len),
+                done_ps: done.as_ps(),
+                did,
+                iova,
+                entry: TlbEntry {
+                    hpa_base: page_base(resp.hpa, resp.size),
+                    size: resp.size,
+                },
+            }));
+        }
+    }
+
+    /// Probes the Prefetch Buffer for `iova`. `None` when no unit is
+    /// configured; `Some(hit)` otherwise (the probe counts in the PB's
+    /// cache statistics either way it resolves).
+    pub(crate) fn probe_buffer(&mut self, did: Did, iova: GIova, req_now: u64) -> Option<bool> {
+        self.unit
+            .as_mut()
+            .map(|pf| pf.lookup(did, iova, req_now).is_some())
+    }
+
+    /// Records a served packet's gIOVAs in the per-DID history.
+    pub(crate) fn record_history(&mut self, packet: &TracePacket) {
+        if let Some(pf) = self.unit.as_mut() {
+            for iova in packet.iovas {
+                pf.record_history(packet.did, iova);
+            }
+        }
+    }
+
+    /// Drains fills still queued at the end of the run — their predicted
+    /// access never arrived — and returns how many expired. Events are
+    /// emitted in deterministic heap order, stamped at `at` (the end of
+    /// simulated time).
+    pub(crate) fn expire_remaining<O: Observer>(&mut self, at: SimTime, obs: &mut O) -> u64 {
+        let expired = self.fills.len() as u64;
+        if O::ENABLED {
+            while let Some(Reverse(fill)) = self.fills.pop() {
+                obs.record(
+                    at.as_ps(),
+                    Event::PrefetchExpire {
+                        did: fill.did,
+                        iova: fill.iova,
+                    },
+                );
+            }
+        }
+        expired
+    }
+
+    /// Prefetch walks issued to the IOMMU.
+    pub(crate) fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Fills discarded because their walk outlived the delivery point.
+    pub(crate) fn fills_late(&self) -> u64 {
+        self.fills_late
+    }
+
+    /// Prefetch Buffer statistics (zeroed default when prefetch is off).
+    pub(crate) fn buffer_stats(&self) -> CacheStats {
+        self.unit
+            .as_ref()
+            .map(|pf| *pf.buffer_stats())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersio_obs::{CountingObserver, EventKind, NullObserver};
+    use hypersio_types::{HPa, PageSize};
+
+    fn entry() -> TlbEntry {
+        TlbEntry {
+            hpa_base: HPa::new(0x7000_0000),
+            size: PageSize::Size4K,
+        }
+    }
+
+    fn fill(due_obs: u64, done_ps: u64) -> Reverse<PendingFill> {
+        Reverse(PendingFill {
+            due_obs,
+            done_ps,
+            did: Did::new(1),
+            iova: GIova::new(0x1000),
+            entry: entry(),
+        })
+    }
+
+    fn stage() -> PrefetchStage {
+        PrefetchStage::new(
+            Some(PrefetchUnit::new(8, 48, 2)),
+            SimDuration::from_ns(50),
+            SimDuration::from_ns(900),
+        )
+    }
+
+    // ---- fill_due_obs semantics (pinned; see the function docs) ----
+
+    #[test]
+    fn due_obs_leads_by_history_minus_two_at_history_8() {
+        assert_eq!(fill_due_obs(10, 8), 16);
+        assert_eq!(fill_due_obs(0, 8), 6);
+    }
+
+    #[test]
+    fn due_obs_collapses_to_zero_lead_at_history_2() {
+        // history_len = 2 is the boundary: the two-packet early delivery
+        // exactly cancels the lead, so the fill is due at the trigger.
+        assert_eq!(fill_due_obs(10, 2), 10);
+    }
+
+    #[test]
+    fn due_obs_saturates_at_history_1() {
+        // history_len = 1 must not underflow past the trigger: it
+        // saturates to the same zero-lead point as history_len = 2.
+        assert_eq!(fill_due_obs(10, 1), 10);
+        assert_eq!(fill_due_obs(10, 1), fill_due_obs(10, 2));
+        // Degenerate history_len = 0 (prefetch off) saturates identically.
+        assert_eq!(fill_due_obs(10, 0), 10);
+    }
+
+    // ---- delivery behaviour around the due point ----
+
+    #[test]
+    fn fill_delivered_once_observed_reaches_due() {
+        let mut st = stage();
+        st.fills.push(fill(5, 1_000));
+        let mut counts = CountingObserver::new();
+        // observed < due_obs: stays queued.
+        st.deliver_due(4, SimTime::from_ps(2_000), 0, &mut counts);
+        assert_eq!(st.fills.len(), 1);
+        // observed == due_obs and the walk is done: delivered.
+        st.deliver_due(5, SimTime::from_ps(2_000), 0, &mut counts);
+        assert!(st.fills.is_empty());
+        assert_eq!(counts.count(EventKind::PrefetchFill), 1);
+        assert_eq!(st.fills_late(), 0);
+    }
+
+    #[test]
+    fn unfinished_walk_at_due_point_is_late() {
+        let mut st = stage();
+        st.fills.push(fill(5, 10_000));
+        let mut counts = CountingObserver::new();
+        st.deliver_due(5, SimTime::from_ps(2_000), 0, &mut counts);
+        assert!(st.fills.is_empty());
+        assert_eq!(st.fills_late(), 1);
+        assert_eq!(counts.count(EventKind::PrefetchLate), 1);
+        assert_eq!(counts.count(EventKind::PrefetchFill), 0);
+    }
+
+    #[test]
+    fn undelivered_fills_expire_in_heap_order() {
+        let mut st = stage();
+        st.fills.push(fill(9, 1));
+        st.fills.push(fill(7, 1));
+        let mut counts = CountingObserver::new();
+        let expired = st.expire_remaining(SimTime::from_ps(123), &mut counts);
+        assert_eq!(expired, 2);
+        assert_eq!(counts.count(EventKind::PrefetchExpire), 2);
+        assert!(st.fills.is_empty());
+        // The count is identical with a disabled observer.
+        let mut st = stage();
+        st.fills.push(fill(9, 1));
+        assert_eq!(
+            st.expire_remaining(SimTime::from_ps(123), &mut NullObserver),
+            1
+        );
+    }
+
+    #[test]
+    fn probe_buffer_is_none_without_a_unit() {
+        let mut st = PrefetchStage::new(None, SimDuration::from_ns(50), SimDuration::from_ns(900));
+        assert_eq!(st.probe_buffer(Did::new(0), GIova::new(0x1000), 0), None);
+        assert_eq!(st.buffer_stats(), CacheStats::default());
+        assert_eq!(st.expire_remaining(SimTime::ZERO, &mut NullObserver), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Walk stage: PTB admission/occupancy and the IOMMU translation engine.
+
+use hypersio_cache::CacheStats;
+use hypersio_mem::{Iommu, IommuResponse, IommuStats, TranslationFault};
+use hypersio_obs::{Event, Observer};
+use hypersio_types::{Did, GIova, Sid, SimDuration, SimTime};
+use hypertrio_core::TlbEntry;
+
+use super::lookup::LookupStage;
+use super::{page_base, Deferred, ReqClock};
+use crate::slot_pool::SlotPool;
+
+/// Stage 4 — the Pending Translation Buffer and the IOMMU behind it.
+///
+/// Owns the PTB slot pool (admission control: a packet must find at least
+/// one free slot at arrival or it is dropped, §IV-C), the optional IOMMU
+/// walker pool (walker contention), and the IOMMU itself (context fetch +
+/// two-dimensional walk, or flat-table reads).
+///
+/// Every in-flight translation — hit or miss — occupies a PTB slot, which
+/// is what gives the single-entry Base PTB its head-of-line blocking: one
+/// outstanding walk blocks even packets that would have hit.
+///
+/// Emits [`Event::PtbAlloc`]/[`Event::PtbRelease`] and, for demand walks,
+/// [`Event::WalkStart`]/[`Event::WalkDone`] (prefetch walks are run
+/// through [`WalkStage::translate`] and stamped by the prefetch stage,
+/// interleaved with its `Prefetch*` events).
+pub(crate) struct WalkStage {
+    iommu: Iommu,
+    ptb: SlotPool,
+    walkers: Option<SlotPool>,
+    pcie_round: SimDuration,
+    hit_latency: SimDuration,
+}
+
+impl WalkStage {
+    /// Creates the stage around a constructed IOMMU and PTB.
+    pub(crate) fn new(
+        iommu: Iommu,
+        ptb: SlotPool,
+        walkers: Option<SlotPool>,
+        pcie_round: SimDuration,
+        hit_latency: SimDuration,
+    ) -> Self {
+        WalkStage {
+            iommu,
+            ptb,
+            walkers,
+            pcie_round,
+            hit_latency,
+        }
+    }
+
+    /// Admission: can a packet allocate into the PTB at `now`? Native
+    /// bypass mode admits unconditionally (nothing is tracked).
+    pub(crate) fn admit(&self, now: SimTime, bypass: bool) -> bool {
+        bypass || self.ptb.has_free(now)
+    }
+
+    /// Serves an admitted packet: hits occupy a PTB slot for the hit
+    /// latency, misses for the PCIe round trip plus the walk; walked
+    /// translations are installed into the DevTLB. Returns the packet's
+    /// completion time (when its last translation finishes).
+    pub(crate) fn serve<O: Observer>(
+        &mut self,
+        work: &Deferred,
+        now: SimTime,
+        lookup: &mut LookupStage,
+        clock: &mut ReqClock,
+        obs: &mut O,
+    ) -> SimTime {
+        let mut completion = now + self.hit_latency;
+        for _ in 0..work.hits {
+            let (start, end) = self.ptb.schedule(now, self.hit_latency);
+            completion = completion.max(end);
+            if O::ENABLED {
+                obs.record(
+                    start.as_ps(),
+                    Event::PtbAlloc {
+                        start_ps: start.as_ps(),
+                        end_ps: end.as_ps(),
+                    },
+                );
+                obs.record(end.as_ps(), Event::PtbRelease);
+            }
+        }
+        for &iova in &work.misses {
+            let req = clock.tick();
+            if O::ENABLED {
+                obs.record(
+                    now.as_ps(),
+                    Event::WalkStart {
+                        did: work.packet.did,
+                        iova,
+                    },
+                );
+            }
+            match self
+                .iommu
+                .translate(work.packet.sid, work.packet.did, iova, req)
+            {
+                Ok(resp) => {
+                    let walk = self.walk_latency(now, resp.latency);
+                    let (start, end) = self.ptb.schedule(now, self.pcie_round + walk);
+                    completion = completion.max(end);
+                    if O::ENABLED {
+                        obs.record(
+                            start.as_ps(),
+                            Event::PtbAlloc {
+                                start_ps: start.as_ps(),
+                                end_ps: end.as_ps(),
+                            },
+                        );
+                        obs.record(end.as_ps(), Event::PtbRelease);
+                        obs.record(
+                            end.as_ps(),
+                            Event::WalkDone {
+                                did: work.packet.did,
+                                latency_ps: walk.as_ps(),
+                            },
+                        );
+                    }
+                    lookup.install(
+                        work.packet.sid,
+                        work.packet.did,
+                        iova,
+                        TlbEntry {
+                            hpa_base: page_base(resp.hpa, resp.size),
+                            size: resp.size,
+                        },
+                        req,
+                        now,
+                        obs,
+                    );
+                }
+                Err(fault) => {
+                    // Synthetic inventories map every trace page; a fault
+                    // here is a construction bug.
+                    panic!("unexpected translation fault: {fault}");
+                }
+            }
+        }
+        completion
+    }
+
+    /// One raw IOMMU translation on behalf of the prefetch stage (which
+    /// stamps the walk events itself, interleaved with its own).
+    pub(crate) fn translate(
+        &mut self,
+        sid: Sid,
+        did: Did,
+        iova: GIova,
+        req: u64,
+    ) -> Result<IommuResponse, TranslationFault> {
+        self.iommu.translate(sid, did, iova, req)
+    }
+
+    /// IOMMU-side latency for one walk, accounting for walker contention
+    /// when a walker cap is configured.
+    pub(crate) fn walk_latency(&mut self, at: SimTime, walk: SimDuration) -> SimDuration {
+        match self.walkers.as_mut() {
+            None => walk,
+            Some(pool) => {
+                let (_, end) = pool.schedule(at, walk);
+                end.duration_since(at)
+            }
+        }
+    }
+
+    /// Aggregate IOMMU statistics.
+    pub(crate) fn iommu_stats(&self) -> IommuStats {
+        self.iommu.stats()
+    }
+
+    /// (L2, L3) walk-cache statistics.
+    pub(crate) fn walk_cache_stats(&self) -> (CacheStats, CacheStats) {
+        self.iommu.walk_cache_stats()
+    }
+}

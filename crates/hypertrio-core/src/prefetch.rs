@@ -236,6 +236,11 @@ impl PrefetchUnit {
         self.pages_per_prefetch
     }
 
+    /// Returns the SID-predictor history length (paper: 48).
+    pub fn history_len(&self) -> usize {
+        self.predictor.history_len()
+    }
+
     /// Checks the Prefetch Buffer for `iova` (probing 2 MB then 4 KB tags).
     pub fn lookup(&mut self, did: Did, iova: GIova, now: u64) -> Option<TlbEntry> {
         use hypersio_types::PageSize;
@@ -265,6 +270,19 @@ impl PrefetchUnit {
     pub fn history_pages(&mut self, did: Did) -> Vec<GIova> {
         let n = self.pages_per_prefetch;
         self.history.recent(did, n)
+    }
+
+    /// Plans one prefetch for `did`: reads the tenant's recent pages from
+    /// history (one memory fetch) and filters out pages already resident in
+    /// the Prefetch Buffer, returning the pages the caller should translate
+    /// and later [`PrefetchUnit::fill`].
+    ///
+    /// The residency probes count in the PB statistics exactly like demand
+    /// lookups (hardware shares the tag port).
+    pub fn plan(&mut self, did: Did, now: u64) -> Vec<GIova> {
+        let mut pages = self.history_pages(did);
+        pages.retain(|&iova| self.lookup(did, iova, now).is_none());
+        pages
     }
 
     /// Installs a prefetched translation into the Prefetch Buffer.

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Golden bit-identity harness.
+#
+# Runs every figure/ablation binary (21), the four CLI DevTLB-policy runs,
+# and the CLI tenant sweep at a tiny deterministic scale, then byte-compares
+# each stdout against the files committed under tests/golden/.  Any refactor
+# of the simulation engine must leave all of these bit-identical; a change
+# here is a behaviour change and needs an explicit golden refresh.
+#
+#   scripts/golden_diff.sh generate <dir>   regenerate outputs into <dir>
+#   scripts/golden_diff.sh check            regenerate + diff vs tests/golden/
+#   scripts/golden_diff.sh bless            regenerate into tests/golden/
+#
+# SCALE divides per-tenant request counts (bigger = shorter traces), so the
+# knobs below are a fast smoke-sized run, not the paper-sized results/ set.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Tiny deterministic knobs. JOBS=2 also exercises the parallel sweep path,
+# whose output is guaranteed bit-identical to serial.
+export SCALE=4000 MAX_TENANTS=128 TENANTS=32 ROWS=8 JOBS=2
+
+BINS=(
+  table02_params table03_requests table04_configs
+  fig04_miss_rate fig05_native_vs_vf
+  fig08a_access_freq fig08b_access_pattern
+  fig09_iotlb_config fig10_scalability
+  fig11a_devtlb_size fig11b_replacement fig11c_fully_assoc
+  fig12a_partitioning fig12b_ptb_size fig12c_prefetch
+  abl_flat_table abl_link_speed abl_nested_tlb
+  abl_page_levels abl_partition_count abl_walker_cap
+)
+POLICIES=(lru lfu fifo random)
+
+generate() {
+  local out="$1"
+  mkdir -p "$out"
+  cargo build --release -q -p bench --bins
+  cargo build --release -q --bin hypertrio
+  for bin in "${BINS[@]}"; do
+    echo "golden: $bin"
+    "target/release/$bin" > "$out/$bin.txt"
+  done
+  for policy in "${POLICIES[@]}"; do
+    echo "golden: cli sim --policy $policy"
+    target/release/hypertrio sim --tenants 32 --scale 2000 --policy "$policy" \
+      > "$out/cli_policy_$policy.txt"
+  done
+  echo "golden: cli sweep"
+  target/release/hypertrio sweep --tenants 128 --scale 4000 --jobs 2 \
+    > "$out/cli_sweep.txt"
+}
+
+case "${1:-check}" in
+  generate)
+    generate "${2:?usage: golden_diff.sh generate <dir>}"
+    ;;
+  bless)
+    generate tests/golden
+    ;;
+  check)
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    generate "$tmp"
+    fail=0
+    for f in tests/golden/*.txt; do
+      name="$(basename "$f")"
+      if ! cmp -s "$f" "$tmp/$name"; then
+        echo "GOLDEN MISMATCH: $name" >&2
+        diff -u "$f" "$tmp/$name" | head -40 >&2 || true
+        fail=1
+      fi
+    done
+    for f in "$tmp"/*.txt; do
+      name="$(basename "$f")"
+      [ -f "tests/golden/$name" ] || { echo "UNTRACKED GOLDEN: $name" >&2; fail=1; }
+    done
+    if [ "$fail" -ne 0 ]; then
+      echo "golden diff FAILED" >&2
+      exit 1
+    fi
+    echo "golden diff OK: $(ls tests/golden/*.txt | wc -l) files bit-identical"
+    ;;
+  *)
+    echo "usage: $0 {generate <dir>|check|bless}" >&2
+    exit 2
+    ;;
+esac

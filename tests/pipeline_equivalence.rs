@@ -1,0 +1,186 @@
+//! Differential equivalence of the staged pipeline.
+//!
+//! The simulation engine is five stages orchestrated by
+//! `Simulation::run_with`; this suite pins the properties any future
+//! engine restructuring must preserve, on seeded (SplitMix64-derived)
+//! traces at 128 and 1024 tenants for the three architecture shapes —
+//! Base, HyperTRIO without prefetch, and prefetch-enabled HyperTRIO:
+//!
+//! 1. **Report equivalence**: two runs over identically seeded traces
+//!    produce `SimReport`s that are equal, observed or not (the observer
+//!    machinery must be behaviour-free).
+//! 2. **Event-stream equivalence**: the recorded event streams of two
+//!    identically seeded runs are byte-identical (JSONL compared), so the
+//!    emission *order*, not just the totals, is deterministic.
+//! 3. **Reconciliation**: the event totals satisfy the same
+//!    stream-vs-report equalities pinned in
+//!    `tests/observer_reconciliation.rs`, at both tenant scales.
+
+use hypersio_sim::{
+    CountingObserver, EventKind, NullObserver, RingRecorder, SimParams, SimReport, Simulation,
+};
+use hypersio_trace::{HyperTrace, HyperTraceBuilder, WorkloadKind};
+use hypertrio_core::TranslationConfig;
+
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15; // the SplitMix64 increment
+const RING_CAPACITY: usize = 1 << 20;
+
+/// The three architecture shapes under differential test.
+fn configs() -> Vec<TranslationConfig> {
+    vec![
+        TranslationConfig::base(),
+        TranslationConfig::hypertrio().without_prefetch(),
+        TranslationConfig::hypertrio(),
+    ]
+}
+
+/// A seeded trace; `scale` shrinks with tenant count so both scales run in
+/// comparable time.
+fn seeded_trace(tenants: u32) -> HyperTrace {
+    HyperTraceBuilder::new(WorkloadKind::Websearch, tenants)
+        .scale(4000 * tenants as u64 / 128)
+        .seed(SEED)
+        .build()
+}
+
+#[test]
+fn observed_and_unobserved_reports_are_equal() {
+    for tenants in [128u32, 1024] {
+        for config in configs() {
+            let name = config.name.clone();
+            let mut ring = RingRecorder::new(RING_CAPACITY);
+            let observed =
+                Simulation::new(config.clone(), SimParams::paper(), seeded_trace(tenants))
+                    .run_with(&mut ring);
+            let unobserved = Simulation::new(config, SimParams::paper(), seeded_trace(tenants))
+                .run_with(&mut NullObserver);
+            assert_eq!(observed, unobserved, "{name} @ {tenants} tenants");
+            assert!(
+                observed.packets_processed > 0,
+                "{name} @ {tenants}: degenerate run"
+            );
+        }
+    }
+}
+
+#[test]
+fn event_streams_of_seeded_runs_are_byte_identical() {
+    for tenants in [128u32, 1024] {
+        for config in configs() {
+            let name = config.name.clone();
+            let mut jsonl = Vec::new();
+            let mut reports = Vec::new();
+            for _ in 0..2 {
+                let mut ring = RingRecorder::new(RING_CAPACITY);
+                let report =
+                    Simulation::new(config.clone(), SimParams::paper(), seeded_trace(tenants))
+                        .run_with(&mut ring);
+                assert_eq!(
+                    ring.overwritten(),
+                    0,
+                    "{name} @ {tenants}: ring too small to compare full streams"
+                );
+                let mut bytes = Vec::new();
+                ring.write_jsonl(&mut bytes).expect("in-memory write");
+                assert!(!bytes.is_empty(), "{name} @ {tenants}: empty stream");
+                jsonl.push(bytes);
+                reports.push(report);
+            }
+            assert_eq!(reports[0], reports[1], "{name} @ {tenants} tenants");
+            assert_eq!(
+                jsonl[0], jsonl[1],
+                "{name} @ {tenants}: event streams diverge"
+            );
+        }
+    }
+}
+
+/// The reconciliation contract of `tests/observer_reconciliation.rs`,
+/// re-checked against the staged engine at both tenant scales.
+fn check_reconciliation(report: &SimReport, counts: &CountingObserver, name: &str) {
+    let c = |kind| counts.count(kind);
+    assert_eq!(
+        c(EventKind::PacketArrival),
+        report.packets_processed,
+        "{name}"
+    );
+    assert_eq!(
+        c(EventKind::PacketComplete),
+        report.packets_processed,
+        "{name}"
+    );
+    assert_eq!(c(EventKind::PacketDrop), report.packets_dropped, "{name}");
+    assert_eq!(c(EventKind::PacketRetry), report.packets_dropped, "{name}");
+    assert_eq!(
+        c(EventKind::DevTlbHit) + c(EventKind::DevTlbMiss),
+        report.translation_requests,
+        "{name}"
+    );
+    assert_eq!(c(EventKind::DevTlbHit), report.devtlb.hits(), "{name}");
+    assert_eq!(c(EventKind::DevTlbMiss), report.devtlb.misses(), "{name}");
+    assert_eq!(
+        c(EventKind::DevTlbEvict),
+        report.devtlb.evictions(),
+        "{name}"
+    );
+    assert_eq!(c(EventKind::PtbAlloc), c(EventKind::PtbRelease), "{name}");
+    assert_eq!(
+        c(EventKind::PtbAlloc),
+        report.translation_requests,
+        "{name}"
+    );
+    assert_eq!(c(EventKind::WalkStart), report.iommu.requests, "{name}");
+    assert_eq!(c(EventKind::WalkDone), c(EventKind::WalkStart), "{name}");
+    assert_eq!(
+        c(EventKind::PrefetchIssue),
+        report.prefetches_issued,
+        "{name}"
+    );
+    assert_eq!(
+        c(EventKind::PrefetchFill) + c(EventKind::PrefetchLate) + c(EventKind::PrefetchExpire),
+        report.prefetches_issued,
+        "{name}"
+    );
+    assert_eq!(
+        c(EventKind::PrefetchLate),
+        report.prefetch_fills_late,
+        "{name}"
+    );
+    assert_eq!(
+        c(EventKind::PrefetchExpire),
+        report.prefetch_fills_expired,
+        "{name}"
+    );
+    let served = c(EventKind::PbHit) as f64 / report.translation_requests as f64;
+    assert_eq!(served, report.pb_served_fraction, "{name}");
+}
+
+#[test]
+fn staged_engine_reconciles_at_both_scales() {
+    for tenants in [128u32, 1024] {
+        for config in configs() {
+            let name = format!("{} @ {tenants} tenants", config.name);
+            let mut counts = CountingObserver::new();
+            let report = Simulation::new(config, SimParams::paper(), seeded_trace(tenants))
+                .run_with(&mut counts);
+            check_reconciliation(&report, &counts, &name);
+        }
+    }
+}
+
+/// The prefetch-enabled HyperTRIO runs must actually exercise the prefetch
+/// stage at both scales — otherwise the equivalence above is vacuous for
+/// the `Prefetch*`/`Pb*` branches of the taxonomy.
+#[test]
+fn prefetch_paths_are_exercised_at_both_scales() {
+    for tenants in [128u32, 1024] {
+        let report = Simulation::new(
+            TranslationConfig::hypertrio(),
+            SimParams::paper(),
+            seeded_trace(tenants),
+        )
+        .run();
+        assert!(report.prefetches_issued > 0, "@{tenants} tenants");
+        assert!(report.pb_served_fraction > 0.0, "@{tenants} tenants");
+    }
+}
