@@ -1,0 +1,118 @@
+//! Fault-degradation figure: delivered bandwidth vs invalidation-storm
+//! intensity.
+//!
+//! Sweeps the global-shootdown cadence from "never" down to every 10 µs
+//! at a fixed tenant count, for the Base and HyperTRIO designs, printing
+//! delivered Gb/s, link utilization, and the storm count per run. Two
+//! extra rows stress the IO-page-fault path (1% and 5% of pages start
+//! unmapped, PRI service at 10 µs).
+//!
+//! Expected shape: bandwidth degrades monotonically as storms become more
+//! frequent — each shootdown destroys the hot DevTLB/PB/walk-cache state
+//! and forces a re-walk burst — and HyperTRIO keeps a healthy margin over
+//! Base at every intensity because its prefetcher rebuilds the PB between
+//! storms.
+//!
+//! Environment: `TENANTS` (default 64), `SCALE` (default 100), `SEED`
+//! (default 0).
+
+use hypersio_sim::{FaultPlan, SimParams, SimReport, Simulation};
+use hypersio_trace::{HyperTraceBuilder, Interleaving, WorkloadKind};
+use hypersio_types::SimDuration;
+use hypertrio_core::TranslationConfig;
+
+fn run(
+    config: TranslationConfig,
+    tenants: u32,
+    scale: u64,
+    seed: u64,
+    plan: FaultPlan,
+) -> SimReport {
+    let trace = HyperTraceBuilder::new(WorkloadKind::Iperf3, tenants)
+        .interleaving(Interleaving::round_robin(1))
+        .scale(scale)
+        .seed(seed)
+        .build();
+    Simulation::new(
+        config,
+        SimParams::paper().with_warmup(1000).with_fault_plan(plan),
+        trace,
+    )
+    .run()
+}
+
+fn main() {
+    let tenants = bench::env_u64("TENANTS", 64) as u32;
+    let scale = bench::env_u64("SCALE", 100);
+    let seed = bench::env_u64("SEED", 0);
+    bench::banner(
+        "Fault degradation — bandwidth vs invalidation-storm intensity",
+        &format!("{tenants} tenants, iperf3/RR1, scale={scale}, seed={seed}"),
+    );
+
+    // Storm cadence axis: no storms, then increasingly frequent global
+    // shootdowns. 0 encodes "none".
+    let periods_us: [u64; 6] = [0, 200, 100, 50, 20, 10];
+    bench::print_header(
+        "storm/us",
+        &["Base Gb/s", "HyperTRIO Gb/s", "HT util %", "HT storms"],
+    );
+    let mut last_ht = f64::INFINITY;
+    let mut monotone = true;
+    for period in periods_us {
+        let plan = if period == 0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::none().with_storm_period(SimDuration::from_us(period))
+        };
+        let base = run(
+            TranslationConfig::base(),
+            tenants,
+            scale,
+            seed,
+            plan.clone(),
+        );
+        let ht = run(TranslationConfig::hypertrio(), tenants, scale, seed, plan);
+        bench::print_row(
+            period,
+            &[
+                base.gbps(),
+                ht.gbps(),
+                ht.utilization * 100.0,
+                ht.inv_storms as f64,
+            ],
+        );
+        // Allow sub-0.5% jitter: a storm can shift which packets land in
+        // the measured window.
+        if ht.gbps() > last_ht * 1.005 {
+            monotone = false;
+        }
+        last_ht = ht.gbps();
+    }
+    println!();
+    println!(
+        "HyperTRIO degradation is {} in storm intensity.",
+        if monotone {
+            "monotonic"
+        } else {
+            "NOT monotonic"
+        }
+    );
+
+    println!();
+    bench::print_header("fault %", &["HT Gb/s", "page faults", "faulted drops"]);
+    for rate in [0.01f64, 0.05] {
+        let plan = FaultPlan::none()
+            .with_fault_rate(rate)
+            .with_pri_latency(SimDuration::from_us(10))
+            .with_seed(seed);
+        let ht = run(TranslationConfig::hypertrio(), tenants, scale, seed, plan);
+        bench::print_row(
+            format!("{:.0}%", rate * 100.0),
+            &[ht.gbps(), ht.page_faults as f64, ht.faulted_drops as f64],
+        );
+    }
+    println!();
+    println!("Each shootdown destroys hot translation state; more frequent");
+    println!("storms mean a larger fraction of time spent re-walking.");
+}

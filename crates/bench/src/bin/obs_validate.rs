@@ -26,7 +26,7 @@ use bench::json::{
 /// The time-series CSV header pinned by `TimeSeriesSampler::to_csv`.
 const TIMESERIES_CSV_HEADER: &str = "window_start_us,packets,drops,gbps,utilization,\
                                      devtlb_hit_rate,pb_hits,walks_done,ptb_occupancy,\
-                                     walks_in_flight";
+                                     walks_in_flight,faulted_drops";
 
 fn validate_timeseries_csv(text: &str) -> Result<(), String> {
     let mut lines = text.lines();

@@ -515,6 +515,7 @@ pub fn validate_timeseries_schema(doc: &Json) -> Result<(), String> {
             "walks_done",
             "ptb_occupancy",
             "walks_in_flight",
+            "faulted_drops",
         ] {
             w.get(field)
                 .and_then(Json::as_num)
@@ -714,7 +715,8 @@ mod tests {
             "schema": "hypersio-timeseries/v1", "window_ps": 10000000, "link_gbps": 200,
             "windows": [{"start_us": 0.0, "packets": 5, "drops": 1, "gbps": 120.5,
                          "utilization": 0.6, "devtlb_hit_rate": 0.8, "pb_hits": 2,
-                         "walks_done": 3, "ptb_occupancy": 0.4, "walks_in_flight": 1.2}]
+                         "walks_done": 3, "ptb_occupancy": 0.4, "walks_in_flight": 1.2,
+                         "faulted_drops": 0}]
         }"#;
         let doc = parse(good).unwrap();
         assert_eq!(validate_timeseries_schema(&doc), Ok(()));

@@ -71,6 +71,12 @@ impl<K: CacheKey + OracleKey, V> FullyAssocCache<K, V> {
         self.inner.invalidate(key)
     }
 
+    /// Removes every entry whose key matches `pred`; see
+    /// [`SetAssocCache::invalidate_matching`].
+    pub fn invalidate_matching(&mut self, pred: impl FnMut(&K) -> bool) -> usize {
+        self.inner.invalidate_matching(pred)
+    }
+
     /// Removes every entry (statistics are kept).
     pub fn clear(&mut self) {
         self.inner.clear();

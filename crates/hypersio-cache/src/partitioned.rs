@@ -212,6 +212,13 @@ impl<K: CacheKey + OracleKey, V> PartitionedCache<K, V> {
         self.inner.invalidate(&wrapped)
     }
 
+    /// Removes every entry whose inner key matches `pred`, regardless of
+    /// which partition holds it (shootdowns address translations, not
+    /// partitions). Returns the number removed.
+    pub fn invalidate_matching(&mut self, mut pred: impl FnMut(&K) -> bool) -> usize {
+        self.inner.invalidate_matching(|k| pred(&k.inner))
+    }
+
     /// Removes every entry (statistics are kept).
     pub fn clear(&mut self) {
         self.inner.clear();
@@ -348,6 +355,20 @@ mod tests {
         }
         let tenant_entries = (0..20u64).filter(|i| c.contains(Sid::new(2), i)).count();
         assert_eq!(tenant_entries, 8);
+    }
+
+    #[test]
+    fn invalidate_matching_crosses_partitions() {
+        let mut c = devtlb(8);
+        // The same inner key cached for tenants in different partitions.
+        c.insert(Sid::new(0), 0x55, 50, 0);
+        c.insert(Sid::new(1), 0x55, 51, 1);
+        c.insert(Sid::new(2), 0x77, 72, 2);
+        let removed = c.invalidate_matching(|k| *k == 0x55);
+        assert_eq!(removed, 2);
+        assert!(!c.contains(Sid::new(0), &0x55));
+        assert!(!c.contains(Sid::new(1), &0x55));
+        assert!(c.contains(Sid::new(2), &0x77));
     }
 
     #[test]

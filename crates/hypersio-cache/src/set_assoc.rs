@@ -113,6 +113,24 @@ impl<K, V> SetAssocCache<K, V> {
         self.occupied = 0;
     }
 
+    /// Removes every entry whose key matches `pred` (a targeted shootdown,
+    /// e.g. "all entries of DID 7"). Each removal is counted as an
+    /// invalidation in the statistics. Returns the number removed.
+    pub fn invalidate_matching(&mut self, mut pred: impl FnMut(&K) -> bool) -> usize {
+        let mut removed = 0;
+        let (slots, policy, stats) = (&mut self.slots, &mut self.policy, &mut self.stats);
+        for (idx, slot) in slots.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(|e| pred(&e.key)) {
+                slot.take();
+                policy.on_invalidate(idx);
+                stats.record_invalidation();
+                removed += 1;
+            }
+        }
+        self.occupied -= removed;
+        removed
+    }
+
     /// Returns the number of occupied entries (tracked, O(1)).
     pub fn len(&self) -> usize {
         self.occupied
@@ -338,6 +356,27 @@ mod tests {
         assert_eq!(c.invalidate(&1), None);
         assert_eq!(c.stats().invalidations(), 1);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_matching_sweeps_and_counts() {
+        let mut c = lru_cache(8, 2);
+        for k in 0..6u64 {
+            c.insert(k, k * 10, k);
+        }
+        // Sweep the even keys.
+        let removed = c.invalidate_matching(|k| k % 2 == 0);
+        assert_eq!(removed, 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().invalidations(), 3);
+        for k in 0..6u64 {
+            assert_eq!(c.contains(&k), k % 2 == 1, "key {k}");
+        }
+        // Vacated ways are reusable without evictions.
+        c.insert(0, 0, 10);
+        assert_eq!(c.stats().evictions(), 0);
+        // A sweep matching nothing removes nothing.
+        assert_eq!(c.invalidate_matching(|_| false), 0);
     }
 
     #[test]

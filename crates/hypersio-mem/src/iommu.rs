@@ -274,6 +274,36 @@ impl Iommu {
     pub fn flush(&mut self) {
         self.caches.clear();
     }
+
+    /// Shoots down every walk-cache entry (L2, L3, and nested TLB)
+    /// belonging to `did`, as a DID-addressed IOTLB invalidation command
+    /// does. Returns the number of entries removed.
+    pub fn invalidate_did(&mut self, did: Did) -> usize {
+        self.caches.invalidate_did(did)
+    }
+
+    /// Migrates tenant `did` to host slab `slab`: the host table is
+    /// re-stamped at the new location ([`TenantSpace::migrate_to_slab`]),
+    /// the cached context entry is invalidated (the hypervisor rewrites it
+    /// during the hand-over), and every walk-cache entry of the DID is shot
+    /// down — the cached nested translations point into the old slab.
+    ///
+    /// The caller must also shoot down device-side state (DevTLB, Prefetch
+    /// Buffer) for the DID; those caches live outside the IOMMU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `did` is out of range for the configured tenant spaces.
+    pub fn migrate_tenant(&mut self, did: Did, slab: u64) -> usize {
+        assert!(
+            did.index() < self.spaces.len(),
+            "unknown tenant {did}; only {} spaces configured",
+            self.spaces.len()
+        );
+        self.spaces[did.index()].migrate_to_slab(slab);
+        self.context.invalidate(Bdf::new(did.raw() as u16));
+        self.caches.invalidate_did(did)
+    }
 }
 
 impl fmt::Debug for Iommu {
@@ -361,6 +391,37 @@ mod tests {
             .unwrap();
         assert_eq!(r.dram_accesses, 19); // context still cached, walk cold
         assert_eq!(m.stats().full_walks, 2);
+    }
+
+    #[test]
+    fn invalidate_did_isolates_other_tenants() {
+        let mut m = iommu(2);
+        let iova = GIova::new(0xbbe0_0000);
+        m.translate(Sid::new(0), Did::new(0), iova, 0).unwrap();
+        m.translate(Sid::new(1), Did::new(1), iova, 1).unwrap();
+        assert!(m.invalidate_did(Did::new(0)) > 0);
+        // DID 0 must re-walk in full; DID 1's caches survive.
+        let r0 = m.translate(Sid::new(0), Did::new(0), iova, 2).unwrap();
+        assert_eq!(r0.dram_accesses, 19); // context warm, walk cold
+        let r1 = m.translate(Sid::new(1), Did::new(1), iova, 3).unwrap();
+        assert_eq!(r1.dram_accesses, 4); // L2 leaf still cached
+    }
+
+    #[test]
+    fn migration_remaps_and_invalidates() {
+        let mut m = iommu(2);
+        let iova = GIova::new(0xbbe0_0042);
+        let before = m.translate(Sid::new(0), Did::new(0), iova, 0).unwrap().hpa;
+        m.migrate_tenant(Did::new(0), 7);
+        let after = m.translate(Sid::new(0), Did::new(0), iova, 1).unwrap();
+        assert_ne!(after.hpa, before, "migration must move the host frame");
+        assert_eq!(after.hpa, m.spaces()[0].lookup(iova).unwrap().0);
+        // Walk caches were shot down and the context entry refetched:
+        // 2 context reads + full 19-access walk.
+        assert_eq!(after.dram_accesses, 21);
+        // The other tenant still translates to its original frame.
+        let other = m.translate(Sid::new(1), Did::new(1), iova, 2).unwrap();
+        assert_eq!(other.hpa, m.spaces()[1].lookup(iova).unwrap().0);
     }
 
     #[test]

@@ -120,6 +120,7 @@ impl TenantSpaceBuilder {
                     did,
                     guest: canonical.guest.clone(),
                     host: canonical.host.rebased(delta),
+                    host_slab: did.raw() as u64,
                     page_count: canonical.page_count,
                 }
             })
@@ -215,6 +216,7 @@ impl TenantSpaceBuilder {
             did,
             guest,
             host,
+            host_slab: did.raw() as u64,
             page_count: mapped.len(),
         }
     }
@@ -230,6 +232,9 @@ pub struct TenantSpace {
     did: Did,
     guest: RadixTable,
     host: RadixTable,
+    /// Index of the host-physical slab the host table currently lives in
+    /// (`did` at build time; bumped by [`TenantSpace::migrate_to_slab`]).
+    host_slab: u64,
     page_count: usize,
 }
 
@@ -247,6 +252,25 @@ impl TenantSpace {
     /// Returns the number of distinct device-visible pages.
     pub fn page_count(&self) -> usize {
         self.page_count
+    }
+
+    /// Returns the index of the host slab currently backing this tenant.
+    pub fn host_slab(&self) -> u64 {
+        self.host_slab
+    }
+
+    /// Relocates the tenant's host-side memory to slab `slab`, as a VM
+    /// migration does: every host frame and host table node moves to the
+    /// new slab while the guest dimension (same OS, same driver, same
+    /// gIOVAs and gPAs) is untouched. Uses [`RadixTable::rebased`] to
+    /// re-stamp the host table in one pass. Callers must shoot down every
+    /// cached translation of this DID afterwards — the old hPAs are stale.
+    pub fn migrate_to_slab(&mut self, slab: u64) {
+        let delta = slab
+            .wrapping_sub(self.host_slab)
+            .wrapping_mul(HOST_SLAB_PER_TENANT);
+        self.host = self.host.rebased(delta);
+        self.host_slab = slab;
     }
 
     /// Returns the guest table (gIOVA → gPA).
@@ -466,6 +490,32 @@ mod tests {
         let per = per.build();
         assert_eq!(fleet[0].host_table(), per.host_table());
         assert_eq!(fleet[0].guest_table(), per.guest_table());
+    }
+
+    #[test]
+    fn migration_moves_host_frames_and_keeps_guest_layout() {
+        let mut space = paper_tenant(0);
+        let iova = GIova::new(0xbbe0_0000);
+        let (before, size) = space.lookup(iova).unwrap();
+        let guest_before = space.guest_walk(iova).unwrap().translate(iova.raw());
+        assert_eq!(space.host_slab(), 0);
+
+        space.migrate_to_slab(5);
+        assert_eq!(space.host_slab(), 5);
+        let (after, size_after) = space.lookup(iova).unwrap();
+        assert_eq!(size, size_after);
+        assert_eq!(after.raw(), before.raw() + 5 * HOST_SLAB_PER_TENANT);
+        // Guest dimension untouched.
+        let guest_after = space.guest_walk(iova).unwrap().translate(iova.raw());
+        assert_eq!(guest_before, guest_after);
+
+        // Migrating again (including to a lower slab) keeps translating.
+        space.migrate_to_slab(2);
+        let (back, _) = space.lookup(iova).unwrap();
+        assert_eq!(back.raw(), before.raw() + 2 * HOST_SLAB_PER_TENANT);
+        // The migrated table is bit-identical to a fresh build at that DID.
+        let fresh = paper_tenant(2);
+        assert_eq!(space.host_table(), fresh.host_table());
     }
 
     #[test]

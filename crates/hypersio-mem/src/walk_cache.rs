@@ -251,6 +251,17 @@ impl WalkCaches {
         self.l3.clear();
     }
 
+    /// Shoots down every entry belonging to `did` at every level — L2, L3,
+    /// and the nested TLB when configured. Returns the number removed.
+    pub fn invalidate_did(&mut self, did: Did) -> usize {
+        let mut removed = self.l2.invalidate_matching(|k| k.did == did);
+        removed += self.l3.invalidate_matching(|k| k.did == did);
+        if let Some(n) = self.nested.as_mut() {
+            removed += n.invalidate_matching(|k| k.did == did);
+        }
+        removed
+    }
+
     /// Drops all cached entries (statistics are kept).
     pub fn clear(&mut self) {
         self.l2.clear();
@@ -373,6 +384,31 @@ mod tests {
             1,
         );
         assert!(caches.nested_stats().is_none());
+    }
+
+    #[test]
+    fn invalidate_did_sweeps_every_level() {
+        let cfg = WalkCacheConfig::paper_base().with_nested_tlb(CacheGeometry::new(64, 8));
+        let mut caches = WalkCaches::new(&cfg);
+        let (sid, iova) = (Sid::new(0), GIova::new(0xbbe0_0000));
+        for did in [Did::new(0), Did::new(1)] {
+            caches.fill_l2(sid, did, iova, leaf(1), 0);
+            caches.fill_l3(sid, did, iova, leaf(2), 0);
+            caches.fill_nested(sid, did, GPa::new(0x8000_0000), HPa::new(0x1000), 0);
+        }
+        assert_eq!(caches.invalidate_did(Did::new(0)), 3);
+        // Every level of DID 0 misses; DID 1 is untouched.
+        assert_eq!(caches.lookup_l2(sid, Did::new(0), iova, 1), None);
+        assert_eq!(caches.lookup_l3(sid, Did::new(0), iova, 2), None);
+        assert_eq!(
+            caches.lookup_nested(sid, Did::new(0), GPa::new(0x8000_0000), 3),
+            None
+        );
+        assert!(caches.lookup_l2(sid, Did::new(1), iova, 4).is_some());
+        assert!(caches.lookup_l3(sid, Did::new(1), iova, 5).is_some());
+        assert!(caches
+            .lookup_nested(sid, Did::new(1), GPa::new(0x8000_0000), 6)
+            .is_some());
     }
 
     #[test]

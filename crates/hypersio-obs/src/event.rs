@@ -2,7 +2,7 @@
 //!
 //! # Emission ownership
 //!
-//! Each of the 19 kinds is emitted by exactly one stage of the simulator's
+//! Each of the 25 kinds is emitted by exactly one stage of the simulator's
 //! pipeline (`hypersio-sim`'s `pipeline` module; stage graph in
 //! `DESIGN.md` §10) — ownership is part of the stream's contract, since
 //! emission *order* within an arrival slot follows stage order:
@@ -17,7 +17,11 @@
 //!   [`Event::DevTlbEvict`], [`Event::PbHit`], [`Event::PbMiss`].
 //! * **Walk** — [`Event::PtbAlloc`], [`Event::PtbRelease`], and demand
 //!   [`Event::WalkStart`]/[`Event::WalkDone`].
-//! * **Completion** — [`Event::PacketDrop`], [`Event::PacketComplete`].
+//! * **Completion** — [`Event::PacketDrop`], [`Event::PacketComplete`],
+//!   [`Event::FaultedDrop`].
+//! * **Fault injector** (`hypersio-sim`'s `faults` module, DESIGN.md §11)
+//!   — [`Event::InvStart`], [`Event::InvDone`], [`Event::TenantRemap`],
+//!   [`Event::PageFault`], [`Event::PageResponse`].
 
 use hypersio_types::{Did, GIova, Sid};
 
@@ -147,6 +151,50 @@ pub enum Event {
         /// Page whose fill expired undelivered.
         iova: GIova,
     },
+    /// An invalidation storm (IOTLB shootdown) began.
+    InvStart {
+        /// Tenant being shot down (0 and `global` for a global storm).
+        did: Did,
+        /// True for a global (all-DID) shootdown.
+        global: bool,
+    },
+    /// An invalidation storm finished sweeping every cache level.
+    InvDone {
+        /// Tenant that was shot down (0 and `global` for a global storm).
+        did: Did,
+        /// True for a global (all-DID) shootdown.
+        global: bool,
+    },
+    /// A tenant's VM migrated: its host page table was re-stamped at a new
+    /// location and its translations shot down.
+    TenantRemap {
+        /// The migrated tenant.
+        did: Did,
+    },
+    /// A packet touched an unmapped page; a PRI-style page request is (or
+    /// already was) outstanding for it.
+    PageFault {
+        /// Faulting tenant.
+        did: Did,
+        /// The unmapped gIOVA.
+        iova: GIova,
+    },
+    /// The OS serviced a page request; the page is mapped from the stamped
+    /// time onward (stamped at service completion, like `WalkDone`).
+    PageResponse {
+        /// Tenant whose page was mapped.
+        did: Did,
+        /// The now-mapped gIOVA.
+        iova: GIova,
+        /// Service latency of the page request.
+        latency_ps: u64,
+    },
+    /// A packet exhausted its fault-retry budget and was terminally
+    /// dropped (graceful degradation instead of livelock).
+    FaultedDrop {
+        /// Owning tenant.
+        did: Did,
+    },
 }
 
 /// Discriminant of an [`Event`], used as the binary record tag and for
@@ -192,10 +240,22 @@ pub enum EventKind {
     PrefetchLate = 17,
     /// [`Event::PrefetchExpire`].
     PrefetchExpire = 18,
+    /// [`Event::InvStart`].
+    InvStart = 19,
+    /// [`Event::InvDone`].
+    InvDone = 20,
+    /// [`Event::TenantRemap`].
+    TenantRemap = 21,
+    /// [`Event::PageFault`].
+    PageFault = 22,
+    /// [`Event::PageResponse`].
+    PageResponse = 23,
+    /// [`Event::FaultedDrop`].
+    FaultedDrop = 24,
 }
 
 /// Number of distinct [`EventKind`]s (array-size for per-kind counters).
-pub const EVENT_KINDS: usize = 19;
+pub const EVENT_KINDS: usize = 25;
 
 /// All kinds, in tag order (`ALL[k as usize] == k`).
 pub const ALL_EVENT_KINDS: [EventKind; EVENT_KINDS] = [
@@ -218,6 +278,12 @@ pub const ALL_EVENT_KINDS: [EventKind; EVENT_KINDS] = [
     EventKind::PrefetchFill,
     EventKind::PrefetchLate,
     EventKind::PrefetchExpire,
+    EventKind::InvStart,
+    EventKind::InvDone,
+    EventKind::TenantRemap,
+    EventKind::PageFault,
+    EventKind::PageResponse,
+    EventKind::FaultedDrop,
 ];
 
 impl EventKind {
@@ -248,6 +314,12 @@ impl EventKind {
             EventKind::PrefetchFill => "prefetch_fill",
             EventKind::PrefetchLate => "prefetch_late",
             EventKind::PrefetchExpire => "prefetch_expire",
+            EventKind::InvStart => "inv_start",
+            EventKind::InvDone => "inv_done",
+            EventKind::TenantRemap => "tenant_remap",
+            EventKind::PageFault => "page_fault",
+            EventKind::PageResponse => "page_response",
+            EventKind::FaultedDrop => "faulted_drop",
         }
     }
 
@@ -298,6 +370,25 @@ impl EventKind {
                 did,
                 iova: GIova::new(a),
             },
+            EventKind::InvStart => Event::InvStart {
+                did,
+                global: a != 0,
+            },
+            EventKind::InvDone => Event::InvDone {
+                did,
+                global: a != 0,
+            },
+            EventKind::TenantRemap => Event::TenantRemap { did },
+            EventKind::PageFault => Event::PageFault {
+                did,
+                iova: GIova::new(a),
+            },
+            EventKind::PageResponse => Event::PageResponse {
+                did,
+                iova: GIova::new(a),
+                latency_ps: b,
+            },
+            EventKind::FaultedDrop => Event::FaultedDrop { did },
         }
     }
 }
@@ -325,6 +416,12 @@ impl Event {
             Event::PrefetchFill { .. } => EventKind::PrefetchFill,
             Event::PrefetchLate { .. } => EventKind::PrefetchLate,
             Event::PrefetchExpire { .. } => EventKind::PrefetchExpire,
+            Event::InvStart { .. } => EventKind::InvStart,
+            Event::InvDone { .. } => EventKind::InvDone,
+            Event::TenantRemap { .. } => EventKind::TenantRemap,
+            Event::PageFault { .. } => EventKind::PageFault,
+            Event::PageResponse { .. } => EventKind::PageResponse,
+            Event::FaultedDrop { .. } => EventKind::FaultedDrop,
         }
     }
 
@@ -364,6 +461,16 @@ impl Event {
             Event::PrefetchExpire { did, iova } => {
                 (EventKind::PrefetchExpire, did.raw(), iova.raw(), 0)
             }
+            Event::InvStart { did, global } => (EventKind::InvStart, did.raw(), global as u64, 0),
+            Event::InvDone { did, global } => (EventKind::InvDone, did.raw(), global as u64, 0),
+            Event::TenantRemap { did } => (EventKind::TenantRemap, did.raw(), 0, 0),
+            Event::PageFault { did, iova } => (EventKind::PageFault, did.raw(), iova.raw(), 0),
+            Event::PageResponse {
+                did,
+                iova,
+                latency_ps,
+            } => (EventKind::PageResponse, did.raw(), iova.raw(), latency_ps),
+            Event::FaultedDrop { did } => (EventKind::FaultedDrop, did.raw(), 0, 0),
         }
     }
 }
@@ -420,6 +527,25 @@ mod tests {
                 did: Did::new(13),
                 iova: GIova::new(0x2000),
             },
+            Event::InvStart {
+                did: Did::new(14),
+                global: false,
+            },
+            Event::InvDone {
+                did: Did::new(0),
+                global: true,
+            },
+            Event::TenantRemap { did: Did::new(15) },
+            Event::PageFault {
+                did: Did::new(16),
+                iova: GIova::new(0xf000_1000),
+            },
+            Event::PageResponse {
+                did: Did::new(16),
+                iova: GIova::new(0xf000_1000),
+                latency_ps: 10_000_000,
+            },
+            Event::FaultedDrop { did: Did::new(17) },
         ]
     }
 

@@ -114,6 +114,28 @@ impl EventRecord {
             | Event::PrefetchExpire { did, iova } => {
                 let _ = write!(out, r#","did":{},"iova":{}"#, did.raw(), iova.raw());
             }
+            Event::InvStart { did, global } | Event::InvDone { did, global } => {
+                let _ = write!(out, r#","did":{},"global":{}"#, did.raw(), global);
+            }
+            Event::TenantRemap { did } | Event::FaultedDrop { did } => {
+                let _ = write!(out, r#","did":{}"#, did.raw());
+            }
+            Event::PageFault { did, iova } => {
+                let _ = write!(out, r#","did":{},"iova":{}"#, did.raw(), iova.raw());
+            }
+            Event::PageResponse {
+                did,
+                iova,
+                latency_ps,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","did":{},"iova":{},"latency_ps":{}"#,
+                    did.raw(),
+                    iova.raw(),
+                    latency_ps
+                );
+            }
         }
         out.push('}');
     }

@@ -10,6 +10,7 @@ use crate::observer::Observer;
 struct Window {
     packets: u64,
     drops: u64,
+    faulted_drops: u64,
     devtlb_hits: u64,
     devtlb_misses: u64,
     pb_hits: u64,
@@ -43,6 +44,8 @@ pub struct WindowRow {
     pub ptb_occupancy: f64,
     /// Mean number of walks in flight during the window.
     pub walks_in_flight: f64,
+    /// Packets terminally dropped after exhausting fault retries.
+    pub faulted_drops: u64,
 }
 
 /// An [`Observer`] that aggregates events into fixed windows of simulated
@@ -170,6 +173,7 @@ impl TimeSeriesSampler {
                     ptb_occupancy: w.ptb_busy_ps as f64
                         / (self.window_ps * self.ptb_entries) as f64,
                     walks_in_flight: w.walk_busy_ps as f64 / self.window_ps as f64,
+                    faulted_drops: w.faulted_drops,
                 }
             })
             .collect()
@@ -179,12 +183,12 @@ impl TimeSeriesSampler {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "window_start_us,packets,drops,gbps,utilization,devtlb_hit_rate,\
-             pb_hits,walks_done,ptb_occupancy,walks_in_flight\n",
+             pb_hits,walks_done,ptb_occupancy,walks_in_flight,faulted_drops\n",
         );
         for r in self.rows() {
             let _ = writeln!(
                 out,
-                "{:.3},{},{},{:.4},{:.6},{:.6},{},{},{:.6},{:.4}",
+                "{:.3},{},{},{:.4},{:.6},{:.6},{},{},{:.6},{:.4},{}",
                 r.start_us,
                 r.packets,
                 r.drops,
@@ -195,6 +199,7 @@ impl TimeSeriesSampler {
                 r.walks_done,
                 r.ptb_occupancy,
                 r.walks_in_flight,
+                r.faulted_drops,
             );
         }
         out
@@ -213,7 +218,7 @@ impl TimeSeriesSampler {
                 "    {{\"start_us\": {:.3}, \"packets\": {}, \"drops\": {}, \
                  \"gbps\": {:.4}, \"utilization\": {:.6}, \"devtlb_hit_rate\": {:.6}, \
                  \"pb_hits\": {}, \"walks_done\": {}, \"ptb_occupancy\": {:.6}, \
-                 \"walks_in_flight\": {:.4}}}",
+                 \"walks_in_flight\": {:.4}, \"faulted_drops\": {}}}",
                 r.start_us,
                 r.packets,
                 r.drops,
@@ -224,6 +229,7 @@ impl TimeSeriesSampler {
                 r.walks_done,
                 r.ptb_occupancy,
                 r.walks_in_flight,
+                r.faulted_drops,
             );
             out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
         }
@@ -238,6 +244,7 @@ impl Observer for TimeSeriesSampler {
         match event {
             Event::PacketComplete { .. } => self.window_mut(at_ps).packets += 1,
             Event::PacketDrop { .. } => self.window_mut(at_ps).drops += 1,
+            Event::FaultedDrop { .. } => self.window_mut(at_ps).faulted_drops += 1,
             Event::DevTlbHit { .. } => self.window_mut(at_ps).devtlb_hits += 1,
             Event::DevTlbMiss { .. } => self.window_mut(at_ps).devtlb_misses += 1,
             Event::PbHit { .. } => self.window_mut(at_ps).pb_hits += 1,
@@ -354,6 +361,21 @@ mod tests {
         let json = ts.to_json();
         assert!(json.contains("\"schema\": \"hypersio-timeseries/v1\""));
         assert_eq!(json.matches("\"start_us\"").count(), 2);
+    }
+
+    #[test]
+    fn faulted_drops_counted_in_their_window() {
+        let mut ts = sampler();
+        ts.record(10, Event::FaultedDrop { did: Did::new(3) });
+        ts.record(1_000_010, Event::FaultedDrop { did: Did::new(3) });
+        ts.record(1_000_020, Event::FaultedDrop { did: Did::new(4) });
+        let rows = ts.rows();
+        assert_eq!(rows[0].faulted_drops, 1);
+        assert_eq!(rows[1].faulted_drops, 2);
+        assert_eq!(rows[0].drops, 0, "faulted drops are a separate column");
+        let csv = ts.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with(",faulted_drops"));
+        assert!(ts.to_json().contains("\"faulted_drops\": 2"));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod experiment;
+mod faults;
 mod latency;
 mod model;
 mod oracle;
@@ -47,6 +48,7 @@ pub use experiment::{
     parallel_map, sweep_specs_parallel, sweep_tenants, sweep_tenants_parallel, ExperimentPoint,
     SweepSpec, PAPER_TENANT_COUNTS,
 };
+pub use faults::{BackoffPolicy, ChurnEvent, FaultPlan, StormEvent};
 pub use latency::LatencyStats;
 pub use model::Simulation;
 pub use oracle::devtlb_oracle_for;

@@ -14,6 +14,7 @@ use hypersio_trace::HyperTrace;
 use hypersio_types::{Bandwidth, Did, SimDuration};
 use hypertrio_core::{DevTlb, PrefetchUnit, TranslationConfig};
 
+use crate::faults::FaultInjector;
 use crate::params::SimParams;
 use crate::pipeline::{
     ArrivalSource, CompletionStage, Deferred, Fetched, LookupStage, PipelineState, PrefetchStage,
@@ -83,6 +84,10 @@ impl Simulation {
         let ptb = SlotPool::new(config.ptb_entries);
         let walkers = params.iommu_walkers.map(SlotPool::new);
         let pcie_round = params.pcie.round_trip();
+        // An empty plan constructs no injector at all: the fault-free path
+        // is byte-identical to a build without fault injection.
+        let faults = (!params.fault_plan.is_none())
+            .then(|| FaultInjector::new(&params.fault_plan, &inventory, trace.tenants()));
         let state = PipelineState {
             sids: SidMap::for_trace(&trace),
             completion: CompletionStage::new(
@@ -95,6 +100,7 @@ impl Simulation {
             walk: WalkStage::new(iommu, ptb, walkers, pcie_round, params.devtlb_hit),
             arrival: ArrivalSource::new(trace, params.link.inter_arrival()),
             clock: ReqClock::default(),
+            faults,
         };
         Simulation {
             config,
@@ -132,12 +138,25 @@ impl Simulation {
         loop {
             let now = st.arrival.slot_time();
 
+            // Fault-plan events (storms, churn) due at or before this slot
+            // apply before the slot's packet is fetched, so a shootdown
+            // scheduled for time T is visible to the packet arriving at T.
+            if let Some(inj) = st.faults.as_mut() {
+                inj.apply_due(now, &mut st.lookup, &mut st.prefetch, &mut st.walk, obs);
+            }
+
             // Stage 1: the packet for this slot — a retried drop (already
             // probed) or the next trace packet, which flows through the
             // prefetch observation (stage 2) and the DevTLB/PB probe
             // (stage 3) exactly once.
             let work = match st.arrival.fetch(now, obs) {
                 Fetched::Exhausted => break,
+                Fetched::Idle => {
+                    // Only backed-off packets remain and none is eligible
+                    // yet; the slot passes empty (fault injection only).
+                    st.arrival.skip_slot();
+                    continue;
+                }
                 Fetched::Retry(work) => work,
                 Fetched::Fresh(packet) => {
                     st.prefetch
@@ -148,6 +167,7 @@ impl Simulation {
                         st.arrival.observed(),
                         &mut st.sids,
                         &mut st.walk,
+                        st.faults.as_ref(),
                         st.clock.current(),
                         obs,
                     );
@@ -166,6 +186,29 @@ impl Simulation {
             // dropped; the exhausted break never reaches here, so `arrivals`
             // counts exactly the slots that carried a packet.
             st.arrival.consume_slot();
+
+            // IO page faults: a packet touching a not-yet-resident page
+            // cannot be translated — it takes the drop/retry path with
+            // exponential backoff while the PRI request is serviced, and is
+            // terminally dropped once its retry budget is exhausted (the
+            // bound that rules out livelock). Native bypass mode skips the
+            // check: faults model the translation path.
+            if let Some(inj) = st.faults.as_mut() {
+                if !st.lookup.bypass() && inj.packet_blocked(&work.packet, now, obs) {
+                    if work.fault_retries >= inj.max_retries() {
+                        st.completion.record_faulted_drop(work.packet.did, now, obs);
+                        let Deferred { misses, .. } = work;
+                        st.lookup.reclaim(misses);
+                    } else {
+                        st.completion.record_drop(work.packet.did, now, obs);
+                        let delay = inj.backoff_slots(work.fault_retries);
+                        let mut work = work;
+                        work.fault_retries += 1;
+                        st.arrival.defer_after(work, delay);
+                    }
+                    continue;
+                }
+            }
 
             // Stage 4 admission: at least one PTB slot free at arrival, or
             // the packet is dropped and retried at the next slot (§IV-C).
@@ -201,6 +244,7 @@ impl Simulation {
             lookup,
             walk,
             completion,
+            faults,
             ..
         } = state;
         // Bandwidth is measured after the warm-up window (if any). The
@@ -221,6 +265,8 @@ impl Simulation {
         let fills_expired = prefetch.expire_remaining(slots_end, obs);
         let requests = lookup.requests();
         let dropped = completion.dropped();
+        let faulted_drops = completion.faulted_drops();
+        let fc = faults.map(|i| i.counters()).unwrap_or_default();
         let (packet_latency, per_tenant) = completion.into_accumulators();
 
         SimReport {
@@ -244,6 +290,11 @@ impl Simulation {
             prefetches_issued: prefetch.issued(),
             prefetch_fills_late: prefetch.fills_late(),
             prefetch_fills_expired: fills_expired,
+            page_faults: fc.page_faults,
+            pri_requests: fc.pri_requests,
+            faulted_drops,
+            inv_storms: fc.inv_storms,
+            tenant_remaps: fc.tenant_remaps,
             iommu: walk.iommu_stats(),
             l2_cache: l2,
             l3_cache: l3,

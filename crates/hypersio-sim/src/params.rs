@@ -5,6 +5,8 @@ use std::fmt;
 use hypersio_device::{Link, PacketSpec, Pcie};
 use hypersio_types::{Bandwidth, SimDuration};
 
+use crate::faults::FaultPlan;
+
 /// The system parameters of the performance model.
 ///
 /// Defaults reproduce the paper's Table II exactly:
@@ -77,6 +79,10 @@ pub struct SimParams {
     /// fairness summary. Off by default — the aggregate report (and every
     /// figure's output) is byte-identical either way.
     pub per_tenant: bool,
+    /// Seeded fault-injection plan (invalidation storms, tenant churn,
+    /// IO page faults). Defaults to [`FaultPlan::none`], which injects
+    /// nothing and leaves the run byte-identical to earlier versions.
+    pub fault_plan: FaultPlan,
 }
 
 impl SimParams {
@@ -95,6 +101,7 @@ impl SimParams {
             bypass_translation: false,
             warmup_packets: 0,
             per_tenant: false,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -148,6 +155,12 @@ impl SimParams {
     /// [`SimParams::per_tenant`]).
     pub fn with_per_tenant(mut self) -> Self {
         self.per_tenant = true;
+        self
+    }
+
+    /// Installs a fault-injection plan (see [`FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 }

@@ -24,6 +24,9 @@ pub struct TenantStat {
     pub devtlb_misses: u64,
     /// Translation requests served by the Prefetch Buffer.
     pub pb_hits: u64,
+    /// Packets terminally dropped after exhausting their fault retries
+    /// (always 0 without fault injection).
+    pub faulted_drops: u64,
     /// Per-packet service latency for this tenant's packets.
     pub latency: LatencyStats,
 }
@@ -92,13 +95,20 @@ impl fmt::Display for PerTenantReport {
             fair.max_packets,
             fair.jain
         )?;
-        writeln!(
+        // The fault column only appears when fault injection actually
+        // dropped something, so fault-free output stays byte-identical.
+        let faults = self.tenants.iter().any(|t| t.faulted_drops > 0);
+        write!(
             f,
             "    {:>5} {:>9} {:>12} {:>7} {:>8} {:>8} {:>10} {:>10}",
             "did", "packets", "bytes", "drops", "tlb-hit%", "pb-hits", "p50", "p99"
         )?;
+        if faults {
+            write!(f, " {:>8}", "faulted")?;
+        }
+        writeln!(f)?;
         for t in &self.tenants {
-            writeln!(
+            write!(
                 f,
                 "    {:>5} {:>9} {:>12} {:>7} {:>8.2} {:>8} {:>10} {:>10}",
                 t.did,
@@ -110,6 +120,10 @@ impl fmt::Display for PerTenantReport {
                 t.latency.p50(),
                 t.latency.p99(),
             )?;
+            if faults {
+                write!(f, " {:>8}", t.faulted_drops)?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -172,6 +186,17 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("jain="));
         assert!(s.contains("tlb-hit%"));
+        assert!(s.lines().count() == 3);
+        assert!(!s.contains("faulted"), "fault column hidden when all zero");
+    }
+
+    #[test]
+    fn display_grows_fault_column_only_when_nonzero() {
+        let mut t = tenant(2, 5);
+        t.faulted_drops = 4;
+        let r = PerTenantReport { tenants: vec![t] };
+        let s = r.to_string();
+        assert!(s.contains("faulted"));
         assert!(s.lines().count() == 3);
     }
 }

@@ -1,10 +1,12 @@
-//! Link-arrival stage: trace iteration and the retry/deferred slot.
+//! Link-arrival stage: trace iteration and the retry/deferred queue.
+
+use std::collections::VecDeque;
 
 use hypersio_obs::{Event, Observer};
 use hypersio_trace::{HyperTrace, TracePacket};
 use hypersio_types::{GIova, SimDuration, SimTime};
 
-/// A packet waiting for retry after a PTB-full drop, with its pre-computed
+/// A packet waiting for retry after a drop, with its pre-computed
 /// translation outcome (lookups are performed once per packet so that
 /// oracle replacement sees each request exactly once).
 pub(crate) struct Deferred {
@@ -17,12 +19,25 @@ pub(crate) struct Deferred {
     /// tracked, which is what gives the single-entry Base design its
     /// head-of-line blocking).
     pub(crate) hits: u32,
+    /// Slots this packet was dropped for a not-present page (the fault
+    /// injector's backoff counter; always 0 without fault injection).
+    pub(crate) fault_retries: u32,
+}
+
+/// One parked packet and the slot at which it becomes eligible again.
+struct Parked {
+    eligible_slot: u64,
+    work: Deferred,
 }
 
 /// What the arrival stage produced for one slot.
 pub(crate) enum Fetched {
     /// The trace is exhausted and no retry is pending: the run is over.
     Exhausted,
+    /// The trace is exhausted but backed-off packets are still parked:
+    /// the slot passes with no packet (fault injection only — without it
+    /// at most one packet is parked and it is always eligible).
+    Idle,
     /// A previously dropped packet re-enters service (already probed).
     Retry(Deferred),
     /// A fresh trace packet arrived; it still needs its DevTLB/PB probe.
@@ -31,17 +46,21 @@ pub(crate) enum Fetched {
 
 /// Stage 1 — packets enter the device from the link.
 ///
-/// Owns the trace iterator, the single retry slot (a dropped packet is
-/// retried at the next arrival slot, §IV-C), and the two arrival-side
-/// counters: `arrivals` (slots that carried a packet, which fixes the end
-/// of simulated time) and `observed` (trace packets seen by the device,
+/// Owns the trace iterator, the retry queue (a PTB-dropped packet is
+/// retried at the next arrival slot, §IV-C; a fault-blocked packet after
+/// its backoff delay), and the arrival-side counters: `slot` (arrival
+/// slots elapsed, which fixes simulated time), `arrivals` (slots that
+/// carried a packet), and `observed` (trace packets seen by the device,
 /// the clock against which prefetch fills are scheduled).
 ///
 /// Emits [`Event::PacketArrival`] and [`Event::PacketRetry`].
 pub(crate) struct ArrivalSource {
     trace: HyperTrace,
     gap: SimDuration,
-    deferred: Option<Deferred>,
+    parked: VecDeque<Parked>,
+    /// Arrival slots elapsed (consumed or idle).
+    slot: u64,
+    /// Slots that carried a packet.
     arrivals: u64,
     observed: u64,
 }
@@ -52,29 +71,42 @@ impl ArrivalSource {
         ArrivalSource {
             trace,
             gap,
-            deferred: None,
+            parked: VecDeque::new(),
+            slot: 0,
             arrivals: 0,
             observed: 0,
         }
     }
 
     /// Start time of the current arrival slot (also: end of simulated time
-    /// once the loop has finished, since every consumed slot advances it).
+    /// once the loop has finished, since every slot advances it).
     pub(crate) fn slot_time(&self) -> SimTime {
-        SimTime::ZERO + self.gap * self.arrivals
+        SimTime::ZERO + self.gap * self.slot
     }
 
-    /// Produces the packet for the slot starting at `now`: the pending
-    /// retry if one exists, otherwise the next trace packet.
+    /// Produces the packet for the slot starting at `now`: the first
+    /// eligible parked retry if one exists, otherwise the next trace
+    /// packet.
     pub(crate) fn fetch<O: Observer>(&mut self, now: SimTime, obs: &mut O) -> Fetched {
-        if let Some(d) = self.deferred.take() {
+        if let Some(idx) = self
+            .parked
+            .iter()
+            .position(|p| p.eligible_slot <= self.slot)
+        {
+            let parked = self.parked.remove(idx).expect("position() is in range");
             if O::ENABLED {
-                obs.record(now.as_ps(), Event::PacketRetry { did: d.packet.did });
+                obs.record(
+                    now.as_ps(),
+                    Event::PacketRetry {
+                        did: parked.work.packet.did,
+                    },
+                );
             }
-            return Fetched::Retry(d);
+            return Fetched::Retry(parked.work);
         }
         match self.trace.next() {
-            None => Fetched::Exhausted,
+            None if self.parked.is_empty() => Fetched::Exhausted,
+            None => Fetched::Idle,
             Some(packet) => {
                 self.observed += 1;
                 if O::ENABLED {
@@ -95,12 +127,30 @@ impl ArrivalSource {
     /// dropped). The exhausted case never reaches this, so `arrivals`
     /// counts exactly the slots that carried a packet.
     pub(crate) fn consume_slot(&mut self) {
+        self.slot += 1;
         self.arrivals += 1;
+    }
+
+    /// Advances past an idle slot (no packet was eligible; time still
+    /// passes on the link).
+    pub(crate) fn skip_slot(&mut self) {
+        self.slot += 1;
     }
 
     /// Parks a dropped packet for retry at the next arrival slot.
     pub(crate) fn defer(&mut self, work: Deferred) {
-        self.deferred = Some(work);
+        self.defer_after(work, 1);
+    }
+
+    /// Parks a dropped packet for retry `delay_slots` slots after the one
+    /// it was dropped in (a delay of 1 is the next slot; called after
+    /// [`ArrivalSource::consume_slot`], so `self.slot` is already the next
+    /// slot).
+    pub(crate) fn defer_after(&mut self, work: Deferred, delay_slots: u64) {
+        self.parked.push_back(Parked {
+            eligible_slot: self.slot + delay_slots.saturating_sub(1),
+            work,
+        });
     }
 
     /// Trace packets seen by the device so far.
@@ -132,6 +182,15 @@ mod tests {
             .build()
     }
 
+    fn deferred(packet: TracePacket) -> Deferred {
+        Deferred {
+            packet,
+            misses: Vec::new(),
+            hits: 0,
+            fault_retries: 0,
+        }
+    }
+
     #[test]
     fn fresh_packets_bump_observed_and_slots_advance() {
         let gap = SimDuration::from_ns(10);
@@ -152,13 +211,10 @@ mod tests {
         let Fetched::Fresh(packet) = src.fetch(SimTime::ZERO, &mut NullObserver) else {
             panic!("expected a fresh packet");
         };
-        src.defer(Deferred {
-            packet,
-            misses: Vec::new(),
-            hits: 0,
-        });
+        src.consume_slot();
+        src.defer(deferred(packet));
         let observed = src.observed();
-        let Fetched::Retry(_) = src.fetch(SimTime::ZERO, &mut NullObserver) else {
+        let Fetched::Retry(_) = src.fetch(src.slot_time(), &mut NullObserver) else {
             panic!("expected the retry");
         };
         assert_eq!(src.observed(), observed, "retries are not re-observed");
@@ -170,10 +226,57 @@ mod tests {
         loop {
             match src.fetch(SimTime::ZERO, &mut NullObserver) {
                 Fetched::Exhausted => break,
+                Fetched::Idle => unreachable!("nothing is ever parked here"),
                 _ => src.consume_slot(),
             }
         }
         assert_eq!(src.arrivals(), src.observed());
         assert!(src.observed() > 0);
+    }
+
+    #[test]
+    fn backoff_delay_holds_the_packet_for_its_slots() {
+        let mut src = ArrivalSource::new(tiny_trace(), SimDuration::from_ns(10));
+        let Fetched::Fresh(packet) = src.fetch(SimTime::ZERO, &mut NullObserver) else {
+            panic!("expected a fresh packet");
+        };
+        src.consume_slot(); // slot 0 consumed; next slot is 1
+        src.defer_after(deferred(packet), 3); // eligible at slot 3
+        for _ in 0..2 {
+            // Slots 1 and 2: the parked packet is not eligible, fresh
+            // packets flow instead.
+            let Fetched::Fresh(_) = src.fetch(src.slot_time(), &mut NullObserver) else {
+                panic!("parked packet must not be eligible yet");
+            };
+            src.consume_slot();
+        }
+        let Fetched::Retry(work) = src.fetch(src.slot_time(), &mut NullObserver) else {
+            panic!("expected the retry at its eligible slot");
+        };
+        assert_eq!(work.fault_retries, 0);
+    }
+
+    #[test]
+    fn idle_slots_pass_when_only_ineligible_packets_remain() {
+        let mut trace = tiny_trace();
+        // Drain the trace so only the parked packet remains.
+        let mut last = None;
+        for p in trace.by_ref() {
+            last = Some(p);
+        }
+        let mut src = ArrivalSource::new(trace, SimDuration::from_ns(10));
+        src.defer_after(deferred(last.expect("trace is non-empty")), 3);
+        let Fetched::Idle = src.fetch(SimTime::ZERO, &mut NullObserver) else {
+            panic!("expected an idle slot");
+        };
+        src.skip_slot();
+        src.skip_slot();
+        let Fetched::Retry(_) = src.fetch(src.slot_time(), &mut NullObserver) else {
+            panic!("expected the retry after the idle slots");
+        };
+        let Fetched::Exhausted = src.fetch(src.slot_time(), &mut NullObserver) else {
+            panic!("expected exhaustion once the queue drained");
+        };
+        assert_eq!(src.slot_time().as_ns(), 20, "idle slots advance time");
     }
 }

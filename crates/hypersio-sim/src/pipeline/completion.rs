@@ -23,6 +23,7 @@ use crate::per_tenant::{PerTenantReport, TenantStat};
 pub(crate) struct CompletionStage {
     processed: u64,
     dropped: u64,
+    faulted_drops: u64,
     last_completion: SimTime,
     /// `(time, packets)` at warm-up end, once reached.
     warmup_end: Option<(SimTime, u64)>,
@@ -40,6 +41,7 @@ impl CompletionStage {
         CompletionStage {
             processed: 0,
             dropped: 0,
+            faulted_drops: 0,
             last_completion: SimTime::ZERO,
             warmup_end: None,
             warmup_packets,
@@ -83,6 +85,19 @@ impl CompletionStage {
         }
         if let Some(acc) = self.tenants.as_mut() {
             acc[did.raw() as usize].drops += 1;
+        }
+    }
+
+    /// Accounts a terminal fault drop: the packet exhausted its retry
+    /// budget on a not-present page and leaves the pipeline for good
+    /// (never counted as processed).
+    pub(crate) fn record_faulted_drop<O: Observer>(&mut self, did: Did, now: SimTime, obs: &mut O) {
+        self.faulted_drops += 1;
+        if O::ENABLED {
+            obs.record(now.as_ps(), Event::FaultedDrop { did });
+        }
+        if let Some(acc) = self.tenants.as_mut() {
+            acc[did.raw() as usize].faulted_drops += 1;
         }
     }
 
@@ -137,9 +152,15 @@ impl CompletionStage {
         self.processed
     }
 
-    /// Packets dropped for PTB exhaustion (each later retried).
+    /// Packets dropped for PTB exhaustion or a fault backoff (each later
+    /// retried).
     pub(crate) fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Packets terminally dropped after exhausting their fault retries.
+    pub(crate) fn faulted_drops(&self) -> u64 {
+        self.faulted_drops
     }
 
     /// Completion time of the last packet to finish.

@@ -125,7 +125,19 @@ impl LookupStage {
             packet,
             misses,
             hits,
+            fault_retries: 0,
         }
+    }
+
+    /// Shoots down one tenant's DevTLB entries (hypervisor-initiated
+    /// invalidation), returning how many were removed.
+    pub(crate) fn invalidate_did(&mut self, did: Did) -> usize {
+        self.devtlb.invalidate_did(did)
+    }
+
+    /// Shoots down the whole DevTLB (global invalidation).
+    pub(crate) fn invalidate_all(&mut self) {
+        self.devtlb.clear();
     }
 
     /// Installs a walked translation into the DevTLB, reporting the

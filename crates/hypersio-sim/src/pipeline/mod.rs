@@ -96,6 +96,10 @@ pub(crate) struct PipelineState {
     pub(crate) sids: SidMap,
     /// Logical per-request clock.
     pub(crate) clock: ReqClock,
+    /// Fault injector, only constructed when the run has a non-empty
+    /// [`FaultPlan`](crate::FaultPlan) — `None` keeps the fault-free path
+    /// byte-identical to a build without fault injection.
+    pub(crate) faults: Option<crate::faults::FaultInjector>,
 }
 
 /// Truncates a translated address back to its page base for caching.

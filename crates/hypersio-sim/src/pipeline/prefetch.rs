@@ -11,6 +11,7 @@ use hypersio_types::{Did, GIova, Sid, SimDuration, SimTime};
 use hypertrio_core::{PrefetchUnit, TlbEntry};
 
 use super::{page_base, walk::WalkStage};
+use crate::faults::FaultInjector;
 use crate::sid_map::SidMap;
 
 /// A prefetched translation waiting to be delivered to the Prefetch Buffer.
@@ -180,6 +181,7 @@ impl PrefetchStage {
         observed: u64,
         sids: &mut SidMap,
         walk: &mut WalkStage,
+        faults: Option<&FaultInjector>,
         req_now: u64,
         obs: &mut O,
     ) {
@@ -196,6 +198,11 @@ impl PrefetchStage {
             .expect("a prediction implies a unit")
             .plan(did, req_now);
         for iova in pages {
+            // Never install a translation for a page that is currently
+            // not-present: the demand path would trust the stale PB entry.
+            if faults.is_some_and(|f| f.page_unmapped(did, iova)) {
+                continue;
+            }
             if O::ENABLED {
                 obs.record(now.as_ps(), Event::WalkStart { did, iova });
             }
@@ -228,6 +235,28 @@ impl PrefetchStage {
                 },
             }));
         }
+    }
+
+    /// Shoots down one tenant's prefetch state: its Prefetch Buffer
+    /// entries, its IOVA history, and every pending fill queued for it
+    /// (the heap is rebuilt from the surviving fills, deterministically).
+    pub(crate) fn invalidate_did(&mut self, did: Did) {
+        if let Some(pf) = self.unit.as_mut() {
+            pf.invalidate_did(did);
+        }
+        let fills = std::mem::take(&mut self.fills).into_vec();
+        self.fills = fills
+            .into_iter()
+            .filter(|Reverse(f)| f.did != did)
+            .collect();
+    }
+
+    /// Shoots down every tenant's prefetch state (global invalidation).
+    pub(crate) fn invalidate_all(&mut self) {
+        if let Some(pf) = self.unit.as_mut() {
+            pf.invalidate_all();
+        }
+        self.fills.clear();
     }
 
     /// Probes the Prefetch Buffer for `iova`. `None` when no unit is
@@ -389,6 +418,27 @@ mod tests {
             st.expire_remaining(SimTime::from_ps(123), &mut NullObserver),
             1
         );
+    }
+
+    #[test]
+    fn shootdown_purges_pending_fills_for_that_tenant_only() {
+        let mut st = stage();
+        st.fills.push(fill(5, 1)); // did 1
+        st.fills.push(Reverse(PendingFill {
+            due_obs: 6,
+            done_ps: 1,
+            did: Did::new(2),
+            iova: GIova::new(0x2000),
+            entry: entry(),
+        }));
+        st.invalidate_did(Did::new(1));
+        assert_eq!(st.fills.len(), 1);
+        assert_eq!(
+            st.fills.peek().expect("one fill survives").0.did,
+            Did::new(2)
+        );
+        st.invalidate_all();
+        assert!(st.fills.is_empty());
     }
 
     #[test]

@@ -167,6 +167,25 @@ impl WalkStage {
         }
     }
 
+    /// Shoots down one tenant's IOMMU-side walk-cache entries (L2, L3,
+    /// nested), returning how many were removed.
+    pub(crate) fn invalidate_did(&mut self, did: Did) -> usize {
+        self.iommu.invalidate_did(did)
+    }
+
+    /// Flushes every IOMMU-side walk cache (global invalidation).
+    pub(crate) fn invalidate_all(&mut self) {
+        self.iommu.flush();
+    }
+
+    /// Migrates `did` to host slab `slab`: its page tables are rebuilt at
+    /// the new host addresses and the IOMMU's cached state (walk caches +
+    /// context entry) is invalidated. Returns the walk-cache entries
+    /// removed.
+    pub(crate) fn migrate_tenant(&mut self, did: Did, slab: u64) -> usize {
+        self.iommu.migrate_tenant(did, slab)
+    }
+
     /// Aggregate IOMMU statistics.
     pub(crate) fn iommu_stats(&self) -> IommuStats {
         self.iommu.stats()

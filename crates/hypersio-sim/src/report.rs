@@ -64,6 +64,21 @@ pub struct SimReport {
     /// Invariant: zero whenever [`SimReport::prefetches_issued`] is zero,
     /// for the same reason as [`SimReport::prefetch_fills_late`].
     pub prefetch_fills_expired: u64,
+    /// IO page faults raised (touches of a not-yet-resident page); zero
+    /// without fault injection.
+    pub page_faults: u64,
+    /// PRI-style page requests sent to the host (one per distinct
+    /// not-present page first touched); zero without fault injection.
+    pub pri_requests: u64,
+    /// Packets terminally dropped after exhausting their fault-retry
+    /// budget; zero without fault injection.
+    pub faulted_drops: u64,
+    /// Invalidation storms applied (per-DID or global shootdowns); zero
+    /// without fault injection.
+    pub inv_storms: u64,
+    /// Tenant migrations applied (page tables rebased + shootdown); zero
+    /// without fault injection.
+    pub tenant_remaps: u64,
     /// IOMMU aggregate statistics (includes prefetch traffic).
     pub iommu: IommuStats,
     /// L2 page-walk-cache statistics.
@@ -151,6 +166,11 @@ impl SimReport {
             "  \"iommu\": {{\"requests\": {}, \"dram_accesses\": {}, \"full_walks\": {}, \"faults\": {}}},",
             self.iommu.requests, self.iommu.dram_accesses, self.iommu.full_walks, self.iommu.faults
         );
+        let _ = writeln!(
+            out,
+            "  \"fault_injection\": {{\"page_faults\": {}, \"pri_requests\": {}, \"faulted_drops\": {}, \"inv_storms\": {}, \"tenant_remaps\": {}}},",
+            self.page_faults, self.pri_requests, self.faulted_drops, self.inv_storms, self.tenant_remaps
+        );
         cache_json(&mut out, "l2_cache", &self.l2_cache);
         cache_json(&mut out, "l3_cache", &self.l3_cache);
         out.push_str("  \"latency_ps\": ");
@@ -171,14 +191,15 @@ impl SimReport {
                         out,
                         "      {{\"did\": {}, \"packets\": {}, \"bytes\": {}, \"drops\": {}, \
                          \"devtlb_hits\": {}, \"devtlb_misses\": {}, \"pb_hits\": {}, \
-                         \"latency_ps\": ",
+                         \"faulted_drops\": {}, \"latency_ps\": ",
                         t.did,
                         t.packets,
                         t.bytes,
                         t.drops,
                         t.devtlb_hits,
                         t.devtlb_misses,
-                        t.pb_hits
+                        t.pb_hits,
+                        t.faulted_drops
                     );
                     latency_json(&mut out, &t.latency);
                     out.push('}');
@@ -290,6 +311,24 @@ impl fmt::Display for SimReport {
             "  iommu:   {} requests, {} dram reads, {} full walks",
             self.iommu.requests, self.iommu.dram_accesses, self.iommu.full_walks
         )?;
+        // Only printed when fault injection actually did something, so
+        // fault-free output stays byte-identical with older reports.
+        if self.page_faults > 0
+            || self.pri_requests > 0
+            || self.faulted_drops > 0
+            || self.inv_storms > 0
+            || self.tenant_remaps > 0
+        {
+            writeln!(
+                f,
+                "  faults:  {} page faults, {} pri requests, {} faulted drops, {} storms, {} remaps",
+                self.page_faults,
+                self.pri_requests,
+                self.faulted_drops,
+                self.inv_storms,
+                self.tenant_remaps
+            )?;
+        }
         write!(f, "  latency: {}", self.packet_latency)?;
         if let Some(per_tenant) = &self.per_tenant {
             write!(f, "\n{per_tenant}")?;
@@ -320,6 +359,11 @@ mod tests {
             prefetches_issued: 0,
             prefetch_fills_late: 0,
             prefetch_fills_expired: 0,
+            page_faults: 0,
+            pri_requests: 0,
+            faulted_drops: 0,
+            inv_storms: 0,
+            tenant_remaps: 0,
             iommu: IommuStats::default(),
             l2_cache: CacheStats::new(),
             l3_cache: CacheStats::new(),
@@ -372,6 +416,29 @@ mod tests {
         let mut r = dummy();
         r.prefetch_fills_late = 1;
         assert!(r.to_string().contains("pf-loss: 1 fills late"));
+    }
+
+    #[test]
+    fn display_shows_fault_line_only_when_faulting() {
+        assert!(!dummy().to_string().contains("faults:"));
+        let mut r = dummy();
+        r.page_faults = 12;
+        r.pri_requests = 4;
+        r.faulted_drops = 1;
+        r.inv_storms = 2;
+        r.tenant_remaps = 1;
+        let s = r.to_string();
+        assert!(s.contains(
+            "faults:  12 page faults, 4 pri requests, 1 faulted drops, 2 storms, 1 remaps"
+        ));
+    }
+
+    #[test]
+    fn json_always_carries_fault_injection_object() {
+        let j = dummy().to_json();
+        assert!(j.contains(
+            "\"fault_injection\": {\"page_faults\": 0, \"pri_requests\": 0, \"faulted_drops\": 0, \"inv_storms\": 0, \"tenant_remaps\": 0}"
+        ));
     }
 
     #[test]

@@ -77,6 +77,19 @@ impl fmt::Display for Interleaving {
     }
 }
 
+/// A constructor-time validation failure (see
+/// [`HyperTraceBuilder::try_build`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceBuildError(pub String);
+
+impl fmt::Display for TraceBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for TraceBuildError {}
+
 /// Builder for a [`HyperTrace`].
 ///
 /// # Examples
@@ -177,23 +190,49 @@ impl HyperTraceBuilder {
     }
 
     /// Builds the trace iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the constructor-bound violations [`try_build`]
+    /// (the non-panicking variant for user-facing input) reports as
+    /// errors: a SID list whose length differs from the tenant count, or
+    /// duplicate SIDs.
+    ///
+    /// [`try_build`]: HyperTraceBuilder::try_build
     pub fn build(self) -> HyperTrace {
+        match self.try_build() {
+            Ok(trace) => trace,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Builds the trace iterator, reporting constructor-bound violations
+    /// as errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceBuildError`] when the SID list's length differs
+    /// from the tenant count or contains duplicates.
+    pub fn try_build(self) -> Result<HyperTrace, TraceBuildError> {
         let mut params = self.kind.params();
         if let Some(fixed) = self.fixed_requests {
             params.min_requests = fixed;
             params.max_requests = fixed;
         }
         if let Some(sids) = &self.sids {
-            assert!(
-                sids.len() == self.tenants as usize,
-                "need exactly one SID per tenant ({} != {})",
-                sids.len(),
-                self.tenants
-            );
+            if sids.len() != self.tenants as usize {
+                return Err(TraceBuildError(format!(
+                    "need exactly one SID per tenant ({} != {})",
+                    sids.len(),
+                    self.tenants
+                )));
+            }
             let mut sorted: Vec<u32> = sids.iter().map(|s| s.raw()).collect();
             sorted.sort_unstable();
             sorted.dedup();
-            assert!(sorted.len() == sids.len(), "SIDs must be unique");
+            if sorted.len() != sids.len() {
+                return Err(TraceBuildError("SIDs must be unique".into()));
+            }
         }
         let streams: Vec<TenantStream> = (0..self.tenants)
             .map(|t| {
@@ -208,7 +247,7 @@ impl HyperTraceBuilder {
             Interleaving::Random { seed, .. } => Some(SplitMix64::new(seed)),
             Interleaving::RoundRobin { .. } => None,
         };
-        HyperTrace {
+        Ok(HyperTrace {
             params,
             streams,
             interleaving: self.interleaving,
@@ -217,7 +256,7 @@ impl HyperTraceBuilder {
             burst_left: self.interleaving.burst(),
             done: false,
             emitted: 0,
-        }
+        })
     }
 }
 
@@ -468,6 +507,23 @@ mod tests {
         let _ = HyperTraceBuilder::new(WorkloadKind::Iperf3, 2)
             .sids(vec![Sid::new(1)])
             .build();
+    }
+
+    #[test]
+    fn try_build_reports_bounds_as_errors() {
+        let err = HyperTraceBuilder::new(WorkloadKind::Iperf3, 2)
+            .sids(vec![Sid::new(1)])
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("one SID per tenant"));
+        let err = HyperTraceBuilder::new(WorkloadKind::Iperf3, 2)
+            .sids(vec![Sid::new(1), Sid::new(1)])
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("unique"));
+        assert!(HyperTraceBuilder::new(WorkloadKind::Iperf3, 2)
+            .try_build()
+            .is_ok());
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod stats;
 mod tenant;
 mod workload;
 
-pub use constructor::{HyperTrace, HyperTraceBuilder, Interleaving};
+pub use constructor::{HyperTrace, HyperTraceBuilder, Interleaving, TraceBuildError};
 pub use log::{read_packets, write_packets, LogCodecError};
 pub use stats::TraceStats;
 pub use tenant::{TenantStream, TracePacket};

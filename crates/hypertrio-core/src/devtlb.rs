@@ -155,6 +155,13 @@ impl DevTlb {
             .is_some()
     }
 
+    /// Invalidates every entry belonging to `did` (a per-domain shootdown,
+    /// as an IOTLB invalidation command addressed to one DID would).
+    /// Returns the number of entries removed.
+    pub fn invalidate_did(&mut self, did: Did) -> usize {
+        self.cache.invalidate_matching(|k| k.did == did)
+    }
+
     /// Removes every entry (statistics are kept).
     pub fn clear(&mut self) {
         self.cache.clear();
@@ -370,6 +377,43 @@ mod tests {
         );
         tlb.clear();
         assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn invalidate_did_removes_only_that_tenant() {
+        let mut tlb = base_tlb();
+        tlb.insert(
+            Sid::new(0),
+            Did::new(0),
+            GIova::new(0x1000),
+            entry_4k(0x1),
+            0,
+        );
+        tlb.insert(
+            Sid::new(0),
+            Did::new(0),
+            GIova::new(0xbbe0_0000),
+            entry_2m(0x2),
+            1,
+        );
+        tlb.insert(
+            Sid::new(1),
+            Did::new(1),
+            GIova::new(0x1000),
+            entry_4k(0x3),
+            2,
+        );
+        assert_eq!(tlb.invalidate_did(Did::new(0)), 2);
+        assert!(tlb
+            .lookup(Sid::new(0), Did::new(0), GIova::new(0x1000), 3)
+            .is_none());
+        assert!(tlb
+            .lookup(Sid::new(0), Did::new(0), GIova::new(0xbbe0_0000), 4)
+            .is_none());
+        assert!(tlb
+            .lookup(Sid::new(1), Did::new(1), GIova::new(0x1000), 5)
+            .is_some());
+        assert_eq!(tlb.invalidate_did(Did::new(0)), 0);
     }
 
     #[test]

@@ -194,6 +194,19 @@ impl IovaHistoryReader {
     pub fn fetches(&self) -> u64 {
         self.fetches
     }
+
+    /// Discards the remembered pages of `did` (the hypervisor resets the
+    /// in-memory history when it shoots down that domain's translations —
+    /// the recorded gIOVAs would otherwise drive prefetches of mappings
+    /// that no longer exist).
+    pub fn forget(&mut self, did: Did) {
+        self.histories.remove(&did);
+    }
+
+    /// Discards every tenant's remembered pages (global shootdown).
+    pub fn forget_all(&mut self) {
+        self.histories.clear();
+    }
 }
 
 /// Configuration and state of the on-device Prefetch Unit plus the
@@ -299,6 +312,25 @@ impl PrefetchUnit {
     ) -> Option<(DevTlbKey, TlbEntry)> {
         let key = DevTlbKey::new(did, iova, entry.size);
         self.buffer.insert(key, entry, now)
+    }
+
+    /// Shoots down everything the unit holds for `did`: the Prefetch
+    /// Buffer entries (which would otherwise keep serving stale gIOVA→hPA
+    /// translations after an invalidation) and the per-DID IOVA history
+    /// (which would re-prefetch the invalidated pages). Returns the number
+    /// of PB entries removed.
+    pub fn invalidate_did(&mut self, did: Did) -> usize {
+        self.history.forget(did);
+        self.buffer.invalidate_matching(|k| k.did == did)
+    }
+
+    /// Global shootdown: drops every PB entry and every tenant's history.
+    /// Returns the number of PB entries removed.
+    pub fn invalidate_all(&mut self) -> usize {
+        self.history.forget_all();
+        let removed = self.buffer.len();
+        self.buffer.clear();
+        removed
     }
 
     /// Returns Prefetch Buffer statistics (hits = requests served without
@@ -448,6 +480,55 @@ mod tests {
             .unwrap();
         assert_eq!(hit.translate(GIova::new(0xbbe0_1234)).raw(), 0x7000_1234);
         assert_eq!(pu.buffer_stats().hits(), 1);
+    }
+
+    #[test]
+    fn shootdown_regression_pb_must_not_serve_stale_entries() {
+        // Regression for the latent invalidation gap: before
+        // `invalidate_did` existed, a DID shootdown cleared the DevTLB but
+        // the PB kept serving the stale gIOVA→hPA mapping and the history
+        // kept re-planning prefetches of it.
+        let mut pu = PrefetchUnit::new(8, 48, 2);
+        let did = Did::new(3);
+        let iova = GIova::new(0xbbe0_0000);
+        let entry = TlbEntry {
+            hpa_base: HPa::new(0x7000_0000),
+            size: PageSize::Size2M,
+        };
+        pu.record_history(did, iova);
+        pu.fill(did, iova, entry, 0);
+        assert!(pu.lookup(did, iova, 1).is_some());
+        assert_eq!(pu.history_pages(did), vec![GIova::new(0xbbe0_0000)]);
+
+        assert_eq!(pu.invalidate_did(did), 1);
+        assert!(
+            pu.lookup(did, iova, 2).is_none(),
+            "PB served a stale translation after its DID was shot down"
+        );
+        assert!(
+            pu.history_pages(did).is_empty(),
+            "history would re-prefetch invalidated pages"
+        );
+
+        // Another tenant's state is untouched.
+        let other = Did::new(4);
+        pu.record_history(other, GIova::new(0x1000));
+        pu.fill(
+            other,
+            GIova::new(0x1000),
+            TlbEntry {
+                hpa_base: HPa::new(0x8000_0000),
+                size: PageSize::Size4K,
+            },
+            3,
+        );
+        pu.invalidate_did(did);
+        assert!(pu.lookup(other, GIova::new(0x1000), 4).is_some());
+
+        // Global shootdown drops everything.
+        assert_eq!(pu.invalidate_all(), 1);
+        assert!(pu.lookup(other, GIova::new(0x1000), 5).is_none());
+        assert!(pu.history_pages(other).is_empty());
     }
 
     #[test]

@@ -6,8 +6,9 @@
 use std::fmt;
 
 use hypersio_cache::PolicyKind;
-use hypersio_sim::SimParams;
+use hypersio_sim::{FaultPlan, SimParams};
 use hypersio_trace::{Interleaving, WorkloadKind};
+use hypersio_types::SimDuration;
 use hypertrio_core::TranslationConfig;
 
 /// A parsed invocation.
@@ -23,6 +24,33 @@ pub enum Command {
     Configs,
     /// Print usage help.
     Help,
+}
+
+/// A DevTLB replacement-policy override, fully validated at parse time
+/// (so building the configuration can never fail on a policy name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Least-recently-used replacement.
+    Lru,
+    /// Least-frequently-used replacement.
+    Lfu,
+    /// First-in-first-out replacement.
+    Fifo,
+    /// Seeded random replacement (uses the trace seed).
+    Random,
+}
+
+impl PolicyChoice {
+    /// Parses a `--policy` value.
+    fn parse(value: &str) -> Option<Self> {
+        match value {
+            "lru" => Some(PolicyChoice::Lru),
+            "lfu" => Some(PolicyChoice::Lfu),
+            "fifo" => Some(PolicyChoice::Fifo),
+            "random" => Some(PolicyChoice::Random),
+            _ => None,
+        }
+    }
 }
 
 /// Options shared by `sim`, `sweep`, and `trace`.
@@ -41,7 +69,7 @@ pub struct SimArgs {
     /// Interleaving.
     pub interleaving: Interleaving,
     /// DevTLB replacement policy override.
-    pub policy: Option<String>,
+    pub policy: Option<PolicyChoice>,
     /// Warm-up packets excluded from the bandwidth measurement.
     pub warmup: u64,
     /// Worker threads for `sweep` (each sweep point is an independent
@@ -60,6 +88,16 @@ pub struct SimArgs {
     pub window_us: u64,
     /// Write the machine-readable `sim_report/v1` JSON to this path (`sim`).
     pub report_json: Option<String>,
+    /// Load a declarative `fault_plan/v1` JSON file (`sim`).
+    pub fault_plan: Option<String>,
+    /// Override/add a periodic global invalidation storm, period in
+    /// simulated microseconds (`sim`).
+    pub inv_storm_us: Option<u64>,
+    /// Override the fraction of pages that start unmapped (`sim`).
+    pub fault_rate: Option<f64>,
+    /// Override the PRI page-request service latency in microseconds
+    /// (`sim`).
+    pub pri_latency_us: Option<f64>,
 }
 
 impl Default for SimArgs {
@@ -80,6 +118,10 @@ impl Default for SimArgs {
             timeseries_out: None,
             window_us: 10,
             report_json: None,
+            fault_plan: None,
+            inv_storm_us: None,
+            fault_rate: None,
+            pri_latency_us: None,
         }
     }
 }
@@ -99,17 +141,55 @@ impl SimArgs {
         } else {
             TranslationConfig::base()
         };
-        if let Some(policy) = &self.policy {
-            let kind = match policy.as_str() {
-                "lru" => PolicyKind::Lru,
-                "lfu" => PolicyKind::Lfu,
-                "fifo" => PolicyKind::Fifo,
-                "random" => PolicyKind::Random { seed: self.seed },
-                other => panic!("validated at parse time: {other}"),
+        if let Some(policy) = self.policy {
+            let kind = match policy {
+                PolicyChoice::Lru => PolicyKind::Lru,
+                PolicyChoice::Lfu => PolicyKind::Lfu,
+                PolicyChoice::Fifo => PolicyKind::Fifo,
+                PolicyChoice::Random => PolicyKind::Random { seed: self.seed },
             };
             config = config.with_devtlb_policy(kind);
         }
         config
+    }
+
+    /// True when any fault-injection input was given on the command line.
+    pub fn wants_faults(&self) -> bool {
+        self.fault_plan.is_some()
+            || self.inv_storm_us.is_some()
+            || self.fault_rate.is_some()
+            || self.pri_latency_us.is_some()
+    }
+
+    /// Assembles the run's [`FaultPlan`]: the loaded plan file (if any,
+    /// already parsed by the caller) with the command-line overrides
+    /// applied on top. Returns `FaultPlan::none()` untouched when no
+    /// fault-injection input was given, so fault-free runs stay
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] when the combined plan fails validation.
+    pub fn assemble_fault_plan(
+        &self,
+        file_plan: Option<FaultPlan>,
+    ) -> Result<FaultPlan, ParseError> {
+        if !self.wants_faults() {
+            return Ok(FaultPlan::none());
+        }
+        let mut plan = file_plan.unwrap_or_else(|| FaultPlan::none().with_seed(self.seed));
+        if let Some(period_us) = self.inv_storm_us {
+            plan = plan.with_storm_period(SimDuration::from_us(period_us));
+        }
+        if let Some(rate) = self.fault_rate {
+            plan = plan.with_fault_rate(rate);
+        }
+        if let Some(latency_us) = self.pri_latency_us {
+            plan = plan.with_pri_latency(SimDuration::from_ps((latency_us * 1e6) as u64));
+        }
+        plan.validate()
+            .map_err(|e| ParseError(format!("invalid fault plan: {e}")))?;
+        Ok(plan)
     }
 
     /// Builds the simulator parameters these arguments select.
@@ -169,6 +249,12 @@ OBSERVABILITY (sim only; no effect on the simulated behaviour):
     --timeseries-out <path> write a windowed time series
                            (CSV, or JSON when path ends in .json)
     --window-us <N>        time-series window in simulated us    [10]
+
+FAULT INJECTION (sim only; deterministic, seeded):
+    --fault-plan <path>    load a declarative fault_plan/v1 JSON file
+    --inv-storm <N>        periodic global shootdown every N simulated us
+    --fault-rate <F>       fraction of pages initially unmapped (0.0-1.0)
+    --pri-latency-us <F>   PRI page-request service latency in us    [10]
 ";
 
 /// Parses a full argument vector (excluding the program name).
@@ -244,9 +330,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     other => return Err(ParseError(format!("unknown interleaving {other:?}"))),
                 };
             }
-            "--policy" => match value.as_str() {
-                "lru" | "lfu" | "fifo" | "random" => parsed.policy = Some(value.clone()),
-                other => return Err(ParseError(format!("unknown policy {other:?}"))),
+            "--policy" => match PolicyChoice::parse(value) {
+                Some(choice) => parsed.policy = Some(choice),
+                None => return Err(ParseError(format!("unknown policy {value:?}"))),
             },
             "--warmup" => {
                 parsed.warmup = value
@@ -280,6 +366,38 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }
             }
             "--report-json" => parsed.report_json = Some(value.clone()),
+            "--fault-plan" => parsed.fault_plan = Some(value.clone()),
+            "--inv-storm" => {
+                let period: u64 = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --inv-storm: {e}")))?;
+                if period == 0 {
+                    return Err(ParseError("--inv-storm must be at least 1 (us)".into()));
+                }
+                parsed.inv_storm_us = Some(period);
+            }
+            "--fault-rate" => {
+                let rate: f64 = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --fault-rate: {e}")))?;
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    return Err(ParseError(
+                        "--fault-rate must be a fraction in 0.0 ..= 1.0".into(),
+                    ));
+                }
+                parsed.fault_rate = Some(rate);
+            }
+            "--pri-latency-us" => {
+                let latency: f64 = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --pri-latency-us: {e}")))?;
+                if !latency.is_finite() || !(0.0..=1e9).contains(&latency) {
+                    return Err(ParseError(
+                        "--pri-latency-us must be a finite non-negative number of us".into(),
+                    ));
+                }
+                parsed.pri_latency_us = Some(latency);
+            }
             other => return Err(ParseError(format!("unknown option {other:?}"))),
         }
     }
@@ -332,7 +450,7 @@ mod tests {
         assert_eq!(args.scale, 50);
         assert_eq!(args.seed, 9);
         assert_eq!(args.interleaving, Interleaving::round_robin(4));
-        assert_eq!(args.policy.as_deref(), Some("lfu"));
+        assert_eq!(args.policy, Some(PolicyChoice::Lfu));
         assert_eq!(args.warmup, 500);
         assert_eq!(args.jobs, 3);
     }
@@ -370,6 +488,14 @@ mod tests {
             ("sim --interleave rr9", "unknown interleaving"),
             ("sim --policy belady", "unknown policy"),
             ("sim --frob 1", "unknown option"),
+            ("sim --inv-storm 0", "at least 1"),
+            ("sim --inv-storm x", "bad --inv-storm"),
+            ("sim --fault-rate 1.5", "0.0 ..= 1.0"),
+            ("sim --fault-rate NaN", "0.0 ..= 1.0"),
+            ("sim --fault-rate x", "bad --fault-rate"),
+            ("sim --pri-latency-us -3", "non-negative"),
+            ("sim --pri-latency-us inf", "non-negative"),
+            ("sim --fault-plan", "missing value"),
         ] {
             let err = parse(&argv(input)).unwrap_err();
             assert!(
@@ -451,5 +577,47 @@ mod tests {
     #[test]
     fn configs_command() {
         assert_eq!(parse(&argv("configs")).unwrap(), Command::Configs);
+    }
+
+    #[test]
+    fn fault_flags_parse_and_assemble() {
+        let Command::Sim(args) = parse(&argv(
+            "sim --seed 7 --inv-storm 50 --fault-rate 0.02 --pri-latency-us 2.5",
+        ))
+        .unwrap() else {
+            panic!("expected sim");
+        };
+        assert_eq!(args.inv_storm_us, Some(50));
+        assert_eq!(args.fault_rate, Some(0.02));
+        assert_eq!(args.pri_latency_us, Some(2.5));
+        assert!(args.wants_faults());
+        let plan = args.assemble_fault_plan(None).unwrap();
+        assert!(!plan.is_none());
+        assert_eq!(plan.fault_rate, 0.02);
+        assert_eq!(plan.storm_period, Some(SimDuration::from_us(50)));
+        assert_eq!(plan.pri_latency, SimDuration::from_ps(2_500_000));
+        assert_eq!(plan.seed, 7, "plan seed defaults to the trace seed");
+    }
+
+    #[test]
+    fn no_fault_flags_assemble_to_the_none_plan() {
+        let Command::Sim(args) = parse(&argv("sim --seed 9")).unwrap() else {
+            panic!("expected sim");
+        };
+        assert!(!args.wants_faults());
+        let plan = args.assemble_fault_plan(None).unwrap();
+        assert!(plan.is_none(), "fault-free runs must stay byte-identical");
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_a_file_plan() {
+        let file = FaultPlan::none().with_fault_rate(0.5).with_seed(99);
+        let Command::Sim(args) = parse(&argv("sim --fault-plan p.json --fault-rate 0.1")).unwrap()
+        else {
+            panic!("expected sim");
+        };
+        let plan = args.assemble_fault_plan(Some(file)).unwrap();
+        assert_eq!(plan.fault_rate, 0.1, "the flag wins over the file");
+        assert_eq!(plan.seed, 99, "untouched file fields survive");
     }
 }

@@ -1,0 +1,79 @@
+//! Typed errors for the `hypertrio` binary.
+//!
+//! Every user-facing failure — bad arguments, unreadable files, malformed
+//! fault plans — flows through [`SimError`] and exits with a nonzero code;
+//! `main` never panics on bad input.
+
+use std::fmt;
+
+use crate::cli::ParseError;
+
+/// A user-facing failure of the `hypertrio` binary.
+#[derive(Debug)]
+pub enum SimError {
+    /// Invalid command-line arguments.
+    Parse(ParseError),
+    /// An input or output file could not be read or written.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A fault-plan file was read but could not be parsed or validated.
+    FaultPlan {
+        /// The plan file's path.
+        path: String,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Parse(err) => write!(f, "{err}"),
+            SimError::Io { path, source } => write!(f, "{path}: {source}"),
+            SimError::FaultPlan { path, message } => {
+                write!(f, "{path}: invalid fault plan: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Parse(err) => Some(err),
+            SimError::Io { source, .. } => Some(source),
+            SimError::FaultPlan { .. } => None,
+        }
+    }
+}
+
+impl From<ParseError> for SimError {
+    fn from(err: ParseError) -> Self {
+        SimError::Parse(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_path() {
+        let err = SimError::Io {
+            path: "plan.json".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(err.to_string().contains("plan.json"));
+        let err = SimError::FaultPlan {
+            path: "plan.json".into(),
+            message: "wrong schema".into(),
+        };
+        assert!(err.to_string().contains("wrong schema"));
+        let err = SimError::from(ParseError("bad --tenants".into()));
+        assert_eq!(err.to_string(), "bad --tenants");
+    }
+}

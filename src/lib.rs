@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod error;
 
 pub use hypersio_cache as cache;
 pub use hypersio_device as device;

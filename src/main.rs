@@ -6,36 +6,38 @@ use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
 use hypersio_sim::{
-    sweep_tenants_parallel, RingRecorder, Simulation, SweepSpec, TimeSeriesSampler,
+    sweep_tenants_parallel, FaultPlan, RingRecorder, Simulation, SweepSpec, TimeSeriesSampler,
 };
 use hypersio_trace::HyperTraceBuilder;
 use hypertrio::cli::{self, Command, SimArgs};
+use hypertrio::error::SimError;
 use hypertrio_core::TranslationConfig;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match cli::parse(&args) {
+    let outcome = match cli::parse(&args) {
         Ok(Command::Help) => {
             print!("{}", cli::USAGE);
-            ExitCode::SUCCESS
+            Ok(())
         }
         Ok(Command::Configs) => {
             println!("{}", TranslationConfig::base());
             println!("{}", TranslationConfig::hypertrio());
-            ExitCode::SUCCESS
+            Ok(())
         }
-        Ok(Command::Sim(args)) => {
-            run_sim(&args);
-            ExitCode::SUCCESS
-        }
+        Ok(Command::Sim(args)) => run_sim(&args),
         Ok(Command::Sweep(args)) => {
             run_sweep(&args);
-            ExitCode::SUCCESS
+            Ok(())
         }
         Ok(Command::Trace(args)) => {
             run_trace(&args);
-            ExitCode::SUCCESS
+            Ok(())
         }
+        Err(err) => Err(SimError::from(err)),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("error: {err}");
             ExitCode::FAILURE
@@ -51,11 +53,32 @@ fn build_trace(args: &SimArgs, tenants: u32, scale: u64) -> hypersio_trace::Hype
         .build()
 }
 
-fn run_sim(args: &SimArgs) {
+/// Loads and parses `--fault-plan` (if given) and layers the command-line
+/// overrides on top.
+fn load_fault_plan(args: &SimArgs) -> Result<FaultPlan, SimError> {
+    let file_plan = match args.fault_plan.as_ref() {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|source| SimError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            Some(
+                FaultPlan::from_json(&text).map_err(|message| SimError::FaultPlan {
+                    path: path.clone(),
+                    message,
+                })?,
+            )
+        }
+    };
+    args.assemble_fault_plan(file_plan).map_err(SimError::from)
+}
+
+fn run_sim(args: &SimArgs) -> Result<(), SimError> {
     let config = args.config();
     println!("{config}");
     let trace = build_trace(args, args.tenants, args.scale);
-    let params = args.params();
+    let params = args.params().with_fault_plan(load_fault_plan(args)?);
 
     // Observers are only constructed when their output was requested, so
     // the default path runs the fully uninstrumented (NullObserver) loop.
@@ -82,7 +105,7 @@ fn run_sim(args: &SimArgs) {
     println!("{report}");
 
     if let (Some(path), Some(ring)) = (args.trace_out.as_ref(), ring.as_ref()) {
-        write_or_die(path, |w| ring.write_jsonl(w));
+        write_file(path, |w| ring.write_jsonl(w))?;
         eprintln!(
             "wrote event trace to {path} ({} events, {} overwritten)",
             ring.len(),
@@ -95,20 +118,21 @@ fn run_sim(args: &SimArgs) {
         } else {
             series.to_csv()
         };
-        write_or_die(path, |w| w.write_all(body.as_bytes()));
+        write_file(path, |w| w.write_all(body.as_bytes()))?;
         eprintln!(
             "wrote time series to {path} ({} windows)",
             series.rows().len()
         );
     }
     if let Some(path) = args.report_json.as_ref() {
-        write_or_die(path, |w| w.write_all(report.to_json().as_bytes()));
+        write_file(path, |w| w.write_all(report.to_json().as_bytes()))?;
         eprintln!("wrote report JSON to {path}");
     }
+    Ok(())
 }
 
-/// Writes a file through the closure, exiting with a message on I/O errors.
-fn write_or_die<F>(path: &str, write: F)
+/// Writes a file through the closure, mapping I/O failures to [`SimError`].
+fn write_file<F>(path: &str, write: F) -> Result<(), SimError>
 where
     F: FnOnce(&mut BufWriter<File>) -> std::io::Result<()>,
 {
@@ -117,10 +141,10 @@ where
         write(&mut w)?;
         w.flush()
     };
-    if let Err(err) = attempt() {
-        eprintln!("error: cannot write {path}: {err}");
-        std::process::exit(1);
-    }
+    attempt().map_err(|source| SimError::Io {
+        path: path.to_string(),
+        source,
+    })
 }
 
 fn run_sweep(args: &SimArgs) {
@@ -135,7 +159,7 @@ fn run_sweep(args: &SimArgs) {
         .filter(|&t| t <= args.tenants)
         .collect();
     // Sweep points are independent simulations; the parallel path is
-    // bit-identical to the serial one for any --jobs value.
+    // bit-identical to a serial sweep for any --jobs value.
     for point in sweep_tenants_parallel(&spec, &counts, args.jobs) {
         println!("{point}");
     }
