@@ -6,7 +6,10 @@
 //! walk-cache accesses, so the cache substrate dominates the wall-clock of
 //! every sweep. The harness runs a fixed 128- and 1024-tenant sweep and
 //! writes `BENCH_hotpath.json` so each perf PR records a comparable
-//! trajectory point.
+//! trajectory point. Each case carries a `stages` block attributing
+//! wall-clock to the five pipeline stages; it comes from a second,
+//! instrumented run (`Simulation::run_timed`) so the timing probes cannot
+//! inflate the headline numbers, which come from the untimed run.
 //!
 //! Usage:
 //!
@@ -33,7 +36,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use bench::json;
-use hypersio_sim::{SimParams, SweepSpec};
+use hypersio_sim::{SimParams, StageTimings, SweepSpec};
 use hypersio_trace::WorkloadKind;
 use hypertrio_core::TranslationConfig;
 
@@ -53,6 +56,7 @@ struct CaseResult {
     packets: u64,
     requests: u64,
     utilization: f64,
+    stages: StageTimings,
 }
 
 fn run_case(config: TranslationConfig, tenants: u32, scale: u64, warmup: u64) -> CaseResult {
@@ -62,6 +66,14 @@ fn run_case(config: TranslationConfig, tenants: u32, scale: u64, warmup: u64) ->
     let start = Instant::now();
     let report = spec.run_at(tenants);
     let wall_s = start.elapsed().as_secs_f64();
+    // Second, instrumented pass for the per-stage breakdown. The headline
+    // wall number stays the untimed run above: stage attribution costs two
+    // clock reads per stage transition, which would inflate it.
+    let (timed_report, stages) = spec.run_timed_at(tenants);
+    assert_eq!(
+        timed_report, report,
+        "timing instrumentation changed the simulation"
+    );
     CaseResult {
         config: name,
         tenants,
@@ -69,6 +81,7 @@ fn run_case(config: TranslationConfig, tenants: u32, scale: u64, warmup: u64) ->
         packets: report.packets_processed,
         requests: report.translation_requests,
         utilization: report.utilization,
+        stages,
     }
 }
 
@@ -87,7 +100,9 @@ fn emit(results: &[CaseResult], scale: u64, warmup: u64, baseline: Option<&str>)
             "    {{\"config\": \"{}\", \"tenants\": {}, \"wall_s\": {:.6}, \
              \"packets\": {}, \"packets_per_sec\": {:.1}, \
              \"translation_requests\": {}, \"ns_per_translation\": {:.2}, \
-             \"utilization\": {:.6}}}",
+             \"utilization\": {:.6}, \
+             \"stages\": {{\"arrival_ns\": {}, \"prefetch_ns\": {}, \
+             \"lookup_ns\": {}, \"walk_ns\": {}, \"completion_ns\": {}}}}}",
             json::escape(&r.config),
             r.tenants,
             r.wall_s,
@@ -96,6 +111,11 @@ fn emit(results: &[CaseResult], scale: u64, warmup: u64, baseline: Option<&str>)
             r.requests,
             ns_per_req,
             r.utilization,
+            r.stages.arrival_ns,
+            r.stages.prefetch_ns,
+            r.stages.lookup_ns,
+            r.stages.walk_ns,
+            r.stages.completion_ns,
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
@@ -176,9 +196,10 @@ fn main() -> ExitCode {
         None => None,
         Some(p) => match std::fs::read_to_string(p) {
             Ok(text) => {
-                // Only a schema-valid document may be embedded.
+                // Only a schema-valid document may be embedded (lenient on
+                // `stages`: the baseline may predate per-stage timing).
                 match json::parse(&text).map_err(|e| e.to_string()).and_then(|d| {
-                    json::validate_hotpath_schema(&d)?;
+                    json::validate_hotpath_baseline(&d)?;
                     Ok(())
                 }) {
                     Ok(()) => Some(text),
@@ -209,6 +230,17 @@ fn main() -> ExitCode {
             r.wall_s,
             r.packets as f64 / r.wall_s,
             r.wall_s * 1e9 / r.requests.max(1) as f64,
+        );
+        let total = r.stages.total_ns().max(1) as f64;
+        println!(
+            "{:<18} stages: arrival {:>4.1}%  prefetch {:>4.1}%  lookup {:>4.1}%  \
+             walk {:>4.1}%  completion {:>4.1}%",
+            "",
+            r.stages.arrival_ns as f64 * 100.0 / total,
+            r.stages.prefetch_ns as f64 * 100.0 / total,
+            r.stages.lookup_ns as f64 * 100.0 / total,
+            r.stages.walk_ns as f64 * 100.0 / total,
+            r.stages.completion_ns as f64 * 100.0 / total,
         );
         results.push(r);
     }

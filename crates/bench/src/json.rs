@@ -319,10 +319,35 @@ pub fn escape(s: &str) -> String {
 
 /// Checks that `doc` matches the `bench_hotpath/v1` schema (see the
 /// `bench_hotpath` binary): required top-level fields, a non-empty `cases`
-/// array, and every per-case metric present with the right type. Threshold
-/// checks are deliberately out of scope — CI runners are not comparable
-/// machines; only the *shape* of the output is pinned.
+/// array, and every per-case metric present with the right type — including
+/// the per-stage timing block every current build emits. Threshold checks
+/// are deliberately out of scope — CI runners are not comparable machines;
+/// only the *shape* of the output is pinned.
 pub fn validate_hotpath_schema(doc: &Json) -> Result<(), String> {
+    validate_hotpath_doc(doc, true)
+}
+
+/// [`validate_hotpath_schema`] minus the `stages` requirement: the check a
+/// document must pass to be *embedded as a baseline*, since a baseline may
+/// come from a build that predates per-stage timing.
+pub fn validate_hotpath_baseline(doc: &Json) -> Result<(), String> {
+    validate_hotpath_doc(doc, false)
+}
+
+/// The five `stages` timers every case of a current build carries.
+const STAGE_FIELDS: [&str; 5] = [
+    "arrival_ns",
+    "prefetch_ns",
+    "lookup_ns",
+    "walk_ns",
+    "completion_ns",
+];
+
+/// Schema body shared between the top-level document and an embedded
+/// baseline. `require_stages` is relaxed for the baseline: a baseline may
+/// come from a build that predates per-stage timing, but when the block is
+/// present it must still be well-formed.
+fn validate_hotpath_doc(doc: &Json, require_stages: bool) -> Result<(), String> {
     let obj = doc.as_obj().ok_or("top level must be an object")?;
     match doc.get("schema").and_then(Json::as_str) {
         Some("bench_hotpath/v1") => {}
@@ -358,10 +383,24 @@ pub fn validate_hotpath_schema(doc: &Json) -> Result<(), String> {
                 .and_then(Json::as_num)
                 .ok_or_else(|| format!("case {i}: missing numeric field '{field}'"))?;
         }
+        match case.get("stages") {
+            Some(stages) => {
+                for field in STAGE_FIELDS {
+                    stages.get(field).and_then(Json::as_num).ok_or_else(|| {
+                        format!("case {i}: stages: missing numeric field '{field}'")
+                    })?;
+                }
+            }
+            None if require_stages => {
+                return Err(format!("case {i}: missing object field 'stages'"));
+            }
+            None => {}
+        }
     }
-    // `baseline`, when present, must itself be a schema-valid document.
+    // `baseline`, when present, must itself be a schema-valid document
+    // (minus the stages requirement: it may predate per-stage timing).
     if let Some(baseline) = obj.get("baseline") {
-        validate_hotpath_schema(baseline).map_err(|e| format!("baseline: {e}"))?;
+        validate_hotpath_doc(baseline, false).map_err(|e| format!("baseline: {e}"))?;
     }
     Ok(())
 }
@@ -618,10 +657,20 @@ mod tests {
                 "config": "HyperTRIO", "tenants": 128, "wall_s": 1.5,
                 "packets": 100, "packets_per_sec": 66.6,
                 "translation_requests": 300, "ns_per_translation": 5000.0,
-                "utilization": 0.8
+                "utilization": 0.8,
+                "stages": {"arrival_ns": 100, "prefetch_ns": 200, "lookup_ns": 300,
+                           "walk_ns": 400, "completion_ns": 500}
             }]
         }"#
         .to_string()
+    }
+
+    /// A case without the `stages` block, as pre-timing builds emitted.
+    fn legacy_doc() -> String {
+        let doc = valid_doc();
+        let start = doc.find(",\n                \"stages\"").unwrap();
+        let end = doc[start..].find('}').unwrap() + start + 1;
+        format!("{}{}", &doc[..start], &doc[end..])
     }
 
     #[test]
@@ -637,7 +686,9 @@ mod tests {
                 "peak_rss_bytes": 0, "baseline": {},
                 "cases": [{{"config": "Base", "tenants": 128, "wall_s": 1,
                 "packets": 1, "packets_per_sec": 1, "translation_requests": 3,
-                "ns_per_translation": 1, "utilization": 0.5}}]}}"#,
+                "ns_per_translation": 1, "utilization": 0.5,
+                "stages": {{"arrival_ns": 1, "prefetch_ns": 1, "lookup_ns": 1,
+                            "walk_ns": 1, "completion_ns": 1}}}}]}}"#,
             valid_doc()
         );
         let doc = parse(&with_baseline).unwrap();
@@ -653,6 +704,44 @@ mod tests {
         assert!(err.contains("ns_per_translation"), "{err}");
         let doc = parse(&valid_doc().replace("bench_hotpath/v1", "v999")).unwrap();
         assert!(validate_hotpath_schema(&doc).is_err());
+    }
+
+    #[test]
+    fn schema_requires_stages_in_current_output() {
+        // A current-build document must carry the per-stage block...
+        let doc = parse(&legacy_doc()).unwrap();
+        let err = validate_hotpath_schema(&doc).unwrap_err();
+        assert!(err.contains("stages"), "{err}");
+        // ...complete: a half-present block is rejected everywhere.
+        let doc = parse(&valid_doc().replace("walk_ns", "walker_ns")).unwrap();
+        let err = validate_hotpath_schema(&doc).unwrap_err();
+        assert!(err.contains("walk_ns"), "{err}");
+    }
+
+    #[test]
+    fn schema_tolerates_stageless_baseline() {
+        // An embedded baseline may come from a build that predates
+        // per-stage timing — stages is optional there, but the current
+        // cases still require it.
+        let with_old_baseline = format!(
+            r#"{{"schema": "bench_hotpath/v1", "scale": 1, "warmup_packets": 0,
+                "peak_rss_bytes": 0, "baseline": {},
+                "cases": [{{"config": "Base", "tenants": 128, "wall_s": 1,
+                "packets": 1, "packets_per_sec": 1, "translation_requests": 3,
+                "ns_per_translation": 1, "utilization": 0.5,
+                "stages": {{"arrival_ns": 1, "prefetch_ns": 1, "lookup_ns": 1,
+                            "walk_ns": 1, "completion_ns": 1}}}}]}}"#,
+            legacy_doc()
+        );
+        let doc = parse(&with_old_baseline).unwrap();
+        assert_eq!(validate_hotpath_schema(&doc), Ok(()));
+        // A stages block the baseline *does* carry must still be complete.
+        let bad = with_old_baseline.replace(&legacy_doc(), &valid_doc().replace("lookup_ns", "l"));
+        let err = validate_hotpath_schema(&parse(&bad).unwrap()).unwrap_err();
+        assert!(
+            err.contains("baseline") && err.contains("lookup_ns"),
+            "{err}"
+        );
     }
 
     fn valid_report() -> String {

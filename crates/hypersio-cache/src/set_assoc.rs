@@ -24,6 +24,12 @@ struct Entry<K, V> {
     value: V,
 }
 
+/// Tag stored for vacant slots. A live key whose code happens to equal this
+/// value is still found correctly: every tag match is confirmed against the
+/// stored key, so the sentinel only has to make vacant slots *unlikely* to
+/// match, never impossible.
+const VACANT_TAG: u64 = u64::MAX;
+
 /// A sets × ways associative cache with a statically dispatched replacement
 /// policy.
 ///
@@ -68,6 +74,16 @@ pub struct SetAssocCache<K, V> {
     set_mask: Option<u64>,
     /// Set-major slot slab: slot `set * ways + way`.
     slots: Box<[Option<Entry<K, V>>]>,
+    /// SoA tag slab parallel to `slots`: `tags[i]` is the oracle code of the
+    /// key in `slots[i]`, or [`VACANT_TAG`] when vacant. Probes scan this
+    /// contiguous `u64` vector (one or two cache lines per row) and only
+    /// touch the wider `slots` entry to confirm a tag match, so the common
+    /// miss compares ways without loading any key material.
+    tags: Box<[u64]>,
+    /// Occupied-way count per set. Steady-state inserts hit full sets, and
+    /// this counter lets them skip the vacancy scan over the wide `slots`
+    /// entries and go straight to victim selection.
+    set_len: Box<[u32]>,
     policy: PolicyState,
     stats: CacheStats,
     occupied: usize,
@@ -82,6 +98,8 @@ impl<K, V> SetAssocCache<K, V> {
             geometry,
             set_mask: geometry.set_mask(),
             slots: slots.into_boxed_slice(),
+            tags: vec![VACANT_TAG; geometry.entries()].into_boxed_slice(),
+            set_len: vec![0; geometry.sets()].into_boxed_slice(),
             policy: PolicyState::new(&policy, geometry),
             stats: CacheStats::new(),
             occupied: 0,
@@ -110,6 +128,8 @@ impl<K, V> SetAssocCache<K, V> {
                 self.policy.on_invalidate(idx);
             }
         }
+        self.tags.fill(VACANT_TAG);
+        self.set_len.fill(0);
         self.occupied = 0;
     }
 
@@ -118,10 +138,19 @@ impl<K, V> SetAssocCache<K, V> {
     /// invalidation in the statistics. Returns the number removed.
     pub fn invalidate_matching(&mut self, mut pred: impl FnMut(&K) -> bool) -> usize {
         let mut removed = 0;
-        let (slots, policy, stats) = (&mut self.slots, &mut self.policy, &mut self.stats);
+        let (slots, tags, set_len, policy, stats) = (
+            &mut self.slots,
+            &mut self.tags,
+            &mut self.set_len,
+            &mut self.policy,
+            &mut self.stats,
+        );
+        let ways = self.geometry.ways();
         for (idx, slot) in slots.iter_mut().enumerate() {
             if slot.as_ref().is_some_and(|e| pred(&e.key)) {
                 slot.take();
+                tags[idx] = VACANT_TAG;
+                set_len[idx / ways] -= 1;
                 policy.on_invalidate(idx);
                 stats.record_invalidation();
                 removed += 1;
@@ -165,16 +194,31 @@ impl<K: CacheKey + OracleKey, V> SetAssocCache<K, V> {
         self.set_index(key) * self.geometry.ways()
     }
 
+    /// Scans `key`'s row for its way: a branch-light linear pass over the
+    /// contiguous tag vector, confirming each tag match against the stored
+    /// key (tag equality alone is never trusted — codes may collide, and a
+    /// live key may even share [`VACANT_TAG`]).
+    #[inline]
+    fn find_way(&self, base: usize, ways: usize, tag: u64, key: &K) -> Option<usize> {
+        for (way, &t) in self.tags[base..base + ways].iter().enumerate() {
+            if t == tag
+                && self.slots[base + way]
+                    .as_ref()
+                    .is_some_and(|e| &e.key == key)
+            {
+                return Some(way);
+            }
+        }
+        None
+    }
+
     /// Looks up `key`, recording a hit or miss and updating policy state.
     ///
     /// Returns the cached value on a hit.
     pub fn lookup(&mut self, key: &K, now: u64) -> Option<&V> {
         let ways = self.geometry.ways();
         let base = self.row_base(key);
-        let way = self.slots[base..base + ways]
-            .iter()
-            .position(|slot| slot.as_ref().is_some_and(|e| &e.key == key));
-        match way {
+        match self.find_way(base, ways, key.oracle_code(), key) {
             Some(way) => {
                 self.stats.record_hit();
                 self.policy.on_hit(base, way, ways, now);
@@ -187,12 +231,65 @@ impl<K: CacheKey + OracleKey, V> SetAssocCache<K, V> {
         }
     }
 
+    /// Looks up `primary` and, only if it is absent, `secondary` — recording
+    /// exactly one hit or miss overall. This is the fused two-granule probe
+    /// used by TLB-like callers (2 MiB superpage key first, then the 4 KiB
+    /// key): behaviourally identical to `peek(primary)` followed by
+    /// `lookup(primary)` on presence / `lookup(secondary)` on absence, but
+    /// with a single scan of the primary row.
+    pub fn lookup_fused(&mut self, primary: &K, secondary: &K, now: u64) -> Option<&V> {
+        let ways = self.geometry.ways();
+        let base = self.row_base(primary);
+        if let Some(way) = self.find_way(base, ways, primary.oracle_code(), primary) {
+            self.stats.record_hit();
+            self.policy.on_hit(base, way, ways, now);
+            return self.slots[base + way].as_ref().map(|e| &e.value);
+        }
+        self.lookup(secondary, now)
+    }
+
+    /// Probes `keys` in order, exactly as sequential [`Self::lookup`] calls
+    /// at `now`, `now + 1`, … would — one recorded access and one policy
+    /// update per key — copying each result into `out` (`None` on a miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != keys.len()`.
+    pub fn probe_batch(&mut self, keys: &[K], now: u64, out: &mut [Option<V>])
+    where
+        V: Copy,
+    {
+        assert_eq!(keys.len(), out.len(), "probe_batch buffer length mismatch");
+        for (i, (key, slot)) in keys.iter().zip(out.iter_mut()).enumerate() {
+            *slot = self.lookup(key, now + i as u64).copied();
+        }
+    }
+
+    /// Fills `entries` in order, exactly as sequential [`Self::insert`]
+    /// calls at `now`, `now + 1`, … would; `on_evict` observes each evicted
+    /// pair in order. Returns the number of evictions.
+    pub fn fill_batch(
+        &mut self,
+        entries: impl IntoIterator<Item = (K, V)>,
+        now: u64,
+        mut on_evict: impl FnMut(K, V),
+    ) -> usize {
+        let mut evictions = 0;
+        for (i, (key, value)) in entries.into_iter().enumerate() {
+            if let Some((k, v)) = self.insert(key, value, now + i as u64) {
+                evictions += 1;
+                on_evict(k, v);
+            }
+        }
+        evictions
+    }
+
     /// Returns the cached value without touching statistics or policy state.
     pub fn peek(&self, key: &K) -> Option<&V> {
         let base = self.row_base(key);
-        self.slots[base..base + self.geometry.ways()]
-            .iter()
-            .find_map(|slot| slot.as_ref().filter(|e| &e.key == key).map(|e| &e.value))
+        let ways = self.geometry.ways();
+        self.find_way(base, ways, key.oracle_code(), key)
+            .and_then(|way| self.slots[base + way].as_ref().map(|e| &e.value))
     }
 
     /// Returns true if `key` is cached, without recording an access.
@@ -207,24 +304,30 @@ impl<K: CacheKey + OracleKey, V> SetAssocCache<K, V> {
     pub fn insert(&mut self, key: K, value: V, now: u64) -> Option<(K, V)> {
         let ways = self.geometry.ways();
         let base = self.row_base(&key);
+        let tag = key.oracle_code();
         self.stats.record_fill();
-        let row = &mut self.slots[base..base + ways];
 
         // Update in place if present.
-        if let Some(way) = row
-            .iter()
-            .position(|slot| slot.as_ref().is_some_and(|e| e.key == key))
-        {
+        if let Some(way) = self.find_way(base, ways, tag, &key) {
             self.policy.on_fill(base, way, ways, now);
-            let old = row[way].replace(Entry { key, value });
+            let old = self.slots[base + way].replace(Entry { key, value });
             debug_assert!(old.is_some());
             return None;
         }
 
-        // Use a vacant way if there is one.
-        if let Some(way) = row.iter().position(Option::is_none) {
+        // Use a vacant way if there is one; the per-set occupancy counter
+        // lets the steady-state (full-set) insert skip this scan entirely.
+        let set = base / ways;
+        if (self.set_len[set] as usize) < ways {
+            let row = &mut self.slots[base..base + ways];
+            let way = row
+                .iter()
+                .position(Option::is_none)
+                .expect("set below capacity has a vacant way");
             self.policy.on_fill(base, way, ways, now);
             row[way] = Some(Entry { key, value });
+            self.tags[base + way] = tag;
+            self.set_len[set] += 1;
             self.occupied += 1;
             return None;
         }
@@ -243,17 +346,19 @@ impl<K: CacheKey + OracleKey, V> SetAssocCache<K, V> {
         self.stats.record_eviction();
         self.policy.on_fill(base, way, ways, now);
         let evicted = self.slots[base + way].replace(Entry { key, value });
+        self.tags[base + way] = tag;
         evicted.map(|e| (e.key, e.value))
     }
 
     /// Removes `key` if present, returning its value.
     pub fn invalidate(&mut self, key: &K) -> Option<V> {
         let base = self.row_base(key);
-        let way = self.slots[base..base + self.geometry.ways()]
-            .iter()
-            .position(|slot| slot.as_ref().is_some_and(|e| &e.key == key))?;
+        let ways = self.geometry.ways();
+        let way = self.find_way(base, ways, key.oracle_code(), key)?;
         self.stats.record_invalidation();
         self.policy.on_invalidate(base + way);
+        self.tags[base + way] = VACANT_TAG;
+        self.set_len[base / ways] -= 1;
         self.occupied -= 1;
         self.slots[base + way].take().map(|e| e.value)
     }
@@ -453,5 +558,112 @@ mod tests {
         let mut c = lru_cache(4, 2);
         c.insert(1, 1, 0);
         assert!(format!("{c:?}").contains("occupied: 1"));
+    }
+
+    /// A key whose oracle code is constant (and for one variant equal to the
+    /// vacant-slot sentinel): every row scan sees colliding tags and must
+    /// fall back to full-key confirmation.
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct Clashing(u64, u64);
+    impl CacheKey for Clashing {
+        fn set_selector(&self) -> u64 {
+            0
+        }
+    }
+    impl crate::policy::OracleKey for Clashing {
+        fn oracle_code(&self) -> u64 {
+            self.1
+        }
+    }
+
+    #[test]
+    fn colliding_tags_are_confirmed_by_full_key() {
+        for tag in [42, VACANT_TAG] {
+            let mut c: SetAssocCache<Clashing, u64> =
+                SetAssocCache::new(CacheGeometry::new(4, 4), PolicyKind::Lru);
+            for k in 0..4u64 {
+                c.insert(Clashing(k, tag), k * 10, k);
+            }
+            for k in 0..4u64 {
+                assert_eq!(c.lookup(&Clashing(k, tag), 10 + k), Some(&(k * 10)));
+                assert_eq!(c.peek(&Clashing(k, tag)), Some(&(k * 10)));
+            }
+            assert_eq!(c.lookup(&Clashing(9, tag), 20), None);
+            assert_eq!(c.invalidate(&Clashing(2, tag)), Some(20));
+            assert_eq!(c.len(), 3);
+        }
+    }
+
+    #[test]
+    fn fused_lookup_matches_peek_then_lookup() {
+        // Primary present: one hit, primary's value, primary's recency.
+        let mut fused = lru_cache(8, 2);
+        let mut split = lru_cache(8, 2);
+        for c in [&mut fused, &mut split] {
+            c.insert(1, 10, 0);
+            c.insert(5, 50, 1);
+        }
+        assert_eq!(fused.lookup_fused(&1, &5, 2).copied(), Some(10));
+        let split_got = if split.peek(&1).is_some() {
+            split.lookup(&1, 2).copied()
+        } else {
+            split.lookup(&5, 2).copied()
+        };
+        assert_eq!(split_got, Some(10));
+        assert_eq!(fused.stats().hits(), split.stats().hits());
+        assert_eq!(fused.stats().accesses(), 1);
+
+        // Primary absent: falls through to secondary, still one access.
+        assert_eq!(fused.lookup_fused(&3, &5, 3).copied(), Some(50));
+        assert_eq!(fused.stats().accesses(), 2);
+        assert_eq!(fused.stats().hits(), 2);
+        // Both absent: exactly one miss.
+        assert_eq!(fused.lookup_fused(&3, &7, 4), None);
+        assert_eq!(fused.stats().accesses(), 3);
+        assert_eq!(fused.stats().misses(), 1);
+    }
+
+    #[test]
+    fn probe_batch_matches_sequential_lookups() {
+        let mut batched = lru_cache(8, 2);
+        let mut scalar = lru_cache(8, 2);
+        for c in [&mut batched, &mut scalar] {
+            for k in 0..5u64 {
+                c.insert(k, k * 10, k);
+            }
+        }
+        let keys = [0u64, 3, 9, 4, 11];
+        let mut out = [None; 5];
+        batched.probe_batch(&keys, 100, &mut out);
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(
+                out[i],
+                scalar.lookup(key, 100 + i as u64).copied(),
+                "key {key}"
+            );
+        }
+        assert_eq!(batched.stats().hits(), scalar.stats().hits());
+        assert_eq!(batched.stats().misses(), scalar.stats().misses());
+        // Policy state advanced identically: same victim on the next insert.
+        assert_eq!(batched.insert(8, 80, 200), scalar.insert(8, 80, 200));
+    }
+
+    #[test]
+    fn fill_batch_matches_sequential_inserts() {
+        let mut batched = lru_cache(2, 2);
+        let mut scalar = lru_cache(2, 2);
+        let entries = [(1u64, 10u64), (2, 20), (3, 30), (4, 40)];
+        let mut evicted = Vec::new();
+        let n = batched.fill_batch(entries, 0, |k, v| evicted.push((k, v)));
+        let mut scalar_evicted = Vec::new();
+        for (i, (k, v)) in entries.into_iter().enumerate() {
+            if let Some(pair) = scalar.insert(k, v, i as u64) {
+                scalar_evicted.push(pair);
+            }
+        }
+        assert_eq!(n, scalar_evicted.len());
+        assert_eq!(evicted, scalar_evicted);
+        assert_eq!(batched.stats().evictions(), scalar.stats().evictions());
+        assert_eq!(batched.len(), scalar.len());
     }
 }

@@ -1,0 +1,164 @@
+//! Release-mode occupancy invariants for all three cache shapes.
+//!
+//! `len()` is an O(1) tracked counter, and the paths that maintain it —
+//! `insert`'s three fill paths, `invalidate`, `invalidate_matching`, and
+//! `clear` — guard their bookkeeping only with `debug_assert!`s that
+//! vanish in release builds. This suite drives seeded (SplitMix64)
+//! interleaved operation streams through `SetAssocCache`,
+//! `PartitionedCache`, and `FullyAssocCache` and asserts with
+//! release-meaningful `assert!`s that `len()` equals the live-entry count
+//! after every step — against the cache's own iteration where it exposes
+//! one, and against an exact mirrored `HashMap` model for the partitioned
+//! shape.
+
+use std::collections::HashMap;
+
+use hypersio_cache::{
+    CacheGeometry, FullyAssocCache, PartitionSpec, PartitionedCache, PolicyKind, SetAssocCache,
+};
+use hypersio_types::{Sid, SplitMix64};
+
+const STREAMS: usize = 24;
+const OPS_PER_STREAM: usize = 400;
+/// Small key space so fills, in-place updates, and invalidations all hit.
+const KEY_SPACE: u64 = 48;
+const SIDS: u64 = 8;
+
+/// One step of the interleaved stream, drawn with weights that keep the
+/// caches near capacity (fills dominate) while still exercising every
+/// removal path regularly.
+enum Op {
+    Fill(Sid, u64),
+    Invalidate(Sid, u64),
+    /// Shootdown of everything matching `key % 4 == r` — the
+    /// `invalidate_did`-shaped bulk path.
+    InvalidateMatching(u64),
+    Clear,
+}
+
+fn draw(rng: &mut SplitMix64) -> Op {
+    let sid = Sid::new(rng.below(SIDS) as u32);
+    let key = rng.below(KEY_SPACE);
+    match rng.below(100) {
+        0..=69 => Op::Fill(sid, key),
+        70..=84 => Op::Invalidate(sid, key),
+        85..=97 => Op::InvalidateMatching(rng.below(4)),
+        _ => Op::Clear,
+    }
+}
+
+#[test]
+fn set_assoc_len_equals_live_entry_count() {
+    let mut rng = SplitMix64::new(0x000c_c001);
+    for _ in 0..STREAMS {
+        let ways = rng.range_inclusive(1, 8) as usize;
+        let sets = 1usize << rng.below(4);
+        let mut c: SetAssocCache<u64, u64> =
+            SetAssocCache::new(CacheGeometry::new(sets * ways, ways), PolicyKind::Lru);
+        for step in 0..OPS_PER_STREAM {
+            let now = step as u64;
+            match draw(&mut rng) {
+                Op::Fill(_, key) => {
+                    c.insert(key, key, now);
+                }
+                Op::Invalidate(_, key) => {
+                    c.invalidate(&key);
+                }
+                Op::InvalidateMatching(r) => {
+                    c.invalidate_matching(|k| k % 4 == r);
+                }
+                Op::Clear => c.clear(),
+            }
+            assert_eq!(c.len(), c.iter().count(), "after step {step}");
+            // The point is precisely that is_empty agrees with len.
+            #[allow(clippy::len_zero)]
+            {
+                assert_eq!(c.is_empty(), c.len() == 0, "is_empty must track len");
+            }
+        }
+        c.clear();
+        assert_eq!(c.len(), 0);
+    }
+}
+
+#[test]
+fn fully_assoc_len_equals_live_entry_count() {
+    let mut rng = SplitMix64::new(0x000c_c002);
+    for _ in 0..STREAMS {
+        let entries = rng.range_inclusive(1, 16) as usize;
+        let mut c: FullyAssocCache<u64, u64> = FullyAssocCache::new(entries, PolicyKind::Lfu);
+        for step in 0..OPS_PER_STREAM {
+            let now = step as u64;
+            match draw(&mut rng) {
+                Op::Fill(_, key) => {
+                    c.insert(key, key, now);
+                }
+                Op::Invalidate(_, key) => {
+                    c.invalidate(&key);
+                }
+                Op::InvalidateMatching(r) => {
+                    c.invalidate_matching(|k| k % 4 == r);
+                }
+                Op::Clear => c.clear(),
+            }
+            assert_eq!(c.len(), c.iter().count(), "after step {step}");
+            assert!(c.len() <= entries);
+        }
+    }
+}
+
+/// `PartitionedCache` exposes no iterator, so its invariant is checked
+/// against an exact `HashMap` model keyed by `(sid, key)`: every fill and
+/// removal is mirrored, `invalidate_matching`'s return value reconciles
+/// bulk removals, and evictions are reconciled via the evicted pair
+/// `insert` returns.
+#[test]
+fn partitioned_len_matches_exact_model() {
+    let mut rng = SplitMix64::new(0x000c_c003);
+    for _ in 0..STREAMS {
+        let partitions = 1usize << rng.below(3);
+        let mut c: PartitionedCache<u64, u64> = PartitionedCache::new(
+            CacheGeometry::new(64, 8),
+            PartitionSpec::new(partitions),
+            PolicyKind::Lru,
+        );
+        let mut model: HashMap<(u32, u64), u64> = HashMap::new();
+        for step in 0..OPS_PER_STREAM {
+            let now = step as u64;
+            match draw(&mut rng) {
+                Op::Fill(sid, key) => {
+                    let evicted = c.insert(sid, key, key, now);
+                    model.insert((sid.raw(), key), key);
+                    if let Some((ekey, _)) = evicted {
+                        // The evicted entry belonged to some SID of the same
+                        // partition; drop exactly one model entry with that
+                        // inner key that the cache no longer holds.
+                        let stale = model
+                            .keys()
+                            .copied()
+                            .find(|&(s, k)| k == ekey && !c.contains(Sid::new(s), &k))
+                            .expect("evicted pair absent from model");
+                        model.remove(&stale);
+                    }
+                }
+                Op::Invalidate(sid, key) => {
+                    if c.invalidate(sid, &key).is_some() {
+                        model.remove(&(sid.raw(), key));
+                    }
+                }
+                Op::InvalidateMatching(r) => {
+                    let removed = c.invalidate_matching(|k| k % 4 == r);
+                    let before = model.len();
+                    model.retain(|&(_, k), _| k % 4 != r);
+                    assert_eq!(before - model.len(), removed, "bulk removal count");
+                }
+                Op::Clear => {
+                    c.clear();
+                    model.clear();
+                }
+            }
+            assert_eq!(c.len(), model.len(), "after step {step}");
+            assert_eq!(c.is_empty(), model.is_empty());
+        }
+    }
+}

@@ -74,7 +74,11 @@ impl OracleKey for BdfKey {
 #[derive(Debug)]
 pub struct ContextCache {
     /// The architected context table (in "memory"): every configured device.
-    table: std::collections::HashMap<Bdf, ContextEntry>,
+    /// Probed on every context-cache miss — at 1024 tenants the 64-entry
+    /// cache thrashes and nearly every translate lands here — so it uses the
+    /// cheap Fx hasher. The map is never iterated (eviction order comes from
+    /// the fronting cache), so hash order cannot affect behaviour.
+    table: std::collections::HashMap<Bdf, ContextEntry, hypersio_types::fxhash::FxBuildHasher>,
     cache: FullyAssocCache<BdfKey, ContextEntry>,
 }
 
@@ -85,7 +89,7 @@ impl ContextCache {
     /// Creates a context cache with `entries` slots (LRU).
     pub fn new(entries: usize) -> Self {
         ContextCache {
-            table: std::collections::HashMap::new(),
+            table: std::collections::HashMap::default(),
             cache: FullyAssocCache::new(entries, PolicyKind::Lru),
         }
     }

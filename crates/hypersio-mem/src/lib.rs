@@ -44,7 +44,6 @@
 
 mod context;
 mod dram;
-mod fxhash;
 mod iommu;
 mod page_table;
 mod space;
@@ -57,4 +56,4 @@ pub use iommu::{Iommu, IommuParams, IommuResponse, IommuStats, TranslationScheme
 pub use page_table::{InlineWalkPath, PageTableError, Pte, RadixTable, WalkPath};
 pub use space::{TenantSpace, TenantSpaceBuilder};
 pub use walk_cache::{NestedKey, WalkCacheConfig, WalkCacheKey, WalkCaches};
-pub use walker::{TranslationFault, TwoDimWalker, WalkOutcome};
+pub use walker::{TranslationFault, TwoDimWalker, WalkMemo, WalkOutcome};

@@ -12,7 +12,7 @@ use std::fmt;
 
 use hypersio_types::PageSize;
 
-use crate::fxhash::FxBuildHasher;
+use hypersio_types::fxhash::FxBuildHasher;
 
 /// Number of entries per radix node (x86-64: 512 = 9 bits per level).
 pub const RADIX: usize = 512;

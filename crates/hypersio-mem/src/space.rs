@@ -1,6 +1,7 @@
 //! Per-tenant address spaces: paired guest and host page tables.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use hypersio_types::{Did, GIova, GPa, HPa, PageSize};
 
@@ -17,6 +18,15 @@ const GUEST_DATA_BASE: u64 = 0x8000_0000;
 /// a workload tenant maps: 32 × 2 MB data buffers plus table nodes and 4 KB
 /// pages, with headroom).
 const HOST_SLAB_PER_TENANT: u64 = 256 * 1024 * 1024;
+
+/// Issues process-unique layout identities (see [`TenantSpace::layout_id`]).
+/// Two spaces share an id only when they were stamped from the same
+/// canonical build, which is what makes cross-tenant memo sharing sound.
+static NEXT_LAYOUT_ID: AtomicU64 = AtomicU64::new(0);
+
+fn next_layout_id() -> u64 {
+    NEXT_LAYOUT_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Builder assembling one tenant's [`TenantSpace`] from its page inventory.
 ///
@@ -121,6 +131,8 @@ impl TenantSpaceBuilder {
                     guest: canonical.guest.clone(),
                     host: canonical.host.rebased(delta),
                     host_slab: did.raw() as u64,
+                    layout_id: canonical.layout_id,
+                    host_delta: delta,
                     page_count: canonical.page_count,
                 }
             })
@@ -217,6 +229,8 @@ impl TenantSpaceBuilder {
             guest,
             host,
             host_slab: did.raw() as u64,
+            layout_id: next_layout_id(),
+            host_delta: 0,
             page_count: mapped.len(),
         }
     }
@@ -235,6 +249,14 @@ pub struct TenantSpace {
     /// Index of the host-physical slab the host table currently lives in
     /// (`did` at build time; bumped by [`TenantSpace::migrate_to_slab`]).
     host_slab: u64,
+    /// Identity of the canonical layout this space was stamped from.
+    /// Spaces produced by one [`TenantSpaceBuilder::build_many`] call share
+    /// an id; each [`TenantSpaceBuilder::build`] gets a fresh one.
+    layout_id: u64,
+    /// Offset of every host-side address relative to the canonical layout
+    /// (`did * slab` at stamp-out time, adjusted by each migration). The
+    /// guest dimension is canonical as-is.
+    host_delta: u64,
     page_count: usize,
 }
 
@@ -270,7 +292,25 @@ impl TenantSpace {
             .wrapping_sub(self.host_slab)
             .wrapping_mul(HOST_SLAB_PER_TENANT);
         self.host = self.host.rebased(delta);
+        self.host_delta = self.host_delta.wrapping_add(delta);
         self.host_slab = slab;
+    }
+
+    /// Returns the identity of the canonical layout this space shares with
+    /// its [`TenantSpaceBuilder::build_many`] siblings.
+    ///
+    /// Two spaces with the same id have bit-identical guest tables and host
+    /// tables that differ only by a uniform [`TenantSpace::host_delta`]
+    /// shift — the invariant [`crate::WalkMemo`] relies on to share
+    /// functional walk results across tenants.
+    pub fn layout_id(&self) -> u64 {
+        self.layout_id
+    }
+
+    /// Returns the uniform offset of this space's host-side addresses from
+    /// the canonical layout's (wrapping arithmetic).
+    pub fn host_delta(&self) -> u64 {
+        self.host_delta
     }
 
     /// Returns the guest table (gIOVA → gPA).

@@ -11,14 +11,16 @@
 //! levels: an L2 hit delivers the guest level-2 PTE directly (skipping
 //! levels 4–3–2 and their nested walks), an L3 hit skips levels 4–3.
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use hypersio_types::{Did, GIova, GPa, HPa, PageSize, Sid};
 
-use crate::page_table::Pte;
+use crate::page_table::{InlineWalkPath, PageTableError, Pte};
 use crate::space::TenantSpace;
 use crate::walk_cache::WalkCaches;
+use hypersio_types::fxhash::FxBuildHasher;
 
 /// A failed translation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +96,95 @@ fn host_walk_reads(space: &TenantSpace) -> u64 {
     space.host_table().levels() as u64
 }
 
+/// Memo coalescing the *functional* radix traversals of concurrent walks.
+///
+/// Walks to the same page — duplicate in-flight misses within a request
+/// batch, or the repeated nested host walks a single guest walk issues for
+/// PTEs sharing a host page — coalesce into one functional traversal whose
+/// result (the guest PTE path, or the host page backing a gPA) is replayed
+/// for every requester. Because the paper's out-of-order completion
+/// semantics place no ordering constraint between concurrent walks, sharing
+/// the functional outcome is legal; only the *charging* is per-request, and
+/// that is untouched: every walk still performs its own walk-cache probes
+/// and fills, nested-TLB accesses, and DRAM-read accounting, so simulated
+/// state and statistics are bit-identical to uncoalesced walks.
+///
+/// Entries are keyed by [`TenantSpace::layout_id`] and stored in
+/// *canonical* coordinates: all tenants stamped from one
+/// [`crate::TenantSpaceBuilder::build_many`] call share bit-identical guest
+/// tables and affine host tables, so a single memo entry serves every
+/// sibling (the caller's [`TenantSpace::host_delta`] is applied on the way
+/// out). This keeps the memo a few thousand entries at any tenant count —
+/// cache-resident — instead of growing per tenant. It also makes slab
+/// migration free: a migrated tenant's delta changes, the canonical entry
+/// stays valid, and no invalidation is needed.
+///
+/// Guest tables are immutable after [`TenantSpace`] construction, so guest
+/// entries never go stale; faults are terminal per-requester and never
+/// memoized.
+#[derive(Debug, Default)]
+pub struct WalkMemo {
+    /// `(layout id, iova page)` → full guest walk path (root … leaf PTE),
+    /// identical across the layout's tenants.
+    guest: HashMap<(u64, u64), InlineWalkPath, FxBuildHasher>,
+    /// `(layout id, gpa page)` → canonical host-physical 4 KB page base
+    /// (the caller adds its own slab delta).
+    host: HashMap<(u64, u64), u64, FxBuildHasher>,
+}
+
+impl WalkMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        WalkMemo::default()
+    }
+
+    /// Drops every memoized result.
+    pub fn clear(&mut self) {
+        self.guest.clear();
+        self.host.clear();
+    }
+
+    /// Returns the number of memoized guest paths and host pages.
+    pub fn len(&self) -> (usize, usize) {
+        (self.guest.len(), self.host.len())
+    }
+
+    /// Returns true if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.guest.is_empty() && self.host.is_empty()
+    }
+
+    /// The guest walk path for `iova`, shared across all walks touching its
+    /// 4 KB-aligned page. Faults are not memoized (they are terminal for
+    /// the requester and carry no reusable result).
+    fn guest_path(
+        &mut self,
+        space: &TenantSpace,
+        iova: GIova,
+    ) -> Result<InlineWalkPath, PageTableError> {
+        let key = (space.layout_id(), iova.raw() >> 12);
+        if let Some(path) = self.guest.get(&key) {
+            return Ok(*path);
+        }
+        let path = space.guest_walk_inline(iova)?;
+        self.guest.insert(key, path);
+        Ok(path)
+    }
+
+    /// The host-physical 4 KB page backing `gpa`, shared across all nested
+    /// walks touching its page.
+    fn host_page(&mut self, space: &TenantSpace, gpa: GPa) -> Result<HPa, PageTableError> {
+        let key = (space.layout_id(), gpa.raw() >> 12);
+        if let Some(&canonical) = self.host.get(&key) {
+            return Ok(HPa::new(canonical.wrapping_add(space.host_delta())));
+        }
+        let path = space.host_walk_inline(gpa)?;
+        let page = path.translate(gpa.raw()) & !0xfff;
+        self.host.insert(key, page.wrapping_sub(space.host_delta()));
+        Ok(HPa::new(page))
+    }
+}
+
 /// Charges one second-level translation of `gpa`: free on a nested-TLB hit,
 /// a full host walk (with a nested-TLB fill) otherwise.
 ///
@@ -105,15 +196,19 @@ fn charge_host_walk(
     sid: Sid,
     gpa: GPa,
     now: u64,
+    memo: Option<&mut WalkMemo>,
 ) -> Result<(u64, HPa), TranslationFault> {
     let did = space.did();
     if let Some(page) = caches.lookup_nested(sid, did, gpa, now) {
         return Ok((0, page));
     }
-    let path = space
-        .host_walk_inline(gpa)
-        .map_err(|_| TranslationFault::HostNotMapped { gpa })?;
-    let page = HPa::new(path.translate(gpa.raw()) & !0xfff);
+    let page = match memo {
+        Some(memo) => memo.host_page(space, gpa),
+        None => space
+            .host_walk_inline(gpa)
+            .map(|path| HPa::new(path.translate(gpa.raw()) & !0xfff)),
+    }
+    .map_err(|_| TranslationFault::HostNotMapped { gpa })?;
     caches.fill_nested(sid, did, gpa, page, now);
     Ok((host_walk_reads(space), page))
 }
@@ -136,6 +231,29 @@ impl TwoDimWalker {
         caches: &mut WalkCaches,
         now: u64,
     ) -> Result<WalkOutcome, TranslationFault> {
+        Self::walk_memoized(space, sid, iova, caches, None, now)
+    }
+
+    /// [`Self::walk`] with an optional [`WalkMemo`] coalescing the
+    /// functional traversals with other walks sharing the memo.
+    ///
+    /// Produces the same outcome, cache state, and statistics as
+    /// [`Self::walk`] for any memo built against the same layouts (memo
+    /// entries live in canonical coordinates, so they stay consistent even
+    /// across slab migration — see [`WalkMemo`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslationFault`] if the gIOVA (or any nested gPA) is
+    /// unmapped.
+    pub fn walk_memoized(
+        space: &TenantSpace,
+        sid: Sid,
+        iova: GIova,
+        caches: &mut WalkCaches,
+        mut memo: Option<&mut WalkMemo>,
+        now: u64,
+    ) -> Result<WalkOutcome, TranslationFault> {
         let did = space.did();
         let mut reads = 0u64;
         let table_levels = space.guest_table().levels();
@@ -143,9 +261,11 @@ impl TwoDimWalker {
         // The functional guest walk gives us the PTEs per level; the cache
         // state decides how many of those reads (and their nested host
         // walks) we must charge.
-        let gpath = space
-            .guest_walk_inline(iova)
-            .map_err(|_| TranslationFault::GuestNotMapped { iova })?;
+        let gpath = match memo.as_deref_mut() {
+            Some(memo) => memo.guest_path(space, iova),
+            None => space.guest_walk_inline(iova),
+        }
+        .map_err(|_| TranslationFault::GuestNotMapped { iova })?;
         let walk_steps = gpath.len() as u8; // table_levels for 4K leaf
         let leaf_level = table_levels - walk_steps + 1; // 1 for 4K, 2 for 2M
 
@@ -174,7 +294,15 @@ impl TwoDimWalker {
                 let pte_gpa = gpath.pte_addrs()[step];
                 // Nested host walk for the guest PTE's address (free on a
                 // nested-TLB hit), plus the guest PTE read itself.
-                reads += charge_host_walk(space, caches, sid, GPa::new(pte_gpa), now)?.0 + 1;
+                reads += charge_host_walk(
+                    space,
+                    caches,
+                    sid,
+                    GPa::new(pte_gpa),
+                    now,
+                    memo.as_deref_mut(),
+                )?
+                .0 + 1;
 
                 // Fill walk caches with what we just read.
                 match level {
@@ -201,7 +329,7 @@ impl TwoDimWalker {
         // backing `final_gpa`; host frames are at least 4 KB-aligned, so
         // page base + low-12 offset is exactly what a second functional
         // host walk would return.
-        let (final_reads, host_page) = charge_host_walk(space, caches, sid, final_gpa, now)?;
+        let (final_reads, host_page) = charge_host_walk(space, caches, sid, final_gpa, now, memo)?;
         reads += final_reads;
 
         Ok(WalkOutcome {
@@ -385,6 +513,120 @@ mod tests {
         let warm =
             TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 1).unwrap();
         assert_eq!(warm.dram_accesses, 5 + 1 + 5);
+    }
+
+    #[test]
+    fn memoized_walks_match_unmemoized_bit_for_bit() {
+        // Same iova stream through a memoized and an unmemoized walker:
+        // outcomes, walk-cache stats, and DRAM charges must be identical —
+        // the memo coalesces only the functional traversal.
+        let space = space_2m();
+        let iovas = [
+            0xbbe0_0000u64,
+            0xbbe0_1234,
+            0xbc00_0000,
+            0xbbe0_0000,
+            0xbc20_4000,
+            0xbbe0_1234,
+        ];
+        let cfg = WalkCacheConfig::paper_base()
+            .with_nested_tlb(hypersio_cache::CacheGeometry::new(256, 8));
+        let mut plain = WalkCaches::new(&cfg);
+        let mut coalesced = WalkCaches::new(&cfg);
+        let mut memo = WalkMemo::new();
+        for (now, &iova) in iovas.iter().enumerate() {
+            let a = TwoDimWalker::walk(
+                &space,
+                Sid::new(0),
+                GIova::new(iova),
+                &mut plain,
+                now as u64,
+            )
+            .unwrap();
+            let b = TwoDimWalker::walk_memoized(
+                &space,
+                Sid::new(0),
+                GIova::new(iova),
+                &mut coalesced,
+                Some(&mut memo),
+                now as u64,
+            )
+            .unwrap();
+            assert_eq!(a, b, "outcome diverged at step {now}");
+        }
+        assert_eq!(plain.stats(), coalesced.stats());
+        assert_eq!(plain.nested_stats(), coalesced.nested_stats());
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn memo_entries_survive_migration_and_stay_correct() {
+        // Canonical-coordinate entries need no invalidation on slab
+        // migration: the same memo must produce the *new* hPA afterwards.
+        let mut space = space_4k();
+        let mut c = caches();
+        let mut memo = WalkMemo::new();
+        let iova = GIova::new(0x3480_0000);
+        let before =
+            TwoDimWalker::walk_memoized(&space, Sid::new(0), iova, &mut c, Some(&mut memo), 0)
+                .unwrap();
+        assert!(!memo.is_empty());
+        let entries = memo.len();
+        space.migrate_to_slab(7);
+        c.clear(); // cached translations of the old slab are shot down
+        let after =
+            TwoDimWalker::walk_memoized(&space, Sid::new(0), iova, &mut c, Some(&mut memo), 1)
+                .unwrap();
+        // The memo was reused (no new entries), yet the result tracks the
+        // migrated table exactly as an unmemoized walk would.
+        assert_eq!(memo.len(), entries);
+        let mut fresh = caches();
+        let plain = TwoDimWalker::walk(&space, Sid::new(0), iova, &mut fresh, 1).unwrap();
+        assert_eq!(after.hpa, plain.hpa);
+        assert_ne!(after.hpa, before.hpa);
+    }
+
+    #[test]
+    fn memo_is_shared_across_build_many_siblings() {
+        // Two tenants stamped from one build_many call share layout
+        // entries: walking the same iova in tenant 1 after tenant 0 adds
+        // nothing to the memo, and each tenant still gets its own hPA.
+        let mut b = TenantSpace::builder(Did::new(0));
+        b.map(GIova::new(0x3480_0000), PageSize::Size4K);
+        let spaces = b.build_many(&[Did::new(0), Did::new(1)]);
+        let mut c = caches();
+        let mut memo = WalkMemo::new();
+        let iova = GIova::new(0x3480_0000);
+        let a =
+            TwoDimWalker::walk_memoized(&spaces[0], Sid::new(0), iova, &mut c, Some(&mut memo), 0)
+                .unwrap();
+        let entries = memo.len();
+        let b =
+            TwoDimWalker::walk_memoized(&spaces[1], Sid::new(1), iova, &mut c, Some(&mut memo), 1)
+                .unwrap();
+        assert_eq!(memo.len(), entries, "sibling walk must reuse the memo");
+        assert_ne!(a.hpa, b.hpa, "tenants live in different slabs");
+        assert_eq!(b.hpa, spaces[1].lookup(iova).unwrap().0);
+    }
+
+    #[test]
+    fn memoized_faults_are_not_cached() {
+        let space = space_4k();
+        let mut c = caches();
+        let mut memo = WalkMemo::new();
+        for now in 0..2 {
+            let err = TwoDimWalker::walk_memoized(
+                &space,
+                Sid::new(0),
+                GIova::new(0xdead_0000),
+                &mut c,
+                Some(&mut memo),
+                now,
+            )
+            .unwrap_err();
+            assert!(matches!(err, TranslationFault::GuestNotMapped { .. }));
+        }
+        assert!(memo.is_empty());
     }
 
     #[test]

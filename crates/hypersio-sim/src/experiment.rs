@@ -73,6 +73,15 @@ impl SweepSpec {
         (self.scale * tenants as u64 / 1024).max(1)
     }
 
+    /// Builds the trace this spec runs at `tenants`.
+    fn trace_at(&self, tenants: u32) -> hypersio_trace::HyperTrace {
+        HyperTraceBuilder::new(self.workload, tenants)
+            .interleaving(self.interleaving)
+            .scale(self.effective_scale(tenants))
+            .seed(self.seed)
+            .build()
+    }
+
     /// Runs this spec at one tenant count.
     pub fn run_at(&self, tenants: u32) -> SimReport {
         self.run_at_with(tenants, &mut hypersio_obs::NullObserver)
@@ -82,12 +91,19 @@ impl SweepSpec {
     /// `obs` (see [`Simulation::run_with`]). The report is bit-identical to
     /// [`SweepSpec::run_at`] for any observer.
     pub fn run_at_with<O: hypersio_obs::Observer>(&self, tenants: u32, obs: &mut O) -> SimReport {
-        let trace = HyperTraceBuilder::new(self.workload, tenants)
-            .interleaving(self.interleaving)
-            .scale(self.effective_scale(tenants))
-            .seed(self.seed)
-            .build();
+        let trace = self.trace_at(tenants);
         Simulation::new(self.config.clone(), self.params.clone(), trace).run_with(obs)
+    }
+
+    /// Runs this spec at one tenant count with per-stage wall-clock
+    /// attribution (see [`Simulation::run_timed`]). The report is
+    /// bit-identical to [`SweepSpec::run_at`]; the timings carry the
+    /// measurement overhead of two `Instant` reads per stage transition, so
+    /// benchmarks should take their headline wall number from an untimed
+    /// run and use this one only for the per-stage breakdown.
+    pub fn run_timed_at(&self, tenants: u32) -> (SimReport, crate::model::StageTimings) {
+        let trace = self.trace_at(tenants);
+        Simulation::new(self.config.clone(), self.params.clone(), trace).run_timed()
     }
 }
 
@@ -337,6 +353,17 @@ mod tests {
         assert_eq!(
             counts.count(hypersio_obs::EventKind::PacketComplete),
             observed.packets_processed
+        );
+    }
+
+    #[test]
+    fn timed_run_matches_untimed_and_attributes_time() {
+        let spec = SweepSpec::new(WorkloadKind::Iperf3, TranslationConfig::hypertrio(), 5000);
+        let (timed, stages) = spec.run_timed_at(4);
+        assert_eq!(timed, spec.run_at(4));
+        assert!(
+            stages.total_ns() > 0,
+            "no stage time attributed: {stages:?}"
         );
     }
 

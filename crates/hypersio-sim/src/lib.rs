@@ -50,7 +50,7 @@ pub use experiment::{
 };
 pub use faults::{BackoffPolicy, ChurnEvent, FaultPlan, StormEvent};
 pub use latency::LatencyStats;
-pub use model::Simulation;
+pub use model::{Simulation, StageTimings};
 pub use oracle::devtlb_oracle_for;
 pub use params::SimParams;
 pub use per_tenant::{FairnessSummary, PerTenantReport, TenantStat};

@@ -24,6 +24,48 @@ use crate::report::SimReport;
 use crate::sid_map::SidMap;
 use crate::slot_pool::SlotPool;
 
+/// Wall-clock nanoseconds the simulator itself spent in each pipeline
+/// stage, measured by [`Simulation::run_timed`].
+///
+/// This times the *simulator's* execution (for `bench_hotpath`'s per-stage
+/// breakdown), not simulated time. Stage attribution follows event
+/// ownership: fault application and slot fetching are `arrival`; fill
+/// delivery, prediction/issue, and history recording are `prefetch`; the
+/// DevTLB/PB probe is `lookup`; admission and service (PTB + IOMMU) are
+/// `walk`; drop/complete accounting is `completion`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Arrival stage: fault application, trace fetch, slot bookkeeping.
+    pub arrival_ns: u64,
+    /// Prefetch stage: fill delivery, observation/issue, history updates.
+    pub prefetch_ns: u64,
+    /// Lookup stage: the batched DevTLB/PB probe.
+    pub lookup_ns: u64,
+    /// Walk stage: PTB admission/scheduling and IOMMU translation.
+    pub walk_ns: u64,
+    /// Completion stage: drop/complete accounting and latency tracking.
+    pub completion_ns: u64,
+}
+
+impl StageTimings {
+    /// Total nanoseconds attributed across all five stages.
+    pub fn total_ns(&self) -> u64 {
+        self.arrival_ns + self.prefetch_ns + self.lookup_ns + self.walk_ns + self.completion_ns
+    }
+}
+
+/// Accumulates the interval since the previous mark into `acc` and
+/// re-marks. Compiles to nothing when `TIMED` is false.
+#[inline]
+fn lap<const TIMED: bool>(mark: &mut Option<std::time::Instant>, acc: &mut u64) {
+    if TIMED {
+        let now = std::time::Instant::now();
+        if let Some(prev) = mark.replace(now) {
+            *acc += now.duration_since(prev).as_nanos() as u64;
+        }
+    }
+}
+
 /// One simulation run: a [`TranslationConfig`] (the architecture under
 /// test), [`SimParams`] (the system latencies), and a [`HyperTrace`] (the
 /// workload).
@@ -133,102 +175,160 @@ impl Simulation {
     /// [`Event::PacketComplete`](hypersio_obs::Event::PacketComplete));
     /// time-bucketing consumers must index by the stamp, not assume
     /// monotonicity.
-    pub fn run_with<O: Observer>(mut self, obs: &mut O) -> SimReport {
+    pub fn run_with<O: Observer>(self, obs: &mut O) -> SimReport {
+        self.run_core::<O, false>(obs).0
+    }
+
+    /// Runs the trace to completion, additionally measuring the wall-clock
+    /// time the simulator spent in each pipeline stage.
+    ///
+    /// Timer reads make the instrumented loop slower than [`Simulation::run`]
+    /// (which compiles them away via the `TIMED` monomorphization), so use
+    /// the untimed run for end-to-end throughput numbers and this one for
+    /// the per-stage breakdown; the simulated results are bit-identical.
+    pub fn run_timed(self) -> (SimReport, StageTimings) {
+        self.run_core::<NullObserver, true>(&mut NullObserver)
+    }
+
+    /// The pipeline loop, monomorphized over the observer and the timing
+    /// instrumentation so both compile away when unused.
+    ///
+    /// Arrival slots are processed in batch frames of
+    /// [`SimParams::batch_size`] packets. Within a frame the packets still
+    /// chain through the stages in exact arrival order — a packet's DevTLB
+    /// installs and PTB occupancy must be visible to the next packet's
+    /// probe and admission — so the frame length never changes simulated
+    /// behaviour (the differential suite pins sizes 1/2/8/32 against each
+    /// other); the batch dimension that pays is *within* each packet,
+    /// where the request vector probes the DevTLB/PB as one batch and the
+    /// miss subset translates as one batch.
+    fn run_core<O: Observer, const TIMED: bool>(
+        mut self,
+        obs: &mut O,
+    ) -> (SimReport, StageTimings) {
+        let batch = self.params.batch_size.max(1);
+        let mut timings = StageTimings::default();
         let st = &mut self.state;
-        loop {
-            let now = st.arrival.slot_time();
-
-            // Fault-plan events (storms, churn) due at or before this slot
-            // apply before the slot's packet is fetched, so a shootdown
-            // scheduled for time T is visible to the packet arriving at T.
-            if let Some(inj) = st.faults.as_mut() {
-                inj.apply_due(now, &mut st.lookup, &mut st.prefetch, &mut st.walk, obs);
-            }
-
-            // Stage 1: the packet for this slot — a retried drop (already
-            // probed) or the next trace packet, which flows through the
-            // prefetch observation (stage 2) and the DevTLB/PB probe
-            // (stage 3) exactly once.
-            let work = match st.arrival.fetch(now, obs) {
-                Fetched::Exhausted => break,
-                Fetched::Idle => {
-                    // Only backed-off packets remain and none is eligible
-                    // yet; the slot passes empty (fault injection only).
-                    st.arrival.skip_slot();
-                    continue;
+        let mut mark = None;
+        'run: loop {
+            // One batch frame: up to `batch` arrival slots.
+            for _ in 0..batch {
+                let now = st.arrival.slot_time();
+                if TIMED {
+                    mark = Some(std::time::Instant::now());
                 }
-                Fetched::Retry(work) => work,
-                Fetched::Fresh(packet) => {
-                    st.prefetch
-                        .deliver_due(st.arrival.observed(), now, st.clock.current(), obs);
-                    st.prefetch.observe_and_issue(
-                        packet.sid,
-                        now,
-                        st.arrival.observed(),
-                        &mut st.sids,
-                        &mut st.walk,
-                        st.faults.as_ref(),
-                        st.clock.current(),
-                        obs,
-                    );
-                    st.lookup.probe(
-                        packet,
-                        now,
-                        &mut st.prefetch,
-                        &mut st.completion,
-                        &mut st.clock,
-                        &mut st.sids,
-                        obs,
-                    )
-                }
-            };
-            // The slot is consumed by this packet whether it is admitted or
-            // dropped; the exhausted break never reaches here, so `arrivals`
-            // counts exactly the slots that carried a packet.
-            st.arrival.consume_slot();
 
-            // IO page faults: a packet touching a not-yet-resident page
-            // cannot be translated — it takes the drop/retry path with
-            // exponential backoff while the PRI request is serviced, and is
-            // terminally dropped once its retry budget is exhausted (the
-            // bound that rules out livelock). Native bypass mode skips the
-            // check: faults model the translation path.
-            if let Some(inj) = st.faults.as_mut() {
-                if !st.lookup.bypass() && inj.packet_blocked(&work.packet, now, obs) {
-                    if work.fault_retries >= inj.max_retries() {
-                        st.completion.record_faulted_drop(work.packet.did, now, obs);
-                        let Deferred { misses, .. } = work;
-                        st.lookup.reclaim(misses);
-                    } else {
-                        st.completion.record_drop(work.packet.did, now, obs);
-                        let delay = inj.backoff_slots(work.fault_retries);
-                        let mut work = work;
-                        work.fault_retries += 1;
-                        st.arrival.defer_after(work, delay);
+                // Fault-plan events (storms, churn) due at or before this
+                // slot apply before the slot's packet is fetched, so a
+                // shootdown scheduled for time T is visible to the packet
+                // arriving at T.
+                if let Some(inj) = st.faults.as_mut() {
+                    inj.apply_due(now, &mut st.lookup, &mut st.prefetch, &mut st.walk, obs);
+                }
+
+                // Stage 1: the packet for this slot — a retried drop
+                // (already probed) or the next trace packet, which flows
+                // through the prefetch observation (stage 2) and the
+                // DevTLB/PB probe (stage 3) exactly once.
+                let fetched = st.arrival.fetch(now, obs);
+                lap::<TIMED>(&mut mark, &mut timings.arrival_ns);
+                let work = match fetched {
+                    Fetched::Exhausted => break 'run,
+                    Fetched::Idle => {
+                        // Only backed-off packets remain and none is
+                        // eligible yet; the slot passes empty (fault
+                        // injection only).
+                        st.arrival.skip_slot();
+                        continue;
                     }
+                    Fetched::Retry(work) => work,
+                    Fetched::Fresh(packet) => {
+                        st.prefetch.deliver_due(
+                            st.arrival.observed(),
+                            now,
+                            st.clock.current(),
+                            obs,
+                        );
+                        st.prefetch.observe_and_issue(
+                            packet.sid,
+                            now,
+                            st.arrival.observed(),
+                            &mut st.sids,
+                            &mut st.walk,
+                            st.faults.as_ref(),
+                            st.clock.current(),
+                            obs,
+                        );
+                        lap::<TIMED>(&mut mark, &mut timings.prefetch_ns);
+                        let work = st.lookup.probe(
+                            packet,
+                            now,
+                            &mut st.prefetch,
+                            &mut st.completion,
+                            &mut st.clock,
+                            &mut st.sids,
+                            obs,
+                        );
+                        lap::<TIMED>(&mut mark, &mut timings.lookup_ns);
+                        work
+                    }
+                };
+                // The slot is consumed by this packet whether it is
+                // admitted or dropped; the exhausted break never reaches
+                // here, so `arrivals` counts exactly the slots that
+                // carried a packet.
+                st.arrival.consume_slot();
+
+                // IO page faults: a packet touching a not-yet-resident
+                // page cannot be translated — it takes the drop/retry path
+                // with exponential backoff while the PRI request is
+                // serviced, and is terminally dropped once its retry
+                // budget is exhausted (the bound that rules out livelock).
+                // Native bypass mode skips the check: faults model the
+                // translation path.
+                if let Some(inj) = st.faults.as_mut() {
+                    if !st.lookup.bypass() && inj.packet_blocked(&work.packet, now, obs) {
+                        if work.fault_retries >= inj.max_retries() {
+                            st.completion.record_faulted_drop(work.packet.did, now, obs);
+                            let Deferred { misses, .. } = work;
+                            st.lookup.reclaim(misses);
+                        } else {
+                            st.completion.record_drop(work.packet.did, now, obs);
+                            let delay = inj.backoff_slots(work.fault_retries);
+                            let mut work = work;
+                            work.fault_retries += 1;
+                            st.arrival.defer_after(work, delay);
+                        }
+                        lap::<TIMED>(&mut mark, &mut timings.completion_ns);
+                        continue;
+                    }
+                }
+
+                // Stage 4 admission: at least one PTB slot free at
+                // arrival, or the packet is dropped and retried at the
+                // next slot (§IV-C).
+                if !st.walk.admit(now, st.lookup.bypass()) {
+                    st.completion.record_drop(work.packet.did, now, obs);
+                    st.arrival.defer(work);
+                    lap::<TIMED>(&mut mark, &mut timings.completion_ns);
                     continue;
                 }
-            }
 
-            // Stage 4 admission: at least one PTB slot free at arrival, or
-            // the packet is dropped and retried at the next slot (§IV-C).
-            if !st.walk.admit(now, st.lookup.bypass()) {
-                st.completion.record_drop(work.packet.did, now, obs);
-                st.arrival.defer(work);
-                continue;
+                // Stage 4 service, then stage 5 accounting.
+                let completion = st
+                    .walk
+                    .serve(&work, now, &mut st.lookup, &mut st.clock, obs);
+                lap::<TIMED>(&mut mark, &mut timings.walk_ns);
+                st.prefetch.record_history(&work.packet);
+                lap::<TIMED>(&mut mark, &mut timings.prefetch_ns);
+                let Deferred { packet, misses, .. } = work;
+                st.lookup.reclaim(misses);
+                st.completion
+                    .record_complete(packet.did, now, completion, obs);
+                lap::<TIMED>(&mut mark, &mut timings.completion_ns);
             }
-
-            // Stage 4 service, then stage 5 accounting.
-            let completion = st
-                .walk
-                .serve(&work, now, &mut st.lookup, &mut st.clock, obs);
-            st.prefetch.record_history(&work.packet);
-            let Deferred { packet, misses, .. } = work;
-            st.lookup.reclaim(misses);
-            st.completion
-                .record_complete(packet.did, now, completion, obs);
         }
-        self.finish(obs)
+        (self.finish(obs), timings)
     }
 
     /// Disassembles the pipeline into the end-of-run report.

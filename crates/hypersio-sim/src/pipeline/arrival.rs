@@ -143,12 +143,21 @@ impl ArrivalSource {
     }
 
     /// Parks a dropped packet for retry `delay_slots` slots after the one
-    /// it was dropped in (a delay of 1 is the next slot; called after
-    /// [`ArrivalSource::consume_slot`], so `self.slot` is already the next
-    /// slot).
+    /// it was dropped in: a delay of 0 means "the same slot" (the packet
+    /// is immediately eligible again), a delay of `n` means eligible at
+    /// drop slot + `n` (so 1 is the next slot).
+    ///
+    /// Called after [`ArrivalSource::consume_slot`], so the drop slot is
+    /// `self.slot - 1`. The previous formula anchored the delay at
+    /// `self.slot` and subtracted one from the delay instead, which
+    /// collapsed delays 0 and 1 into the same retry slot; anchoring at the
+    /// drop slot keeps every delay distinct. (Production backoffs are
+    /// always ≥ 1, for which both formulas agree.) The subtraction
+    /// saturates for the degenerate park-before-any-slot case, anchoring
+    /// at slot 0.
     pub(crate) fn defer_after(&mut self, work: Deferred, delay_slots: u64) {
         self.parked.push_back(Parked {
-            eligible_slot: self.slot + delay_slots.saturating_sub(1),
+            eligible_slot: self.slot.saturating_sub(1) + delay_slots,
             work,
         });
     }
@@ -265,18 +274,48 @@ mod tests {
             last = Some(p);
         }
         let mut src = ArrivalSource::new(trace, SimDuration::from_ns(10));
+        // Parked before any slot was consumed: the delay anchors at slot 0,
+        // so a delay of 3 is eligible at slot 3.
         src.defer_after(deferred(last.expect("trace is non-empty")), 3);
-        let Fetched::Idle = src.fetch(SimTime::ZERO, &mut NullObserver) else {
-            panic!("expected an idle slot");
-        };
-        src.skip_slot();
-        src.skip_slot();
+        for _ in 0..3 {
+            let Fetched::Idle = src.fetch(src.slot_time(), &mut NullObserver) else {
+                panic!("parked packet must not be eligible yet");
+            };
+            src.skip_slot();
+        }
         let Fetched::Retry(_) = src.fetch(src.slot_time(), &mut NullObserver) else {
             panic!("expected the retry after the idle slots");
         };
         let Fetched::Exhausted = src.fetch(src.slot_time(), &mut NullObserver) else {
             panic!("expected exhaustion once the queue drained");
         };
-        assert_eq!(src.slot_time().as_ns(), 20, "idle slots advance time");
+        assert_eq!(src.slot_time().as_ns(), 30, "idle slots advance time");
+    }
+
+    /// Pins the documented `defer_after` semantics: a delay of `n` means
+    /// eligible exactly `n` slots after the drop slot, and 0 means the
+    /// same slot (immediately eligible) — every delay is distinct, unlike
+    /// the old arithmetic that collapsed 0 and 1.
+    #[test]
+    fn defer_delay_counts_slots_from_the_drop_slot() {
+        for (delay, blocked_slots) in [(0u64, 0u64), (1, 0), (2, 1), (3, 2)] {
+            let mut src = ArrivalSource::new(tiny_trace(), SimDuration::from_ns(10));
+            let Fetched::Fresh(packet) = src.fetch(SimTime::ZERO, &mut NullObserver) else {
+                panic!("expected a fresh packet");
+            };
+            src.consume_slot(); // dropped in slot 0; next slot is 1
+            src.defer_after(deferred(packet), delay);
+            // Slots 1 ..= delay-1 must serve fresh packets instead (for
+            // delays 0 and 1 the retry is already eligible at slot 1).
+            for slot in 0..blocked_slots {
+                let Fetched::Fresh(_) = src.fetch(src.slot_time(), &mut NullObserver) else {
+                    panic!("delay {delay}: parked packet eligible {slot} slots early");
+                };
+                src.consume_slot();
+            }
+            let Fetched::Retry(_) = src.fetch(src.slot_time(), &mut NullObserver) else {
+                panic!("delay {delay}: expected the retry at its eligible slot");
+            };
+        }
     }
 }

@@ -33,6 +33,14 @@ pub(crate) struct LookupStage {
     pb_served: u64,
     /// Recycled per-packet miss list.
     miss_buf: Vec<GIova>,
+    /// Recycled per-request DevTLB batch-probe results.
+    tlb_buf: Vec<Option<TlbEntry>>,
+    /// Recycled DevTLB-miss subset handed to the PB batch probe…
+    pb_iovas: Vec<GIova>,
+    /// …with its (non-contiguous) per-request ticks…
+    pb_nows: Vec<u64>,
+    /// …and the PB results coming back.
+    pb_buf: Vec<Option<TlbEntry>>,
 }
 
 impl LookupStage {
@@ -44,6 +52,10 @@ impl LookupStage {
             requests: 0,
             pb_served: 0,
             miss_buf: Vec::new(),
+            tlb_buf: Vec::new(),
+            pb_iovas: Vec::new(),
+            pb_nows: Vec::new(),
+            pb_buf: Vec::new(),
         }
     }
 
@@ -55,6 +67,15 @@ impl LookupStage {
     /// Probes all of a fresh packet's requests against the DevTLB and (on
     /// DevTLB miss) the Prefetch Buffer, producing the packet's precomputed
     /// translation outcome for admission and service.
+    ///
+    /// The packet's requests are probed as a batch: one DevTLB batch probe
+    /// over the request vector (a branch-light scan of the SoA tag rows),
+    /// then one PB batch probe over the DevTLB-miss subset at its original
+    /// request ticks. The DevTLB and PB share no state, so probing each
+    /// cache's requests back-to-back leaves every access — and hence every
+    /// statistic and replacement decision — identical to the interleaved
+    /// scalar sequence; events are then emitted in exact per-request order
+    /// from the buffered outcomes.
     // Sibling stages are threaded explicitly — that is the pipeline's
     // interface style, not incidental parameter sprawl.
     #[allow(clippy::too_many_arguments)]
@@ -77,18 +98,43 @@ impl LookupStage {
         );
         let mut misses = std::mem::take(&mut self.miss_buf);
         let mut hits = 0u32;
+        let n = packet.iovas.len();
+        self.requests += n as u64;
         if self.bypass {
-            self.requests += packet.iovas.len() as u64;
-            clock.advance(packet.iovas.len() as u64);
+            clock.advance(n as u64);
         } else {
-            for iova in packet.iovas {
-                self.requests += 1;
-                let req = clock.tick();
-                if self
-                    .devtlb
-                    .lookup(packet.sid, packet.did, iova, req)
-                    .is_some()
-                {
+            // One probe (= one tick) per request, in request order.
+            let req0 = clock.current();
+            clock.advance(n as u64);
+            self.tlb_buf.clear();
+            self.tlb_buf.resize(n, None);
+            self.devtlb.lookup_batch(
+                packet.sid,
+                packet.did,
+                &packet.iovas,
+                req0,
+                &mut self.tlb_buf,
+            );
+            self.pb_iovas.clear();
+            self.pb_nows.clear();
+            for (i, &iova) in packet.iovas.iter().enumerate() {
+                if self.tlb_buf[i].is_none() {
+                    self.pb_iovas.push(iova);
+                    self.pb_nows.push(req0 + i as u64);
+                }
+            }
+            // `false` means the design has no prefetch unit at all (no
+            // PbMiss events, matching the pinned-silent Base taxonomy).
+            let has_pb = prefetch.probe_buffer_batch(
+                packet.did,
+                &self.pb_iovas,
+                &self.pb_nows,
+                &mut self.pb_buf,
+            );
+            // Replay the buffered outcomes in per-request order.
+            let mut pb_idx = 0;
+            for (i, &iova) in packet.iovas.iter().enumerate() {
+                if self.tlb_buf[i].is_some() {
                     hits += 1;
                     if O::ENABLED {
                         obs.record(now.as_ps(), Event::DevTlbHit { did: packet.did });
@@ -100,23 +146,19 @@ impl LookupStage {
                     obs.record(now.as_ps(), Event::DevTlbMiss { did: packet.did });
                 }
                 tenants.note_devtlb(packet.did, false);
-                // The PB is probed concurrently with the DevTLB; `None`
-                // means the design has no prefetch unit at all (no PbMiss
-                // events, matching the pinned-silent Base taxonomy).
-                match prefetch.probe_buffer(packet.did, iova, req) {
-                    Some(true) => {
-                        self.pb_served += 1;
-                        hits += 1;
-                        if O::ENABLED {
-                            obs.record(now.as_ps(), Event::PbHit { did: packet.did });
-                        }
-                        tenants.note_pb_hit(packet.did);
-                        continue;
+                let pb_hit = has_pb && self.pb_buf[pb_idx].is_some();
+                pb_idx += 1;
+                if pb_hit {
+                    self.pb_served += 1;
+                    hits += 1;
+                    if O::ENABLED {
+                        obs.record(now.as_ps(), Event::PbHit { did: packet.did });
                     }
-                    Some(false) if O::ENABLED => {
-                        obs.record(now.as_ps(), Event::PbMiss { did: packet.did });
-                    }
-                    _ => {}
+                    tenants.note_pb_hit(packet.did);
+                    continue;
+                }
+                if has_pb && O::ENABLED {
+                    obs.record(now.as_ps(), Event::PbMiss { did: packet.did });
                 }
                 misses.push(iova);
             }

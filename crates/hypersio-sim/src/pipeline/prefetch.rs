@@ -60,19 +60,35 @@ impl Ord for PendingFill {
 ///
 /// The predicted access is expected `history_len` packets after the
 /// trigger; the chipset holds the completed walk and delivers it **two
-/// packets early** (`history_len - 2`): one slot for the trigger packet
-/// itself and one slot of slack, so the entry is resident when the
-/// predicted tenant's access probes the PB.
+/// packets early** (a lead of `history_len - 2`): one slot for the trigger
+/// packet itself and one slot of slack, so the entry is resident when the
+/// predicted tenant's access probes the PB. History 8 therefore yields a
+/// lead of 6, history 3 a lead of 1, and history 2 sits exactly on the
+/// boundary where the two-packet early delivery cancels the lead.
 ///
-/// The subtraction **saturates** for `history_len < 2`: the lead collapses
-/// to zero and the fill is due at the trigger's own observed count — it is
-/// delivered at the very next arrival's delivery scan (which runs before
-/// that packet's probe), leaving no slack for the walk latency. This keeps
-/// a `history_len = 1` predictor functional (the fill can still serve the
-/// immediately following access if the walk beat the inter-arrival gap)
-/// instead of underflowing into a never-deliverable point.
+/// Histories **under 2 cannot lead** and are handled explicitly rather
+/// than by saturating arithmetic (the old `saturating_sub(2)` silently
+/// collapsed 0, 1, and 2 without saying which were degenerate and why):
+///
+/// * `history_len == 1` — the predictor fires on the very next packet;
+///   there is no room for early delivery, so the fill is due at the
+///   trigger's own observed count. It is delivered at the next arrival's
+///   delivery scan (which runs before that packet's probe) and can still
+///   serve that access if the walk beat the inter-arrival gap.
+/// * `history_len == 0` — no predictor exists (prefetch is off); the
+///   due-point is never consumed, and the trigger's own count is the
+///   inert value.
+///
+/// All three degenerate-or-boundary cases thus *coincide in value* —
+/// `fill_due_obs(t, 0) == fill_due_obs(t, 1) == fill_due_obs(t, 2) == t`
+/// — but each for its own documented reason; from history 3 upward every
+/// extra history slot adds one slot of lead.
 pub(crate) fn fill_due_obs(observed: u64, history_len: usize) -> u64 {
-    observed + (history_len as u64).saturating_sub(2)
+    match history_len as u64 {
+        // Degenerate predictors (see above): due at the trigger itself.
+        0 | 1 => observed,
+        n => observed + (n - 2),
+    }
 }
 
 /// Stage 2 — the translation prefetcher (§III).
@@ -92,6 +108,10 @@ pub(crate) fn fill_due_obs(observed: u64, history_len: usize) -> u64 {
 pub(crate) struct PrefetchStage {
     unit: Option<PrefetchUnit>,
     fills: BinaryHeap<Reverse<PendingFill>>,
+    /// Recycled buffer for prefetch plans: `observe_and_issue` runs once
+    /// per fresh packet, and planning into this buffer keeps the hot path
+    /// free of per-packet heap allocation.
+    plan_buf: Vec<GIova>,
     /// Configured SID-predictor history length (0 when prefetch is off).
     history_len: usize,
     /// Memory latency of one IOVA-history fetch.
@@ -113,6 +133,7 @@ impl PrefetchStage {
         PrefetchStage {
             unit,
             fills: BinaryHeap::new(),
+            plan_buf: Vec::new(),
             history_len,
             history_read,
             pcie_round,
@@ -192,12 +213,14 @@ impl PrefetchStage {
             obs.record(now.as_ps(), Event::PrefetchPredict { sid: req.sid });
         }
         let did = sids.resolve(req.sid.raw());
-        let pages = self
-            .unit
+        // Take the recycled buffer out of `self` so the unit can plan into
+        // it while the loop below still mutates sibling fields.
+        let mut pages = std::mem::take(&mut self.plan_buf);
+        self.unit
             .as_mut()
             .expect("a prediction implies a unit")
-            .plan(did, req_now);
-        for iova in pages {
+            .plan_into(did, req_now, &mut pages);
+        for &iova in &pages {
             // Never install a translation for a page that is currently
             // not-present: the demand path would trust the stale PB entry.
             if faults.is_some_and(|f| f.page_unmapped(did, iova)) {
@@ -235,6 +258,7 @@ impl PrefetchStage {
                 },
             }));
         }
+        self.plan_buf = pages;
     }
 
     /// Shoots down one tenant's prefetch state: its Prefetch Buffer
@@ -262,10 +286,38 @@ impl PrefetchStage {
     /// Probes the Prefetch Buffer for `iova`. `None` when no unit is
     /// configured; `Some(hit)` otherwise (the probe counts in the PB's
     /// cache statistics either way it resolves).
+    ///
+    /// The pipeline probes via [`PrefetchStage::probe_buffer_batch`]; the
+    /// scalar form remains as the specification the tests pin against.
+    #[cfg(test)]
     pub(crate) fn probe_buffer(&mut self, did: Did, iova: GIova, req_now: u64) -> Option<bool> {
         self.unit
             .as_mut()
             .map(|pf| pf.lookup(did, iova, req_now).is_some())
+    }
+
+    /// Probes the Prefetch Buffer for a batch of gIOVAs with explicit
+    /// per-element request ticks (the DevTLB-miss subset of a packet,
+    /// whose ticks are not contiguous). Equivalent to sequential
+    /// [`PrefetchStage::probe_buffer`] calls. Returns `false` (leaving
+    /// `out` cleared) when no unit is configured; otherwise `out[i]` holds
+    /// whether `iovas[i]` hit.
+    pub(crate) fn probe_buffer_batch(
+        &mut self,
+        did: Did,
+        iovas: &[GIova],
+        nows: &[u64],
+        out: &mut Vec<Option<TlbEntry>>,
+    ) -> bool {
+        out.clear();
+        match self.unit.as_mut() {
+            None => false,
+            Some(pf) => {
+                out.resize(iovas.len(), None);
+                pf.lookup_batch(did, iovas, nows, out);
+                true
+            }
+        }
     }
 
     /// Records a served packet's gIOVAs in the per-DID history.
@@ -356,6 +408,17 @@ mod tests {
     }
 
     #[test]
+    fn due_obs_gains_one_lead_slot_per_history_slot_from_3() {
+        // History 3 is the smallest history with a real (one-slot) lead;
+        // each further slot adds exactly one.
+        assert_eq!(fill_due_obs(10, 3), 11);
+        assert_eq!(fill_due_obs(10, 4), 12);
+        for h in 3..10 {
+            assert_eq!(fill_due_obs(10, h + 1), fill_due_obs(10, h) + 1);
+        }
+    }
+
+    #[test]
     fn due_obs_collapses_to_zero_lead_at_history_2() {
         // history_len = 2 is the boundary: the two-packet early delivery
         // exactly cancels the lead, so the fill is due at the trigger.
@@ -363,13 +426,19 @@ mod tests {
     }
 
     #[test]
-    fn due_obs_saturates_at_history_1() {
-        // history_len = 1 must not underflow past the trigger: it
-        // saturates to the same zero-lead point as history_len = 2.
+    fn due_obs_is_the_trigger_itself_for_degenerate_histories() {
+        // history_len = 1: the predictor fires on the very next packet, so
+        // there is no room to lead — due at the trigger.
         assert_eq!(fill_due_obs(10, 1), 10);
-        assert_eq!(fill_due_obs(10, 1), fill_due_obs(10, 2));
-        // Degenerate history_len = 0 (prefetch off) saturates identically.
+        // history_len = 0: no predictor exists; the inert value is the
+        // trigger's own count.
         assert_eq!(fill_due_obs(10, 0), 10);
+        // The degenerate cases coincide in value with the history-2
+        // boundary — each for its own documented reason — and are the only
+        // coincidences: history 3 is already distinct.
+        assert_eq!(fill_due_obs(10, 0), fill_due_obs(10, 2));
+        assert_eq!(fill_due_obs(10, 1), fill_due_obs(10, 2));
+        assert_ne!(fill_due_obs(10, 3), fill_due_obs(10, 2));
     }
 
     // ---- delivery behaviour around the due point ----

@@ -31,6 +31,8 @@ pub(crate) struct WalkStage {
     walkers: Option<SlotPool>,
     pcie_round: SimDuration,
     hit_latency: SimDuration,
+    /// Recycled per-packet batch-translation results.
+    resp_buf: Vec<Result<IommuResponse, TranslationFault>>,
 }
 
 impl WalkStage {
@@ -48,6 +50,7 @@ impl WalkStage {
             walkers,
             pcie_round,
             hit_latency,
+            resp_buf: Vec::new(),
         }
     }
 
@@ -61,6 +64,15 @@ impl WalkStage {
     /// latency, misses for the PCIe round trip plus the walk; walked
     /// translations are installed into the DevTLB. Returns the packet's
     /// completion time (when its last translation finishes).
+    ///
+    /// The packet's misses run in two phases: first one batch translation
+    /// through the IOMMU (its nested walk-cache probes run back-to-back
+    /// and duplicate functional traversals coalesce in the walk memo),
+    /// then per-miss PTB scheduling, event emission, and DevTLB installs
+    /// in exact per-request order. Neither the PTB nor the DevTLB feeds
+    /// back into the IOMMU, so splitting translation from scheduling
+    /// leaves every access sequence — and the emitted event stream —
+    /// identical to the interleaved scalar form.
     pub(crate) fn serve<O: Observer>(
         &mut self,
         work: &Deferred,
@@ -84,8 +96,20 @@ impl WalkStage {
                 obs.record(end.as_ps(), Event::PtbRelease);
             }
         }
-        for &iova in &work.misses {
-            let req = clock.tick();
+        // Phase 1: translate the whole miss batch (one tick per miss, in
+        // request order — exactly the ticks the scalar loop would take).
+        let req0 = clock.current();
+        clock.advance(work.misses.len() as u64);
+        let mut responses = std::mem::take(&mut self.resp_buf);
+        self.iommu.translate_batch(
+            work.packet.sid,
+            work.packet.did,
+            &work.misses,
+            req0,
+            &mut responses,
+        );
+        // Phase 2: schedule, emit, and install per miss in request order.
+        for (i, (&iova, resp)) in work.misses.iter().zip(responses.iter()).enumerate() {
             if O::ENABLED {
                 obs.record(
                     now.as_ps(),
@@ -95,10 +119,7 @@ impl WalkStage {
                     },
                 );
             }
-            match self
-                .iommu
-                .translate(work.packet.sid, work.packet.did, iova, req)
-            {
+            match resp {
                 Ok(resp) => {
                     let walk = self.walk_latency(now, resp.latency);
                     let (start, end) = self.ptb.schedule(now, self.pcie_round + walk);
@@ -128,7 +149,7 @@ impl WalkStage {
                             hpa_base: page_base(resp.hpa, resp.size),
                             size: resp.size,
                         },
-                        req,
+                        req0 + i as u64,
                         now,
                         obs,
                     );
@@ -140,6 +161,7 @@ impl WalkStage {
                 }
             }
         }
+        self.resp_buf = responses;
         completion
     }
 

@@ -1,11 +1,23 @@
-//! Minimal multiply-xor hasher for the crate's internal u64-keyed maps.
+//! Minimal multiply-xor hasher for the workspace's internal u64-keyed maps.
 //!
-//! The radix-table node/PTE maps sit on the translation hot path — every
-//! two-dimensional walk performs one map probe per level — and the standard
-//! `HashMap`'s SipHash dominates that probe cost. Keys here are
-//! attacker-free synthetic addresses, so a cheap FxHash-style mix is safe
-//! and an order of magnitude faster. No external crates: this is the whole
-//! hasher.
+//! Several simulator structures sit on the per-packet hot path and are keyed
+//! by small synthetic integers — radix-table node/PTE maps, walk-memo tables,
+//! stream-ID predictor tables, per-tenant IOVA histories. The standard
+//! `HashMap`'s SipHash dominates those probe costs. Keys here are
+//! attacker-free synthetic addresses and IDs, so a cheap FxHash-style mix is
+//! safe and an order of magnitude faster. No external crates: this is the
+//! whole hasher.
+//!
+//! # Examples
+//!
+//! ```
+//! use hypersio_types::fxhash::FxBuildHasher;
+//! use std::collections::HashMap;
+//!
+//! let mut m: HashMap<u64, u64, FxBuildHasher> = HashMap::default();
+//! m.insert(0x1000, 7);
+//! assert_eq!(m.get(&0x1000), Some(&7));
+//! ```
 
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -13,7 +25,7 @@ const SEED: u64 = 0x517c_c1b7_2722_0a95;
 
 /// FxHash-style streaming hasher (rotate, xor, multiply per word).
 #[derive(Default)]
-pub(crate) struct FxHasher {
+pub struct FxHasher {
     hash: u64,
 }
 
@@ -66,7 +78,7 @@ impl Hasher for FxHasher {
 }
 
 /// `BuildHasher` plugging [`FxHasher`] into `HashMap`/`HashSet`.
-pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 #[cfg(test)]
 mod tests {

@@ -26,6 +26,7 @@
 
 mod addr;
 mod bandwidth;
+pub mod fxhash;
 mod id;
 mod rng;
 mod time;

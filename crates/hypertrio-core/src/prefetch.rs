@@ -5,6 +5,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use hypersio_cache::{CacheStats, FullyAssocCache, PolicyKind};
+use hypersio_types::fxhash::FxBuildHasher;
 use hypersio_types::{Did, GIova, Sid};
 
 use crate::devtlb::{DevTlbKey, TlbEntry};
@@ -45,7 +46,11 @@ pub struct PrefetchRequest {
 pub struct SidPredictor {
     history_len: usize,
     window: VecDeque<Sid>,
-    table: HashMap<Sid, Sid>,
+    /// Learned `predecessor -> successor` mappings. Probed and updated once
+    /// per observed request, so it uses the cheap Fx hasher (SIDs are
+    /// attacker-free small integers) and is never iterated — behaviour is
+    /// independent of hash order.
+    table: HashMap<Sid, Sid, FxBuildHasher>,
     predictions: u64,
     hits_possible: u64,
 }
@@ -62,7 +67,7 @@ impl SidPredictor {
         SidPredictor {
             history_len,
             window: VecDeque::with_capacity(history_len + 1),
-            table: HashMap::new(),
+            table: HashMap::default(),
             predictions: 0,
             hits_possible: 0,
         }
@@ -144,7 +149,10 @@ impl SidPredictor {
 pub struct IovaHistoryReader {
     depth: usize,
     /// Most-recent-first page-granule history per DID.
-    histories: HashMap<Did, VecDeque<GIova>>,
+    /// Per-tenant recent-IOVA rings. Touched on every observed request
+    /// (record) and every prefetch plan (read), so it uses the Fx hasher;
+    /// the map is never iterated, keeping behaviour hash-order independent.
+    histories: HashMap<Did, VecDeque<GIova>, FxBuildHasher>,
     fetches: u64,
 }
 
@@ -162,7 +170,7 @@ impl IovaHistoryReader {
         assert!(depth > 0, "history depth must be at least 1");
         IovaHistoryReader {
             depth,
-            histories: HashMap::new(),
+            histories: HashMap::default(),
             fetches: 0,
         }
     }
@@ -183,11 +191,20 @@ impl IovaHistoryReader {
     ///
     /// Each call models one memory fetch by the history reader.
     pub fn recent(&mut self, did: Did, n: usize) -> Vec<GIova> {
+        let mut pages = Vec::new();
+        self.recent_into(did, n, &mut pages);
+        pages
+    }
+
+    /// Allocation-free variant of [`Self::recent`]: clears `out` and fills
+    /// it with the `n` most recently used pages, most recent first. Counts
+    /// one memory fetch, exactly like `recent`.
+    pub fn recent_into(&mut self, did: Did, n: usize, out: &mut Vec<GIova>) {
         self.fetches += 1;
-        self.histories
-            .get(&did)
-            .map(|h| h.iter().take(n).copied().collect())
-            .unwrap_or_default()
+        out.clear();
+        if let Some(h) = self.histories.get(&did) {
+            out.extend(h.iter().take(n).copied());
+        }
     }
 
     /// Returns the number of history fetches performed.
@@ -255,14 +272,42 @@ impl PrefetchUnit {
     }
 
     /// Checks the Prefetch Buffer for `iova` (probing 2 MB then 4 KB tags).
+    ///
+    /// The two granule tags are probed in one fused pass; exactly one hit
+    /// or miss is recorded, identical to a 2 MB peek followed by a single
+    /// policy-visible lookup.
     pub fn lookup(&mut self, did: Did, iova: GIova, now: u64) -> Option<TlbEntry> {
         use hypersio_types::PageSize;
         let key_2m = DevTlbKey::new(did, iova, PageSize::Size2M);
-        if self.buffer.peek(&key_2m).is_some() {
-            return self.buffer.lookup(&key_2m, now).copied();
-        }
         let key_4k = DevTlbKey::new(did, iova, PageSize::Size4K);
-        self.buffer.lookup(&key_4k, now).copied()
+        self.buffer.lookup_fused(&key_2m, &key_4k, now).copied()
+    }
+
+    /// Probes the Prefetch Buffer for a batch of gIOVAs, each at its own
+    /// access index, exactly as sequential [`Self::lookup`] calls would —
+    /// one recorded hit or miss per element. The per-element `nows` are
+    /// explicit because the caller probes only the DevTLB-miss subset of a
+    /// request batch, whose request indices are not contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iovas`, `nows`, and `out` lengths differ.
+    pub fn lookup_batch(
+        &mut self,
+        did: Did,
+        iovas: &[GIova],
+        nows: &[u64],
+        out: &mut [Option<TlbEntry>],
+    ) {
+        assert_eq!(iovas.len(), nows.len(), "lookup_batch length mismatch");
+        assert_eq!(
+            iovas.len(),
+            out.len(),
+            "lookup_batch buffer length mismatch"
+        );
+        for ((&iova, &now), slot) in iovas.iter().zip(nows.iter()).zip(out.iter_mut()) {
+            *slot = self.lookup(did, iova, now);
+        }
     }
 
     /// Observes an arrival from `sid` and, if the predictor has a mapping,
@@ -293,9 +338,18 @@ impl PrefetchUnit {
     /// The residency probes count in the PB statistics exactly like demand
     /// lookups (hardware shares the tag port).
     pub fn plan(&mut self, did: Did, now: u64) -> Vec<GIova> {
-        let mut pages = self.history_pages(did);
-        pages.retain(|&iova| self.lookup(did, iova, now).is_none());
+        let mut pages = Vec::new();
+        self.plan_into(did, now, &mut pages);
         pages
+    }
+
+    /// Allocation-free variant of [`Self::plan`]: clears `out` and fills it
+    /// with the pages to translate. History fetch and residency-probe
+    /// accounting are identical to `plan`.
+    pub fn plan_into(&mut self, did: Did, now: u64, out: &mut Vec<GIova>) {
+        let n = self.pages_per_prefetch;
+        self.history.recent_into(did, n, out);
+        out.retain(|&iova| self.lookup(did, iova, now).is_none());
     }
 
     /// Installs a prefetched translation into the Prefetch Buffer.

@@ -1,0 +1,129 @@
+//! Differential equivalence of the batched pipeline across batch sizes.
+//!
+//! The pipeline loop processes arrival slots in batch frames
+//! (`SimParams::batch_size`, default 8) and batches each packet's requests
+//! through the DevTLB/PB probe and the IOMMU walk. Batching is an
+//! execution-layout optimization only: within a frame the packets still
+//! chain through the stages in exact arrival order, so **every batch size
+//! must produce bit-identical results**. This suite pins that contract on
+//! seeded (SplitMix64-derived) packet streams at 128 and 1024 tenants for
+//! Base and prefetch-enabled HyperTRIO:
+//!
+//! 1. **Report equivalence**: batch sizes 2, 8, and 32 produce `SimReport`s
+//!    equal to the batch-size-1 run (the scalar-order specification).
+//! 2. **Event-stream equivalence**: the recorded JSONL event streams are
+//!    byte-identical to the batch-size-1 stream — emission *order*, not
+//!    just totals, is invariant under batching.
+//! 3. **Timed-run equivalence**: the stage-timing instrumentation of
+//!    `Simulation::run_timed` is behaviour-free — its report equals the
+//!    untimed one.
+
+use hypersio_sim::{RingRecorder, SimParams, Simulation};
+use hypersio_trace::{HyperTrace, HyperTraceBuilder, WorkloadKind};
+use hypertrio_core::TranslationConfig;
+
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15; // the SplitMix64 increment
+const RING_CAPACITY: usize = 1 << 20;
+const BATCH_SIZES: [usize; 4] = [1, 2, 8, 32];
+
+fn configs() -> Vec<TranslationConfig> {
+    vec![TranslationConfig::base(), TranslationConfig::hypertrio()]
+}
+
+/// A seeded trace; `scale` shrinks with tenant count so both scales run in
+/// comparable time.
+fn seeded_trace(tenants: u32) -> HyperTrace {
+    HyperTraceBuilder::new(WorkloadKind::Websearch, tenants)
+        .scale(2000 * tenants as u64 / 128)
+        .seed(SEED)
+        .build()
+}
+
+/// Runs one observed simulation at the given batch size, returning the
+/// report and the full JSONL-encoded event stream.
+fn run_recorded(
+    config: &TranslationConfig,
+    tenants: u32,
+    batch: usize,
+) -> (hypersio_sim::SimReport, Vec<u8>) {
+    let mut ring = RingRecorder::new(RING_CAPACITY);
+    let report = Simulation::new(
+        config.clone(),
+        SimParams::paper().with_batch(batch),
+        seeded_trace(tenants),
+    )
+    .run_with(&mut ring);
+    assert_eq!(
+        ring.overwritten(),
+        0,
+        "{} @ {tenants}, batch {batch}: ring too small to compare full streams",
+        config.name
+    );
+    let mut bytes = Vec::new();
+    ring.write_jsonl(&mut bytes).expect("in-memory write");
+    assert!(
+        !bytes.is_empty(),
+        "{} @ {tenants}, batch {batch}: empty stream",
+        config.name
+    );
+    (report, bytes)
+}
+
+#[test]
+fn batch_sizes_produce_identical_reports_and_event_streams() {
+    for tenants in [128u32, 1024] {
+        for config in configs() {
+            let name = config.name.clone();
+            let (baseline_report, baseline_stream) = run_recorded(&config, tenants, 1);
+            assert!(
+                baseline_report.packets_processed > 0,
+                "{name} @ {tenants}: degenerate run"
+            );
+            for batch in &BATCH_SIZES[1..] {
+                let (report, stream) = run_recorded(&config, tenants, *batch);
+                assert_eq!(
+                    report, baseline_report,
+                    "{name} @ {tenants}: batch {batch} report diverges from batch 1"
+                );
+                assert_eq!(
+                    stream, baseline_stream,
+                    "{name} @ {tenants}: batch {batch} event stream diverges from batch 1"
+                );
+            }
+        }
+    }
+}
+
+/// The equivalence above must not be vacuous for the prefetch branches:
+/// the HyperTRIO runs exercise the PB probe and prefetch-issue batches.
+#[test]
+fn batched_runs_exercise_the_prefetch_paths() {
+    for tenants in [128u32, 1024] {
+        let report = Simulation::new(
+            TranslationConfig::hypertrio(),
+            SimParams::paper().with_batch(32),
+            seeded_trace(tenants),
+        )
+        .run();
+        assert!(report.prefetches_issued > 0, "@{tenants} tenants");
+        assert!(report.pb_served_fraction > 0.0, "@{tenants} tenants");
+    }
+}
+
+#[test]
+fn timed_run_matches_untimed_run() {
+    for config in configs() {
+        let name = config.name.clone();
+        let untimed = Simulation::new(config.clone(), SimParams::paper(), seeded_trace(128)).run();
+        let (timed, stages) =
+            Simulation::new(config, SimParams::paper(), seeded_trace(128)).run_timed();
+        assert_eq!(
+            timed, untimed,
+            "{name}: timing instrumentation changed the run"
+        );
+        assert!(
+            stages.total_ns() > 0,
+            "{name}: instrumented run recorded no stage time"
+        );
+    }
+}
