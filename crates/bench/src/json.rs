@@ -405,6 +405,65 @@ fn validate_hotpath_doc(doc: &Json, require_stages: bool) -> Result<(), String> 
     Ok(())
 }
 
+/// Checks that `doc` matches the `bench_scale/v1` schema (see the
+/// `bench_scale` binary): required top-level fields and a non-empty
+/// `points` array with every per-point metric present and the tenant
+/// counts strictly ascending. The ordering is part of the schema because
+/// the RSS protocol depends on it: Linux's `VmHWM` watermark is monotone
+/// over the process lifetime, so per-point peaks are honest upper bounds
+/// only when the points run smallest-first. Thresholds are out of scope —
+/// only the shape is pinned.
+pub fn validate_scale_schema(doc: &Json) -> Result<(), String> {
+    doc.as_obj().ok_or("top level must be an object")?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("bench_scale/v1") => {}
+        Some(other) => return Err(format!("unknown schema '{other}'")),
+        None => return Err("missing string field 'schema'".into()),
+    }
+    for field in [
+        "requests_per_tenant",
+        "warmup_packets",
+        "table_budget_bytes",
+    ] {
+        doc.get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field '{field}'"))?;
+    }
+    let points = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'points'")?;
+    if points.is_empty() {
+        return Err("'points' must not be empty".into());
+    }
+    let mut prev_tenants = 0.0f64;
+    for (i, point) in points.iter().enumerate() {
+        for field in [
+            "tenants",
+            "wall_s",
+            "packets",
+            "packets_per_sec",
+            "translation_requests",
+            "utilization",
+            "peak_rss_bytes",
+        ] {
+            point
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("point {i}: missing numeric field '{field}'"))?;
+        }
+        let tenants = point.get("tenants").and_then(Json::as_num).unwrap_or(0.0);
+        if tenants <= prev_tenants {
+            return Err(format!(
+                "point {i}: tenant counts must be strictly ascending \
+                 (the VmHWM peak-RSS watermark is monotone)"
+            ));
+        }
+        prev_tenants = tenants;
+    }
+    Ok(())
+}
+
 /// Checks one `"name": {hits, misses, evictions, hit_rate}` cache block.
 fn validate_cache_block(doc: &Json, name: &str) -> Result<(), String> {
     let block = doc
@@ -742,6 +801,57 @@ mod tests {
             err.contains("baseline") && err.contains("lookup_ns"),
             "{err}"
         );
+    }
+
+    fn valid_scale_doc() -> String {
+        r#"{
+            "schema": "bench_scale/v1",
+            "requests_per_tenant": 24, "warmup_packets": 1000,
+            "table_budget_bytes": 268435456,
+            "points": [
+                {"tenants": 1000, "wall_s": 0.1, "packets": 8000,
+                 "packets_per_sec": 80000.0, "translation_requests": 24000,
+                 "utilization": 0.9, "peak_rss_bytes": 10485760},
+                {"tenants": 10000, "wall_s": 1.0, "packets": 80000,
+                 "packets_per_sec": 80000.0, "translation_requests": 240000,
+                 "utilization": 0.8, "peak_rss_bytes": 20971520}
+            ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn scale_schema_accepts_valid_output() {
+        let doc = parse(&valid_scale_doc()).unwrap();
+        assert_eq!(validate_scale_schema(&doc), Ok(()));
+    }
+
+    #[test]
+    fn scale_schema_rejects_missing_fields_and_wrong_schema() {
+        let doc = parse(&valid_scale_doc().replace("peak_rss_bytes", "rss")).unwrap();
+        let err = validate_scale_schema(&doc).unwrap_err();
+        assert!(err.contains("peak_rss_bytes"), "{err}");
+        let doc = parse(&valid_scale_doc().replace("table_budget_bytes", "budget")).unwrap();
+        assert!(validate_scale_schema(&doc).is_err());
+        let doc = parse(&valid_scale_doc().replace("bench_scale/v1", "v999")).unwrap();
+        assert!(validate_scale_schema(&doc).is_err());
+        let doc = parse(
+            r#"{"schema": "bench_scale/v1", "requests_per_tenant": 1,
+            "warmup_packets": 0, "table_budget_bytes": 0, "points": []}"#,
+        )
+        .unwrap();
+        let err = validate_scale_schema(&doc).unwrap_err();
+        assert!(err.contains("must not be empty"), "{err}");
+    }
+
+    #[test]
+    fn scale_schema_requires_ascending_tenant_counts() {
+        // Descending (or equal) points would make the monotone VmHWM
+        // watermark attribute a large run's RSS to a small one.
+        let doc =
+            parse(&valid_scale_doc().replace("\"tenants\": 10000", "\"tenants\": 500")).unwrap();
+        let err = validate_scale_schema(&doc).unwrap_err();
+        assert!(err.contains("ascending"), "{err}");
     }
 
     fn valid_report() -> String {

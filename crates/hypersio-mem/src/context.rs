@@ -41,13 +41,13 @@ struct BdfKey(Bdf);
 
 impl CacheKey for BdfKey {
     fn set_selector(&self) -> u64 {
-        self.0.raw() as u64
+        self.0.routing_id() as u64
     }
 }
 
 impl OracleKey for BdfKey {
     fn oracle_code(&self) -> u64 {
-        self.0.raw() as u64
+        self.0.routing_id() as u64
     }
 }
 

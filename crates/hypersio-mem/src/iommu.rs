@@ -7,6 +7,7 @@ use hypersio_types::{Bdf, Did, GIova, HPa, PageSize, Sid, SimDuration};
 use crate::context::{ContextCache, ContextEntry};
 use crate::dram::Dram;
 use crate::space::TenantSpace;
+use crate::space_pool::{PoolStats, SpacePool};
 use crate::walk_cache::{WalkCacheConfig, WalkCaches};
 use crate::walker::{TranslationFault, TwoDimWalker, WalkMemo};
 
@@ -117,7 +118,7 @@ pub struct IommuStats {
 /// charges an explicit hit latency only for the IOTLB/DevTLB).
 pub struct Iommu {
     params: IommuParams,
-    spaces: Vec<TenantSpace>,
+    pool: SpacePool,
     caches: WalkCaches,
     context: ContextCache,
     dram: Dram,
@@ -129,7 +130,7 @@ pub struct Iommu {
 }
 
 impl Iommu {
-    /// Creates an IOMMU over the given tenant spaces.
+    /// Creates an IOMMU over the given eagerly built tenant spaces.
     ///
     /// Spaces must be indexed by DID: `spaces[i].did() == Did::new(i)`.
     /// A context entry is installed for every tenant with `Bdf = did`
@@ -139,25 +140,30 @@ impl Iommu {
     ///
     /// Panics if the spaces are not DID-indexed.
     pub fn new(params: IommuParams, spaces: Vec<TenantSpace>) -> Self {
-        for (i, space) in spaces.iter().enumerate() {
-            assert!(
-                space.did().index() == i,
-                "spaces must be indexed by DID: slot {i} holds {}",
-                space.did()
-            );
-        }
+        Iommu::with_pool(params, SpacePool::dense(spaces))
+    }
+
+    /// Creates an IOMMU over a [`SpacePool`] — the scale-out entry point.
+    ///
+    /// For a dense pool this is exactly [`Iommu::new`]: every context
+    /// entry is installed up front. For a lazy pool, context entries are
+    /// installed when a tenant's space is first materialised (the
+    /// hypervisor-configures-on-first-use view of a million-tenant host);
+    /// translation behaviour is otherwise identical, since the context
+    /// *cache* starts cold either way.
+    pub fn with_pool(params: IommuParams, pool: SpacePool) -> Self {
         let mut context = ContextCache::new(params.context_entries);
-        for space in &spaces {
-            context.install(
-                Bdf::new(space.did().raw() as u16),
-                ContextEntry::new(space.did()),
-            );
+        if !pool.is_lazy() {
+            for did in 0..pool.tenants() {
+                let did = Did::new(did);
+                context.install(Bdf::from_routing_id(did.raw()), ContextEntry::new(did));
+            }
         }
         let caches = WalkCaches::new(&params.walk_caches);
         let dram = Dram::new(params.dram_latency);
         Iommu {
             params,
-            spaces,
+            pool,
             caches,
             context,
             dram,
@@ -171,9 +177,18 @@ impl Iommu {
         &self.params
     }
 
-    /// Returns the tenant spaces.
+    /// Returns the tenant spaces of an eagerly built (dense) IOMMU.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a lazily pooled IOMMU, whose resident set is not dense.
     pub fn spaces(&self) -> &[TenantSpace] {
-        &self.spaces
+        self.pool.dense_spaces()
+    }
+
+    /// Returns the space pool's build/eviction counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Returns accumulated statistics.
@@ -212,22 +227,28 @@ impl Iommu {
         now: u64,
     ) -> Result<IommuResponse, TranslationFault> {
         assert!(
-            did.index() < self.spaces.len(),
+            did.index() < self.pool.tenants() as usize,
             "unknown tenant {did}; only {} spaces configured",
-            self.spaces.len()
+            self.pool.tenants()
         );
         self.stats.requests += 1;
 
+        // Materialise the tenant's tables (no-op for a dense pool); a
+        // first touch also installs the context entry on demand.
+        let bdf = Bdf::from_routing_id(did.raw());
+        if self.pool.ensure(did) {
+            self.context.install(bdf, ContextEntry::new(did));
+        }
+
         // 1. Context lookup: find the DID/table roots for the requester.
-        let bdf = Bdf::new(did.raw() as u16);
         let (entry, context_reads) = self
             .context
             .lookup_or_fetch(bdf, now)
-            .expect("context entries installed for all tenants at construction");
+            .expect("context entries installed at construction or first touch");
         debug_assert_eq!(entry.did(), did);
         let mut latency = self.dram.read_many(context_reads);
 
-        let space = &self.spaces[did.index()];
+        let space = self.pool.get(did);
 
         // rIOMMU-style flat table: one memory read resolves the mapping
         // (the guest driver registered it directly, no nested walk).
@@ -337,12 +358,12 @@ impl Iommu {
     /// Panics if `did` is out of range for the configured tenant spaces.
     pub fn migrate_tenant(&mut self, did: Did, slab: u64) -> usize {
         assert!(
-            did.index() < self.spaces.len(),
+            did.index() < self.pool.tenants() as usize,
             "unknown tenant {did}; only {} spaces configured",
-            self.spaces.len()
+            self.pool.tenants()
         );
-        self.spaces[did.index()].migrate_to_slab(slab);
-        self.context.invalidate(Bdf::new(did.raw() as u16));
+        self.pool.migrate(did, slab);
+        self.context.invalidate(Bdf::from_routing_id(did.raw()));
         // The walk memo needs no shootdown: its entries live in canonical
         // layout coordinates and the migrated tenant's slab delta is
         // applied per walk (see `WalkMemo`).
@@ -353,7 +374,7 @@ impl Iommu {
 impl fmt::Debug for Iommu {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Iommu")
-            .field("tenants", &self.spaces.len())
+            .field("tenants", &self.pool.tenants())
             .field("stats", &self.stats)
             .finish()
     }
@@ -515,6 +536,80 @@ mod tests {
     #[should_panic(expected = "indexed by DID")]
     fn spaces_must_be_did_indexed() {
         let _ = Iommu::new(IommuParams::paper(), vec![tenant(1)]);
+    }
+
+    fn lazy_iommu(tenants: u32, resident: usize) -> Iommu {
+        let canonical = tenant(0);
+        let budget = canonical.per_tenant_bytes() * resident as u64;
+        Iommu::with_pool(
+            IommuParams::paper(),
+            SpacePool::lazy(canonical, tenants, Some(budget)),
+        )
+    }
+
+    #[test]
+    fn lazy_pool_translates_identically_to_dense() {
+        // Same requests through an eager IOMMU and a 2-resident lazy one:
+        // responses, cache stats, and DRAM accounting must be identical
+        // even while the lazy pool thrashes (4 tenants round-robin).
+        let mut dense = iommu(4);
+        let mut lazy = lazy_iommu(4, 2);
+        let iovas = [0xbbe0_0000u64, 0x3480_0000, 0xbbe0_4242];
+        let mut now = 0u64;
+        for round in 0..3 {
+            for t in 0..4u32 {
+                let iova = GIova::new(iovas[(round + t as usize) % iovas.len()]);
+                let a = dense.translate(Sid::new(t), Did::new(t), iova, now);
+                let b = lazy.translate(Sid::new(t), Did::new(t), iova, now);
+                assert_eq!(a, b, "round {round} tenant {t}");
+                now += 1;
+            }
+        }
+        assert_eq!(dense.stats(), lazy.stats());
+        assert_eq!(dense.walk_cache_stats(), lazy.walk_cache_stats());
+        assert_eq!(dense.dram_accesses(), lazy.dram_accesses());
+        let pool = lazy.pool_stats();
+        assert!(
+            pool.evictions > 0,
+            "2-resident pool must evict under 4 tenants"
+        );
+        assert_eq!(pool.max_resident, 2);
+    }
+
+    #[test]
+    fn lazy_migration_survives_eviction() {
+        let mut m = lazy_iommu(4, 1);
+        let iova = GIova::new(0xbbe0_0042);
+        let home = m.translate(Sid::new(0), Did::new(0), iova, 0).unwrap().hpa;
+        m.migrate_tenant(Did::new(0), 9);
+        let moved = m.translate(Sid::new(0), Did::new(0), iova, 1).unwrap().hpa;
+        assert_ne!(moved, home);
+        // Evict tenant 0 by touching another tenant, then return: the
+        // rebuilt tables must still live in slab 9.
+        m.translate(Sid::new(1), Did::new(1), iova, 2).unwrap();
+        let back = m.translate(Sid::new(0), Did::new(0), iova, 3).unwrap().hpa;
+        assert_eq!(back, moved);
+    }
+
+    #[test]
+    fn wide_dids_do_not_collide_in_the_context_path() {
+        // DIDs beyond 65536 used to truncate to 16-bit BDFs; the routing-id
+        // widening must keep them distinct. A tiny lazy pool stands in for
+        // the >64k-tenant case without building 64k spaces.
+        let far = 70_000u32;
+        let mut m = lazy_iommu(far + 1, 2);
+        let iova = GIova::new(0xbbe0_0000);
+        let a = m.translate(Sid::new(4), Did::new(4), iova, 0).unwrap().hpa;
+        let b = m
+            .translate(Sid::new(far), Did::new(far), iova, 1)
+            .unwrap()
+            .hpa;
+        assert_ne!(a, b, "DID 4 and DID 70000 must map to distinct slabs");
+        assert_ne!(
+            Bdf::from_routing_id(4 + 65_536).raw() as u32,
+            Bdf::from_routing_id(4 + 65_536).routing_id(),
+            "the wide BDF actually exercises a nonzero segment"
+        );
     }
 
     #[test]

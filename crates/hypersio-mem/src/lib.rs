@@ -47,6 +47,7 @@ mod dram;
 mod iommu;
 mod page_table;
 mod space;
+mod space_pool;
 mod walk_cache;
 mod walker;
 
@@ -55,5 +56,6 @@ pub use dram::Dram;
 pub use iommu::{Iommu, IommuParams, IommuResponse, IommuStats, TranslationScheme};
 pub use page_table::{InlineWalkPath, PageTableError, Pte, RadixTable, WalkPath};
 pub use space::{TenantSpace, TenantSpaceBuilder};
+pub use space_pool::{PoolStats, SpacePool};
 pub use walk_cache::{NestedKey, WalkCacheConfig, WalkCacheKey, WalkCaches};
 pub use walker::{TranslationFault, TwoDimWalker, WalkMemo, WalkOutcome};

@@ -270,6 +270,11 @@ impl RadixTable {
         self.nodes.len()
     }
 
+    /// Returns the number of populated PTEs (table pointers and leaves).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Iterates over the base addresses of all allocated table nodes.
     ///
     /// Used by [`crate::TenantSpaceBuilder`] to map the guest table's own

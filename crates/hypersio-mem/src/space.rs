@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use hypersio_types::{Did, GIova, GPa, HPa, PageSize};
 
@@ -17,7 +18,7 @@ const GUEST_DATA_BASE: u64 = 0x8000_0000;
 /// Size of the host-physical slab reserved per tenant (enough for every page
 /// a workload tenant maps: 32 × 2 MB data buffers plus table nodes and 4 KB
 /// pages, with headroom).
-const HOST_SLAB_PER_TENANT: u64 = 256 * 1024 * 1024;
+pub(crate) const HOST_SLAB_PER_TENANT: u64 = 256 * 1024 * 1024;
 
 /// Issues process-unique layout identities (see [`TenantSpace::layout_id`]).
 /// Two spaces share an id only when they were stamped from the same
@@ -124,18 +125,7 @@ impl TenantSpaceBuilder {
     pub fn build_many(&self, dids: &[Did]) -> Vec<TenantSpace> {
         let canonical = self.build_with_did(Did::new(0));
         dids.iter()
-            .map(|&did| {
-                let delta = did.raw() as u64 * HOST_SLAB_PER_TENANT;
-                TenantSpace {
-                    did,
-                    guest: canonical.guest.clone(),
-                    host: canonical.host.rebased(delta),
-                    host_slab: did.raw() as u64,
-                    layout_id: canonical.layout_id,
-                    host_delta: delta,
-                    page_count: canonical.page_count,
-                }
-            })
+            .map(|&did| canonical.stamp(did, did.raw() as u64))
             .collect()
     }
 
@@ -226,7 +216,7 @@ impl TenantSpaceBuilder {
 
         TenantSpace {
             did,
-            guest,
+            guest: Arc::new(guest),
             host,
             host_slab: did.raw() as u64,
             layout_id: next_layout_id(),
@@ -244,7 +234,11 @@ impl TenantSpaceBuilder {
 /// two-dimensional walker never faults on a nested access.
 pub struct TenantSpace {
     did: Did,
-    guest: RadixTable,
+    /// Guest table, shared across all spaces stamped from one canonical
+    /// build: the guest dimension is DID-independent (same OS + driver,
+    /// §IV-D) and never mutated after construction, so a million tenants
+    /// reference one copy.
+    guest: Arc<RadixTable>,
     host: RadixTable,
     /// Index of the host-physical slab the host table currently lives in
     /// (`did` at build time; bumped by [`TenantSpace::migrate_to_slab`]).
@@ -294,6 +288,44 @@ impl TenantSpace {
         self.host = self.host.rebased(delta);
         self.host_delta = self.host_delta.wrapping_add(delta);
         self.host_slab = slab;
+    }
+
+    /// Stamps out the sibling space for `did` hosted in slab `slab` from
+    /// this *canonical* (unrebased, slab-0) space: the guest table is
+    /// shared by reference, the host table is
+    /// [rebased](RadixTable::rebased) into the slab, and the layout
+    /// identity is inherited — exactly what
+    /// [`TenantSpaceBuilder::build_many`] produces for `slab == did`, and
+    /// what a lazy pool rebuilds on first touch or after eviction.
+    ///
+    /// Stamping is deterministic: the same `(canonical, did, slab)` always
+    /// yields a bit-identical space, which is why eviction plus rebuild
+    /// cannot change any translation.
+    pub fn stamp(&self, did: Did, slab: u64) -> TenantSpace {
+        debug_assert_eq!(
+            self.host_delta, 0,
+            "stamp from the canonical build, not a rebased sibling"
+        );
+        let delta = slab.wrapping_mul(HOST_SLAB_PER_TENANT);
+        TenantSpace {
+            did,
+            guest: Arc::clone(&self.guest),
+            host: self.host.rebased(delta),
+            host_slab: slab,
+            layout_id: self.layout_id,
+            host_delta: delta,
+            page_count: self.page_count,
+        }
+    }
+
+    /// Rough heap footprint of this space's *per-tenant* state — the host
+    /// table's sparse maps. The guest table is excluded: it is shared
+    /// across every sibling stamped from one canonical build. Used to
+    /// convert a host-memory budget into a resident-space cap.
+    pub fn per_tenant_bytes(&self) -> u64 {
+        // FxHashMap entry ≈ key + value + capacity slack; 64 B/PTE and
+        // 16 B/node-address are deliberately generous.
+        (self.host.entry_count() as u64) * 64 + (self.host.node_count() as u64) * 16 + 256
     }
 
     /// Returns the identity of the canonical layout this space shares with

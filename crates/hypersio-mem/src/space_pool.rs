@@ -1,0 +1,433 @@
+//! Tenant-space pools: eager (dense) or lazy with budgeted residency.
+//!
+//! A [`SpacePool`] is the IOMMU's view of "which tenants have page
+//! tables". The dense variant is the classic eager construction — every
+//! tenant's [`TenantSpace`] built up front, indexed by DID — and is what
+//! all paper-scale (≤ 1024 tenants) runs use. The lazy variant holds only
+//! the canonical build and stamps a tenant's tables on first touch,
+//! evicting the least-recently-touched resident space when a host-memory
+//! budget would be exceeded. That is what makes million-tenant runs fit in
+//! bounded RSS: per-tenant cost collapses to a trace lane plus (while
+//! resident) one rebased host table.
+//!
+//! Eviction is *transparent to the model*: stamping is deterministic
+//! ([`TenantSpace::stamp`]), so a rebuilt space is bit-identical to the
+//! evicted one and every cached translation (DevTLB, walk caches, memo)
+//! remains correct without shootdowns. Eviction models the simulator
+//! reclaiming its own memory, not the hypervisor unmapping a tenant.
+
+use std::collections::VecDeque;
+
+use hypersio_types::fxhash::FxBuildHasher;
+use hypersio_types::Did;
+
+use crate::space::TenantSpace;
+
+type FxMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Counters describing a pool's build/eviction behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Spaces stamped on demand (0 for a dense pool).
+    pub builds: u64,
+    /// Spaces evicted to stay under the budget.
+    pub evictions: u64,
+    /// Spaces currently resident.
+    pub resident: usize,
+    /// Residency cap derived from the budget (`usize::MAX` = unbounded).
+    pub max_resident: usize,
+}
+
+/// A pool of per-tenant address spaces, eager or lazily materialised.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_mem::{SpacePool, TenantSpace};
+/// use hypersio_types::{Did, GIova, PageSize};
+///
+/// let mut b = TenantSpace::builder(Did::new(0));
+/// b.map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+/// let canonical = b.build();
+/// // Budget for roughly two resident tenants out of 100.
+/// let budget = canonical.per_tenant_bytes() * 2;
+/// let mut pool = SpacePool::lazy(canonical, 100, Some(budget));
+/// pool.ensure(Did::new(77));
+/// assert!(pool.get(Did::new(77)).lookup(GIova::new(0xbbe0_0042)).is_some());
+/// assert_eq!(pool.stats().builds, 1);
+/// ```
+pub struct SpacePool {
+    variant: Variant,
+}
+
+enum Variant {
+    Dense(Vec<TenantSpace>),
+    Lazy(Box<LazyPool>),
+}
+
+struct LazyPool {
+    /// The canonical (DID-0, slab-0) build every space is stamped from.
+    canonical: TenantSpace,
+    tenants: u32,
+    resident: FxMap<u32, TenantSpace>,
+    /// Tick of each resident space's most recent touch.
+    last_touch: FxMap<u32, u64>,
+    /// Touch order, oldest first; entries whose tick no longer matches
+    /// `last_touch` are stale and skipped (lazy deletion). Compacted when
+    /// it outgrows the resident set so memory stays bounded.
+    lru: VecDeque<(u64, u32)>,
+    /// Current host slab of tenants migrated away from their default
+    /// (`slab == did`); consulted when re-stamping after eviction.
+    slab_overrides: FxMap<u32, u64>,
+    max_resident: usize,
+    tick: u64,
+    builds: u64,
+    evictions: u64,
+}
+
+impl SpacePool {
+    /// Wraps eagerly built spaces; `spaces[i]` must belong to `Did(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spaces are not indexed by DID.
+    pub fn dense(spaces: Vec<TenantSpace>) -> Self {
+        for (i, space) in spaces.iter().enumerate() {
+            assert!(
+                space.did().index() == i,
+                "spaces must be indexed by DID: slot {i} holds {}",
+                space.did()
+            );
+        }
+        SpacePool {
+            variant: Variant::Dense(spaces),
+        }
+    }
+
+    /// Creates a lazy pool over `tenants` tenants stamped on demand from
+    /// `canonical` (a slab-0 build of the shared page inventory).
+    ///
+    /// `budget_bytes` caps the resident spaces' estimated heap footprint
+    /// ([`TenantSpace::per_tenant_bytes`] each); at least one space is
+    /// always allowed. `None` means unbounded residency (lazy build, no
+    /// eviction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is zero.
+    pub fn lazy(canonical: TenantSpace, tenants: u32, budget_bytes: Option<u64>) -> Self {
+        assert!(tenants > 0, "at least one tenant is required");
+        let per_space = canonical.per_tenant_bytes().max(1);
+        let max_resident = match budget_bytes {
+            None => usize::MAX,
+            Some(b) => ((b / per_space) as usize).max(1),
+        };
+        SpacePool {
+            variant: Variant::Lazy(Box::new(LazyPool {
+                canonical,
+                tenants,
+                resident: FxMap::default(),
+                last_touch: FxMap::default(),
+                lru: VecDeque::new(),
+                slab_overrides: FxMap::default(),
+                max_resident,
+                tick: 0,
+                builds: 0,
+                evictions: 0,
+            })),
+        }
+    }
+
+    /// Returns the number of tenants the pool can serve.
+    pub fn tenants(&self) -> u32 {
+        match &self.variant {
+            Variant::Dense(spaces) => spaces.len() as u32,
+            Variant::Lazy(pool) => pool.tenants,
+        }
+    }
+
+    /// Returns whether this pool materialises spaces lazily.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.variant, Variant::Lazy(_))
+    }
+
+    /// Makes `did`'s space resident (stamping and, if needed, evicting)
+    /// and refreshes its recency. Returns `true` when the space was newly
+    /// built — the caller owes the on-demand context-entry install.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `did` is out of range.
+    pub fn ensure(&mut self, did: Did) -> bool {
+        let pool = match &mut self.variant {
+            Variant::Dense(spaces) => {
+                assert!(did.index() < spaces.len(), "unknown tenant {did}");
+                return false;
+            }
+            Variant::Lazy(pool) => pool,
+        };
+        assert!(did.raw() < pool.tenants, "unknown tenant {did}");
+        let key = did.raw();
+        pool.tick += 1;
+        let tick = pool.tick;
+        if pool.resident.contains_key(&key) {
+            pool.last_touch.insert(key, tick);
+            pool.push_lru(tick, key);
+            return false;
+        }
+        while pool.resident.len() >= pool.max_resident {
+            match pool.lru.pop_front() {
+                Some((t, d)) if pool.last_touch.get(&d) == Some(&t) => {
+                    pool.resident.remove(&d);
+                    pool.last_touch.remove(&d);
+                    pool.evictions += 1;
+                }
+                Some(_) => continue, // stale entry, skip
+                None => break,       // resident map and LRU out of sync: bug
+            }
+        }
+        let slab = pool.slab_overrides.get(&key).copied().unwrap_or(key as u64);
+        pool.resident.insert(key, pool.canonical.stamp(did, slab));
+        pool.last_touch.insert(key, tick);
+        pool.push_lru(tick, key);
+        pool.builds += 1;
+        true
+    }
+
+    /// Returns `did`'s space. Lazy pools require a preceding
+    /// [`SpacePool::ensure`] for the same DID (the translate path always
+    /// pairs them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `did` is out of range, or (lazy) not resident.
+    pub fn get(&self, did: Did) -> &TenantSpace {
+        match &self.variant {
+            Variant::Dense(spaces) => &spaces[did.index()],
+            Variant::Lazy(pool) => pool
+                .resident
+                .get(&did.raw())
+                .expect("ensure() must materialise a space before get()"),
+        }
+    }
+
+    /// Relocates `did`'s host-side memory to slab `slab` (see
+    /// [`TenantSpace::migrate_to_slab`]). For a lazy pool the new slab is
+    /// also recorded so a post-eviction rebuild re-stamps at the tenant's
+    /// *current* home, not its original one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `did` is out of range.
+    pub fn migrate(&mut self, did: Did, slab: u64) {
+        match &mut self.variant {
+            Variant::Dense(spaces) => spaces[did.index()].migrate_to_slab(slab),
+            Variant::Lazy(pool) => {
+                assert!(did.raw() < pool.tenants, "unknown tenant {did}");
+                pool.slab_overrides.insert(did.raw(), slab);
+                if let Some(space) = pool.resident.get_mut(&did.raw()) {
+                    space.migrate_to_slab(slab);
+                }
+            }
+        }
+    }
+
+    /// Returns build/eviction counters.
+    pub fn stats(&self) -> PoolStats {
+        match &self.variant {
+            Variant::Dense(spaces) => PoolStats {
+                builds: 0,
+                evictions: 0,
+                resident: spaces.len(),
+                max_resident: usize::MAX,
+            },
+            Variant::Lazy(pool) => PoolStats {
+                builds: pool.builds,
+                evictions: pool.evictions,
+                resident: pool.resident.len(),
+                max_resident: pool.max_resident,
+            },
+        }
+    }
+
+    /// The dense pool's DID-indexed spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lazy pool, whose resident set is not dense.
+    pub fn dense_spaces(&self) -> &[TenantSpace] {
+        match &self.variant {
+            Variant::Dense(spaces) => spaces,
+            Variant::Lazy(_) => panic!("a lazy pool has no dense space slice"),
+        }
+    }
+}
+
+impl LazyPool {
+    fn push_lru(&mut self, tick: u64, did: u32) {
+        self.lru.push_back((tick, did));
+        // Lazy deletion leaves stale entries behind; compact once they
+        // dominate so the queue stays O(resident).
+        if self.lru.len() > 2 * self.resident.len().max(32) {
+            let last = &self.last_touch;
+            self.lru.retain(|&(t, d)| last.get(&d) == Some(&t));
+        }
+    }
+}
+
+impl std::fmt::Debug for SpacePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SpacePool")
+            .field("lazy", &self.is_lazy())
+            .field("tenants", &self.tenants())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersio_types::{GIova, PageSize};
+
+    fn canonical() -> TenantSpace {
+        let mut b = TenantSpace::builder(Did::new(0));
+        b.map(GIova::new(0x3480_0000), PageSize::Size4K);
+        b.map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+        b.build()
+    }
+
+    fn budget_for(spaces: usize) -> Option<u64> {
+        Some(canonical().per_tenant_bytes() * spaces as u64)
+    }
+
+    #[test]
+    fn lazy_pool_matches_dense_translations() {
+        let dids: Vec<Did> = (0..8).map(Did::new).collect();
+        let dense = SpacePool::dense(
+            TenantSpace::builder(Did::new(0))
+                .map(GIova::new(0x3480_0000), PageSize::Size4K)
+                .map(GIova::new(0xbbe0_0000), PageSize::Size2M)
+                .build_many(&dids),
+        );
+        let mut lazy = SpacePool::lazy(canonical(), 8, budget_for(2));
+        for &did in &dids {
+            lazy.ensure(did);
+            let iova = GIova::new(0xbbe0_0042);
+            assert_eq!(
+                lazy.get(did).lookup(iova).unwrap(),
+                dense.get(did).lookup(iova).unwrap(),
+                "{did}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_caps_residency_and_evicts_lru() {
+        let mut pool = SpacePool::lazy(canonical(), 100, budget_for(2));
+        assert!(pool.ensure(Did::new(0)));
+        assert!(pool.ensure(Did::new(1)));
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(!pool.ensure(Did::new(0)));
+        assert!(pool.ensure(Did::new(2)));
+        let stats = pool.stats();
+        assert_eq!(stats.resident, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.max_resident, 2);
+        // 1 was evicted; re-touching rebuilds it.
+        assert!(pool.ensure(Did::new(1)));
+        assert_eq!(pool.stats().builds, 4);
+    }
+
+    #[test]
+    fn rebuild_after_eviction_is_bit_identical() {
+        let mut pool = SpacePool::lazy(canonical(), 100, budget_for(1));
+        pool.ensure(Did::new(7));
+        let before = pool
+            .get(Did::new(7))
+            .lookup(GIova::new(0xbbe0_0042))
+            .unwrap();
+        let layout_before = pool.get(Did::new(7)).layout_id();
+        pool.ensure(Did::new(8)); // evicts 7
+        pool.ensure(Did::new(7)); // rebuilds 7
+        let space = pool.get(Did::new(7));
+        assert_eq!(space.lookup(GIova::new(0xbbe0_0042)).unwrap(), before);
+        assert_eq!(
+            space.layout_id(),
+            layout_before,
+            "memo sharing must survive"
+        );
+    }
+
+    #[test]
+    fn migration_survives_eviction() {
+        let mut pool = SpacePool::lazy(canonical(), 100, budget_for(1));
+        pool.ensure(Did::new(3));
+        pool.migrate(Did::new(3), 55);
+        let after_migrate = pool
+            .get(Did::new(3))
+            .lookup(GIova::new(0xbbe0_0000))
+            .unwrap();
+        pool.ensure(Did::new(4)); // evicts 3
+        pool.ensure(Did::new(3)); // rebuild must land in slab 55
+        assert_eq!(pool.get(Did::new(3)).host_slab(), 55);
+        assert_eq!(
+            pool.get(Did::new(3))
+                .lookup(GIova::new(0xbbe0_0000))
+                .unwrap(),
+            after_migrate
+        );
+    }
+
+    #[test]
+    fn migrating_a_nonresident_tenant_records_the_override() {
+        let mut pool = SpacePool::lazy(canonical(), 100, budget_for(4));
+        pool.migrate(Did::new(9), 70);
+        pool.ensure(Did::new(9));
+        assert_eq!(pool.get(Did::new(9)).host_slab(), 70);
+    }
+
+    #[test]
+    fn unbounded_lazy_pool_never_evicts() {
+        let mut pool = SpacePool::lazy(canonical(), 1000, None);
+        for i in 0..200 {
+            pool.ensure(Did::new(i));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.resident, 200);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn lru_queue_stays_bounded_under_retouch() {
+        let mut pool = SpacePool::lazy(canonical(), 10, budget_for(4));
+        for round in 0..10_000u32 {
+            pool.ensure(Did::new(round % 4));
+        }
+        if let Variant::Lazy(inner) = &pool.variant {
+            assert!(
+                inner.lru.len() <= 2 * inner.resident.len().max(32) + 1,
+                "lru queue grew to {}",
+                inner.lru.len()
+            );
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tenant")]
+    fn out_of_range_did_rejected() {
+        let mut pool = SpacePool::lazy(canonical(), 4, None);
+        pool.ensure(Did::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "indexed by DID")]
+    fn dense_pool_requires_did_indexing() {
+        let mut b = TenantSpace::builder(Did::new(3));
+        b.map(GIova::new(0x3480_0000), PageSize::Size4K);
+        let _ = SpacePool::dense(vec![b.build()]);
+    }
+}

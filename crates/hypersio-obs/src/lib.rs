@@ -31,7 +31,7 @@ mod timeseries;
 
 pub use event::{Event, EventKind, ALL_EVENT_KINDS, EVENT_KINDS};
 pub use observer::{CountingObserver, NullObserver, Observer};
-pub use ring::{EventRecord, RingRecorder, RECORD_BYTES};
+pub use ring::{write_jsonl_many, EventRecord, RingRecorder, RECORD_BYTES};
 pub use timeseries::{TimeSeriesSampler, WindowRow};
 
 /// Jain's fairness index over per-tenant allocations:

@@ -41,6 +41,7 @@ mod params;
 mod per_tenant;
 mod pipeline;
 mod report;
+mod shard;
 mod sid_map;
 mod slot_pool;
 
@@ -55,11 +56,13 @@ pub use oracle::devtlb_oracle_for;
 pub use params::SimParams;
 pub use per_tenant::{FairnessSummary, PerTenantReport, TenantStat};
 pub use report::SimReport;
+pub use shard::{run_sharded, run_sharded_recorded};
 pub use sid_map::SidMap;
 pub use slot_pool::SlotPool;
 
 // Re-export the observability vocabulary so downstream users can drive
 // `Simulation::run_with` without naming the obs crate separately.
 pub use hypersio_obs::{
-    CountingObserver, Event, EventKind, NullObserver, Observer, RingRecorder, TimeSeriesSampler,
+    write_jsonl_many, CountingObserver, Event, EventKind, NullObserver, Observer, RingRecorder,
+    TimeSeriesSampler,
 };

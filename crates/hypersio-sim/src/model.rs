@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use hypersio_mem::{Iommu, IommuParams, TenantSpace};
+use hypersio_mem::{Iommu, IommuParams, SpacePool, TenantSpace};
 use hypersio_obs::{NullObserver, Observer};
 use hypersio_trace::HyperTrace;
 use hypersio_types::{Bandwidth, Did, SimDuration};
@@ -91,29 +91,55 @@ pub struct Simulation {
 impl Simulation {
     /// Builds a simulation, constructing per-tenant page tables from the
     /// trace's page inventory.
+    ///
+    /// Page tables are materialised eagerly (one [`TenantSpace`] per DID at
+    /// construction) when the trace covers the contiguous DID range `0..N`
+    /// and no [`SimParams::table_budget`] is set — the historical layout,
+    /// byte-identical to earlier versions. A shard trace (strided DIDs) or
+    /// a table budget switches to a lazy [`SpacePool`]: tables are stamped
+    /// from the canonical layout on first touch and evicted LRU under the
+    /// budget. Either pool produces bit-identical reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault plan is combined with a shard trace: the
+    /// injector's event schedule is defined over the full DID population,
+    /// so fault runs must use the unsharded trace.
     pub fn new(config: TranslationConfig, params: SimParams, trace: HyperTrace) -> Self {
         let inventory = trace.page_inventory();
+        let (did_first, did_stride) = trace.did_layout();
+        assert!(
+            params.fault_plan.is_none() || (did_first, did_stride) == (0, 1),
+            "fault injection requires the unsharded trace (DIDs 0..N); run shards with an empty fault plan"
+        );
         // Every tenant runs the same OS and driver, so the page inventory —
         // and hence the table *shape* — is shared. Build the canonical
         // layout once and stamp out the per-DID instances instead of
         // replaying the full inventory per tenant (the layout is affine in
         // the DID, see `TenantSpaceBuilder::build_many`).
-        let spaces: Vec<TenantSpace> = {
-            let mut b = TenantSpace::builder(Did::new(0));
-            b.levels(params.page_table_levels);
-            for &(iova, size, _) in inventory.iter() {
-                b.map(iova, size);
-            }
-            let dids: Vec<Did> = (0..trace.tenants()).map(Did::new).collect();
-            b.build_many(&dids)
-        };
+        let mut b = TenantSpace::builder(Did::new(0));
+        b.levels(params.page_table_levels);
+        for &(iova, size, _) in inventory.iter() {
+            b.map(iova, size);
+        }
         let iommu_params = IommuParams {
             dram_latency: params.dram_latency,
             walk_caches: config.walk_caches.clone(),
             context_entries: params.context_entries,
             scheme: params.translation_scheme,
         };
-        let iommu = Iommu::new(iommu_params, spaces);
+        let iommu = if (did_first, did_stride) == (0, 1) && params.table_budget.is_none() {
+            let dids: Vec<Did> = (0..trace.tenants()).map(Did::new).collect();
+            Iommu::new(iommu_params, b.build_many(&dids))
+        } else {
+            // Lazy pool: the canonical (DID 0) build plus the DID bound.
+            // Shard lanes carry strided global DIDs, so the bound is the
+            // highest lane DID + 1, not the lane count.
+            let max_did =
+                did_first as u64 + (trace.tenants().max(1) - 1) as u64 * did_stride as u64;
+            let pool = SpacePool::lazy(b.build(), (max_did + 1) as u32, params.table_budget);
+            Iommu::with_pool(iommu_params, pool)
+        };
         let devtlb = DevTlb::new(
             config.devtlb_geometry,
             config.devtlb_partitions,
@@ -135,7 +161,9 @@ impl Simulation {
             completion: CompletionStage::new(
                 params.warmup_packets,
                 params.link.bytes_delivered(1).raw(),
-                params.per_tenant.then(|| trace.tenants()),
+                params
+                    .per_tenant
+                    .then(|| (trace.tenants(), did_first, did_stride)),
             ),
             prefetch: PrefetchStage::new(prefetch, params.history_read, pcie_round),
             lookup: LookupStage::new(devtlb, params.bypass_translation),
@@ -309,6 +337,18 @@ impl Simulation {
                 // next slot (§IV-C).
                 if !st.walk.admit(now, st.lookup.bypass()) {
                     st.completion.record_drop(work.packet.did, now, obs);
+                    // Fast-forward the retry spin: without an observer or a
+                    // fault plan, this packet is the only parked one and
+                    // will redrop every slot until the PTB frees, so the
+                    // intermediate slots can be accounted in bulk instead
+                    // of iterated (Base's single-entry PTB spends ~40 slots
+                    // per packet here). Per-slot event emission keeps the
+                    // slow path when an observer is attached; the report is
+                    // bit-identical either way.
+                    if !O::ENABLED && st.faults.is_none() {
+                        let skipped = st.arrival.fast_forward_drops(st.walk.ptb_earliest_free());
+                        st.completion.record_drops_bulk(work.packet.did, skipped);
+                    }
                     st.arrival.defer(work);
                     lap::<TIMED>(&mut mark, &mut timings.completion_ns);
                     continue;

@@ -83,6 +83,17 @@ pub struct SimParams {
     /// IO page faults). Defaults to [`FaultPlan::none`], which injects
     /// nothing and leaves the run byte-identical to earlier versions.
     pub fault_plan: FaultPlan,
+    /// Host-memory budget (in bytes) for resident per-tenant page tables.
+    ///
+    /// `None` (the default) materialises every tenant's tables eagerly at
+    /// construction, exactly as earlier versions did. `Some(bytes)` switches
+    /// the IOMMU to a lazy [`hypersio_mem::SpacePool`]: tables are stamped
+    /// out from the canonical layout on a tenant's first translation and
+    /// evicted LRU once the budget is exceeded. Rebuilds are bit-identical
+    /// to the evicted tables, so every translation result — and hence the
+    /// whole report — is unchanged by the budget; only host RSS and
+    /// simulator wall time vary.
+    pub table_budget: Option<u64>,
     /// Arrival slots processed per batch frame of the pipeline loop
     /// (default 8).
     ///
@@ -114,6 +125,7 @@ impl SimParams {
             warmup_packets: 0,
             per_tenant: false,
             fault_plan: FaultPlan::none(),
+            table_budget: None,
             batch_size: 8,
         }
     }
@@ -174,6 +186,14 @@ impl SimParams {
     /// Installs a fault-injection plan (see [`FaultPlan`]).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Caps resident page-table host memory at `bytes` (see
+    /// [`SimParams::table_budget`]). Reports are bit-identical for every
+    /// budget.
+    pub fn with_table_budget(mut self, bytes: u64) -> Self {
+        self.table_budget = Some(bytes);
         self
     }
 
@@ -276,6 +296,15 @@ mod tests {
         assert_eq!(
             SimParams::paper().with_link(link).link.bandwidth().gbps(),
             400.0
+        );
+    }
+
+    #[test]
+    fn table_budget_builder() {
+        assert!(SimParams::paper().table_budget.is_none());
+        assert_eq!(
+            SimParams::paper().with_table_budget(64 << 20).table_budget,
+            Some(64 << 20)
         );
     }
 

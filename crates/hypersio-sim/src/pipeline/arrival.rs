@@ -162,6 +162,27 @@ impl ArrivalSource {
         });
     }
 
+    /// Bulk-advances past the drop/retry spin of a PTB-blocked packet.
+    ///
+    /// Precondition (guaranteed on the fault-free path): exactly one packet
+    /// is parked and it is eligible every slot, so each slot strictly
+    /// before `until` would fetch it, fail admission (the PTB stays busy
+    /// until `until`), drop it, and re-park it. This method accounts all
+    /// of those slots at once — each carried the packet, so both `slot`
+    /// and `arrivals` advance — and leaves the source positioned at the
+    /// first slot whose arrival time is at or after `until`, where the
+    /// retry will pass admission. Returns the number of slots skipped (the
+    /// caller owes one recorded drop per slot).
+    pub(crate) fn fast_forward_drops(&mut self, until: SimTime) -> u64 {
+        let gap = self.gap.as_ps();
+        debug_assert!(gap > 0, "a link never has a zero inter-arrival gap");
+        let target_slot = until.as_ps().div_ceil(gap);
+        let skipped = target_slot.saturating_sub(self.slot);
+        self.slot += skipped;
+        self.arrivals += skipped;
+        skipped
+    }
+
     /// Trace packets seen by the device so far.
     pub(crate) fn observed(&self) -> u64 {
         self.observed

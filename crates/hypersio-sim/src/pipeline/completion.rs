@@ -30,14 +30,25 @@ pub(crate) struct CompletionStage {
     warmup_packets: u64,
     packet_latency: LatencyStats,
     bytes_per_packet: u64,
-    /// Opt-in per-DID accumulators (index = DID).
+    /// Opt-in per-DID accumulators. Slot `i` holds the tenant with global
+    /// DID `did_first + i * did_stride` — a sharded trace's lanes carry a
+    /// strided DID sequence, not `0..N` (see `HyperTrace::did_layout`).
     tenants: Option<Vec<TenantStat>>,
+    /// First global DID of the trace's lanes.
+    did_first: u32,
+    /// DID stride between consecutive lanes (1 for unsharded traces).
+    did_stride: u32,
 }
 
 impl CompletionStage {
-    /// Creates the stage; `per_tenant` carries the tenant count when
-    /// per-DID collection was opted in.
-    pub(crate) fn new(warmup_packets: u64, bytes_per_packet: u64, per_tenant: Option<u32>) -> Self {
+    /// Creates the stage; `per_tenant` carries `(count, did_first,
+    /// did_stride)` when per-DID collection was opted in.
+    pub(crate) fn new(
+        warmup_packets: u64,
+        bytes_per_packet: u64,
+        per_tenant: Option<(u32, u32, u32)>,
+    ) -> Self {
+        let (did_first, did_stride) = per_tenant.map_or((0, 1), |(_, f, s)| (f, s));
         CompletionStage {
             processed: 0,
             dropped: 0,
@@ -47,21 +58,30 @@ impl CompletionStage {
             warmup_packets,
             packet_latency: LatencyStats::new(),
             bytes_per_packet,
-            tenants: per_tenant.map(|count| {
+            tenants: per_tenant.map(|(count, first, stride)| {
                 (0..count)
-                    .map(|did| TenantStat {
-                        did,
+                    .map(|i| TenantStat {
+                        did: first + i * stride,
                         ..TenantStat::default()
                     })
                     .collect()
             }),
+            did_first,
+            did_stride,
         }
+    }
+
+    /// Maps a global DID to its accumulator slot.
+    #[inline]
+    fn slot(first: u32, stride: u32, did: Did) -> usize {
+        ((did.raw() - first) / stride) as usize
     }
 
     /// Attributes a DevTLB probe outcome to its tenant.
     pub(crate) fn note_devtlb(&mut self, did: Did, hit: bool) {
+        let (first, stride) = (self.did_first, self.did_stride);
         if let Some(acc) = self.tenants.as_mut() {
-            let t = &mut acc[did.raw() as usize];
+            let t = &mut acc[Self::slot(first, stride, did)];
             if hit {
                 t.devtlb_hits += 1;
             } else {
@@ -72,8 +92,9 @@ impl CompletionStage {
 
     /// Attributes a Prefetch Buffer hit to its tenant.
     pub(crate) fn note_pb_hit(&mut self, did: Did) {
+        let (first, stride) = (self.did_first, self.did_stride);
         if let Some(acc) = self.tenants.as_mut() {
-            acc[did.raw() as usize].pb_hits += 1;
+            acc[Self::slot(first, stride, did)].pb_hits += 1;
         }
     }
 
@@ -83,8 +104,20 @@ impl CompletionStage {
         if O::ENABLED {
             obs.record(now.as_ps(), Event::PacketDrop { did });
         }
+        let (first, stride) = (self.did_first, self.did_stride);
         if let Some(acc) = self.tenants.as_mut() {
-            acc[did.raw() as usize].drops += 1;
+            acc[Self::slot(first, stride, did)].drops += 1;
+        }
+    }
+
+    /// Accounts `n` PTB-full drops at once (the fast-forwarded retry spin
+    /// of a blocked packet; see `ArrivalSource::fast_forward_drops`). Only
+    /// reachable with a disabled observer, so no events are owed.
+    pub(crate) fn record_drops_bulk(&mut self, did: Did, n: u64) {
+        self.dropped += n;
+        let (first, stride) = (self.did_first, self.did_stride);
+        if let Some(acc) = self.tenants.as_mut() {
+            acc[Self::slot(first, stride, did)].drops += n;
         }
     }
 
@@ -96,8 +129,9 @@ impl CompletionStage {
         if O::ENABLED {
             obs.record(now.as_ps(), Event::FaultedDrop { did });
         }
+        let (first, stride) = (self.did_first, self.did_stride);
         if let Some(acc) = self.tenants.as_mut() {
-            acc[did.raw() as usize].faulted_drops += 1;
+            acc[Self::slot(first, stride, did)].faulted_drops += 1;
         }
     }
 
@@ -122,8 +156,9 @@ impl CompletionStage {
                 },
             );
         }
+        let (first, stride) = (self.did_first, self.did_stride);
         if let Some(acc) = self.tenants.as_mut() {
-            let t = &mut acc[did.raw() as usize];
+            let t = &mut acc[Self::slot(first, stride, did)];
             t.packets += 1;
             t.bytes += self.bytes_per_packet;
             t.latency.record(latency);

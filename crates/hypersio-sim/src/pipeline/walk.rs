@@ -60,6 +60,12 @@ impl WalkStage {
         bypass || self.ptb.has_free(now)
     }
 
+    /// The earliest time any PTB slot becomes free (the first arrival slot
+    /// at or after this instant will pass admission).
+    pub(crate) fn ptb_earliest_free(&self) -> SimTime {
+        self.ptb.earliest_free()
+    }
+
     /// Serves an admitted packet: hits occupy a PTB slot for the hit
     /// latency, misses for the PCIe round trip plus the walk; walked
     /// translations are installed into the DevTLB. Returns the packet's

@@ -1,0 +1,385 @@
+//! DID-sharded intra-run parallelism.
+//!
+//! A single simulation is inherently sequential — every arrival slot
+//! depends on the previous one through the DevTLB, PTB, and clock state.
+//! What *can* run in parallel is a model decomposition: split the tenant
+//! population across `S` independent device queues (shard `s` owns the
+//! tenants whose DID ≡ `s` mod `S`), give each queue its own full link and
+//! translation hardware, and run the `S` queues on a thread pool. Each
+//! shard's packet streams are bit-identical to the corresponding lanes of
+//! the full trace (the lane state depends only on the workload parameters,
+//! the seed, and the global DID — see `HyperTraceBuilder::shard`), so the
+//! decomposition is exact at the lane level; only the inter-tenant
+//! interleaving and the edge-effect cutoff are per-queue.
+//!
+//! The merge is deterministic: shard reports are combined in shard-index
+//! order regardless of which worker thread finished first, so
+//! `jobs = N` is bit-identical to `jobs = 1` for any fixed shard count.
+//! `shards = 1` degenerates to the plain unsharded run and returns its
+//! report unchanged.
+
+use hypersio_cache::CacheStats;
+use hypersio_mem::IommuStats;
+use hypersio_obs::RingRecorder;
+use hypersio_trace::HyperTraceBuilder;
+use hypersio_types::{Bandwidth, Bytes, SimDuration};
+use hypertrio_core::TranslationConfig;
+
+use crate::experiment::parallel_map;
+use crate::latency::LatencyStats;
+use crate::model::Simulation;
+use crate::params::SimParams;
+use crate::per_tenant::{PerTenantReport, TenantStat};
+use crate::report::SimReport;
+
+/// Runs `builder`'s trace as `shards` independent DID-sharded device
+/// queues on up to `jobs` threads and merges the per-shard reports.
+///
+/// Each shard builds its own sub-trace (`builder.shard(s, shards)`), runs
+/// the full five-stage pipeline in its worker thread, and reports like any
+/// other run; the merged report models the aggregate of `S` queues:
+///
+/// - counters (packets, drops, bytes, cache statistics, IOMMU traffic) are
+///   summed in shard order;
+/// - `elapsed` is the slowest queue's elapsed time, and `achieved` is the
+///   total bytes over that interval;
+/// - `utilization` is measured against `S×` the per-queue link bandwidth,
+///   clamped to 1.0;
+/// - `pb_served_fraction` is re-weighted by each shard's request count;
+/// - the latency histogram is merged in shard order, and per-tenant rows
+///   (when collected) are concatenated and sorted by global DID.
+///
+/// The result is bit-identical for every `jobs` value. `shards = 1` is the
+/// plain unsharded run. Note that `shards > 1` legitimately changes the
+/// model (S queues instead of one), so its report is *not* expected to
+/// match the single-queue report.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero, if `shards` exceeds the builder's tenant
+/// count (a shard would own no tenants), or if a non-empty fault plan is
+/// combined with `shards > 1` (the injector's schedule is defined over the
+/// full DID population).
+pub fn run_sharded(
+    config: &TranslationConfig,
+    params: &SimParams,
+    builder: &HyperTraceBuilder,
+    shards: u32,
+    jobs: usize,
+) -> SimReport {
+    let (report, _) = run_shards(config, params, builder, shards, jobs, None);
+    report
+}
+
+/// [`run_sharded`] with event recording: each shard streams its lifecycle
+/// events into its own [`RingRecorder`] of `ring_capacity` events.
+///
+/// The rings are returned in shard order — concatenating them (e.g. with
+/// [`hypersio_obs::write_jsonl_many`]) yields the deterministic merged
+/// event stream. The report is bit-identical to [`run_sharded`]'s (the
+/// observer never changes simulated behaviour).
+pub fn run_sharded_recorded(
+    config: &TranslationConfig,
+    params: &SimParams,
+    builder: &HyperTraceBuilder,
+    shards: u32,
+    jobs: usize,
+    ring_capacity: usize,
+) -> (SimReport, Vec<RingRecorder>) {
+    let (report, rings) = run_shards(config, params, builder, shards, jobs, Some(ring_capacity));
+    let rings = rings
+        .into_iter()
+        .map(|r| r.expect("recording was requested for every shard"))
+        .collect();
+    (report, rings)
+}
+
+/// Shared driver: runs the shards on the worker pool and merges.
+fn run_shards(
+    config: &TranslationConfig,
+    params: &SimParams,
+    builder: &HyperTraceBuilder,
+    shards: u32,
+    jobs: usize,
+    ring_capacity: Option<usize>,
+) -> (SimReport, Vec<Option<RingRecorder>>) {
+    assert!(shards >= 1, "at least one shard is required");
+    assert!(
+        shards == 1 || params.fault_plan.is_none(),
+        "fault injection requires a single shard (the injector's schedule \
+         covers the full DID population)"
+    );
+    let indices: Vec<u32> = (0..shards).collect();
+    let mut results: Vec<(SimReport, Option<RingRecorder>)> = parallel_map(&indices, jobs, |&s| {
+        let trace = builder.clone().shard(s, shards).build();
+        let sim = Simulation::new(config.clone(), params.clone(), trace);
+        match ring_capacity {
+            None => (sim.run(), None),
+            Some(cap) => {
+                let mut ring = RingRecorder::new(cap);
+                let report = sim.run_with(&mut ring);
+                (report, Some(ring))
+            }
+        }
+    });
+    let rings: Vec<Option<RingRecorder>> = results.iter_mut().map(|(_, r)| r.take()).collect();
+    let reports: Vec<SimReport> = results.into_iter().map(|(r, _)| r).collect();
+    (merge_reports(reports, shards, params), rings)
+}
+
+/// Merges per-shard reports in shard-index order (see [`run_sharded`] for
+/// the field-by-field rules). A single report passes through unchanged.
+fn merge_reports(mut reports: Vec<SimReport>, shards: u32, params: &SimParams) -> SimReport {
+    assert!(!reports.is_empty(), "at least one shard report");
+    if reports.len() == 1 {
+        return reports.pop().expect("length checked above");
+    }
+
+    let collect_per_tenant = reports.iter().all(|r| r.per_tenant.is_some());
+    let mut rows: Vec<TenantStat> = Vec::new();
+    let mut packet_latency = LatencyStats::new();
+    let mut pb_served_weighted = 0.0f64;
+
+    let mut tenants = 0u32;
+    let mut packets_processed = 0u64;
+    let mut packets_dropped = 0u64;
+    let mut bytes_raw = 0u64;
+    let mut elapsed = SimDuration::ZERO;
+    let mut devtlb = CacheStats::new();
+    let mut prefetch_buffer = CacheStats::new();
+    let mut prefetches_issued = 0u64;
+    let mut prefetch_fills_late = 0u64;
+    let mut prefetch_fills_expired = 0u64;
+    let mut page_faults = 0u64;
+    let mut pri_requests = 0u64;
+    let mut faulted_drops = 0u64;
+    let mut inv_storms = 0u64;
+    let mut tenant_remaps = 0u64;
+    let mut iommu = IommuStats::default();
+    let mut l2_cache = CacheStats::new();
+    let mut l3_cache = CacheStats::new();
+    let mut translation_requests = 0u64;
+
+    for r in &mut reports {
+        tenants += r.tenants;
+        packets_processed += r.packets_processed;
+        packets_dropped += r.packets_dropped;
+        bytes_raw += r.bytes.raw();
+        elapsed = elapsed.max(r.elapsed);
+        devtlb += r.devtlb;
+        prefetch_buffer += r.prefetch_buffer;
+        prefetches_issued += r.prefetches_issued;
+        prefetch_fills_late += r.prefetch_fills_late;
+        prefetch_fills_expired += r.prefetch_fills_expired;
+        page_faults += r.page_faults;
+        pri_requests += r.pri_requests;
+        faulted_drops += r.faulted_drops;
+        inv_storms += r.inv_storms;
+        tenant_remaps += r.tenant_remaps;
+        iommu.requests += r.iommu.requests;
+        iommu.dram_accesses += r.iommu.dram_accesses;
+        iommu.full_walks += r.iommu.full_walks;
+        iommu.faults += r.iommu.faults;
+        l2_cache += r.l2_cache;
+        l3_cache += r.l3_cache;
+        translation_requests += r.translation_requests;
+        pb_served_weighted += r.pb_served_fraction * r.translation_requests as f64;
+        packet_latency.merge(&r.packet_latency);
+        if collect_per_tenant {
+            rows.extend(r.per_tenant.take().expect("presence checked above").tenants);
+        }
+    }
+    rows.sort_by_key(|t| t.did);
+
+    let bytes = Bytes::new(bytes_raw);
+    let achieved = Bandwidth::achieved(bytes, elapsed.max(SimDuration::from_ps(1)));
+    // S queues, each with the full per-queue link.
+    let aggregate_link = Bandwidth::from_bps(params.link.bandwidth().bps() * shards as u64);
+    let utilization = achieved.utilization_of(aggregate_link).min(1.0);
+    let pb_served_fraction = if translation_requests == 0 {
+        0.0
+    } else {
+        pb_served_weighted / translation_requests as f64
+    };
+
+    let first = &reports[0];
+    SimReport {
+        config_name: first.config_name.clone(),
+        workload: first.workload,
+        interleaving: first.interleaving,
+        tenants,
+        packets_processed,
+        packets_dropped,
+        bytes,
+        elapsed,
+        achieved,
+        utilization,
+        devtlb,
+        prefetch_buffer,
+        pb_served_fraction,
+        prefetches_issued,
+        prefetch_fills_late,
+        prefetch_fills_expired,
+        page_faults,
+        pri_requests,
+        faulted_drops,
+        inv_storms,
+        tenant_remaps,
+        iommu,
+        l2_cache,
+        l3_cache,
+        translation_requests,
+        packet_latency,
+        per_tenant: collect_per_tenant.then_some(PerTenantReport { tenants: rows }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersio_trace::{HyperTraceBuilder, Interleaving, WorkloadKind};
+
+    fn builder(tenants: u32, scale: u64) -> HyperTraceBuilder {
+        HyperTraceBuilder::new(WorkloadKind::Iperf3, tenants)
+            .interleaving(Interleaving::round_robin(1))
+            .scale(scale)
+            .seed(11)
+    }
+
+    #[test]
+    fn single_shard_is_the_unsharded_run() {
+        let b = builder(16, 2000);
+        let sharded = run_sharded(
+            &TranslationConfig::hypertrio(),
+            &SimParams::paper(),
+            &b,
+            1,
+            1,
+        );
+        let plain = Simulation::new(
+            TranslationConfig::hypertrio(),
+            SimParams::paper(),
+            b.build(),
+        )
+        .run();
+        assert_eq!(sharded, plain);
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_merged_report() {
+        let b = builder(16, 1000);
+        let config = TranslationConfig::hypertrio();
+        let params = SimParams::paper().with_per_tenant();
+        let serial = run_sharded(&config, &params, &b, 4, 1);
+        let threaded = run_sharded(&config, &params, &b, 4, 3);
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn merged_counters_sum_the_shards() {
+        let b = builder(8, 1000);
+        let config = TranslationConfig::base();
+        let params = SimParams::paper();
+        let merged = run_sharded(&config, &params, &b, 2, 1);
+        let shard0 = Simulation::new(
+            config.clone(),
+            params.clone(),
+            b.clone().shard(0, 2).build(),
+        )
+        .run();
+        let shard1 = Simulation::new(
+            config.clone(),
+            params.clone(),
+            b.clone().shard(1, 2).build(),
+        )
+        .run();
+        assert_eq!(merged.tenants, 8);
+        assert_eq!(
+            merged.packets_processed,
+            shard0.packets_processed + shard1.packets_processed
+        );
+        assert_eq!(merged.bytes.raw(), shard0.bytes.raw() + shard1.bytes.raw());
+        assert_eq!(merged.elapsed, shard0.elapsed.max(shard1.elapsed));
+        assert_eq!(
+            merged.iommu.dram_accesses,
+            shard0.iommu.dram_accesses + shard1.iommu.dram_accesses
+        );
+        assert_eq!(
+            merged.packet_latency.count(),
+            shard0.packet_latency.count() + shard1.packet_latency.count()
+        );
+    }
+
+    #[test]
+    fn per_tenant_rows_cover_all_global_dids_in_order() {
+        let b = builder(9, 1000);
+        let merged = run_sharded(
+            &TranslationConfig::hypertrio(),
+            &SimParams::paper().with_per_tenant(),
+            &b,
+            3,
+            2,
+        );
+        let pt = merged.per_tenant.as_ref().expect("per-tenant opted in");
+        let dids: Vec<u32> = pt.tenants.iter().map(|t| t.did).collect();
+        assert_eq!(dids, (0..9).collect::<Vec<u32>>());
+        let packets: u64 = pt.tenants.iter().map(|t| t.packets).sum();
+        assert_eq!(packets, merged.packets_processed);
+    }
+
+    #[test]
+    fn recording_never_changes_the_report() {
+        let b = builder(8, 1000);
+        let config = TranslationConfig::hypertrio();
+        let params = SimParams::paper();
+        let plain = run_sharded(&config, &params, &b, 2, 2);
+        let (recorded, rings) = run_sharded_recorded(&config, &params, &b, 2, 2, 4096);
+        assert_eq!(plain, recorded);
+        assert_eq!(rings.len(), 2);
+        assert!(rings.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn aggregate_utilization_measures_against_all_queues() {
+        // 2 tenants per queue saturate even Base. With equal-length lanes
+        // both queues finish together, so the merged utilization must stay
+        // near 1.0 — i.e. measured against S×link, not one link — and the
+        // merged achieved bandwidth must exceed what one link can carry.
+        let b = builder(4, 1).requests_per_tenant(3000);
+        let params = SimParams::paper().with_warmup(500);
+        let merged = run_sharded(&TranslationConfig::base(), &params, &b, 2, 1);
+        let one_queue = Simulation::new(
+            TranslationConfig::base(),
+            params.clone(),
+            b.clone().shard(0, 2).build(),
+        )
+        .run();
+        // Symmetric queues: the aggregate utilization equals the per-queue
+        // utilization (against S×link), not half of it.
+        assert!(
+            (merged.utilization - one_queue.utilization).abs() < 0.02,
+            "merged {} vs per-queue {}",
+            merged.utilization,
+            one_queue.utilization
+        );
+        assert!(merged.utilization <= 1.0);
+        assert!(
+            merged.achieved.gbps() > params.link.bandwidth().gbps(),
+            "aggregate throughput {} must exceed one link",
+            merged.achieved.gbps()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection requires a single shard")]
+    fn fault_plans_reject_multiple_shards() {
+        let plan = crate::faults::FaultPlan::none().with_fault_rate(0.01);
+        let _ = run_sharded(
+            &TranslationConfig::base(),
+            &SimParams::paper().with_fault_plan(plan),
+            &builder(8, 1000),
+            2,
+            1,
+        );
+    }
+}

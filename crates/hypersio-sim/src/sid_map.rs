@@ -52,14 +52,16 @@ impl SidMap {
         }
     }
 
-    /// Builds the map for a trace: tenant `i`'s SID resolves to `Did(i)`.
+    /// Builds the map for a trace: each lane's SID resolves to its global
+    /// DID. For an unsharded trace that is tenant `i` → `Did(i)`; a shard
+    /// trace's lanes carry strided global DIDs (see
+    /// [`HyperTrace::did_layout`]).
     pub fn for_trace(trace: &HyperTrace) -> Self {
         Self::from_pairs(
             trace
-                .tenant_sids()
+                .tenant_ids()
                 .into_iter()
-                .enumerate()
-                .map(|(did, sid)| (sid.raw(), Did::new(did as u32)))
+                .map(|(sid, did)| (sid.raw(), did))
                 .collect(),
         )
     }
@@ -130,6 +132,20 @@ mod tests {
             for &sid in pair.iter().chain(pair.iter().rev()) {
                 assert_eq!(Some(map.resolve(sid)), map.resolve_uncached(sid));
             }
+        }
+    }
+
+    #[test]
+    fn sharded_trace_resolves_to_global_dids() {
+        let builder = HyperTraceBuilder::new(WorkloadKind::Iperf3, 8)
+            .scale(5000)
+            .seed(3);
+        let shard = builder.shard(1, 4).build();
+        let mut map = SidMap::for_trace(&shard);
+        assert_eq!(map.len(), 2);
+        for (sid, did) in shard.tenant_ids() {
+            assert_eq!(did.raw() % 4, 1, "shard 1 of 4 owns DIDs ≡ 1 (mod 4)");
+            assert_eq!(map.resolve(sid.raw()), did);
         }
     }
 

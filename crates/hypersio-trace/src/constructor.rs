@@ -6,7 +6,7 @@ use std::fmt;
 use hypersio_types::{Did, Sid, SplitMix64};
 
 use crate::stats::TraceStats;
-use crate::tenant::{TenantStream, TracePacket};
+use crate::tenant::{LaneState, TracePacket};
 use crate::workload::{PageInventory, WorkloadKind, WorkloadParams};
 
 /// How consecutive packets are drawn from tenants (§IV-B).
@@ -113,6 +113,8 @@ pub struct HyperTraceBuilder {
     scale: u64,
     fixed_requests: Option<u64>,
     sids: Option<Vec<Sid>>,
+    shard: u32,
+    shard_count: u32,
 }
 
 impl HyperTraceBuilder {
@@ -134,6 +136,8 @@ impl HyperTraceBuilder {
             scale: 1,
             fixed_requests: None,
             sids: None,
+            shard: 0,
+            shard_count: 1,
         }
     }
 
@@ -178,14 +182,43 @@ impl HyperTraceBuilder {
     /// Assigns each tenant the given Source ID instead of the default
     /// `Sid::new(did)`. Real deployments derive SIDs from the VF BDFs a
     /// hypervisor hands out (see `hypersio_device::SriovDevice`); the
-    /// partitioning schemes key on these values.
+    /// partitioning schemes key on these values. With [`shard`], the list
+    /// still covers *all* tenants — each shard picks out its own.
     ///
     /// # Panics
     ///
     /// Panics (at build) if the list length differs from the tenant count
     /// or contains duplicate SIDs.
+    ///
+    /// [`shard`]: HyperTraceBuilder::shard
     pub fn sids(mut self, sids: Vec<Sid>) -> Self {
         self.sids = Some(sids);
+        self
+    }
+
+    /// Restricts the trace to shard `index` of `of`: the tenants whose
+    /// global DID is congruent to `index` modulo `of`. Tenant lanes depend
+    /// only on `(workload, seed, did, scale)`, so each tenant's packet
+    /// stream in a shard is identical to its stream in the full trace —
+    /// `of` shard traces together cover exactly the full tenant
+    /// population, which is what makes DID-sharded parallel simulation
+    /// deterministic.
+    ///
+    /// The interleaving runs over the shard's own lanes (round-robin
+    /// cycles its DIDs in ascending order; RAND re-seeds from the same
+    /// interleaving seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is zero or `index >= of`.
+    pub fn shard(mut self, index: u32, of: u32) -> Self {
+        assert!(of > 0, "shard count must be at least 1");
+        assert!(
+            index < of,
+            "shard index {index} out of range for {of} shards"
+        );
+        self.shard = index;
+        self.shard_count = of;
         self
     }
 
@@ -195,8 +228,8 @@ impl HyperTraceBuilder {
     ///
     /// Panics on the constructor-bound violations [`try_build`]
     /// (the non-panicking variant for user-facing input) reports as
-    /// errors: a SID list whose length differs from the tenant count, or
-    /// duplicate SIDs.
+    /// errors: a SID list whose length differs from the tenant count,
+    /// duplicate SIDs, or a shard that owns no tenants.
     ///
     /// [`try_build`]: HyperTraceBuilder::try_build
     pub fn build(self) -> HyperTrace {
@@ -212,7 +245,8 @@ impl HyperTraceBuilder {
     /// # Errors
     ///
     /// Returns a [`TraceBuildError`] when the SID list's length differs
-    /// from the tenant count or contains duplicates.
+    /// from the tenant count or contains duplicates, or when sharding
+    /// leaves this shard without any tenants.
     pub fn try_build(self) -> Result<HyperTrace, TraceBuildError> {
         let mut params = self.kind.params();
         if let Some(fixed) = self.fixed_requests {
@@ -234,13 +268,23 @@ impl HyperTraceBuilder {
                 return Err(TraceBuildError("SIDs must be unique".into()));
             }
         }
-        let streams: Vec<TenantStream> = (0..self.tenants)
+        if self.shard >= self.tenants {
+            return Err(TraceBuildError(format!(
+                "shard {} of {} owns no tenants ({} total)",
+                self.shard, self.shard_count, self.tenants
+            )));
+        }
+        // Lane state depends only on (params, seed, global did, scale), so
+        // a shard's lanes are bit-identical to the same tenants' lanes in
+        // the full trace.
+        let lanes: Vec<LaneState> = (self.shard..self.tenants)
+            .step_by(self.shard_count as usize)
             .map(|t| {
-                let stream = TenantStream::new(params.clone(), Did::new(t), self.seed, self.scale);
-                match &self.sids {
-                    Some(sids) => stream.with_sid(sids[t as usize]),
-                    None => stream,
+                let mut lane = LaneState::new(&params, Did::new(t), self.seed, self.scale);
+                if let Some(sids) = &self.sids {
+                    lane.sid = sids[t as usize];
                 }
+                lane
             })
             .collect();
         let selector_rng = match self.interleaving {
@@ -249,13 +293,15 @@ impl HyperTraceBuilder {
         };
         Ok(HyperTrace {
             params,
-            streams,
+            lanes,
             interleaving: self.interleaving,
             selector_rng,
             current: 0,
             burst_left: self.interleaving.burst(),
             done: false,
             emitted: 0,
+            did_first: self.shard,
+            did_stride: self.shard_count,
         })
     }
 }
@@ -263,29 +309,36 @@ impl HyperTraceBuilder {
 /// A streaming hyper-tenant trace: the interleaved packet sequence consumed
 /// by the performance model.
 ///
-/// Generation is lazy (packets are produced on demand), so 1024-tenant
-/// paper-scale traces never need to be materialised. The iterator ends when
-/// *any* tenant runs out of requests (§IV-B's edge-effect rule), so every
-/// tenant is active for the whole trace.
+/// Generation is lazy (packets are produced on demand) and per-tenant state
+/// is compact — one RNG word plus a few counters per lane, with the
+/// [`WorkloadParams`] stored once for the whole trace — so even
+/// million-tenant traces cost ~80 bytes of state per tenant and are never
+/// materialised. The iterator ends when *any* tenant runs out of requests
+/// (§IV-B's edge-effect rule), so every tenant is active for the whole
+/// trace.
 ///
 /// Cloning a trace replays the identical packet sequence from the clone
 /// point — the Belady-oracle experiments rely on this to pre-scan accesses.
 #[derive(Clone)]
 pub struct HyperTrace {
     params: WorkloadParams,
-    streams: Vec<TenantStream>,
+    lanes: Vec<LaneState>,
     interleaving: Interleaving,
     selector_rng: Option<SplitMix64>,
     current: usize,
     burst_left: u64,
     done: bool,
     emitted: u64,
+    /// Global DID of the first lane (= the shard index).
+    did_first: u32,
+    /// Stride between consecutive lanes' global DIDs (= the shard count).
+    did_stride: u32,
 }
 
 impl HyperTrace {
-    /// Returns the number of tenants.
+    /// Returns the number of tenants (in this shard, when sharded).
     pub fn tenants(&self) -> u32 {
-        self.streams.len() as u32
+        self.lanes.len() as u32
     }
 
     /// Returns the workload parameters shared by all tenants.
@@ -298,9 +351,21 @@ impl HyperTrace {
         self.interleaving
     }
 
-    /// Returns each tenant's Source ID, indexed by DID.
+    /// Returns this trace's DID layout as `(first, stride)`: lane `i`
+    /// carries global DID `first + i * stride`. An unsharded trace is
+    /// `(0, 1)`; shard `s` of `S` is `(s, S)`.
+    pub fn did_layout(&self) -> (u32, u32) {
+        (self.did_first, self.did_stride)
+    }
+
+    /// Returns each tenant's Source ID, in lane order (ascending DID).
     pub fn tenant_sids(&self) -> Vec<Sid> {
-        self.streams.iter().map(|s| s.sid()).collect()
+        self.lanes.iter().map(|l| l.sid).collect()
+    }
+
+    /// Returns each tenant's `(Source ID, global DID)` pair, in lane order.
+    pub fn tenant_ids(&self) -> Vec<(Sid, Did)> {
+        self.lanes.iter().map(|l| (l.sid, l.did)).collect()
     }
 
     /// Returns the per-tenant page inventory (identical for every tenant).
@@ -322,7 +387,7 @@ impl HyperTrace {
     /// tenant runs dry, which is why the paper's totals equal roughly
     /// `tenants x min`.
     pub fn stats(&self) -> TraceStats {
-        let draws: Vec<u64> = self.streams.iter().map(|s| s.total_requests()).collect();
+        let draws: Vec<u64> = self.lanes.iter().map(|l| l.total_requests()).collect();
         let total = self.clone().count() as u64 * 3;
         TraceStats::from_draws(self.params.kind, &draws, total)
     }
@@ -330,7 +395,7 @@ impl HyperTrace {
     fn select_next_tenant(&mut self) {
         match self.interleaving {
             Interleaving::RoundRobin { burst } => {
-                self.current = (self.current + 1) % self.streams.len();
+                self.current = (self.current + 1) % self.lanes.len();
                 self.burst_left = burst;
             }
             Interleaving::Random { burst, .. } => {
@@ -338,7 +403,7 @@ impl HyperTrace {
                     .selector_rng
                     .as_mut()
                     .expect("random interleaving carries an RNG");
-                self.current = rng.index(self.streams.len());
+                self.current = rng.index(self.lanes.len());
                 self.burst_left = burst;
             }
         }
@@ -356,7 +421,7 @@ impl Iterator for HyperTrace {
             self.select_next_tenant();
         }
         self.burst_left -= 1;
-        match self.streams[self.current].next() {
+        match self.lanes[self.current].next(&self.params) {
             Some(pkt) => {
                 self.emitted += 1;
                 Some(pkt)
@@ -374,7 +439,7 @@ impl fmt::Debug for HyperTrace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HyperTrace")
             .field("kind", &self.params.kind)
-            .field("tenants", &self.streams.len())
+            .field("tenants", &self.lanes.len())
             .field("interleaving", &self.interleaving)
             .field("emitted", &self.emitted)
             .finish()
@@ -430,9 +495,9 @@ mod tests {
     fn trace_ends_when_any_tenant_dries_up() {
         let t = trace(WorkloadKind::Mediastream, 4, Interleaving::round_robin(1));
         let min_total = t
-            .streams
+            .lanes
             .iter()
-            .map(|s| s.total_requests() / 3)
+            .map(|l| l.total_requests() / 3)
             .min()
             .unwrap();
         let n = t.count() as u64;
@@ -541,5 +606,83 @@ mod tests {
             t.next().unwrap();
         }
         assert_eq!(t.packets_emitted(), 10);
+    }
+
+    #[test]
+    fn shards_partition_the_tenant_population() {
+        let shards = 3;
+        let mut dids = Vec::new();
+        for s in 0..shards {
+            let t = HyperTraceBuilder::new(WorkloadKind::Iperf3, 8)
+                .scale(1000)
+                .shard(s, shards)
+                .build();
+            assert_eq!(t.did_layout(), (s, shards));
+            for (sid, did) in t.tenant_ids() {
+                assert_eq!(did.raw() % shards, s);
+                assert_eq!(sid.raw(), did.raw());
+                dids.push(did.raw());
+            }
+        }
+        dids.sort_unstable();
+        assert_eq!(dids, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sharded_lanes_match_the_full_trace_per_tenant() {
+        // Each tenant's packet subsequence in a shard equals its
+        // subsequence in the full trace, up to the differing edge-effect
+        // cut-offs — the invariant DID-sharded simulation rests on.
+        let full: Vec<TracePacket> =
+            trace(WorkloadKind::Websearch, 6, Interleaving::round_robin(1)).collect();
+        for s in 0..2 {
+            let shard: Vec<TracePacket> = HyperTraceBuilder::new(WorkloadKind::Websearch, 6)
+                .interleaving(Interleaving::round_robin(1))
+                .scale(200)
+                .seed(3)
+                .shard(s, 2)
+                .build()
+                .collect();
+            for did in (s..6).step_by(2) {
+                let a: Vec<_> = full.iter().filter(|p| p.did.raw() == did).collect();
+                let b: Vec<_> = shard.iter().filter(|p| p.did.raw() == did).collect();
+                let n = a.len().min(b.len());
+                assert!(n > 0, "tenant {did} emitted nothing");
+                assert_eq!(a[..n], b[..n], "tenant {did} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_with_custom_sids_picks_its_own() {
+        let sids: Vec<Sid> = (0..4).map(|i| Sid::new(0x100 + i)).collect();
+        let t = HyperTraceBuilder::new(WorkloadKind::Iperf3, 4)
+            .sids(sids)
+            .scale(1000)
+            .shard(1, 2)
+            .build();
+        assert_eq!(t.tenant_sids(), vec![Sid::new(0x101), Sid::new(0x103)]);
+        assert_eq!(
+            t.tenant_ids()
+                .iter()
+                .map(|(_, d)| d.raw())
+                .collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_out_of_range_rejected() {
+        let _ = HyperTraceBuilder::new(WorkloadKind::Iperf3, 4).shard(2, 2);
+    }
+
+    #[test]
+    fn empty_shard_rejected() {
+        let err = HyperTraceBuilder::new(WorkloadKind::Iperf3, 2)
+            .shard(3, 4)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("owns no tenants"));
     }
 }

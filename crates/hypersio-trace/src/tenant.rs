@@ -32,22 +32,18 @@ pub struct TracePacket {
     pub iovas: [GIova; 3],
 }
 
-/// A deterministic, seeded stream of [`TracePacket`]s for one tenant.
+/// The per-tenant mutable generator state, separated from the (shared)
+/// [`WorkloadParams`] so a hyper-trace over a million tenants stores the
+/// workload parameters once instead of cloning them into every lane: a
+/// lane is one RNG word plus a handful of counters (~80 bytes).
 ///
-/// The stream reproduces the paper's single-tenant characterisation:
-/// the ring and mailbox pages are touched by every packet; the data page
-/// advances sequentially after [`WorkloadParams::sequential_run`] accesses
-/// (Fig 8b's periodic pattern), or jumps randomly inside the window for
-/// irregular workloads; a short initialisation phase touches the group-3
-/// pages first.
-///
-/// Cloning the stream (or re-creating it with the same arguments) replays
-/// the identical packet sequence.
-#[derive(Clone)]
-pub struct TenantStream {
-    params: WorkloadParams,
-    sid: Sid,
-    did: Did,
+/// All state needed to resume the stream is here; reconstructing a lane
+/// from the same `(params, did, seed, scale)` replays the identical packet
+/// sequence.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneState {
+    pub(crate) sid: Sid,
+    pub(crate) did: Did,
     rng: SplitMix64,
     /// Translation requests still to emit (3 per packet).
     remaining_requests: u64,
@@ -67,17 +63,10 @@ pub struct TenantStream {
     init_remaining: u64,
 }
 
-impl TenantStream {
-    /// Creates the stream for tenant `did` with the given RNG `seed`.
-    ///
-    /// `scale` divides the per-tenant request counts (Table III numbers are
-    /// large; scaled-down traces keep the access *pattern* while shortening
-    /// runs). A scale of 1 reproduces the paper's counts.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `scale` is zero.
-    pub fn new(params: WorkloadParams, did: Did, seed: u64, scale: u64) -> Self {
+impl LaneState {
+    /// Creates the lane for tenant `did`; same draw order as the original
+    /// `TenantStream::new`, so packet sequences are bit-identical.
+    pub(crate) fn new(params: &WorkloadParams, did: Did, seed: u64, scale: u64) -> Self {
         assert!(scale > 0, "scale must be at least 1");
         // Per-tenant request count drawn from [min, max] (which QEMU log a
         // tenant's requests came from is arbitrary, §V-A).
@@ -89,7 +78,7 @@ impl TenantStream {
         // quarter of the tenant's packets.
         let init_remaining =
             (params.init_pages * params.init_accesses / scale).min(total_requests / 12);
-        TenantStream {
+        LaneState {
             sid: Sid::new(did.raw()),
             did,
             rng,
@@ -101,84 +90,57 @@ impl TenantStream {
             burst_pos: 0,
             data_accesses: 0,
             init_remaining,
-            params,
         }
     }
 
-    /// Overrides the Source ID carried by this stream's packets (defaults
-    /// to the numeric DID). Real systems derive the SID from the assigned
-    /// VF's BDF — see `hypersio_device::SriovDevice`.
-    pub fn with_sid(mut self, sid: Sid) -> Self {
-        self.sid = sid;
-        self
-    }
-
-    /// Returns the Source ID this stream's packets carry.
-    pub fn sid(&self) -> Sid {
-        self.sid
-    }
-
-    /// Returns the tenant's domain ID.
-    pub fn did(&self) -> Did {
-        self.did
-    }
-
-    /// Returns the total translation requests assigned to this tenant.
-    pub fn total_requests(&self) -> u64 {
+    pub(crate) fn total_requests(&self) -> u64 {
         self.total_requests
     }
 
-    /// Returns the translation requests not yet emitted.
-    pub fn remaining_requests(&self) -> u64 {
+    pub(crate) fn remaining_requests(&self) -> u64 {
         self.remaining_requests
     }
 
-    /// Returns the number of packets emitted so far.
-    pub fn packets_emitted(&self) -> u64 {
+    pub(crate) fn packets_emitted(&self) -> u64 {
         self.emitted
     }
 
     /// Data page for the current packet: the window position over the
     /// sliding window base, wrapped around the buffer pool.
-    fn current_data_index(&self) -> u64 {
-        (self.window_base + self.window_pos) % self.params.data_pages
+    fn current_data_index(&self, params: &WorkloadParams) -> u64 {
+        (self.window_base + self.window_pos) % params.data_pages
     }
 
-    fn advance_data_page(&mut self) {
+    fn advance_data_page(&mut self, params: &WorkloadParams) {
         self.data_accesses += 1;
         self.burst_pos += 1;
-        if self.burst_pos >= self.params.burst_len {
+        if self.burst_pos >= params.burst_len {
             self.burst_pos = 0;
-            if self.params.random_in_window {
+            if params.random_in_window {
                 // Irregular: next burst lands anywhere in the window.
-                self.window_pos = self.rng.below(self.params.window);
+                self.window_pos = self.rng.below(params.window);
             } else {
                 // Regular rotation across the active pages.
-                self.window_pos = (self.window_pos + 1) % self.params.window;
+                self.window_pos = (self.window_pos + 1) % params.window;
             }
         }
         // The driver retires the oldest page and maps a fresh one after
         // every `sequential_run` data accesses, producing the periodic
         // page-lifetime pattern of Fig 8b (~1500 accesses per page).
-        if self
-            .data_accesses
-            .is_multiple_of(self.params.sequential_run)
-        {
-            self.window_base = (self.window_base + 1) % self.params.data_pages;
+        if self.data_accesses.is_multiple_of(params.sequential_run) {
+            self.window_base = (self.window_base + 1) % params.data_pages;
         }
     }
 
-    fn init_page(&mut self) -> GIova {
+    fn init_page(&self, params: &WorkloadParams) -> GIova {
         // Init pages are touched in order during the start-up phase.
-        let idx = (self.init_remaining / self.params.init_accesses.max(1)) % self.params.init_pages;
-        GIova::new(self.params.init_base.raw() + idx * 4096)
+        let idx = (self.init_remaining / params.init_accesses.max(1)) % params.init_pages;
+        GIova::new(params.init_base.raw() + idx * 4096)
     }
-}
 
-impl Iterator for TenantStream {
-    type Item = TracePacket;
-
-    fn next(&mut self) -> Option<TracePacket> {
+    /// Produces the lane's next packet, or `None` when the tenant has run
+    /// out of requests.
+    pub(crate) fn next(&mut self, params: &WorkloadParams) -> Option<TracePacket> {
         if self.remaining_requests < 3 {
             return None;
         }
@@ -189,10 +151,10 @@ impl Iterator for TenantStream {
             // Start-up: packets carry init-page accesses instead of data
             // buffers (NIC initialisation traffic, group 3).
             self.init_remaining -= 1;
-            self.init_page()
+            self.init_page(params)
         } else {
-            let page = self.params.data_page(self.current_data_index());
-            self.advance_data_page();
+            let page = params.data_page(self.current_data_index(params));
+            self.advance_data_page(params);
             // Accesses land at varying offsets inside the 2 MB buffer page.
             let offset = (self.emitted * 1542) % (2 * 1024 * 1024 - 1542);
             GIova::new(page.raw() + offset)
@@ -201,17 +163,94 @@ impl Iterator for TenantStream {
         Some(TracePacket {
             sid: self.sid,
             did: self.did,
-            iovas: [self.params.ring_page, data, self.params.mailbox_page],
+            iovas: [params.ring_page, data, params.mailbox_page],
         })
+    }
+}
+
+/// A deterministic, seeded stream of [`TracePacket`]s for one tenant.
+///
+/// The stream reproduces the paper's single-tenant characterisation:
+/// the ring and mailbox pages are touched by every packet; the data page
+/// advances sequentially after [`WorkloadParams::sequential_run`] accesses
+/// (Fig 8b's periodic pattern), or jumps randomly inside the window for
+/// irregular workloads; a short initialisation phase touches the group-3
+/// pages first.
+///
+/// Cloning the stream (or re-creating it with the same arguments) replays
+/// the identical packet sequence.
+///
+/// This is the standalone single-tenant view; [`crate::HyperTrace`] holds
+/// the same per-lane state without the per-tenant parameter copy.
+#[derive(Clone)]
+pub struct TenantStream {
+    params: WorkloadParams,
+    lane: LaneState,
+}
+
+impl TenantStream {
+    /// Creates the stream for tenant `did` with the given RNG `seed`.
+    ///
+    /// `scale` divides the per-tenant request counts (Table III numbers are
+    /// large; scaled-down traces keep the access *pattern* while shortening
+    /// runs). A scale of 1 reproduces the paper's counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn new(params: WorkloadParams, did: Did, seed: u64, scale: u64) -> Self {
+        let lane = LaneState::new(&params, did, seed, scale);
+        TenantStream { params, lane }
+    }
+
+    /// Overrides the Source ID carried by this stream's packets (defaults
+    /// to the numeric DID). Real systems derive the SID from the assigned
+    /// VF's BDF — see `hypersio_device::SriovDevice`.
+    pub fn with_sid(mut self, sid: Sid) -> Self {
+        self.lane.sid = sid;
+        self
+    }
+
+    /// Returns the Source ID this stream's packets carry.
+    pub fn sid(&self) -> Sid {
+        self.lane.sid
+    }
+
+    /// Returns the tenant's domain ID.
+    pub fn did(&self) -> Did {
+        self.lane.did
+    }
+
+    /// Returns the total translation requests assigned to this tenant.
+    pub fn total_requests(&self) -> u64 {
+        self.lane.total_requests()
+    }
+
+    /// Returns the translation requests not yet emitted.
+    pub fn remaining_requests(&self) -> u64 {
+        self.lane.remaining_requests()
+    }
+
+    /// Returns the number of packets emitted so far.
+    pub fn packets_emitted(&self) -> u64 {
+        self.lane.packets_emitted()
+    }
+}
+
+impl Iterator for TenantStream {
+    type Item = TracePacket;
+
+    fn next(&mut self) -> Option<TracePacket> {
+        self.lane.next(&self.params)
     }
 }
 
 impl fmt::Debug for TenantStream {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TenantStream")
-            .field("did", &self.did)
+            .field("did", &self.lane.did)
             .field("kind", &self.params.kind)
-            .field("remaining_requests", &self.remaining_requests)
+            .field("remaining_requests", &self.lane.remaining_requests)
             .finish()
     }
 }
@@ -410,6 +449,18 @@ mod tests {
         assert_eq!(s.packets_emitted(), n);
         assert!(s.remaining_requests() < 3);
         assert_eq!(total - s.remaining_requests(), n * 3);
+    }
+
+    #[test]
+    fn lane_is_compact() {
+        // The scaling premise: per-tenant state must stay O(100) bytes so a
+        // million-lane trace fits in a few tens of MiB. The workload
+        // parameters are shared at the trace level, never per lane.
+        assert!(
+            std::mem::size_of::<LaneState>() <= 96,
+            "LaneState grew to {} bytes",
+            std::mem::size_of::<LaneState>()
+        );
     }
 
     #[test]

@@ -8,6 +8,13 @@ use std::fmt;
 /// BDF uniquely identifies a tenant's device endpoint. The packed 16-bit
 /// encoding follows PCIe: `bus[15:8] | device[7:3] | function[2:0]`.
 ///
+/// One 16-bit encoding covers a single PCIe segment group (65 536
+/// requester IDs). Hyper-tenant setups with more endpoints than that span
+/// multiple segment groups, so the full routing identity is 32 bits:
+/// `segment[31:16] | bus[15:8] | device[7:3] | function[2:0]`
+/// (see [`Bdf::routing_id`]). The 16-bit constructors and accessors keep
+/// their segment-0 meaning.
+///
 /// # Examples
 ///
 /// ```
@@ -18,17 +25,28 @@ use std::fmt;
 /// assert_eq!(bdf.device(), 4);
 /// assert_eq!(bdf.function(), 2);
 /// assert_eq!(format!("{bdf}"), "3b:04.2");
+///
+/// let far = Bdf::from_routing_id(0x0002_3b22);
+/// assert_eq!(far.segment(), 2);
+/// assert_eq!(format!("{far}"), "0002:3b:04.2");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Bdf(u16);
+pub struct Bdf(u32);
 
 impl Bdf {
-    /// Creates a BDF from its packed 16-bit PCIe encoding.
+    /// Creates a segment-0 BDF from its packed 16-bit PCIe encoding.
     pub const fn new(raw: u16) -> Self {
+        Bdf(raw as u32)
+    }
+
+    /// Creates a BDF from its full 32-bit routing identity (segment group
+    /// in the upper 16 bits).
+    pub const fn from_routing_id(raw: u32) -> Self {
         Bdf(raw)
     }
 
-    /// Creates a BDF from separate bus, device, and function numbers.
+    /// Creates a segment-0 BDF from separate bus, device, and function
+    /// numbers.
     ///
     /// # Panics
     ///
@@ -37,12 +55,22 @@ impl Bdf {
     pub fn from_parts(bus: u8, device: u8, function: u8) -> Self {
         assert!(device < 32, "PCIe device number must be < 32");
         assert!(function < 8, "PCIe function number must be < 8");
-        Bdf(((bus as u16) << 8) | ((device as u16) << 3) | function as u16)
+        Bdf(((bus as u32) << 8) | ((device as u32) << 3) | function as u32)
     }
 
-    /// Returns the packed 16-bit encoding.
+    /// Returns the packed 16-bit encoding within this BDF's segment group.
     pub const fn raw(self) -> u16 {
+        self.0 as u16
+    }
+
+    /// Returns the full 32-bit routing identity (segment group + BDF).
+    pub const fn routing_id(self) -> u32 {
         self.0
+    }
+
+    /// Returns the PCIe segment group (0 for single-segment systems).
+    pub const fn segment(self) -> u16 {
+        (self.0 >> 16) as u16
     }
 
     /// Returns the bus number.
@@ -63,6 +91,9 @@ impl Bdf {
 
 impl fmt::Display for Bdf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segment() != 0 {
+            write!(f, "{:04x}:", self.segment())?;
+        }
         write!(
             f,
             "{:02x}:{:02x}.{:x}",
@@ -75,7 +106,7 @@ impl fmt::Display for Bdf {
 
 impl From<u16> for Bdf {
     fn from(raw: u16) -> Self {
-        Bdf(raw)
+        Bdf(raw as u32)
     }
 }
 
@@ -134,7 +165,7 @@ impl fmt::Display for Sid {
 
 impl From<Bdf> for Sid {
     fn from(bdf: Bdf) -> Self {
-        Sid(bdf.raw() as u32)
+        Sid(bdf.routing_id())
     }
 }
 
@@ -254,6 +285,18 @@ mod tests {
     #[test]
     fn bdf_display_format() {
         assert_eq!(format!("{}", Bdf::from_parts(1, 2, 3)), "01:02.3");
+    }
+
+    #[test]
+    fn bdf_routing_id_round_trips_segments() {
+        let bdf = Bdf::from_routing_id(0x0007_0103);
+        assert_eq!(bdf.segment(), 7);
+        assert_eq!(bdf.raw(), 0x0103);
+        assert_eq!(bdf.routing_id(), 0x0007_0103);
+        assert_eq!(format!("{bdf}"), "0007:01:00.3");
+        // Segment-0 construction is unchanged by the widening.
+        assert_eq!(Bdf::new(0x0103), Bdf::from_routing_id(0x0103));
+        assert_eq!(Sid::from(bdf).raw(), 0x0007_0103);
     }
 
     #[test]

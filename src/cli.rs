@@ -73,8 +73,18 @@ pub struct SimArgs {
     /// Warm-up packets excluded from the bandwidth measurement.
     pub warmup: u64,
     /// Worker threads for `sweep` (each sweep point is an independent
-    /// simulation; results are bit-identical to a serial sweep).
+    /// simulation; results are bit-identical to a serial sweep) and for
+    /// sharded `sim` runs (shards fan out over this many threads; the
+    /// merged report is bit-identical for any value).
     pub jobs: usize,
+    /// Device-queue shard count for `sim`: DIDs are dealt round-robin
+    /// across this many independently simulated queues and the reports
+    /// merged deterministically. `1` (the default) is the plain
+    /// single-queue run.
+    pub shards: u32,
+    /// Host-memory budget for resident per-tenant page tables, in MiB.
+    /// `None` keeps the historical eager (all-resident) tables.
+    pub table_budget_mb: Option<u64>,
     /// Collect per-tenant statistics and print the fairness table (`sim`).
     pub per_tenant: bool,
     /// Write a JSONL event trace to this path (`sim`).
@@ -112,6 +122,8 @@ impl Default for SimArgs {
             policy: None,
             warmup: 1000,
             jobs: default_jobs(),
+            shards: 1,
+            table_budget_mb: None,
             per_tenant: false,
             trace_out: None,
             trace_cap: 65536,
@@ -194,12 +206,14 @@ impl SimArgs {
 
     /// Builds the simulator parameters these arguments select.
     pub fn params(&self) -> SimParams {
-        let params = SimParams::paper().with_warmup(self.warmup);
+        let mut params = SimParams::paper().with_warmup(self.warmup);
         if self.per_tenant {
-            params.with_per_tenant()
-        } else {
-            params
+            params = params.with_per_tenant();
         }
+        if let Some(mb) = self.table_budget_mb {
+            params = params.with_table_budget(mb << 20);
+        }
+        params
     }
 }
 
@@ -238,8 +252,18 @@ OPTIONS (sim / sweep / trace):
     --interleave <rr1|rr4|rand1>                tenant order    [rr1]
     --policy <lru|lfu|fifo|random>              DevTLB policy   [preset]
     --warmup <N>           packets excluded from measurement    [1000]
-    --jobs <N>             sweep worker threads (sweep only;
-                           results are identical for any N)     [cores]
+    --jobs <N>             worker threads for sweep points and shards
+                           (results are identical for any N)    [cores]
+
+SCALE-OUT (sim only; results stay deterministic):
+    --shards <N>           deal tenants across N independent device
+                           queues, simulated in parallel and merged
+                           deterministically (any --jobs value gives a
+                           bit-identical merged report)          [1]
+    --table-budget-mb <N>  cap resident per-tenant page tables at N MiB;
+                           tables build lazily on first touch and are
+                           LRU-evicted under the cap (the report is
+                           bit-identical to the eager default)
 
 OBSERVABILITY (sim only; no effect on the simulated behaviour):
     --per-tenant           collect per-DID stats + fairness summary
@@ -347,6 +371,23 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     return Err(ParseError("--jobs must be at least 1".into()));
                 }
             }
+            "--shards" => {
+                parsed.shards = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --shards: {e}")))?;
+                if parsed.shards == 0 {
+                    return Err(ParseError("--shards must be at least 1".into()));
+                }
+            }
+            "--table-budget-mb" => {
+                let mb: u64 = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --table-budget-mb: {e}")))?;
+                if mb == 0 {
+                    return Err(ParseError("--table-budget-mb must be at least 1".into()));
+                }
+                parsed.table_budget_mb = Some(mb);
+            }
             "--trace-out" => parsed.trace_out = Some(value.clone()),
             "--trace-cap" => {
                 parsed.trace_cap = value
@@ -400,6 +441,29 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             other => return Err(ParseError(format!("unknown option {other:?}"))),
         }
+    }
+
+    // Cross-flag constraints, checked after the loop so flag order never
+    // matters.
+    if parsed.shards > parsed.tenants {
+        return Err(ParseError(format!(
+            "--shards {} exceeds --tenants {}: every shard needs at least one tenant",
+            parsed.shards, parsed.tenants
+        )));
+    }
+    if parsed.shards > 1 && parsed.wants_faults() {
+        return Err(ParseError(
+            "fault injection requires a single shard: the injector's schedule \
+             covers the full DID population (drop --shards or the fault flags)"
+                .into(),
+        ));
+    }
+    if parsed.shards > 1 && parsed.timeseries_out.is_some() {
+        return Err(ParseError(
+            "--timeseries-out is not supported with --shards > 1: windowed \
+             time series are per-queue and have no deterministic merge"
+                .into(),
+        ));
     }
 
     Ok(match command.as_str() {
@@ -572,6 +636,45 @@ mod tests {
                 "input {input:?}: expected {needle:?} in {err}"
             );
         }
+    }
+
+    #[test]
+    fn scale_out_flags_parse_and_wire_params() {
+        let Command::Sim(args) =
+            parse(&argv("sim --tenants 64 --shards 4 --table-budget-mb 256")).unwrap()
+        else {
+            panic!("expected sim");
+        };
+        assert_eq!(args.shards, 4);
+        assert_eq!(args.table_budget_mb, Some(256));
+        assert_eq!(args.params().table_budget, Some(256 << 20));
+        // Defaults: one shard, eager tables.
+        assert_eq!(SimArgs::default().shards, 1);
+        assert_eq!(SimArgs::default().params().table_budget, None);
+    }
+
+    #[test]
+    fn scale_out_flag_errors() {
+        for (input, needle) in [
+            ("sim --shards 0", "at least 1"),
+            ("sim --shards x", "bad --shards"),
+            ("sim --table-budget-mb 0", "at least 1"),
+            ("sim --table-budget-mb x", "bad --table-budget-mb"),
+            ("sim --shards 8 --tenants 4", "at least one tenant"),
+            ("sim --tenants 4 --shards 8", "at least one tenant"),
+            ("sim --shards 2 --fault-rate 0.1", "single shard"),
+            ("sim --shards 2 --timeseries-out ts.csv", "not supported"),
+        ] {
+            let err = parse(&argv(input)).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "input {input:?}: expected {needle:?} in {err}"
+            );
+        }
+        // The constraints are conjunctions: each half alone is fine.
+        assert!(parse(&argv("sim --shards 2 --tenants 4")).is_ok());
+        assert!(parse(&argv("sim --fault-rate 0.1")).is_ok());
+        assert!(parse(&argv("sim --timeseries-out ts.csv")).is_ok());
     }
 
     #[test]

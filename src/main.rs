@@ -6,7 +6,8 @@ use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
 use hypersio_sim::{
-    sweep_tenants_parallel, FaultPlan, RingRecorder, Simulation, SweepSpec, TimeSeriesSampler,
+    run_sharded, run_sharded_recorded, sweep_tenants_parallel, write_jsonl_many, FaultPlan,
+    RingRecorder, SimReport, Simulation, SweepSpec, TimeSeriesSampler,
 };
 use hypersio_trace::HyperTraceBuilder;
 use hypertrio::cli::{self, Command, SimArgs};
@@ -45,12 +46,15 @@ fn main() -> ExitCode {
     }
 }
 
-fn build_trace(args: &SimArgs, tenants: u32, scale: u64) -> hypersio_trace::HyperTrace {
+fn trace_builder(args: &SimArgs, tenants: u32, scale: u64) -> HyperTraceBuilder {
     HyperTraceBuilder::new(args.workload, tenants)
         .interleaving(args.interleaving)
         .scale(scale)
         .seed(args.seed)
-        .build()
+}
+
+fn build_trace(args: &SimArgs, tenants: u32, scale: u64) -> hypersio_trace::HyperTrace {
+    trace_builder(args, tenants, scale).build()
 }
 
 /// Loads and parses `--fault-plan` (if given) and layers the command-line
@@ -75,6 +79,9 @@ fn load_fault_plan(args: &SimArgs) -> Result<FaultPlan, SimError> {
 }
 
 fn run_sim(args: &SimArgs) -> Result<(), SimError> {
+    if args.shards > 1 {
+        return run_sim_sharded(args);
+    }
     let config = args.config();
     println!("{config}");
     let trace = build_trace(args, args.tenants, args.scale);
@@ -124,6 +131,49 @@ fn run_sim(args: &SimArgs) -> Result<(), SimError> {
             series.rows().len()
         );
     }
+    if let Some(path) = args.report_json.as_ref() {
+        write_file(path, |w| w.write_all(report.to_json().as_bytes()))?;
+        eprintln!("wrote report JSON to {path}");
+    }
+    Ok(())
+}
+
+/// The `--shards > 1` path: tenants are dealt round-robin across
+/// independent device queues, simulated on `--jobs` worker threads and
+/// merged deterministically (the merged report is bit-identical for any
+/// `--jobs` value). The parser has already rejected the combinations the
+/// shard runner cannot honour (fault injection, time series).
+fn run_sim_sharded(args: &SimArgs) -> Result<(), SimError> {
+    let config = args.config();
+    println!("{config}");
+    println!(
+        "{} shards x {} worker thread(s)",
+        args.shards,
+        args.jobs.min(args.shards as usize)
+    );
+    let params = args.params();
+    let builder = trace_builder(args, args.tenants, args.scale);
+
+    let report: SimReport;
+    if let Some(path) = args.trace_out.as_ref() {
+        let (merged, rings) = run_sharded_recorded(
+            &config,
+            &params,
+            &builder,
+            args.shards,
+            args.jobs,
+            args.trace_cap,
+        );
+        write_file(path, |w| write_jsonl_many(&rings, w))?;
+        let recorded: usize = rings.iter().map(RingRecorder::len).sum();
+        let overwritten: u64 = rings.iter().map(RingRecorder::overwritten).sum();
+        eprintln!("wrote event trace to {path} ({recorded} events, {overwritten} overwritten)");
+        report = merged;
+    } else {
+        report = run_sharded(&config, &params, &builder, args.shards, args.jobs);
+    }
+    println!("{report}");
+
     if let Some(path) = args.report_json.as_ref() {
         write_file(path, |w| w.write_all(report.to_json().as_bytes()))?;
         eprintln!("wrote report JSON to {path}");
