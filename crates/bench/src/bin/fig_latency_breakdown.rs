@@ -1,0 +1,142 @@
+//! Latency-breakdown figure: where each packet's latency goes.
+//!
+//! Runs Base and HyperTRIO at 128, 1024, and 8192 tenants with a span
+//! collector attached and prints the additive per-packet latency
+//! decomposition — lookup, PTB queueing, PCIe round trip, IOMMU walk,
+//! PTB-full retry backoff, and PRI fault backoff — as percentages of the
+//! mean end-to-end latency. A second table repeats the contrast under
+//! fault injection (1% of pages initially unmapped, PRI service at 10 µs).
+//!
+//! Expected shape: Base's latency is dominated by the walk+PCIe pair and,
+//! as tenants grow past its single PTB entry, by retry backoff; HyperTRIO
+//! shifts the mass toward the lookup component (DevTLB/PB hits) and keeps
+//! the retry share near zero. Under faults both designs gain a `pri_wait`
+//! share, but the service-side split keeps the same contrast.
+//!
+//! Every run also re-checks the attribution invariant: the accumulator
+//! must cover exactly the packets the report's latency histogram counted,
+//! and the component sums must reconcile with the histogram's exact sum
+//! plus the arrival-side wait (the histogram records service latency; the
+//! spans add the pre-service backoff). A mismatch fails the process.
+//!
+//! Environment: `SCALE` (default 100, proportional — relative to the
+//! 1024-tenant traces), `SEED` (default 0), `MAX_TENANTS` (default 8192,
+//! lets CI truncate the axis).
+
+use hypersio_sim::{FaultPlan, SimParams, SimReport, Simulation, SpanCollector};
+use hypersio_trace::{HyperTraceBuilder, Interleaving, WorkloadKind};
+use hypersio_types::SimDuration;
+use hypertrio_core::TranslationConfig;
+
+fn run(
+    config: TranslationConfig,
+    tenants: u32,
+    scale: u64,
+    seed: u64,
+    plan: FaultPlan,
+) -> (SimReport, SpanCollector) {
+    let trace = HyperTraceBuilder::new(WorkloadKind::Iperf3, tenants)
+        .interleaving(Interleaving::round_robin(1))
+        .scale(bench::proportional_scale(scale, tenants))
+        .seed(seed)
+        .build();
+    // Ring capacity 1: the figure only needs the attribution accumulator,
+    // which sees every span regardless of ring eviction.
+    let mut spans = SpanCollector::new(1);
+    let report = Simulation::new(
+        config,
+        SimParams::paper().with_warmup(1000).with_fault_plan(plan),
+        trace,
+    )
+    .run_with(&mut spans);
+    (report, spans)
+}
+
+/// Asserts the exact reconciliation between the span accumulator and the
+/// report's latency histogram: same packet count, and the service-side
+/// component sum equal to the histogram's exact sum (the histogram records
+/// service latency; the wait side is pre-service backoff on top).
+fn check(report: &SimReport, spans: &SpanCollector, label: &str) {
+    let att = spans.attribution();
+    assert_eq!(
+        att.packets(),
+        report.packet_latency.count(),
+        "{label}: attribution covered {} packets, histogram {}",
+        att.packets(),
+        report.packet_latency.count()
+    );
+    assert_eq!(
+        att.total().service_ps(),
+        report.packet_latency.sum_ps(),
+        "{label}: service-side component sum diverged from the histogram"
+    );
+}
+
+/// Prints one row: mean end-to-end ns/packet plus the six component
+/// shares in percent.
+fn row(label: &str, report: &SimReport, spans: &SpanCollector) {
+    let t = spans.attribution().total();
+    let total = t.total_ps().max(1);
+    let mean_ns = t.total_ps() as f64 / t.packets.max(1) as f64 / 1000.0;
+    print!("{label:>16} {mean_ns:>11.1}");
+    for (_, ps) in t.named() {
+        print!(" {:>7.2}", 100.0 * ps as f64 / total as f64);
+    }
+    println!("  {:>8}", report.packets_dropped);
+}
+
+fn table(title: &str, tenant_axis: &[u32], scale: u64, seed: u64, plan: &FaultPlan) {
+    println!("{title}");
+    println!(
+        "{:>16} {:>11} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  {:>8}",
+        "config@tenants", "mean ns/pkt", "lookup", "ptbw", "pcie", "walk", "retry", "pri", "drops"
+    );
+    for &tenants in tenant_axis {
+        for (name, config) in [
+            ("Base", TranslationConfig::base()),
+            ("HyperTRIO", TranslationConfig::hypertrio()),
+        ] {
+            let (report, spans) = run(config, tenants, scale, seed, plan.clone());
+            check(&report, &spans, &format!("{name}@{tenants}"));
+            row(&format!("{name}@{tenants}"), &report, &spans);
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let scale = bench::env_u64("SCALE", 100);
+    let seed = bench::env_u64("SEED", 0);
+    let max_tenants = bench::env_u64("MAX_TENANTS", 8192) as u32;
+    bench::banner(
+        "Latency breakdown — additive per-packet attribution",
+        &format!("iperf3/RR1, proportional scale={scale}, seed={seed}"),
+    );
+
+    let tenant_axis: Vec<u32> = [128u32, 1024, 8192]
+        .into_iter()
+        .filter(|&t| t <= max_tenants)
+        .collect();
+
+    table(
+        "fault-free (shares in % of mean end-to-end latency)",
+        &tenant_axis,
+        scale,
+        seed,
+        &FaultPlan::none(),
+    );
+    table(
+        "with faults (1% pages unmapped, PRI service 10 us)",
+        &tenant_axis,
+        scale,
+        seed,
+        &FaultPlan::none()
+            .with_fault_rate(0.01)
+            .with_pri_latency(SimDuration::from_us(10))
+            .with_seed(seed),
+    );
+
+    println!("Base shifts toward pcie+walk (and retry past its single PTB");
+    println!("entry); HyperTRIO concentrates in lookup. Attribution checked");
+    println!("exactly against the report's latency histogram on every run.");
+}

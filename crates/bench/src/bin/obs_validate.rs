@@ -12,8 +12,8 @@
 //! - a first line tagged `hypersio-events/v1` → JSON Lines event trace,
 //! - a `.csv` suffix or a `window_start_us,` header → time-series CSV,
 //! - otherwise a JSON document dispatched on its `schema` field
-//!   (`sim_report/v1`, `hypersio-timeseries/v1`, `bench_hotpath/v1`,
-//!   `bench_scale/v1`).
+//!   (`sim_report/v1`, `hypersio-timeseries/v1`, `hypersio-spans/v1`,
+//!   `bench_hotpath/v1`, `bench_scale/v1`).
 //!
 //! Exits non-zero after printing one line per failing file.
 
@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 use bench::json::{
     self, validate_events_jsonl, validate_hotpath_schema, validate_report_schema,
-    validate_scale_schema, validate_timeseries_schema,
+    validate_scale_schema, validate_spans_schema, validate_timeseries_schema,
 };
 
 /// The time-series CSV header pinned by `TimeSeriesSampler::to_csv`.
@@ -70,6 +70,9 @@ fn validate_file(path: &str) -> Result<&'static str, String> {
         }
         Some("hypersio-timeseries/v1") => {
             validate_timeseries_schema(&doc).map(|()| "time series (hypersio-timeseries/v1)")
+        }
+        Some("hypersio-spans/v1") => {
+            validate_spans_schema(&doc).map(|()| "packet spans (hypersio-spans/v1)")
         }
         Some("bench_hotpath/v1") => {
             validate_hotpath_schema(&doc).map(|()| "hot-path benchmark (bench_hotpath/v1)")

@@ -61,6 +61,14 @@ impl Json {
         }
     }
 
+    /// Returns the boolean value if this value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Looks up `key` in an object value.
     pub fn get(&self, key: &str) -> Option<&Json> {
         self.as_obj().and_then(|m| m.get(key))
@@ -489,6 +497,18 @@ fn validate_latency_block(value: &Json, ctx: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The six additive latency components of the span layer, as they appear
+/// both in the report's `latency_breakdown.components_ps` object and as
+/// child-slice names in a `hypersio-spans/v1` trace.
+const SPAN_COMPONENT_FIELDS: [&str; 6] = [
+    "lookup",
+    "ptb_wait",
+    "pcie",
+    "walk",
+    "retry_wait",
+    "pri_wait",
+];
+
 /// Checks that `doc` matches the `sim_report/v1` schema emitted by
 /// `SimReport::to_json` (the `--report-json` CLI output): every headline
 /// counter, the four cache blocks, the IOMMU block, the latency summary,
@@ -540,6 +560,63 @@ pub fn validate_report_schema(doc: &Json) -> Result<(), String> {
         .get("latency_ps")
         .ok_or("missing object field 'latency_ps'")?;
     validate_latency_block(latency, "latency_ps")?;
+    match doc.get("latency_breakdown") {
+        None => return Err("missing field 'latency_breakdown' (may be null)".into()),
+        Some(Json::Null) => {}
+        Some(lb) => {
+            lb.get("packets")
+                .and_then(Json::as_num)
+                .ok_or("latency_breakdown: missing numeric field 'packets'")?;
+            let comps = lb
+                .get("components_ps")
+                .ok_or("latency_breakdown: missing object field 'components_ps'")?;
+            for field in SPAN_COMPONENT_FIELDS {
+                comps.get(field).and_then(Json::as_num).ok_or_else(|| {
+                    format!("latency_breakdown components_ps: missing numeric field '{field}'")
+                })?;
+            }
+            for field in ["service_ps", "wait_ps", "total_ps"] {
+                lb.get(field)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("latency_breakdown: missing numeric field '{field}'"))?;
+            }
+            match lb.get("per_tenant") {
+                None => {
+                    return Err(
+                        "latency_breakdown: missing field 'per_tenant' (may be null)".into(),
+                    )
+                }
+                Some(Json::Null) => {}
+                Some(rows) => {
+                    let rows = rows
+                        .as_arr()
+                        .ok_or("latency_breakdown: 'per_tenant' must be null or an array")?;
+                    for (i, row) in rows.iter().enumerate() {
+                        for field in ["did", "packets", "total_ps"] {
+                            row.get(field).and_then(Json::as_num).ok_or_else(|| {
+                                format!(
+                                    "latency_breakdown tenant {i}: missing numeric field '{field}'"
+                                )
+                            })?;
+                        }
+                        let comps = row.get("components_ps").ok_or_else(|| {
+                            format!(
+                                "latency_breakdown tenant {i}: missing object field \
+                                 'components_ps'"
+                            )
+                        })?;
+                        for field in SPAN_COMPONENT_FIELDS {
+                            comps.get(field).and_then(Json::as_num).ok_or_else(|| {
+                                format!(
+                                    "latency_breakdown tenant {i}: missing numeric field '{field}'"
+                                )
+                            })?;
+                        }
+                    }
+                }
+            }
+        }
+    }
     match doc.get("per_tenant") {
         None => return Err("missing field 'per_tenant' (may be null)".into()),
         Some(Json::Null) => {}
@@ -656,6 +733,80 @@ pub fn validate_events_jsonl(text: &str) -> Result<(), String> {
     if recorded != events {
         return Err(format!(
             "meta says {recorded} recorded events, found {events} lines"
+        ));
+    }
+    Ok(())
+}
+
+/// Checks that `doc` matches the `hypersio-spans/v1` schema emitted by
+/// `write_chrome_trace` (the `--spans-out` CLI output): the bookkeeping
+/// header, and a `traceEvents` array in Chrome trace-event form — metadata
+/// (`ph:"M"`) records plus complete (`ph:"X"`) slices, where every slice
+/// carries `pid`/`tid`/`ts`/`dur` and every `"packet"` slice carries the
+/// span args. The number of `"packet"` slices must equal `recorded`, and
+/// every non-packet slice name must be one of the six latency components.
+pub fn validate_spans_schema(doc: &Json) -> Result<(), String> {
+    doc.as_obj().ok_or("top level must be an object")?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("hypersio-spans/v1") => {}
+        Some(other) => return Err(format!("unknown schema '{other}'")),
+        None => return Err("missing string field 'schema'".into()),
+    }
+    for field in ["recorded", "overwritten"] {
+        doc.get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric field '{field}'"))?;
+    }
+    doc.get("truncated")
+        .and_then(Json::as_bool)
+        .ok_or("missing boolean field 'truncated'")?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'traceEvents'")?;
+    let mut packets = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string field 'name'"))?;
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("M") => {}
+            Some("X") => {
+                for field in ["pid", "tid", "ts", "dur"] {
+                    ev.get(field)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| format!("event {i}: missing numeric field '{field}'"))?;
+                }
+                if name == "packet" {
+                    packets += 1;
+                    let args = ev
+                        .get("args")
+                        .ok_or_else(|| format!("event {i}: packet slice missing 'args'"))?;
+                    for field in [
+                        "seq",
+                        "did",
+                        "sid",
+                        "latency_ps",
+                        "ptb_retries",
+                        "fault_retries",
+                    ] {
+                        args.get(field).and_then(Json::as_num).ok_or_else(|| {
+                            format!("event {i}: args: missing numeric field '{field}'")
+                        })?;
+                    }
+                } else if !SPAN_COMPONENT_FIELDS.contains(&name) {
+                    return Err(format!("event {i}: unknown slice name '{name}'"));
+                }
+            }
+            Some(other) => return Err(format!("event {i}: unknown phase '{other}'")),
+            None => return Err(format!("event {i}: missing string field 'ph'")),
+        }
+    }
+    let recorded = doc.get("recorded").and_then(Json::as_num).unwrap_or(0.0) as u64;
+    if recorded != packets {
+        return Err(format!(
+            "header says {recorded} recorded spans, found {packets} packet slices"
         ));
     }
     Ok(())
@@ -870,6 +1021,7 @@ mod tests {
                 "iommu": {{"requests": 2, "dram_accesses": 5, "full_walks": 1, "faults": 0}},
                 "l2_cache": {cache}, "l3_cache": {cache},
                 "latency_ps": {latency},
+                "latency_breakdown": null,
                 "per_tenant": {{
                     "fairness": {{"min_packets": 1, "max_packets": 2, "jain": 0.9}},
                     "tenants": [{{"did": 0, "packets": 1, "bytes": 1542, "drops": 0,
@@ -906,6 +1058,95 @@ mod tests {
         let doc = parse(&valid_report().replace("\"jain\": 0.9", "\"jain\": null")).unwrap();
         let err = validate_report_schema(&doc).unwrap_err();
         assert!(err.contains("jain"), "{err}");
+    }
+
+    fn breakdown_block() -> String {
+        let comps = r#"{"lookup": 10, "ptb_wait": 5, "pcie": 9, "walk": 4,
+                        "retry_wait": 2, "pri_wait": 0}"#;
+        format!(
+            r#"{{"packets": 3, "components_ps": {comps},
+                 "service_ps": 28, "wait_ps": 2, "total_ps": 30,
+                 "per_tenant": [{{"did": 0, "packets": 3,
+                                  "components_ps": {comps}, "total_ps": 30}}]}}"#
+        )
+    }
+
+    #[test]
+    fn report_schema_validates_latency_breakdown() {
+        // Null is accepted (spans off) — exercised by valid_report().
+        // A populated block must be complete.
+        let with_block = valid_report().replace(
+            "\"latency_breakdown\": null",
+            &format!("\"latency_breakdown\": {}", breakdown_block()),
+        );
+        let doc = parse(&with_block).unwrap();
+        assert_eq!(validate_report_schema(&doc), Ok(()));
+        // A missing component key is rejected.
+        let doc = parse(&with_block.replace("\"retry_wait\"", "\"retrywait\"")).unwrap();
+        let err = validate_report_schema(&doc).unwrap_err();
+        assert!(err.contains("retry_wait"), "{err}");
+        // The field itself must be present (null or object).
+        let cut = valid_report().replace("\"latency_breakdown\": null,", "");
+        let err = validate_report_schema(&parse(&cut).unwrap()).unwrap_err();
+        assert!(err.contains("latency_breakdown"), "{err}");
+    }
+
+    fn valid_spans_doc() -> String {
+        r#"{
+            "schema": "hypersio-spans/v1", "displayTimeUnit": "ns",
+            "recorded": 1, "overwritten": 0, "truncated": false,
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 1,
+                 "args": {"name": "hypersio packets"}},
+                {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+                 "args": {"name": "did 0"}},
+                {"name": "packet", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 0.0, "dur": 2.2,
+                 "args": {"seq": 0, "did": 0, "sid": 0, "latency_ps": 2200000,
+                          "ptb_retries": 0, "fault_retries": 0}},
+                {"name": "lookup", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 0.0, "dur": 0.002},
+                {"name": "walk", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 0.002, "dur": 2.198}
+            ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn spans_schema_accepts_valid_document() {
+        let doc = parse(&valid_spans_doc()).unwrap();
+        assert_eq!(validate_spans_schema(&doc), Ok(()));
+    }
+
+    #[test]
+    fn spans_schema_rejects_malformed_documents() {
+        for (mutation, needle) in [
+            (
+                valid_spans_doc().replace("hypersio-spans/v1", "spans/v9"),
+                "unknown schema",
+            ),
+            (
+                valid_spans_doc().replace("\"truncated\": false,", ""),
+                "truncated",
+            ),
+            (valid_spans_doc().replace("\"dur\": 2.2,", ""), "dur"),
+            (
+                valid_spans_doc().replace("\"name\": \"walk\"", "\"name\": \"warp\""),
+                "unknown slice name",
+            ),
+            (
+                valid_spans_doc().replace("\"recorded\": 1", "\"recorded\": 2"),
+                "packet slices",
+            ),
+            (
+                valid_spans_doc().replace("\"latency_ps\": 2200000,", ""),
+                "latency_ps",
+            ),
+        ] {
+            let err = validate_spans_schema(&parse(&mutation).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "expected {needle:?} in {err}");
+        }
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!   end-of-run `SimReport` aggregates.
 //! - [`RingRecorder`] — bounded binary ring buffer of [`EventRecord`]s
 //!   with a JSONL exporter.
+//! - [`PacketSpan`] / [`SpanCollector`] / [`LatencyAttribution`] —
+//!   per-packet lifecycle spans whose components sum exactly to the
+//!   end-to-end latency, with a deterministic Chrome trace-event exporter
+//!   ([`write_chrome_trace`], schema `hypersio-spans/v1`, Perfetto-ready)
+//!   and an offline reconstructor ([`reconstruct_spans`]) over recorded
+//!   event streams.
 //! - [`TimeSeriesSampler`] — fixed-window time series (Gb/s, utilization,
 //!   DevTLB hit rate, PTB/walker occupancy) with CSV/JSON export.
 //! - [`jain_index`] — Jain's fairness index over per-tenant allocations.
@@ -27,11 +33,16 @@
 mod event;
 mod observer;
 mod ring;
+mod span;
 mod timeseries;
 
 pub use event::{Event, EventKind, ALL_EVENT_KINDS, EVENT_KINDS};
 pub use observer::{CountingObserver, NullObserver, Observer};
 pub use ring::{write_jsonl_many, EventRecord, RingRecorder, RECORD_BYTES};
+pub use span::{
+    reconstruct_spans, write_chrome_trace, ComponentSums, LatencyAttribution, PacketSpan,
+    Reconstruction, SpanCollector, SpanComponents,
+};
 pub use timeseries::{TimeSeriesSampler, WindowRow};
 
 /// Jain's fairness index over per-tenant allocations:

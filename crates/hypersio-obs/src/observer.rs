@@ -1,6 +1,7 @@
 //! The `Observer` trait and its zero-cost null implementation.
 
 use crate::event::{Event, EventKind, EVENT_KINDS};
+use crate::span::PacketSpan;
 
 /// A sink for simulation lifecycle events.
 ///
@@ -22,8 +23,22 @@ pub trait Observer {
     /// entirely. Leave at the default `true` for any real observer.
     const ENABLED: bool = true;
 
+    /// Compile-time gate for per-packet span assembly: when `false` (the
+    /// default), the simulation loop's latency-attribution bookkeeping and
+    /// every [`Observer::record_span`] call compile to nothing. Only span
+    /// consumers (e.g. [`crate::SpanCollector`]) set it to `true` — the
+    /// two gates are independent, so a span collector can run with the
+    /// per-event stream disabled and vice versa.
+    const SPANS: bool = false;
+
     /// Receives one event stamped with simulated time `at_ps`.
     fn record(&mut self, at_ps: u64, event: Event);
+
+    /// Receives one completed packet's lifecycle span (arrival →
+    /// completion, with its additive latency decomposition). Only called
+    /// when [`Observer::SPANS`] is `true`; the default is a no-op.
+    #[inline(always)]
+    fn record_span(&mut self, _span: PacketSpan) {}
 }
 
 /// The no-op observer: [`Observer::ENABLED`] is `false`, so a simulation
@@ -41,10 +56,16 @@ impl Observer for NullObserver {
 /// Forwarding impl so `&mut O` observers can be composed in tuples.
 impl<O: Observer> Observer for &mut O {
     const ENABLED: bool = O::ENABLED;
+    const SPANS: bool = O::SPANS;
 
     #[inline(always)]
     fn record(&mut self, at_ps: u64, event: Event) {
         (**self).record(at_ps, event);
+    }
+
+    #[inline(always)]
+    fn record_span(&mut self, span: PacketSpan) {
+        (**self).record_span(span);
     }
 }
 
@@ -52,11 +73,18 @@ impl<O: Observer> Observer for &mut O {
 /// any number of observers can be combined: `((a, b), c)`.
 impl<A: Observer, B: Observer> Observer for (A, B) {
     const ENABLED: bool = A::ENABLED || B::ENABLED;
+    const SPANS: bool = A::SPANS || B::SPANS;
 
     #[inline(always)]
     fn record(&mut self, at_ps: u64, event: Event) {
         self.0.record(at_ps, event);
         self.1.record(at_ps, event);
+    }
+
+    #[inline(always)]
+    fn record_span(&mut self, span: PacketSpan) {
+        self.0.record_span(span);
+        self.1.record_span(span);
     }
 }
 
@@ -114,10 +142,17 @@ mod tests {
     use super::*;
     use hypersio_types::Did;
 
-    // The ENABLED gates are compile-time facts; pin them as such.
+    // The ENABLED/SPANS gates are compile-time facts; pin them as such.
     const _: () = assert!(!NullObserver::ENABLED);
     const _: () = assert!(<(NullObserver, CountingObserver) as Observer>::ENABLED);
     const _: () = assert!(!<(NullObserver, NullObserver) as Observer>::ENABLED);
+    const _: () = assert!(!NullObserver::SPANS);
+    const _: () = assert!(!CountingObserver::SPANS);
+    const _: () = assert!(!<(NullObserver, CountingObserver) as Observer>::SPANS);
+    const _: () = assert!(<(NullObserver, crate::SpanCollector) as Observer>::SPANS);
+    // A span collector leaves the per-event stream disabled: attaching one
+    // must not force the slow per-slot drop path.
+    const _: () = assert!(!crate::SpanCollector::ENABLED);
 
     #[test]
     fn null_observer_is_callable_without_effect() {

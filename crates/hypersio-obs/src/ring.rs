@@ -219,15 +219,22 @@ impl RingRecorder {
     /// Writes the trace as JSON Lines: one meta line, then one object per
     /// record, oldest first.
     ///
+    /// The meta line carries an explicit `truncated` marker (true when the
+    /// ring wrapped and overwrote older events) so a partial trace can
+    /// never be silently read as a complete one — span reconstruction and
+    /// other consumers must check it before treating the stream as the
+    /// whole run.
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors from `w`.
     pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
         writeln!(
             w,
-            r#"{{"schema":"hypersio-events/v1","recorded":{},"overwritten":{},"record_bytes":{}}}"#,
+            r#"{{"schema":"hypersio-events/v1","recorded":{},"overwritten":{},"truncated":{},"record_bytes":{}}}"#,
             self.len(),
             self.overwritten,
+            self.overwritten > 0,
             RECORD_BYTES
         )?;
         let mut line = String::with_capacity(96);
@@ -258,9 +265,10 @@ impl RingRecorder {
 pub fn write_jsonl_many<W: Write>(rings: &[RingRecorder], w: &mut W) -> io::Result<()> {
     let recorded: usize = rings.iter().map(|r| r.len()).sum();
     let overwritten: u64 = rings.iter().map(|r| r.overwritten()).sum();
+    let truncated = overwritten > 0;
     writeln!(
         w,
-        r#"{{"schema":"hypersio-events/v1","recorded":{recorded},"overwritten":{overwritten},"record_bytes":{RECORD_BYTES}}}"#
+        r#"{{"schema":"hypersio-events/v1","recorded":{recorded},"overwritten":{overwritten},"truncated":{truncated},"record_bytes":{RECORD_BYTES}}}"#
     )?;
     let mut line = String::with_capacity(96);
     for ring in rings {
@@ -362,6 +370,7 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains(r#""schema":"hypersio-events/v1""#));
         assert!(lines[0].contains(r#""recorded":2"#));
+        assert!(lines[0].contains(r#""truncated":false"#));
         assert!(lines[1].contains(r#""kind":"packet_complete""#));
         assert!(lines[1].contains(r#""latency_ps":2000"#));
         assert!(lines[2].contains(r#""kind":"prefetch_issue""#));
@@ -400,6 +409,7 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains(r#""recorded":2"#));
         assert!(lines[0].contains(r#""overwritten":1"#));
+        assert!(lines[0].contains(r#""truncated":true"#));
         assert!(lines[1].contains(r#""t_ps":2"#));
         assert!(lines[2].contains(r#""t_ps":3"#));
     }

@@ -1,0 +1,1014 @@
+//! Per-packet lifecycle spans, additive latency attribution, and the
+//! Chrome trace-event exporter.
+//!
+//! A [`PacketSpan`] covers one completed packet from its first arrival on
+//! the link to the completion of its last translation, decomposed into
+//! six additive [`SpanComponents`] whose sum equals the end-to-end
+//! latency *exactly* (picosecond arithmetic, no rounding):
+//!
+//! * the **wait side** — `retry_wait_ps` (PTB-full drop/retry backoff)
+//!   and `pri_wait_ps` (fault backoff while a PRI page request is
+//!   serviced) — tiles the interval from first arrival to the slot that
+//!   finally serves the packet, and
+//! * the **service side** — `ptb_wait_ps` (queueing for the PTB slot on
+//!   the critical path), `lookup_ps` (DevTLB/PB hit latency),
+//!   `pcie_ps` (the PCIe round trip of the critical walk) and `walk_ps`
+//!   (the IOMMU walk itself, including walker-pool queueing) — tiles the
+//!   interval from the serving slot to completion along the critical
+//!   (latest-finishing) translation.
+//!
+//! Spans are produced online by the simulation loop through
+//! [`Observer::record_span`](crate::Observer::record_span) (gated by the
+//! compile-time [`Observer::SPANS`](crate::Observer::SPANS) constant, so
+//! runs without a span consumer pay nothing), or offline by
+//! [`reconstruct_spans`] from a recorded [`EventRecord`] stream.
+//! [`SpanCollector`] keeps the most recent spans in a bounded ring and
+//! feeds every span (ring-evicted or not) into a [`LatencyAttribution`]
+//! accumulator; [`write_chrome_trace`] exports the ring as deterministic
+//! Chrome trace-event JSON (schema `hypersio-spans/v1`) loadable in
+//! Perfetto.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::event::Event;
+use crate::observer::Observer;
+use crate::ring::EventRecord;
+
+/// The additive latency components of one packet, in picoseconds.
+///
+/// The six fields partition the packet's end-to-end latency:
+/// `retry_wait_ps + pri_wait_ps` spans arrival → final service slot, and
+/// `ptb_wait_ps + lookup_ps + pcie_ps + walk_ps` spans the final service
+/// slot → completion (the critical translation's path). See
+/// [`PacketSpan::is_consistent`] for the exact invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanComponents {
+    /// DevTLB/PB hit latency on the critical path (zero when the critical
+    /// translation was a walk).
+    pub lookup_ps: u64,
+    /// Queueing delay until the critical translation's PTB slot started
+    /// serving it.
+    pub ptb_wait_ps: u64,
+    /// PCIe round trip of the critical walk (zero for a hit).
+    pub pcie_ps: u64,
+    /// IOMMU walk latency of the critical walk, including walker-pool
+    /// queueing (zero for a hit).
+    pub walk_ps: u64,
+    /// Arrival-side backoff spent re-trying after PTB-full drops.
+    pub retry_wait_ps: u64,
+    /// Arrival-side backoff spent waiting for PRI page-fault service.
+    pub pri_wait_ps: u64,
+}
+
+impl SpanComponents {
+    /// Service-side sum: `ptb_wait + lookup + pcie + walk`.
+    pub fn service_ps(&self) -> u64 {
+        self.ptb_wait_ps + self.lookup_ps + self.pcie_ps + self.walk_ps
+    }
+
+    /// Wait-side sum: `retry_wait + pri_wait`.
+    pub fn wait_ps(&self) -> u64 {
+        self.retry_wait_ps + self.pri_wait_ps
+    }
+
+    /// Sum of all six components (the packet's end-to-end latency).
+    pub fn total_ps(&self) -> u64 {
+        self.service_ps() + self.wait_ps()
+    }
+}
+
+/// One completed packet's lifecycle span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketSpan {
+    /// 0-based packet sequence number (trace-observation order).
+    pub seq: u64,
+    /// Owning tenant (raw DID).
+    pub did: u32,
+    /// Source ID the packet carried (raw SID).
+    pub sid: u32,
+    /// Time the packet first arrived on the link.
+    pub arrival_ps: u64,
+    /// Start of the arrival slot that finally served the packet
+    /// (`arrival_ps` when it was never dropped).
+    pub service_ps: u64,
+    /// Completion time of the packet's last translation.
+    pub complete_ps: u64,
+    /// Times the packet was dropped for PTB exhaustion before service.
+    pub ptb_retries: u32,
+    /// Times the packet was dropped for a not-present page before service.
+    pub fault_retries: u32,
+    /// The additive latency decomposition.
+    pub components: SpanComponents,
+}
+
+impl PacketSpan {
+    /// End-to-end latency: arrival → completion.
+    pub fn latency_ps(&self) -> u64 {
+        self.complete_ps.saturating_sub(self.arrival_ps)
+    }
+
+    /// Checks the attribution invariant: the wait side tiles
+    /// `[arrival, service)`, the service side tiles `[service, complete)`,
+    /// and hence the six components sum exactly to the end-to-end latency.
+    pub fn is_consistent(&self) -> bool {
+        self.arrival_ps <= self.service_ps
+            && self.service_ps <= self.complete_ps
+            && self.components.wait_ps() == self.service_ps - self.arrival_ps
+            && self.components.service_ps() == self.complete_ps - self.service_ps
+    }
+}
+
+/// Per-key (aggregate or per-tenant) component sums of a
+/// [`LatencyAttribution`]. Sums are `u128` so they reconcile exactly with
+/// the latency histogram's total at any run length.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComponentSums {
+    /// Completed packets accumulated.
+    pub packets: u64,
+    /// Σ `lookup_ps`.
+    pub lookup_ps: u128,
+    /// Σ `ptb_wait_ps`.
+    pub ptb_wait_ps: u128,
+    /// Σ `pcie_ps`.
+    pub pcie_ps: u128,
+    /// Σ `walk_ps`.
+    pub walk_ps: u128,
+    /// Σ `retry_wait_ps`.
+    pub retry_wait_ps: u128,
+    /// Σ `pri_wait_ps`.
+    pub pri_wait_ps: u128,
+}
+
+impl ComponentSums {
+    fn add(&mut self, c: &SpanComponents) {
+        self.packets += 1;
+        self.lookup_ps += c.lookup_ps as u128;
+        self.ptb_wait_ps += c.ptb_wait_ps as u128;
+        self.pcie_ps += c.pcie_ps as u128;
+        self.walk_ps += c.walk_ps as u128;
+        self.retry_wait_ps += c.retry_wait_ps as u128;
+        self.pri_wait_ps += c.pri_wait_ps as u128;
+    }
+
+    /// Service-side sum: `ptb_wait + lookup + pcie + walk`.
+    pub fn service_ps(&self) -> u128 {
+        self.ptb_wait_ps + self.lookup_ps + self.pcie_ps + self.walk_ps
+    }
+
+    /// Wait-side sum: `retry_wait + pri_wait`.
+    pub fn wait_ps(&self) -> u128 {
+        self.retry_wait_ps + self.pri_wait_ps
+    }
+
+    /// Sum of all six components.
+    pub fn total_ps(&self) -> u128 {
+        self.service_ps() + self.wait_ps()
+    }
+
+    /// The six `(name, Σps)` pairs in display order.
+    pub fn named(&self) -> [(&'static str, u128); 6] {
+        [
+            ("lookup", self.lookup_ps),
+            ("ptb_wait", self.ptb_wait_ps),
+            ("pcie", self.pcie_ps),
+            ("walk", self.walk_ps),
+            ("retry_wait", self.retry_wait_ps),
+            ("pri_wait", self.pri_wait_ps),
+        ]
+    }
+}
+
+/// Aggregate (and optionally per-tenant) latency decomposition over every
+/// completed packet of a run.
+///
+/// Unlike the bounded span ring, the accumulator sees *all* spans — ring
+/// eviction only limits what the exporter can write, never the breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyAttribution {
+    total: ComponentSums,
+    per_tenant: Option<BTreeMap<u32, ComponentSums>>,
+}
+
+impl LatencyAttribution {
+    /// Creates an aggregate-only accumulator.
+    pub fn new() -> Self {
+        LatencyAttribution::default()
+    }
+
+    /// Creates an accumulator that also keeps per-DID sums.
+    pub fn with_per_tenant() -> Self {
+        LatencyAttribution {
+            total: ComponentSums::default(),
+            per_tenant: Some(BTreeMap::new()),
+        }
+    }
+
+    /// Accumulates one completed packet's components.
+    pub fn observe(&mut self, span: &PacketSpan) {
+        self.total.add(&span.components);
+        if let Some(per) = self.per_tenant.as_mut() {
+            per.entry(span.did).or_default().add(&span.components);
+        }
+    }
+
+    /// Completed packets accumulated.
+    pub fn packets(&self) -> u64 {
+        self.total.packets
+    }
+
+    /// The aggregate component sums.
+    pub fn total(&self) -> &ComponentSums {
+        &self.total
+    }
+
+    /// Per-DID sums in ascending DID order, when opted in.
+    pub fn per_tenant(&self) -> Option<&BTreeMap<u32, ComponentSums>> {
+        self.per_tenant.as_ref()
+    }
+}
+
+/// An [`Observer`] that collects [`PacketSpan`]s: a bounded ring of the
+/// most recent spans (for export) plus a [`LatencyAttribution`] over every
+/// span.
+///
+/// [`Observer::ENABLED`] stays `false` — the per-event stream is not
+/// needed for span assembly, so attaching only a span collector keeps the
+/// simulation loop's bulk drop fast-forwarding (and the event emission
+/// sites compiled out). [`Observer::SPANS`] is `true`.
+#[derive(Debug, Clone)]
+pub struct SpanCollector {
+    spans: Vec<PacketSpan>,
+    capacity: usize,
+    /// Index of the oldest span once the ring has wrapped.
+    head: usize,
+    overwritten: u64,
+    attribution: LatencyAttribution,
+}
+
+impl SpanCollector {
+    /// Creates a collector keeping at most `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring needs at least one slot");
+        SpanCollector {
+            spans: Vec::new(),
+            capacity,
+            head: 0,
+            overwritten: 0,
+            attribution: LatencyAttribution::new(),
+        }
+    }
+
+    /// Additionally keeps per-DID attribution sums.
+    pub fn with_per_tenant(mut self) -> Self {
+        self.attribution = LatencyAttribution::with_per_tenant();
+        self
+    }
+
+    /// Returns the number of spans currently held in the ring.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Returns true if no spans were collected.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Returns the ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns how many spans were overwritten after the ring filled.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Iterates the held spans oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &PacketSpan> {
+        self.spans[self.head..]
+            .iter()
+            .chain(self.spans[..self.head].iter())
+    }
+
+    /// The accumulated latency decomposition (covers every span, including
+    /// ring-evicted ones).
+    pub fn attribution(&self) -> &LatencyAttribution {
+        &self.attribution
+    }
+
+    /// Writes the held spans as Chrome trace-event JSON (see
+    /// [`write_chrome_trace`]). A wrapped ring is marked `truncated`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let spans: Vec<PacketSpan> = self.iter().copied().collect();
+        write_chrome_trace(&spans, self.overwritten, w)
+    }
+}
+
+impl Observer for SpanCollector {
+    const ENABLED: bool = false;
+    const SPANS: bool = true;
+
+    #[inline(always)]
+    fn record(&mut self, _at_ps: u64, _event: Event) {}
+
+    fn record_span(&mut self, span: PacketSpan) {
+        debug_assert!(
+            span.is_consistent(),
+            "span components must tile the packet lifetime: {span:?}"
+        );
+        self.attribution.observe(&span);
+        if self.spans.len() < self.capacity {
+            self.spans.push(span);
+        } else {
+            self.spans[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+}
+
+/// Writes `ps` as a microsecond decimal with six fractional digits (the
+/// exact picosecond value — Chrome trace `ts`/`dur` are in microseconds).
+fn write_us(out: &mut String, ps: u64) {
+    let _ = write!(out, "{}.{:06}", ps / 1_000_000, ps % 1_000_000);
+}
+
+/// Writes spans as deterministic Chrome trace-event JSON, schema
+/// `hypersio-spans/v1`, loadable in Perfetto's JSON importer.
+///
+/// The top-level object carries the schema tag, the span counts, and an
+/// explicit `truncated` marker (`overwritten > 0`: the ring wrapped, so
+/// the trace is the most recent window, not the whole run — readers must
+/// never take a wrapped export for a complete trace). Perfetto ignores
+/// the extra top-level keys. Each span becomes one `ph:"X"` duration
+/// event named `packet` on track `did <n>` (pid 1, tid `did + 1`), tiled
+/// by one child slice per nonzero component in lifecycle order
+/// (`retry_wait`, `pri_wait`, `ptb_wait`, `lookup`, `pcie`, `walk`).
+/// Timestamps are exact microsecond decimals (six fractional digits =
+/// integer picoseconds), so the output is byte-deterministic.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_trace<W: Write>(
+    spans: &[PacketSpan],
+    overwritten: u64,
+    w: &mut W,
+) -> io::Result<()> {
+    writeln!(
+        w,
+        r#"{{"schema":"hypersio-spans/v1","displayTimeUnit":"ns","recorded":{},"overwritten":{},"truncated":{},"traceEvents":["#,
+        spans.len(),
+        overwritten,
+        overwritten > 0
+    )?;
+    let mut line = String::with_capacity(256);
+    let mut first = true;
+    let emit = |w: &mut W, line: &mut String, first: &mut bool| -> io::Result<()> {
+        if !*first {
+            w.write_all(b",\n")?;
+        }
+        *first = false;
+        w.write_all(line.as_bytes())?;
+        line.clear();
+        Ok(())
+    };
+    line.push_str(r#"{"name":"process_name","ph":"M","pid":1,"args":{"name":"hypersio packets"}}"#);
+    emit(w, &mut line, &mut first)?;
+    let dids: std::collections::BTreeSet<u32> = spans.iter().map(|s| s.did).collect();
+    for did in dids {
+        let _ = write!(
+            line,
+            r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"did {}"}}}}"#,
+            did + 1,
+            did
+        );
+        emit(w, &mut line, &mut first)?;
+    }
+    for s in spans {
+        let tid = s.did + 1;
+        let _ = write!(
+            line,
+            r#"{{"name":"packet","ph":"X","pid":1,"tid":{tid},"ts":"#
+        );
+        write_us(&mut line, s.arrival_ps);
+        line.push_str(r#","dur":"#);
+        write_us(&mut line, s.latency_ps());
+        let _ = write!(
+            line,
+            r#","args":{{"seq":{},"did":{},"sid":{},"latency_ps":{},"ptb_retries":{},"fault_retries":{}}}}}"#,
+            s.seq,
+            s.did,
+            s.sid,
+            s.latency_ps(),
+            s.ptb_retries,
+            s.fault_retries
+        );
+        emit(w, &mut line, &mut first)?;
+        // Child slices tile [arrival, complete) in lifecycle order.
+        let c = &s.components;
+        let phases = [
+            ("retry_wait", c.retry_wait_ps),
+            ("pri_wait", c.pri_wait_ps),
+            ("ptb_wait", c.ptb_wait_ps),
+            ("lookup", c.lookup_ps),
+            ("pcie", c.pcie_ps),
+            ("walk", c.walk_ps),
+        ];
+        let mut cursor = s.arrival_ps;
+        for (name, dur) in phases {
+            if dur == 0 {
+                continue;
+            }
+            let _ = write!(
+                line,
+                r#"{{"name":"{name}","ph":"X","pid":1,"tid":{tid},"ts":"#
+            );
+            write_us(&mut line, cursor);
+            line.push_str(r#","dur":"#);
+            write_us(&mut line, dur);
+            line.push('}');
+            emit(w, &mut line, &mut first)?;
+            cursor += dur;
+        }
+    }
+    w.write_all(b"\n]}\n")?;
+    Ok(())
+}
+
+/// The result of [`reconstruct_spans`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Reconstruction {
+    /// Spans fully reconstructed from the stream, in completion order.
+    pub spans: Vec<PacketSpan>,
+    /// True when the source ring wrapped (`overwritten > 0`): the stream
+    /// is a suffix of the run, so `spans` is a partial trace and `seq`
+    /// numbers are relative to the window, not the run.
+    pub truncated: bool,
+    /// Completed packets whose lifecycle could not be paired with an open
+    /// span (their arrival fell before the recorded window).
+    pub skipped: u64,
+    /// Spans still open when the stream ended (arrived but not completed
+    /// within the window; includes terminally fault-dropped packets).
+    pub unclosed: u64,
+}
+
+/// One packet whose span is still being assembled.
+struct OpenSpan {
+    seq: u64,
+    did: u32,
+    sid: u32,
+    arrival_ps: u64,
+    retry_wait_ps: u64,
+    pri_wait_ps: u64,
+    /// Start of the wait segment currently accruing.
+    wait_from_ps: u64,
+    ptb_retries: u32,
+    fault_retries: u32,
+    /// Cause of the pending wait segment: PRI fault service vs PTB retry.
+    wait_is_fault: bool,
+}
+
+/// Per-arrival-slot service bookkeeping.
+#[derive(Default)]
+struct SlotState {
+    /// Fetch time of the slot (the serving `now`).
+    now_ps: u64,
+    /// PTB allocations in emission order: `(start, end, walk_latency)` —
+    /// the walk latency is attached when a `WalkDone` directly follows the
+    /// allocation's `PtbRelease` (demand walks only; prefetch walks are
+    /// stamped before the serve phase and never directly follow one).
+    allocs: Vec<(u64, u64, Option<u64>)>,
+    /// A `PageFault` for the slot's packet was seen (classifies a
+    /// following drop as fault backoff rather than PTB exhaustion).
+    fault_seen: bool,
+    /// The previous event was `PtbRelease`.
+    after_release: bool,
+}
+
+/// Replays the serve-phase critical path: completion is the latest PTB
+/// allocation end (or `now + hit` when nothing exceeds it), and the
+/// components are the critical translation's — ties resolve to the last
+/// allocation reaching the maximum, matching the online tracker.
+fn service_components(
+    now_ps: u64,
+    hit_latency_ps: u64,
+    allocs: &[(u64, u64, Option<u64>)],
+) -> SpanComponents {
+    let mut completion = now_ps + hit_latency_ps;
+    let mut parts = SpanComponents {
+        lookup_ps: hit_latency_ps,
+        ..SpanComponents::default()
+    };
+    for &(start, end, walk) in allocs {
+        if end >= completion {
+            let ptb_wait_ps = start.saturating_sub(now_ps);
+            let busy = end.saturating_sub(start);
+            parts = match walk {
+                Some(walk_ps) => SpanComponents {
+                    ptb_wait_ps,
+                    pcie_ps: busy.saturating_sub(walk_ps),
+                    walk_ps,
+                    ..SpanComponents::default()
+                },
+                None => SpanComponents {
+                    ptb_wait_ps,
+                    lookup_ps: busy,
+                    ..SpanComponents::default()
+                },
+            };
+        }
+        completion = completion.max(end);
+    }
+    parts
+}
+
+/// Reconstructs packet spans offline from a recorded event stream (e.g. a
+/// `--trace-out` ring replay).
+///
+/// The stream must be in emission order (the order `RingRecorder::iter`
+/// yields). `overwritten` is the source ring's overwrite count and
+/// `hit_latency_ps` the run's DevTLB hit latency (needed because the hit
+/// path emits no explicit duration event). For a complete, fault-free
+/// stream the result is *exact* — identical to the online spans. A
+/// wrapped ring yields the reconstructible suffix with `truncated` set
+/// and the unpaired lifecycles counted, never silently passed off as a
+/// complete trace. Under fault plans where several packets of the *same*
+/// tenant are simultaneously parked, retries are paired oldest-first
+/// (best effort; the simulator's retry queue can differ when backoff
+/// windows overlap).
+pub fn reconstruct_spans<'a, I>(records: I, overwritten: u64, hit_latency_ps: u64) -> Reconstruction
+where
+    I: IntoIterator<Item = &'a EventRecord>,
+{
+    let mut out = Reconstruction {
+        truncated: overwritten > 0,
+        ..Reconstruction::default()
+    };
+    // Open spans in park order (the simulator re-parks a dropped packet at
+    // the back of its retry queue; drops below mirror that).
+    let mut open: Vec<OpenSpan> = Vec::new();
+    // Index into `open` of the packet fetched in the current slot.
+    let mut current: Option<usize> = None;
+    let mut slot = SlotState::default();
+    let mut arrivals = 0u64;
+    for rec in records {
+        let after_release = slot.after_release;
+        slot.after_release = false;
+        match rec.event() {
+            Event::PacketArrival { sid, did } => {
+                open.push(OpenSpan {
+                    seq: arrivals,
+                    did: did.raw(),
+                    sid: sid.raw(),
+                    arrival_ps: rec.at_ps,
+                    retry_wait_ps: 0,
+                    pri_wait_ps: 0,
+                    wait_from_ps: rec.at_ps,
+                    ptb_retries: 0,
+                    fault_retries: 0,
+                    wait_is_fault: false,
+                });
+                arrivals += 1;
+                current = Some(open.len() - 1);
+                slot = SlotState {
+                    now_ps: rec.at_ps,
+                    ..SlotState::default()
+                };
+            }
+            Event::PacketRetry { did } => {
+                current = open.iter().position(|o| o.did == did.raw());
+                if let Some(i) = current {
+                    let o = &mut open[i];
+                    let seg = rec.at_ps.saturating_sub(o.wait_from_ps);
+                    if o.wait_is_fault {
+                        o.pri_wait_ps += seg;
+                    } else {
+                        o.retry_wait_ps += seg;
+                    }
+                    o.wait_from_ps = rec.at_ps;
+                }
+                slot = SlotState {
+                    now_ps: rec.at_ps,
+                    ..SlotState::default()
+                };
+            }
+            Event::PageFault { did, .. } if current.is_some_and(|i| open[i].did == did.raw()) => {
+                slot.fault_seen = true;
+            }
+            Event::PacketDrop { did } => {
+                if let Some(i) = current.take().filter(|&i| open[i].did == did.raw()) {
+                    let mut o = open.remove(i);
+                    if slot.fault_seen {
+                        o.fault_retries += 1;
+                        o.wait_is_fault = true;
+                    } else {
+                        o.ptb_retries += 1;
+                        o.wait_is_fault = false;
+                    }
+                    o.wait_from_ps = rec.at_ps;
+                    open.push(o); // re-parked at the back of the queue
+                }
+            }
+            Event::FaultedDrop { did } => {
+                if let Some(i) = current.take().filter(|&i| open[i].did == did.raw()) {
+                    open.remove(i);
+                    out.unclosed += 1;
+                }
+            }
+            Event::PacketComplete { did, latency_ps } => {
+                match current.take().filter(|&i| open[i].did == did.raw()) {
+                    Some(i) => {
+                        let o = open.remove(i);
+                        let complete_ps = rec.at_ps;
+                        let service_ps = complete_ps.saturating_sub(latency_ps);
+                        out.spans.push(PacketSpan {
+                            seq: o.seq,
+                            did: o.did,
+                            sid: o.sid,
+                            arrival_ps: o.arrival_ps,
+                            service_ps,
+                            complete_ps,
+                            ptb_retries: o.ptb_retries,
+                            fault_retries: o.fault_retries,
+                            components: SpanComponents {
+                                retry_wait_ps: o.retry_wait_ps,
+                                pri_wait_ps: o.pri_wait_ps,
+                                ..service_components(slot.now_ps, hit_latency_ps, &slot.allocs)
+                            },
+                        });
+                    }
+                    None => out.skipped += 1,
+                }
+            }
+            Event::PtbAlloc { start_ps, end_ps } => {
+                slot.allocs.push((start_ps, end_ps, None));
+            }
+            Event::PtbRelease => slot.after_release = true,
+            Event::WalkDone { latency_ps, .. } if after_release => {
+                if let Some(last) = slot.allocs.last_mut() {
+                    last.2 = Some(latency_ps);
+                }
+            }
+            _ => {}
+        }
+    }
+    out.unclosed += open.len() as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersio_types::{Did, GIova, Sid};
+
+    fn span(seq: u64, did: u32, arrival: u64, wait: u64, service: u64) -> PacketSpan {
+        PacketSpan {
+            seq,
+            did,
+            sid: did,
+            arrival_ps: arrival,
+            service_ps: arrival + wait,
+            complete_ps: arrival + wait + service,
+            ptb_retries: u32::from(wait > 0),
+            fault_retries: 0,
+            components: SpanComponents {
+                lookup_ps: service,
+                retry_wait_ps: wait,
+                ..SpanComponents::default()
+            },
+        }
+    }
+
+    #[test]
+    fn components_partition_the_lifetime() {
+        let s = span(0, 3, 1000, 400, 2000);
+        assert!(s.is_consistent());
+        assert_eq!(s.components.total_ps(), s.latency_ps());
+        let mut broken = s;
+        broken.components.walk_ps += 1;
+        assert!(!broken.is_consistent());
+    }
+
+    #[test]
+    fn attribution_accumulates_all_spans() {
+        let mut attr = LatencyAttribution::with_per_tenant();
+        attr.observe(&span(0, 1, 0, 100, 2000));
+        attr.observe(&span(1, 2, 50, 0, 3000));
+        attr.observe(&span(2, 1, 90, 0, 2000));
+        assert_eq!(attr.packets(), 3);
+        assert_eq!(attr.total().lookup_ps, 7000);
+        assert_eq!(attr.total().retry_wait_ps, 100);
+        assert_eq!(attr.total().total_ps(), 7100);
+        let per = attr.per_tenant().expect("per-tenant was opted in");
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[&1].packets, 2);
+        assert_eq!(per[&1].lookup_ps, 4000);
+        assert_eq!(per[&2].packets, 1);
+    }
+
+    /// The wrap boundary: the ring keeps the most recent spans and the
+    /// export marks itself truncated, while the attribution still covers
+    /// every span (satellite: partial traces are never silently complete).
+    #[test]
+    fn ring_wrap_truncates_export_but_not_attribution() {
+        let mut coll = SpanCollector::new(2);
+        for i in 0..5u64 {
+            coll.record_span(span(i, 0, i * 1000, 0, 2000));
+        }
+        assert_eq!(coll.len(), 2);
+        assert_eq!(coll.overwritten(), 3);
+        let seqs: Vec<u64> = coll.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![3, 4], "oldest-first, most recent survive");
+        assert_eq!(
+            coll.attribution().packets(),
+            5,
+            "eviction never drops attribution"
+        );
+        let mut out = Vec::new();
+        coll.write_chrome_trace(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(r#""recorded":2"#));
+        assert!(text.contains(r#""overwritten":3"#));
+        assert!(text.contains(r#""truncated":true"#));
+    }
+
+    #[test]
+    fn unwrapped_ring_exports_untruncated() {
+        let mut coll = SpanCollector::new(8);
+        coll.record_span(span(0, 0, 0, 0, 2000));
+        let mut out = Vec::new();
+        coll.write_chrome_trace(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(r#""truncated":false"#));
+        assert!(text.contains(r#""overwritten":0"#));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _ = SpanCollector::new(0);
+    }
+
+    /// Byte-exact export of a known span set: the exporter is
+    /// deterministic and the slices tile the parent duration.
+    #[test]
+    fn chrome_trace_is_deterministic_and_tiled() {
+        let s = PacketSpan {
+            seq: 7,
+            did: 2,
+            sid: 5,
+            arrival_ps: 1_500_000,
+            service_ps: 1_561_680,
+            complete_ps: 3_461_680,
+            ptb_retries: 1,
+            fault_retries: 0,
+            components: SpanComponents {
+                lookup_ps: 0,
+                ptb_wait_ps: 100_000,
+                pcie_ps: 900_000,
+                walk_ps: 900_000,
+                retry_wait_ps: 61_680,
+                pri_wait_ps: 0,
+            },
+        };
+        assert!(s.is_consistent());
+        let mut out = Vec::new();
+        write_chrome_trace(&[s], 0, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let expected = concat!(
+            "{\"schema\":\"hypersio-spans/v1\",\"displayTimeUnit\":\"ns\",",
+            "\"recorded\":1,\"overwritten\":0,\"truncated\":false,\"traceEvents\":[\n",
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"hypersio packets\"}},\n",
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3,\"args\":{\"name\":\"did 2\"}},\n",
+            "{\"name\":\"packet\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":1.500000,\"dur\":1.961680,",
+            "\"args\":{\"seq\":7,\"did\":2,\"sid\":5,\"latency_ps\":1961680,\"ptb_retries\":1,\"fault_retries\":0}},\n",
+            "{\"name\":\"retry_wait\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":1.500000,\"dur\":0.061680},\n",
+            "{\"name\":\"ptb_wait\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":1.561680,\"dur\":0.100000},\n",
+            "{\"name\":\"pcie\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":1.661680,\"dur\":0.900000},\n",
+            "{\"name\":\"walk\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":2.561680,\"dur\":0.900000}\n",
+            "]}\n",
+        );
+        assert_eq!(text, expected);
+    }
+
+    fn rec(at: u64, ev: Event) -> EventRecord {
+        EventRecord::new(at, ev)
+    }
+
+    /// A hand-built stream: arrival → PTB-full drop → retry → serve with
+    /// one hit and one demand walk → complete. The reconstruction must
+    /// recover the exact span, including the miss critical path.
+    #[test]
+    fn reconstructs_retry_and_walk_critical_path() {
+        let did = Did::new(4);
+        let hit = 2_000u64;
+        // Arrival at t=0, dropped; retry at t=10_000; serve: one hit slot
+        // (10_000..12_000), one demand walk (start 12_000, pcie 900_000 +
+        // walk 300_000 → end 1_212_000); completes at 1_212_000.
+        let stream = [
+            rec(
+                0,
+                Event::PacketArrival {
+                    sid: Sid::new(9),
+                    did,
+                },
+            ),
+            rec(0, Event::PacketDrop { did }),
+            rec(10_000, Event::PacketRetry { did }),
+            rec(
+                10_000,
+                Event::PtbAlloc {
+                    start_ps: 10_000,
+                    end_ps: 12_000,
+                },
+            ),
+            rec(12_000, Event::PtbRelease),
+            rec(
+                10_000,
+                Event::WalkStart {
+                    did,
+                    iova: GIova::new(0x1000),
+                },
+            ),
+            rec(
+                12_000,
+                Event::PtbAlloc {
+                    start_ps: 12_000,
+                    end_ps: 1_212_000,
+                },
+            ),
+            rec(1_212_000, Event::PtbRelease),
+            rec(
+                1_212_000,
+                Event::WalkDone {
+                    did,
+                    latency_ps: 300_000,
+                },
+            ),
+            rec(
+                1_212_000,
+                Event::PacketComplete {
+                    did,
+                    latency_ps: 1_202_000,
+                },
+            ),
+        ];
+        let r = reconstruct_spans(stream.iter(), 0, hit);
+        assert!(!r.truncated);
+        assert_eq!(r.skipped, 0);
+        assert_eq!(r.unclosed, 0);
+        assert_eq!(r.spans.len(), 1);
+        let s = &r.spans[0];
+        assert!(s.is_consistent(), "{s:?}");
+        assert_eq!(s.arrival_ps, 0);
+        assert_eq!(s.service_ps, 10_000);
+        assert_eq!(s.complete_ps, 1_212_000);
+        assert_eq!(s.ptb_retries, 1);
+        assert_eq!(
+            s.components,
+            SpanComponents {
+                lookup_ps: 0,
+                ptb_wait_ps: 2_000,
+                pcie_ps: 900_000,
+                walk_ps: 300_000,
+                retry_wait_ps: 10_000,
+                pri_wait_ps: 0,
+            }
+        );
+    }
+
+    /// A wrapped stream starting mid-lifecycle: the orphan retry's
+    /// completion is skipped, the trailing unfinished arrival is counted
+    /// as unclosed, and the result is flagged truncated.
+    #[test]
+    fn truncated_stream_skips_orphans_and_flags() {
+        let did = Did::new(1);
+        let stream = [
+            // Orphan: its PacketArrival was overwritten.
+            rec(5_000, Event::PacketRetry { did }),
+            rec(
+                5_000,
+                Event::PtbAlloc {
+                    start_ps: 5_000,
+                    end_ps: 7_000,
+                },
+            ),
+            rec(7_000, Event::PtbRelease),
+            rec(
+                7_000,
+                Event::PacketComplete {
+                    did,
+                    latency_ps: 2_000,
+                },
+            ),
+            // A fresh, fully recorded packet.
+            rec(
+                10_000,
+                Event::PacketArrival {
+                    sid: Sid::new(1),
+                    did,
+                },
+            ),
+            rec(
+                10_000,
+                Event::PtbAlloc {
+                    start_ps: 10_000,
+                    end_ps: 12_000,
+                },
+            ),
+            rec(12_000, Event::PtbRelease),
+            rec(
+                12_000,
+                Event::PacketComplete {
+                    did,
+                    latency_ps: 2_000,
+                },
+            ),
+            // Arrives but never completes within the window.
+            rec(
+                20_000,
+                Event::PacketArrival {
+                    sid: Sid::new(2),
+                    did,
+                },
+            ),
+        ];
+        let r = reconstruct_spans(stream.iter(), 3, 2_000);
+        assert!(r.truncated);
+        assert_eq!(r.skipped, 1, "orphan completion is never a span");
+        assert_eq!(r.unclosed, 1);
+        assert_eq!(r.spans.len(), 1);
+        let s = &r.spans[0];
+        assert!(s.is_consistent());
+        assert_eq!(s.arrival_ps, 10_000);
+        assert_eq!(s.components.lookup_ps, 2_000);
+    }
+
+    /// Prefetch walks (WalkDone not directly after a PtbRelease) must not
+    /// be mistaken for the demand walk of a PTB allocation.
+    #[test]
+    fn prefetch_walks_do_not_poison_the_decomposition() {
+        let did = Did::new(0);
+        let stream = [
+            rec(
+                0,
+                Event::PacketArrival {
+                    sid: Sid::new(0),
+                    did,
+                },
+            ),
+            // Prefetch-stage walk, stamped before the serve phase.
+            rec(
+                0,
+                Event::WalkStart {
+                    did,
+                    iova: GIova::new(0x2000),
+                },
+            ),
+            rec(
+                500_000,
+                Event::WalkDone {
+                    did,
+                    latency_ps: 500_000,
+                },
+            ),
+            // Serve: a single hit.
+            rec(
+                0,
+                Event::PtbAlloc {
+                    start_ps: 0,
+                    end_ps: 2_000,
+                },
+            ),
+            rec(2_000, Event::PtbRelease),
+            rec(
+                2_000,
+                Event::PacketComplete {
+                    did,
+                    latency_ps: 2_000,
+                },
+            ),
+        ];
+        let r = reconstruct_spans(stream.iter(), 0, 2_000);
+        assert_eq!(r.spans.len(), 1);
+        let s = &r.spans[0];
+        assert!(s.is_consistent());
+        assert_eq!(
+            s.components.walk_ps, 0,
+            "prefetch walk is not on the packet path"
+        );
+        assert_eq!(s.components.lookup_ps, 2_000);
+    }
+}

@@ -65,6 +65,14 @@ impl LatencyStats {
         self.count
     }
 
+    /// Returns the exact sum of all recorded samples in picoseconds —
+    /// unlike the bucketed percentiles this carries no approximation, so
+    /// it reconciles exactly against an external per-sample accumulator
+    /// (the span layer's latency attribution asserts against it).
+    pub fn sum_ps(&self) -> u128 {
+        self.sum_ps
+    }
+
     /// Returns the mean latency (zero if empty).
     pub fn mean(&self) -> SimDuration {
         if self.count == 0 {

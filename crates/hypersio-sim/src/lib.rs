@@ -63,6 +63,7 @@ pub use slot_pool::SlotPool;
 // Re-export the observability vocabulary so downstream users can drive
 // `Simulation::run_with` without naming the obs crate separately.
 pub use hypersio_obs::{
-    write_jsonl_many, CountingObserver, Event, EventKind, NullObserver, Observer, RingRecorder,
-    TimeSeriesSampler,
+    reconstruct_spans, write_chrome_trace, write_jsonl_many, ComponentSums, CountingObserver,
+    Event, EventKind, LatencyAttribution, NullObserver, Observer, PacketSpan, Reconstruction,
+    RingRecorder, SpanCollector, SpanComponents, TimeSeriesSampler,
 };

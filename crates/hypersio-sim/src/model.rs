@@ -9,7 +9,7 @@
 use std::fmt;
 
 use hypersio_mem::{Iommu, IommuParams, SpacePool, TenantSpace};
-use hypersio_obs::{NullObserver, Observer};
+use hypersio_obs::{NullObserver, Observer, PacketSpan, SpanComponents};
 use hypersio_trace::HyperTrace;
 use hypersio_types::{Bandwidth, Did, SimDuration};
 use hypertrio_core::{DevTlb, PrefetchUnit, TranslationConfig};
@@ -260,7 +260,7 @@ impl Simulation {
                 // DevTLB/PB probe (stage 3) exactly once.
                 let fetched = st.arrival.fetch(now, obs);
                 lap::<TIMED>(&mut mark, &mut timings.arrival_ns);
-                let work = match fetched {
+                let mut work = match fetched {
                     Fetched::Exhausted => break 'run,
                     Fetched::Idle => {
                         // Only backed-off packets remain and none is
@@ -269,7 +269,16 @@ impl Simulation {
                         st.arrival.skip_slot();
                         continue;
                     }
-                    Fetched::Retry(work) => work,
+                    Fetched::Retry(mut work) => {
+                        if O::SPANS {
+                            // Close the wait segment opened at the drop:
+                            // measured to the actual re-fetch slot, the
+                            // total is exact whether the retry spin was
+                            // iterated or bulk fast-forwarded.
+                            work.span.note_refetch(now.as_ps());
+                        }
+                        work
+                    }
                     Fetched::Fresh(packet) => {
                         st.prefetch.deliver_due(
                             st.arrival.observed(),
@@ -288,7 +297,7 @@ impl Simulation {
                             obs,
                         );
                         lap::<TIMED>(&mut mark, &mut timings.prefetch_ns);
-                        let work = st.lookup.probe(
+                        let mut work = st.lookup.probe(
                             packet,
                             now,
                             &mut st.prefetch,
@@ -298,6 +307,14 @@ impl Simulation {
                             obs,
                         );
                         lap::<TIMED>(&mut mark, &mut timings.lookup_ns);
+                        if O::SPANS {
+                            // Seed the span at first arrival: `observed`
+                            // was just bumped by the fetch, so the 0-based
+                            // sequence number is `observed - 1`.
+                            work.span.seq = st.arrival.observed() - 1;
+                            work.span.arrival_ps = now.as_ps();
+                            work.span.wait_from_ps = now.as_ps();
+                        }
                         work
                     }
                 };
@@ -322,8 +339,10 @@ impl Simulation {
                             st.lookup.reclaim(misses);
                         } else {
                             st.completion.record_drop(work.packet.did, now, obs);
+                            if O::SPANS {
+                                work.span.note_drop(now.as_ps(), true);
+                            }
                             let delay = inj.backoff_slots(work.fault_retries);
-                            let mut work = work;
                             work.fault_retries += 1;
                             st.arrival.defer_after(work, delay);
                         }
@@ -337,6 +356,9 @@ impl Simulation {
                 // next slot (§IV-C).
                 if !st.walk.admit(now, st.lookup.bypass()) {
                     st.completion.record_drop(work.packet.did, now, obs);
+                    if O::SPANS {
+                        work.span.note_drop(now.as_ps(), false);
+                    }
                     // Fast-forward the retry spin: without an observer or a
                     // fault plan, this packet is the only parked one and
                     // will redrop every slot until the PTB frees, so the
@@ -348,6 +370,12 @@ impl Simulation {
                     if !O::ENABLED && st.faults.is_none() {
                         let skipped = st.arrival.fast_forward_drops(st.walk.ptb_earliest_free());
                         st.completion.record_drops_bulk(work.packet.did, skipped);
+                        if O::SPANS {
+                            // Each skipped slot was one more PTB-full
+                            // drop; the wait time itself is closed at the
+                            // real retry fetch, so only the count is owed.
+                            work.span.note_bulk_drops(skipped);
+                        }
                     }
                     st.arrival.defer(work);
                     lap::<TIMED>(&mut mark, &mut timings.completion_ns);
@@ -355,16 +383,43 @@ impl Simulation {
                 }
 
                 // Stage 4 service, then stage 5 accounting.
-                let completion = st
-                    .walk
-                    .serve(&work, now, &mut st.lookup, &mut st.clock, obs);
+                let (completion, parts) =
+                    st.walk
+                        .serve(&work, now, &mut st.lookup, &mut st.clock, obs);
                 lap::<TIMED>(&mut mark, &mut timings.walk_ns);
                 st.prefetch.record_history(&work.packet);
                 lap::<TIMED>(&mut mark, &mut timings.prefetch_ns);
-                let Deferred { packet, misses, .. } = work;
+                let Deferred {
+                    packet,
+                    misses,
+                    fault_retries,
+                    span,
+                    ..
+                } = work;
                 st.lookup.reclaim(misses);
                 st.completion
                     .record_complete(packet.did, now, completion, obs);
+                if O::SPANS {
+                    // The wait side (seed) tiles [arrival, now) and the
+                    // service side (serve's critical path) tiles
+                    // [now, completion): together the six components sum
+                    // exactly to the end-to-end latency.
+                    obs.record_span(PacketSpan {
+                        seq: span.seq,
+                        did: packet.did.raw(),
+                        sid: packet.sid.raw(),
+                        arrival_ps: span.arrival_ps,
+                        service_ps: now.as_ps(),
+                        complete_ps: completion.as_ps(),
+                        ptb_retries: span.ptb_retries,
+                        fault_retries,
+                        components: SpanComponents {
+                            retry_wait_ps: span.retry_wait_ps,
+                            pri_wait_ps: span.pri_wait_ps,
+                            ..parts
+                        },
+                    });
+                }
                 lap::<TIMED>(&mut mark, &mut timings.completion_ns);
             }
         }
@@ -441,6 +496,7 @@ impl Simulation {
             translation_requests: requests,
             packet_latency,
             per_tenant,
+            latency_breakdown: None,
         }
     }
 }

@@ -6,6 +6,70 @@ use hypersio_obs::{Event, Observer};
 use hypersio_trace::{HyperTrace, TracePacket};
 use hypersio_types::{GIova, SimDuration, SimTime};
 
+/// Arrival-side span bookkeeping carried through a packet's drop/retry
+/// lifecycle: the accumulated wait-side latency components and the drop
+/// counts that end up in the packet's
+/// [`PacketSpan`](hypersio_obs::PacketSpan).
+///
+/// Inert (default-constructed and never touched) unless the observer's
+/// compile-time [`SPANS`](hypersio_obs::Observer::SPANS) gate is on, so
+/// span assembly costs nothing on the plain path. Wait segments are
+/// measured from `wait_from_ps` to the *actual* re-fetch slot, so the
+/// totals stay exact whether the drop/retry spin is iterated per slot or
+/// bulk fast-forwarded (`ArrivalSource::fast_forward_drops` skips only
+/// re-park slots, which contribute no service time).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SpanSeed {
+    /// 0-based packet sequence number (trace-observation order).
+    pub(crate) seq: u64,
+    /// First arrival time on the link.
+    pub(crate) arrival_ps: u64,
+    /// Accumulated backoff spent re-trying after PTB-full drops.
+    pub(crate) retry_wait_ps: u64,
+    /// Accumulated backoff spent waiting for PRI fault service.
+    pub(crate) pri_wait_ps: u64,
+    /// Start of the wait segment currently accruing.
+    pub(crate) wait_from_ps: u64,
+    /// PTB-full drops so far.
+    pub(crate) ptb_retries: u32,
+    /// Cause of the pending wait segment: PRI fault service vs PTB retry.
+    pub(crate) wait_is_fault: bool,
+}
+
+impl SpanSeed {
+    /// Notes a drop at `now_ps`: opens a wait segment of the given cause
+    /// (PTB-full drops also count a retry; fault drops are counted by the
+    /// caller via `Deferred::fault_retries`).
+    pub(crate) fn note_drop(&mut self, now_ps: u64, is_fault: bool) {
+        if !is_fault {
+            self.ptb_retries += 1;
+        }
+        self.wait_is_fault = is_fault;
+        self.wait_from_ps = now_ps;
+    }
+
+    /// Notes the packet's re-fetch at `now_ps`: closes the pending wait
+    /// segment into the component its cause selects.
+    pub(crate) fn note_refetch(&mut self, now_ps: u64) {
+        let seg = now_ps.saturating_sub(self.wait_from_ps);
+        if self.wait_is_fault {
+            self.pri_wait_ps += seg;
+        } else {
+            self.retry_wait_ps += seg;
+        }
+        self.wait_from_ps = now_ps;
+    }
+
+    /// Accounts the `skipped` re-drops of a bulk fast-forwarded retry
+    /// spin (every skipped slot was a PTB-full drop; the wait time itself
+    /// is picked up by [`SpanSeed::note_refetch`] at the real retry slot).
+    pub(crate) fn note_bulk_drops(&mut self, skipped: u64) {
+        self.ptb_retries = self
+            .ptb_retries
+            .saturating_add(skipped.min(u32::MAX as u64) as u32);
+    }
+}
+
 /// A packet waiting for retry after a drop, with its pre-computed
 /// translation outcome (lookups are performed once per packet so that
 /// oracle replacement sees each request exactly once).
@@ -22,6 +86,9 @@ pub(crate) struct Deferred {
     /// Slots this packet was dropped for a not-present page (the fault
     /// injector's backoff counter; always 0 without fault injection).
     pub(crate) fault_retries: u32,
+    /// Wait-side latency attribution (inert unless the observer assembles
+    /// spans).
+    pub(crate) span: SpanSeed,
 }
 
 /// One parked packet and the slot at which it becomes eligible again.
@@ -218,6 +285,7 @@ mod tests {
             misses: Vec::new(),
             hits: 0,
             fault_retries: 0,
+            span: SpanSeed::default(),
         }
     }
 

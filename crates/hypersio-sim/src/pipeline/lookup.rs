@@ -6,6 +6,7 @@ use hypersio_trace::TracePacket;
 use hypersio_types::{Did, GIova, Sid, SimTime};
 use hypertrio_core::{DevTlb, TlbEntry};
 
+use super::arrival::SpanSeed;
 use super::completion::CompletionStage;
 use super::prefetch::PrefetchStage;
 use super::{Deferred, ReqClock};
@@ -168,6 +169,7 @@ impl LookupStage {
             misses,
             hits,
             fault_retries: 0,
+            span: SpanSeed::default(),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use hypersio_cache::CacheStats;
 use hypersio_mem::{Iommu, IommuResponse, IommuStats, TranslationFault};
-use hypersio_obs::{Event, Observer};
+use hypersio_obs::{Event, Observer, SpanComponents};
 use hypersio_types::{Did, GIova, Sid, SimDuration, SimTime};
 use hypertrio_core::TlbEntry;
 
@@ -69,7 +69,13 @@ impl WalkStage {
     /// Serves an admitted packet: hits occupy a PTB slot for the hit
     /// latency, misses for the PCIe round trip plus the walk; walked
     /// translations are installed into the DevTLB. Returns the packet's
-    /// completion time (when its last translation finishes).
+    /// completion time (when its last translation finishes) together with
+    /// the service-side latency decomposition of the *critical*
+    /// (latest-finishing) translation — `ptb_wait + lookup + pcie + walk`
+    /// sums exactly to `completion - now`. The decomposition is tracked
+    /// only when the observer's compile-time
+    /// [`SPANS`](Observer::SPANS) gate is on; otherwise the returned
+    /// components are zeroed and the tracking compiles away.
     ///
     /// The packet's misses run in two phases: first one batch translation
     /// through the IOMMU (its nested walk-cache probes run back-to-back
@@ -86,10 +92,27 @@ impl WalkStage {
         lookup: &mut LookupStage,
         clock: &mut ReqClock,
         obs: &mut O,
-    ) -> SimTime {
+    ) -> (SimTime, SpanComponents) {
         let mut completion = now + self.hit_latency;
+        // The critical path starts as the in-slot hit latency (the floor
+        // every packet pays) and is replaced whenever a scheduled
+        // translation finishes at or after the running completion — ties
+        // resolve to the last translation reaching the maximum, matching
+        // `SimTime::max`. Each candidate's components sum to `end - now`,
+        // so the final components sum to `completion - now` exactly.
+        let mut parts = SpanComponents::default();
+        if O::SPANS {
+            parts.lookup_ps = self.hit_latency.as_ps();
+        }
         for _ in 0..work.hits {
             let (start, end) = self.ptb.schedule(now, self.hit_latency);
+            if O::SPANS && end >= completion {
+                parts = SpanComponents {
+                    lookup_ps: self.hit_latency.as_ps(),
+                    ptb_wait_ps: start.duration_since(now).as_ps(),
+                    ..SpanComponents::default()
+                };
+            }
             completion = completion.max(end);
             if O::ENABLED {
                 obs.record(
@@ -129,6 +152,14 @@ impl WalkStage {
                 Ok(resp) => {
                     let walk = self.walk_latency(now, resp.latency);
                     let (start, end) = self.ptb.schedule(now, self.pcie_round + walk);
+                    if O::SPANS && end >= completion {
+                        parts = SpanComponents {
+                            ptb_wait_ps: start.duration_since(now).as_ps(),
+                            pcie_ps: self.pcie_round.as_ps(),
+                            walk_ps: walk.as_ps(),
+                            ..SpanComponents::default()
+                        };
+                    }
                     completion = completion.max(end);
                     if O::ENABLED {
                         obs.record(
@@ -168,7 +199,7 @@ impl WalkStage {
             }
         }
         self.resp_buf = responses;
-        completion
+        (completion, parts)
     }
 
     /// One raw IOMMU translation on behalf of the prefetch stage (which

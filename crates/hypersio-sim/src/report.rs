@@ -5,6 +5,8 @@ use std::fmt;
 use hypersio_cache::CacheStats;
 use hypersio_mem::IommuStats;
 
+use hypersio_obs::{ComponentSums, LatencyAttribution};
+
 use crate::latency::LatencyStats;
 use crate::per_tenant::PerTenantReport;
 use hypersio_trace::{Interleaving, WorkloadKind};
@@ -92,6 +94,12 @@ pub struct SimReport {
     /// Per-tenant breakdown; `Some` only when the run was configured with
     /// [`SimParams::with_per_tenant`](crate::SimParams::with_per_tenant).
     pub per_tenant: Option<PerTenantReport>,
+    /// Additive latency decomposition over every completed packet; `Some`
+    /// only when the run collected spans (a span observer was attached and
+    /// the caller transferred its accumulator here). The simulation loop
+    /// itself always leaves this `None` so span-on and span-off runs
+    /// produce identical reports.
+    pub latency_breakdown: Option<LatencyAttribution>,
 }
 
 impl SimReport {
@@ -176,7 +184,7 @@ impl SimReport {
         out.push_str("  \"latency_ps\": ");
         latency_json(&mut out, &self.packet_latency);
         match &self.per_tenant {
-            None => out.push_str(",\n  \"per_tenant\": null\n"),
+            None => out.push_str(",\n  \"per_tenant\": null"),
             Some(pt) => {
                 let fair = pt.fairness();
                 out.push_str(",\n  \"per_tenant\": {\n");
@@ -209,7 +217,39 @@ impl SimReport {
                         "\n"
                     });
                 }
-                out.push_str("    ]\n  }\n");
+                out.push_str("    ]\n  }");
+            }
+        }
+        match &self.latency_breakdown {
+            None => out.push_str(",\n  \"latency_breakdown\": null\n"),
+            Some(lb) => {
+                let t = lb.total();
+                out.push_str(",\n  \"latency_breakdown\": {\n");
+                let _ = writeln!(out, "    \"packets\": {},", t.packets);
+                out.push_str("    \"components_ps\": ");
+                components_json(&mut out, t);
+                out.push_str(",\n");
+                let _ = writeln!(out, "    \"service_ps\": {},", t.service_ps());
+                let _ = writeln!(out, "    \"wait_ps\": {},", t.wait_ps());
+                let _ = writeln!(out, "    \"total_ps\": {},", t.total_ps());
+                match lb.per_tenant() {
+                    None => out.push_str("    \"per_tenant\": null\n"),
+                    Some(map) => {
+                        out.push_str("    \"per_tenant\": [\n");
+                        for (i, (did, s)) in map.iter().enumerate() {
+                            let _ = write!(
+                                out,
+                                "      {{\"did\": {}, \"packets\": {}, \"components_ps\": ",
+                                did, s.packets
+                            );
+                            components_json(&mut out, s);
+                            let _ = write!(out, ", \"total_ps\": {}}}", s.total_ps());
+                            out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+                        }
+                        out.push_str("    ]\n");
+                    }
+                }
+                out.push_str("  }\n");
             }
         }
         out.push_str("}\n");
@@ -229,6 +269,21 @@ fn cache_json(out: &mut String, name: &str, stats: &hypersio_cache::CacheStats) 
         stats.evictions(),
         stats.hit_rate()
     );
+}
+
+/// Appends one `{"lookup": Σps, ...}` component-sum object (no trailing
+/// comma or newline), keys in the fixed display order of
+/// [`ComponentSums::named`].
+fn components_json(out: &mut String, sums: &ComponentSums) {
+    use std::fmt::Write as _;
+    out.push('{');
+    for (i, (name, ps)) in sums.named().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{name}\": {ps}");
+    }
+    out.push('}');
 }
 
 /// Appends one latency-summary object (no trailing comma or newline).
@@ -333,6 +388,33 @@ impl fmt::Display for SimReport {
         if let Some(per_tenant) = &self.per_tenant {
             write!(f, "\n{per_tenant}")?;
         }
+        // Only printed when a span collector ran, so span-off output stays
+        // byte-identical with older reports.
+        if let Some(lb) = &self.latency_breakdown {
+            let t = lb.total();
+            write!(f, "\n  breakdown: {} packets attributed", t.packets)?;
+            let total = t.total_ps();
+            if total > 0 {
+                for (name, ps) in t.named() {
+                    let mean = ps / u128::from(t.packets.max(1));
+                    let pct = 100.0 * ps as f64 / total as f64;
+                    write!(f, "\n    {name:<10} {mean:>12} ps/pkt  {pct:5.1}%")?;
+                }
+            }
+            if let Some(map) = lb.per_tenant() {
+                write!(
+                    f,
+                    "\n    did      packets  lookup%  ptbw%  pcie%  walk%  retry%  pri%"
+                )?;
+                for (did, s) in map {
+                    let tt = s.total_ps().max(1) as f64;
+                    write!(f, "\n    {did:<8} {:>7}", s.packets)?;
+                    for (_, ps) in s.named() {
+                        write!(f, "  {:5.1}", 100.0 * ps as f64 / tt)?;
+                    }
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -370,6 +452,7 @@ mod tests {
             translation_requests: 270,
             packet_latency: LatencyStats::new(),
             per_tenant: None,
+            latency_breakdown: None,
         }
     }
 
@@ -488,6 +571,76 @@ mod tests {
         assert!(j.contains("\"jain\": 1"));
         assert!(j.contains("\"did\": 1"));
         assert_eq!(j.matches("\"packets\": 45").count(), 2);
+    }
+
+    #[test]
+    fn breakdown_hidden_when_absent() {
+        assert!(!dummy().to_string().contains("breakdown"));
+        assert!(dummy().to_json().contains("\"latency_breakdown\": null"));
+    }
+
+    #[test]
+    fn breakdown_rendered_when_present() {
+        use hypersio_obs::{PacketSpan, SpanComponents};
+        let mut lb = LatencyAttribution::with_per_tenant();
+        lb.observe(&PacketSpan {
+            seq: 0,
+            did: 3,
+            sid: 3,
+            arrival_ps: 0,
+            service_ps: 400,
+            complete_ps: 1_400,
+            ptb_retries: 1,
+            fault_retries: 0,
+            components: SpanComponents {
+                lookup_ps: 200,
+                ptb_wait_ps: 100,
+                pcie_ps: 300,
+                walk_ps: 400,
+                retry_wait_ps: 400,
+                pri_wait_ps: 0,
+            },
+        });
+        let mut r = dummy();
+        r.latency_breakdown = Some(lb);
+        let s = r.to_string();
+        assert!(s.contains("breakdown: 1 packets attributed"));
+        assert!(s.contains("lookup"));
+        assert!(s.contains("did      packets"));
+        let j = r.to_json();
+        assert!(j.contains("\"latency_breakdown\": {"));
+        assert!(j.contains(
+            "\"components_ps\": {\"lookup\": 200, \"ptb_wait\": 100, \"pcie\": 300, \
+             \"walk\": 400, \"retry_wait\": 400, \"pri_wait\": 0}"
+        ));
+        assert!(j.contains("\"total_ps\": 1400"));
+        assert!(j.contains("\"did\": 3"));
+    }
+
+    #[test]
+    fn breakdown_json_aggregate_only() {
+        use hypersio_obs::{PacketSpan, SpanComponents};
+        let mut lb = LatencyAttribution::new();
+        lb.observe(&PacketSpan {
+            seq: 0,
+            did: 0,
+            sid: 0,
+            arrival_ps: 0,
+            service_ps: 0,
+            complete_ps: 100,
+            ptb_retries: 0,
+            fault_retries: 0,
+            components: SpanComponents {
+                lookup_ps: 100,
+                ..SpanComponents::default()
+            },
+        });
+        let mut r = dummy();
+        r.latency_breakdown = Some(lb);
+        let j = r.to_json();
+        assert!(j.contains("\"latency_breakdown\": {"));
+        assert!(j.contains("    \"per_tenant\": null"));
+        assert!(!r.to_string().contains("did      packets"));
     }
 
     #[test]

@@ -231,6 +231,9 @@ fn merge_reports(mut reports: Vec<SimReport>, shards: u32, params: &SimParams) -
         translation_requests,
         packet_latency,
         per_tenant: collect_per_tenant.then_some(PerTenantReport { tenants: rows }),
+        // Sharded runs never carry spans (the CLI rejects --spans-out with
+        // --shards > 1), so the merged report has no breakdown to carry.
+        latency_breakdown: None,
     }
 }
 

@@ -98,6 +98,13 @@ pub struct SimArgs {
     pub window_us: u64,
     /// Write the machine-readable `sim_report/v1` JSON to this path (`sim`).
     pub report_json: Option<String>,
+    /// Write per-packet lifecycle spans as Chrome trace-event JSON
+    /// (`hypersio-spans/v1`, loadable in Perfetto) to this path (`sim`).
+    /// Also attaches the `latency_breakdown` block to the report.
+    pub spans_out: Option<String>,
+    /// Span ring capacity: the most recent N packet spans are exported
+    /// (the latency breakdown always covers every packet).
+    pub spans_cap: usize,
     /// Load a declarative `fault_plan/v1` JSON file (`sim`).
     pub fault_plan: Option<String>,
     /// Override/add a periodic global invalidation storm, period in
@@ -130,6 +137,8 @@ impl Default for SimArgs {
             timeseries_out: None,
             window_us: 10,
             report_json: None,
+            spans_out: None,
+            spans_cap: 65536,
             fault_plan: None,
             inv_storm_us: None,
             fault_rate: None,
@@ -273,6 +282,12 @@ OBSERVABILITY (sim only; no effect on the simulated behaviour):
     --timeseries-out <path> write a windowed time series
                            (CSV, or JSON when path ends in .json)
     --window-us <N>        time-series window in simulated us    [10]
+    --spans-out <path>     write per-packet lifecycle spans as Chrome
+                           trace-event JSON (hypersio-spans/v1; open in
+                           Perfetto) and add the latency_breakdown block
+                           to the report
+    --spans-cap <N>        span ring capacity (most recent N packets
+                           exported; the breakdown covers all) [65536]
 
 FAULT INJECTION (sim only; deterministic, seeded):
     --fault-plan <path>    load a declarative fault_plan/v1 JSON file
@@ -407,6 +422,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }
             }
             "--report-json" => parsed.report_json = Some(value.clone()),
+            "--spans-out" => parsed.spans_out = Some(value.clone()),
+            "--spans-cap" => {
+                parsed.spans_cap = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --spans-cap: {e}")))?;
+                if parsed.spans_cap == 0 {
+                    return Err(ParseError("--spans-cap must be at least 1".into()));
+                }
+            }
             "--fault-plan" => parsed.fault_plan = Some(value.clone()),
             "--inv-storm" => {
                 let period: u64 = value
@@ -462,6 +486,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         return Err(ParseError(
             "--timeseries-out is not supported with --shards > 1: windowed \
              time series are per-queue and have no deterministic merge"
+                .into(),
+        ));
+    }
+    if parsed.shards > 1 && parsed.spans_out.is_some() {
+        return Err(ParseError(
+            "--spans-out is not supported with --shards > 1: span rings are \
+             per-queue and have no deterministic merge"
                 .into(),
         ));
     }
@@ -595,7 +626,8 @@ mod tests {
     fn observability_flags_parse() {
         let Command::Sim(args) = parse(&argv(
             "sim --per-tenant --trace-out /tmp/ev.jsonl --trace-cap 128 \
-             --timeseries-out ts.csv --window-us 5 --report-json out.json",
+             --timeseries-out ts.csv --window-us 5 --report-json out.json \
+             --spans-out spans.json --spans-cap 512",
         ))
         .unwrap() else {
             panic!("expected sim");
@@ -606,7 +638,12 @@ mod tests {
         assert_eq!(args.timeseries_out.as_deref(), Some("ts.csv"));
         assert_eq!(args.window_us, 5);
         assert_eq!(args.report_json.as_deref(), Some("out.json"));
+        assert_eq!(args.spans_out.as_deref(), Some("spans.json"));
+        assert_eq!(args.spans_cap, 512);
         assert!(args.params().per_tenant);
+        // Spans off by default.
+        assert_eq!(SimArgs::default().spans_out, None);
+        assert_eq!(SimArgs::default().spans_cap, 65536);
     }
 
     #[test]
@@ -627,8 +664,11 @@ mod tests {
         for (input, needle) in [
             ("sim --trace-cap 0", "at least 1"),
             ("sim --window-us 0", "at least 1"),
+            ("sim --spans-cap 0", "at least 1"),
+            ("sim --spans-cap x", "bad --spans-cap"),
             ("sim --trace-out", "missing value"),
             ("sim --report-json", "missing value"),
+            ("sim --spans-out", "missing value"),
         ] {
             let err = parse(&argv(input)).unwrap_err();
             assert!(
@@ -664,6 +704,7 @@ mod tests {
             ("sim --tenants 4 --shards 8", "at least one tenant"),
             ("sim --shards 2 --fault-rate 0.1", "single shard"),
             ("sim --shards 2 --timeseries-out ts.csv", "not supported"),
+            ("sim --shards 2 --spans-out sp.json", "not supported"),
         ] {
             let err = parse(&argv(input)).unwrap_err();
             assert!(
@@ -675,6 +716,7 @@ mod tests {
         assert!(parse(&argv("sim --shards 2 --tenants 4")).is_ok());
         assert!(parse(&argv("sim --fault-rate 0.1")).is_ok());
         assert!(parse(&argv("sim --timeseries-out ts.csv")).is_ok());
+        assert!(parse(&argv("sim --spans-out sp.json")).is_ok());
     }
 
     #[test]

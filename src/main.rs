@@ -7,7 +7,7 @@ use std::process::ExitCode;
 
 use hypersio_sim::{
     run_sharded, run_sharded_recorded, sweep_tenants_parallel, write_jsonl_many, FaultPlan,
-    RingRecorder, SimReport, Simulation, SweepSpec, TimeSeriesSampler,
+    RingRecorder, SimReport, Simulation, SpanCollector, SweepSpec, TimeSeriesSampler,
 };
 use hypersio_trace::HyperTraceBuilder;
 use hypertrio::cli::{self, Command, SimArgs};
@@ -102,13 +102,33 @@ fn run_sim(args: &SimArgs) -> Result<(), SimError> {
         )
     });
 
+    // The span collector is per-tenant aware only when --per-tenant was
+    // given, mirroring the report's own per-tenant gating.
+    let mut spans = args.spans_out.as_ref().map(|_| {
+        let collector = SpanCollector::new(args.spans_cap);
+        if args.per_tenant {
+            collector.with_per_tenant()
+        } else {
+            collector
+        }
+    });
+
     let sim = Simulation::new(config, params, trace);
-    let report = match (ring.as_mut(), series.as_mut()) {
-        (None, None) => sim.run(),
-        (Some(r), None) => sim.run_with(r),
-        (None, Some(t)) => sim.run_with(t),
-        (Some(r), Some(t)) => sim.run_with(&mut (r, t)),
+    let mut report = match (ring.as_mut(), series.as_mut(), spans.as_mut()) {
+        (None, None, None) => sim.run(),
+        (Some(r), None, None) => sim.run_with(r),
+        (None, Some(t), None) => sim.run_with(t),
+        (None, None, Some(s)) => sim.run_with(s),
+        (Some(r), Some(t), None) => sim.run_with(&mut (r, t)),
+        (Some(r), None, Some(s)) => sim.run_with(&mut (r, s)),
+        (None, Some(t), Some(s)) => sim.run_with(&mut (t, s)),
+        (Some(r), Some(t), Some(s)) => sim.run_with(&mut (r, (t, s))),
     };
+    // Attach the breakdown before any rendering so the printed report and
+    // the JSON file agree.
+    if let Some(collector) = spans.as_ref() {
+        report.latency_breakdown = Some(collector.attribution().clone());
+    }
     println!("{report}");
 
     if let (Some(path), Some(ring)) = (args.trace_out.as_ref(), ring.as_ref()) {
@@ -129,6 +149,14 @@ fn run_sim(args: &SimArgs) -> Result<(), SimError> {
         eprintln!(
             "wrote time series to {path} ({} windows)",
             series.rows().len()
+        );
+    }
+    if let (Some(path), Some(collector)) = (args.spans_out.as_ref(), spans.as_ref()) {
+        write_file(path, |w| collector.write_chrome_trace(w))?;
+        eprintln!(
+            "wrote packet spans to {path} ({} spans, {} overwritten)",
+            collector.len(),
+            collector.overwritten()
         );
     }
     if let Some(path) = args.report_json.as_ref() {

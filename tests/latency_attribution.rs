@@ -1,0 +1,213 @@
+//! Latency-attribution invariants: every completed packet's six span
+//! components must sum *exactly* to its end-to-end latency, the aggregate
+//! breakdown must reconcile exactly with the report's latency histogram,
+//! attaching a span collector must not perturb the simulation, and the
+//! offline event-stream reconstruction must agree with the online spans.
+
+use hypersio_sim::{
+    reconstruct_spans, FaultPlan, NullObserver, RingRecorder, SimParams, SimReport, Simulation,
+    SpanCollector,
+};
+use hypersio_trace::{HyperTraceBuilder, WorkloadKind};
+use hypersio_types::SimDuration;
+use hypertrio_core::TranslationConfig;
+
+/// Proportional shortening: keeps the 1024-tenant runs comparable in wall
+/// time to the 128-tenant ones.
+fn scale_for(tenants: u32) -> u64 {
+    2000 * u64::from(tenants) / 128
+}
+
+fn run_with_spans(
+    config: TranslationConfig,
+    tenants: u32,
+    plan: FaultPlan,
+) -> (SimReport, SpanCollector) {
+    let trace = HyperTraceBuilder::new(WorkloadKind::Websearch, tenants)
+        .scale(scale_for(tenants))
+        .build();
+    // Capacity far above the packet count so no span is ring-evicted and
+    // the per-packet invariant can be checked on every single one.
+    let mut spans = SpanCollector::new(1 << 22).with_per_tenant();
+    let report = Simulation::new(config, SimParams::paper().with_fault_plan(plan), trace)
+        .run_with(&mut spans);
+    (report, spans)
+}
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_fault_rate(0.02)
+        .with_pri_latency(SimDuration::from_us(10))
+        .with_seed(0)
+}
+
+/// (a) The hard invariant: for every packet the wait side tiles
+/// [arrival, service), the service side tiles [service, complete), and the
+/// six components sum to the end-to-end latency — checked per span, for
+/// both architectures, with and without faults, at 128 and 1024 tenants.
+#[test]
+fn every_packet_decomposes_exactly() {
+    for tenants in [128u32, 1024] {
+        for (label, config, plan) in [
+            ("Base", TranslationConfig::base(), FaultPlan::none()),
+            (
+                "HyperTRIO",
+                TranslationConfig::hypertrio(),
+                FaultPlan::none(),
+            ),
+            (
+                "HyperTRIO+faults",
+                TranslationConfig::hypertrio(),
+                fault_plan(),
+            ),
+        ] {
+            let (report, spans) = run_with_spans(config, tenants, plan);
+            assert!(report.packets_processed > 0, "{label}@{tenants}: empty run");
+            assert_eq!(
+                spans.len() as u64,
+                report.packets_processed,
+                "{label}@{tenants}: a span per processed packet"
+            );
+            assert_eq!(spans.overwritten(), 0, "{label}@{tenants}: ring sized");
+            for span in spans.iter() {
+                assert!(
+                    span.is_consistent(),
+                    "{label}@{tenants}: seq {} violates the invariant: {span:?}",
+                    span.seq
+                );
+                assert_eq!(
+                    span.components.total_ps(),
+                    span.latency_ps(),
+                    "{label}@{tenants}: seq {} components do not sum to latency",
+                    span.seq
+                );
+            }
+            // Retries leave their mark: a packet with no drops has zero
+            // wait side; a packet with drops has a nonzero one.
+            for span in spans.iter() {
+                if span.ptb_retries == 0 && span.fault_retries == 0 {
+                    assert_eq!(
+                        span.components.wait_ps(),
+                        0,
+                        "{label}@{tenants}: seq {} waited without a drop",
+                        span.seq
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// (b) The aggregate breakdown reconciles exactly with the report's
+/// latency histogram: same packet count, and the service-side component
+/// sum equal to the histogram's exact picosecond sum (the histogram
+/// records service latency — completion minus final serving slot).
+#[test]
+fn breakdown_reconciles_with_latency_histogram() {
+    for tenants in [128u32, 1024] {
+        for (label, config, plan) in [
+            ("Base", TranslationConfig::base(), FaultPlan::none()),
+            (
+                "HyperTRIO",
+                TranslationConfig::hypertrio(),
+                FaultPlan::none(),
+            ),
+            (
+                "HyperTRIO+faults",
+                TranslationConfig::hypertrio(),
+                fault_plan(),
+            ),
+        ] {
+            let (report, spans) = run_with_spans(config, tenants, plan);
+            let att = spans.attribution();
+            assert_eq!(
+                att.packets(),
+                report.packet_latency.count(),
+                "{label}@{tenants}: packet counts diverge"
+            );
+            assert_eq!(
+                att.total().service_ps(),
+                report.packet_latency.sum_ps(),
+                "{label}@{tenants}: service-side sum diverges from histogram"
+            );
+            // The per-tenant sums partition the total exactly.
+            let per = att.per_tenant().expect("collector was per-tenant");
+            let split: u128 = per.values().map(|s| s.total_ps()).sum();
+            assert_eq!(split, att.total().total_ps(), "{label}@{tenants}");
+            let split_packets: u64 = per.values().map(|s| s.packets).sum();
+            assert_eq!(split_packets, att.packets(), "{label}@{tenants}");
+        }
+    }
+}
+
+/// (c) Attaching the span collector must not change the simulation: the
+/// report from a spans-on run equals the spans-off report field for field
+/// (the breakdown itself is attached by the caller, never by the loop).
+#[test]
+fn spans_on_report_equals_spans_off_report() {
+    for config in [TranslationConfig::base(), TranslationConfig::hypertrio()] {
+        let build = || {
+            HyperTraceBuilder::new(WorkloadKind::Websearch, 128)
+                .scale(2000)
+                .build()
+        };
+        let mut spans = SpanCollector::new(1 << 20);
+        let with_spans =
+            Simulation::new(config.clone(), SimParams::paper(), build()).run_with(&mut spans);
+        let without = Simulation::new(config.clone(), SimParams::paper(), build())
+            .run_with(&mut NullObserver);
+        assert_eq!(with_spans, without, "{}", config.name);
+        assert!(!spans.is_empty(), "{}", config.name);
+    }
+}
+
+/// Offline reconstruction from a recorded event stream agrees span for
+/// span with the online collector on a complete, fault-free stream.
+#[test]
+fn offline_reconstruction_matches_online_spans() {
+    for config in [TranslationConfig::base(), TranslationConfig::hypertrio()] {
+        let params = SimParams::paper();
+        let hit_ps = params.devtlb_hit.as_ps();
+        let build = || {
+            HyperTraceBuilder::new(WorkloadKind::Websearch, 16)
+                .scale(4000)
+                .build()
+        };
+        let mut ring = RingRecorder::new(1 << 22);
+        let mut spans = SpanCollector::new(1 << 20);
+        let report = Simulation::new(config.clone(), params.clone(), build())
+            .run_with(&mut (&mut ring, &mut spans));
+        assert!(report.packets_processed > 0, "{}", config.name);
+        assert_eq!(
+            ring.overwritten(),
+            0,
+            "{}: ring sized for the run",
+            config.name
+        );
+
+        let recon = reconstruct_spans(ring.iter(), ring.overwritten(), hit_ps);
+        assert!(!recon.truncated, "{}", config.name);
+        assert_eq!(recon.skipped, 0, "{}", config.name);
+        assert_eq!(recon.unclosed, 0, "{}", config.name);
+        let online: Vec<_> = spans.iter().copied().collect();
+        assert_eq!(
+            recon.spans.len(),
+            online.len(),
+            "{}: span counts diverge",
+            config.name
+        );
+        for (off, on) in recon.spans.iter().zip(online.iter()) {
+            // The recorder does not carry the trace sequence number, so the
+            // reconstruction numbers spans by completion order; compare
+            // everything else exactly.
+            assert_eq!(off.did, on.did, "{}", config.name);
+            assert_eq!(off.sid, on.sid, "{}", config.name);
+            assert_eq!(off.arrival_ps, on.arrival_ps, "{}", config.name);
+            assert_eq!(off.service_ps, on.service_ps, "{}", config.name);
+            assert_eq!(off.complete_ps, on.complete_ps, "{}", config.name);
+            assert_eq!(off.ptb_retries, on.ptb_retries, "{}", config.name);
+            assert_eq!(off.fault_retries, on.fault_retries, "{}", config.name);
+            assert_eq!(off.components, on.components, "{}", config.name);
+        }
+    }
+}
