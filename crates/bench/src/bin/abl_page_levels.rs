@@ -25,7 +25,7 @@ fn main() {
     let spec = |config: TranslationConfig, five: bool| {
         let params = if five {
             SimParams::paper()
-                .with_five_level_tables()
+                .with_arch(hypersio_sim::WalkGeometry::X86Nested5)
                 .with_warmup(2000)
         } else {
             SimParams::paper().with_warmup(2000)

@@ -51,6 +51,7 @@ const CASES: [(fn() -> TranslationConfig, u32); 4] = [
 
 struct CaseResult {
     config: String,
+    arch: &'static str,
     tenants: u32,
     wall_s: f64,
     packets: u64,
@@ -61,8 +62,9 @@ struct CaseResult {
 
 fn run_case(config: TranslationConfig, tenants: u32, scale: u64, warmup: u64) -> CaseResult {
     let name = config.name.clone();
-    let spec = SweepSpec::new(WorkloadKind::Iperf3, config, scale)
-        .with_params(SimParams::paper().with_warmup(warmup));
+    let params = SimParams::paper().with_warmup(warmup);
+    let arch = params.walk_geometry.cli_name();
+    let spec = SweepSpec::new(WorkloadKind::Iperf3, config, scale).with_params(params);
     let start = Instant::now();
     let report = spec.run_at(tenants);
     let wall_s = start.elapsed().as_secs_f64();
@@ -76,6 +78,7 @@ fn run_case(config: TranslationConfig, tenants: u32, scale: u64, warmup: u64) ->
     );
     CaseResult {
         config: name,
+        arch,
         tenants,
         wall_s,
         packets: report.packets_processed,
@@ -97,13 +100,15 @@ fn emit(results: &[CaseResult], scale: u64, warmup: u64, baseline: Option<&str>)
         let ns_per_req = r.wall_s * 1e9 / r.requests.max(1) as f64;
         let _ = write!(
             out,
-            "    {{\"config\": \"{}\", \"tenants\": {}, \"wall_s\": {:.6}, \
+            "    {{\"config\": \"{}\", \"arch\": \"{}\", \"tenants\": {}, \
+             \"wall_s\": {:.6}, \
              \"packets\": {}, \"packets_per_sec\": {:.1}, \
              \"translation_requests\": {}, \"ns_per_translation\": {:.2}, \
              \"utilization\": {:.6}, \
              \"stages\": {{\"arrival_ns\": {}, \"prefetch_ns\": {}, \
              \"lookup_ns\": {}, \"walk_ns\": {}, \"completion_ns\": {}}}}}",
             json::escape(&r.config),
+            r.arch,
             r.tenants,
             r.wall_s,
             r.packets,

@@ -404,6 +404,19 @@ fn validate_hotpath_doc(doc: &Json, require_stages: bool) -> Result<(), String> 
             }
             None => {}
         }
+        // `arch` names the walk geometry the case ran under ("x86-4",
+        // "sv39x4", ...). Required in current builds; a baseline may
+        // predate the field, but when present it must be a string.
+        match case.get("arch") {
+            Some(arch) => {
+                arch.as_str()
+                    .ok_or_else(|| format!("case {i}: 'arch' must be a string"))?;
+            }
+            None if require_stages => {
+                return Err(format!("case {i}: missing string field 'arch'"));
+            }
+            None => {}
+        }
     }
     // `baseline`, when present, must itself be a schema-valid document
     // (minus the stages requirement: it may predate per-stage timing).
@@ -864,7 +877,7 @@ mod tests {
             "schema": "bench_hotpath/v1",
             "scale": 400, "warmup_packets": 2000, "peak_rss_bytes": 1048576,
             "cases": [{
-                "config": "HyperTRIO", "tenants": 128, "wall_s": 1.5,
+                "config": "HyperTRIO", "arch": "x86-4", "tenants": 128, "wall_s": 1.5,
                 "packets": 100, "packets_per_sec": 66.6,
                 "translation_requests": 300, "ns_per_translation": 5000.0,
                 "utilization": 0.8,
@@ -875,9 +888,10 @@ mod tests {
         .to_string()
     }
 
-    /// A case without the `stages` block, as pre-timing builds emitted.
+    /// A case without the `stages` block or the `arch` field, as
+    /// pre-timing, pre-geometry builds emitted.
     fn legacy_doc() -> String {
-        let doc = valid_doc();
+        let doc = valid_doc().replace(r#""arch": "x86-4", "#, "");
         let start = doc.find(",\n                \"stages\"").unwrap();
         let end = doc[start..].find('}').unwrap() + start + 1;
         format!("{}{}", &doc[..start], &doc[end..])
@@ -894,7 +908,7 @@ mod tests {
         let with_baseline = format!(
             r#"{{"schema": "bench_hotpath/v1", "scale": 1, "warmup_packets": 0,
                 "peak_rss_bytes": 0, "baseline": {},
-                "cases": [{{"config": "Base", "tenants": 128, "wall_s": 1,
+                "cases": [{{"config": "Base", "arch": "x86-4", "tenants": 128, "wall_s": 1,
                 "packets": 1, "packets_per_sec": 1, "translation_requests": 3,
                 "ns_per_translation": 1, "utilization": 0.5,
                 "stages": {{"arrival_ns": 1, "prefetch_ns": 1, "lookup_ns": 1,
@@ -929,6 +943,24 @@ mod tests {
     }
 
     #[test]
+    fn schema_requires_arch_in_current_output() {
+        // A current-build case must name its walk geometry...
+        let doc = parse(&valid_doc().replace(r#""arch": "x86-4", "#, "")).unwrap();
+        let err = validate_hotpath_schema(&doc).unwrap_err();
+        assert!(err.contains("arch"), "{err}");
+        // ...as a string, everywhere.
+        let doc = parse(&valid_doc().replace(r#""arch": "x86-4""#, r#""arch": 4"#)).unwrap();
+        let err = validate_hotpath_schema(&doc).unwrap_err();
+        assert!(err.contains("arch"), "{err}");
+        // A baseline from a pre-geometry build is tolerated: legacy_doc
+        // carries no arch and passes the baseline check.
+        assert_eq!(
+            validate_hotpath_baseline(&parse(&legacy_doc()).unwrap()),
+            Ok(())
+        );
+    }
+
+    #[test]
     fn schema_tolerates_stageless_baseline() {
         // An embedded baseline may come from a build that predates
         // per-stage timing — stages is optional there, but the current
@@ -936,7 +968,7 @@ mod tests {
         let with_old_baseline = format!(
             r#"{{"schema": "bench_hotpath/v1", "scale": 1, "warmup_packets": 0,
                 "peak_rss_bytes": 0, "baseline": {},
-                "cases": [{{"config": "Base", "tenants": 128, "wall_s": 1,
+                "cases": [{{"config": "Base", "arch": "x86-4", "tenants": 128, "wall_s": 1,
                 "packets": 1, "packets_per_sec": 1, "translation_requests": 3,
                 "ns_per_translation": 1, "utilization": 0.5,
                 "stages": {{"arrival_ns": 1, "prefetch_ns": 1, "lookup_ns": 1,

@@ -103,7 +103,8 @@ pub struct IommuStats {
     pub requests: u64,
     /// Total DRAM reads performed (nested page reads included).
     pub dram_accesses: u64,
-    /// Requests that performed a full (level-4) first-level walk.
+    /// Requests that performed a full first-level walk (starting at the
+    /// geometry's guest root level, with no walk-cache skip).
     pub full_walks: u64,
     /// Translation faults returned.
     pub faults: u64,
@@ -285,7 +286,7 @@ impl Iommu {
         ) {
             Ok(outcome) => {
                 latency += self.dram.read_many(outcome.dram_accesses);
-                if outcome.start_level == 4 {
+                if outcome.start_level == space.geometry().guest_levels() {
                     self.stats.full_walks += 1;
                 }
                 self.stats.dram_accesses += context_reads + outcome.dram_accesses;

@@ -2,7 +2,10 @@
 //!
 //! This crate builds everything the IOMMU side of the model needs:
 //!
-//! - [`RadixTable`]: a synthetic 4-level (or 5-level) radix page table whose
+//! - [`WalkGeometry`]: the architecture parameterization — guest/host
+//!   level counts, G-stage root widening, supported superpage levels — for
+//!   x86 nested paging and RISC-V Sv39x4/Sv48x4 two-stage translation.
+//! - [`RadixTable`]: a synthetic 3-, 4-, or 5-level radix page table whose
 //!   nodes are placed at concrete addresses in their owning address space,
 //!   so a walker can enumerate the *exact* memory reads a hardware
 //!   page-table walk would perform.
@@ -44,6 +47,7 @@
 
 mod context;
 mod dram;
+mod geometry;
 mod iommu;
 mod page_table;
 mod space;
@@ -53,6 +57,7 @@ mod walker;
 
 pub use context::{ContextCache, ContextEntry};
 pub use dram::Dram;
+pub use geometry::WalkGeometry;
 pub use iommu::{Iommu, IommuParams, IommuResponse, IommuStats, TranslationScheme};
 pub use page_table::{InlineWalkPath, PageTableError, Pte, RadixTable, WalkPath};
 pub use space::{TenantSpace, TenantSpaceBuilder};

@@ -126,7 +126,10 @@ impl WalkPath {
     }
 }
 
-/// Maximum modelled table depth (5-level paging).
+/// Maximum modelled table depth: 5-level x86 paging is the deepest
+/// dimension of any supported [`crate::WalkGeometry`] (RISC-V Sv39x4/Sv48x4
+/// walks are 3 or 4 steps; the G-stage root widening adds index *width*,
+/// not depth).
 const MAX_LEVELS: usize = 5;
 
 /// An allocation-free [`WalkPath`]: the same ordered PTE reads, held in
@@ -190,7 +193,8 @@ impl InlineWalkPath {
     }
 }
 
-/// A synthetic radix page table (4- or 5-level).
+/// A synthetic radix page table (3-, 4-, or 5-level, optionally with a
+/// widened root as in RISC-V's Sv39x4/Sv48x4 G-stage).
 ///
 /// Nodes are allocated at 4 KB-aligned addresses supplied by the caller's
 /// allocator closure, so the table can be *placed* inside guest-physical or
@@ -221,6 +225,9 @@ impl InlineWalkPath {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RadixTable {
     levels: u8,
+    /// Extra index bits in the root level (0 for x86; 2 for a RISC-V
+    /// Sv39x4/Sv48x4 G-stage, whose root holds `512 << 2` entries).
+    root_extra_bits: u8,
     root: u64,
     /// Base addresses of all allocated table nodes.
     nodes: HashSet<u64, FxBuildHasher>,
@@ -231,24 +238,57 @@ pub struct RadixTable {
 }
 
 impl RadixTable {
-    /// Creates an empty table with `levels` levels (4 or 5), allocating the
-    /// root node from `alloc_node`.
+    /// Creates an empty table with `levels` levels (3, 4, or 5), allocating
+    /// the root node from `alloc_node`.
     ///
     /// `alloc_node` must return distinct 4 KB-aligned addresses.
     ///
     /// # Panics
     ///
-    /// Panics if `levels` is not 4 or 5.
+    /// Panics if `levels` is not 3, 4, or 5.
     pub fn new(levels: u8, alloc_node: &mut dyn FnMut() -> u64) -> Self {
+        Self::with_root_widening(levels, 0, alloc_node)
+    }
+
+    /// Creates an empty table whose root level has `root_extra_bits` extra
+    /// index bits — the RISC-V `x4` G-stage shape: a 2-bit-widened root
+    /// holds `512 << 2` entries in a 16 KB root node.
+    ///
+    /// The widened root spans `1 << root_extra_bits` consecutive 4 KB
+    /// frames, all drawn from `alloc_node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is not 3, 4, or 5, if `root_extra_bits > 2`, or
+    /// if `alloc_node` does not produce contiguous frames for the widened
+    /// root (bump allocators, as used by [`crate::TenantSpaceBuilder`],
+    /// always do).
+    pub fn with_root_widening(
+        levels: u8,
+        root_extra_bits: u8,
+        alloc_node: &mut dyn FnMut() -> u64,
+    ) -> Self {
         assert!(
-            levels == 4 || levels == 5,
-            "only 4- and 5-level tables are modelled"
+            (3..=5).contains(&levels),
+            "only 3-, 4-, and 5-level tables are modelled"
         );
+        assert!(root_extra_bits <= 2, "root widening is at most 2 bits");
         let root = alloc_node();
         let mut nodes = HashSet::default();
         nodes.insert(root);
+        // Reserve the rest of the widened root's span so no later node can
+        // land inside it (root PTE addresses extend past the first frame).
+        for chunk in 1..(1u64 << root_extra_bits) {
+            let frame = alloc_node();
+            assert!(
+                frame == root + chunk * 4096,
+                "widened root needs contiguous frames from the allocator"
+            );
+            nodes.insert(frame);
+        }
         RadixTable {
             levels,
+            root_extra_bits,
             root,
             nodes,
             entries: HashMap::default(),
@@ -258,6 +298,12 @@ impl RadixTable {
     /// Returns the number of levels.
     pub const fn levels(&self) -> u8 {
         self.levels
+    }
+
+    /// Returns the extra index bits of the root level (0 unless this is a
+    /// widened G-stage table).
+    pub const fn root_extra_bits(&self) -> u8 {
+        self.root_extra_bits
     }
 
     /// Returns the root node's base address.
@@ -284,8 +330,15 @@ impl RadixTable {
         self.nodes.iter().copied()
     }
 
-    fn index(va: u64, level: u8) -> usize {
-        ((va >> (12 + 9 * (level as u64 - 1))) & (RADIX as u64 - 1)) as usize
+    fn index(&self, va: u64, level: u8) -> usize {
+        // Every level extracts 9 bits above the 12-bit page offset; the
+        // root level of a widened (x4) table extracts 9 + root_extra_bits.
+        let entries = if level == self.levels {
+            RADIX << self.root_extra_bits
+        } else {
+            RADIX
+        };
+        ((va >> (12 + 9 * (level as u64 - 1))) & (entries as u64 - 1)) as usize
     }
 
     /// Maps the page containing `va` to the frame at `target`, creating
@@ -309,7 +362,7 @@ impl RadixTable {
         let mut node = self.root;
         for level in (leaf_level + 1..=self.levels).rev() {
             debug_assert!(self.nodes.contains(&node), "interior node must exist");
-            let addr = node + Self::index(va, level) as u64 * PTE_BYTES;
+            let addr = node + self.index(va, level) as u64 * PTE_BYTES;
             node = match self.entries.get(&addr).copied() {
                 Some(Pte::Table { next }) => next,
                 Some(Pte::Leaf { .. }) => {
@@ -323,7 +376,7 @@ impl RadixTable {
                 }
             };
         }
-        let addr = node + Self::index(va, leaf_level) as u64 * PTE_BYTES;
+        let addr = node + self.index(va, leaf_level) as u64 * PTE_BYTES;
         if self.entries.contains_key(&addr) {
             return Err(PageTableError::AlreadyMapped { va });
         }
@@ -367,7 +420,7 @@ impl RadixTable {
         };
         let mut node = self.root;
         for level in (1..=self.levels).rev() {
-            let pte_addr = node + Self::index(va, level) as u64 * PTE_BYTES;
+            let pte_addr = node + self.index(va, level) as u64 * PTE_BYTES;
             let entry = self
                 .entries
                 .get(&pte_addr)
@@ -426,6 +479,7 @@ impl RadixTable {
             .collect();
         RadixTable {
             levels: self.levels,
+            root_extra_bits: self.root_extra_bits,
             root: self.root.wrapping_add(delta),
             nodes: self.nodes.iter().map(|&b| b.wrapping_add(delta)).collect(),
             entries,
@@ -561,10 +615,82 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "4- and 5-level")]
+    #[should_panic(expected = "3-, 4-, and 5-level")]
     fn rejects_weird_level_counts() {
         let mut alloc = bump(0);
-        let _ = RadixTable::new(3, &mut alloc);
+        let _ = RadixTable::new(2, &mut alloc);
+    }
+
+    #[test]
+    fn three_level_walk_has_three_steps() {
+        // Sv39-shaped guest table: 3 levels, 9-bit indices.
+        let mut alloc = bump(0x10_0000);
+        let mut t = RadixTable::new(3, &mut alloc);
+        t.map(0x3480_0000, 0x7000_0000, PageSize::Size4K, &mut alloc)
+            .unwrap();
+        let path = t.walk(0x3480_0abc).unwrap();
+        assert_eq!(path.ptes.len(), 3);
+        assert_eq!(path.translate(0x3480_0abc), 0x7000_0abc);
+    }
+
+    #[test]
+    fn widened_root_reserves_contiguous_frames() {
+        let mut alloc = bump(0x10_0000);
+        let t = RadixTable::with_root_widening(3, 2, &mut alloc);
+        // The 16 KB root occupies four consecutive frames...
+        assert_eq!(t.node_count(), 4);
+        for chunk in 0..4u64 {
+            assert!(t.node_addrs().any(|n| n == 0x10_0000 + chunk * 4096));
+        }
+        // ...and the next allocation starts past them.
+        assert_eq!(alloc(), 0x10_4000);
+        assert_eq!(t.root_extra_bits(), 2);
+    }
+
+    #[test]
+    fn widened_root_indexes_past_nine_bits() {
+        // An Sv39x4 G-stage: root index covers bits [30, 41) — 11 bits.
+        // Two GPAs 512 GiB apart alias in a 9-bit root but not in the
+        // widened one.
+        let mut alloc = bump(0x10_0000);
+        let mut t = RadixTable::with_root_widening(3, 2, &mut alloc);
+        let low = 0x4000_0000u64; // root index 1
+        let high = low + (512u64 << 30); // root index 513: needs widening
+        t.map(low, 0x1000, PageSize::Size4K, &mut alloc).unwrap();
+        t.map(high, 0x2000, PageSize::Size4K, &mut alloc).unwrap();
+        assert_eq!(t.translate(low), Some(0x1000));
+        assert_eq!(t.translate(high), Some(0x2000));
+        // The two root PTEs really are distinct slots.
+        let a = t.walk(low).unwrap().pte_addrs[0];
+        let b = t.walk(high).unwrap().pte_addrs[0];
+        assert_eq!(b - a, 512 * PTE_BYTES);
+    }
+
+    #[test]
+    fn widened_root_rebases_cleanly() {
+        const DELTA: u64 = 0x100_0000;
+        let mut alloc = bump(0x10_0000);
+        let mut t = RadixTable::with_root_widening(4, 2, &mut alloc);
+        t.map(0xbbe0_0000, 0x4000_0000, PageSize::Size2M, &mut alloc)
+            .unwrap();
+        let shifted = t.rebased(DELTA);
+        assert_eq!(shifted.root_extra_bits(), 2);
+        assert_eq!(shifted.translate(0xbbe0_1234), Some(0x4000_1234 + DELTA));
+        assert_eq!(shifted.node_count(), t.node_count());
+    }
+
+    #[test]
+    fn one_gig_leaf_at_sv39_root() {
+        // Sv39 supports a 1 GiB "gigapage" leaf in its root level: the
+        // walk is a single step.
+        let mut alloc = bump(0x10_0000);
+        let mut t = RadixTable::new(3, &mut alloc);
+        t.map(0x8000_0000, 0x1_0000_0000, PageSize::Size1G, &mut alloc)
+            .unwrap();
+        let path = t.walk(0x8000_1234).unwrap();
+        assert_eq!(path.ptes.len(), 1);
+        assert_eq!(path.translate(0x8000_1234), 0x1_0000_1234);
+        assert_eq!(path.size, PageSize::Size1G);
     }
 
     #[test]

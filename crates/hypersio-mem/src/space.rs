@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use hypersio_types::{Did, GIova, GPa, HPa, PageSize};
 
+use crate::geometry::WalkGeometry;
 use crate::page_table::{InlineWalkPath, PageTableError, RadixTable, WalkPath};
 
 /// Base of the guest-physical region where each tenant's guest page-table
@@ -47,31 +48,43 @@ fn next_layout_id() -> u64 {
 pub struct TenantSpaceBuilder {
     did: Did,
     pages: Vec<(GIova, PageSize)>,
-    levels: u8,
+    geometry: WalkGeometry,
 }
 
 impl TenantSpaceBuilder {
-    /// Creates a builder for tenant `did` (4-level tables by default).
+    /// Creates a builder for tenant `did`
+    /// ([`WalkGeometry::X86Nested4`] tables by default).
     pub fn new(did: Did) -> Self {
         TenantSpaceBuilder {
             did,
             pages: Vec::new(),
-            levels: 4,
+            geometry: WalkGeometry::X86Nested4,
         }
     }
 
-    /// Uses `levels`-deep radix tables for both the guest and host
-    /// dimensions (4 or 5). A full two-dimensional 4 KB walk costs
-    /// `levels * (levels + 1) + levels` memory accesses: 24 for 4-level
-    /// tables, 35 for 5-level tables (the numbers the paper quotes from
-    /// the Intel VT-d and 5-level-paging documents).
+    /// Builds the tenant's tables in the given walk geometry: guest and
+    /// host level counts, G-stage root widening, and the full-walk cost
+    /// (`G x (H + 1) + H` memory accesses: 24 for x86-4, 35 for x86-5, 15
+    /// for Sv39x4, 24 for Sv48x4) all derive from it.
+    pub fn geometry(&mut self, geometry: WalkGeometry) -> &mut Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Legacy shim for the x86 geometries: `levels`-deep radix tables in
+    /// both dimensions (4 maps to [`WalkGeometry::X86Nested4`], 5 to
+    /// [`WalkGeometry::X86Nested5`]). Prefer
+    /// [`TenantSpaceBuilder::geometry`].
     ///
     /// # Panics
     ///
-    /// Panics (at build) if `levels` is not 4 or 5.
+    /// Panics if `levels` is not 4 or 5.
     pub fn levels(&mut self, levels: u8) -> &mut Self {
-        self.levels = levels;
-        self
+        self.geometry(match levels {
+            4 => WalkGeometry::X86Nested4,
+            5 => WalkGeometry::X86Nested5,
+            other => panic!("no x86 nested geometry with {other} levels"),
+        })
     }
 
     /// Adds a gIOVA page to the tenant's device-visible mapping.
@@ -145,7 +158,7 @@ impl TenantSpaceBuilder {
             a
         };
 
-        let mut guest = RadixTable::new(self.levels, &mut alloc_guest_node);
+        let mut guest = RadixTable::new(self.geometry.guest_levels(), &mut alloc_guest_node);
         let mut guest_data_next = GUEST_DATA_BASE;
 
         let mut mapped: Vec<(GIova, PageSize)> = Vec::new();
@@ -174,7 +187,14 @@ impl TenantSpaceBuilder {
             host_table_next += 4096;
             a
         };
-        let mut host = RadixTable::new(self.levels, &mut alloc_host_node);
+        // The host (G-stage) table: RISC-V x4 geometries widen its root
+        // level by 2 bits; x86 geometries pass 0 and build exactly the
+        // pre-geometry table.
+        let mut host = RadixTable::with_root_widening(
+            self.geometry.host_levels(),
+            self.geometry.host_root_extra_bits(),
+            &mut alloc_host_node,
+        );
 
         let guest_node_addrs: Vec<u64> = {
             let mut v: Vec<u64> = guest.node_addrs().collect();
@@ -216,6 +236,7 @@ impl TenantSpaceBuilder {
 
         TenantSpace {
             did,
+            geometry: self.geometry,
             guest: Arc::new(guest),
             host,
             host_slab: did.raw() as u64,
@@ -234,6 +255,9 @@ impl TenantSpaceBuilder {
 /// two-dimensional walker never faults on a nested access.
 pub struct TenantSpace {
     did: Did,
+    /// The walk geometry both tables were built in; siblings stamped from
+    /// one canonical build always share it.
+    geometry: WalkGeometry,
     /// Guest table, shared across all spaces stamped from one canonical
     /// build: the guest dimension is DID-independent (same OS + driver,
     /// §IV-D) and never mutated after construction, so a million tenants
@@ -263,6 +287,11 @@ impl TenantSpace {
     /// Returns the tenant's domain ID.
     pub fn did(&self) -> Did {
         self.did
+    }
+
+    /// Returns the walk geometry this space was built in.
+    pub fn geometry(&self) -> WalkGeometry {
+        self.geometry
     }
 
     /// Returns the number of distinct device-visible pages.
@@ -309,6 +338,7 @@ impl TenantSpace {
         let delta = slab.wrapping_mul(HOST_SLAB_PER_TENANT);
         TenantSpace {
             did,
+            geometry: self.geometry,
             guest: Arc::clone(&self.guest),
             host: self.host.rebased(delta),
             host_slab: slab,
@@ -588,6 +618,92 @@ mod tests {
         // The migrated table is bit-identical to a fresh build at that DID.
         let fresh = paper_tenant(2);
         assert_eq!(space.host_table(), fresh.host_table());
+    }
+
+    #[test]
+    fn riscv_spaces_translate_like_x86_spaces() {
+        // The functional mapping (gIOVA -> hPA) is geometry-independent:
+        // only the table shapes (and hence walk costs) differ.
+        let mut bx = TenantSpace::builder(Did::new(0));
+        bx.map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+        bx.map(GIova::new(0x3480_0000), PageSize::Size4K);
+        let x86 = bx.build();
+        for geom in [WalkGeometry::RiscvSv39x4, WalkGeometry::RiscvSv48x4] {
+            let mut br = TenantSpace::builder(Did::new(0));
+            br.geometry(geom)
+                .map(GIova::new(0xbbe0_0000), PageSize::Size2M)
+                .map(GIova::new(0x3480_0000), PageSize::Size4K);
+            let rv = br.build();
+            assert_eq!(rv.geometry(), geom);
+            for iova in [GIova::new(0xbbe0_1234), GIova::new(0x3480_0042)] {
+                assert_eq!(rv.lookup(iova).unwrap().0, x86.lookup(iova).unwrap().0);
+            }
+            assert_eq!(
+                rv.guest_walk(GIova::new(0x3480_0042)).unwrap().ptes.len(),
+                geom.guest_levels() as usize
+            );
+            assert_eq!(rv.host_table().root_extra_bits(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows its host slab")]
+    fn one_gig_device_buffers_exceed_the_slab_model() {
+        // 1 GiB leaves are modelled at the table and walker level (see the
+        // RadixTable and geometry tests); a 1 GiB *device-visible buffer*
+        // cannot be host-backed inside the 256 MiB per-tenant slab, and
+        // the builder says so instead of corrupting the layout.
+        let mut b = TenantSpace::builder(Did::new(0));
+        b.geometry(WalkGeometry::RiscvSv39x4)
+            .map(GIova::new(0x8000_0000), PageSize::Size1G);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn riscv_stamping_matches_per_did_builds() {
+        for geom in [WalkGeometry::RiscvSv39x4, WalkGeometry::RiscvSv48x4] {
+            let mut b = TenantSpace::builder(Did::new(0));
+            b.geometry(geom);
+            b.map(GIova::new(0x3480_0000), PageSize::Size4K);
+            for i in 0..8u64 {
+                b.map(GIova::new(0xbbe0_0000 + i * 0x20_0000), PageSize::Size2M);
+            }
+            let dids = [Did::new(0), Did::new(3), Did::new(511)];
+            let fleet = b.build_many(&dids);
+            for (space, &did) in fleet.iter().zip(&dids) {
+                let mut per = TenantSpace::builder(did);
+                per.geometry(geom);
+                per.map(GIova::new(0x3480_0000), PageSize::Size4K);
+                for i in 0..8u64 {
+                    per.map(GIova::new(0xbbe0_0000 + i * 0x20_0000), PageSize::Size2M);
+                }
+                let per = per.build();
+                assert_eq!(space.geometry(), per.geometry());
+                assert_eq!(space.guest_table(), per.guest_table(), "guest {geom} {did}");
+                assert_eq!(space.host_table(), per.host_table(), "host {geom} {did}");
+            }
+        }
+    }
+
+    #[test]
+    fn riscv_migration_keeps_translating() {
+        let mut b = TenantSpace::builder(Did::new(0));
+        b.geometry(WalkGeometry::RiscvSv48x4)
+            .map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+        let mut space = b.build();
+        let iova = GIova::new(0xbbe0_0042);
+        let before = space.lookup(iova).unwrap().0;
+        space.migrate_to_slab(9);
+        let after = space.lookup(iova).unwrap().0;
+        assert_eq!(after.raw(), before.raw() + 9 * HOST_SLAB_PER_TENANT);
+        assert_eq!(space.geometry(), WalkGeometry::RiscvSv48x4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no x86 nested geometry")]
+    fn levels_shim_rejects_non_x86_depths() {
+        let mut b = TenantSpace::builder(Did::new(0));
+        b.levels(3);
     }
 
     #[test]

@@ -417,6 +417,42 @@ mod tests {
     }
 
     #[test]
+    fn lazy_matches_eager_under_sv39x4() {
+        use crate::WalkGeometry;
+        // Satellite check: lazy stamping must be identity-preserving for
+        // the widened-root geometry too, at both thrash scales.
+        for tenants in [128u32, 1024] {
+            let dids: Vec<Did> = (0..tenants).map(Did::new).collect();
+            let mut b = TenantSpace::builder(Did::new(0));
+            b.geometry(WalkGeometry::RiscvSv39x4)
+                .map(GIova::new(0x3480_0000), PageSize::Size4K)
+                .map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+            let eager = SpacePool::dense(b.build_many(&dids));
+            let canonical = {
+                let mut b = TenantSpace::builder(Did::new(0));
+                b.geometry(WalkGeometry::RiscvSv39x4)
+                    .map(GIova::new(0x3480_0000), PageSize::Size4K)
+                    .map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+                b.build()
+            };
+            let budget = Some(canonical.per_tenant_bytes() * 3);
+            let mut lazy = SpacePool::lazy(canonical, tenants, budget);
+            for &did in &dids {
+                lazy.ensure(did);
+                for iova in [GIova::new(0x3480_0123), GIova::new(0xbbe4_5678)] {
+                    assert_eq!(
+                        lazy.get(did).lookup(iova).unwrap(),
+                        eager.get(did).lookup(iova).unwrap(),
+                        "{did} {tenants} tenants"
+                    );
+                }
+                assert_eq!(lazy.get(did).geometry(), WalkGeometry::RiscvSv39x4);
+            }
+            assert!(lazy.stats().evictions > 0, "budget should force evictions");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "unknown tenant")]
     fn out_of_range_did_rejected() {
         let mut pool = SpacePool::lazy(canonical(), 4, None);

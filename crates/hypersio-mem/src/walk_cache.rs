@@ -19,6 +19,12 @@ use crate::page_table::Pte;
 /// An L2 entry caches the guest level-2 PTE for a 2 MB-aligned region
 /// (`iova >> 21`); an L3 entry caches the level-3 PTE for a 1 GB region
 /// (`iova >> 30`).
+///
+/// These tags are geometry-independent: every supported
+/// [`crate::WalkGeometry`] uses 9-bit non-root indices over a 12-bit page
+/// offset, so level 2 always spans 2 MiB and level 3 always 1 GiB (for
+/// Sv39 the level-3 entry is the root PTE). Only the *number* of levels —
+/// and hence which skips are possible — varies by architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WalkCacheKey {
     /// The owning tenant's domain ID.

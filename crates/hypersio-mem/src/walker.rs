@@ -2,10 +2,13 @@
 //!
 //! Every step of the first-level (guest) walk reads a guest PTE that lives
 //! at a guest-physical address, so each step costs a full second-level
-//! (host) walk plus the guest PTE read itself. With 4-level tables that is
-//! 4 × (4 + 1) + 4 = 24 memory accesses for a 4 KB mapping — the number the
-//! paper quotes from the Intel VT-d specification — and 3 × 5 + 4 = 19 for
-//! a 2 MB mapping.
+//! (host) walk plus the guest PTE read itself. The cost is a *derived*
+//! property of the active [`crate::WalkGeometry`]: `G × (H + 1) + H` reads
+//! for a 4 KB mapping — 24 for x86 4-level tables (the number the paper
+//! quotes from the Intel VT-d specification), 35 for x86 5-level, 15 for
+//! RISC-V Sv39x4, 24 for Sv48x4 — and one `(H + 1)` term less per guest
+//! level a superpage leaf skips (19 for an x86-4 2 MB mapping). Debug
+//! builds assert the charged reads against the closed form on every walk.
 //!
 //! The walk caches ([`crate::WalkCaches`]) short-circuit the upper guest
 //! levels: an L2 hit delivers the guest level-2 PTE directly (skipping
@@ -109,8 +112,9 @@ fn host_walk_reads(space: &TenantSpace) -> u64 {
 /// and fills, nested-TLB accesses, and DRAM-read accounting, so simulated
 /// state and statistics are bit-identical to uncoalesced walks.
 ///
-/// Entries are keyed by [`TenantSpace::layout_id`] and stored in
-/// *canonical* coordinates: all tenants stamped from one
+/// Entries are keyed by [`TenantSpace::layout_id`] *and* the layout's
+/// [`crate::WalkGeometry`] discriminant, and stored in *canonical*
+/// coordinates: all tenants stamped from one
 /// [`crate::TenantSpaceBuilder::build_many`] call share bit-identical guest
 /// tables and affine host tables, so a single memo entry serves every
 /// sibling (the caller's [`TenantSpace::host_delta`] is applied on the way
@@ -124,12 +128,15 @@ fn host_walk_reads(space: &TenantSpace) -> u64 {
 /// memoized.
 #[derive(Debug, Default)]
 pub struct WalkMemo {
-    /// `(layout id, iova page)` → full guest walk path (root … leaf PTE),
-    /// identical across the layout's tenants.
-    guest: HashMap<(u64, u64), InlineWalkPath, FxBuildHasher>,
-    /// `(layout id, gpa page)` → canonical host-physical 4 KB page base
-    /// (the caller adds its own slab delta).
-    host: HashMap<(u64, u64), u64, FxBuildHasher>,
+    /// `(layout id, geometry id, iova page)` → full guest walk path
+    /// (root … leaf PTE), identical across the layout's tenants. The
+    /// geometry discriminant makes it impossible for a path memoized under
+    /// one walk shape to serve a layout built in another, even if layout
+    /// ids were ever recycled across geometries.
+    guest: HashMap<(u64, u8, u64), InlineWalkPath, FxBuildHasher>,
+    /// `(layout id, geometry id, gpa page)` → canonical host-physical 4 KB
+    /// page base (the caller adds its own slab delta).
+    host: HashMap<(u64, u8, u64), u64, FxBuildHasher>,
 }
 
 impl WalkMemo {
@@ -162,7 +169,7 @@ impl WalkMemo {
         space: &TenantSpace,
         iova: GIova,
     ) -> Result<InlineWalkPath, PageTableError> {
-        let key = (space.layout_id(), iova.raw() >> 12);
+        let key = (space.layout_id(), space.geometry().id(), iova.raw() >> 12);
         if let Some(path) = self.guest.get(&key) {
             return Ok(*path);
         }
@@ -174,7 +181,7 @@ impl WalkMemo {
     /// The host-physical 4 KB page backing `gpa`, shared across all nested
     /// walks touching its page.
     fn host_page(&mut self, space: &TenantSpace, gpa: GPa) -> Result<HPa, PageTableError> {
-        let key = (space.layout_id(), gpa.raw() >> 12);
+        let key = (space.layout_id(), space.geometry().id(), gpa.raw() >> 12);
         if let Some(&canonical) = self.host.get(&key) {
             return Ok(HPa::new(canonical.wrapping_add(space.host_delta())));
         }
@@ -284,6 +291,21 @@ impl TwoDimWalker {
                 (table_levels, None) // full first-level walk
             };
 
+        // Nested-TLB hits observed while charging (debug accounting only):
+        // each one makes a host walk free, subtracting exactly
+        // `host_walk_reads` from the closed-form cold cost.
+        #[cfg(debug_assertions)]
+        let (mut dbg_guest_reads, mut dbg_cold_hosts, mut dbg_nested_hits) = (0u64, 0u64, 0u64);
+        #[cfg(debug_assertions)]
+        let mut dbg_count = |host_reads: u64, guest_read: bool| {
+            dbg_guest_reads += guest_read as u64;
+            if host_reads == 0 {
+                dbg_nested_hits += 1;
+            } else {
+                dbg_cold_hosts += 1;
+            }
+        };
+
         // Charge guest PTE reads from `start_level` down to the leaf level,
         // each preceded by a nested host walk of the PTE's gPA.
         if start_level > 0 {
@@ -294,7 +316,7 @@ impl TwoDimWalker {
                 let pte_gpa = gpath.pte_addrs()[step];
                 // Nested host walk for the guest PTE's address (free on a
                 // nested-TLB hit), plus the guest PTE read itself.
-                reads += charge_host_walk(
+                let host_reads = charge_host_walk(
                     space,
                     caches,
                     sid,
@@ -302,7 +324,10 @@ impl TwoDimWalker {
                     now,
                     memo.as_deref_mut(),
                 )?
-                .0 + 1;
+                .0;
+                reads += host_reads + 1;
+                #[cfg(debug_assertions)]
+                dbg_count(host_reads, true);
 
                 // Fill walk caches with what we just read.
                 match level {
@@ -331,6 +356,36 @@ impl TwoDimWalker {
         // host walk would return.
         let (final_reads, host_page) = charge_host_walk(space, caches, sid, final_gpa, now, memo)?;
         reads += final_reads;
+        #[cfg(debug_assertions)]
+        dbg_count(final_reads, false);
+
+        // The access count is a checked property of the geometry, not a
+        // hard-wired constant: the paper's "24 or 35 accesses" and the
+        // RISC-V equivalents all fall out of `S x (H + 1) + H`, with each
+        // nested-TLB hit making one host walk (`H` reads) free.
+        #[cfg(debug_assertions)]
+        {
+            let geometry = space.geometry();
+            let h = host_walk_reads(space);
+            debug_assert_eq!(table_levels, geometry.guest_levels());
+            debug_assert_eq!(h, geometry.host_levels() as u64);
+            debug_assert!(geometry.supports_leaf_level(leaf_level));
+            // `start_level == 0`: the L2 walk cache served the leaf itself.
+            // `leaf_level > start_level`: an upper-level superpage leaf sits
+            // above the cache-skipped levels. Both leave only the final
+            // host walk.
+            let cold_form = if start_level == 0 || leaf_level > start_level {
+                h
+            } else {
+                geometry.walk_reads_from(start_level.min(table_levels), leaf_level)
+            };
+            debug_assert_eq!(
+                reads + dbg_nested_hits * h,
+                cold_form,
+                "charged accesses must match the closed form for {geometry}"
+            );
+            debug_assert_eq!(reads, dbg_guest_reads + dbg_cold_hosts * h);
+        }
 
         Ok(WalkOutcome {
             hpa: HPa::new(host_page.raw() + (final_gpa.raw() & 0xfff)),
@@ -627,6 +682,81 @@ mod tests {
             assert!(matches!(err, TranslationFault::GuestNotMapped { .. }));
         }
         assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn riscv_cold_walk_costs_match_closed_form() {
+        use crate::WalkGeometry;
+        // Sv39x4: 3 x (3 + 1) + 3 = 15 for 4 KB, 2 x 4 + 3 = 11 for 2 MB.
+        // Sv48x4: 4 x (4 + 1) + 4 = 24 for 4 KB, 3 x 5 + 4 = 19 for 2 MB.
+        for (geom, cost_4k, cost_2m) in [
+            (WalkGeometry::RiscvSv39x4, 15u64, 11u64),
+            (WalkGeometry::RiscvSv48x4, 24, 19),
+        ] {
+            let mut b = TenantSpace::builder(Did::new(0));
+            b.geometry(geom)
+                .map(GIova::new(0x3480_0000), PageSize::Size4K)
+                .map(GIova::new(0xbbe0_0000), PageSize::Size2M);
+            let space = b.build();
+            let mut c = caches();
+            let out = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 0)
+                .unwrap();
+            assert_eq!(out.dram_accesses, cost_4k, "{geom} 4K");
+            assert_eq!(out.start_level, geom.guest_levels());
+            assert_eq!(out.dram_accesses, geom.full_walk_reads());
+            let mut c = caches();
+            let out = TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbbe0_0000), &mut c, 0)
+                .unwrap();
+            assert_eq!(out.dram_accesses, cost_2m, "{geom} 2M");
+        }
+    }
+
+    #[test]
+    fn riscv_walk_cache_skips_match_closed_form() {
+        use crate::WalkGeometry;
+        let mut b = TenantSpace::builder(Did::new(0));
+        b.geometry(WalkGeometry::RiscvSv39x4)
+            .map(GIova::new(0x3480_0000), PageSize::Size4K)
+            .map(GIova::new(0xbbe0_0000), PageSize::Size2M)
+            .map(GIova::new(0xbc00_0000), PageSize::Size2M);
+        let space = b.build();
+        let mut c = caches();
+        TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 0).unwrap();
+        // L2 pointer hit: one guest step remains, 1 x (3 + 1) + 3 = 7.
+        let warm =
+            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0x3480_0000), &mut c, 1).unwrap();
+        assert_eq!(warm.start_level, 1);
+        assert_eq!(warm.dram_accesses, 7);
+        // L3 hit on a sibling 2 MB page in the same 1 GiB region: for Sv39
+        // the root PTE is the level-3 entry, so the skip leaves one guest
+        // step, 1 x 4 + 3 = 7.
+        TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbbe0_0000), &mut c, 2).unwrap();
+        let l3 =
+            TwoDimWalker::walk(&space, Sid::new(0), GIova::new(0xbc00_0000), &mut c, 3).unwrap();
+        assert_eq!(l3.start_level, 2);
+        assert_eq!(l3.dram_accesses, 7);
+    }
+
+    #[test]
+    fn memo_never_crosses_geometries() {
+        use crate::WalkGeometry;
+        // Two layouts mapping the same iova in different geometries share
+        // one memo; each still gets its own (correct) functional result.
+        let iova = GIova::new(0x3480_0000);
+        let mut memo = WalkMemo::new();
+        for geom in [WalkGeometry::X86Nested4, WalkGeometry::RiscvSv39x4] {
+            let mut b = TenantSpace::builder(Did::new(0));
+            b.geometry(geom).map(iova, PageSize::Size4K);
+            let space = b.build();
+            let mut c = caches();
+            let out =
+                TwoDimWalker::walk_memoized(&space, Sid::new(0), iova, &mut c, Some(&mut memo), 0)
+                    .unwrap();
+            assert_eq!(out.dram_accesses, geom.full_walk_reads());
+            assert_eq!(out.hpa, space.lookup(iova).unwrap().0);
+        }
+        // One guest path and at least one host page per geometry.
+        assert_eq!(memo.len().0, 2);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub use experiment::{
     SweepSpec, PAPER_TENANT_COUNTS,
 };
 pub use faults::{BackoffPolicy, ChurnEvent, FaultPlan, StormEvent};
+pub use hypersio_mem::WalkGeometry;
 pub use latency::LatencyStats;
 pub use model::{Simulation, StageTimings};
 pub use oracle::devtlb_oracle_for;

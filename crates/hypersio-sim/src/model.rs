@@ -118,7 +118,7 @@ impl Simulation {
         // replaying the full inventory per tenant (the layout is affine in
         // the DID, see `TenantSpaceBuilder::build_many`).
         let mut b = TenantSpace::builder(Did::new(0));
-        b.levels(params.page_table_levels);
+        b.geometry(params.walk_geometry);
         for &(iova, size, _) in inventory.iter() {
             b.map(iova, size);
         }
@@ -616,7 +616,7 @@ mod tests {
         let five = Simulation::new(
             TranslationConfig::base(),
             SimParams::paper()
-                .with_five_level_tables()
+                .with_arch(hypersio_mem::WalkGeometry::X86Nested5)
                 .with_warmup(1000),
             trace,
         )

@@ -61,10 +61,10 @@ pub struct SimParams {
     /// an rIOMMU-style flat table (see
     /// [`hypersio_mem::TranslationScheme`]).
     pub translation_scheme: hypersio_mem::TranslationScheme,
-    /// Radix page-table depth for both dimensions (4 or 5): a full
-    /// two-dimensional 4 KB walk costs 24 or 35 memory accesses
-    /// respectively (§II).
-    pub page_table_levels: u8,
+    /// Two-stage walk geometry (see [`hypersio_mem::WalkGeometry`]): x86
+    /// nested 4-/5-level tables (24/35-access full walks, §II) or RISC-V
+    /// Sv39x4/Sv48x4 (15/24 accesses, G-stage root widened by 2 bits).
+    pub walk_geometry: hypersio_mem::WalkGeometry,
     /// Packets processed before bandwidth measurement starts.
     ///
     /// The paper's traces are millions of requests, so cold-compulsory
@@ -120,7 +120,7 @@ impl SimParams {
             history_read: SimDuration::from_ns(50),
             iommu_walkers: None,
             translation_scheme: hypersio_mem::TranslationScheme::default(),
-            page_table_levels: 4,
+            walk_geometry: hypersio_mem::WalkGeometry::X86Nested4,
             bypass_translation: false,
             warmup_packets: 0,
             per_tenant: false,
@@ -157,10 +157,19 @@ impl SimParams {
         self
     }
 
-    /// Uses 5-level page tables in both dimensions (35-access full walks).
-    pub fn with_five_level_tables(mut self) -> Self {
-        self.page_table_levels = 5;
+    /// Selects the two-stage walk geometry (see
+    /// [`hypersio_mem::WalkGeometry`]). The default is
+    /// [`hypersio_mem::WalkGeometry::X86Nested4`], the paper's
+    /// configuration; every committed golden is pinned under it.
+    pub fn with_arch(mut self, geometry: hypersio_mem::WalkGeometry) -> Self {
+        self.walk_geometry = geometry;
         self
+    }
+
+    /// Uses 5-level page tables in both dimensions (35-access full walks).
+    #[deprecated(note = "use with_arch(WalkGeometry::X86Nested5)")]
+    pub fn with_five_level_tables(self) -> Self {
+        self.with_arch(hypersio_mem::WalkGeometry::X86Nested5)
     }
 
     /// Disables translation entirely (native host-interface mode, Fig 5).
@@ -259,14 +268,19 @@ mod tests {
     }
 
     #[test]
-    fn five_level_builder() {
-        assert_eq!(SimParams::paper().page_table_levels, 4);
-        assert_eq!(
-            SimParams::paper()
-                .with_five_level_tables()
-                .page_table_levels,
-            5
-        );
+    fn arch_builder() {
+        use hypersio_mem::WalkGeometry;
+        assert_eq!(SimParams::paper().walk_geometry, WalkGeometry::X86Nested4);
+        for g in WalkGeometry::ALL {
+            assert_eq!(SimParams::paper().with_arch(g).walk_geometry, g);
+        }
+    }
+
+    #[test]
+    fn five_level_shim_maps_to_x86_5() {
+        #[allow(deprecated)]
+        let p = SimParams::paper().with_five_level_tables();
+        assert_eq!(p.walk_geometry, hypersio_mem::WalkGeometry::X86Nested5);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Golden bit-identity harness.
 #
-# Runs every figure/ablation binary (21), the four CLI DevTLB-policy runs,
+# Runs every figure/ablation binary (22), the four CLI DevTLB-policy runs,
 # and the CLI tenant sweep at a tiny deterministic scale, then byte-compares
 # each stdout against the files committed under tests/golden/.  Any refactor
 # of the simulation engine must leave all of these bit-identical; a change
@@ -30,6 +30,7 @@ BINS=(
   fig12a_partitioning fig12b_ptb_size fig12c_prefetch
   abl_flat_table abl_link_speed abl_nested_tlb
   abl_page_levels abl_partition_count abl_walker_cap
+  fig_arch_ablation
 )
 POLICIES=(lru lfu fifo random)
 

@@ -6,7 +6,7 @@
 use std::fmt;
 
 use hypersio_cache::PolicyKind;
-use hypersio_sim::{FaultPlan, SimParams};
+use hypersio_sim::{FaultPlan, SimParams, WalkGeometry};
 use hypersio_trace::{Interleaving, WorkloadKind};
 use hypersio_types::SimDuration;
 use hypertrio_core::TranslationConfig;
@@ -62,6 +62,9 @@ pub struct SimArgs {
     pub tenants: u32,
     /// Architecture preset: false = Base, true = HyperTRIO.
     pub hypertrio: bool,
+    /// Two-stage walk geometry (`--arch`): x86 nested 4-/5-level or
+    /// RISC-V Sv39x4/Sv48x4.
+    pub arch: WalkGeometry,
     /// Trace-shortening factor.
     pub scale: u64,
     /// Trace seed.
@@ -123,6 +126,7 @@ impl Default for SimArgs {
             workload: WorkloadKind::Iperf3,
             tenants: 64,
             hypertrio: true,
+            arch: WalkGeometry::X86Nested4,
             scale: 200,
             seed: 0,
             interleaving: Interleaving::round_robin(1),
@@ -215,7 +219,9 @@ impl SimArgs {
 
     /// Builds the simulator parameters these arguments select.
     pub fn params(&self) -> SimParams {
-        let mut params = SimParams::paper().with_warmup(self.warmup);
+        let mut params = SimParams::paper()
+            .with_arch(self.arch)
+            .with_warmup(self.warmup);
         if self.per_tenant {
             params = params.with_per_tenant();
         }
@@ -256,6 +262,7 @@ OPTIONS (sim / sweep / trace):
     --workload <iperf3|mediastream|websearch>   workload model  [iperf3]
     --tenants <N>                               tenant count    [64]
     --config <base|hypertrio>                   architecture    [hypertrio]
+    --arch <x86-4|x86-5|sv39x4|sv48x4>          walk geometry   [x86-4]
     --scale <N>            divide Table III request counts      [200]
     --seed <N>             trace seed                           [0]
     --interleave <rr1|rr4|rand1>                tenant order    [rr1]
@@ -347,6 +354,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "hypertrio" => true,
                     other => return Err(ParseError(format!("unknown config {other:?}"))),
                 };
+            }
+            "--arch" => {
+                parsed.arch = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --arch: {e}")))?;
             }
             "--scale" => {
                 parsed.scale = value
@@ -580,6 +592,9 @@ mod tests {
             ("sim --tenants 0", "at least 1"),
             ("sim --scale 0", "at least 1"),
             ("sim --config weird", "unknown config"),
+            ("sim --arch sv57", "bad --arch"),
+            ("sim --arch sv57", "sv39x4"),
+            ("sim --arch", "missing value"),
             ("sim --interleave rr9", "unknown interleaving"),
             ("sim --policy belady", "unknown policy"),
             ("sim --frob 1", "unknown option"),
@@ -620,6 +635,23 @@ mod tests {
             panic!();
         };
         assert_eq!(args.params().warmup_packets, 42);
+    }
+
+    #[test]
+    fn arch_flag_selects_the_geometry() {
+        let Command::Sim(args) = parse(&argv("sim")).unwrap() else {
+            panic!();
+        };
+        assert_eq!(args.arch, WalkGeometry::X86Nested4);
+        assert_eq!(args.params().walk_geometry, WalkGeometry::X86Nested4);
+        for g in WalkGeometry::ALL {
+            let line = format!("sim --arch {g}");
+            let Command::Sim(args) = parse(&argv(&line)).unwrap() else {
+                panic!();
+            };
+            assert_eq!(args.arch, g);
+            assert_eq!(args.params().walk_geometry, g);
+        }
     }
 
     #[test]
