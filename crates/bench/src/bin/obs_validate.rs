@@ -9,6 +9,8 @@
 //! Usage: `obs_validate <file>...` — each file's format is detected from
 //! its content:
 //!
+//! - a first line tagged `hypersio-checkpoint/v1` → binary checkpoint
+//!   (header fields plus the body's length and FNV-1a-64 checksum),
 //! - a first line tagged `hypersio-events/v1` → JSON Lines event trace,
 //! - a `.csv` suffix or a `window_start_us,` header → time-series CSV,
 //! - otherwise a JSON document dispatched on its `schema` field
@@ -20,8 +22,9 @@
 use std::process::ExitCode;
 
 use bench::json::{
-    self, validate_events_jsonl, validate_hotpath_schema, validate_report_schema,
-    validate_scale_schema, validate_spans_schema, validate_timeseries_schema,
+    self, validate_checkpoint, validate_events_jsonl, validate_hotpath_schema,
+    validate_report_schema, validate_scale_schema, validate_spans_schema,
+    validate_timeseries_schema,
 };
 
 /// The time-series CSV header pinned by `TimeSeriesSampler::to_csv`.
@@ -55,7 +58,13 @@ fn validate_timeseries_csv(text: &str) -> Result<(), String> {
 }
 
 fn validate_file(path: &str) -> Result<&'static str, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    // Read as bytes first: a checkpoint's body is binary, not UTF-8.
+    let raw = std::fs::read(path).map_err(|e| format!("cannot read: {e}"))?;
+    let first_raw = raw.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    if String::from_utf8_lossy(first_raw).contains("hypersio-checkpoint/v1") {
+        return validate_checkpoint(&raw).map(|()| "run checkpoint (hypersio-checkpoint/v1)");
+    }
+    let text = String::from_utf8(raw).map_err(|_| "cannot read: file is not UTF-8".to_string())?;
     let first_line = text.lines().next().unwrap_or("");
     if first_line.contains("hypersio-events/v1") {
         return validate_events_jsonl(&text).map(|()| "event trace (hypersio-events/v1)");

@@ -715,8 +715,10 @@ pub fn validate_timeseries_schema(doc: &Json) -> Result<(), String> {
 
 /// Checks an `hypersio-events/v1` JSON Lines trace (the `--trace-out` CLI
 /// output): the meta line's schema tag and bookkeeping fields, that every
-/// following line is a JSON object with a timestamp and a kind, and that
-/// the meta line's `recorded` count matches the number of event lines.
+/// following line is a JSON object with a timestamp and a kind, that the
+/// resilience kinds (`memory_pressure`, `shard_retry`) carry their full
+/// payload, and that the meta line's `recorded` count matches the number
+/// of event lines.
 pub fn validate_events_jsonl(text: &str) -> Result<(), String> {
     let mut lines = text.lines();
     let meta_line = lines.next().ok_or("empty trace")?;
@@ -737,9 +739,25 @@ pub fn validate_events_jsonl(text: &str) -> Result<(), String> {
         ev.get("t_ps")
             .and_then(Json::as_num)
             .ok_or_else(|| format!("event line {}: missing numeric field 't_ps'", i + 1))?;
-        ev.get("kind")
+        let kind = ev
+            .get("kind")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("event line {}: missing string field 'kind'", i + 1))?;
+        // The run-resilience kinds carry payloads an operator acts on
+        // (how much memory was shed, which shard restarted); pin them.
+        let required: &[&str] = match kind {
+            "memory_pressure" => &["rss_bytes", "shed_entries"],
+            "shard_retry" => &["shard", "attempt"],
+            _ => &[],
+        };
+        for field in required {
+            ev.get(field).and_then(Json::as_num).ok_or_else(|| {
+                format!(
+                    "event line {}: '{kind}' missing numeric field '{field}'",
+                    i + 1
+                )
+            })?;
+        }
         events += 1;
     }
     let recorded = meta.get("recorded").and_then(Json::as_num).unwrap_or(0.0) as u64;
@@ -820,6 +838,79 @@ pub fn validate_spans_schema(doc: &Json) -> Result<(), String> {
     if recorded != packets {
         return Err(format!(
             "header says {recorded} recorded spans, found {packets} packet slices"
+        ));
+    }
+    Ok(())
+}
+
+/// FNV-1a over 64 bits — the checksum the `hypersio-checkpoint/v1` writer
+/// uses, reimplemented here so the validator stays independent of the
+/// simulator crate's encoder (a drift in either side fails CI).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Parses a `"0x..."` 64-bit hex string header field.
+fn checkpoint_hex(doc: &Json, field: &str) -> Result<u64, String> {
+    let s = doc
+        .get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field '{field}'"))?;
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("'{field}' must be a 0x-prefixed hex string"))?;
+    u64::from_str_radix(digits, 16)
+        .map_err(|_| format!("'{field}' must be a 0x-prefixed hex string"))
+}
+
+/// Checks an `hypersio-checkpoint/v1` file (the `--checkpoint-out` CLI
+/// output): one JSON header line carrying the schema tag, the run
+/// identity (`config`, `tenants`, `fingerprint`), and the body's shape
+/// (`words`, `crc`) — followed by a binary little-endian `u64` body whose
+/// length and FNV-1a-64 checksum must match the header. Whether the body
+/// decodes into a *run's* state is out of scope (that needs the run's
+/// immutable inputs); this pins the container format.
+pub fn validate_checkpoint(bytes: &[u8]) -> Result<(), String> {
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("no header line (missing newline)")?;
+    let header = std::str::from_utf8(&bytes[..newline]).map_err(|_| "header is not UTF-8")?;
+    let doc = parse(header).map_err(|e| format!("header: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("hypersio-checkpoint/v1") => {}
+        Some(other) => return Err(format!("unknown schema '{other}'")),
+        None => return Err("missing string field 'schema'".into()),
+    }
+    doc.get("config")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'config'")?;
+    doc.get("tenants")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric field 'tenants'")?;
+    checkpoint_hex(&doc, "fingerprint")?;
+    let crc = checkpoint_hex(&doc, "crc")?;
+    let words = doc
+        .get("words")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric field 'words'")? as u64;
+    let body = &bytes[newline + 1..];
+    if body.len() as u64 != words * 8 {
+        return Err(format!(
+            "header promises {words} words ({} bytes), body has {} bytes",
+            words * 8,
+            body.len()
+        ));
+    }
+    let actual = fnv1a64(body);
+    if actual != crc {
+        return Err(format!(
+            "body checksum mismatch: header says {crc:#018x}, body hashes to {actual:#018x}"
         ));
     }
     Ok(())
@@ -1218,5 +1309,83 @@ mod tests {
         let bad = good.replace(r#""t_ps":20,"#, "");
         assert!(validate_events_jsonl(&bad).is_err());
         assert!(validate_events_jsonl("").is_err());
+    }
+
+    #[test]
+    fn events_jsonl_pins_resilience_event_payloads() {
+        let good = concat!(
+            r#"{"schema":"hypersio-events/v1","recorded":2,"overwritten":0,"record_bytes":32}"#,
+            "\n",
+            r#"{"t_ps":0,"kind":"shard_retry","shard":3,"attempt":2}"#,
+            "\n",
+            r#"{"t_ps":50,"kind":"memory_pressure","rss_bytes":1048576,"shed_entries":42}"#,
+            "\n"
+        );
+        assert_eq!(validate_events_jsonl(good), Ok(()));
+        let err = validate_events_jsonl(&good.replace(r#""shed_entries":42"#, r#""shed":42"#))
+            .unwrap_err();
+        assert!(err.contains("shed_entries"), "{err}");
+        let err =
+            validate_events_jsonl(&good.replace(r#""attempt":2"#, r#""attempt":"2""#)).unwrap_err();
+        assert!(err.contains("attempt"), "{err}");
+    }
+
+    /// A structurally valid checkpoint file, built by hand the way the
+    /// simulator writes them.
+    fn checkpoint_file(words: &[u64]) -> Vec<u8> {
+        let mut body = Vec::new();
+        for w in words {
+            body.extend_from_slice(&w.to_le_bytes());
+        }
+        let header = format!(
+            concat!(
+                r#"{{"schema":"hypersio-checkpoint/v1","config":"HyperTRIO","tenants":128,"#,
+                r#""fingerprint":"0x00000000deadbeef","words":{},"crc":"{:#018x}"}}"#,
+                "\n"
+            ),
+            words.len(),
+            fnv1a64(&body),
+        );
+        let mut out = header.into_bytes();
+        out.extend_from_slice(&body);
+        out
+    }
+
+    #[test]
+    fn checkpoint_accepts_a_well_formed_file() {
+        assert_eq!(validate_checkpoint(&checkpoint_file(&[1, 2, 3])), Ok(()));
+        assert_eq!(validate_checkpoint(&checkpoint_file(&[])), Ok(()));
+    }
+
+    #[test]
+    fn checkpoint_rejects_structural_damage() {
+        let good = checkpoint_file(&[7, 8, 9]);
+        // No newline at all: not even a header.
+        let err = validate_checkpoint(b"just bytes").unwrap_err();
+        assert!(err.contains("newline"), "{err}");
+        // Truncated body.
+        let err = validate_checkpoint(&good[..good.len() - 4]).unwrap_err();
+        assert!(err.contains("bytes"), "{err}");
+        // A flipped body bit fails the checksum.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let err = validate_checkpoint(&flipped).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        // Wrong schema tag.
+        let as_text = String::from_utf8(checkpoint_file(&[]).to_vec()).unwrap();
+        let err = validate_checkpoint(as_text.replace("/v1", "/v9").as_bytes()).unwrap_err();
+        assert!(err.contains("unknown schema"), "{err}");
+        // Hex fields must be 0x-prefixed strings.
+        let err = validate_checkpoint(as_text.replace("\"0x00000000deadbeef\"", "12").as_bytes())
+            .unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn fnv_matches_the_reference_vectors() {
+        // The same vectors the simulator's encoder pins.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 }

@@ -134,6 +134,24 @@ impl<K: CacheKey + OracleKey, V> FullyAssocCache<K, V> {
     }
 }
 
+impl<K, V> FullyAssocCache<K, V>
+where
+    K: CacheKey + OracleKey + crate::snapshot::WordCodec,
+    V: crate::snapshot::WordCodec,
+{
+    /// Appends the cache's full mutable state to a checkpoint word stream;
+    /// see [`SetAssocCache::snapshot_words`].
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        self.inner.snapshot_words(out);
+    }
+
+    /// Restores the state written by [`FullyAssocCache::snapshot_words`];
+    /// see [`SetAssocCache::restore_words`].
+    pub fn restore_words(&mut self, r: &mut crate::snapshot::WordReader<'_>) -> Option<()> {
+        self.inner.restore_words(r)
+    }
+}
+
 impl<K, V> fmt::Debug for FullyAssocCache<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FullyAssocCache")

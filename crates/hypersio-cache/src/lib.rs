@@ -55,6 +55,7 @@ mod oracle;
 mod partitioned;
 mod policy;
 mod set_assoc;
+mod snapshot;
 mod stats;
 
 pub use fully_assoc::FullyAssocCache;
@@ -63,4 +64,5 @@ pub use oracle::FutureOracle;
 pub use partitioned::{PartitionSpec, PartitionedCache};
 pub use policy::{FutureOracleErased, OracleKey, PolicyKind};
 pub use set_assoc::{CacheKey, SetAssocCache};
+pub use snapshot::{WordCodec, WordReader};
 pub use stats::CacheStats;

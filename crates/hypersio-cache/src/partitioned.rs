@@ -112,6 +112,30 @@ impl<K: OracleKey> OracleKey for PartitionedKey<K> {
     }
 }
 
+impl<K: crate::snapshot::WordCodec> crate::snapshot::WordCodec for PartitionedKey<K> {
+    const WORDS: usize = 3 + K::WORDS;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(self.sid.raw() as u64);
+        out.push(self.partition as u64);
+        out.push(self.rows_per_partition);
+        self.inner.encode_words(out);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let (head, inner) = words.split_at_checked(3)?;
+        let &[sid, partition, rows_per_partition] = head else {
+            return None;
+        };
+        Some(PartitionedKey {
+            sid: Sid::new(u32::try_from(sid).ok()?),
+            partition: usize::try_from(partition).ok()?,
+            rows_per_partition,
+            inner: K::decode_words(inner)?,
+        })
+    }
+}
+
 /// A set-associative cache whose rows are partitioned by SID (PTag match).
 ///
 /// With [`PartitionSpec::unified`] this degenerates to a plain shared cache
@@ -288,6 +312,24 @@ impl<K: CacheKey + OracleKey, V> PartitionedCache<K, V> {
     /// Resets the statistics counters (contents are untouched).
     pub fn reset_stats(&mut self) {
         self.inner.reset_stats();
+    }
+}
+
+impl<K, V> PartitionedCache<K, V>
+where
+    K: CacheKey + OracleKey + crate::snapshot::WordCodec,
+    V: crate::snapshot::WordCodec,
+{
+    /// Appends the cache's full mutable state to a checkpoint word stream;
+    /// see [`SetAssocCache::snapshot_words`].
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        self.inner.snapshot_words(out);
+    }
+
+    /// Restores the state written by [`PartitionedCache::snapshot_words`];
+    /// see [`SetAssocCache::restore_words`].
+    pub fn restore_words(&mut self, r: &mut crate::snapshot::WordReader<'_>) -> Option<()> {
+        self.inner.restore_words(r)
     }
 }
 

@@ -208,6 +208,38 @@ impl PolicyState {
         }
     }
 
+    /// Appends the policy's mutable metadata (timestamps, counters, RNG
+    /// state) to a checkpoint word stream. The Oracle policy is stateless —
+    /// its future-access index is rebuilt from the trace at restore.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        match self {
+            PolicyState::Lru { last_use } => out.extend(last_use.iter()),
+            PolicyState::Lfu { counters } => out.extend(counters.iter().map(|&c| c as u64)),
+            PolicyState::Fifo { filled_at } => out.extend(filled_at.iter()),
+            PolicyState::Random { rng } => out.push(rng.state()),
+            PolicyState::Oracle { .. } => {}
+        }
+    }
+
+    /// Restores the metadata written by [`PolicyState::snapshot_words`]
+    /// into this (identically configured) policy. Returns `None` on a
+    /// truncated or out-of-range stream.
+    pub(crate) fn restore_words(&mut self, r: &mut crate::snapshot::WordReader<'_>) -> Option<()> {
+        match self {
+            PolicyState::Lru { last_use } => last_use.copy_from_slice(r.take(last_use.len())?),
+            PolicyState::Lfu { counters } => {
+                let words = r.take(counters.len())?;
+                for (c, &w) in counters.iter_mut().zip(words) {
+                    *c = u8::try_from(w).ok()?;
+                }
+            }
+            PolicyState::Fifo { filled_at } => filled_at.copy_from_slice(r.take(filled_at.len())?),
+            PolicyState::Random { rng } => *rng = SplitMix64::from_state(r.next()?),
+            PolicyState::Oracle { .. } => {}
+        }
+        Some(())
+    }
+
     #[cfg(test)]
     fn lfu_counter(&self, idx: usize) -> u8 {
         match self {

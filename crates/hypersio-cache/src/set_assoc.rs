@@ -5,6 +5,7 @@ use std::hash::Hash;
 
 use crate::geometry::CacheGeometry;
 use crate::policy::{OracleKey, PolicyKind, PolicyState};
+use crate::snapshot::{WordCodec, WordReader};
 use crate::stats::CacheStats;
 
 /// Keys insertable into the caches of this crate.
@@ -364,6 +365,59 @@ impl<K: CacheKey + OracleKey, V> SetAssocCache<K, V> {
     }
 }
 
+impl<K: CacheKey + OracleKey + WordCodec, V: WordCodec> SetAssocCache<K, V> {
+    /// Appends the cache's full mutable state — every occupied slot, the
+    /// replacement-policy metadata, and the statistics — to a checkpoint
+    /// word stream. Re-inserting the entries into a fresh cache would not
+    /// reproduce the policy metadata (LRU timestamps, LFU counters, the
+    /// RANDOM RNG), so the raw slab is copied verbatim.
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.slots.len() as u64);
+        for slot in self.slots.iter() {
+            match slot {
+                Some(e) => {
+                    out.push(1);
+                    e.key.encode_words(out);
+                    e.value.encode_words(out);
+                }
+                None => out.push(0),
+            }
+        }
+        self.policy.snapshot_words(out);
+        self.stats.encode_words(out);
+    }
+
+    /// Restores the state written by [`SetAssocCache::snapshot_words`]
+    /// into this identically configured cache (same geometry and policy).
+    /// Returns `None` on any truncated, out-of-range, or mismatched
+    /// stream — never panics and never half-applies (callers discard the
+    /// cache on failure).
+    pub fn restore_words(&mut self, r: &mut WordReader<'_>) -> Option<()> {
+        if r.next()? != self.slots.len() as u64 {
+            return None;
+        }
+        self.clear();
+        let ways = self.geometry.ways();
+        for idx in 0..self.slots.len() {
+            match r.next()? {
+                0 => {}
+                1 => {
+                    let key: K = r.decode()?;
+                    let value: V = r.decode()?;
+                    self.tags[idx] = key.oracle_code();
+                    self.set_len[idx / ways] += 1;
+                    self.occupied += 1;
+                    self.slots[idx] = Some(Entry { key, value });
+                }
+                _ => return None,
+            }
+        }
+        self.policy.restore_words(r)?;
+        self.stats = r.decode()?;
+        Some(())
+    }
+}
+
 impl<K, V> fmt::Debug for SetAssocCache<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SetAssocCache")
@@ -646,6 +700,74 @@ mod tests {
         assert_eq!(batched.stats().misses(), scalar.stats().misses());
         // Policy state advanced identically: same victim on the next insert.
         assert_eq!(batched.insert(8, 80, 200), scalar.insert(8, 80, 200));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_contents_policy_and_stats() {
+        use crate::snapshot::WordReader;
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Lfu,
+            PolicyKind::Fifo,
+            PolicyKind::Random { seed: 11 },
+        ] {
+            let name = kind.name();
+            let mut original: SetAssocCache<u64, u64> =
+                SetAssocCache::new(CacheGeometry::new(8, 2), kind.clone());
+            for k in 0..12u64 {
+                original.insert(k, k * 10, k);
+            }
+            original.lookup(&3, 20);
+            original.lookup(&99, 21);
+            let mut words = Vec::new();
+            original.snapshot_words(&mut words);
+            let mut restored: SetAssocCache<u64, u64> =
+                SetAssocCache::new(CacheGeometry::new(8, 2), kind);
+            let mut r = WordReader::new(&words);
+            assert_eq!(restored.restore_words(&mut r), Some(()), "{name}");
+            assert!(r.is_empty(), "{name}: stream fully consumed");
+            assert_eq!(restored.len(), original.len(), "{name}");
+            assert_eq!(restored.stats(), original.stats(), "{name}");
+            let mut a: Vec<_> = original.iter().map(|(k, v)| (*k, *v)).collect();
+            let mut b: Vec<_> = restored.iter().map(|(k, v)| (*k, *v)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{name}");
+            // The restored cache continues exactly like the original:
+            // identical victims on the next inserts.
+            for k in 100..110u64 {
+                assert_eq!(
+                    original.insert(k, k, k),
+                    restored.insert(k, k, k),
+                    "{name}: divergent victim at key {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_corrupt_streams() {
+        use crate::snapshot::WordReader;
+        let mut c = lru_cache(4, 2);
+        c.insert(1, 10, 0);
+        let mut words = Vec::new();
+        c.snapshot_words(&mut words);
+        // Truncation at every prefix fails cleanly.
+        for cut in 0..words.len() {
+            let mut fresh = lru_cache(4, 2);
+            let mut r = WordReader::new(&words[..cut]);
+            assert_eq!(fresh.restore_words(&mut r), None, "cut at {cut}");
+        }
+        // A wrong slot count fails.
+        let mut wrong = words.clone();
+        wrong[0] = 9999;
+        let mut fresh = lru_cache(4, 2);
+        assert_eq!(fresh.restore_words(&mut WordReader::new(&wrong)), None);
+        // An invalid presence flag fails.
+        let mut bad_flag = words.clone();
+        bad_flag[1] = 7;
+        let mut fresh = lru_cache(4, 2);
+        assert_eq!(fresh.restore_words(&mut WordReader::new(&bad_flag)), None);
     }
 
     #[test]

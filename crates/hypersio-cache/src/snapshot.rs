@@ -1,0 +1,295 @@
+//! Word-level snapshot and restore of cache contents for checkpointing.
+//!
+//! Replacement metadata (LRU timestamps, LFU counters, the RANDOM policy's
+//! RNG state) cannot be reproduced by replaying inserts into a fresh cache,
+//! so resuming a simulation bit-identically requires copying the raw slab:
+//! every occupied slot, the policy metadata array, and the statistics. The
+//! encoding is a flat little-endian `u64` stream — [`WordCodec`] turns keys
+//! and values into fixed-width word groups, and [`WordReader`] is the
+//! bounds-checked cursor used on the way back in. Decoding never panics:
+//! any truncated or out-of-range input surfaces as `None`.
+
+use hypersio_types::{Did, GIova, GPa, HPa, PageSize, Sid};
+
+use crate::stats::CacheStats;
+
+/// Fixed-width encoding of a key or value as a group of `u64` words.
+///
+/// Implementations must be exact inverses: `decode_words` applied to the
+/// words produced by `encode_words` yields an equal value. `decode_words`
+/// receives a slice of exactly [`WordCodec::WORDS`] words and returns
+/// `None` for encodings that do not correspond to any value (for example
+/// an out-of-range enum discriminant) instead of panicking.
+pub trait WordCodec: Sized {
+    /// Number of words this type encodes to.
+    const WORDS: usize;
+
+    /// Appends this value's words to `out`.
+    fn encode_words(&self, out: &mut Vec<u64>);
+
+    /// Rebuilds a value from exactly [`WordCodec::WORDS`] words.
+    fn decode_words(words: &[u64]) -> Option<Self>;
+}
+
+/// Bounds-checked cursor over a snapshot word stream.
+///
+/// Every read returns `Option`; running off the end of the stream is a
+/// decode failure, never a panic.
+///
+/// # Examples
+///
+/// ```
+/// use hypersio_cache::WordReader;
+///
+/// let words = [1u64, 2, 3];
+/// let mut r = WordReader::new(&words);
+/// assert_eq!(r.next(), Some(1));
+/// assert_eq!(r.take(2), Some(&words[1..3]));
+/// assert_eq!(r.next(), None);
+/// ```
+#[derive(Debug)]
+pub struct WordReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> WordReader<'a> {
+    /// Creates a reader over `words`, positioned at the start.
+    pub fn new(words: &'a [u64]) -> Self {
+        WordReader { words, pos: 0 }
+    }
+
+    /// Reads the next word, or `None` at end of stream.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<u64> {
+        let w = *self.words.get(self.pos)?;
+        self.pos += 1;
+        Some(w)
+    }
+
+    /// Reads the next `n` words as a slice, or `None` if fewer remain.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u64]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.words.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Decodes one `T` from the next [`WordCodec::WORDS`] words.
+    pub fn decode<T: WordCodec>(&mut self) -> Option<T> {
+        T::decode_words(self.take(T::WORDS)?)
+    }
+
+    /// Reads a length word and checks it against `limit` (a structural
+    /// bound such as a capacity), rejecting absurd lengths before any
+    /// allocation sized by them.
+    pub fn len_capped(&mut self, limit: usize) -> Option<usize> {
+        let n = usize::try_from(self.next()?).ok()?;
+        (n <= limit).then_some(n)
+    }
+
+    /// Returns the number of unread words.
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+
+    /// Returns true when every word has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+impl WordCodec for u64 {
+    const WORDS: usize = 1;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(*self);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let &[w] = words else { return None };
+        Some(w)
+    }
+}
+
+impl WordCodec for u32 {
+    const WORDS: usize = 1;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(*self as u64);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let &[w] = words else { return None };
+        u32::try_from(w).ok()
+    }
+}
+
+macro_rules! id_codec {
+    ($name:ident, $raw:ty) => {
+        impl WordCodec for $name {
+            const WORDS: usize = 1;
+
+            fn encode_words(&self, out: &mut Vec<u64>) {
+                out.push(self.raw() as u64);
+            }
+
+            fn decode_words(words: &[u64]) -> Option<Self> {
+                let &[w] = words else { return None };
+                Some($name::new(<$raw>::try_from(w).ok()?))
+            }
+        }
+    };
+}
+
+id_codec!(Sid, u32);
+id_codec!(Did, u32);
+id_codec!(GIova, u64);
+id_codec!(GPa, u64);
+id_codec!(HPa, u64);
+
+impl WordCodec for PageSize {
+    const WORDS: usize = 1;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(self.shift() as u64);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        match words {
+            [12] => Some(PageSize::Size4K),
+            [21] => Some(PageSize::Size2M),
+            [30] => Some(PageSize::Size1G),
+            _ => None,
+        }
+    }
+}
+
+impl WordCodec for bool {
+    const WORDS: usize = 1;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(*self as u64);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        match words {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl<A: WordCodec, B: WordCodec> WordCodec for (A, B) {
+    const WORDS: usize = A::WORDS + B::WORDS;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        self.0.encode_words(out);
+        self.1.encode_words(out);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let (a, b) = words.split_at_checked(A::WORDS)?;
+        Some((A::decode_words(a)?, B::decode_words(b)?))
+    }
+}
+
+impl WordCodec for CacheStats {
+    const WORDS: usize = 5;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        out.extend([
+            self.hits(),
+            self.misses(),
+            self.fills(),
+            self.evictions(),
+            self.invalidations(),
+        ]);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let &[hits, misses, fills, evictions, invalidations] = words else {
+            return None;
+        };
+        Some(CacheStats::from_raw(
+            hits,
+            misses,
+            fills,
+            evictions,
+            invalidations,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: WordCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut words = Vec::new();
+        v.encode_words(&mut words);
+        assert_eq!(words.len(), T::WORDS);
+        assert_eq!(T::decode_words(&words), Some(v));
+    }
+
+    #[test]
+    fn primitive_codecs_round_trip() {
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(7u32);
+        round_trip(Sid::new(42));
+        round_trip(Did::new(9));
+        round_trip(GIova::new(0xbbe0_1000));
+        round_trip(GPa::new(0x7000));
+        round_trip(HPa::new(0xdead_b000));
+        round_trip(true);
+        round_trip(false);
+        round_trip((Did::new(3), GIova::new(0x1000)));
+        for size in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+            round_trip(size);
+        }
+    }
+
+    #[test]
+    fn invalid_encodings_decode_to_none() {
+        assert_eq!(u32::decode_words(&[u64::MAX]), None);
+        assert_eq!(Sid::decode_words(&[1 << 40]), None);
+        assert_eq!(PageSize::decode_words(&[13]), None);
+        assert_eq!(bool::decode_words(&[2]), None);
+        assert_eq!(u64::decode_words(&[]), None);
+        assert_eq!(u64::decode_words(&[1, 2]), None);
+        assert_eq!(<(Sid, GIova)>::decode_words(&[1]), None);
+    }
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let words = [10u64, 20, 30];
+        let mut r = WordReader::new(&words);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.next(), Some(10));
+        assert_eq!(r.take(5), None, "over-read must fail, not panic");
+        assert_eq!(r.take(2), Some(&words[1..3]));
+        assert!(r.is_empty());
+        assert_eq!(r.next(), None);
+        assert_eq!(r.decode::<u64>(), None);
+    }
+
+    #[test]
+    fn len_capped_rejects_absurd_lengths() {
+        let words = [u64::MAX, 5, 3];
+        let mut r = WordReader::new(&words);
+        assert_eq!(r.len_capped(100), None);
+        assert_eq!(r.len_capped(4), None, "5 exceeds the cap of 4");
+        assert_eq!(r.len_capped(4), Some(3));
+    }
+
+    #[test]
+    fn stats_codec_round_trips() {
+        let mut stats = CacheStats::new();
+        stats.record_hit();
+        stats.record_miss();
+        stats.record_fill();
+        round_trip(stats);
+    }
+}

@@ -31,6 +31,23 @@ impl CacheStats {
         CacheStats::default()
     }
 
+    /// Rebuilds counters from raw values (checkpoint restore).
+    pub(crate) fn from_raw(
+        hits: u64,
+        misses: u64,
+        fills: u64,
+        evictions: u64,
+        invalidations: u64,
+    ) -> Self {
+        CacheStats {
+            hits,
+            misses,
+            fills,
+            evictions,
+            invalidations,
+        }
+    }
+
     /// Records a lookup that found its key.
     pub fn record_hit(&mut self) {
         self.hits += 1;

@@ -51,6 +51,19 @@ impl OracleKey for BdfKey {
     }
 }
 
+impl hypersio_cache::WordCodec for BdfKey {
+    const WORDS: usize = 1;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(self.0.routing_id() as u64);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let raw = u32::try_from(*words.first()?).ok()?;
+        Some(BdfKey(Bdf::from_routing_id(raw)))
+    }
+}
+
 /// The IOMMU's context cache.
 ///
 /// On a miss, hardware reads the root-table entry and the context entry
@@ -125,6 +138,19 @@ impl ContextCache {
     /// Returns cache statistics.
     pub fn stats(&self) -> &hypersio_cache::CacheStats {
         self.cache.stats()
+    }
+
+    /// Appends the *cache* contents (not the architected table, which the
+    /// IOMMU re-derives from tenant residency) to a checkpoint stream.
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        self.cache.snapshot_words(out);
+    }
+
+    /// Restores the cache contents captured by [`Self::snapshot_words`].
+    /// Returns `None` (leaving the cache in an unspecified but safe state)
+    /// if the stream is corrupt.
+    pub fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        self.cache.restore_words(r)
     }
 }
 

@@ -66,6 +66,11 @@ impl Dram {
     pub fn reset_accesses(&mut self) {
         self.accesses = 0;
     }
+
+    /// Overwrites the access counter (checkpoint restore).
+    pub(crate) fn set_accesses(&mut self, accesses: u64) {
+        self.accesses = accesses;
+    }
 }
 
 impl fmt::Debug for Dram {

@@ -345,6 +345,64 @@ impl Iommu {
         self.caches.invalidate_did(did)
     }
 
+    /// Sheds reclaimable memory under host pressure: the walk memo is
+    /// dropped (its entries are pure-function results, rebuilt on demand)
+    /// and a lazy space pool's residency cap is halved with LRU eviction
+    /// ([`SpacePool::shrink_residency`]). Both actions are transparent to
+    /// the model — a degraded run produces bit-identical translations.
+    /// Returns `(spaces evicted, memo entries dropped)`.
+    pub fn relieve_memory_pressure(&mut self) -> (u64, u64) {
+        let (guest, nested) = self.memo.len();
+        self.memo.clear();
+        let evicted = self.pool.shrink_residency();
+        (evicted, (guest + nested) as u64)
+    }
+
+    /// Appends every piece of mutable IOMMU state a resumed run needs to a
+    /// checkpoint stream: statistics, the DRAM access counter, context
+    /// cache, walk caches, and pool residency metadata. The walk memo is
+    /// deliberately excluded — it is a pure coalescing cache, re-derived
+    /// on demand with no effect on results or charging.
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.stats.requests);
+        out.push(self.stats.dram_accesses);
+        out.push(self.stats.full_walks);
+        out.push(self.stats.faults);
+        out.push(self.dram.accesses());
+        self.context.snapshot_words(out);
+        self.caches.snapshot_words(out);
+        self.pool.snapshot_words(out);
+    }
+
+    /// Restores state captured by [`Self::snapshot_words`] into a freshly
+    /// constructed IOMMU of the same configuration. Lazy tenants resident
+    /// at the checkpoint get their spaces re-stamped and their context
+    /// entries re-installed; the walk memo starts empty. Returns `None`
+    /// on a corrupt stream or a configuration mismatch.
+    pub fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        self.stats.requests = r.next()?;
+        self.stats.dram_accesses = r.next()?;
+        self.stats.full_walks = r.next()?;
+        self.stats.faults = r.next()?;
+        let dram_accesses = r.next()?;
+        self.dram.set_accesses(dram_accesses);
+        self.context.restore_words(r)?;
+        self.caches.restore_words(r)?;
+        self.pool.restore_words(r)?;
+        self.memo.clear();
+        if self.pool.is_lazy() {
+            // The architected context table holds an entry per ever-touched
+            // tenant; rebuilding it for the *resident* set is sufficient,
+            // because a non-resident tenant's next touch re-installs its
+            // entry on the ensure() path exactly as the first touch did.
+            for did in self.pool.resident_dids() {
+                self.context
+                    .install(Bdf::from_routing_id(did.raw()), ContextEntry::new(did));
+            }
+        }
+        Some(())
+    }
+
     /// Migrates tenant `did` to host slab `slab`: the host table is
     /// re-stamped at the new location ([`TenantSpace::migrate_to_slab`]),
     /// the cached context entry is invalidated (the hypervisor rewrites it
@@ -664,5 +722,125 @@ mod tests {
             "expected thrashing, got hit rate {}",
             l2.hit_rate()
         );
+    }
+
+    /// Snapshot `src`, restore into `dst`, and check both then translate
+    /// identically for a probe sequence.
+    fn assert_snapshot_transfers(mut src: Iommu, mut dst: Iommu, tenants: u32) {
+        let mut words = Vec::new();
+        src.snapshot_words(&mut words);
+        let mut r = hypersio_cache::WordReader::new(&words);
+        dst.restore_words(&mut r).expect("restore must succeed");
+        assert!(r.is_empty(), "restore must consume the whole stream");
+        assert_eq!(src.stats(), dst.stats());
+        assert_eq!(src.walk_cache_stats(), dst.walk_cache_stats());
+        assert_eq!(src.dram_accesses(), dst.dram_accesses());
+        let mut now = 1_000_000;
+        for t in 0..tenants {
+            for iova in [0xbbe0_0000u64, 0x3480_0000, 0x1] {
+                let iova = GIova::new(iova);
+                let a = src.translate(Sid::new(t), Did::new(t), iova, now);
+                let b = dst.translate(Sid::new(t), Did::new(t), iova, now);
+                assert_eq!(a, b, "tenant {t} {iova:?}");
+                now += 1;
+            }
+        }
+        assert_eq!(src.stats(), dst.stats());
+        assert_eq!(src.dram_accesses(), dst.dram_accesses());
+    }
+
+    #[test]
+    fn snapshot_round_trips_a_dense_iommu_with_migrations() {
+        let mut src = iommu(4);
+        let iova = GIova::new(0xbbe0_0000);
+        for t in 0..4u32 {
+            src.translate(Sid::new(t), Did::new(t), iova, t as u64)
+                .unwrap();
+        }
+        src.migrate_tenant(Did::new(2), 9);
+        src.translate(Sid::new(2), Did::new(2), iova, 10).unwrap();
+        assert_snapshot_transfers(src, iommu(4), 4);
+    }
+
+    #[test]
+    fn snapshot_round_trips_a_lazy_iommu_mid_eviction() {
+        let mut src = lazy_iommu(8, 2);
+        let iova = GIova::new(0xbbe0_0042);
+        for t in 0..6u32 {
+            src.translate(Sid::new(t), Did::new(t), iova, t as u64)
+                .unwrap();
+        }
+        src.migrate_tenant(Did::new(1), 77); // non-resident override
+        assert!(src.pool_stats().evictions > 0);
+        let dst = lazy_iommu(8, 2);
+        let before = src.pool_stats();
+        let mut words = Vec::new();
+        src.snapshot_words(&mut words);
+        let mut restored = lazy_iommu(8, 2);
+        let mut r = hypersio_cache::WordReader::new(&words);
+        restored.restore_words(&mut r).unwrap();
+        assert_eq!(restored.pool_stats(), before);
+        assert_snapshot_transfers(src, dst, 8);
+    }
+
+    #[test]
+    fn snapshot_rejects_configuration_mismatches_and_corruption() {
+        let mut src = iommu(2);
+        src.translate(Sid::new(0), Did::new(0), GIova::new(0xbbe0_0000), 0)
+            .unwrap();
+        let mut words = Vec::new();
+        src.snapshot_words(&mut words);
+
+        // A lazy IOMMU cannot restore a dense snapshot.
+        let mut lazy = lazy_iommu(2, 1);
+        let mut r = hypersio_cache::WordReader::new(&words);
+        assert!(lazy.restore_words(&mut r).is_none());
+
+        // A nested-TLB IOMMU cannot restore a flat-config snapshot.
+        let params = IommuParams {
+            walk_caches: WalkCacheConfig::paper_base()
+                .with_nested_tlb(hypersio_cache::CacheGeometry::new(64, 8)),
+            ..IommuParams::paper()
+        };
+        let mut nested = Iommu::new(params, (0..2).map(tenant).collect());
+        let mut r = hypersio_cache::WordReader::new(&words);
+        assert!(nested.restore_words(&mut r).is_none());
+
+        // Every truncation of the stream is rejected, never a panic.
+        for len in 0..words.len() {
+            let mut dst = iommu(2);
+            let mut r = hypersio_cache::WordReader::new(&words[..len]);
+            assert!(dst.restore_words(&mut r).is_none(), "prefix {len}");
+        }
+    }
+
+    #[test]
+    fn memory_pressure_relief_is_model_transparent() {
+        let mut plain = lazy_iommu(8, 4);
+        let mut squeezed = lazy_iommu(8, 4);
+        let iova = GIova::new(0xbbe0_0042);
+        let mut now = 0;
+        for t in 0..4u32 {
+            plain
+                .translate(Sid::new(t), Did::new(t), iova, now)
+                .unwrap();
+            squeezed
+                .translate(Sid::new(t), Did::new(t), iova, now)
+                .unwrap();
+            now += 1;
+        }
+        let (evicted, memo_dropped) = squeezed.relieve_memory_pressure();
+        assert!(evicted > 0, "4 residents over a halved cap must evict");
+        assert!(memo_dropped > 0, "warm memo must have entries to drop");
+        for round in 0..2 {
+            for t in 0..8u32 {
+                let a = plain.translate(Sid::new(t), Did::new(t), iova, now);
+                let b = squeezed.translate(Sid::new(t), Did::new(t), iova, now);
+                assert_eq!(a, b, "round {round} tenant {t}");
+                now += 1;
+            }
+        }
+        assert_eq!(plain.stats(), squeezed.stats());
+        assert_eq!(plain.walk_cache_stats(), squeezed.walk_cache_stats());
     }
 }

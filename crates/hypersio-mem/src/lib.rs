@@ -50,6 +50,7 @@ mod dram;
 mod geometry;
 mod iommu;
 mod page_table;
+mod snapshot;
 mod space;
 mod space_pool;
 mod walk_cache;

@@ -1,0 +1,145 @@
+//! [`WordCodec`] implementations for the memory-side cache payloads, so the
+//! walk caches, nested TLB, and context cache can be captured in a run
+//! checkpoint (DESIGN.md §16).
+//!
+//! Encodings follow the crate-wide snapshot rules: fixed word counts per
+//! type, every discriminant range-checked on decode, and `None` (never a
+//! panic) for any byte pattern that does not round-trip.
+
+use hypersio_cache::WordCodec;
+use hypersio_types::PageSize;
+
+use crate::context::ContextEntry;
+use crate::page_table::Pte;
+use crate::walk_cache::{NestedKey, WalkCacheKey};
+
+impl WordCodec for Pte {
+    // [variant, word0, word1]: Table { next } = [0, next, 0];
+    // Leaf { target, size } = [1, target, page shift].
+    const WORDS: usize = 3;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        match *self {
+            Pte::Table { next } => {
+                out.push(0);
+                out.push(next);
+                out.push(0);
+            }
+            Pte::Leaf { target, size } => {
+                out.push(1);
+                out.push(target);
+                out.push(size.shift() as u64);
+            }
+        }
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let &[variant, a, b] = words.first_chunk::<3>()?;
+        match variant {
+            0 if b == 0 => Some(Pte::Table { next: a }),
+            1 => {
+                let size = PageSize::decode_words(&[b])?;
+                Some(Pte::Leaf { target: a, size })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl WordCodec for WalkCacheKey {
+    const WORDS: usize = 2;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        self.did.encode_words(out);
+        out.push(self.tag);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let (did_words, rest) = words.split_at_checked(1)?;
+        let did = hypersio_types::Did::decode_words(did_words)?;
+        let tag = *rest.first()?;
+        Some(WalkCacheKey { did, tag })
+    }
+}
+
+impl WordCodec for NestedKey {
+    const WORDS: usize = 2;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        self.did.encode_words(out);
+        out.push(self.gfn);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let (did_words, rest) = words.split_at_checked(1)?;
+        let did = hypersio_types::Did::decode_words(did_words)?;
+        let gfn = *rest.first()?;
+        Some(NestedKey { did, gfn })
+    }
+}
+
+impl WordCodec for ContextEntry {
+    const WORDS: usize = 1;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        self.did().encode_words(out);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        Some(ContextEntry::new(hypersio_types::Did::decode_words(words)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersio_types::Did;
+
+    fn round_trip<T: WordCodec + PartialEq + std::fmt::Debug>(value: T) {
+        let mut words = Vec::new();
+        value.encode_words(&mut words);
+        assert_eq!(words.len(), T::WORDS);
+        assert_eq!(T::decode_words(&words), Some(value));
+    }
+
+    #[test]
+    fn ptes_round_trip() {
+        round_trip(Pte::Table { next: 0x4000 });
+        round_trip(Pte::Leaf {
+            target: 0x20_0000,
+            size: PageSize::Size2M,
+        });
+        round_trip(Pte::Leaf {
+            target: 0,
+            size: PageSize::Size1G,
+        });
+    }
+
+    #[test]
+    fn corrupt_ptes_are_rejected() {
+        assert_eq!(Pte::decode_words(&[2, 0, 0]), None); // bad variant
+        assert_eq!(Pte::decode_words(&[0, 7, 1]), None); // table with junk
+        assert_eq!(Pte::decode_words(&[1, 7, 13]), None); // bad page shift
+        assert_eq!(Pte::decode_words(&[0, 7]), None); // truncated
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        round_trip(WalkCacheKey {
+            did: Did::new(77),
+            tag: 0xbbe0_0000 >> 21,
+        });
+        round_trip(NestedKey {
+            did: Did::new(3),
+            gfn: 0x8000_1234 >> 12,
+        });
+        round_trip(ContextEntry::new(Did::new(9)));
+    }
+
+    #[test]
+    fn oversized_dids_are_rejected() {
+        assert_eq!(WalkCacheKey::decode_words(&[1 << 33, 0]), None);
+        assert_eq!(NestedKey::decode_words(&[1 << 33, 0]), None);
+        assert_eq!(ContextEntry::decode_words(&[1 << 33]), None);
+    }
+}

@@ -261,6 +261,169 @@ impl SpacePool {
             Variant::Lazy(_) => panic!("a lazy pool has no dense space slice"),
         }
     }
+
+    /// DIDs of currently resident spaces, ascending (dense: every tenant).
+    pub fn resident_dids(&self) -> Vec<Did> {
+        match &self.variant {
+            Variant::Dense(spaces) => (0..spaces.len() as u32).map(Did::new).collect(),
+            Variant::Lazy(pool) => {
+                let mut dids: Vec<u32> = pool.resident.keys().copied().collect();
+                dids.sort_unstable();
+                dids.into_iter().map(Did::new).collect()
+            }
+        }
+    }
+
+    /// Halves a lazy pool's residency cap (never below one space) and
+    /// evicts least-recently-touched spaces until the survivors fit —
+    /// the graceful-degradation response to host memory pressure. Safe
+    /// because eviction is model-transparent (see the module docs): a
+    /// later touch re-stamps a bit-identical space. Returns the number of
+    /// spaces evicted; a dense pool is untouched and returns 0.
+    pub fn shrink_residency(&mut self) -> u64 {
+        let pool = match &mut self.variant {
+            Variant::Dense(_) => return 0,
+            Variant::Lazy(pool) => pool,
+        };
+        pool.max_resident = (pool.max_resident / 2).max(1);
+        let before = pool.evictions;
+        while pool.resident.len() > pool.max_resident {
+            match pool.lru.pop_front() {
+                Some((t, d)) if pool.last_touch.get(&d) == Some(&t) => {
+                    pool.resident.remove(&d);
+                    pool.last_touch.remove(&d);
+                    pool.evictions += 1;
+                }
+                Some(_) => continue, // stale entry, skip
+                None => break,       // resident map and LRU out of sync: bug
+            }
+        }
+        pool.evictions - before
+    }
+
+    /// Appends the pool's mutable state to a checkpoint stream: slab
+    /// placement for a dense pool; residency metadata (recency order,
+    /// slab overrides, counters) for a lazy one. Resident spaces are
+    /// *not* serialised — stamping is deterministic, so restore rebuilds
+    /// them bit-identically from the canonical build.
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        match &self.variant {
+            Variant::Dense(spaces) => {
+                out.push(0);
+                out.push(spaces.len() as u64);
+                let moved: Vec<(u64, u64)> = spaces
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, s)| s.host_slab() != *i as u64)
+                    .map(|(i, s)| (i as u64, s.host_slab()))
+                    .collect();
+                out.push(moved.len() as u64);
+                for (did, slab) in moved {
+                    out.push(did);
+                    out.push(slab);
+                }
+            }
+            Variant::Lazy(pool) => {
+                out.push(1);
+                out.push(pool.tenants as u64);
+                out.push(pool.max_resident as u64);
+                out.push(pool.tick);
+                out.push(pool.builds);
+                out.push(pool.evictions);
+                let mut overrides: Vec<(u32, u64)> =
+                    pool.slab_overrides.iter().map(|(&d, &s)| (d, s)).collect();
+                overrides.sort_unstable();
+                out.push(overrides.len() as u64);
+                for (did, slab) in overrides {
+                    out.push(did as u64);
+                    out.push(slab);
+                }
+                let mut resident: Vec<(u32, u64)> =
+                    pool.last_touch.iter().map(|(&d, &t)| (d, t)).collect();
+                resident.sort_unstable();
+                out.push(resident.len() as u64);
+                for (did, touched) in resident {
+                    out.push(did as u64);
+                    out.push(touched);
+                }
+                out.push(pool.lru.len() as u64);
+                for &(tick, did) in pool.lru.iter() {
+                    out.push(tick);
+                    out.push(did as u64);
+                }
+            }
+        }
+    }
+
+    /// Restores state captured by [`Self::snapshot_words`] into a freshly
+    /// constructed pool of the same shape (variant, tenant count, dense
+    /// spaces at their default slabs). Lazy residents are re-stamped from
+    /// the canonical build at their recorded slabs. Returns `None` on a
+    /// corrupt stream or a shape mismatch.
+    pub fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        match (r.next()?, &mut self.variant) {
+            (0, Variant::Dense(spaces)) => {
+                if r.next()? != spaces.len() as u64 {
+                    return None;
+                }
+                let moved = r.len_capped(spaces.len())?;
+                for _ in 0..moved {
+                    let did = usize::try_from(r.next()?).ok()?;
+                    let slab = r.next()?;
+                    spaces.get_mut(did)?.migrate_to_slab(slab);
+                }
+                Some(())
+            }
+            (1, Variant::Lazy(pool)) => {
+                if r.next()? != pool.tenants as u64 {
+                    return None;
+                }
+                pool.max_resident = usize::try_from(r.next()?).ok()?;
+                if pool.max_resident == 0 {
+                    return None;
+                }
+                pool.tick = r.next()?;
+                pool.builds = r.next()?;
+                pool.evictions = r.next()?;
+                pool.slab_overrides.clear();
+                let overrides = r.len_capped(r.remaining() / 2)?;
+                for _ in 0..overrides {
+                    let did = u32::try_from(r.next()?).ok()?;
+                    if did >= pool.tenants {
+                        return None;
+                    }
+                    let slab = r.next()?;
+                    pool.slab_overrides.insert(did, slab);
+                }
+                pool.resident.clear();
+                pool.last_touch.clear();
+                let resident = r.len_capped(r.remaining() / 2)?;
+                if resident > pool.max_resident {
+                    return None;
+                }
+                for _ in 0..resident {
+                    let did = u32::try_from(r.next()?).ok()?;
+                    if did >= pool.tenants {
+                        return None;
+                    }
+                    let touched = r.next()?;
+                    let slab = pool.slab_overrides.get(&did).copied().unwrap_or(did as u64);
+                    let space = pool.canonical.stamp(Did::new(did), slab);
+                    pool.resident.insert(did, space);
+                    pool.last_touch.insert(did, touched);
+                }
+                pool.lru.clear();
+                let lru = r.len_capped(r.remaining() / 2)?;
+                for _ in 0..lru {
+                    let tick = r.next()?;
+                    let did = u32::try_from(r.next()?).ok()?;
+                    pool.lru.push_back((tick, did));
+                }
+                Some(())
+            }
+            _ => None,
+        }
+    }
 }
 
 impl LazyPool {

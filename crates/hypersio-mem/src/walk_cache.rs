@@ -276,6 +276,33 @@ impl WalkCaches {
             n.clear();
         }
     }
+
+    /// Appends the full contents and statistics of every level (L2, L3,
+    /// and the nested TLB when configured) to a checkpoint stream.
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        self.l2.snapshot_words(out);
+        self.l3.snapshot_words(out);
+        match &self.nested {
+            Some(n) => {
+                out.push(1);
+                n.snapshot_words(out);
+            }
+            None => out.push(0),
+        }
+    }
+
+    /// Restores contents captured by [`Self::snapshot_words`] into caches
+    /// of the same configuration. Returns `None` on a corrupt stream or a
+    /// configuration mismatch (e.g. a nested TLB present on one side only).
+    pub fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        self.l2.restore_words(r)?;
+        self.l3.restore_words(r)?;
+        match (r.next()?, self.nested.as_mut()) {
+            (0, None) => Some(()),
+            (1, Some(n)) => n.restore_words(r),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //!
 //! # Emission ownership
 //!
-//! Each of the 25 kinds is emitted by exactly one stage of the simulator's
+//! Each of the 27 kinds is emitted by exactly one stage of the simulator's
 //! pipeline (`hypersio-sim`'s `pipeline` module; stage graph in
 //! `DESIGN.md` §10) — ownership is part of the stream's contract, since
 //! emission *order* within an arrival slot follows stage order:
@@ -22,6 +22,11 @@
 //! * **Fault injector** (`hypersio-sim`'s `faults` module, DESIGN.md §11)
 //!   — [`Event::InvStart`], [`Event::InvDone`], [`Event::TenantRemap`],
 //!   [`Event::PageFault`], [`Event::PageResponse`].
+//! * **Run supervision** (`hypersio-sim`'s controlled-run loop and shard
+//!   supervisor, DESIGN.md §16) — [`Event::MemoryPressure`],
+//!   [`Event::ShardRetry`]. These are operational telemetry, not packet
+//!   lifecycle: they appear only when the RSS watchdog or shard retry is
+//!   engaged and are absent from undisturbed runs.
 
 use hypersio_types::{Did, GIova, Sid};
 
@@ -195,6 +200,24 @@ pub enum Event {
         /// Owning tenant.
         did: Did,
     },
+    /// The RSS watchdog crossed its limit and shed re-derivable memory
+    /// (lazy page-table residency and the walk memo). Model-transparent:
+    /// everything shed is rebuilt bit-identically on demand.
+    MemoryPressure {
+        /// Observed resident-set size when the limit was crossed, bytes.
+        rss_bytes: u64,
+        /// Re-derivable entries shed (resident tenant spaces + walk-memo
+        /// entries).
+        shed_entries: u64,
+    },
+    /// A sharded run's worker panicked and the supervisor is retrying the
+    /// shard (recorded at the start of the retry attempt).
+    ShardRetry {
+        /// Index of the shard being retried.
+        shard: u32,
+        /// 1-based retry attempt number.
+        attempt: u64,
+    },
 }
 
 /// Discriminant of an [`Event`], used as the binary record tag and for
@@ -252,10 +275,14 @@ pub enum EventKind {
     PageResponse = 23,
     /// [`Event::FaultedDrop`].
     FaultedDrop = 24,
+    /// [`Event::MemoryPressure`].
+    MemoryPressure = 25,
+    /// [`Event::ShardRetry`].
+    ShardRetry = 26,
 }
 
 /// Number of distinct [`EventKind`]s (array-size for per-kind counters).
-pub const EVENT_KINDS: usize = 25;
+pub const EVENT_KINDS: usize = 27;
 
 /// All kinds, in tag order (`ALL[k as usize] == k`).
 pub const ALL_EVENT_KINDS: [EventKind; EVENT_KINDS] = [
@@ -284,6 +311,8 @@ pub const ALL_EVENT_KINDS: [EventKind; EVENT_KINDS] = [
     EventKind::PageFault,
     EventKind::PageResponse,
     EventKind::FaultedDrop,
+    EventKind::MemoryPressure,
+    EventKind::ShardRetry,
 ];
 
 impl EventKind {
@@ -320,6 +349,8 @@ impl EventKind {
             EventKind::PageFault => "page_fault",
             EventKind::PageResponse => "page_response",
             EventKind::FaultedDrop => "faulted_drop",
+            EventKind::MemoryPressure => "memory_pressure",
+            EventKind::ShardRetry => "shard_retry",
         }
     }
 
@@ -389,6 +420,14 @@ impl EventKind {
                 latency_ps: b,
             },
             EventKind::FaultedDrop => Event::FaultedDrop { did },
+            EventKind::MemoryPressure => Event::MemoryPressure {
+                rss_bytes: a,
+                shed_entries: b,
+            },
+            EventKind::ShardRetry => Event::ShardRetry {
+                shard: did.raw(),
+                attempt: a,
+            },
         }
     }
 }
@@ -422,6 +461,8 @@ impl Event {
             Event::PageFault { .. } => EventKind::PageFault,
             Event::PageResponse { .. } => EventKind::PageResponse,
             Event::FaultedDrop { .. } => EventKind::FaultedDrop,
+            Event::MemoryPressure { .. } => EventKind::MemoryPressure,
+            Event::ShardRetry { .. } => EventKind::ShardRetry,
         }
     }
 
@@ -471,6 +512,11 @@ impl Event {
                 latency_ps,
             } => (EventKind::PageResponse, did.raw(), iova.raw(), latency_ps),
             Event::FaultedDrop { did } => (EventKind::FaultedDrop, did.raw(), 0, 0),
+            Event::MemoryPressure {
+                rss_bytes,
+                shed_entries,
+            } => (EventKind::MemoryPressure, 0, rss_bytes, shed_entries),
+            Event::ShardRetry { shard, attempt } => (EventKind::ShardRetry, shard, attempt, 0),
         }
     }
 }
@@ -546,6 +592,14 @@ mod tests {
                 latency_ps: 10_000_000,
             },
             Event::FaultedDrop { did: Did::new(17) },
+            Event::MemoryPressure {
+                rss_bytes: 6_442_450_944,
+                shed_entries: 12_345,
+            },
+            Event::ShardRetry {
+                shard: 3,
+                attempt: 1,
+            },
         ]
     }
 

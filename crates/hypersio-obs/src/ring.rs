@@ -136,6 +136,18 @@ impl EventRecord {
                     latency_ps
                 );
             }
+            Event::MemoryPressure {
+                rss_bytes,
+                shed_entries,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","rss_bytes":{rss_bytes},"shed_entries":{shed_entries}"#
+                );
+            }
+            Event::ShardRetry { shard, attempt } => {
+                let _ = write!(out, r#","shard":{shard},"attempt":{attempt}"#);
+            }
         }
         out.push('}');
     }

@@ -1,0 +1,83 @@
+//! Typed library errors for run orchestration.
+//!
+//! The sharded runner used to `assert!` its preconditions, which turned
+//! recoverable caller mistakes (a zero shard count, a fault plan on a
+//! sharded run) into process aborts. Long production runs also need a
+//! recoverable signal for a worker that keeps crashing. Both now surface
+//! as [`SimError`] values instead of panics.
+
+use std::fmt;
+
+/// A recoverable failure of a sharded or supervised run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The shard count was zero; at least one shard is required.
+    NoShards,
+    /// More shards than tenants: a shard would own no tenants.
+    ShardsExceedTenants {
+        /// Requested shard count.
+        shards: u32,
+        /// Tenants in the trace.
+        tenants: u32,
+    },
+    /// A non-empty fault plan was combined with `shards > 1`. The
+    /// injector's schedule is defined over the full DID population, so
+    /// fault runs must use a single shard.
+    FaultPlanSharded {
+        /// Requested shard count.
+        shards: u32,
+    },
+    /// A shard's worker panicked on every attempt; the run cannot produce
+    /// a complete merged report.
+    ShardFailed {
+        /// Index of the failing shard.
+        shard: u32,
+        /// Attempts made before giving up (including the first run).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoShards => write!(f, "at least one shard is required"),
+            SimError::ShardsExceedTenants { shards, tenants } => write!(
+                f,
+                "{shards} shards exceed {tenants} tenants: every shard needs at least one tenant"
+            ),
+            SimError::FaultPlanSharded { shards } => write!(
+                f,
+                "fault injection requires a single shard (the injector's schedule covers the \
+                 full DID population), got {shards}"
+            ),
+            SimError::ShardFailed { shard, attempts } => write!(
+                f,
+                "shard {shard} failed after {attempts} attempt(s); giving up"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_numbers() {
+        assert!(SimError::NoShards.to_string().contains("at least one"));
+        let err = SimError::ShardsExceedTenants {
+            shards: 8,
+            tenants: 4,
+        };
+        assert!(err.to_string().contains('8') && err.to_string().contains('4'));
+        let err = SimError::FaultPlanSharded { shards: 2 };
+        assert!(err.to_string().contains("single shard"));
+        let err = SimError::ShardFailed {
+            shard: 3,
+            attempts: 3,
+        };
+        assert!(err.to_string().contains("shard 3"));
+    }
+}

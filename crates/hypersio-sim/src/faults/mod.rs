@@ -515,6 +515,83 @@ impl FaultInjector {
     pub(crate) fn counters(&self) -> FaultCounters {
         self.counters
     }
+
+    /// Appends the injector's mutable state for a run checkpoint: the
+    /// schedule cursor, the periodic-storm horizon, the not-present page
+    /// overlay and in-flight PRI requests (both in canonical sorted
+    /// order), the migration counter, and the report counters. The
+    /// schedule itself and the backoff/latency policy are recompiled from
+    /// the plan at construction and are not captured.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        use hypersio_cache::WordCodec;
+        out.push(self.next_event as u64);
+        out.push(self.next_periodic_ps);
+        let mut unmapped: Vec<_> = self.unmapped.iter().collect();
+        unmapped.sort();
+        out.push(unmapped.len() as u64);
+        for (&(did, base), size) in unmapped {
+            out.push(did as u64);
+            out.push(base);
+            size.encode_words(out);
+        }
+        let mut pending: Vec<_> = self.pri_pending.iter().collect();
+        pending.sort();
+        out.push(pending.len() as u64);
+        for (&(did, base), &ready) in pending {
+            out.push(did as u64);
+            out.push(base);
+            out.push(ready);
+        }
+        out.push(self.migrations);
+        out.extend([
+            self.counters.page_faults,
+            self.counters.pri_requests,
+            self.counters.inv_storms,
+            self.counters.tenant_remaps,
+        ]);
+    }
+
+    /// Restores the injector from a checkpoint stream. The cursor must lie
+    /// within the compiled schedule and every overlay key must name a
+    /// configured tenant; anything else is corruption.
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        let next_event = usize::try_from(r.next()?).ok()?;
+        if next_event > self.schedule.len() {
+            return None;
+        }
+        self.next_event = next_event;
+        self.next_periodic_ps = r.next()?;
+        let n = r.len_capped(r.remaining() / 3)?;
+        self.unmapped.clear();
+        for _ in 0..n {
+            let did = u32::try_from(r.next()?).ok()?;
+            if did >= self.tenants {
+                return None;
+            }
+            let base = r.next()?;
+            let size = r.decode::<PageSize>()?;
+            self.unmapped.insert((did, base), size);
+        }
+        let n = r.len_capped(r.remaining() / 3)?;
+        self.pri_pending.clear();
+        for _ in 0..n {
+            let did = u32::try_from(r.next()?).ok()?;
+            if did >= self.tenants {
+                return None;
+            }
+            let base = r.next()?;
+            let ready = r.next()?;
+            self.pri_pending.insert((did, base), ready);
+        }
+        self.migrations = r.next()?;
+        self.counters = FaultCounters {
+            page_faults: r.next()?,
+            pri_requests: r.next()?,
+            inv_storms: r.next()?,
+            tenant_remaps: r.next()?,
+        };
+        Some(())
+    }
 }
 
 #[cfg(test)]

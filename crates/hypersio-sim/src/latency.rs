@@ -126,6 +126,38 @@ impl LatencyStats {
         self.percentile(0.99)
     }
 
+    /// Appends the histogram's raw state for a run checkpoint: the 64
+    /// buckets, the sample count, the 128-bit sum split into high/low
+    /// words, and the maximum — 68 words total.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.extend_from_slice(&self.buckets);
+        out.push(self.count);
+        out.push((self.sum_ps >> 64) as u64);
+        out.push(self.sum_ps as u64);
+        out.push(self.max_ps);
+    }
+
+    /// Restores the histogram from [`LatencyStats::snapshot_words`] output.
+    /// Rejects streams whose count disagrees with the bucket totals.
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        let buckets = r.take(64)?;
+        let count = r.next()?;
+        let mut total = 0u64;
+        for &b in buckets {
+            total = total.checked_add(b)?;
+        }
+        if total != count {
+            return None;
+        }
+        self.buckets.copy_from_slice(buckets);
+        self.count = count;
+        let hi = r.next()?;
+        let lo = r.next()?;
+        self.sum_ps = ((hi as u128) << 64) | lo as u128;
+        self.max_ps = r.next()?;
+        Some(())
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

@@ -32,6 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ckpt;
+mod control;
+mod error;
 mod experiment;
 mod faults;
 mod latency;
@@ -45,6 +48,9 @@ mod shard;
 mod sid_map;
 mod slot_pool;
 
+pub use ckpt::{CheckpointError, CHECKPOINT_SCHEMA};
+pub use control::{current_rss_bytes, RunControl, RunOutcome};
+pub use error::SimError;
 pub use experiment::{
     parallel_map, sweep_specs_parallel, sweep_tenants, sweep_tenants_parallel, ExperimentPoint,
     SweepSpec, PAPER_TENANT_COUNTS,
@@ -57,7 +63,10 @@ pub use oracle::devtlb_oracle_for;
 pub use params::SimParams;
 pub use per_tenant::{FairnessSummary, PerTenantReport, TenantStat};
 pub use report::SimReport;
-pub use shard::{run_sharded, run_sharded_recorded};
+pub use shard::{
+    run_sharded, run_sharded_recorded, run_sharded_recorded_supervised, run_sharded_supervised,
+    ShardSupervision,
+};
 pub use sid_map::SidMap;
 pub use slot_pool::SlotPool;
 

@@ -9,11 +9,12 @@
 use std::fmt;
 
 use hypersio_mem::{Iommu, IommuParams, SpacePool, TenantSpace};
-use hypersio_obs::{NullObserver, Observer, PacketSpan, SpanComponents};
+use hypersio_obs::{Event, NullObserver, Observer, PacketSpan, SpanComponents};
 use hypersio_trace::HyperTrace;
 use hypersio_types::{Bandwidth, Did, SimDuration};
 use hypertrio_core::{DevTlb, PrefetchUnit, TranslationConfig};
 
+use crate::control::{current_rss_bytes, RunControl, RunOutcome, RSS_CHECK_FRAMES};
 use crate::faults::FaultInjector;
 use crate::params::SimParams;
 use crate::pipeline::{
@@ -188,6 +189,64 @@ impl Simulation {
         self.run_with(&mut NullObserver)
     }
 
+    /// The architecture under test (checkpoint identity header).
+    pub(crate) fn config(&self) -> &TranslationConfig {
+        &self.config
+    }
+
+    /// The trace behind the arrival stage (checkpoint identity header).
+    pub(crate) fn trace(&self) -> &HyperTrace {
+        self.state.arrival.trace()
+    }
+
+    /// The system parameters (checkpoint identity header).
+    pub(crate) fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Appends the run's full mutable state to `out` — everything the
+    /// packet loop owns, in pipeline order. Only valid at a batch-frame
+    /// boundary, where the per-packet scratch buffers are quiescent;
+    /// everything not captured here is re-derived bit-identically at
+    /// construction (page tables, SID map, fault schedule, walk memo).
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        let st = &self.state;
+        st.clock.snapshot_words(out);
+        st.arrival.snapshot_words(out);
+        st.prefetch.snapshot_words(out);
+        st.lookup.snapshot_words(out);
+        st.walk.snapshot_words(out);
+        st.completion.snapshot_words(out);
+        match &st.faults {
+            None => out.push(0),
+            Some(inj) => {
+                out.push(1);
+                inj.snapshot_words(out);
+            }
+        }
+    }
+
+    /// Restores state captured by [`Simulation::snapshot_words`] into this
+    /// simulation, which must have been freshly constructed with the same
+    /// config, params, and trace. Returns `None` — leaving the simulation
+    /// in an unspecified state that must be discarded — when the stream is
+    /// corrupt or belongs to a different run shape.
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        let st = &mut self.state;
+        st.clock.restore_words(r)?;
+        st.arrival.restore_words(r)?;
+        st.prefetch.restore_words(r)?;
+        st.lookup.restore_words(r)?;
+        st.walk.restore_words(r)?;
+        st.completion.restore_words(r)?;
+        match (r.next()?, st.faults.as_mut()) {
+            (0, None) => {}
+            (1, Some(inj)) => inj.restore_words(r)?,
+            _ => return None,
+        }
+        r.is_empty().then_some(())
+    }
+
     /// Runs the trace to completion, streaming lifecycle
     /// [`Event`](hypersio_obs::Event)s to `obs`.
     ///
@@ -218,6 +277,81 @@ impl Simulation {
         self.run_core::<NullObserver, true>(&mut NullObserver)
     }
 
+    /// Runs the trace under a [`RunControl`]: periodic checkpoints,
+    /// cooperative interruption, and the RSS watchdog, all evaluated at
+    /// batch-frame boundaries (the only quiescent points; see
+    /// `DESIGN.md` §16).
+    ///
+    /// With an all-default control this is exactly [`Simulation::run_with`]
+    /// wrapped in [`RunOutcome::Completed`] — same report, same event
+    /// stream. Checkpoint cadence ticks are anchored at simulated time
+    /// zero (tick `k` fires at the first frame boundary at or past
+    /// `k * checkpoint_every`), so a resumed run checkpoints at the same
+    /// boundaries the original would have, and a run interrupted at frame
+    /// boundary `B` then resumed emits, in total, exactly the events of an
+    /// uninterrupted run: part one ends at `B` and part two starts there.
+    pub fn run_controlled<O: Observer>(
+        mut self,
+        obs: &mut O,
+        ctl: &mut RunControl<'_>,
+    ) -> RunOutcome {
+        let mut timings = StageTimings::default();
+        let every_ps = ctl.checkpoint_every.map(|e| e.as_ps()).filter(|&e| e > 0);
+        // First cadence tick strictly after the current position, as an
+        // absolute multiple of the cadence: resume-invariant.
+        let mut next_ckpt_ps =
+            every_ps.map(|e| (self.state.arrival.slot_time().as_ps() / e + 1) * e);
+        let mut frames: u64 = 0;
+        loop {
+            if self.run_frame::<O, false>(obs, &mut timings) {
+                return RunOutcome::Completed(Box::new(self.finish(obs)));
+            }
+            frames += 1;
+            if let Some(limit) = ctl.panic_after_frames {
+                if frames >= limit {
+                    panic!("injected worker failure after {frames} frames");
+                }
+            }
+            let now = self.state.arrival.slot_time();
+            if let (Some(every), Some(at)) = (every_ps, next_ckpt_ps.as_mut()) {
+                if *at <= now.as_ps() {
+                    // Catch up past boundaries (a long frame can cross
+                    // several ticks); one checkpoint covers them all.
+                    while *at <= now.as_ps() {
+                        *at += every;
+                    }
+                    if let Some(sink) = ctl.checkpoint_sink.as_mut() {
+                        sink(self.checkpoint_bytes());
+                    }
+                }
+            }
+            let stop_timed = ctl.stop_after.is_some_and(|t| now.as_ps() >= t.as_ps());
+            if stop_timed || ctl.stop.is_some_and(|stop| stop()) {
+                return RunOutcome::Interrupted {
+                    checkpoint: self.checkpoint_bytes(),
+                };
+            }
+            if let Some(limit) = ctl.rss_limit_bytes {
+                if frames.is_multiple_of(RSS_CHECK_FRAMES) {
+                    if let Some(rss) = current_rss_bytes() {
+                        if rss > limit {
+                            let (spaces, memo) = self.state.walk.relieve_memory_pressure();
+                            if O::ENABLED {
+                                obs.record(
+                                    now.as_ps(),
+                                    Event::MemoryPressure {
+                                        rss_bytes: rss,
+                                        shed_entries: spaces + memo,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// The pipeline loop, monomorphized over the observer and the timing
     /// instrumentation so both compile away when unused.
     ///
@@ -234,11 +368,24 @@ impl Simulation {
         mut self,
         obs: &mut O,
     ) -> (SimReport, StageTimings) {
-        let batch = self.params.batch_size.max(1);
         let mut timings = StageTimings::default();
+        while !self.run_frame::<O, TIMED>(obs, &mut timings) {}
+        (self.finish(obs), timings)
+    }
+
+    /// Runs one batch frame (up to [`SimParams::batch_size`] arrival
+    /// slots); returns `true` once the trace is exhausted. Between calls
+    /// the pipeline is quiescent — no per-packet scratch state is live —
+    /// which is what makes the frame boundary the checkpoint point.
+    fn run_frame<O: Observer, const TIMED: bool>(
+        &mut self,
+        obs: &mut O,
+        timings: &mut StageTimings,
+    ) -> bool {
+        let batch = self.params.batch_size.max(1);
         let st = &mut self.state;
         let mut mark = None;
-        'run: loop {
+        {
             // One batch frame: up to `batch` arrival slots.
             for _ in 0..batch {
                 let now = st.arrival.slot_time();
@@ -261,7 +408,7 @@ impl Simulation {
                 let fetched = st.arrival.fetch(now, obs);
                 lap::<TIMED>(&mut mark, &mut timings.arrival_ns);
                 let mut work = match fetched {
-                    Fetched::Exhausted => break 'run,
+                    Fetched::Exhausted => return true,
                     Fetched::Idle => {
                         // Only backed-off packets remain and none is
                         // eligible yet; the slot passes empty (fault
@@ -423,7 +570,7 @@ impl Simulation {
                 lap::<TIMED>(&mut mark, &mut timings.completion_ns);
             }
         }
-        (self.finish(obs), timings)
+        false
     }
 
     /// Disassembles the pipeline into the end-of-run report.

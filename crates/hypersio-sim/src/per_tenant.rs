@@ -51,6 +51,38 @@ impl TenantStat {
             self.drops as f64 / total as f64
         }
     }
+
+    /// Appends the accumulator's raw state for a run checkpoint.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.extend([
+            self.did as u64,
+            self.packets,
+            self.bytes,
+            self.drops,
+            self.devtlb_hits,
+            self.devtlb_misses,
+            self.pb_hits,
+            self.faulted_drops,
+        ]);
+        self.latency.snapshot_words(out);
+    }
+
+    /// Restores the accumulator in place. The DID is fixed at slot layout
+    /// time, so a stream carrying a different DID is a foreign checkpoint
+    /// and is rejected.
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        if r.next()? != self.did as u64 {
+            return None;
+        }
+        self.packets = r.next()?;
+        self.bytes = r.next()?;
+        self.drops = r.next()?;
+        self.devtlb_hits = r.next()?;
+        self.devtlb_misses = r.next()?;
+        self.pb_hits = r.next()?;
+        self.faulted_drops = r.next()?;
+        self.latency.restore_words(r)
+    }
 }
 
 /// Cross-tenant fairness summary over processed-packet counts.

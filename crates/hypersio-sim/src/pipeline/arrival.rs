@@ -68,6 +68,32 @@ impl SpanSeed {
             .ptb_retries
             .saturating_add(skipped.min(u32::MAX as u64) as u32);
     }
+
+    /// Appends the seed's state for a run checkpoint (7 words).
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.extend([
+            self.seq,
+            self.arrival_ps,
+            self.retry_wait_ps,
+            self.pri_wait_ps,
+            self.wait_from_ps,
+            self.ptb_retries as u64,
+            self.wait_is_fault as u64,
+        ]);
+    }
+
+    /// Decodes a seed from a checkpoint stream.
+    pub(crate) fn decode(r: &mut hypersio_cache::WordReader<'_>) -> Option<Self> {
+        Some(SpanSeed {
+            seq: r.next()?,
+            arrival_ps: r.next()?,
+            retry_wait_ps: r.next()?,
+            pri_wait_ps: r.next()?,
+            wait_from_ps: r.next()?,
+            ptb_retries: u32::try_from(r.next()?).ok()?,
+            wait_is_fault: r.decode::<bool>()?,
+        })
+    }
 }
 
 /// A packet waiting for retry after a drop, with its pre-computed
@@ -89,6 +115,46 @@ pub(crate) struct Deferred {
     /// Wait-side latency attribution (inert unless the observer assembles
     /// spans).
     pub(crate) span: SpanSeed,
+}
+
+impl Deferred {
+    /// Appends the deferred packet's state for a run checkpoint.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        use hypersio_cache::WordCodec;
+        self.packet.encode_words(out);
+        out.push(self.misses.len() as u64);
+        for iova in &self.misses {
+            iova.encode_words(out);
+        }
+        out.push(self.hits as u64);
+        out.push(self.fault_retries as u64);
+        self.span.snapshot_words(out);
+    }
+
+    /// Decodes a deferred packet from a checkpoint stream. A packet issues
+    /// exactly three translation requests, so more than three recorded
+    /// misses (or hits) is corruption.
+    pub(crate) fn decode(r: &mut hypersio_cache::WordReader<'_>) -> Option<Self> {
+        let packet: TracePacket = r.decode()?;
+        let n = r.len_capped(3)?;
+        let mut misses = Vec::with_capacity(n);
+        for _ in 0..n {
+            misses.push(r.decode::<GIova>()?);
+        }
+        let hits = u32::try_from(r.next()?).ok()?;
+        if hits > 3 {
+            return None;
+        }
+        let fault_retries = u32::try_from(r.next()?).ok()?;
+        let span = SpanSeed::decode(r)?;
+        Some(Deferred {
+            packet,
+            misses,
+            hits,
+            fault_retries,
+            span,
+        })
+    }
 }
 
 /// One parked packet and the slot at which it becomes eligible again.
@@ -264,6 +330,45 @@ impl ArrivalSource {
     /// The underlying trace (workload metadata for the report).
     pub(crate) fn trace(&self) -> &HyperTrace {
         &self.trace
+    }
+
+    /// Appends the stage's full state for a run checkpoint: the trace
+    /// cursor, the slot/arrival/observed counters, and the parked queue in
+    /// front-to-back order.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        self.trace.snapshot_words(out);
+        out.push(self.slot);
+        out.push(self.arrivals);
+        out.push(self.observed);
+        out.push(self.parked.len() as u64);
+        for p in &self.parked {
+            out.push(p.eligible_slot);
+            p.work.snapshot_words(out);
+        }
+    }
+
+    /// Restores the stage from a checkpoint stream. The trace restore
+    /// validates the lane layout, so a foreign stream is rejected before
+    /// any counter is touched.
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        self.trace.restore_words(r)?;
+        self.slot = r.next()?;
+        self.arrivals = r.next()?;
+        self.observed = r.next()?;
+        // Each parked entry is at least 16 words (slot + packet + miss
+        // count + counters + span), so the remaining stream length bounds
+        // the queue.
+        let n = r.len_capped(r.remaining() / 16)?;
+        self.parked.clear();
+        for _ in 0..n {
+            let eligible_slot = r.next()?;
+            let work = Deferred::decode(r)?;
+            self.parked.push_back(Parked {
+                eligible_slot,
+                work,
+            });
+        }
+        Some(())
     }
 }
 

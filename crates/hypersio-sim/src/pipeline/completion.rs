@@ -203,6 +203,64 @@ impl CompletionStage {
         self.last_completion
     }
 
+    /// Appends the stage's full state for a run checkpoint: the scalar
+    /// counters, the warm-up marker, the latency histogram, and the
+    /// optional per-tenant accumulators.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.processed);
+        out.push(self.dropped);
+        out.push(self.faulted_drops);
+        out.push(self.last_completion.as_ps());
+        match self.warmup_end {
+            None => out.push(0),
+            Some((t, p)) => {
+                out.push(1);
+                out.push(t.as_ps());
+                out.push(p);
+            }
+        }
+        self.packet_latency.snapshot_words(out);
+        match &self.tenants {
+            None => out.push(0),
+            Some(acc) => {
+                out.push(1);
+                out.push(acc.len() as u64);
+                for t in acc {
+                    t.snapshot_words(out);
+                }
+            }
+        }
+    }
+
+    /// Restores the stage from a checkpoint stream. The per-tenant table's
+    /// presence and slot count are fixed at construction, so a mismatch is
+    /// a foreign checkpoint and is rejected.
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        self.processed = r.next()?;
+        self.dropped = r.next()?;
+        self.faulted_drops = r.next()?;
+        self.last_completion = SimTime::from_ps(r.next()?);
+        self.warmup_end = match r.next()? {
+            0 => None,
+            1 => Some((SimTime::from_ps(r.next()?), r.next()?)),
+            _ => return None,
+        };
+        self.packet_latency.restore_words(r)?;
+        match (r.next()?, self.tenants.as_mut()) {
+            (0, None) => {}
+            (1, Some(acc)) => {
+                if r.next()? != acc.len() as u64 {
+                    return None;
+                }
+                for t in acc.iter_mut() {
+                    t.restore_words(r)?;
+                }
+            }
+            _ => return None,
+        }
+        Some(())
+    }
+
     /// Consumes the stage into its report payloads: the latency histogram
     /// and the optional per-tenant table.
     pub(crate) fn into_accumulators(self) -> (LatencyStats, Option<PerTenantReport>) {

@@ -225,4 +225,21 @@ impl LookupStage {
     pub(crate) fn devtlb_stats(&self) -> &CacheStats {
         self.devtlb.stats()
     }
+
+    /// Appends the stage's state for a run checkpoint: the DevTLB contents
+    /// and the request counters. The recycled probe buffers are scratch
+    /// space (rewritten before every use) and are not captured.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        self.devtlb.snapshot_words(out);
+        out.push(self.requests);
+        out.push(self.pb_served);
+    }
+
+    /// Restores the stage from a checkpoint stream.
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        self.devtlb.restore_words(r)?;
+        self.requests = r.next()?;
+        self.pb_served = r.next()?;
+        Some(())
+    }
 }

@@ -77,6 +77,17 @@ impl ReqClock {
     pub(crate) fn current(&self) -> u64 {
         self.next
     }
+
+    /// Appends the clock for a run checkpoint (one word).
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.next);
+    }
+
+    /// Restores the clock from a checkpoint stream.
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        self.next = r.next()?;
+        Some(())
+    }
 }
 
 /// The mutable state of one simulation run: the five pipeline stages plus

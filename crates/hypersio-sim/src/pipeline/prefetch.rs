@@ -4,7 +4,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use hypersio_cache::CacheStats;
+use hypersio_cache::{CacheStats, WordCodec};
 use hypersio_obs::{Event, Observer};
 use hypersio_trace::TracePacket;
 use hypersio_types::{Did, GIova, Sid, SimDuration, SimTime};
@@ -36,6 +36,35 @@ pub(crate) struct PendingFill {
     pub(crate) iova: GIova,
     /// The translation to install.
     pub(crate) entry: TlbEntry,
+}
+
+impl WordCodec for PendingFill {
+    // [due_obs, done_ps, did, iova, entry(2)]
+    const WORDS: usize = 6;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(self.due_obs);
+        out.push(self.done_ps);
+        self.did.encode_words(out);
+        self.iova.encode_words(out);
+        self.entry.encode_words(out);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let (head, rest) = words.split_at_checked(2)?;
+        let &[due_obs, done_ps] = head else {
+            return None;
+        };
+        let (did, rest) = rest.split_at_checked(1)?;
+        let (iova, entry) = rest.split_at_checked(1)?;
+        Some(PendingFill {
+            due_obs,
+            done_ps,
+            did: Did::decode_words(did)?,
+            iova: GIova::decode_words(iova)?,
+            entry: TlbEntry::decode_words(entry)?,
+        })
+    }
 }
 
 impl PartialOrd for PendingFill {
@@ -365,6 +394,45 @@ impl PrefetchStage {
             .as_ref()
             .map(|pf| *pf.buffer_stats())
             .unwrap_or_default()
+    }
+
+    /// Appends the stage's full state for a run checkpoint: the unit's
+    /// presence flag and contents, the pending fills in canonical (sorted)
+    /// order, and the issue counters.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        match &self.unit {
+            None => out.push(0),
+            Some(pf) => {
+                out.push(1);
+                pf.snapshot_words(out);
+            }
+        }
+        let mut fills: Vec<&PendingFill> = self.fills.iter().map(|Reverse(f)| f).collect();
+        fills.sort();
+        out.push(fills.len() as u64);
+        for fill in fills {
+            fill.encode_words(out);
+        }
+        out.push(self.issued);
+        out.push(self.fills_late);
+    }
+
+    /// Restores the stage from a checkpoint stream; the unit flag must
+    /// match this stage's configuration (prefetch on vs off).
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        match (r.next()?, self.unit.as_mut()) {
+            (0, None) => {}
+            (1, Some(pf)) => pf.restore_words(r)?,
+            _ => return None,
+        }
+        let n = r.len_capped(r.remaining() / PendingFill::WORDS)?;
+        self.fills.clear();
+        for _ in 0..n {
+            self.fills.push(Reverse(r.decode::<PendingFill>()?));
+        }
+        self.issued = r.next()?;
+        self.fills_late = r.next()?;
+        Some(())
     }
 }
 

@@ -254,4 +254,38 @@ impl WalkStage {
     pub(crate) fn walk_cache_stats(&self) -> (CacheStats, CacheStats) {
         self.iommu.walk_cache_stats()
     }
+
+    /// Sheds re-derivable IOMMU memory (walk memo, lazy table residency)
+    /// under memory pressure; returns `(spaces_evicted, memo_entries)`.
+    /// Model-transparent: both are rebuilt bit-identically on demand.
+    pub(crate) fn relieve_memory_pressure(&mut self) -> (u64, u64) {
+        self.iommu.relieve_memory_pressure()
+    }
+
+    /// Appends the stage's state for a run checkpoint: the IOMMU (stats,
+    /// context cache, walk caches, space pool), the PTB occupancy, and the
+    /// optional walker pool.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        self.iommu.snapshot_words(out);
+        self.ptb.snapshot_words(out);
+        match &self.walkers {
+            None => out.push(0),
+            Some(pool) => {
+                out.push(1);
+                pool.snapshot_words(out);
+            }
+        }
+    }
+
+    /// Restores the stage from a checkpoint stream; the walker-pool flag
+    /// must match this stage's configuration.
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        self.iommu.restore_words(r)?;
+        self.ptb.restore_words(r)?;
+        match (r.next()?, self.walkers.as_mut()) {
+            (0, None) => Some(()),
+            (1, Some(pool)) => pool.restore_words(r),
+            _ => None,
+        }
+    }
 }

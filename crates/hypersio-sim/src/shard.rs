@@ -18,19 +18,67 @@
 //! `shards = 1` degenerates to the plain unsharded run and returns its
 //! report unchanged.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use hypersio_cache::CacheStats;
 use hypersio_mem::IommuStats;
-use hypersio_obs::RingRecorder;
+use hypersio_obs::{Event, Observer, RingRecorder};
 use hypersio_trace::HyperTraceBuilder;
 use hypersio_types::{Bandwidth, Bytes, SimDuration};
 use hypertrio_core::TranslationConfig;
 
+use crate::control::{RunControl, RunOutcome};
+use crate::error::SimError;
 use crate::experiment::parallel_map;
 use crate::latency::LatencyStats;
 use crate::model::Simulation;
 use crate::params::SimParams;
 use crate::per_tenant::{PerTenantReport, TenantStat};
 use crate::report::SimReport;
+
+/// Frames an injected failure waits before panicking
+/// ([`ShardSupervision::fail_shard_once`]); deep enough into the run that
+/// a retry exercises real resume, shallow enough to fire before even a
+/// short test trace is exhausted.
+const FAIL_AFTER_FRAMES: u64 = 8;
+
+/// Retry policy for sharded workers.
+///
+/// A worker that panics (a model bug, a poisoned allocation) is contained
+/// by the supervisor instead of tearing down the whole run: the panic is
+/// caught, the shard is retried up to [`ShardSupervision::max_attempts`]
+/// times, and only when every attempt fails does the run surface
+/// [`SimError::ShardFailed`]. Plain workers resume each retry from the
+/// shard's last in-memory checkpoint (taken at the
+/// [`ShardSupervision::checkpoint_every`] cadence); recorded workers
+/// restart from scratch — a half-filled event ring cannot be reconstructed
+/// mid-stream — and stamp an [`Event::ShardRetry`] at the head of the
+/// fresh ring so the event stream discloses the restart. Either way the
+/// merged report of a retried run is bit-identical to a run that never
+/// panicked.
+#[derive(Debug, Clone)]
+pub struct ShardSupervision {
+    /// Total attempts per shard (first run included); at least 1.
+    pub max_attempts: u32,
+    /// In-memory checkpoint cadence (simulated time) for plain workers;
+    /// `None` retries from the start of the shard.
+    pub checkpoint_every: Option<SimDuration>,
+    /// Test knob: the named shard panics once, on its first attempt, a
+    /// fixed few dozen frames in (`FAIL_AFTER_FRAMES`). Exercises
+    /// containment and retry deterministically; never set it in
+    /// production runs.
+    pub fail_shard_once: Option<u32>,
+}
+
+impl Default for ShardSupervision {
+    fn default() -> Self {
+        ShardSupervision {
+            max_attempts: 3,
+            checkpoint_every: None,
+            fail_shard_once: None,
+        }
+    }
+}
 
 /// Runs `builder`'s trace as `shards` independent DID-sharded device
 /// queues on up to `jobs` threads and merges the per-shard reports.
@@ -54,21 +102,50 @@ use crate::report::SimReport;
 /// model (S queues instead of one), so its report is *not* expected to
 /// match the single-queue report.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `shards` is zero, if `shards` exceeds the builder's tenant
-/// count (a shard would own no tenants), or if a non-empty fault plan is
-/// combined with `shards > 1` (the injector's schedule is defined over the
-/// full DID population).
+/// Returns [`SimError::NoShards`] when `shards` is zero,
+/// [`SimError::ShardsExceedTenants`] when a shard would own no tenants,
+/// and [`SimError::FaultPlanSharded`] when a non-empty fault plan is
+/// combined with `shards > 1` (the injector's schedule is defined over
+/// the full DID population).
 pub fn run_sharded(
     config: &TranslationConfig,
     params: &SimParams,
     builder: &HyperTraceBuilder,
     shards: u32,
     jobs: usize,
-) -> SimReport {
-    let (report, _) = run_shards(config, params, builder, shards, jobs, None);
-    report
+) -> Result<SimReport, SimError> {
+    let (report, _) = run_shards(config, params, builder, shards, jobs, None, None)?;
+    Ok(report)
+}
+
+/// [`run_sharded`] with panic containment: each worker runs under the
+/// given [`ShardSupervision`], so a shard that panics is retried from its
+/// last in-memory checkpoint instead of aborting the process.
+///
+/// # Errors
+///
+/// Everything [`run_sharded`] returns, plus [`SimError::ShardFailed`]
+/// when a shard panics on every attempt.
+pub fn run_sharded_supervised(
+    config: &TranslationConfig,
+    params: &SimParams,
+    builder: &HyperTraceBuilder,
+    shards: u32,
+    jobs: usize,
+    supervision: &ShardSupervision,
+) -> Result<SimReport, SimError> {
+    let (report, _) = run_shards(
+        config,
+        params,
+        builder,
+        shards,
+        jobs,
+        None,
+        Some(supervision),
+    )?;
+    Ok(report)
 }
 
 /// [`run_sharded`] with event recording: each shard streams its lifecycle
@@ -78,6 +155,10 @@ pub fn run_sharded(
 /// [`hypersio_obs::write_jsonl_many`]) yields the deterministic merged
 /// event stream. The report is bit-identical to [`run_sharded`]'s (the
 /// observer never changes simulated behaviour).
+///
+/// # Errors
+///
+/// The same precondition errors as [`run_sharded`].
 pub fn run_sharded_recorded(
     config: &TranslationConfig,
     params: &SimParams,
@@ -85,16 +166,168 @@ pub fn run_sharded_recorded(
     shards: u32,
     jobs: usize,
     ring_capacity: usize,
-) -> (SimReport, Vec<RingRecorder>) {
-    let (report, rings) = run_shards(config, params, builder, shards, jobs, Some(ring_capacity));
+) -> Result<(SimReport, Vec<RingRecorder>), SimError> {
+    run_sharded_recorded_inner(config, params, builder, shards, jobs, ring_capacity, None)
+}
+
+/// [`run_sharded_recorded`] under a [`ShardSupervision`]. A retried shard
+/// restarts its recording from scratch (the ring cannot be reconstructed
+/// mid-stream) and the fresh ring opens with an [`Event::ShardRetry`], so
+/// downstream consumers can tell a restarted stream from a clean one.
+///
+/// # Errors
+///
+/// Everything [`run_sharded`] returns, plus [`SimError::ShardFailed`]
+/// when a shard panics on every attempt.
+pub fn run_sharded_recorded_supervised(
+    config: &TranslationConfig,
+    params: &SimParams,
+    builder: &HyperTraceBuilder,
+    shards: u32,
+    jobs: usize,
+    ring_capacity: usize,
+    supervision: &ShardSupervision,
+) -> Result<(SimReport, Vec<RingRecorder>), SimError> {
+    run_sharded_recorded_inner(
+        config,
+        params,
+        builder,
+        shards,
+        jobs,
+        ring_capacity,
+        Some(supervision),
+    )
+}
+
+fn run_sharded_recorded_inner(
+    config: &TranslationConfig,
+    params: &SimParams,
+    builder: &HyperTraceBuilder,
+    shards: u32,
+    jobs: usize,
+    ring_capacity: usize,
+    supervision: Option<&ShardSupervision>,
+) -> Result<(SimReport, Vec<RingRecorder>), SimError> {
+    let (report, rings) = run_shards(
+        config,
+        params,
+        builder,
+        shards,
+        jobs,
+        Some(ring_capacity),
+        supervision,
+    )?;
     let rings = rings
         .into_iter()
         .map(|r| r.expect("recording was requested for every shard"))
         .collect();
-    (report, rings)
+    Ok((report, rings))
 }
 
-/// Shared driver: runs the shards on the worker pool and merges.
+/// One worker: runs shard `s` with up to `max_attempts` tries, containing
+/// panics with [`catch_unwind`]. Plain workers checkpoint at the
+/// supervision cadence and resume a retry from the last checkpoint;
+/// recorded workers restart from scratch and open the fresh ring with an
+/// [`Event::ShardRetry`].
+#[allow(clippy::too_many_arguments)]
+fn run_one_shard(
+    config: &TranslationConfig,
+    params: &SimParams,
+    builder: &HyperTraceBuilder,
+    s: u32,
+    shards: u32,
+    ring_capacity: Option<usize>,
+    supervision: Option<&ShardSupervision>,
+) -> Result<(SimReport, Option<RingRecorder>), SimError> {
+    let build_sim = || {
+        let trace = builder.clone().shard(s, shards).build();
+        Simulation::new(config.clone(), params.clone(), trace)
+    };
+    let Some(sup) = supervision else {
+        // Unsupervised: the historical direct path, zero control overhead.
+        let sim = build_sim();
+        return Ok(match ring_capacity {
+            None => (sim.run(), None),
+            Some(cap) => {
+                let mut ring = RingRecorder::new(cap);
+                let report = sim.run_with(&mut ring);
+                (report, Some(ring))
+            }
+        });
+    };
+    let max_attempts = sup.max_attempts.max(1);
+    // The last good checkpoint of this shard, held in memory; retries of
+    // the plain path resume here instead of replaying the whole shard.
+    let mut resume_point: Option<Vec<u8>> = None;
+    for attempt in 1..=max_attempts {
+        let inject = sup.fail_shard_once == Some(s) && attempt == 1;
+        let resume = resume_point.clone();
+        let mut latest: Option<Vec<u8>> = None;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut sim = build_sim();
+            match ring_capacity {
+                None => {
+                    if let Some(bytes) = &resume {
+                        sim.resume_from_bytes(bytes)
+                            .expect("in-memory checkpoint from this very run");
+                    }
+                    let mut sink = |bytes: Vec<u8>| latest = Some(bytes);
+                    let mut ctl = RunControl {
+                        checkpoint_every: sup.checkpoint_every,
+                        checkpoint_sink: Some(&mut sink),
+                        panic_after_frames: inject.then_some(FAIL_AFTER_FRAMES),
+                        ..RunControl::default()
+                    };
+                    match sim.run_controlled(&mut hypersio_obs::NullObserver, &mut ctl) {
+                        RunOutcome::Completed(report) => (*report, None),
+                        RunOutcome::Interrupted { .. } => {
+                            unreachable!("no stop flag is wired into shard workers")
+                        }
+                    }
+                }
+                Some(cap) => {
+                    // A recorded retry restarts from scratch: the previous
+                    // attempt's half-filled ring is gone with its stack.
+                    // Disclose the restart as the first event.
+                    let mut ring = RingRecorder::new(cap);
+                    if attempt > 1 {
+                        ring.record(
+                            0,
+                            Event::ShardRetry {
+                                shard: s,
+                                attempt: attempt as u64,
+                            },
+                        );
+                    }
+                    let mut ctl = RunControl {
+                        panic_after_frames: inject.then_some(FAIL_AFTER_FRAMES),
+                        ..RunControl::default()
+                    };
+                    match sim.run_controlled(&mut ring, &mut ctl) {
+                        RunOutcome::Completed(report) => (*report, Some(ring)),
+                        RunOutcome::Interrupted { .. } => {
+                            unreachable!("no stop flag is wired into shard workers")
+                        }
+                    }
+                }
+            }
+        }));
+        // Keep the furthest checkpoint even from a failed attempt: the
+        // panic happened after it was taken, so it is still a good state.
+        if let Some(bytes) = latest {
+            resume_point = Some(bytes);
+        }
+        if let Ok(result) = outcome {
+            return Ok(result);
+        }
+    }
+    Err(SimError::ShardFailed {
+        shard: s,
+        attempts: max_attempts,
+    })
+}
+
+/// Shared driver: validates, runs the shards on the worker pool, merges.
 fn run_shards(
     config: &TranslationConfig,
     params: &SimParams,
@@ -102,29 +335,45 @@ fn run_shards(
     shards: u32,
     jobs: usize,
     ring_capacity: Option<usize>,
-) -> (SimReport, Vec<Option<RingRecorder>>) {
-    assert!(shards >= 1, "at least one shard is required");
-    assert!(
-        shards == 1 || params.fault_plan.is_none(),
-        "fault injection requires a single shard (the injector's schedule \
-         covers the full DID population)"
-    );
+    supervision: Option<&ShardSupervision>,
+) -> Result<(SimReport, Vec<Option<RingRecorder>>), SimError> {
+    if shards == 0 {
+        return Err(SimError::NoShards);
+    }
+    let tenants = builder.tenant_count();
+    if shards > tenants {
+        return Err(SimError::ShardsExceedTenants { shards, tenants });
+    }
+    if shards > 1 && !params.fault_plan.is_none() {
+        return Err(SimError::FaultPlanSharded { shards });
+    }
     let indices: Vec<u32> = (0..shards).collect();
-    let mut results: Vec<(SimReport, Option<RingRecorder>)> = parallel_map(&indices, jobs, |&s| {
-        let trace = builder.clone().shard(s, shards).build();
-        let sim = Simulation::new(config.clone(), params.clone(), trace);
-        match ring_capacity {
-            None => (sim.run(), None),
-            Some(cap) => {
-                let mut ring = RingRecorder::new(cap);
-                let report = sim.run_with(&mut ring);
-                (report, Some(ring))
-            }
-        }
-    });
+    let mut results: Vec<Result<(SimReport, Option<RingRecorder>), SimError>> =
+        parallel_map(&indices, jobs, |&s| {
+            run_one_shard(
+                config,
+                params,
+                builder,
+                s,
+                shards,
+                ring_capacity,
+                supervision,
+            )
+        });
+    // Fail on the lowest failing shard index for a deterministic error.
+    if let Some(pos) = results.iter().position(|r| r.is_err()) {
+        let err = results
+            .swap_remove(pos)
+            .expect_err("position() found an Err here");
+        return Err(err);
+    }
+    let mut results: Vec<(SimReport, Option<RingRecorder>)> = results
+        .into_iter()
+        .map(|r| r.expect("error case returned above"))
+        .collect();
     let rings: Vec<Option<RingRecorder>> = results.iter_mut().map(|(_, r)| r.take()).collect();
     let reports: Vec<SimReport> = results.into_iter().map(|(r, _)| r).collect();
-    (merge_reports(reports, shards, params), rings)
+    Ok((merge_reports(reports, shards, params), rings))
 }
 
 /// Merges per-shard reports in shard-index order (see [`run_sharded`] for
@@ -258,7 +507,8 @@ mod tests {
             &b,
             1,
             1,
-        );
+        )
+        .expect("valid single-shard run");
         let plain = Simulation::new(
             TranslationConfig::hypertrio(),
             SimParams::paper(),
@@ -273,8 +523,8 @@ mod tests {
         let b = builder(16, 1000);
         let config = TranslationConfig::hypertrio();
         let params = SimParams::paper().with_per_tenant();
-        let serial = run_sharded(&config, &params, &b, 4, 1);
-        let threaded = run_sharded(&config, &params, &b, 4, 3);
+        let serial = run_sharded(&config, &params, &b, 4, 1).expect("valid run");
+        let threaded = run_sharded(&config, &params, &b, 4, 3).expect("valid run");
         assert_eq!(serial, threaded);
     }
 
@@ -283,7 +533,7 @@ mod tests {
         let b = builder(8, 1000);
         let config = TranslationConfig::base();
         let params = SimParams::paper();
-        let merged = run_sharded(&config, &params, &b, 2, 1);
+        let merged = run_sharded(&config, &params, &b, 2, 1).expect("valid run");
         let shard0 = Simulation::new(
             config.clone(),
             params.clone(),
@@ -322,7 +572,8 @@ mod tests {
             &b,
             3,
             2,
-        );
+        )
+        .expect("valid run");
         let pt = merged.per_tenant.as_ref().expect("per-tenant opted in");
         let dids: Vec<u32> = pt.tenants.iter().map(|t| t.did).collect();
         assert_eq!(dids, (0..9).collect::<Vec<u32>>());
@@ -335,8 +586,9 @@ mod tests {
         let b = builder(8, 1000);
         let config = TranslationConfig::hypertrio();
         let params = SimParams::paper();
-        let plain = run_sharded(&config, &params, &b, 2, 2);
-        let (recorded, rings) = run_sharded_recorded(&config, &params, &b, 2, 2, 4096);
+        let plain = run_sharded(&config, &params, &b, 2, 2).expect("valid run");
+        let (recorded, rings) =
+            run_sharded_recorded(&config, &params, &b, 2, 2, 4096).expect("valid run");
         assert_eq!(plain, recorded);
         assert_eq!(rings.len(), 2);
         assert!(rings.iter().all(|r| !r.is_empty()));
@@ -350,7 +602,7 @@ mod tests {
         // merged achieved bandwidth must exceed what one link can carry.
         let b = builder(4, 1).requests_per_tenant(3000);
         let params = SimParams::paper().with_warmup(500);
-        let merged = run_sharded(&TranslationConfig::base(), &params, &b, 2, 1);
+        let merged = run_sharded(&TranslationConfig::base(), &params, &b, 2, 1).expect("valid run");
         let one_queue = Simulation::new(
             TranslationConfig::base(),
             params.clone(),
@@ -374,15 +626,129 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fault injection requires a single shard")]
     fn fault_plans_reject_multiple_shards() {
         let plan = crate::faults::FaultPlan::none().with_fault_rate(0.01);
-        let _ = run_sharded(
+        let err = run_sharded(
             &TranslationConfig::base(),
             &SimParams::paper().with_fault_plan(plan),
             &builder(8, 1000),
             2,
             1,
+        )
+        .expect_err("fault plans must reject multiple shards");
+        assert_eq!(err, SimError::FaultPlanSharded { shards: 2 });
+    }
+
+    #[test]
+    fn precondition_violations_are_typed_errors() {
+        let config = TranslationConfig::base();
+        let params = SimParams::paper();
+        let err = run_sharded(&config, &params, &builder(8, 1000), 0, 1)
+            .expect_err("zero shards is invalid");
+        assert_eq!(err, SimError::NoShards);
+        let err = run_sharded(&config, &params, &builder(4, 1000), 5, 1)
+            .expect_err("a shard would own no tenants");
+        assert_eq!(
+            err,
+            SimError::ShardsExceedTenants {
+                shards: 5,
+                tenants: 4
+            }
         );
+    }
+
+    #[test]
+    fn a_panicking_shard_is_retried_and_merges_identically() {
+        let b = builder(8, 1000);
+        let config = TranslationConfig::hypertrio();
+        let params = SimParams::paper();
+        let clean = run_sharded(&config, &params, &b, 2, 1).expect("valid run");
+        let sup = ShardSupervision {
+            max_attempts: 2,
+            // ~4 frames apart at this scale: the retry resumes from a real
+            // mid-run checkpoint rather than restarting from scratch.
+            checkpoint_every: Some(SimDuration::from_us(1)),
+            fail_shard_once: Some(1),
+        };
+        let survived = run_sharded_supervised(&config, &params, &b, 2, 1, &sup)
+            .expect("one panic is within the retry budget");
+        assert_eq!(clean, survived);
+    }
+
+    #[test]
+    fn retry_exhaustion_is_a_shard_failed_error() {
+        let b = builder(8, 1000);
+        let sup = ShardSupervision {
+            max_attempts: 1, // the injected panic consumes the only attempt
+            checkpoint_every: Some(SimDuration::from_us(1)),
+            fail_shard_once: Some(0),
+        };
+        let err = run_sharded_supervised(
+            &TranslationConfig::hypertrio(),
+            &SimParams::paper(),
+            &b,
+            2,
+            2,
+            &sup,
+        )
+        .expect_err("the failing shard has no retry budget");
+        assert_eq!(
+            err,
+            SimError::ShardFailed {
+                shard: 0,
+                attempts: 1
+            }
+        );
+    }
+
+    #[test]
+    fn recorded_retry_discloses_itself_and_merges_identically() {
+        let b = builder(8, 1000);
+        let config = TranslationConfig::hypertrio();
+        let params = SimParams::paper();
+        let (clean, clean_rings) =
+            run_sharded_recorded(&config, &params, &b, 2, 1, 4096).expect("valid run");
+        let sup = ShardSupervision {
+            max_attempts: 3,
+            checkpoint_every: None,
+            fail_shard_once: Some(0),
+        };
+        let (survived, rings) =
+            run_sharded_recorded_supervised(&config, &params, &b, 2, 1, 4096, &sup)
+                .expect("one panic is within the retry budget");
+        assert_eq!(clean, survived);
+        // The retried shard's ring opens with the ShardRetry marker; apart
+        // from that one extra event the streams are identical.
+        let head = rings[0].iter().next().expect("ring is non-empty");
+        assert_eq!(head.at_ps, 0);
+        assert_eq!(
+            head.kind.decode(head.did, head.a, head.b),
+            Event::ShardRetry {
+                shard: 0,
+                attempt: 2
+            }
+        );
+        let tail: Vec<_> = rings[0].iter().skip(1).collect();
+        let clean0: Vec<_> = clean_rings[0].iter().collect();
+        assert_eq!(tail, clean0);
+        // The shard that never panicked records the clean stream verbatim.
+        let clean1: Vec<_> = clean_rings[1].iter().collect();
+        let survived1: Vec<_> = rings[1].iter().collect();
+        assert_eq!(survived1, clean1);
+    }
+
+    #[test]
+    fn supervised_without_failures_matches_unsupervised() {
+        let b = builder(8, 1000);
+        let config = TranslationConfig::base();
+        let params = SimParams::paper();
+        let plain = run_sharded(&config, &params, &b, 2, 1).expect("valid run");
+        let sup = ShardSupervision {
+            checkpoint_every: Some(SimDuration::from_us(3)),
+            ..ShardSupervision::default()
+        };
+        let supervised =
+            run_sharded_supervised(&config, &params, &b, 2, 1, &sup).expect("valid run");
+        assert_eq!(plain, supervised);
     }
 }

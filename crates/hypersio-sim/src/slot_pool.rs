@@ -94,6 +94,32 @@ impl SlotPool {
     pub fn scheduled(&self) -> u64 {
         self.scheduled
     }
+
+    /// Appends the pool's state for a run checkpoint: capacity (an
+    /// identity check), the per-slot free times in sorted (canonical)
+    /// order, and the scheduled counter.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.capacity as u64);
+        let mut free: Vec<u64> = self.free_at.iter().map(|&Reverse(t)| t).collect();
+        free.sort_unstable();
+        out.extend(free);
+        out.push(self.scheduled);
+    }
+
+    /// Restores the pool in place; the stream's capacity must match this
+    /// pool's (the restore target is constructed from the same config).
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        if r.next()? != self.capacity as u64 {
+            return None;
+        }
+        let slots = r.take(self.capacity)?;
+        self.free_at.clear();
+        for &t in slots {
+            self.free_at.push(Reverse(t));
+        }
+        self.scheduled = r.next()?;
+        Some(())
+    }
 }
 
 impl fmt::Debug for SlotPool {

@@ -147,6 +147,12 @@ impl HyperTraceBuilder {
         self
     }
 
+    /// The full tenant population this builder covers (before any
+    /// [`shard`](HyperTraceBuilder::shard) restriction is applied).
+    pub fn tenant_count(&self) -> u32 {
+        self.tenants
+    }
+
     /// Sets the RNG seed (tenant request counts, irregular jumps, RAND
     /// interleaving).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -302,6 +308,7 @@ impl HyperTraceBuilder {
             emitted: 0,
             did_first: self.shard,
             did_stride: self.shard_count,
+            seed: self.seed,
         })
     }
 }
@@ -333,6 +340,9 @@ pub struct HyperTrace {
     did_first: u32,
     /// Stride between consecutive lanes' global DIDs (= the shard count).
     did_stride: u32,
+    /// The builder's RNG seed, kept as immutable run identity (the
+    /// checkpoint header fingerprints it; every lane derives from it).
+    seed: u64,
 }
 
 impl HyperTrace {
@@ -349,6 +359,12 @@ impl HyperTrace {
     /// Returns the interleaving in use.
     pub fn interleaving(&self) -> Interleaving {
         self.interleaving
+    }
+
+    /// Returns the RNG seed the trace was built with (run identity; the
+    /// same seed, workload, and tenant count replay the same packets).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Returns this trace's DID layout as `(first, stride)`: lane `i`
@@ -390,6 +406,67 @@ impl HyperTrace {
         let draws: Vec<u64> = self.lanes.iter().map(|l| l.total_requests()).collect();
         let total = self.clone().count() as u64 * 3;
         TraceStats::from_draws(self.params.kind, &draws, total)
+    }
+
+    /// Appends the trace's full cursor state — every lane, the tenant
+    /// selector, and the interleaving position — to a checkpoint stream,
+    /// so a resumed run replays the exact packet sequence from here.
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.lanes.len() as u64);
+        out.push(self.did_first as u64);
+        out.push(self.did_stride as u64);
+        match &self.selector_rng {
+            Some(rng) => {
+                out.push(1);
+                out.push(rng.state());
+            }
+            None => out.push(0),
+        }
+        out.push(self.current as u64);
+        out.push(self.burst_left);
+        out.push(self.done as u64);
+        out.push(self.emitted);
+        for lane in &self.lanes {
+            lane.snapshot_words(out);
+        }
+    }
+
+    /// Restores a cursor captured by [`Self::snapshot_words`] into a trace
+    /// freshly built with the same constructor arguments. Returns `None`
+    /// on a corrupt stream or a shape mismatch (tenant count, shard
+    /// layout, interleaving kind, or per-lane identity).
+    pub fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        if r.next()? != self.lanes.len() as u64
+            || r.next()? != self.did_first as u64
+            || r.next()? != self.did_stride as u64
+        {
+            return None;
+        }
+        match (r.next()?, self.selector_rng.as_mut()) {
+            (0, None) => {}
+            (1, Some(rng)) => *rng = SplitMix64::from_state(r.next()?),
+            _ => return None,
+        }
+        let current = usize::try_from(r.next()?).ok()?;
+        if current >= self.lanes.len() {
+            return None;
+        }
+        self.current = current;
+        let burst_left = r.next()?;
+        if burst_left > self.interleaving.burst() {
+            return None;
+        }
+        self.burst_left = burst_left;
+        self.done = match r.next()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        self.emitted = r.next()?;
+        for lane in &mut self.lanes {
+            lane.restore_words(r)?;
+        }
+        Some(())
     }
 
     fn select_next_tenant(&mut self) {
@@ -684,5 +761,58 @@ mod tests {
             .try_build()
             .unwrap_err();
         assert!(err.to_string().contains("owns no tenants"));
+    }
+
+    #[test]
+    fn snapshot_resumes_the_exact_packet_sequence() {
+        for inter in [Interleaving::round_robin(4), Interleaving::random(1, 9)] {
+            let mut live = trace(WorkloadKind::Websearch, 8, inter);
+            for _ in 0..500 {
+                live.next().expect("trace must outlast the warm-up");
+            }
+            let mut words = Vec::new();
+            live.snapshot_words(&mut words);
+            let mut resumed = trace(WorkloadKind::Websearch, 8, inter);
+            let mut r = hypersio_cache::WordReader::new(&words);
+            resumed.restore_words(&mut r).expect("restore");
+            assert!(r.is_empty(), "restore must consume the whole stream");
+            assert_eq!(resumed.packets_emitted(), live.packets_emitted());
+            let rest_live: Vec<_> = live.collect();
+            let rest_resumed: Vec<_> = resumed.collect();
+            assert_eq!(rest_live, rest_resumed, "{inter}");
+            assert!(!rest_live.is_empty());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_mismatches_and_corruption() {
+        let mut live = trace(WorkloadKind::Iperf3, 4, Interleaving::round_robin(1));
+        for _ in 0..100 {
+            live.next().unwrap();
+        }
+        let mut words = Vec::new();
+        live.snapshot_words(&mut words);
+
+        // Wrong tenant count, wrong interleaving kind, wrong seed.
+        let mut wrong = trace(WorkloadKind::Iperf3, 5, Interleaving::round_robin(1));
+        let mut r = hypersio_cache::WordReader::new(&words);
+        assert!(wrong.restore_words(&mut r).is_none());
+        let mut wrong = trace(WorkloadKind::Iperf3, 4, Interleaving::random(1, 9));
+        let mut r = hypersio_cache::WordReader::new(&words);
+        assert!(wrong.restore_words(&mut r).is_none());
+        let mut wrong = HyperTraceBuilder::new(WorkloadKind::Iperf3, 4)
+            .interleaving(Interleaving::round_robin(1))
+            .scale(200)
+            .seed(4) // trace() uses seed 3: per-lane draws differ
+            .build();
+        let mut r = hypersio_cache::WordReader::new(&words);
+        assert!(wrong.restore_words(&mut r).is_none());
+
+        // Every truncation of the stream is rejected, never a panic.
+        for len in 0..words.len() {
+            let mut dst = trace(WorkloadKind::Iperf3, 4, Interleaving::round_robin(1));
+            let mut r = hypersio_cache::WordReader::new(&words[..len]);
+            assert!(dst.restore_words(&mut r).is_none(), "prefix {len}");
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use hypersio_cache::WordCodec;
 use hypersio_types::{Did, GIova, Sid, SplitMix64};
 
 use crate::workload::WorkloadParams;
@@ -30,6 +31,28 @@ pub struct TracePacket {
     pub did: Did,
     /// The three gIOVAs to translate: ring pointer, data buffer, mailbox.
     pub iovas: [GIova; 3],
+}
+
+impl WordCodec for TracePacket {
+    // [sid, did, iova0, iova1, iova2]
+    const WORDS: usize = 5;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        self.sid.encode_words(out);
+        self.did.encode_words(out);
+        for iova in self.iovas {
+            iova.encode_words(out);
+        }
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let &[sid, did, a, b, c] = words.first_chunk::<5>()?;
+        Some(TracePacket {
+            sid: Sid::decode_words(&[sid])?,
+            did: Did::decode_words(&[did])?,
+            iovas: [GIova::new(a), GIova::new(b), GIova::new(c)],
+        })
+    }
 }
 
 /// The per-tenant mutable generator state, separated from the (shared)
@@ -95,6 +118,52 @@ impl LaneState {
 
     pub(crate) fn total_requests(&self) -> u64 {
         self.total_requests
+    }
+
+    /// Appends the lane's full state to a checkpoint stream (a fixed 11
+    /// words). Identity fields are included so a restore into the wrong
+    /// lane is detected rather than silently replaying another tenant's
+    /// stream.
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.sid.raw() as u64);
+        out.push(self.did.raw() as u64);
+        out.push(self.rng.state());
+        out.push(self.remaining_requests);
+        out.push(self.total_requests);
+        out.push(self.emitted);
+        out.push(self.window_base);
+        out.push(self.window_pos);
+        out.push(self.burst_pos);
+        out.push(self.data_accesses);
+        out.push(self.init_remaining);
+    }
+
+    /// Restores state captured by [`Self::snapshot_words`] into a freshly
+    /// constructed lane for the same `(params, did, seed, scale)`. Returns
+    /// `None` on identity or draw mismatches (corrupt or foreign stream).
+    pub(crate) fn restore_words(&mut self, r: &mut hypersio_cache::WordReader<'_>) -> Option<()> {
+        let sid = u32::try_from(r.next()?).ok()?;
+        let did = u32::try_from(r.next()?).ok()?;
+        if sid != self.sid.raw() || did != self.did.raw() {
+            return None;
+        }
+        let rng_state = r.next()?;
+        let remaining = r.next()?;
+        let total = r.next()?;
+        // The total draw is a pure function of (seed, did, scale); a
+        // mismatch means the snapshot came from a different trace.
+        if total != self.total_requests || remaining > total {
+            return None;
+        }
+        self.rng = SplitMix64::from_state(rng_state);
+        self.remaining_requests = remaining;
+        self.emitted = r.next()?;
+        self.window_base = r.next()?;
+        self.window_pos = r.next()?;
+        self.burst_pos = r.next()?;
+        self.data_accesses = r.next()?;
+        self.init_remaining = r.next()?;
+        Some(())
     }
 
     pub(crate) fn remaining_requests(&self) -> u64 {

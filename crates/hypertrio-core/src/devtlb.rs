@@ -4,6 +4,7 @@ use std::fmt;
 
 use hypersio_cache::{
     CacheGeometry, CacheKey, CacheStats, OracleKey, PartitionSpec, PartitionedCache, PolicyKind,
+    WordCodec, WordReader,
 };
 use hypersio_types::{Did, GIova, HPa, PageSize, Sid};
 
@@ -52,6 +53,43 @@ impl DevTlbKey {
 impl CacheKey for DevTlbKey {
     fn set_selector(&self) -> u64 {
         self.vpn
+    }
+}
+
+impl WordCodec for TlbEntry {
+    const WORDS: usize = 2;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        self.hpa_base.encode_words(out);
+        self.size.encode_words(out);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let (hpa, size) = words.split_at_checked(1)?;
+        Some(TlbEntry {
+            hpa_base: HPa::decode_words(hpa)?,
+            size: PageSize::decode_words(size)?,
+        })
+    }
+}
+
+impl WordCodec for DevTlbKey {
+    const WORDS: usize = 3;
+
+    fn encode_words(&self, out: &mut Vec<u64>) {
+        self.did.encode_words(out);
+        out.push(self.vpn);
+        self.size.encode_words(out);
+    }
+
+    fn decode_words(words: &[u64]) -> Option<Self> {
+        let (did, rest) = words.split_at_checked(1)?;
+        let (vpn, size) = rest.split_at_checked(1)?;
+        Some(DevTlbKey {
+            did: Did::decode_words(did)?,
+            vpn: u64::decode_words(vpn)?,
+            size: PageSize::decode_words(size)?,
+        })
     }
 }
 
@@ -202,6 +240,18 @@ impl DevTlb {
     /// Returns true if no entries are cached.
     pub fn is_empty(&self) -> bool {
         self.cache.is_empty()
+    }
+
+    /// Appends the DevTLB's full mutable state (entries, replacement
+    /// metadata, statistics) to a checkpoint word stream.
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        self.cache.snapshot_words(out);
+    }
+
+    /// Restores the state written by [`DevTlb::snapshot_words`] into this
+    /// identically configured DevTLB. Returns `None` on a corrupt stream.
+    pub fn restore_words(&mut self, r: &mut WordReader<'_>) -> Option<()> {
+        self.cache.restore_words(r)
     }
 }
 

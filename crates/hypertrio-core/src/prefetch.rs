@@ -4,7 +4,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use hypersio_cache::{CacheStats, FullyAssocCache, PolicyKind};
+use hypersio_cache::{CacheStats, FullyAssocCache, PolicyKind, WordReader};
 use hypersio_types::fxhash::FxBuildHasher;
 use hypersio_types::{Did, GIova, Sid};
 
@@ -121,6 +121,42 @@ impl SidPredictor {
     pub fn coverage(&self) -> (u64, u64) {
         (self.predictions, self.hits_possible)
     }
+
+    /// Appends the predictor's mutable state (observation window, learned
+    /// table in sorted-key order, coverage counters) to a checkpoint word
+    /// stream. Sorting makes the encoding independent of hash order.
+    fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.window.len() as u64);
+        out.extend(self.window.iter().map(|s| s.raw() as u64));
+        let mut entries: Vec<(Sid, Sid)> = self.table.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        out.push(entries.len() as u64);
+        for (k, v) in entries {
+            out.push(k.raw() as u64);
+            out.push(v.raw() as u64);
+        }
+        out.push(self.predictions);
+        out.push(self.hits_possible);
+    }
+
+    /// Restores the state written by [`SidPredictor::snapshot_words`].
+    fn restore_words(&mut self, r: &mut WordReader<'_>) -> Option<()> {
+        let n = r.len_capped(self.history_len + 1)?;
+        self.window.clear();
+        for _ in 0..n {
+            self.window.push_back(r.decode()?);
+        }
+        let n = r.len_capped(r.remaining() / 2)?;
+        self.table.clear();
+        for _ in 0..n {
+            let key: Sid = r.decode()?;
+            let value: Sid = r.decode()?;
+            self.table.insert(key, value);
+        }
+        self.predictions = r.next()?;
+        self.hits_possible = r.next()?;
+        Some(())
+    }
 }
 
 /// The per-DID history of recently used gIOVAs, kept in main memory.
@@ -223,6 +259,38 @@ impl IovaHistoryReader {
     /// Discards every tenant's remembered pages (global shootdown).
     pub fn forget_all(&mut self) {
         self.histories.clear();
+    }
+
+    /// Appends the reader's mutable state (per-DID rings in sorted-DID
+    /// order, fetch counter) to a checkpoint word stream.
+    fn snapshot_words(&self, out: &mut Vec<u64>) {
+        let mut dids: Vec<Did> = self.histories.keys().copied().collect();
+        dids.sort_unstable();
+        out.push(dids.len() as u64);
+        for did in dids {
+            let ring = &self.histories[&did];
+            out.push(did.raw() as u64);
+            out.push(ring.len() as u64);
+            out.extend(ring.iter().map(|p| p.raw()));
+        }
+        out.push(self.fetches);
+    }
+
+    /// Restores the state written by [`IovaHistoryReader::snapshot_words`].
+    fn restore_words(&mut self, r: &mut WordReader<'_>) -> Option<()> {
+        let tenants = r.len_capped(r.remaining())?;
+        self.histories.clear();
+        for _ in 0..tenants {
+            let did: Did = r.decode()?;
+            let len = r.len_capped(self.depth)?;
+            let mut ring = VecDeque::with_capacity(len);
+            for _ in 0..len {
+                ring.push_back(r.decode()?);
+            }
+            self.histories.insert(did, ring);
+        }
+        self.fetches = r.next()?;
+        Some(())
     }
 }
 
@@ -401,6 +469,23 @@ impl PrefetchUnit {
     /// Returns the number of history fetches performed.
     pub fn history_fetches(&self) -> u64 {
         self.history.fetches()
+    }
+
+    /// Appends the unit's full mutable state — Prefetch Buffer slab,
+    /// SID-predictor, and IOVA histories — to a checkpoint word stream.
+    pub fn snapshot_words(&self, out: &mut Vec<u64>) {
+        self.buffer.snapshot_words(out);
+        self.predictor.snapshot_words(out);
+        self.history.snapshot_words(out);
+    }
+
+    /// Restores the state written by [`PrefetchUnit::snapshot_words`] into
+    /// this identically configured unit. Returns `None` on a corrupt
+    /// stream.
+    pub fn restore_words(&mut self, r: &mut WordReader<'_>) -> Option<()> {
+        self.buffer.restore_words(r)?;
+        self.predictor.restore_words(r)?;
+        self.history.restore_words(r)
     }
 }
 

@@ -108,6 +108,32 @@ pub struct SimArgs {
     /// Span ring capacity: the most recent N packet spans are exported
     /// (the latency breakdown always covers every packet).
     pub spans_cap: usize,
+    /// Periodic checkpoint cadence in simulated microseconds (`sim`).
+    /// Requires `--checkpoint-out`.
+    pub checkpoint_every_us: Option<u64>,
+    /// Write `hypersio-checkpoint/v1` snapshots to this path (`sim`).
+    /// Also arms the SIGINT handler: Ctrl-C stops the run at the next
+    /// frame boundary and writes a final checkpoint here.
+    pub checkpoint_out: Option<String>,
+    /// Resume a `sim` run from a checkpoint file written by
+    /// `--checkpoint-out`. The other flags must rebuild the same run
+    /// (config, tenants, seed, fault plan, ...); a mismatch is rejected.
+    pub resume_from: Option<String>,
+    /// Stop gracefully at the first frame boundary at or past this
+    /// simulated time (microseconds), exactly as if SIGINT had arrived
+    /// there — but deterministically. Requires `--checkpoint-out`.
+    pub stop_after_us: Option<u64>,
+    /// RSS watchdog limit in MiB (`sim`): when the process grows past
+    /// this, re-derivable memory (lazy page-table residency, the walk
+    /// memo) is shed. The report is unaffected.
+    pub rss_limit_mb: Option<u64>,
+    /// Attempts per shard before a panicking worker fails the run
+    /// (`sim` with `--shards > 1`); enables shard supervision.
+    pub max_shard_attempts: Option<u32>,
+    /// Test knob: make this shard panic once on its first attempt, to
+    /// exercise supervision end-to-end. Documented, deterministic, and
+    /// harmless — the retried run's merged report is bit-identical.
+    pub fail_shard: Option<u32>,
     /// Load a declarative `fault_plan/v1` JSON file (`sim`).
     pub fault_plan: Option<String>,
     /// Override/add a periodic global invalidation storm, period in
@@ -143,6 +169,13 @@ impl Default for SimArgs {
             report_json: None,
             spans_out: None,
             spans_cap: 65536,
+            checkpoint_every_us: None,
+            checkpoint_out: None,
+            resume_from: None,
+            stop_after_us: None,
+            rss_limit_mb: None,
+            max_shard_attempts: None,
+            fail_shard: None,
             fault_plan: None,
             inv_storm_us: None,
             fault_rate: None,
@@ -296,6 +329,30 @@ OBSERVABILITY (sim only; no effect on the simulated behaviour):
     --spans-cap <N>        span ring capacity (most recent N packets
                            exported; the breakdown covers all) [65536]
 
+RESILIENCE (sim only; the report stays bit-identical):
+    --checkpoint-out <path>   write hypersio-checkpoint/v1 snapshots here
+                              and arm SIGINT: Ctrl-C stops at the next
+                              frame boundary and writes a final checkpoint
+    --checkpoint-every-us <N> also snapshot every N simulated us
+                              (requires --checkpoint-out)
+    --stop-after-us <N>       stop gracefully at N simulated us, exactly
+                              like a (deterministic) SIGINT; requires
+                              --checkpoint-out
+    --resume-from <path>      resume an interrupted run; the other flags
+                              must rebuild the same run (config, tenants,
+                              seed, ...) or the file is rejected. The
+                              resumed run replays the remainder exactly:
+                              report and event tail are byte-identical to
+                              an uninterrupted run
+    --rss-limit-mb <N>        shed re-derivable memory (lazy page tables,
+                              walk memo) when process RSS exceeds N MiB
+    --max-shard-attempts <N>  with --shards > 1: contain a panicking
+                              worker and retry its shard up to N times
+                              (in-memory checkpoints; merged report is
+                              bit-identical to a run that never panicked)
+    --fail-shard <S>          test knob: shard S panics once on its first
+                              attempt, to exercise supervision end-to-end
+
 FAULT INJECTION (sim only; deterministic, seeded):
     --fault-plan <path>    load a declarative fault_plan/v1 JSON file
     --inv-storm <N>        periodic global shootdown every N simulated us
@@ -443,6 +500,53 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     return Err(ParseError("--spans-cap must be at least 1".into()));
                 }
             }
+            "--checkpoint-every-us" => {
+                let every: u64 = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --checkpoint-every-us: {e}")))?;
+                if every == 0 {
+                    return Err(ParseError(
+                        "--checkpoint-every-us must be at least 1 (us)".into(),
+                    ));
+                }
+                parsed.checkpoint_every_us = Some(every);
+            }
+            "--checkpoint-out" => parsed.checkpoint_out = Some(value.clone()),
+            "--resume-from" => parsed.resume_from = Some(value.clone()),
+            "--stop-after-us" => {
+                let at: u64 = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --stop-after-us: {e}")))?;
+                if at == 0 {
+                    return Err(ParseError("--stop-after-us must be at least 1 (us)".into()));
+                }
+                parsed.stop_after_us = Some(at);
+            }
+            "--rss-limit-mb" => {
+                let mb: u64 = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --rss-limit-mb: {e}")))?;
+                if mb == 0 {
+                    return Err(ParseError("--rss-limit-mb must be at least 1".into()));
+                }
+                parsed.rss_limit_mb = Some(mb);
+            }
+            "--max-shard-attempts" => {
+                let attempts: u32 = value
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --max-shard-attempts: {e}")))?;
+                if attempts == 0 {
+                    return Err(ParseError("--max-shard-attempts must be at least 1".into()));
+                }
+                parsed.max_shard_attempts = Some(attempts);
+            }
+            "--fail-shard" => {
+                parsed.fail_shard = Some(
+                    value
+                        .parse()
+                        .map_err(|e| ParseError(format!("bad --fail-shard: {e}")))?,
+                );
+            }
             "--fault-plan" => parsed.fault_plan = Some(value.clone()),
             "--inv-storm" => {
                 let period: u64 = value
@@ -507,6 +611,60 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
              per-queue and have no deterministic merge"
                 .into(),
         ));
+    }
+    if parsed.checkpoint_every_us.is_some() && parsed.checkpoint_out.is_none() {
+        return Err(ParseError(
+            "--checkpoint-every-us needs --checkpoint-out (where should the \
+             snapshots go?)"
+                .into(),
+        ));
+    }
+    if parsed.stop_after_us.is_some() && parsed.checkpoint_out.is_none() {
+        return Err(ParseError(
+            "--stop-after-us needs --checkpoint-out (the stop writes a \
+             checkpoint to resume from)"
+                .into(),
+        ));
+    }
+    let wants_checkpointing = parsed.checkpoint_out.is_some() || parsed.resume_from.is_some();
+    if parsed.shards > 1 && (wants_checkpointing || parsed.rss_limit_mb.is_some()) {
+        return Err(ParseError(
+            "--checkpoint-out / --resume-from / --rss-limit-mb apply to the \
+             single-queue run; with --shards > 1 use --max-shard-attempts \
+             (workers checkpoint in memory and retry on their own)"
+                .into(),
+        ));
+    }
+    if wants_checkpointing && parsed.timeseries_out.is_some() {
+        return Err(ParseError(
+            "--timeseries-out cannot be combined with checkpoint/resume: \
+             sampler windows are not part of the snapshot, so the resumed \
+             series would silently miss the pre-interrupt windows"
+                .into(),
+        ));
+    }
+    if wants_checkpointing && parsed.spans_out.is_some() {
+        return Err(ParseError(
+            "--spans-out cannot be combined with checkpoint/resume: open \
+             span state is not part of the snapshot, so resumed spans would \
+             be silently incomplete"
+                .into(),
+        ));
+    }
+    if parsed.shards == 1 && (parsed.max_shard_attempts.is_some() || parsed.fail_shard.is_some()) {
+        return Err(ParseError(
+            "--max-shard-attempts / --fail-shard supervise sharded workers; \
+             they need --shards > 1"
+                .into(),
+        ));
+    }
+    if let Some(shard) = parsed.fail_shard {
+        if shard >= parsed.shards {
+            return Err(ParseError(format!(
+                "--fail-shard {shard} is out of range: shards are 0..{}",
+                parsed.shards
+            )));
+        }
     }
 
     Ok(match command.as_str() {
@@ -749,6 +907,78 @@ mod tests {
         assert!(parse(&argv("sim --fault-rate 0.1")).is_ok());
         assert!(parse(&argv("sim --timeseries-out ts.csv")).is_ok());
         assert!(parse(&argv("sim --spans-out sp.json")).is_ok());
+    }
+
+    #[test]
+    fn resilience_flags_parse() {
+        let Command::Sim(args) = parse(&argv(
+            "sim --checkpoint-out ck.bin --checkpoint-every-us 500 --rss-limit-mb 2048",
+        ))
+        .unwrap() else {
+            panic!("expected sim");
+        };
+        assert_eq!(args.checkpoint_out.as_deref(), Some("ck.bin"));
+        assert_eq!(args.checkpoint_every_us, Some(500));
+        assert_eq!(args.rss_limit_mb, Some(2048));
+        let Command::Sim(args) = parse(&argv("sim --resume-from ck.bin")).unwrap() else {
+            panic!("expected sim");
+        };
+        assert_eq!(args.resume_from.as_deref(), Some("ck.bin"));
+        let Command::Sim(args) = parse(&argv(
+            "sim --shards 4 --max-shard-attempts 2 --fail-shard 3",
+        ))
+        .unwrap() else {
+            panic!("expected sim");
+        };
+        assert_eq!(args.max_shard_attempts, Some(2));
+        assert_eq!(args.fail_shard, Some(3));
+        // All off by default: the plain run stays byte-identical.
+        let d = SimArgs::default();
+        assert_eq!(
+            (
+                d.checkpoint_every_us,
+                d.checkpoint_out,
+                d.resume_from,
+                d.rss_limit_mb,
+                d.max_shard_attempts,
+                d.fail_shard
+            ),
+            (None, None, None, None, None, None)
+        );
+    }
+
+    #[test]
+    fn resilience_flag_errors() {
+        for (input, needle) in [
+            ("sim --checkpoint-every-us 0", "at least 1"),
+            ("sim --checkpoint-every-us x", "bad --checkpoint-every-us"),
+            ("sim --checkpoint-every-us 5", "needs --checkpoint-out"),
+            ("sim --stop-after-us 0", "at least 1"),
+            ("sim --stop-after-us 5", "needs --checkpoint-out"),
+            ("sim --rss-limit-mb 0", "at least 1"),
+            ("sim --max-shard-attempts 0", "at least 1"),
+            ("sim --shards 2 --checkpoint-out c.bin", "single-queue"),
+            ("sim --shards 2 --resume-from c.bin", "single-queue"),
+            ("sim --shards 2 --rss-limit-mb 64", "single-queue"),
+            (
+                "sim --checkpoint-out c.bin --timeseries-out t.csv",
+                "cannot",
+            ),
+            ("sim --resume-from c.bin --spans-out s.json", "cannot"),
+            ("sim --max-shard-attempts 3", "--shards > 1"),
+            ("sim --fail-shard 0", "--shards > 1"),
+            ("sim --shards 2 --fail-shard 2", "out of range"),
+        ] {
+            let err = parse(&argv(input)).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "input {input:?}: expected {needle:?} in {err}"
+            );
+        }
+        // Checkpointing composes with the event ring: the resumed tail
+        // concatenates with the interrupted head.
+        assert!(parse(&argv("sim --checkpoint-out c.bin --trace-out ev.jsonl")).is_ok());
+        assert!(parse(&argv("sim --resume-from c.bin --trace-out ev.jsonl")).is_ok());
     }
 
     #[test]

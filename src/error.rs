@@ -27,6 +27,17 @@ pub enum SimError {
         /// What was wrong with it.
         message: String,
     },
+    /// A checkpoint file was read but rejected (wrong run, truncated,
+    /// corrupt — see [`hypersio_sim::CheckpointError`]).
+    Checkpoint {
+        /// The checkpoint file's path.
+        path: String,
+        /// Which validation layer rejected it.
+        source: hypersio_sim::CheckpointError,
+    },
+    /// The sharded runner reported a precondition or supervision failure
+    /// (see [`hypersio_sim::SimError`]).
+    Run(hypersio_sim::SimError),
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +48,8 @@ impl fmt::Display for SimError {
             SimError::FaultPlan { path, message } => {
                 write!(f, "{path}: invalid fault plan: {message}")
             }
+            SimError::Checkpoint { path, source } => write!(f, "{path}: {source}"),
+            SimError::Run(err) => write!(f, "{err}"),
         }
     }
 }
@@ -47,6 +60,8 @@ impl std::error::Error for SimError {
             SimError::Parse(err) => Some(err),
             SimError::Io { source, .. } => Some(source),
             SimError::FaultPlan { .. } => None,
+            SimError::Checkpoint { source, .. } => Some(source),
+            SimError::Run(err) => Some(err),
         }
     }
 }
@@ -54,6 +69,12 @@ impl std::error::Error for SimError {
 impl From<ParseError> for SimError {
     fn from(err: ParseError) -> Self {
         SimError::Parse(err)
+    }
+}
+
+impl From<hypersio_sim::SimError> for SimError {
+    fn from(err: hypersio_sim::SimError) -> Self {
+        SimError::Run(err)
     }
 }
 
@@ -75,5 +96,12 @@ mod tests {
         assert!(err.to_string().contains("wrong schema"));
         let err = SimError::from(ParseError("bad --tenants".into()));
         assert_eq!(err.to_string(), "bad --tenants");
+        let err = SimError::Checkpoint {
+            path: "run.ckpt".into(),
+            source: hypersio_sim::CheckpointError::Corrupt,
+        };
+        assert!(err.to_string().contains("run.ckpt"));
+        let err = SimError::from(hypersio_sim::SimError::NoShards);
+        assert!(err.to_string().contains("at least one"));
     }
 }

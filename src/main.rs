@@ -6,13 +6,62 @@ use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
 use hypersio_sim::{
-    run_sharded, run_sharded_recorded, sweep_tenants_parallel, write_jsonl_many, FaultPlan,
-    RingRecorder, SimReport, Simulation, SpanCollector, SweepSpec, TimeSeriesSampler,
+    run_sharded, run_sharded_recorded, run_sharded_recorded_supervised, run_sharded_supervised,
+    sweep_tenants_parallel, write_jsonl_many, FaultPlan, NullObserver, RingRecorder, RunControl,
+    RunOutcome, ShardSupervision, SimReport, Simulation, SpanCollector, SweepSpec,
+    TimeSeriesSampler,
 };
 use hypersio_trace::HyperTraceBuilder;
+use hypersio_types::SimDuration;
 use hypertrio::cli::{self, Command, SimArgs};
 use hypertrio::error::SimError;
 use hypertrio_core::TranslationConfig;
+
+/// SIGINT capture for graceful interruption (unix only): the handler just
+/// flips an atomic the frame loop polls, so all real work — the checkpoint
+/// write — happens on the main thread, outside signal context.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // libc's signal(2); no external crate, no wrapper.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+
+    /// Installs the flag-setting handler (replacing default termination).
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+
+    /// True once SIGINT has arrived.
+    pub fn pending() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    /// No signal handling off unix: Ctrl-C terminates as usual and the
+    /// last periodic checkpoint is the resume point.
+    pub fn install() {}
+
+    /// Never true without a handler.
+    pub fn pending() -> bool {
+        false
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,6 +130,9 @@ fn load_fault_plan(args: &SimArgs) -> Result<FaultPlan, SimError> {
 fn run_sim(args: &SimArgs) -> Result<(), SimError> {
     if args.shards > 1 {
         return run_sim_sharded(args);
+    }
+    if args.checkpoint_out.is_some() || args.resume_from.is_some() || args.rss_limit_mb.is_some() {
+        return run_sim_controlled(args);
     }
     let config = args.config();
     println!("{config}");
@@ -166,6 +218,113 @@ fn run_sim(args: &SimArgs) -> Result<(), SimError> {
     Ok(())
 }
 
+/// The checkpoint/resume path of `sim` (single queue; the parser rejects
+/// combinations the controlled loop cannot snapshot). With none of the
+/// resilience flags set this function is never reached, so the default
+/// path stays byte-identical to earlier versions.
+fn run_sim_controlled(args: &SimArgs) -> Result<(), SimError> {
+    let config = args.config();
+    println!("{config}");
+    let trace = build_trace(args, args.tenants, args.scale);
+    let params = args.params().with_fault_plan(load_fault_plan(args)?);
+    let mut ring = args
+        .trace_out
+        .as_ref()
+        .map(|_| RingRecorder::new(args.trace_cap));
+
+    let mut sim = Simulation::new(config, params, trace);
+    if let Some(path) = args.resume_from.as_ref() {
+        let bytes = std::fs::read(path).map_err(|source| SimError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        sim.resume_from_bytes(&bytes)
+            .map_err(|source| SimError::Checkpoint {
+                path: path.clone(),
+                source,
+            })?;
+        eprintln!("resumed from checkpoint {path}");
+    }
+
+    let ckpt_path = args.checkpoint_out.clone();
+    if ckpt_path.is_some() {
+        sigint::install();
+    }
+    let mut sink = |bytes: Vec<u8>| {
+        let path = ckpt_path.as_ref().expect("sink armed only with a path");
+        if let Err(err) = write_atomically(path, &bytes) {
+            // A failed periodic snapshot must not kill a healthy run; the
+            // previous checkpoint (if any) is still intact on disk.
+            eprintln!("warning: could not write checkpoint {path}: {err}");
+        }
+    };
+    let stop = sigint::pending;
+    let mut ctl = RunControl {
+        checkpoint_every: args.checkpoint_every_us.map(SimDuration::from_us),
+        checkpoint_sink: args.checkpoint_out.is_some().then_some(&mut sink as _),
+        stop: args.checkpoint_out.is_some().then_some(&stop as _),
+        stop_after: args.stop_after_us.map(SimDuration::from_us),
+        rss_limit_bytes: args.rss_limit_mb.map(|mb| mb << 20),
+        panic_after_frames: None,
+    };
+    let outcome = match ring.as_mut() {
+        None => sim.run_controlled(&mut NullObserver, &mut ctl),
+        Some(r) => sim.run_controlled(r, &mut ctl),
+    };
+
+    match outcome {
+        RunOutcome::Completed(report) => {
+            println!("{report}");
+            if let (Some(path), Some(ring)) = (args.trace_out.as_ref(), ring.as_ref()) {
+                write_file(path, |w| ring.write_jsonl(w))?;
+                eprintln!(
+                    "wrote event trace to {path} ({} events, {} overwritten)",
+                    ring.len(),
+                    ring.overwritten()
+                );
+            }
+            if let Some(path) = args.report_json.as_ref() {
+                write_file(path, |w| w.write_all(report.to_json().as_bytes()))?;
+                eprintln!("wrote report JSON to {path}");
+            }
+        }
+        RunOutcome::Interrupted { checkpoint } => {
+            let path = args
+                .checkpoint_out
+                .as_ref()
+                .expect("interruption is only armed with --checkpoint-out");
+            write_atomically(path, &checkpoint).map_err(|source| SimError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            // The events recorded so far still go out: together with the
+            // resumed run's trace they form exactly the uninterrupted
+            // stream (part one ends at the checkpointed frame boundary).
+            if let (Some(tpath), Some(ring)) = (args.trace_out.as_ref(), ring.as_ref()) {
+                write_file(tpath, |w| ring.write_jsonl(w))?;
+                eprintln!(
+                    "wrote event trace to {tpath} ({} events, {} overwritten)",
+                    ring.len(),
+                    ring.overwritten()
+                );
+            }
+            eprintln!(
+                "interrupted: checkpoint written to {path}; continue with \
+                 --resume-from {path} (and the same run flags)"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Writes `bytes` via a temporary file and rename, so an interrupt or
+/// crash mid-write can never corrupt the previous checkpoint at `path`.
+fn write_atomically(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// The `--shards > 1` path: tenants are dealt round-robin across
 /// independent device queues, simulated on `--jobs` worker threads and
 /// merged deterministically (the merged report is bit-identical for any
@@ -182,23 +341,51 @@ fn run_sim_sharded(args: &SimArgs) -> Result<(), SimError> {
     let params = args.params();
     let builder = trace_builder(args, args.tenants, args.scale);
 
+    // Supervision is armed by either flag; a bare --fail-shard still gets
+    // the default retry budget so the injected panic is survivable.
+    let supervision = (args.max_shard_attempts.is_some() || args.fail_shard.is_some()).then(|| {
+        ShardSupervision {
+            max_attempts: args.max_shard_attempts.unwrap_or(3),
+            // Workers snapshot in memory at this cadence so a retry
+            // resumes mid-shard instead of replaying from the start.
+            checkpoint_every: Some(SimDuration::from_us(100)),
+            fail_shard_once: args.fail_shard,
+        }
+    });
+
     let report: SimReport;
     if let Some(path) = args.trace_out.as_ref() {
-        let (merged, rings) = run_sharded_recorded(
-            &config,
-            &params,
-            &builder,
-            args.shards,
-            args.jobs,
-            args.trace_cap,
-        );
+        let (merged, rings) = match supervision.as_ref() {
+            None => run_sharded_recorded(
+                &config,
+                &params,
+                &builder,
+                args.shards,
+                args.jobs,
+                args.trace_cap,
+            )?,
+            Some(sup) => run_sharded_recorded_supervised(
+                &config,
+                &params,
+                &builder,
+                args.shards,
+                args.jobs,
+                args.trace_cap,
+                sup,
+            )?,
+        };
         write_file(path, |w| write_jsonl_many(&rings, w))?;
         let recorded: usize = rings.iter().map(RingRecorder::len).sum();
         let overwritten: u64 = rings.iter().map(RingRecorder::overwritten).sum();
         eprintln!("wrote event trace to {path} ({recorded} events, {overwritten} overwritten)");
         report = merged;
     } else {
-        report = run_sharded(&config, &params, &builder, args.shards, args.jobs);
+        report = match supervision.as_ref() {
+            None => run_sharded(&config, &params, &builder, args.shards, args.jobs)?,
+            Some(sup) => {
+                run_sharded_supervised(&config, &params, &builder, args.shards, args.jobs, sup)?
+            }
+        };
     }
     println!("{report}");
 

@@ -130,8 +130,8 @@ fn riscv_sharded_runs_are_jobs_invariant() {
             .seed(11);
         let config = TranslationConfig::hypertrio();
         let params = SimParams::paper().with_arch(g).with_warmup(200);
-        let serial = run_sharded(&config, &params, &builder, 4, 1);
-        let threaded = run_sharded(&config, &params, &builder, 4, 4);
+        let serial = run_sharded(&config, &params, &builder, 4, 1).expect("valid sharded run");
+        let threaded = run_sharded(&config, &params, &builder, 4, 4).expect("valid sharded run");
         assert_eq!(
             serial.to_json(),
             threaded.to_json(),
